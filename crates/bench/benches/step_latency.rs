@@ -1,0 +1,67 @@
+//! Criterion benchmarks: one inference step of each benchmark model under
+//! each algorithm (the quantitative backbone of Figs. 2b / 17).
+//!
+//! Run with `cargo bench -p probzelus-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probzelus::models::{generate_coin, generate_kalman, generate_outlier, Coin, Kalman, Outlier};
+use probzelus_core::infer::{Infer, Method};
+use probzelus_core::model::Model;
+
+const PARTICLES: usize = 100;
+const METHODS: [Method; 3] = [
+    Method::ParticleFilter,
+    Method::BoundedDs,
+    Method::StreamingDs,
+];
+
+fn bench_model<M: Model>(
+    c: &mut Criterion,
+    group: &str,
+    template: M,
+    obs: Vec<M::Input>,
+) {
+    let mut g = c.benchmark_group(group);
+    for method in METHODS {
+        g.bench_with_input(
+            BenchmarkId::new(method.label(), PARTICLES),
+            &method,
+            |b, &method| {
+                let mut engine = Infer::with_seed(method, PARTICLES, template.clone(), 1);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let p = engine
+                        .step(&obs[i % obs.len()])
+                        .expect("benchmark models do not fail");
+                    i += 1;
+                    // Periodically restart so the streaming engines measure
+                    // steady-state steps, not an ever-longer history.
+                    if i % obs.len() == 0 {
+                        engine.reset();
+                    }
+                    p.mean_float()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_model(
+        c,
+        "kalman_step",
+        Kalman::default(),
+        generate_kalman(1, 200).obs,
+    );
+    bench_model(c, "coin_step", Coin::default(), generate_coin(2, 200).obs);
+    bench_model(
+        c,
+        "outlier_step",
+        Outlier::default(),
+        generate_outlier(3, 200).obs,
+    );
+}
+
+criterion_group!(step_benches, benches);
+criterion_main!(step_benches);

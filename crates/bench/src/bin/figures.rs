@@ -1,0 +1,212 @@
+//! Regenerates the paper's evaluation figures as text tables.
+//!
+//! ```text
+//! figures accuracy      # Fig. 2a / Fig. 16
+//! figures latency       # Fig. 2b / Fig. 17
+//! figures step-latency  # Fig. 18
+//! figures memory        # Fig. 4 / Fig. 19
+//! figures all           # everything
+//! ```
+//!
+//! `--quick` shrinks runs/steps for a fast smoke pass (the defaults match
+//! the shapes reported in `EXPERIMENTS.md`).
+
+use probzelus_bench::{
+    experiment_accuracy, experiment_latency, experiment_memory, experiment_resampling_ablation,
+    experiment_step_latency, slope, BenchModel,
+};
+
+struct Config {
+    particle_counts: Vec<usize>,
+    accuracy_steps: usize,
+    accuracy_runs: usize,
+    latency_steps: usize,
+    latency_runs: usize,
+    long_steps: usize,
+    long_particles: usize,
+}
+
+impl Config {
+    fn full() -> Config {
+        Config {
+            particle_counts: vec![1, 2, 5, 10, 20, 35, 50, 75, 100],
+            accuracy_steps: 500,
+            accuracy_runs: 100,
+            latency_steps: 200,
+            latency_runs: 5,
+            long_steps: 1600,
+            long_particles: 100,
+        }
+    }
+
+    fn quick() -> Config {
+        Config {
+            particle_counts: vec![1, 10, 50],
+            accuracy_steps: 100,
+            accuracy_runs: 10,
+            latency_steps: 50,
+            latency_runs: 2,
+            long_steps: 200,
+            long_particles: 20,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick { Config::quick() } else { Config::full() };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    match what {
+        "accuracy" => accuracy(&cfg),
+        "latency" => latency(&cfg),
+        "step-latency" => step_latency(&cfg),
+        "memory" => memory(&cfg),
+        "ablation" => ablation(&cfg),
+        "all" => {
+            accuracy(&cfg);
+            latency(&cfg);
+            step_latency(&cfg);
+            memory(&cfg);
+            ablation(&cfg);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: figures [accuracy|latency|step-latency|memory|ablation|all] [--quick]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn ablation(cfg: &Config) {
+    println!("== Ablation (beyond the paper): resampling policy on Kalman/PF ==");
+    let (particles, steps, runs) = (50, cfg.accuracy_steps, cfg.accuracy_runs.min(30));
+    println!("   ({particles} particles, {steps} steps, {runs} runs)");
+    let pts = experiment_resampling_ablation(particles, steps, runs);
+    println!("{:>10} {:>36} {:>12}", "policy", "MSE median [q10, q90]", "min ESS");
+    for p in &pts {
+        println!("{:>10} {} {:>12.1}", p.policy, p.mse, p.min_ess);
+    }
+    println!();
+}
+
+fn accuracy(cfg: &Config) {
+    println!("== Figure 2a / Figure 16: accuracy (final MSE) vs number of particles ==");
+    println!(
+        "   ({} runs of {} steps each; median [q10, q90])",
+        cfg.accuracy_runs, cfg.accuracy_steps
+    );
+    let pts = experiment_accuracy(
+        &BenchModel::ALL,
+        &cfg.particle_counts,
+        cfg.accuracy_steps,
+        cfg.accuracy_runs,
+    );
+    for model in BenchModel::ALL {
+        println!("\n-- {model} Accuracy --");
+        println!("{:>10} {:>4} {:>36}", "particles", "alg", "MSE median [q10, q90]");
+        for p in &pts {
+            if p.model == model {
+                println!("{:>10} {:>4} {}", p.particles, p.method.label(), p.mse);
+            }
+        }
+    }
+    println!();
+}
+
+fn latency(cfg: &Config) {
+    println!("== Figure 2b / Figure 17: step latency (ms) vs number of particles ==");
+    println!(
+        "   ({} runs of {} steps, 1 warm-up run; median [q10, q90])",
+        cfg.latency_runs, cfg.latency_steps
+    );
+    let pts = experiment_latency(
+        &BenchModel::ALL,
+        &cfg.particle_counts,
+        cfg.latency_steps,
+        cfg.latency_runs,
+    );
+    for model in BenchModel::ALL {
+        println!("\n-- {model} Performance --");
+        println!("{:>10} {:>4} {:>36}", "particles", "alg", "latency ms median [q10, q90]");
+        for p in &pts {
+            if p.model == model {
+                println!("{:>10} {:>4} {}", p.particles, p.method.label(), p.latency_ms);
+            }
+        }
+    }
+    println!();
+}
+
+fn sampled_indices(len: usize, points: usize) -> Vec<usize> {
+    let stride = (len / points).max(1);
+    (0..len).step_by(stride).chain([len - 1]).collect()
+}
+
+fn step_latency(cfg: &Config) {
+    println!("== Figure 18: step latency (ms) over a long run ==");
+    println!(
+        "   ({} particles, {} steps)",
+        cfg.long_particles, cfg.long_steps
+    );
+    let series = experiment_step_latency(&BenchModel::ALL, cfg.long_particles, cfg.long_steps);
+    for model in BenchModel::ALL {
+        println!("\n-- {model} Performance over steps --");
+        let rows: Vec<_> = series.iter().filter(|s| s.model == model).collect();
+        print!("{:>8}", "step");
+        for s in &rows {
+            print!(" {:>12}", s.method.label());
+        }
+        println!();
+        let len = rows[0].values.len();
+        for &i in &sampled_indices(len, 8) {
+            print!("{:>8}", i);
+            for s in &rows {
+                print!(" {:>12.4}", s.values[i]);
+            }
+            println!();
+        }
+        print!("{:>8}", "slope");
+        for s in &rows {
+            print!(" {:>12.6}", slope(&s.values[len / 10..]));
+        }
+        println!("  (ms/step; DS grows, the rest stay flat)");
+    }
+    println!();
+}
+
+fn memory(cfg: &Config) {
+    println!("== Figure 4 / Figure 19: live delayed-sampling nodes over a long run ==");
+    println!(
+        "   ({} particles, {} steps; summed over particles)",
+        cfg.long_particles, cfg.long_steps
+    );
+    let series = experiment_memory(&BenchModel::ALL, cfg.long_particles, cfg.long_steps);
+    for model in BenchModel::ALL {
+        println!("\n-- {model} Ideal Memory --");
+        let rows: Vec<_> = series.iter().filter(|s| s.model == model).collect();
+        print!("{:>8}", "step");
+        for s in &rows {
+            print!(" {:>12}", s.method.label());
+        }
+        println!();
+        let len = rows[0].values.len();
+        for &i in &sampled_indices(len, 8) {
+            print!("{:>8}", i);
+            for s in &rows {
+                print!(" {:>12.0}", s.values[i]);
+            }
+            println!();
+        }
+        print!("{:>8}", "slope");
+        for s in &rows {
+            print!(" {:>12.4}", slope(&s.values[len / 10..]));
+        }
+        println!("  (nodes/step; DS grows on Kalman/Outlier, flat on Coin)");
+    }
+    println!();
+}

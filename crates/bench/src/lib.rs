@@ -1,0 +1,482 @@
+//! Experiment harness for the paper's evaluation (§6).
+//!
+//! Each public `experiment_*` function regenerates one figure family:
+//!
+//! | function | paper figure(s) | what it measures |
+//! |---|---|---|
+//! | [`experiment_accuracy`]      | Fig. 2a, Fig. 16 | final MSE vs #particles (PF/BDS/SDS) |
+//! | [`experiment_latency`]       | Fig. 2b, Fig. 17 | step latency vs #particles (PF/BDS/SDS) |
+//! | [`experiment_step_latency`]  | Fig. 18 | step latency vs step index (PF/BDS/SDS/DS) |
+//! | [`experiment_memory`]        | Fig. 4, Fig. 19 | live graph memory vs step index |
+//!
+//! The functions return structured series; the `figures` binary renders
+//! them as the tables recorded in `EXPERIMENTS.md`.
+
+use probzelus::models::{
+    generate_coin, generate_kalman, generate_outlier, Coin, Kalman, MseTracker, Outlier,
+};
+use probzelus_core::infer::{Infer, Method};
+use probzelus_core::model::Model;
+use probzelus_distributions::stats;
+use std::time::Instant;
+
+/// The three benchmarks of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchModel {
+    /// Appendix B.1.
+    Kalman,
+    /// Appendix B.2.
+    Coin,
+    /// Appendix B.3.
+    Outlier,
+}
+
+impl BenchModel {
+    /// All benchmarks, in the paper's order.
+    pub const ALL: [BenchModel; 3] = [BenchModel::Kalman, BenchModel::Coin, BenchModel::Outlier];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchModel::Kalman => "Kalman",
+            BenchModel::Coin => "Coin",
+            BenchModel::Outlier => "Outlier",
+        }
+    }
+}
+
+impl std::fmt::Display for BenchModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Seed for the shared benchmark data ("every run of each benchmark across
+/// all experiments uses the same data as input", §6.1).
+pub const DATA_SEED: u64 = 0x5eed_da7a;
+
+/// Median with 10%/90% quantiles — the error bars of Figs. 16–18.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// 10% quantile.
+    pub q10: f64,
+    /// Median.
+    pub median: f64,
+    /// 90% quantile.
+    pub q90: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            q10: stats::quantile(xs, 0.1),
+            median: stats::median(xs),
+            q90: stats::quantile(xs, 0.9),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:10.4} [{:10.4}, {:10.4}]", self.median, self.q10, self.q90)
+    }
+}
+
+/// One inference run over the fixed data: returns the final MSE and the
+/// mean per-step latency in milliseconds.
+fn run_once<M: Model>(
+    template: &M,
+    method: Method,
+    particles: usize,
+    obs: &[M::Input],
+    truth: &[f64],
+    seed: u64,
+) -> (f64, Vec<f64>) {
+    let mut engine = Infer::with_seed(method, particles, template.clone(), seed);
+    let mut mse = MseTracker::new();
+    let mut latencies = Vec::with_capacity(obs.len());
+    for (y, x) in obs.iter().zip(truth) {
+        let t0 = Instant::now();
+        let posterior = engine.step(y).expect("benchmark models do not fail");
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        mse.push(posterior.mean_float(), *x);
+    }
+    (mse.mse(), latencies)
+}
+
+/// Dispatches a closure over the concrete benchmark model, supplying the
+/// shared data.
+fn with_model<R>(
+    model: BenchModel,
+    steps: usize,
+    f: impl FnOnce(&dyn RunDyn) -> R,
+) -> R {
+    match model {
+        BenchModel::Kalman => {
+            let trace = generate_kalman(DATA_SEED, steps);
+            f(&Runner {
+                template: Kalman::default(),
+                obs: trace.obs,
+                truth: trace.truth,
+            })
+        }
+        BenchModel::Coin => {
+            let trace = generate_coin(DATA_SEED, steps);
+            f(&Runner {
+                template: Coin::default(),
+                obs: trace.obs,
+                truth: trace.truth,
+            })
+        }
+        BenchModel::Outlier => {
+            let trace = generate_outlier(DATA_SEED, steps);
+            f(&Runner {
+                template: Outlier::default(),
+                obs: trace.obs,
+                truth: trace.truth,
+            })
+        }
+    }
+}
+
+struct Runner<M: Model> {
+    template: M,
+    obs: Vec<M::Input>,
+    truth: Vec<f64>,
+}
+
+/// Object-safe view of a benchmark run (erases the model type).
+trait RunDyn {
+    fn run(&self, method: Method, particles: usize, seed: u64) -> (f64, Vec<f64>);
+    fn run_memory(&self, method: Method, particles: usize, seed: u64) -> Vec<usize>;
+}
+
+impl<M: Model> RunDyn for Runner<M> {
+    fn run(&self, method: Method, particles: usize, seed: u64) -> (f64, Vec<f64>) {
+        run_once(&self.template, method, particles, &self.obs, &self.truth, seed)
+    }
+
+    fn run_memory(&self, method: Method, particles: usize, seed: u64) -> Vec<usize> {
+        let mut engine = Infer::with_seed(method, particles, self.template.clone(), seed);
+        self.obs
+            .iter()
+            .map(|y| {
+                engine.step(y).expect("benchmark models do not fail");
+                engine.memory().live_nodes
+            })
+            .collect()
+    }
+}
+
+/// One point of an accuracy sweep.
+#[derive(Debug, Clone)]
+pub struct AccuracyPoint {
+    /// Benchmark.
+    pub model: BenchModel,
+    /// Inference method.
+    pub method: Method,
+    /// Particle count.
+    pub particles: usize,
+    /// Final-MSE summary over runs.
+    pub mse: Summary,
+}
+
+/// Figs. 2a / 16: final MSE vs particle count for PF / BDS / SDS.
+pub fn experiment_accuracy(
+    models: &[BenchModel],
+    particle_counts: &[usize],
+    steps: usize,
+    runs: usize,
+) -> Vec<AccuracyPoint> {
+    let methods = [Method::ParticleFilter, Method::BoundedDs, Method::StreamingDs];
+    let mut out = Vec::new();
+    for &model in models {
+        with_model(model, steps, |runner| {
+            for &method in &methods {
+                for &particles in particle_counts {
+                    let finals: Vec<f64> = (0..runs)
+                        .map(|r| runner.run(method, particles, r as u64).0)
+                        .collect();
+                    out.push(AccuracyPoint {
+                        model,
+                        method,
+                        particles,
+                        mse: Summary::of(&finals),
+                    });
+                }
+            }
+        });
+    }
+    out
+}
+
+/// One point of a latency sweep.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Benchmark.
+    pub model: BenchModel,
+    /// Inference method.
+    pub method: Method,
+    /// Particle count.
+    pub particles: usize,
+    /// Per-step latency summary in milliseconds.
+    pub latency_ms: Summary,
+}
+
+/// Figs. 2b / 17: per-step latency vs particle count for PF / BDS / SDS.
+pub fn experiment_latency(
+    models: &[BenchModel],
+    particle_counts: &[usize],
+    steps: usize,
+    runs: usize,
+) -> Vec<LatencyPoint> {
+    let methods = [Method::ParticleFilter, Method::BoundedDs, Method::StreamingDs];
+    let mut out = Vec::new();
+    for &model in models {
+        with_model(model, steps, |runner| {
+            for &method in &methods {
+                for &particles in particle_counts {
+                    let mut all = Vec::new();
+                    for r in 0..runs {
+                        // Warm-up of one run, as in §6.2.
+                        if runs > 1 && r == 0 {
+                            let _ = runner.run(method, particles, 0);
+                        }
+                        all.extend(runner.run(method, particles, r as u64).1);
+                    }
+                    out.push(LatencyPoint {
+                        model,
+                        method,
+                        particles,
+                        latency_ms: Summary::of(&all),
+                    });
+                }
+            }
+        });
+    }
+    out
+}
+
+/// A per-step series (latency or memory) for one method.
+#[derive(Debug, Clone)]
+pub struct StepSeries {
+    /// Benchmark.
+    pub model: BenchModel,
+    /// Inference method.
+    pub method: Method,
+    /// Value at each step (milliseconds or live nodes).
+    pub values: Vec<f64>,
+}
+
+/// Fig. 18: per-step latency over a long run, PF / BDS / SDS / DS at
+/// `particles` particles.
+pub fn experiment_step_latency(
+    models: &[BenchModel],
+    particles: usize,
+    steps: usize,
+) -> Vec<StepSeries> {
+    let methods = [
+        Method::ParticleFilter,
+        Method::BoundedDs,
+        Method::StreamingDs,
+        Method::ClassicDs,
+    ];
+    let mut out = Vec::new();
+    for &model in models {
+        with_model(model, steps, |runner| {
+            for &method in &methods {
+                let (_, lat) = runner.run(method, particles, 1);
+                out.push(StepSeries {
+                    model,
+                    method,
+                    values: lat,
+                });
+            }
+        });
+    }
+    out
+}
+
+/// Figs. 4 / 19: live delayed-sampling graph memory per step (nodes summed
+/// over particles), PF / BDS / SDS / DS.
+pub fn experiment_memory(
+    models: &[BenchModel],
+    particles: usize,
+    steps: usize,
+) -> Vec<StepSeries> {
+    let methods = [
+        Method::ParticleFilter,
+        Method::BoundedDs,
+        Method::StreamingDs,
+        Method::ClassicDs,
+    ];
+    let mut out = Vec::new();
+    for &model in models {
+        with_model(model, steps, |runner| {
+            for &method in &methods {
+                let mem = runner.run_memory(method, particles, 1);
+                out.push(StepSeries {
+                    model,
+                    method,
+                    values: mem.into_iter().map(|n| n as f64).collect(),
+                });
+            }
+        });
+    }
+    out
+}
+
+/// One row of the resampling-policy ablation.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Final-MSE summary over runs.
+    pub mse: Summary,
+    /// Worst effective sample size seen over a run (median over runs).
+    pub min_ess: f64,
+}
+
+/// Ablation (beyond the paper): how the resampling policy of §5.1 affects
+/// the particle filter on the Kalman benchmark — always resample (the
+/// paper's choice), adaptive ESS thresholds, and never (importance
+/// sampling).
+pub fn experiment_resampling_ablation(
+    particles: usize,
+    steps: usize,
+    runs: usize,
+) -> Vec<AblationPoint> {
+    use probzelus_core::infer::ResamplePolicy;
+    let trace = generate_kalman(DATA_SEED, steps);
+    let policies: [(&'static str, ResamplePolicy); 4] = [
+        ("always", ResamplePolicy::EveryStep),
+        ("ess<0.5N", ResamplePolicy::EssBelow(0.5)),
+        ("ess<0.1N", ResamplePolicy::EssBelow(0.1)),
+        ("never", ResamplePolicy::Never),
+    ];
+    policies
+        .iter()
+        .map(|&(label, policy)| {
+            let mut finals = Vec::with_capacity(runs);
+            let mut worst_ess = Vec::with_capacity(runs);
+            for r in 0..runs {
+                let mut engine = Infer::with_seed(
+                    Method::ParticleFilter,
+                    particles,
+                    Kalman::default(),
+                    r as u64,
+                )
+                .with_resample_policy(policy);
+                let mut mse = MseTracker::new();
+                let mut worst = f64::INFINITY;
+                for (y, x) in trace.obs.iter().zip(&trace.truth) {
+                    let post = engine.step(y).expect("kalman does not fail");
+                    mse.push(post.mean_float(), *x);
+                    worst = worst.min(engine.last_ess());
+                }
+                finals.push(mse.mse());
+                worst_ess.push(worst);
+            }
+            AblationPoint {
+                policy: label,
+                mse: Summary::of(&finals),
+                min_ess: stats::median(&worst_ess),
+            }
+        })
+        .collect()
+}
+
+/// Least-squares slope of a series (used to assert constant-vs-linear
+/// growth in tests and in `EXPERIMENTS.md` summaries).
+pub fn slope(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mean_x = (n - 1.0) / 2.0;
+    let mean_y = values.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in values.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        num += dx * (y - mean_y);
+        den += dx * dx;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_shapes_match_the_paper_kalman() {
+        // SDS is exact (particle-count independent); PF with few particles
+        // is markedly worse (Fig. 16 top).
+        let pts = experiment_accuracy(&[BenchModel::Kalman], &[1, 50], 100, 7);
+        let get = |m: Method, p: usize| {
+            pts.iter()
+                .find(|x| x.method == m && x.particles == p)
+                .map(|x| x.mse.median)
+                .expect("point exists")
+        };
+        let sds1 = get(Method::StreamingDs, 1);
+        let sds50 = get(Method::StreamingDs, 50);
+        let pf1 = get(Method::ParticleFilter, 1);
+        assert!((sds1 - sds50).abs() < 1e-9, "SDS exact: {sds1} vs {sds50}");
+        assert!(pf1 > 2.0 * sds1, "PF@1 {pf1} vs SDS {sds1}");
+    }
+
+    #[test]
+    fn memory_shapes_match_the_paper() {
+        let series = experiment_memory(&[BenchModel::Kalman], 5, 120);
+        let of = |m: Method| {
+            series
+                .iter()
+                .find(|s| s.method == m)
+                .expect("series exists")
+        };
+        // SDS flat, DS linear (Fig. 4); the paper's Coin DS stays flat.
+        let sds = slope(&of(Method::StreamingDs).values[20..]);
+        let ds = slope(&of(Method::ClassicDs).values[20..]);
+        assert!(sds.abs() < 0.05, "SDS slope {sds}");
+        assert!(ds > 3.0, "DS slope {ds}");
+        let coin = experiment_memory(&[BenchModel::Coin], 5, 120);
+        let coin_ds = slope(
+            &coin
+                .iter()
+                .find(|s| s.method == Method::ClassicDs)
+                .expect("series exists")
+                .values[20..],
+        );
+        assert!(coin_ds.abs() < 0.05, "Coin DS slope {coin_ds}");
+    }
+
+    #[test]
+    fn resampling_ablation_shapes() {
+        let pts = experiment_resampling_ablation(30, 120, 8);
+        let by = |label: &str| pts.iter().find(|p| p.policy == label).expect("present");
+        // Never-resampling collapses and is much worse.
+        assert!(by("never").mse.median > 2.0 * by("always").mse.median);
+        assert!(by("never").min_ess < by("always").min_ess);
+        // Adaptive resampling stays in the same accuracy class as always.
+        assert!(by("ess<0.5N").mse.median < 3.0 * by("always").mse.median);
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert!(s.q10 <= s.median && s.median <= s.q90);
+    }
+
+    #[test]
+    fn slope_detects_trends() {
+        assert!((slope(&[1.0, 1.0, 1.0]) - 0.0).abs() < 1e-12);
+        assert!((slope(&[0.0, 2.0, 4.0, 6.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,251 @@
+//! Conditional links between graph nodes.
+//!
+//! A [`CondLink`] is the conditional distribution `p(child | parent)`
+//! attached to an edge of the delayed-sampling graph, restricted to the
+//! conjugate pairs the sampler can reason about analytically (§5.2).
+
+use crate::error::RuntimeError;
+use crate::marginal::{Family, Marginal};
+use crate::value::Value;
+use probzelus_distributions::conjugacy::{
+    AffineGaussian, BetaBernoulliLink, BetaBinomialLink, GammaExponentialLink,
+    GammaPoissonLink,
+};
+use probzelus_distributions::MvAffineGaussian;
+
+/// A conjugate conditional distribution `p(child | parent)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondLink {
+    /// `child | parent ~ N(a·parent + b, var)` with Gaussian parent.
+    AffineGaussian(AffineGaussian),
+    /// `child | parent ~ Bernoulli(parent)` with Beta parent.
+    BetaBernoulli,
+    /// `child | parent ~ Binomial(n, parent)` with Beta parent.
+    BetaBinomial {
+        /// Number of trials.
+        n: u64,
+    },
+    /// `child | parent ~ Poisson(scale·parent)` with Gamma parent.
+    GammaPoisson {
+        /// Exposure multiplier.
+        scale: f64,
+    },
+    /// `child | parent ~ N(A·parent + b, Σ)` with multivariate-Gaussian
+    /// parent (the matrix Kalman conjugacy).
+    MvAffine(MvAffineGaussian),
+    /// `child | parent ~ Exponential(scale·parent)` with Gamma parent.
+    GammaExponential {
+        /// Rate multiplier.
+        scale: f64,
+    },
+}
+
+impl CondLink {
+    /// The family of the child this link produces.
+    pub fn child_family(&self) -> Family {
+        match self {
+            CondLink::AffineGaussian(_) => Family::Gaussian,
+            CondLink::BetaBernoulli => Family::Bernoulli,
+            CondLink::BetaBinomial { .. } => Family::Binomial,
+            CondLink::GammaPoisson { .. } => Family::Poisson,
+            CondLink::MvAffine(_) => Family::MvGaussian,
+            CondLink::GammaExponential { .. } => Family::Exponential,
+        }
+    }
+
+    /// The family the parent must have for this link to apply.
+    pub fn parent_family(&self) -> Family {
+        match self {
+            CondLink::AffineGaussian(_) => Family::Gaussian,
+            CondLink::BetaBernoulli | CondLink::BetaBinomial { .. } => Family::Beta,
+            CondLink::GammaPoisson { .. } => Family::Gamma,
+            CondLink::MvAffine(_) => Family::MvGaussian,
+            CondLink::GammaExponential { .. } => Family::Gamma,
+        }
+    }
+
+    /// Child's marginal given the parent's marginal
+    /// (`marginalize` of Murray et al.).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TypeMismatch`] if the parent marginal's family does
+    /// not match [`CondLink::parent_family`].
+    pub fn marginalize(&self, parent: &Marginal) -> Result<Marginal, RuntimeError> {
+        match (self, parent) {
+            (CondLink::AffineGaussian(l), Marginal::Gaussian(p)) => {
+                Ok(Marginal::Gaussian(l.marginalize(*p)))
+            }
+            (CondLink::BetaBernoulli, Marginal::Beta(p)) => {
+                Ok(Marginal::Bernoulli(BetaBernoulliLink.marginalize(*p)))
+            }
+            (CondLink::BetaBinomial { n }, Marginal::Beta(p)) => Ok(Marginal::BetaBinomial(
+                BetaBinomialLink { n: *n }.marginalize(*p),
+            )),
+            (CondLink::GammaPoisson { scale }, Marginal::Gamma(p)) => Ok(Marginal::NegBinomial(
+                GammaPoissonLink::new(*scale)?.marginalize(*p),
+            )),
+            (CondLink::MvAffine(l), Marginal::MvGaussian(p)) => {
+                Ok(Marginal::MvGaussian(l.marginalize(p)?))
+            }
+            (CondLink::GammaExponential { scale }, Marginal::Gamma(p)) => Ok(Marginal::Lomax(
+                GammaExponentialLink::new(*scale)?.marginalize(*p),
+            )),
+            (_, other) => Err(RuntimeError::TypeMismatch {
+                expected: "conjugate parent marginal",
+                got: format!("{other}"),
+            }),
+        }
+    }
+
+    /// Parent's posterior after the child realized to `child_value`
+    /// (`condition` of Murray et al.).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TypeMismatch`] on a family mismatch, or an
+    /// ill-typed child value.
+    pub fn condition(
+        &self,
+        parent: &Marginal,
+        child_value: &Value,
+    ) -> Result<Marginal, RuntimeError> {
+        match (self, parent) {
+            (CondLink::AffineGaussian(l), Marginal::Gaussian(p)) => Ok(Marginal::Gaussian(
+                l.condition(*p, child_value.as_float()?),
+            )),
+            (CondLink::BetaBernoulli, Marginal::Beta(p)) => Ok(Marginal::Beta(
+                BetaBernoulliLink.condition(*p, child_value.as_bool()?),
+            )),
+            (CondLink::BetaBinomial { n }, Marginal::Beta(p)) => {
+                let k = child_value.as_count()?;
+                if k > *n {
+                    return Err(RuntimeError::InvalidObservation(format!(
+                        "binomial count {k} exceeds {n} trials"
+                    )));
+                }
+                Ok(Marginal::Beta(BetaBinomialLink { n: *n }.condition(*p, k)))
+            }
+            (CondLink::GammaPoisson { scale }, Marginal::Gamma(p)) => Ok(Marginal::Gamma(
+                GammaPoissonLink::new(*scale)?.condition(*p, child_value.as_count()?),
+            )),
+            (CondLink::MvAffine(l), Marginal::MvGaussian(p)) => Ok(Marginal::MvGaussian(
+                l.condition(p, &child_value.as_vector()?)?,
+            )),
+            (CondLink::GammaExponential { scale }, Marginal::Gamma(p)) => Ok(Marginal::Gamma(
+                GammaExponentialLink::new(*scale)?.condition(*p, child_value.as_float()?)?,
+            )),
+            (_, other) => Err(RuntimeError::TypeMismatch {
+                expected: "conjugate parent marginal",
+                got: format!("{other}"),
+            }),
+        }
+    }
+
+    /// Child's concrete conditional once the parent realized to
+    /// `parent_value`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] if the realized parent value is not a valid
+    /// parameter for the child's distribution (e.g. a Beta sample outside
+    /// `[0, 1]` can not happen, but an explicitly forced float could).
+    pub fn instantiate(&self, parent_value: &Value) -> Result<Marginal, RuntimeError> {
+        match self {
+            CondLink::AffineGaussian(l) => Ok(Marginal::Gaussian(
+                l.instantiate(parent_value.as_float()?),
+            )),
+            CondLink::BetaBernoulli => Ok(Marginal::Bernoulli(
+                BetaBernoulliLink.instantiate(parent_value.as_float()?)?,
+            )),
+            CondLink::BetaBinomial { n } => Ok(Marginal::Binomial(
+                probzelus_distributions::Binomial::new(*n, parent_value.as_float()?)?,
+            )),
+            CondLink::GammaPoisson { scale } => Ok(Marginal::Poisson(
+                probzelus_distributions::Poisson::new(scale * parent_value.as_float()?)?,
+            )),
+            CondLink::MvAffine(l) => Ok(Marginal::MvGaussian(
+                l.instantiate(&parent_value.as_vector()?)?,
+            )),
+            CondLink::GammaExponential { scale } => Ok(Marginal::Exponential(
+                GammaExponentialLink::new(*scale)?.instantiate(parent_value.as_float()?)?,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probzelus_distributions::{Beta, Gaussian};
+
+    fn gaussian_link() -> CondLink {
+        CondLink::AffineGaussian(AffineGaussian::new(1.0, 0.0, 1.0).unwrap())
+    }
+
+    #[test]
+    fn families_are_consistent() {
+        assert_eq!(gaussian_link().child_family(), Family::Gaussian);
+        assert_eq!(gaussian_link().parent_family(), Family::Gaussian);
+        assert_eq!(CondLink::BetaBernoulli.parent_family(), Family::Beta);
+        assert_eq!(
+            CondLink::GammaPoisson { scale: 2.0 }.child_family(),
+            Family::Poisson
+        );
+    }
+
+    #[test]
+    fn marginalize_rejects_family_mismatch() {
+        let beta_parent = Marginal::Beta(Beta::new(1.0, 1.0).unwrap());
+        assert!(gaussian_link().marginalize(&beta_parent).is_err());
+        assert!(CondLink::BetaBernoulli.marginalize(&beta_parent).is_ok());
+    }
+
+    #[test]
+    fn condition_kalman_example() {
+        let prior = Marginal::Gaussian(Gaussian::new(0.0, 100.0).unwrap());
+        let post = gaussian_link()
+            .condition(&prior, &Value::Float(5.0))
+            .unwrap();
+        match post {
+            Marginal::Gaussian(g) => {
+                assert!((g.mean_param() - 500.0 / 101.0).abs() < 1e-10);
+            }
+            other => panic!("expected gaussian, got {other}"),
+        }
+    }
+
+    #[test]
+    fn condition_type_checks_child_value() {
+        let prior = Marginal::Beta(Beta::new(2.0, 2.0).unwrap());
+        assert!(CondLink::BetaBernoulli
+            .condition(&prior, &Value::Float(1.0))
+            .is_err());
+        let post = CondLink::BetaBernoulli
+            .condition(&prior, &Value::Bool(true))
+            .unwrap();
+        assert!(matches!(post, Marginal::Beta(_)));
+    }
+
+    #[test]
+    fn instantiate_validates_parameters() {
+        assert!(CondLink::BetaBernoulli
+            .instantiate(&Value::Float(1.5))
+            .is_err());
+        assert!(CondLink::BetaBernoulli
+            .instantiate(&Value::Float(0.5))
+            .is_ok());
+        let m = gaussian_link().instantiate(&Value::Float(3.0)).unwrap();
+        assert_eq!(m.mean_float(), Some(3.0));
+    }
+
+    #[test]
+    fn binomial_excess_count_is_invalid_observation() {
+        let prior = Marginal::Beta(Beta::new(1.0, 1.0).unwrap());
+        let link = CondLink::BetaBinomial { n: 3 };
+        assert!(matches!(
+            link.condition(&prior, &Value::Int(4)),
+            Err(RuntimeError::InvalidObservation(_))
+        ));
+    }
+}

@@ -1,0 +1,10 @@
+//! Delayed sampling: conjugate links and the per-particle graph.
+//!
+//! See [`graph::Graph`] for the algorithm and the pointer-minimal design of
+//! §5.3, and [`link::CondLink`] for the supported conjugacy relations.
+
+pub mod graph;
+pub mod link;
+
+pub use graph::{Graph, NodeState, Retention, StateKind};
+pub use link::CondLink;

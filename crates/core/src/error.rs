@@ -1,0 +1,78 @@
+//! Runtime errors shared by the value algebra, the delayed-sampling graph,
+//! and the inference engines.
+
+use probzelus_distributions::ParamError;
+
+/// Errors raised while evaluating probabilistic programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A value of one kind appeared where another was required.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// A rendering of what it got.
+        got: String,
+    },
+    /// A symbolic value appeared where a concrete one is required; the
+    /// caller should realize it (via `ProbCtx::force`) and retry.
+    NeedsValue(String),
+    /// A distribution was constructed with invalid parameters.
+    Param(String),
+    /// Division by zero.
+    DivisionByZero,
+    /// An observation fell outside the support of the distribution in a way
+    /// that is a programming error (e.g. a boolean observed on a Gaussian).
+    InvalidObservation(String),
+    /// An error raised by a host embedding (e.g. the muF interpreter
+    /// driving a model through the engine).
+    Host(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            RuntimeError::NeedsValue(what) => {
+                write!(f, "symbolic value must be realized first: {what}")
+            }
+            RuntimeError::Param(msg) => write!(f, "{msg}"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::InvalidObservation(msg) => {
+                write!(f, "invalid observation: {msg}")
+            }
+            RuntimeError::Host(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ParamError> for RuntimeError {
+    fn from(e: ParamError) -> Self {
+        RuntimeError::Param(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RuntimeError::TypeMismatch {
+            expected: "float",
+            got: "bool".into(),
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected float, got bool");
+        assert_eq!(RuntimeError::DivisionByZero.to_string(), "division by zero");
+    }
+
+    #[test]
+    fn param_error_converts() {
+        let pe = ParamError::new("bad");
+        let re: RuntimeError = pe.into();
+        assert!(matches!(re, RuntimeError::Param(_)));
+    }
+}

@@ -1,0 +1,618 @@
+//! Streaming inference engines.
+//!
+//! [`Infer`] is the runtime object behind the language's `infer n model`
+//! expression: it owns `n` particles, steps them all on each input, and
+//! returns the step's [`Posterior`]. Five methods are provided:
+//!
+//! | [`Method`]            | §     | semantics |
+//! |-----------------------|-------|-----------|
+//! | `Importance`          | 5.1   | weights accumulate forever, no resampling (collapses over time — kept as the paper's cautionary baseline) |
+//! | `ParticleFilter`      | 5.1   | eager sampling + systematic resampling each step |
+//! | `BoundedDs`           | 5.2   | fresh delayed-sampling graph per step; delayed variables forced at the end of each instant |
+//! | `StreamingDs`         | 5.3   | pointer-minimal graph kept across steps; analytic mixtures; mark-and-sweep GC from program roots |
+//! | `ClassicDs`           | 6.3   | like `StreamingDs` but nodes are never reclaimed — the original delayed sampling whose memory grows without bound |
+
+use crate::ds::graph::{Graph, Retention};
+use crate::error::RuntimeError;
+use crate::model::Model;
+use crate::posterior::{Posterior, ValueDist};
+use crate::prob::{DsCtx, ProbCtx, SampleCtx};
+use crate::symbolic::RvId;
+use probzelus_distributions::stats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Inference method selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Plain importance sampling (no resampling; weights accumulate).
+    Importance,
+    /// Particle filter with per-step systematic resampling.
+    ParticleFilter,
+    /// Bounded delayed sampling (BDS).
+    BoundedDs,
+    /// Streaming delayed sampling (SDS), pointer-minimal.
+    StreamingDs,
+    /// Original delayed sampling (DS) baseline: unbounded retention.
+    ClassicDs,
+}
+
+impl Method {
+    /// All methods, in the order the paper's figures list them.
+    pub const ALL: [Method; 5] = [
+        Method::ParticleFilter,
+        Method::BoundedDs,
+        Method::StreamingDs,
+        Method::ClassicDs,
+        Method::Importance,
+    ];
+
+    /// The abbreviation used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Importance => "IS",
+            Method::ParticleFilter => "PF",
+            Method::BoundedDs => "BDS",
+            Method::StreamingDs => "SDS",
+            Method::ClassicDs => "DS",
+        }
+    }
+
+    fn resamples(&self) -> bool {
+        !matches!(self, Method::Importance)
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// When to resample the particle cloud (§5.1: resampling can happen
+/// "periodically (e.g., at every step) or triggered by an observer (e.g.,
+/// when the scores are too low)").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResamplePolicy {
+    /// Systematic resampling after every step (the paper's default, and
+    /// this crate's default for every method except `Importance`).
+    EveryStep,
+    /// Resample only when the effective sample size drops below
+    /// `fraction · N` (adaptive resampling).
+    EssBelow(f64),
+    /// Never resample — plain importance sampling; weights accumulate and
+    /// eventually collapse (§5.1).
+    Never,
+}
+
+/// Aggregate memory statistics across particles (the analogue of the
+/// paper's live-heap-words measurements of Fig. 4 / Fig. 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Live graph nodes summed over particles.
+    pub live_nodes: usize,
+    /// Approximate live bytes summed over particles.
+    pub live_bytes: usize,
+    /// Total graph nodes ever created.
+    pub total_created: u64,
+}
+
+#[derive(Clone)]
+struct Particle<M> {
+    model: M,
+    graph: Option<Graph>,
+    log_w: f64,
+}
+
+/// A streaming inference engine over a probabilistic [`Model`].
+///
+/// # Examples
+///
+/// Exact streaming inference on the Kalman model with one particle:
+///
+/// ```
+/// # use probzelus_core::model::{Model, FnModel};
+/// # use probzelus_core::prob::ProbCtx;
+/// # use probzelus_core::value::{DistExpr, Value};
+/// # use probzelus_core::infer::{Infer, Method};
+/// # #[derive(Clone, Default)]
+/// # struct Kalman { prev_x: Option<Value> }
+/// # impl Model for Kalman {
+/// #     type Input = f64;
+/// #     fn step(&mut self, ctx: &mut dyn ProbCtx, y: &f64)
+/// #         -> Result<Value, probzelus_core::error::RuntimeError> {
+/// #         let d = match &self.prev_x {
+/// #             None => DistExpr::gaussian(0.0, 100.0),
+/// #             Some(x) => DistExpr::gaussian(x.clone(), 1.0),
+/// #         };
+/// #         let x = ctx.sample(&d)?;
+/// #         ctx.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(*y))?;
+/// #         self.prev_x = Some(x.clone());
+/// #         Ok(x)
+/// #     }
+/// #     fn reset(&mut self) { self.prev_x = None; }
+/// #     fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+/// #         if let Some(x) = &mut self.prev_x { f(x); }
+/// #     }
+/// # }
+/// let mut infer = Infer::with_seed(Method::StreamingDs, 1, Kalman::default(), 42);
+/// let posterior = infer.step(&2.5).unwrap();
+/// assert!((posterior.mean_float() - 2.5 * 100.0 / 101.0).abs() < 1e-9);
+/// ```
+#[derive(Clone)]
+pub struct Infer<M: Model> {
+    method: Method,
+    num_particles: usize,
+    particles: Vec<Particle<M>>,
+    template: M,
+    rng: SmallRng,
+    steps: u64,
+    last_ess: f64,
+    resample: ResamplePolicy,
+}
+
+impl<M: Model> Infer<M> {
+    /// Creates an engine with `num_particles` particles initialized from
+    /// `model`, seeded from the OS entropy source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_particles` is zero.
+    pub fn new(method: Method, num_particles: usize, model: M) -> Self {
+        Self::with_seed(method, num_particles, model, rand::random())
+    }
+
+    /// Like [`Infer::new`] with a deterministic RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_particles` is zero.
+    pub fn with_seed(method: Method, num_particles: usize, model: M, seed: u64) -> Self {
+        assert!(num_particles > 0, "inference needs at least one particle");
+        let mut engine = Infer {
+            method,
+            num_particles,
+            particles: Vec::new(),
+            template: model,
+            rng: SmallRng::seed_from_u64(seed),
+            steps: 0,
+            last_ess: num_particles as f64,
+            resample: if method.resamples() {
+                ResamplePolicy::EveryStep
+            } else {
+                ResamplePolicy::Never
+            },
+        };
+        engine.reset();
+        engine
+    }
+
+    /// The inference method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Number of particles.
+    pub fn num_particles(&self) -> usize {
+        self.num_particles
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Effective sample size of the weights at the last step (before
+    /// resampling).
+    pub fn last_ess(&self) -> f64 {
+        self.last_ess
+    }
+
+    /// The active resampling policy.
+    pub fn resample_policy(&self) -> ResamplePolicy {
+        self.resample
+    }
+
+    /// Overrides the resampling policy (builder style). The `Importance`
+    /// method ignores this and never resamples.
+    pub fn with_resample_policy(mut self, policy: ResamplePolicy) -> Self {
+        if self.method.resamples() {
+            self.resample = policy;
+        }
+        self
+    }
+
+    /// Discards all inference state and restarts from the initial model.
+    pub fn reset(&mut self) {
+        let graph = |method: Method| match method {
+            Method::StreamingDs => Some(Graph::new(Retention::PointerMinimal)),
+            Method::ClassicDs => Some(Graph::new(Retention::RetainAll)),
+            _ => None,
+        };
+        let mut template = self.template.clone();
+        template.reset();
+        self.particles = (0..self.num_particles)
+            .map(|_| Particle {
+                model: template.clone(),
+                graph: graph(self.method),
+                log_w: 0.0,
+            })
+            .collect();
+        self.steps = 0;
+        self.last_ess = self.num_particles as f64;
+    }
+
+    /// Aggregate graph memory statistics across particles.
+    pub fn memory(&self) -> MemoryStats {
+        let mut stats = MemoryStats::default();
+        for p in &self.particles {
+            if let Some(g) = &p.graph {
+                stats.live_nodes += g.live_nodes();
+                stats.live_bytes += g.live_bytes();
+                stats.total_created += g.total_created();
+            }
+        }
+        stats
+    }
+
+    /// Executes one synchronous step on every particle and returns the
+    /// posterior over the model's output at this step.
+    ///
+    /// # Errors
+    ///
+    /// The first particle error aborts the step. The engine is left in a
+    /// consistent state but the step must be considered failed.
+    pub fn step(&mut self, input: &M::Input) -> Result<Posterior, RuntimeError> {
+        let mut outs: Vec<ValueDist> = Vec::with_capacity(self.num_particles);
+        let Infer {
+            method,
+            particles,
+            rng,
+            ..
+        } = self;
+        let method = *method;
+        for p in particles.iter_mut() {
+            let out = match method {
+                Method::Importance | Method::ParticleFilter => {
+                    let mut ctx = SampleCtx::new(rng);
+                    let out = p.model.step(&mut ctx, input)?;
+                    p.log_w += ctx.log_weight();
+                    ValueDist::Dirac(out)
+                }
+                Method::BoundedDs => {
+                    // Fresh graph each instant (§5.2): symbolic reasoning is
+                    // confined to the step, and every delayed variable is
+                    // realized before the instant ends.
+                    let mut graph = Graph::new(Retention::PointerMinimal);
+                    let out;
+                    {
+                        let mut ctx = DsCtx::new(&mut graph, rng);
+                        let sym = p.model.step(&mut ctx, input)?;
+                        out = ctx.force(&sym)?;
+                        p.log_w += ctx.log_weight();
+                    }
+                    force_state(&mut p.model, &mut graph, rng)?;
+                    ValueDist::Dirac(out)
+                }
+                Method::StreamingDs | Method::ClassicDs => {
+                    let graph = p.graph.as_mut().expect("graph-backed method");
+                    let out;
+                    {
+                        let mut ctx = DsCtx::new(graph, rng);
+                        let sym = p.model.step(&mut ctx, input)?;
+                        p.log_w += ctx.log_weight();
+                        out = ctx.dist_of(&sym)?;
+                    }
+                    // Compact the model's symbolic state: realized
+                    // variables become constants, so affine expressions do
+                    // not accumulate stale references (and do not pin
+                    // realized nodes as GC roots).
+                    let mut roots: Vec<RvId> = Vec::new();
+                    p.model.for_each_state_value(&mut |v| {
+                        let s = graph.simplify_value(v);
+                        *v = s;
+                        v.for_each_rv(&mut |x| roots.push(x));
+                    });
+                    graph.collect(roots);
+                    out
+                }
+            };
+            outs.push(out);
+        }
+
+        let log_ws: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
+        let weights = stats::normalize_log_weights(&log_ws);
+        self.last_ess = stats::effective_sample_size(&weights);
+        let posterior = Posterior::new(
+            weights
+                .iter()
+                .copied()
+                .zip(outs)
+                .map(|(w, d)| (w, d))
+                .collect(),
+        );
+
+        let should_resample = match self.resample {
+            ResamplePolicy::EveryStep => self.method.resamples(),
+            ResamplePolicy::EssBelow(fraction) => {
+                self.method.resamples() && self.last_ess < fraction * self.num_particles as f64
+            }
+            ResamplePolicy::Never => false,
+        };
+        if should_resample {
+            let ancestors = stats::systematic_resample(&mut self.rng, &weights, self.num_particles);
+            let mut next = Vec::with_capacity(self.num_particles);
+            for &a in &ancestors {
+                let mut p = self.particles[a].clone();
+                p.log_w = 0.0;
+                next.push(p);
+            }
+            self.particles = next;
+        }
+
+        self.steps += 1;
+        Ok(posterior)
+    }
+
+    /// Runs the engine over a whole input sequence, collecting the
+    /// posterior at every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    pub fn run(&mut self, inputs: &[M::Input]) -> Result<Vec<Posterior>, RuntimeError> {
+        inputs.iter().map(|i| self.step(i)).collect()
+    }
+}
+
+fn force_state<M: Model>(
+    model: &mut M,
+    graph: &mut Graph,
+    rng: &mut SmallRng,
+) -> Result<(), RuntimeError> {
+    let mut err = None;
+    model.for_each_state_value(&mut |v| {
+        if err.is_none() {
+            match graph.force_value(v, rng) {
+                Ok(nv) => *v = nv,
+                Err(e) => err = Some(e),
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::value::{DistExpr, Value};
+
+    /// The paper's Kalman benchmark (Appendix B.1).
+    #[derive(Clone, Default)]
+    struct Kalman {
+        prev_x: Option<Value>,
+    }
+
+    impl Model for Kalman {
+        type Input = f64;
+
+        fn step(
+            &mut self,
+            ctx: &mut dyn ProbCtx,
+            y: &f64,
+        ) -> Result<Value, RuntimeError> {
+            let d = match &self.prev_x {
+                None => DistExpr::gaussian(0.0, 100.0),
+                Some(x) => DistExpr::gaussian(x.clone(), 1.0),
+            };
+            let x = ctx.sample(&d)?;
+            ctx.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(*y))?;
+            self.prev_x = Some(x.clone());
+            Ok(x)
+        }
+
+        fn reset(&mut self) {
+            self.prev_x = None;
+        }
+
+        fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+            if let Some(x) = &mut self.prev_x {
+                f(x);
+            }
+        }
+    }
+
+    /// The paper's Coin benchmark (Appendix B.2).
+    #[derive(Clone, Default)]
+    struct Coin {
+        p: Option<Value>,
+    }
+
+    impl Model for Coin {
+        type Input = bool;
+
+        fn step(
+            &mut self,
+            ctx: &mut dyn ProbCtx,
+            obs: &bool,
+        ) -> Result<Value, RuntimeError> {
+            if self.p.is_none() {
+                self.p = Some(ctx.sample(&DistExpr::beta(1.0, 1.0))?);
+            }
+            let p = self.p.clone().expect("initialized above");
+            ctx.observe(&DistExpr::bernoulli(p.clone()), &Value::Bool(*obs))?;
+            Ok(p)
+        }
+
+        fn reset(&mut self) {
+            self.p = None;
+        }
+
+        fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+            if let Some(p) = &mut self.p {
+                f(p);
+            }
+        }
+    }
+
+    fn kalman_closed_form(obs: &[f64]) -> (f64, f64) {
+        let (mut m, mut v) = (0.0f64, 100.0f64);
+        for (t, &y) in obs.iter().enumerate() {
+            if t > 0 {
+                v += 1.0;
+            }
+            let gain = v / (v + 1.0);
+            m += gain * (y - m);
+            v *= 1.0 - gain;
+        }
+        (m, v)
+    }
+
+    #[test]
+    fn sds_single_particle_is_exact_kalman() {
+        let obs = [1.0, 2.0, 1.5, 0.5, -0.3, 0.9];
+        let mut engine = Infer::with_seed(Method::StreamingDs, 1, Kalman::default(), 1);
+        let posts = engine.run(&obs).unwrap();
+        let (m, v) = kalman_closed_form(&obs);
+        let last = posts.last().unwrap();
+        assert!((last.mean_float() - m).abs() < 1e-9, "{} vs {m}", last.mean_float());
+        assert!((last.variance_float() - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_ds_matches_sds_but_grows() {
+        let obs: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let mut sds = Infer::with_seed(Method::StreamingDs, 1, Kalman::default(), 1);
+        let mut ds = Infer::with_seed(Method::ClassicDs, 1, Kalman::default(), 1);
+        let p_sds = sds.run(&obs).unwrap();
+        let p_ds = ds.run(&obs).unwrap();
+        for (a, b) in p_sds.iter().zip(&p_ds) {
+            assert!((a.mean_float() - b.mean_float()).abs() < 1e-9);
+        }
+        assert!(sds.memory().live_nodes <= 3);
+        assert!(ds.memory().live_nodes >= 40, "ds: {:?}", ds.memory());
+    }
+
+    #[test]
+    fn sds_coin_is_exact_beta_posterior() {
+        let flips = [true, true, false, true, true, false, true];
+        let mut engine = Infer::with_seed(Method::StreamingDs, 1, Coin::default(), 9);
+        let posts = engine.run(&flips).unwrap();
+        let heads = flips.iter().filter(|&&b| b).count() as f64;
+        let tails = flips.len() as f64 - heads;
+        let (a, b) = (1.0 + heads, 1.0 + tails);
+        let expected_mean = a / (a + b);
+        let last = posts.last().unwrap();
+        assert!(
+            (last.mean_float() - expected_mean).abs() < 1e-9,
+            "{} vs {expected_mean}",
+            last.mean_float()
+        );
+    }
+
+    #[test]
+    fn particle_filter_approaches_exact_solution() {
+        let obs = [1.0, 1.2, 0.8, 1.1, 0.9, 1.0, 1.05, 0.95];
+        let (exact, _) = kalman_closed_form(&obs);
+        let mut engine = Infer::with_seed(Method::ParticleFilter, 2000, Kalman::default(), 3);
+        let posts = engine.run(&obs).unwrap();
+        let got = posts.last().unwrap().mean_float();
+        assert!((got - exact).abs() < 0.15, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn bds_matches_exact_on_first_step_conjugacy() {
+        // On the Kalman model, BDS conditions x on y within the step, so
+        // even a single-step estimate with few particles is much better
+        // than a PF prior draw; with many particles it converges.
+        let mut engine = Infer::with_seed(Method::BoundedDs, 500, Kalman::default(), 5);
+        let post = engine.step(&5.0).unwrap();
+        let expected = 5.0 * 100.0 / 101.0;
+        assert!((post.mean_float() - expected).abs() < 0.3, "{}", post.mean_float());
+        // The state was realized at the end of the instant.
+        assert_eq!(engine.memory().live_nodes, 0);
+    }
+
+    #[test]
+    fn importance_sampler_accumulates_weights() {
+        let obs = [1.0, 1.0, 1.0];
+        let mut engine = Infer::with_seed(Method::Importance, 200, Kalman::default(), 4);
+        let _ = engine.run(&obs).unwrap();
+        // ESS decays without resampling.
+        assert!(engine.last_ess() < 200.0);
+    }
+
+    #[test]
+    fn sds_memory_is_bounded_over_time() {
+        let obs: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let mut engine = Infer::with_seed(Method::StreamingDs, 10, Kalman::default(), 6);
+        let mut peak = 0;
+        for y in &obs {
+            engine.step(y).unwrap();
+            peak = peak.max(engine.memory().live_nodes);
+        }
+        assert!(peak <= 3 * 10, "peak {peak}");
+    }
+
+    #[test]
+    fn reset_restarts_inference() {
+        let mut engine = Infer::with_seed(Method::StreamingDs, 2, Kalman::default(), 8);
+        engine.step(&1.0).unwrap();
+        assert_eq!(engine.steps(), 1);
+        engine.reset();
+        assert_eq!(engine.steps(), 0);
+        assert_eq!(engine.memory().live_nodes, 0);
+        let p = engine.step(&2.5).unwrap();
+        assert!((p.mean_float() - 2.5 * 100.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ess_threshold_policy_resamples_lazily() {
+        use crate::infer::ResamplePolicy;
+        let obs: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut adaptive = Infer::with_seed(Method::ParticleFilter, 100, Kalman::default(), 2)
+            .with_resample_policy(ResamplePolicy::EssBelow(0.5));
+        let mut worst = f64::INFINITY;
+        for y in &obs {
+            adaptive.step(y).unwrap();
+            worst = worst.min(adaptive.last_ess());
+        }
+        // The cloud is allowed to degrade between resampling events, but
+        // the threshold keeps it alive.
+        assert!(worst < 100.0, "ESS never moved: {worst}");
+        // Accuracy stays comparable to always-resampling.
+        let mut always = Infer::with_seed(Method::ParticleFilter, 100, Kalman::default(), 2);
+        let mut adaptive2 = Infer::with_seed(Method::ParticleFilter, 100, Kalman::default(), 2)
+            .with_resample_policy(ResamplePolicy::EssBelow(0.5));
+        let (mut mse_a, mut mse_b) = (0.0, 0.0);
+        for y in &obs {
+            let a = always.step(y).unwrap().mean_float();
+            let b = adaptive2.step(y).unwrap().mean_float();
+            mse_a += (a - y).powi(2);
+            mse_b += (b - y).powi(2);
+        }
+        assert!(mse_b < 3.0 * mse_a + 1.0, "adaptive {mse_b} vs always {mse_a}");
+    }
+
+    #[test]
+    fn never_policy_behaves_like_importance_sampling() {
+        use crate::infer::ResamplePolicy;
+        let obs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let mut never = Infer::with_seed(Method::ParticleFilter, 50, Kalman::default(), 3)
+            .with_resample_policy(ResamplePolicy::Never);
+        for y in &obs {
+            never.step(y).unwrap();
+        }
+        assert!(never.last_ess() < 5.0, "ESS {}", never.last_ess());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one particle")]
+    fn zero_particles_rejected() {
+        let _ = Infer::with_seed(Method::ParticleFilter, 0, Kalman::default(), 0);
+    }
+}

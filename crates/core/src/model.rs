@@ -1,0 +1,168 @@
+//! The probabilistic model interface.
+
+use crate::error::RuntimeError;
+use crate::prob::ProbCtx;
+use crate::value::Value;
+
+/// A probabilistic stream model: the co-iterative transition function of a
+/// probabilistic node (§3.3). The struct's fields are the node's state
+/// (what the compilation of §4 externalizes), and [`Model::step`] is the
+/// transition function, with probabilistic effects routed through the
+/// [`ProbCtx`].
+///
+/// `Clone` is required because particle filters duplicate particle states
+/// when resampling (§5.1).
+///
+/// # State visibility
+///
+/// Under delayed sampling the state may hold *symbolic* values referencing
+/// graph nodes. [`Model::for_each_state_value`] must report every such
+/// [`Value`] stored in the state: the streaming engine uses it to trace GC
+/// roots (missing values get their graph nodes collected — a correctness
+/// bug), and the bounded engine uses it to realize the state at the end of
+/// each instant. State that can never hold symbolic values (counters,
+/// flags) need not be reported.
+///
+/// # Examples
+///
+/// The paper's Kalman benchmark (Appendix B.1) as a model:
+///
+/// ```
+/// use probzelus_core::model::Model;
+/// use probzelus_core::prob::ProbCtx;
+/// use probzelus_core::value::{DistExpr, Value};
+/// use probzelus_core::error::RuntimeError;
+///
+/// #[derive(Clone, Default)]
+/// struct Kalman {
+///     prev_x: Option<Value>,
+/// }
+///
+/// impl Model for Kalman {
+///     type Input = f64;
+///
+///     fn step(
+///         &mut self,
+///         ctx: &mut dyn ProbCtx,
+///         y: &f64,
+///     ) -> Result<Value, RuntimeError> {
+///         let mean = match &self.prev_x {
+///             None => DistExpr::gaussian(0.0, 100.0),
+///             Some(x) => DistExpr::gaussian(x.clone(), 1.0),
+///         };
+///         let x = ctx.sample(&mean)?;
+///         ctx.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(*y))?;
+///         self.prev_x = Some(x.clone());
+///         Ok(x)
+///     }
+///
+///     fn reset(&mut self) {
+///         self.prev_x = None;
+///     }
+///
+///     fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+///         if let Some(x) = &mut self.prev_x {
+///             f(x);
+///         }
+///     }
+/// }
+/// ```
+pub trait Model: Clone {
+    /// Per-step input (observations, commands, …).
+    type Input;
+
+    /// Executes one synchronous step, returning the step's output value
+    /// (possibly symbolic under delayed sampling).
+    ///
+    /// # Errors
+    ///
+    /// Runtime typing or parameter errors abort inference.
+    fn step(
+        &mut self,
+        ctx: &mut dyn ProbCtx,
+        input: &Self::Input,
+    ) -> Result<Value, RuntimeError>;
+
+    /// Restores the initial state.
+    fn reset(&mut self);
+
+    /// Visits every [`Value`] stored in the model state (see the trait
+    /// docs; required for correct delayed-sampling inference).
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value));
+}
+
+/// A stateless model built from a function — convenient for models whose
+/// only state is the graph (e.g. learning a constant parameter sampled with
+/// `init`, held outside) or for tests.
+pub struct FnModel<I, F>
+where
+    F: FnMut(&mut dyn ProbCtx, &I) -> Result<Value, RuntimeError> + Clone,
+{
+    f: F,
+    _marker: std::marker::PhantomData<fn(&I)>,
+}
+
+impl<I, F> Clone for FnModel<I, F>
+where
+    F: FnMut(&mut dyn ProbCtx, &I) -> Result<Value, RuntimeError> + Clone,
+{
+    fn clone(&self) -> Self {
+        FnModel {
+            f: self.f.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, F> FnModel<I, F>
+where
+    F: FnMut(&mut dyn ProbCtx, &I) -> Result<Value, RuntimeError> + Clone,
+{
+    /// Wraps a step function as a stateless model.
+    pub fn new(f: F) -> Self {
+        FnModel {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, F> Model for FnModel<I, F>
+where
+    F: FnMut(&mut dyn ProbCtx, &I) -> Result<Value, RuntimeError> + Clone,
+{
+    type Input = I;
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, input: &I) -> Result<Value, RuntimeError> {
+        (self.f)(ctx, input)
+    }
+
+    fn reset(&mut self) {}
+
+    fn for_each_state_value(&mut self, _f: &mut dyn FnMut(&mut Value)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::SampleCtx;
+    use crate::value::DistExpr;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fn_model_steps() {
+        let mut m = FnModel::new(|ctx: &mut dyn ProbCtx, input: &f64| {
+            let x = ctx.sample(&DistExpr::gaussian(*input, 1.0))?;
+            Ok(x)
+        });
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = SampleCtx::new(&mut rng);
+        let out = m.step(&mut ctx, &100.0).unwrap();
+        let x = out.as_float().unwrap();
+        assert!((x - 100.0).abs() < 10.0);
+        // Clone and reset are harmless.
+        let mut m2 = m.clone();
+        m2.reset();
+    }
+}

@@ -1,0 +1,183 @@
+//! Deterministic co-iterative stream combinators.
+//!
+//! The deterministic half of the language (§3.3, Fig. 8): a stream function
+//! is an initial state plus a transition function. These small combinators
+//! are the Rust rendering of the classic synchronous operators — `pre`
+//! (unit delay), `->` (initialization), and the backward-Euler integrator
+//! from the paper's introduction — and are what deterministic controller
+//! code (e.g. the robot of Fig. 5) is built from.
+
+/// A deterministic synchronous stream function: `CoNode(T, T', S)` of the
+/// paper, with the state hidden inside the implementor.
+pub trait StreamNode {
+    /// Per-step input.
+    type Input;
+    /// Per-step output.
+    type Output;
+
+    /// Executes one synchronous step.
+    fn step(&mut self, input: Self::Input) -> Self::Output;
+
+    /// Restores the initial state.
+    fn reset(&mut self);
+}
+
+/// The initialized unit delay `v fby x` (equivalently `v -> pre x`): emits
+/// `init` on the first step, then the previous input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fby<T> {
+    init: T,
+    prev: Option<T>,
+}
+
+impl<T: Clone> Fby<T> {
+    /// Creates the delay with the given first-instant value.
+    pub fn new(init: T) -> Self {
+        Fby { init, prev: None }
+    }
+}
+
+impl<T: Clone> StreamNode for Fby<T> {
+    type Input = T;
+    type Output = T;
+
+    fn step(&mut self, input: T) -> T {
+        let out = self.prev.take().unwrap_or_else(|| self.init.clone());
+        self.prev = Some(input);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// The initialization operator `e1 -> e2`: first input on the first step,
+/// second input afterwards. Inputs are supplied as a pair per step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstThen<T> {
+    first: bool,
+    _marker: std::marker::PhantomData<fn(T) -> T>,
+}
+
+impl<T> FirstThen<T> {
+    /// Creates the operator at its first instant.
+    pub fn new() -> Self {
+        FirstThen {
+            first: true,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T> Default for FirstThen<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> StreamNode for FirstThen<T> {
+    type Input = (T, T);
+    type Output = T;
+
+    fn step(&mut self, (a, b): (T, T)) -> T {
+        if self.first {
+            self.first = false;
+            a
+        } else {
+            b
+        }
+    }
+
+    fn reset(&mut self) {
+        self.first = true;
+    }
+}
+
+/// Backward-Euler integrator from §1:
+/// `x₀ = xo`, `xₙ = xₙ₋₁ + x'ₙ · h`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Integrator {
+    x0: f64,
+    h: f64,
+    state: Option<f64>,
+}
+
+impl Integrator {
+    /// Creates an integrator with initial value `x0` and step size `h`.
+    pub fn new(x0: f64, h: f64) -> Self {
+        Integrator {
+            x0,
+            h,
+            state: None,
+        }
+    }
+}
+
+impl StreamNode for Integrator {
+    type Input = f64;
+    type Output = f64;
+
+    fn step(&mut self, dx: f64) -> f64 {
+        let x = match self.state {
+            None => self.x0,
+            Some(prev) => prev + dx * self.h,
+        };
+        self.state = Some(x);
+        x
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fby_delays_by_one() {
+        let mut d = Fby::new(0);
+        assert_eq!(d.step(10), 0);
+        assert_eq!(d.step(20), 10);
+        assert_eq!(d.step(30), 20);
+        d.reset();
+        assert_eq!(d.step(40), 0);
+    }
+
+    #[test]
+    fn first_then_switches_once() {
+        let mut ft = FirstThen::new();
+        assert_eq!(ft.step((1, 2)), 1);
+        assert_eq!(ft.step((1, 2)), 2);
+        assert_eq!(ft.step((9, 7)), 7);
+        ft.reset();
+        assert_eq!(StreamNode::step(&mut ft, (5, 6)), 5);
+    }
+
+    #[test]
+    fn integrator_matches_backward_euler() {
+        // x0 = 1, h = 0.5, derivative constantly 2: x = 1, 2, 3, ...
+        let mut i = Integrator::new(1.0, 0.5);
+        assert_eq!(i.step(2.0), 1.0); // first instant: x0
+        assert_eq!(i.step(2.0), 2.0);
+        assert_eq!(i.step(2.0), 3.0);
+        i.reset();
+        assert_eq!(i.step(2.0), 1.0);
+    }
+
+    #[test]
+    fn double_integration_gives_position_from_acceleration() {
+        // The robot's `tracker` (Fig. 5): v = ∫a, p = ∫v.
+        let mut v = Integrator::new(0.0, 1.0);
+        let mut p = Integrator::new(0.0, 1.0);
+        let mut pos = 0.0;
+        for _ in 0..5 {
+            let vel = v.step(1.0);
+            pos = p.step(vel);
+        }
+        // After 5 steps with unit acceleration: v = 0,1,2,3,4 → p = 0,1,3,6,10.
+        assert_eq!(pos, 10.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Symbolic affine expressions over random variables.
+//!
+//! Delayed sampling (§5.2 of the paper) manipulates *symbolic terms* in
+//! which random variables are references into the delayed-sampling graph.
+//! For the conjugacy relations this implementation supports, the useful
+//! closed class of float-valued symbolic terms is **affine expressions**
+//! `b + Σ aᵢ·Xᵢ`: affine images of Gaussians stay Gaussian, which is what
+//! lets the robot tracker of Fig. 5 integrate a random acceleration twice
+//! and still condition exactly on GPS fixes.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a random variable in a per-particle delayed-sampling
+/// graph. Indices are slab slots; they are only meaningful together with
+/// the graph that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RvId(pub(crate) usize);
+
+impl RvId {
+    /// The raw slab index (for diagnostics and tests).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RvId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A float-valued affine expression `konst + Σ coeff·rv` over graph random
+/// variables.
+///
+/// The representation is canonical: terms are keyed by variable, zero
+/// coefficients are dropped. Two equal expressions therefore compare equal
+/// with `==`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AffExpr {
+    terms: BTreeMap<RvId, f64>,
+    konst: f64,
+}
+
+impl AffExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: f64) -> Self {
+        AffExpr {
+            terms: BTreeMap::new(),
+            konst: c,
+        }
+    }
+
+    /// The bare variable `x`.
+    pub fn var(x: RvId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(x, 1.0);
+        AffExpr { terms, konst: 0.0 }
+    }
+
+    /// The constant offset.
+    pub fn konst(&self) -> f64 {
+        self.konst
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs (coefficients are
+    /// nonzero).
+    pub fn terms(&self) -> impl Iterator<Item = (RvId, f64)> + '_ {
+        self.terms.iter().map(|(&x, &a)| (x, a))
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression mentions no random variable.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the expression is a constant, its value.
+    pub fn as_constant(&self) -> Option<f64> {
+        self.is_constant().then_some(self.konst)
+    }
+
+    /// If the expression has the form `a·x + b` with exactly one variable,
+    /// returns `(x, a, b)`.
+    pub fn as_single(&self) -> Option<(RvId, f64, f64)> {
+        if self.terms.len() == 1 {
+            let (&x, &a) = self.terms.iter().next().expect("len checked");
+            Some((x, a, self.konst))
+        } else {
+            None
+        }
+    }
+
+    /// If the expression is exactly one variable (`1·x + 0`), returns it.
+    pub fn as_var(&self) -> Option<RvId> {
+        match self.as_single() {
+            Some((x, a, b)) if a == 1.0 && b == 0.0 => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Adds two affine expressions.
+    pub fn add(&self, other: &AffExpr) -> AffExpr {
+        let mut out = self.clone();
+        out.konst += other.konst;
+        for (x, a) in other.terms() {
+            let entry = out.terms.entry(x).or_insert(0.0);
+            *entry += a;
+            if *entry == 0.0 {
+                out.terms.remove(&x);
+            }
+        }
+        out
+    }
+
+    /// Subtracts `other` from `self`.
+    pub fn sub(&self, other: &AffExpr) -> AffExpr {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, k: f64) -> AffExpr {
+        if k == 0.0 {
+            return AffExpr::constant(0.0);
+        }
+        AffExpr {
+            terms: self.terms.iter().map(|(&x, &a)| (x, a * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// Adds a scalar offset.
+    pub fn offset(&self, c: f64) -> AffExpr {
+        let mut out = self.clone();
+        out.konst += c;
+        out
+    }
+
+    /// Substitutes concrete values for variables, using `lookup` to resolve
+    /// a variable to a value when available. Variables that `lookup` does
+    /// not resolve remain symbolic.
+    pub fn substitute(&self, mut lookup: impl FnMut(RvId) -> Option<f64>) -> AffExpr {
+        let mut out = AffExpr::constant(self.konst);
+        for (x, a) in self.terms() {
+            match lookup(x) {
+                Some(v) => out.konst += a * v,
+                None => {
+                    out.terms.insert(x, a);
+                }
+            }
+        }
+        out
+    }
+
+    /// All variables mentioned, in ascending id order.
+    pub fn vars(&self) -> Vec<RvId> {
+        self.terms.keys().copied().collect()
+    }
+}
+
+impl std::fmt::Display for AffExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (x, a) in self.terms() {
+            if first {
+                if a == 1.0 {
+                    write!(f, "{x}")?;
+                } else {
+                    write!(f, "{a}·{x}")?;
+                }
+                first = false;
+            } else if a == 1.0 {
+                write!(f, " + {x}")?;
+            } else {
+                write!(f, " + {a}·{x}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.konst)
+        } else if self.konst != 0.0 {
+            write!(f, " + {}", self.konst)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> RvId {
+        RvId(0)
+    }
+    fn y() -> RvId {
+        RvId(1)
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        assert_eq!(AffExpr::constant(3.0).as_constant(), Some(3.0));
+        assert_eq!(AffExpr::var(x()).as_var(), Some(x()));
+        assert!(AffExpr::var(x()).as_constant().is_none());
+    }
+
+    #[test]
+    fn add_merges_terms() {
+        let e = AffExpr::var(x()).add(&AffExpr::var(x())).offset(1.0);
+        assert_eq!(e.as_single(), Some((x(), 2.0, 1.0)));
+    }
+
+    #[test]
+    fn cancellation_drops_terms() {
+        let e = AffExpr::var(x()).sub(&AffExpr::var(x()));
+        assert!(e.is_constant());
+        assert_eq!(e.as_constant(), Some(0.0));
+    }
+
+    #[test]
+    fn scale_by_zero_is_constant_zero() {
+        let e = AffExpr::var(x()).offset(5.0).scale(0.0);
+        assert_eq!(e.as_constant(), Some(0.0));
+    }
+
+    #[test]
+    fn two_variable_expression_is_not_single() {
+        let e = AffExpr::var(x()).add(&AffExpr::var(y()));
+        assert!(e.as_single().is_none());
+        assert_eq!(e.num_vars(), 2);
+        assert_eq!(e.vars(), vec![x(), y()]);
+    }
+
+    #[test]
+    fn substitute_resolves_and_keeps() {
+        let e = AffExpr::var(x()).scale(2.0).add(&AffExpr::var(y())).offset(1.0);
+        let s = e.substitute(|v| (v == x()).then_some(3.0));
+        assert_eq!(s.as_single(), Some((y(), 1.0, 7.0)));
+        let s2 = s.substitute(|v| (v == y()).then_some(-7.0));
+        assert_eq!(s2.as_constant(), Some(0.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = AffExpr::var(x()).scale(2.0).offset(1.0);
+        assert_eq!(e.to_string(), "2·X0 + 1");
+        assert_eq!(AffExpr::constant(4.0).to_string(), "4");
+        assert_eq!(AffExpr::var(y()).to_string(), "X1");
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = AffExpr::var(x()).add(&AffExpr::var(y()));
+        let b = AffExpr::var(y()).add(&AffExpr::var(x()));
+        assert_eq!(a, b);
+    }
+}

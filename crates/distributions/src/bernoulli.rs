@@ -1,0 +1,103 @@
+//! Bernoulli distribution.
+
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Bernoulli distribution over `bool` with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates `Bernoulli(p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(ParamError::new(format!(
+                "bernoulli probability must be in [0, 1], got {p}"
+            )));
+        }
+        Ok(Bernoulli { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Distribution for Bernoulli {
+    type Item = bool;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_range(0.0f64..1.0) < self.p
+    }
+
+    fn log_pdf(&self, x: &bool) -> f64 {
+        if *x {
+            self.p.ln()
+        } else {
+            (1.0 - self.p).ln()
+        }
+    }
+}
+
+impl Moments for Bernoulli {
+    fn mean(&self) -> f64 {
+        self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+}
+
+impl std::fmt::Display for Bernoulli {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bernoulli({})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+        assert!(Bernoulli::new(0.0).is_ok());
+        assert!(Bernoulli::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn log_pdf_values() {
+        let d = Bernoulli::new(0.25).unwrap();
+        assert!((d.log_pdf(&true) - 0.25f64.ln()).abs() < 1e-12);
+        assert!((d.log_pdf(&false) - 0.75f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let always = Bernoulli::new(1.0).unwrap();
+        assert_eq!(always.log_pdf(&false), f64::NEG_INFINITY);
+        assert_eq!(always.log_pdf(&true), 0.0);
+    }
+
+    #[test]
+    fn sample_frequency_matches() {
+        let d = Bernoulli::new(0.3).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let k = (0..n).filter(|_| d.sample(&mut rng)).count();
+        let f = k as f64 / n as f64;
+        assert!((f - 0.3).abs() < 0.01, "frequency {f}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Binomial and Beta-Binomial distributions.
+
+use crate::special::{ln_beta, ln_choose};
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Binomial distribution: number of successes in `n` independent
+/// `Bernoulli(p)` trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates `Binomial(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `0 <= p <= 1`.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(ParamError::new(format!(
+                "binomial probability must be in [0, 1], got {p}"
+            )));
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Distribution for Binomial {
+    type Item = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        (0..self.n)
+            .filter(|_| rng.gen_range(0.0f64..1.0) < self.p)
+            .count() as u64
+    }
+
+    fn log_pdf(&self, k: &u64) -> f64 {
+        if *k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        let kf = *k as f64;
+        let nf = self.n as f64;
+        let term_p = if *k == 0 { 0.0 } else { kf * self.p.ln() };
+        let term_q = if *k == self.n { 0.0 } else { (nf - kf) * (1.0 - self.p).ln() };
+        ln_choose(self.n, *k) + term_p + term_q
+    }
+}
+
+impl Moments for Binomial {
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+impl std::fmt::Display for Binomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Binomial({}, {})", self.n, self.p)
+    }
+}
+
+/// Beta-Binomial compound distribution: `K ~ Binomial(n, P)` with
+/// `P ~ Beta(alpha, beta)` marginalized out.
+///
+/// This is the closed-form marginal that delayed sampling produces when a
+/// binomial observation is conjugate to a beta-distributed parent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaBinomial {
+    n: u64,
+    alpha: f64,
+    beta: f64,
+}
+
+impl BetaBinomial {
+    /// Creates `BetaBinomial(n, alpha, beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both shape parameters are strictly
+    /// positive and finite.
+    pub fn new(n: u64, alpha: f64, beta: f64) -> Result<Self, ParamError> {
+        if !(alpha.is_finite() && alpha > 0.0 && beta.is_finite() && beta > 0.0) {
+            return Err(ParamError::new(format!(
+                "beta-binomial shapes must be positive and finite, got ({alpha}, {beta})"
+            )));
+        }
+        Ok(BetaBinomial { n, alpha, beta })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// First shape parameter of the mixing Beta.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Second shape parameter of the mixing Beta.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Distribution for BetaBinomial {
+    type Item = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let p = crate::beta::Beta::new(self.alpha, self.beta)
+            .expect("validated at construction")
+            .sample(rng);
+        Binomial { n: self.n, p }.sample(rng)
+    }
+
+    fn log_pdf(&self, k: &u64) -> f64 {
+        if *k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        let kf = *k as f64;
+        let nf = self.n as f64;
+        ln_choose(self.n, *k) + ln_beta(kf + self.alpha, nf - kf + self.beta)
+            - ln_beta(self.alpha, self.beta)
+    }
+}
+
+impl Moments for BetaBinomial {
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.alpha / (self.alpha + self.beta)
+    }
+
+    fn variance(&self) -> f64 {
+        let n = self.n as f64;
+        let a = self.alpha;
+        let b = self.beta;
+        n * a * b * (a + b + n) / ((a + b) * (a + b) * (a + b + 1.0))
+    }
+}
+
+impl std::fmt::Display for BetaBinomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BetaBinomial({}, {}, {})", self.n, self.alpha, self.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let d = Binomial::new(12, 0.3).unwrap();
+        let total: f64 = (0..=12).map(|k| d.pdf(&k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        let d = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(d.pdf(&0), 1.0);
+        assert_eq!(d.log_pdf(&1), f64::NEG_INFINITY);
+        let d = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(d.pdf(&5), 1.0);
+        assert_eq!(d.log_pdf(&6), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_sample_mean() {
+        let d = Binomial::new(20, 0.4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 50_000;
+        let s: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let m = s as f64 / n as f64;
+        assert!((m - 8.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn beta_binomial_pmf_sums_to_one() {
+        let d = BetaBinomial::new(15, 2.5, 4.0).unwrap();
+        let total: f64 = (0..=15).map(|k| d.pdf(&k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_binomial_uniform_mixing_is_discrete_uniform() {
+        // With Beta(1,1) mixing, every count 0..=n is equally likely.
+        let d = BetaBinomial::new(10, 1.0, 1.0).unwrap();
+        for k in 0..=10u64 {
+            assert!((d.pdf(&k) - 1.0 / 11.0).abs() < 1e-10, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn beta_binomial_moments() {
+        let d = BetaBinomial::new(10, 2.0, 3.0).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        let expected_var = 10.0 * 2.0 * 3.0 * 15.0 / (25.0 * 6.0);
+        assert!((d.variance() - expected_var).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,378 @@
+//! Closed-form conjugacy algebra.
+//!
+//! These are the analytic marginalization and conditioning rules that
+//! delayed sampling (Murray et al. 2018; ProbZelus §5.2–5.3) exploits to
+//! avoid Monte-Carlo sampling. Each supported pair provides:
+//!
+//! * **marginalize** — given the parent's marginal and the child's
+//!   conditional, the child's marginal (used when extending the M-path);
+//! * **condition** — given the parent's marginal, the child's conditional,
+//!   and an observed child value, the parent's posterior (used when a
+//!   realized child's evidence is folded into its parent).
+//!
+//! Supported pairs:
+//!
+//! | parent        | child conditional                  | marginal child    |
+//! |---------------|------------------------------------|-------------------|
+//! | Gaussian      | `N(a·parent + b, var)` (affine)    | Gaussian          |
+//! | Beta          | `Bernoulli(parent)`                | Bernoulli         |
+//! | Beta          | `Binomial(n, parent)`              | Beta-binomial     |
+//! | Gamma         | `Poisson(scale · parent)`          | Negative binomial |
+//! | Gamma         | `Exponential(scale · parent)`      | Lomax             |
+
+use crate::bernoulli::Bernoulli;
+use crate::beta::Beta;
+use crate::binomial::BetaBinomial;
+use crate::exponential::Exponential;
+use crate::gamma::Gamma;
+use crate::gaussian::Gaussian;
+use crate::lomax::Lomax;
+use crate::negative_binomial::NegativeBinomial;
+use crate::traits::ParamError;
+
+/// Affine-Gaussian link: `child | parent ~ N(a·parent + b, var)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineGaussian {
+    /// Multiplicative coefficient applied to the parent.
+    pub a: f64,
+    /// Additive offset.
+    pub b: f64,
+    /// Conditional variance of the child.
+    pub var: f64,
+}
+
+impl AffineGaussian {
+    /// Creates the link `N(a·parent + b, var)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `var > 0` and `a`, `b` are finite.
+    /// A zero coefficient `a` is allowed (the child is then independent of
+    /// the parent), which the graph layer uses to degrade gracefully.
+    pub fn new(a: f64, b: f64, var: f64) -> Result<Self, ParamError> {
+        if !(a.is_finite() && b.is_finite()) {
+            return Err(ParamError::new(format!(
+                "affine coefficients must be finite, got a={a}, b={b}"
+            )));
+        }
+        if !(var.is_finite() && var > 0.0) {
+            return Err(ParamError::new(format!(
+                "conditional variance must be positive, got {var}"
+            )));
+        }
+        Ok(AffineGaussian { a, b, var })
+    }
+
+    /// Child's marginal: `N(a·m + b, a²·v + var)` for parent `N(m, v)`.
+    pub fn marginalize(&self, parent: Gaussian) -> Gaussian {
+        Gaussian::new(
+            self.a * parent.mean_param() + self.b,
+            self.a * self.a * parent.var_param() + self.var,
+        )
+        .expect("variance stays positive under affine marginalization")
+    }
+
+    /// Parent's posterior after observing `child = obs`
+    /// (the scalar Kalman update in information form).
+    pub fn condition(&self, parent: Gaussian, obs: f64) -> Gaussian {
+        let m0 = parent.mean_param();
+        let v0 = parent.var_param();
+        let prec = 1.0 / v0 + self.a * self.a / self.var;
+        let post_var = 1.0 / prec;
+        let post_mean = post_var * (m0 / v0 + self.a * (obs - self.b) / self.var);
+        Gaussian::new(post_mean, post_var).expect("posterior variance stays positive")
+    }
+
+    /// Child's conditional distribution for a realized parent value.
+    pub fn instantiate(&self, parent_value: f64) -> Gaussian {
+        Gaussian::new(self.a * parent_value + self.b, self.var)
+            .expect("conditional variance is positive")
+    }
+
+    /// Composes two affine-Gaussian links: if `y | x` uses `self` and
+    /// `z | y` uses `next`, the composite `z | x` link.
+    ///
+    /// Used by graph compaction: collapsing a marginalized-but-unreferenced
+    /// chain node fuses its incoming and outgoing links.
+    pub fn compose(&self, next: &AffineGaussian) -> AffineGaussian {
+        AffineGaussian {
+            a: next.a * self.a,
+            b: next.a * self.b + next.b,
+            var: next.a * next.a * self.var + next.var,
+        }
+    }
+}
+
+/// Beta–Bernoulli conjugate pair: `child | p ~ Bernoulli(p)`, `p ~ Beta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BetaBernoulliLink;
+
+impl BetaBernoulliLink {
+    /// Child's marginal: `Bernoulli(alpha / (alpha + beta))`.
+    pub fn marginalize(&self, parent: Beta) -> Bernoulli {
+        Bernoulli::new(parent.alpha() / (parent.alpha() + parent.beta()))
+            .expect("beta mean is a valid probability")
+    }
+
+    /// Parent's posterior after observing the child.
+    pub fn condition(&self, parent: Beta, obs: bool) -> Beta {
+        if obs {
+            Beta::new(parent.alpha() + 1.0, parent.beta())
+        } else {
+            Beta::new(parent.alpha(), parent.beta() + 1.0)
+        }
+        .expect("incremented shapes stay positive")
+    }
+
+    /// Child's conditional for a realized parent value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the realized parent value is outside
+    /// `[0, 1]` and therefore not a valid Bernoulli probability.
+    pub fn instantiate(&self, parent_value: f64) -> Result<Bernoulli, ParamError> {
+        Bernoulli::new(parent_value)
+    }
+}
+
+/// Beta–Binomial conjugate pair: `child | p ~ Binomial(n, p)`, `p ~ Beta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BetaBinomialLink {
+    /// Number of trials of the binomial child.
+    pub n: u64,
+}
+
+impl BetaBinomialLink {
+    /// Child's marginal: `BetaBinomial(n, alpha, beta)`.
+    pub fn marginalize(&self, parent: Beta) -> BetaBinomial {
+        BetaBinomial::new(self.n, parent.alpha(), parent.beta())
+            .expect("parent shapes are positive")
+    }
+
+    /// Parent's posterior after observing `k` successes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn condition(&self, parent: Beta, k: u64) -> Beta {
+        assert!(k <= self.n, "observed count {k} exceeds trials {}", self.n);
+        Beta::new(
+            parent.alpha() + k as f64,
+            parent.beta() + (self.n - k) as f64,
+        )
+        .expect("incremented shapes stay positive")
+    }
+}
+
+/// Gamma–Poisson conjugate pair:
+/// `child | lambda ~ Poisson(scale · lambda)`, `lambda ~ Gamma(shape, rate)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaPoissonLink {
+    /// Exposure/scale multiplier applied to the rate.
+    pub scale: f64,
+}
+
+impl GammaPoissonLink {
+    /// Creates the link with the given positive exposure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `scale > 0`.
+    pub fn new(scale: f64) -> Result<Self, ParamError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ParamError::new(format!(
+                "gamma-poisson scale must be positive, got {scale}"
+            )));
+        }
+        Ok(GammaPoissonLink { scale })
+    }
+
+    /// Child's marginal: `NB(shape, rate / (rate + scale))`.
+    pub fn marginalize(&self, parent: Gamma) -> NegativeBinomial {
+        NegativeBinomial::new(parent.shape(), parent.rate() / (parent.rate() + self.scale))
+            .expect("probability stays in (0, 1]")
+    }
+
+    /// Parent's posterior after observing `k` events:
+    /// `Gamma(shape + k, rate + scale)`.
+    pub fn condition(&self, parent: Gamma, k: u64) -> Gamma {
+        Gamma::new(parent.shape() + k as f64, parent.rate() + self.scale)
+            .expect("incremented parameters stay positive")
+    }
+}
+
+/// Gamma–Exponential conjugate pair:
+/// `child | lambda ~ Exponential(scale · lambda)`, `lambda ~ Gamma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaExponentialLink {
+    /// Rate multiplier applied to the parent.
+    pub scale: f64,
+}
+
+impl GammaExponentialLink {
+    /// Creates the link with the given positive rate multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `scale > 0`.
+    pub fn new(scale: f64) -> Result<Self, ParamError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ParamError::new(format!(
+                "gamma-exponential scale must be positive, got {scale}"
+            )));
+        }
+        Ok(GammaExponentialLink { scale })
+    }
+
+    /// Child's marginal: `Lomax(shape, rate / scale)`.
+    pub fn marginalize(&self, parent: Gamma) -> Lomax {
+        Lomax::new(parent.shape(), parent.rate() / self.scale)
+            .expect("parameters stay positive")
+    }
+
+    /// Parent's posterior after observing waiting time `x`:
+    /// `Gamma(shape + 1, rate + scale·x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for negative observations (outside the
+    /// exponential support).
+    pub fn condition(&self, parent: Gamma, x: f64) -> Result<Gamma, ParamError> {
+        if !(x.is_finite() && x >= 0.0) {
+            return Err(ParamError::new(format!(
+                "exponential observation must be non-negative, got {x}"
+            )));
+        }
+        Gamma::new(parent.shape() + 1.0, parent.rate() + self.scale * x)
+    }
+
+    /// Child's conditional once the parent realized to `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for non-positive realized rates.
+    pub fn instantiate(&self, lambda: f64) -> Result<Exponential, ParamError> {
+        Exponential::new(self.scale * lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{Distribution, Moments};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn affine_gaussian_marginalize_identity_link() {
+        let link = AffineGaussian::new(1.0, 0.0, 1.0).unwrap();
+        let m = link.marginalize(Gaussian::new(0.0, 100.0).unwrap());
+        assert!((m.mean_param() - 0.0).abs() < 1e-12);
+        assert!((m.var_param() - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_gaussian_condition_is_kalman_update() {
+        // Prior N(0, 100), obs noise 1, observation 5:
+        // K = 100/101, post mean = K*5, post var = 100/101.
+        let link = AffineGaussian::new(1.0, 0.0, 1.0).unwrap();
+        let post = link.condition(Gaussian::new(0.0, 100.0).unwrap(), 5.0);
+        assert!((post.mean_param() - 500.0 / 101.0).abs() < 1e-10);
+        assert!((post.var_param() - 100.0 / 101.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn affine_gaussian_condition_with_offset_and_scale() {
+        // child = 2θ + 1 + noise(var 4), prior θ ~ N(3, 2), obs 10.
+        let link = AffineGaussian::new(2.0, 1.0, 4.0).unwrap();
+        let post = link.condition(Gaussian::new(3.0, 2.0).unwrap(), 10.0);
+        let prec = 1.0 / 2.0 + 4.0 / 4.0;
+        let var = 1.0 / prec;
+        let mean = var * (3.0 / 2.0 + 2.0 * 9.0 / 4.0);
+        assert!((post.var_param() - var).abs() < 1e-12);
+        assert!((post.mean_param() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_gaussian_compose_matches_two_step_marginalization() {
+        let first = AffineGaussian::new(2.0, 1.0, 0.5).unwrap();
+        let second = AffineGaussian::new(-1.5, 3.0, 2.0).unwrap();
+        let fused = first.compose(&second);
+        let prior = Gaussian::new(0.7, 1.3).unwrap();
+        let two_step = second.marginalize(first.marginalize(prior));
+        let one_step = fused.marginalize(prior);
+        assert!((two_step.mean_param() - one_step.mean_param()).abs() < 1e-12);
+        assert!((two_step.var_param() - one_step.var_param()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_bernoulli_round_trip() {
+        let link = BetaBernoulliLink;
+        let prior = Beta::new(1.0, 1.0).unwrap();
+        let marg = link.marginalize(prior);
+        assert!((marg.p() - 0.5).abs() < 1e-12);
+        let post = link.condition(prior, true);
+        assert_eq!((post.alpha(), post.beta()), (2.0, 1.0));
+        let post = link.condition(post, false);
+        assert_eq!((post.alpha(), post.beta()), (2.0, 2.0));
+    }
+
+    #[test]
+    fn beta_binomial_condition_counts() {
+        let link = BetaBinomialLink { n: 10 };
+        let post = link.condition(Beta::new(2.0, 3.0).unwrap(), 7);
+        assert_eq!((post.alpha(), post.beta()), (9.0, 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds trials")]
+    fn beta_binomial_rejects_excess_count() {
+        let link = BetaBinomialLink { n: 5 };
+        link.condition(Beta::new(1.0, 1.0).unwrap(), 6);
+    }
+
+    #[test]
+    fn gamma_poisson_posterior() {
+        let link = GammaPoissonLink::new(1.0).unwrap();
+        let post = link.condition(Gamma::new(2.0, 3.0).unwrap(), 4);
+        assert_eq!((post.shape(), post.rate()), (6.0, 4.0));
+        let marg = link.marginalize(Gamma::new(2.0, 3.0).unwrap());
+        assert!((marg.p() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_exponential_round_trip() {
+        let link = GammaExponentialLink::new(2.0).unwrap();
+        let prior = Gamma::new(3.0, 4.0).unwrap();
+        let marg = link.marginalize(prior);
+        assert_eq!((marg.shape(), marg.scale()), (3.0, 2.0));
+        let post = link.condition(prior, 1.5).unwrap();
+        assert_eq!((post.shape(), post.rate()), (4.0, 7.0));
+        assert!(link.condition(prior, -1.0).is_err());
+        let child = link.instantiate(0.5).unwrap();
+        assert_eq!(child.rate(), 1.0);
+    }
+
+    /// Monte-Carlo check: the analytic marginal of the affine-Gaussian link
+    /// matches simulation of the generative process.
+    #[test]
+    fn affine_gaussian_marginal_matches_simulation() {
+        let prior = Gaussian::new(1.0, 4.0).unwrap();
+        let link = AffineGaussian::new(0.5, 2.0, 1.0).unwrap();
+        let analytic = link.marginalize(prior);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let theta = prior.sample(&mut rng);
+            let x = link.instantiate(theta).sample(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let m = sum / n as f64;
+        let v = sum2 / n as f64 - m * m;
+        assert!((m - analytic.mean()).abs() < 0.02, "mean {m}");
+        assert!((v - analytic.variance()).abs() < 0.05, "var {v}");
+    }
+}

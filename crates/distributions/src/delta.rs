@@ -1,0 +1,72 @@
+//! Dirac delta distribution.
+
+use crate::traits::{Distribution, Moments};
+use rand::Rng;
+
+/// Dirac delta: all mass on a single value.
+///
+/// Realized random variables in the delayed-sampling graph report their
+/// distribution as a delta; the probabilistic lifting of a deterministic
+/// expression in the paper's semantics (Fig. 9) is also a Dirac measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Delta<T>(pub T);
+
+impl<T: Clone + PartialEq> Distribution for Delta<T> {
+    type Item = T;
+
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+
+    fn log_pdf(&self, x: &T) -> f64 {
+        if *x == self.0 {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+}
+
+impl Moments for Delta<f64> {
+    fn mean(&self) -> f64 {
+        self.0
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+}
+
+impl<T: std::fmt::Display> std::fmt::Display for Delta<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "δ({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_returns_the_point() {
+        let d = Delta(42);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(d.sample(&mut rng), 42);
+    }
+
+    #[test]
+    fn log_pdf_is_indicator() {
+        let d = Delta(1.5);
+        assert_eq!(d.log_pdf(&1.5), 0.0);
+        assert_eq!(d.log_pdf(&1.6), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn moments_are_degenerate() {
+        let d = Delta(3.0);
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.variance(), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Weighted empirical (categorical) distributions over arbitrary values.
+//!
+//! The result of a particle-filter `infer` step is exactly such a
+//! distribution: a finite weighted set of outputs.
+
+use crate::traits::{Distribution, ParamError};
+use rand::Rng;
+
+/// A normalized, weighted, finite support distribution over values of type
+/// `T` — the categorical distribution the paper's `infer` builds from
+/// particle (value, weight) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical<T> {
+    items: Vec<(T, f64)>,
+}
+
+impl<T> Empirical<T> {
+    /// Builds a normalized empirical distribution from weighted items.
+    ///
+    /// Non-finite or negative weights are rejected; if every weight is zero
+    /// (all particles died), the distribution falls back to uniform, which
+    /// mirrors the behaviour of a particle filter after total weight
+    /// collapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `items` is empty or any weight is negative
+    /// or non-finite.
+    pub fn new(items: Vec<(T, f64)>) -> Result<Self, ParamError> {
+        if items.is_empty() {
+            return Err(ParamError::new("empirical distribution needs at least one item"));
+        }
+        if items.iter().any(|(_, w)| !w.is_finite() || *w < 0.0) {
+            return Err(ParamError::new("empirical weights must be finite and non-negative"));
+        }
+        let total: f64 = items.iter().map(|(_, w)| w).sum();
+        let items = if total > 0.0 {
+            items.into_iter().map(|(v, w)| (v, w / total)).collect()
+        } else {
+            let n = items.len() as f64;
+            items.into_iter().map(|(v, _)| (v, 1.0 / n)).collect()
+        };
+        Ok(Empirical { items })
+    }
+
+    /// Builds a uniform empirical distribution over the given values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `values` is empty.
+    pub fn uniform(values: Vec<T>) -> Result<Self, ParamError> {
+        let n = values.len() as f64;
+        Self::new(values.into_iter().map(|v| (v, 1.0 / n)).collect())
+    }
+
+    /// The normalized `(value, weight)` pairs.
+    pub fn items(&self) -> &[(T, f64)] {
+        &self.items
+    }
+
+    /// Number of support points (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the support is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maps the support values, keeping weights.
+    pub fn map<U>(self, f: impl FnMut(T) -> U) -> Empirical<U> {
+        let mut f = f;
+        Empirical {
+            items: self.items.into_iter().map(|(v, w)| (f(v), w)).collect(),
+        }
+    }
+
+    /// Expected value of `f` under the distribution.
+    pub fn expect(&self, mut f: impl FnMut(&T) -> f64) -> f64 {
+        self.items.iter().map(|(v, w)| w * f(v)).sum()
+    }
+}
+
+impl Empirical<f64> {
+    /// Weighted mean of a float-valued empirical distribution.
+    pub fn mean(&self) -> f64 {
+        self.expect(|&x| x)
+    }
+
+    /// Weighted variance.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.expect(|&x| (x - m) * (x - m))
+    }
+
+    /// Probability mass in the closed interval `[lo, hi]`.
+    pub fn prob_interval(&self, lo: f64, hi: f64) -> f64 {
+        self.items
+            .iter()
+            .filter(|(v, _)| *v >= lo && *v <= hi)
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+impl<T: Clone> Distribution for Empirical<T> {
+    type Item = T;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let mut acc = 0.0;
+        for (v, w) in &self.items {
+            acc += w;
+            if u < acc {
+                return v.clone();
+            }
+        }
+        // Numerical slack: return the last item.
+        self.items.last().expect("non-empty support").0.clone()
+    }
+
+    fn log_pdf(&self, _x: &T) -> f64 {
+        // Mass queries on arbitrary T require equality; use `mass_of` when
+        // T: PartialEq. A generic log_pdf would need a base measure, which
+        // an empirical mixture of Dirac deltas does not have w.r.t.
+        // Lebesgue, so we deliberately do not define it.
+        unimplemented!("use Empirical::mass_of for probability-mass queries")
+    }
+}
+
+impl<T: PartialEq> Empirical<T> {
+    /// Total probability mass assigned to values equal to `x`.
+    pub fn mass_of(&self, x: &T) -> f64 {
+        self.items
+            .iter()
+            .filter(|(v, _)| v == x)
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_weights() {
+        let d = Empirical::new(vec![(1.0, 2.0), (2.0, 6.0)]).unwrap();
+        assert!((d.items()[0].1 - 0.25).abs() < 1e-12);
+        assert!((d.items()[1].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let d = Empirical::new(vec![("a", 0.0), ("b", 0.0)]).unwrap();
+        assert!((d.mass_of(&"a") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_weights() {
+        assert!(Empirical::<f64>::new(vec![]).is_err());
+        assert!(Empirical::new(vec![(1.0, -1.0)]).is_err());
+        assert!(Empirical::new(vec![(1.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let d = Empirical::new(vec![(0.0, 1.0), (4.0, 1.0)]).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_interval_counts_mass() {
+        let d = Empirical::new(vec![(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)]).unwrap();
+        assert!((d.prob_interval(0.5, 2.5) - 0.75).abs() < 1e-12);
+        assert!((d.prob_interval(-1.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let d = Empirical::new(vec![(0u8, 1.0), (1u8, 3.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1).count();
+        let f = ones as f64 / n as f64;
+        assert!((f - 0.75).abs() < 0.01, "frequency {f}");
+    }
+
+    #[test]
+    fn map_preserves_weights() {
+        let d = Empirical::new(vec![(1, 1.0), (2, 3.0)]).unwrap();
+        let d2 = d.map(|x| x * 10);
+        assert!((d2.mass_of(&20) - 0.75).abs() < 1e-12);
+    }
+}

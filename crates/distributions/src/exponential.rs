@@ -1,0 +1,124 @@
+//! Exponential distribution.
+
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Exponential distribution with rate `r` (density `r e^{-r x}` on
+/// `x >= 0`) — the inter-arrival-time companion of [`crate::Poisson`],
+/// conjugate to a Gamma-distributed rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates `Exponential(rate)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `rate` is strictly positive and
+    /// finite.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ParamError::new(format!(
+                "exponential rate must be positive and finite, got {rate}"
+            )));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+}
+
+impl Distribution for Exponential {
+    type Item = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on a (0, 1] uniform.
+        let u: f64 = 1.0 - rng.gen_range(0.0f64..1.0);
+        -u.ln() / self.rate
+    }
+
+    fn log_pdf(&self, x: &f64) -> f64 {
+        if *x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+}
+
+impl Moments for Exponential {
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+impl std::fmt::Display for Exponential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Exp({})", self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+        assert!(Exponential::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn density_and_cdf() {
+        let d = Exponential::new(2.0).unwrap();
+        assert!((d.log_pdf(&0.0) - 2.0f64.ln()).abs() < 1e-12);
+        assert_eq!(d.log_pdf(&-0.1), f64::NEG_INFINITY);
+        assert!((d.cdf(f64::INFINITY) - 1.0).abs() < 1e-12);
+        assert!((d.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memorylessness_of_cdf() {
+        // P(X > s + t | X > s) = P(X > t).
+        let d = Exponential::new(1.3).unwrap();
+        let (s, t) = (0.7, 1.1);
+        let lhs = (1.0 - d.cdf(s + t)) / (1.0 - d.cdf(s));
+        let rhs = 1.0 - d.cdf(t);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let d = Exponential::new(0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!((m - 2.0).abs() < 0.03, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "variance {v}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -1,0 +1,467 @@
+//! Small dense linear algebra for the multivariate-Gaussian support.
+//!
+//! The delayed sampler manipulates low-dimensional state vectors (position,
+//! velocity, …), so this is a deliberately simple row-major `f64` matrix
+//! with the handful of operations conjugate Kalman algebra needs: products,
+//! transposes, Cholesky factorization (for sampling and log-densities), and
+//! positive-definite solves.
+
+use crate::traits::ParamError;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// A column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Builds a vector from components.
+    pub fn new(data: Vec<f64>) -> Vector {
+        Vector { data }
+    }
+
+    /// The zero vector of dimension `n`.
+    pub fn zeros(n: usize) -> Vector {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Component access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> f64 {
+        self.data[i]
+    }
+
+    /// Components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Componentwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add(&self, other: &Vector) -> Vector {
+        assert_eq!(self.dim(), other.dim(), "vector dimension mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Componentwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn sub(&self, other: &Vector) -> Vector {
+        assert_eq!(self.dim(), other.dim(), "vector dimension mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "vector dimension mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl Matrix {
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// The zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Matrix difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * out.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &Vector) -> Vector {
+        assert_eq!(self.cols, v.dim(), "dimension mismatch");
+        Vector {
+            data: (0..self.rows)
+                .map(|i| (0..self.cols).map(|j| self.get(i, j) * v.get(j)).sum())
+                .collect(),
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Symmetrizes in place (`(M + Mᵀ)/2`), for numerical hygiene of
+    /// covariance updates.
+    pub fn symmetrized(&self) -> Matrix {
+        self.add(&self.transpose()).scale(0.5)
+    }
+
+    /// Cholesky factorization `M = L Lᵀ` of a symmetric positive-definite
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the matrix is not (numerically)
+    /// positive definite.
+    pub fn cholesky(&self) -> Result<Matrix, ParamError> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(ParamError::new(format!(
+                            "matrix is not positive definite (pivot {s} at {i})"
+                        )));
+                    }
+                    l.set(i, j, s.sqrt());
+                } else {
+                    l.set(i, j, s / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `M x = b` for a symmetric positive-definite `M` via
+    /// Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `M` is not positive definite.
+    pub fn solve_spd(&self, b: &Vector) -> Result<Vector, ParamError> {
+        let l = self.cholesky()?;
+        Ok(l.solve_lower_transpose(&l.solve_lower(b)))
+    }
+
+    /// Solves `M X = B` columnwise for SPD `M`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `M` is not positive definite.
+    pub fn solve_spd_matrix(&self, b: &Matrix) -> Result<Matrix, ParamError> {
+        let l = self.cholesky()?;
+        let mut out = Matrix::zeros(b.rows, b.cols);
+        for j in 0..b.cols {
+            let col = Vector::new((0..b.rows).map(|i| b.get(i, j)).collect());
+            let x = l.solve_lower_transpose(&l.solve_lower(&col));
+            for i in 0..b.rows {
+                out.set(i, j, x.get(i));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Forward substitution `L y = b` for lower-triangular `L` (self).
+    fn solve_lower(&self, b: &Vector) -> Vector {
+        let n = self.rows;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b.get(i);
+            for k in 0..i {
+                s -= self.get(i, k) * y[k];
+            }
+            y[i] = s / self.get(i, i);
+        }
+        Vector::new(y)
+    }
+
+    /// Back substitution `Lᵀ x = y` for lower-triangular `L` (self).
+    fn solve_lower_transpose(&self, y: &Vector) -> Vector {
+        let n = self.rows;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y.get(i);
+            for k in (i + 1)..n {
+                s -= self.get(k, i) * x[k];
+            }
+            x[i] = s / self.get(i, i);
+        }
+        Vector::new(x)
+    }
+
+    /// Log-determinant of an SPD matrix (via Cholesky).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the matrix is not positive definite.
+    pub fn log_det_spd(&self) -> Result<f64, ParamError> {
+        let l = self.cholesky()?;
+        Ok(2.0 * (0..self.rows).map(|i| l.get(i, i).ln()).sum::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd2() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])
+    }
+
+    #[test]
+    fn products_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert_eq!(a.mul(&b), Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+        assert_eq!(a.transpose(), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        let v = Vector::new(vec![1.0, -1.0]);
+        assert_eq!(a.mul_vec(&v), Vector::new(vec![-1.0, -1.0]));
+        assert_eq!(Matrix::identity(2).mul(&a), a);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vector::new(vec![1.0, 2.0]);
+        let b = Vector::new(vec![3.0, -1.0]);
+        assert_eq!(a.add(&b), Vector::new(vec![4.0, 1.0]));
+        assert_eq!(a.sub(&b), Vector::new(vec![-2.0, 3.0]));
+        assert_eq!(a.scale(2.0), Vector::new(vec![2.0, 4.0]));
+        assert_eq!(a.dot(&b), 1.0);
+        assert_eq!(Vector::zeros(3).dim(), 3);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let m = spd2();
+        let l = m.cholesky().unwrap();
+        let rec = l.mul(&l.transpose());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rec.get(i, j) - m.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(m.cholesky().is_err());
+    }
+
+    #[test]
+    fn spd_solve_matches_manual_inverse() {
+        let m = spd2();
+        let b = Vector::new(vec![1.0, 2.0]);
+        let x = m.solve_spd(&b).unwrap();
+        let back = m.mul_vec(&x);
+        assert!((back.get(0) - 1.0).abs() < 1e-12);
+        assert!((back.get(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_solve_spd() {
+        let m = spd2();
+        let x = m.solve_spd_matrix(&Matrix::identity(2)).unwrap();
+        let id = m.mul(&x);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det() {
+        // det([[4,1],[1,3]]) = 11.
+        assert!((spd2().log_det_spd().unwrap() - 11.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetrize() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert_eq!(
+            m.symmetrized(),
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]])
+        );
+    }
+}

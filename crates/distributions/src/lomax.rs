@@ -1,0 +1,157 @@
+//! Lomax (Pareto type II) distribution.
+
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Lomax distribution with shape `k` and scale `s`:
+/// density `(k/s)·(1 + x/s)^{-(k+1)}` on `x >= 0`.
+///
+/// This is the closed-form marginal of an `Exponential(lambda)` observation
+/// with a `Gamma(k, rate)` prior on `lambda` (`s = rate`), which is why the
+/// delayed sampler produces it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lomax {
+    shape: f64,
+    scale: f64,
+}
+
+impl Lomax {
+    /// Creates `Lomax(shape, scale)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both parameters are strictly positive
+    /// and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !(shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0) {
+            return Err(ParamError::new(format!(
+                "lomax parameters must be positive and finite, got ({shape}, {scale})"
+            )));
+        }
+        Ok(Lomax { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `s`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Distribution for Lomax {
+    type Item = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: F(x) = 1 - (1 + x/s)^{-k}.
+        let u: f64 = 1.0 - rng.gen_range(0.0f64..1.0);
+        self.scale * (u.powf(-1.0 / self.shape) - 1.0)
+    }
+
+    fn log_pdf(&self, x: &f64) -> f64 {
+        if *x < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.shape.ln() - self.scale.ln()
+            - (self.shape + 1.0) * (1.0 + x / self.scale).ln()
+    }
+}
+
+impl Moments for Lomax {
+    /// Mean `s / (k - 1)` for `k > 1`; infinite otherwise.
+    fn mean(&self) -> f64 {
+        if self.shape > 1.0 {
+            self.scale / (self.shape - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Variance for `k > 2`; infinite otherwise.
+    fn variance(&self) -> f64 {
+        if self.shape > 2.0 {
+            let k = self.shape;
+            self.scale * self.scale * k / ((k - 1.0) * (k - 1.0) * (k - 2.0))
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for Lomax {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lomax({}, {})", self.shape, self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Lomax::new(0.0, 1.0).is_err());
+        assert!(Lomax::new(1.0, 0.0).is_err());
+        assert!(Lomax::new(2.0, 3.0).is_ok());
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        // Numeric trapezoid over a long range.
+        let d = Lomax::new(3.0, 2.0).unwrap();
+        let (mut acc, dx) = (0.0, 0.001);
+        let mut x = 0.0;
+        while x < 400.0 {
+            acc += d.pdf(&x) * dx;
+            x += dx;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral {acc}");
+    }
+
+    #[test]
+    fn support_is_nonnegative() {
+        let d = Lomax::new(2.0, 1.0).unwrap();
+        assert_eq!(d.log_pdf(&-0.5), f64::NEG_INFINITY);
+        assert!((d.log_pdf(&0.0) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mean_matches_for_finite_moments() {
+        let d = Lomax::new(4.0, 6.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 300_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn matches_gamma_exponential_mixture() {
+        // Lomax(k, r) must equal ∫ Exp(λ) Gamma(λ; k, r) dλ.
+        use crate::exponential::Exponential;
+        use crate::gamma::Gamma;
+        let (k, r) = (3.0, 2.0);
+        let prior = Gamma::new(k, r).unwrap();
+        let lomax = Lomax::new(k, r).unwrap();
+        let mut rng = SmallRng::seed_from_u64(14);
+        // Monte-Carlo estimate of the mixture density at a few points.
+        let n = 200_000;
+        for x in [0.1, 0.5, 1.5, 4.0] {
+            let mut acc = 0.0;
+            for _ in 0..n {
+                let lam = prior.sample(&mut rng);
+                acc += Exponential::new(lam).unwrap().pdf(&x);
+            }
+            let mc = acc / n as f64;
+            assert!(
+                (mc - lomax.pdf(&x)).abs() < 0.01,
+                "x={x}: {mc} vs {}",
+                lomax.pdf(&x)
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Finite mixture distributions.
+
+use crate::special::log_sum_exp;
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Finite mixture of distributions of a common family `D`.
+///
+/// The streaming-delayed-sampling `infer` (ProbZelus §5.3) combines the
+/// per-particle symbolic marginals into exactly such a weighted mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mixture<D> {
+    components: Vec<(f64, D)>,
+}
+
+impl<D> Mixture<D> {
+    /// Builds a mixture from `(weight, component)` pairs; weights are
+    /// normalized. Zero total weight falls back to uniform weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `components` is empty or a weight is
+    /// negative or non-finite.
+    pub fn new(components: Vec<(f64, D)>) -> Result<Self, ParamError> {
+        if components.is_empty() {
+            return Err(ParamError::new("mixture needs at least one component"));
+        }
+        if components.iter().any(|(w, _)| !w.is_finite() || *w < 0.0) {
+            return Err(ParamError::new("mixture weights must be finite and non-negative"));
+        }
+        let total: f64 = components.iter().map(|(w, _)| w).sum();
+        let components = if total > 0.0 {
+            components.into_iter().map(|(w, d)| (w / total, d)).collect()
+        } else {
+            let n = components.len() as f64;
+            components.into_iter().map(|(_, d)| (1.0 / n, d)).collect()
+        };
+        Ok(Mixture { components })
+    }
+
+    /// The normalized `(weight, component)` pairs.
+    pub fn components(&self) -> &[(f64, D)] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl<D: Distribution> Distribution for Mixture<D> {
+    type Item = D::Item;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> D::Item {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let mut acc = 0.0;
+        for (w, d) in &self.components {
+            acc += w;
+            if u < acc {
+                return d.sample(rng);
+            }
+        }
+        self.components
+            .last()
+            .expect("non-empty mixture")
+            .1
+            .sample(rng)
+    }
+
+    fn log_pdf(&self, x: &D::Item) -> f64 {
+        let terms: Vec<f64> = self
+            .components
+            .iter()
+            .map(|(w, d)| w.ln() + d.log_pdf(x))
+            .collect();
+        log_sum_exp(&terms)
+    }
+}
+
+impl<D: Moments> Moments for Mixture<D> {
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.mean()).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        // Law of total variance.
+        let m = self.mean();
+        self.components
+            .iter()
+            .map(|(w, d)| w * (d.variance() + (d.mean() - m) * (d.mean() - m)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_and_bad_weights() {
+        assert!(Mixture::<Gaussian>::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(-1.0, Gaussian::standard())]).is_err());
+    }
+
+    #[test]
+    fn single_component_mixture_is_the_component() {
+        let g = Gaussian::new(2.0, 3.0).unwrap();
+        let m = Mixture::new(vec![(7.0, g)]).unwrap();
+        assert!((m.log_pdf(&1.0) - g.log_pdf(&1.0)).abs() < 1e-12);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert!((m.variance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variance_law() {
+        let m = Mixture::new(vec![
+            (0.5, Gaussian::new(-1.0, 1.0).unwrap()),
+            (0.5, Gaussian::new(1.0, 1.0).unwrap()),
+        ])
+        .unwrap();
+        assert!(m.mean().abs() < 1e-12);
+        assert!((m.variance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let m = Mixture::new(vec![
+            (0.9, Gaussian::new(-10.0, 0.01).unwrap()),
+            (0.1, Gaussian::new(10.0, 0.01).unwrap()),
+        ])
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let n = 20_000;
+        let neg = (0..n)
+            .filter(|_| m.sample(&mut rng) < 0.0)
+            .count() as f64
+            / n as f64;
+        assert!((neg - 0.9).abs() < 0.01, "fraction {neg}");
+    }
+
+    #[test]
+    fn zero_weights_become_uniform() {
+        let m = Mixture::new(vec![
+            (0.0, Gaussian::new(0.0, 1.0).unwrap()),
+            (0.0, Gaussian::new(5.0, 1.0).unwrap()),
+        ])
+        .unwrap();
+        assert!((m.components()[0].0 - 0.5).abs() < 1e-12);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,334 @@
+//! Multivariate Gaussian distribution and its matrix-affine conjugacy.
+//!
+//! This is the extension the authors' own implementation uses for the
+//! tracker examples: a latent state *vector* (e.g. position‖velocity) with
+//! linear-Gaussian dynamics and observations, conditioned exactly via the
+//! matrix Kalman updates.
+
+use crate::gaussian::Gaussian;
+use crate::linalg::{Matrix, Vector};
+use crate::traits::{Distribution, ParamError};
+use rand::Rng;
+
+/// Multivariate Gaussian `N(mean, cov)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvGaussian {
+    mean: Vector,
+    cov: Matrix,
+    chol: Matrix,
+}
+
+impl MvGaussian {
+    /// Creates `N(mean, cov)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `cov` is a symmetric positive-definite
+    /// `d × d` matrix matching `mean`'s dimension.
+    pub fn new(mean: Vector, cov: Matrix) -> Result<Self, ParamError> {
+        if cov.rows() != cov.cols() || cov.rows() != mean.dim() {
+            return Err(ParamError::new(format!(
+                "covariance must be {0}x{0} for a {0}-dimensional mean, got {1}x{2}",
+                mean.dim(),
+                cov.rows(),
+                cov.cols()
+            )));
+        }
+        let chol = cov.cholesky()?;
+        Ok(MvGaussian { mean, cov, chol })
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.mean.dim()
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// Covariance matrix.
+    pub fn cov(&self) -> &Matrix {
+        &self.cov
+    }
+
+    /// The marginal of one coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn component(&self, i: usize) -> Gaussian {
+        Gaussian::new(self.mean.get(i), self.cov.get(i, i))
+            .expect("positive-definite covariance has positive diagonal")
+    }
+}
+
+impl Distribution for MvGaussian {
+    type Item = Vector;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let z = Vector::new(
+            (0..self.dim())
+                .map(|_| Gaussian::standard().sample(rng))
+                .collect(),
+        );
+        self.mean.add(&self.chol.mul_vec(&z))
+    }
+
+    fn log_pdf(&self, x: &Vector) -> f64 {
+        assert_eq!(x.dim(), self.dim(), "dimension mismatch");
+        let d = x.sub(&self.mean);
+        let sol = self
+            .cov
+            .solve_spd(&d)
+            .expect("covariance validated at construction");
+        let maha = d.dot(&sol);
+        let logdet = self
+            .cov
+            .log_det_spd()
+            .expect("covariance validated at construction");
+        -0.5 * (maha + logdet + self.dim() as f64 * (2.0 * std::f64::consts::PI).ln())
+    }
+}
+
+/// Matrix-affine link `child | parent ~ N(A·parent + b, Σ)` with a
+/// multivariate-Gaussian parent: the conjugacy behind exact multivariate
+/// Kalman filtering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvAffineGaussian {
+    /// Observation/transition matrix `A` (`m × d`).
+    pub a: Matrix,
+    /// Offset `b` (`m`).
+    pub b: Vector,
+    /// Conditional covariance `Σ` (`m × m`).
+    pub cov: Matrix,
+}
+
+impl MvAffineGaussian {
+    /// Creates the link, validating shapes and positive-definiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] on shape mismatches or a non-SPD `Σ`.
+    pub fn new(a: Matrix, b: Vector, cov: Matrix) -> Result<Self, ParamError> {
+        if a.rows() != b.dim() || cov.rows() != cov.cols() || cov.rows() != a.rows() {
+            return Err(ParamError::new(format!(
+                "affine link shapes mismatch: A is {}x{}, b is {}, cov is {}x{}",
+                a.rows(),
+                a.cols(),
+                b.dim(),
+                cov.rows(),
+                cov.cols()
+            )));
+        }
+        cov.cholesky()?;
+        Ok(MvAffineGaussian { a, b, cov })
+    }
+
+    /// Child's marginal: `N(A m + b, A S Aᵀ + Σ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the parent's dimension does not match
+    /// `A`'s columns.
+    pub fn marginalize(&self, parent: &MvGaussian) -> Result<MvGaussian, ParamError> {
+        if parent.dim() != self.a.cols() {
+            return Err(ParamError::new("parent dimension does not match the link"));
+        }
+        let mean = self.a.mul_vec(parent.mean()).add(&self.b);
+        let cov = self
+            .a
+            .mul(parent.cov())
+            .mul(&self.a.transpose())
+            .add(&self.cov)
+            .symmetrized();
+        MvGaussian::new(mean, cov)
+    }
+
+    /// Parent's posterior after observing `child = obs` (the matrix
+    /// Kalman update with gain `K = S Aᵀ (A S Aᵀ + Σ)⁻¹`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] on dimension mismatches.
+    pub fn condition(
+        &self,
+        parent: &MvGaussian,
+        obs: &Vector,
+    ) -> Result<MvGaussian, ParamError> {
+        if obs.dim() != self.a.rows() || parent.dim() != self.a.cols() {
+            return Err(ParamError::new("observation dimension does not match the link"));
+        }
+        let s = parent.cov();
+        let innovation_cov = self
+            .a
+            .mul(s)
+            .mul(&self.a.transpose())
+            .add(&self.cov)
+            .symmetrized();
+        // K = S Aᵀ V⁻¹ computed as (V⁻¹ (A S))ᵀ.
+        let gain = innovation_cov
+            .solve_spd_matrix(&self.a.mul(s))?
+            .transpose();
+        let residual = obs.sub(&self.a.mul_vec(parent.mean()).add(&self.b));
+        let mean = parent.mean().add(&gain.mul_vec(&residual));
+        let eye = Matrix::identity(parent.dim());
+        let cov = eye.sub(&gain.mul(&self.a)).mul(s).symmetrized();
+        MvGaussian::new(mean, cov)
+    }
+
+    /// Child's concrete conditional once the parent realized to `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] on a dimension mismatch.
+    pub fn instantiate(&self, value: &Vector) -> Result<MvGaussian, ParamError> {
+        if value.dim() != self.a.cols() {
+            return Err(ParamError::new("parent value dimension does not match the link"));
+        }
+        MvGaussian::new(self.a.mul_vec(value).add(&self.b), self.cov.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn standard2() -> MvGaussian {
+        MvGaussian::new(Vector::zeros(2), Matrix::identity(2)).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_indefinite_cov() {
+        assert!(MvGaussian::new(Vector::zeros(2), Matrix::identity(3)).is_err());
+        let indefinite = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(MvGaussian::new(Vector::zeros(2), indefinite).is_err());
+    }
+
+    #[test]
+    fn log_pdf_matches_independent_product() {
+        let d = standard2();
+        let x = Vector::new(vec![0.3, -1.2]);
+        let expected = Gaussian::standard().log_pdf(&0.3) + Gaussian::standard().log_pdf(&-1.2);
+        assert!((d.log_pdf(&x) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_moments() {
+        let cov = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let d = MvGaussian::new(Vector::new(vec![1.0, -1.0]), cov).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let n = 100_000;
+        let (mut m0, mut m1, mut c01) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            m0 += x.get(0);
+            m1 += x.get(1);
+            c01 += (x.get(0) - 1.0) * (x.get(1) + 1.0);
+        }
+        assert!((m0 / n as f64 - 1.0).abs() < 0.02);
+        assert!((m1 / n as f64 + 1.0).abs() < 0.02);
+        assert!((c01 / n as f64 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn marginalize_matches_formula() {
+        let link = MvAffineGaussian::new(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]),
+            Vector::zeros(2),
+            Matrix::identity(2).scale(0.01),
+        )
+        .unwrap();
+        let m = link.marginalize(&standard2()).unwrap();
+        // A I Aᵀ + 0.01 I
+        assert!((m.cov().get(0, 0) - 1.02).abs() < 1e-12);
+        assert!((m.cov().get(0, 1) - 0.1).abs() < 1e-12);
+        assert!((m.cov().get(1, 1) - 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_reduces_to_scalar_kalman_in_1d() {
+        let prior = MvGaussian::new(
+            Vector::new(vec![0.0]),
+            Matrix::from_rows(&[&[100.0]]),
+        )
+        .unwrap();
+        let link = MvAffineGaussian::new(
+            Matrix::identity(1),
+            Vector::zeros(1),
+            Matrix::from_rows(&[&[1.0]]),
+        )
+        .unwrap();
+        let post = link.condition(&prior, &Vector::new(vec![5.0])).unwrap();
+        assert!((post.mean().get(0) - 500.0 / 101.0).abs() < 1e-10);
+        assert!((post.cov().get(0, 0) - 100.0 / 101.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn partial_observation_conditions_the_unobserved_coordinate() {
+        // State (p, v) with correlated prior; observe p only; v updates
+        // through the correlation.
+        let prior = MvGaussian::new(
+            Vector::zeros(2),
+            Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]]),
+        )
+        .unwrap();
+        let observe_p = MvAffineGaussian::new(
+            Matrix::from_rows(&[&[1.0, 0.0]]),
+            Vector::zeros(1),
+            Matrix::from_rows(&[&[0.01]]),
+        )
+        .unwrap();
+        let post = observe_p.condition(&prior, &Vector::new(vec![2.0])).unwrap();
+        assert!((post.mean().get(0) - 2.0).abs() < 0.05);
+        // v moves toward 0.8 × 2.0.
+        assert!((post.mean().get(1) - 1.6).abs() < 0.05, "{:?}", post.mean());
+        assert!(post.cov().get(1, 1) < 1.0);
+    }
+
+    #[test]
+    fn condition_then_marginalize_is_consistent_with_joint() {
+        // Monte-Carlo check of the full update.
+        let prior = MvGaussian::new(
+            Vector::new(vec![1.0, -0.5]),
+            Matrix::from_rows(&[&[2.0, 0.3], &[0.3, 1.5]]),
+        )
+        .unwrap();
+        let link = MvAffineGaussian::new(
+            Matrix::from_rows(&[&[0.5, 1.0]]),
+            Vector::new(vec![0.2]),
+            Matrix::from_rows(&[&[0.5]]),
+        )
+        .unwrap();
+        let obs = Vector::new(vec![1.2]);
+        let post = link.condition(&prior, &obs).unwrap();
+        // Importance-sampling reference.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 200_000;
+        let (mut w_sum, mut m0, mut m1) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = prior.sample(&mut rng);
+            let like = link.instantiate(&x).unwrap().log_pdf(&obs).exp();
+            w_sum += like;
+            m0 += like * x.get(0);
+            m1 += like * x.get(1);
+        }
+        assert!((m0 / w_sum - post.mean().get(0)).abs() < 0.02);
+        assert!((m1 / w_sum - post.mean().get(1)).abs() < 0.02);
+    }
+
+    #[test]
+    fn instantiate_uses_parent_value() {
+        let link = MvAffineGaussian::new(
+            Matrix::identity(2),
+            Vector::new(vec![1.0, 1.0]),
+            Matrix::identity(2),
+        )
+        .unwrap();
+        let d = link.instantiate(&Vector::new(vec![2.0, 3.0])).unwrap();
+        assert_eq!(d.mean().as_slice(), &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Negative binomial distribution (generalized to real-valued `r`).
+
+use crate::special::ln_gamma;
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Negative binomial distribution `NB(r, p)` over counts `k >= 0`, with
+/// real-valued shape `r > 0` and success probability `p` in `(0, 1]`:
+///
+/// `P(K = k) = Γ(k + r) / (k! Γ(r)) · p^r (1 - p)^k`
+///
+/// This is the closed-form marginal of a `Poisson(lambda)` observation with
+/// a `Gamma(r, rate)` prior on `lambda`, where `p = rate / (rate + 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegativeBinomial {
+    r: f64,
+    p: f64,
+}
+
+impl NegativeBinomial {
+    /// Creates `NB(r, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `r > 0` and `0 < p <= 1`.
+    pub fn new(r: f64, p: f64) -> Result<Self, ParamError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(ParamError::new(format!(
+                "negative binomial shape must be positive and finite, got {r}"
+            )));
+        }
+        if !(p.is_finite() && p > 0.0 && p <= 1.0) {
+            return Err(ParamError::new(format!(
+                "negative binomial probability must be in (0, 1], got {p}"
+            )));
+        }
+        Ok(NegativeBinomial { r, p })
+    }
+
+    /// Shape parameter `r`.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Distribution for NegativeBinomial {
+    type Item = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Gamma-Poisson mixture representation.
+        let rate = self.p / (1.0 - self.p).max(f64::MIN_POSITIVE);
+        let lambda = crate::gamma::Gamma::draw_with_shape(rng, self.r) / rate;
+        if lambda <= 0.0 {
+            return 0;
+        }
+        crate::poisson::Poisson::new(lambda.max(f64::MIN_POSITIVE))
+            .expect("positive rate")
+            .sample(rng)
+    }
+
+    fn log_pdf(&self, k: &u64) -> f64 {
+        let kf = *k as f64;
+        let tail = if *k == 0 { 0.0 } else { kf * (1.0 - self.p).ln() };
+        ln_gamma(kf + self.r) - ln_gamma(kf + 1.0) - ln_gamma(self.r)
+            + self.r * self.p.ln()
+            + tail
+    }
+}
+
+impl Moments for NegativeBinomial {
+    fn mean(&self) -> f64 {
+        self.r * (1.0 - self.p) / self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.r * (1.0 - self.p) / (self.p * self.p)
+    }
+}
+
+impl std::fmt::Display for NegativeBinomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NB({}, {})", self.r, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NegativeBinomial::new(0.0, 0.5).is_err());
+        assert!(NegativeBinomial::new(1.0, 0.0).is_err());
+        assert!(NegativeBinomial::new(1.0, 1.5).is_err());
+        assert!(NegativeBinomial::new(2.5, 0.4).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = NegativeBinomial::new(3.5, 0.6).unwrap();
+        let total: f64 = (0..200).map(|k| d.pdf(&k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn geometric_special_case() {
+        // NB(1, p) is Geometric(p): P(K = k) = p (1-p)^k.
+        let d = NegativeBinomial::new(1.0, 0.3).unwrap();
+        for k in 0..10u64 {
+            let expected = 0.3 * 0.7f64.powi(k as i32);
+            assert!((d.pdf(&k) - expected).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches() {
+        let d = NegativeBinomial::new(4.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let n = 50_000;
+        let s: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let m = s as f64 / n as f64;
+        assert!((m - d.mean()).abs() < 0.1, "mean {m} expected {}", d.mean());
+    }
+}

@@ -1,0 +1,125 @@
+//! Poisson distribution.
+
+use crate::special::ln_factorial;
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Poisson distribution with mean `lambda`, over non-negative counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates `Poisson(lambda)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `lambda` is strictly positive and
+    /// finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError::new(format!(
+                "poisson rate must be positive and finite, got {lambda}"
+            )));
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Distribution for Poisson {
+    type Item = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth's multiplicative method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0f64;
+            loop {
+                p *= rng.gen_range(0.0f64..1.0);
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Split recursively: Poisson(a + b) = Poisson(a) + Poisson(b).
+            let half = Poisson { lambda: self.lambda / 2.0 };
+            half.sample(rng) + half.sample(rng)
+        }
+    }
+
+    fn log_pdf(&self, k: &u64) -> f64 {
+        *k as f64 * self.lambda.ln() - self.lambda - ln_factorial(*k)
+    }
+}
+
+impl Moments for Poisson {
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl std::fmt::Display for Poisson {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Poisson({})", self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(3.5).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Poisson::new(4.0).unwrap();
+        let total: f64 = (0..100).map(|k| d.pdf(&k)).sum();
+        assert!((total - 1.0).abs() < 1e-10, "sum {total}");
+    }
+
+    #[test]
+    fn pmf_known_value() {
+        // P(X = 0 | lambda) = e^{-lambda}
+        let d = Poisson::new(2.0).unwrap();
+        assert!((d.log_pdf(&0) - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_moments_small_lambda() {
+        let d = Poisson::new(3.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 100_000;
+        let s: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let m = s as f64 / n as f64;
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn sample_moments_large_lambda() {
+        let d = Poisson::new(120.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(18);
+        let n = 20_000;
+        let s: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let m = s as f64 / n as f64;
+        assert!((m - 120.0).abs() < 0.5, "mean {m}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Special mathematical functions used by the distribution implementations.
+//!
+//! Everything here is implemented from scratch on `f64`, with accuracy that
+//! is more than sufficient for inference workloads (absolute error below
+//! `1e-12` for `ln_gamma` over the positive reals, below `1.5e-7` for `erf`).
+
+/// Natural logarithm of the Gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with `g = 7` and 9 coefficients.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite or `x <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use probzelus_distributions::special::ln_gamma;
+/// assert!((ln_gamma(1.0)).abs() < 1e-12);           // Γ(1) = 1
+/// assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10); // Γ(5) = 24
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x) Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural logarithm of the Beta function,
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) - ln Γ(a + b)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `b <= 0`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// `ln(n!)` for non-negative `n`, exact summation for small `n` and
+/// `ln_gamma` beyond.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 32 {
+        let mut acc = 0.0f64;
+        for k in 2..=n {
+            acc += (k as f64).ln();
+        }
+        acc
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Log of the binomial coefficient `C(n, k)`.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n, got k={k}, n={n}");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Error function `erf(x)`, via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (max absolute error `1.5e-7`).
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Standard normal cumulative distribution function `Φ(z)`.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Numerically stable `ln(Σ exp(x_i))` over a slice.
+///
+/// Returns negative infinity for an empty slice (the log of an empty sum).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        // Either empty, all -inf, or contains +inf/NaN; in the all -inf and
+        // empty cases the sum is 0 so the log is -inf.
+        return m;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u64 {
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-10),
+                "ln_gamma({n}) = {}, expected {}",
+                ln_gamma(n as f64),
+                fact.ln()
+            );
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!(close(ln_gamma(0.5), expected, 1e-10));
+    }
+
+    #[test]
+    fn ln_gamma_reflection_small_values() {
+        // Γ(0.25) ≈ 3.625609908
+        assert!(close(ln_gamma(0.25), 3.625_609_908_221_908f64.ln(), 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_beta_symmetry_and_values() {
+        assert!(close(ln_beta(1.0, 1.0), 0.0, 1e-12)); // B(1,1) = 1
+        assert!(close(ln_beta(2.0, 3.0), (1.0f64 / 12.0).ln(), 1e-10));
+        assert!(close(ln_beta(4.5, 2.5), ln_beta(2.5, 4.5), 1e-12));
+    }
+
+    #[test]
+    fn ln_factorial_small_and_large_agree() {
+        for n in 0..40u64 {
+            let direct: f64 = (2..=n).map(|k| (k as f64).ln()).sum();
+            assert!(close(ln_factorial(n), direct, 1e-10), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ln_choose_pascal_identity() {
+        // C(10, 3) = 120
+        assert!(close(ln_choose(10, 3), 120.0f64.ln(), 1e-10));
+        assert!(close(ln_choose(10, 0), 0.0, 1e-12));
+        assert!(close(ln_choose(10, 10), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-12);
+        assert!(close(erf(1.0), 0.842_700_792_949_714_9, 2e-7));
+        assert!(close(erf(-1.0), -0.842_700_792_949_714_9, 2e-7));
+        assert!((erf(5.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn std_normal_cdf_symmetry() {
+        assert!(close(std_normal_cdf(0.0), 0.5, 1e-9));
+        for z in [-2.0, -0.5, 0.3, 1.7] {
+            assert!(close(std_normal_cdf(z) + std_normal_cdf(-z), 1.0, 1e-6));
+        }
+        assert!(close(std_normal_cdf(1.959_963_985), 0.975, 1e-4));
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!(close(log_sum_exp(&[0.0, 0.0]), 2.0f64.ln(), 1e-12));
+        // Huge magnitudes must not overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!(close(v, 1000.0 + 2.0f64.ln(), 1e-12));
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Statistics utilities shared by the inference engines: weight
+//! normalization, effective sample size, resampling, and summary statistics.
+
+use crate::special::log_sum_exp;
+use rand::Rng;
+
+/// Normalizes a slice of log-weights into linear-space probabilities.
+///
+/// Numerically stable (subtracts the max before exponentiating). If every
+/// weight is `-inf`, returns the uniform distribution, matching the
+/// degenerate-particle-cloud convention used by the engines.
+pub fn normalize_log_weights(log_weights: &[f64]) -> Vec<f64> {
+    let z = log_sum_exp(log_weights);
+    if !z.is_finite() {
+        let n = log_weights.len().max(1) as f64;
+        return vec![1.0 / n; log_weights.len()];
+    }
+    log_weights.iter().map(|&lw| (lw - z).exp()).collect()
+}
+
+/// Effective sample size `1 / Σ w_i²` of normalized weights.
+///
+/// Equal weights give `n`; a single surviving particle gives `1`.
+pub fn effective_sample_size(weights: &[f64]) -> f64 {
+    let s: f64 = weights.iter().map(|w| w * w).sum();
+    if s > 0.0 {
+        1.0 / s
+    } else {
+        0.0
+    }
+}
+
+/// Systematic resampling: draws `n` ancestor indices from the normalized
+/// `weights` using a single uniform offset, the low-variance scheme standard
+/// in particle filtering.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn systematic_resample<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], n: usize) -> Vec<usize> {
+    assert!(!weights.is_empty(), "cannot resample from empty weights");
+    let total: f64 = weights.iter().sum();
+    let weights: Vec<f64> = if total > 0.0 {
+        weights.iter().map(|w| w / total).collect()
+    } else {
+        vec![1.0 / weights.len() as f64; weights.len()]
+    };
+    let step = 1.0 / n as f64;
+    let mut u = rng.gen_range(0.0..step);
+    let mut out = Vec::with_capacity(n);
+    let mut acc = weights[0];
+    let mut i = 0usize;
+    for _ in 0..n {
+        while u > acc && i + 1 < weights.len() {
+            i += 1;
+            acc += weights[i];
+        }
+        out.push(i);
+        u += step;
+    }
+    out
+}
+
+/// Weighted mean of `(value, weight)` pairs (weights need not be
+/// normalized). Returns `0.0` for zero total weight.
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> f64 {
+    let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    pairs.iter().map(|(v, w)| v * w).sum::<f64>() / total
+}
+
+/// Weighted variance around the weighted mean.
+pub fn weighted_variance(pairs: &[(f64, f64)]) -> f64 {
+    let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let m = weighted_mean(pairs);
+    pairs.iter().map(|(v, w)| w * (v - m) * (v - m)).sum::<f64>() / total
+}
+
+/// Empirical quantile (by sorting) of unweighted samples; `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+/// Median, `quantile(xs, 0.5)`.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalize_log_weights_basic() {
+        let w = normalize_log_weights(&[0.0, 0.0]);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        let w = normalize_log_weights(&[1000.0, 1000.0 - (3.0f64).ln()]);
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_all_neg_inf_gives_uniform() {
+        let w = normalize_log_weights(&[f64::NEG_INFINITY; 4]);
+        assert!(w.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ess_bounds() {
+        assert!((effective_sample_size(&[0.25; 4]) - 4.0).abs() < 1e-12);
+        assert!((effective_sample_size(&[1.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(effective_sample_size(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn systematic_resample_is_unbiased_in_expectation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let weights = [0.1, 0.2, 0.3, 0.4];
+        let mut counts = [0usize; 4];
+        let trials = 2_000;
+        let n = 100;
+        for _ in 0..trials {
+            for idx in systematic_resample(&mut rng, &weights, n) {
+                counts[idx] += 1;
+            }
+        }
+        let total = (trials * n) as f64;
+        for (i, &w) in weights.iter().enumerate() {
+            let f = counts[i] as f64 / total;
+            assert!((f - w).abs() < 0.01, "index {i}: {f} vs {w}");
+        }
+    }
+
+    #[test]
+    fn systematic_resample_handles_degenerate_weights() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let idx = systematic_resample(&mut rng, &[0.0, 0.0, 0.0], 30);
+        assert_eq!(idx.len(), 30);
+        // Uniform fallback touches every index with high probability.
+        assert!(idx.iter().any(|&i| i == 0));
+        assert!(idx.iter().any(|&i| i == 2));
+    }
+
+    #[test]
+    fn weighted_stats() {
+        let pairs = [(0.0, 1.0), (4.0, 3.0)];
+        assert!((weighted_mean(&pairs) - 3.0).abs() < 1e-12);
+        assert!((weighted_variance(&pairs) - 3.0).abs() < 1e-12);
+        assert_eq!(weighted_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs), 3.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty sample")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! The [`Distribution`] trait implemented by every distribution family in
+//! this crate.
+
+use rand::Rng;
+
+/// A probability distribution over values of type [`Distribution::Item`].
+///
+/// Implementors provide sampling and log-density evaluation; continuous
+/// families report densities with respect to the Lebesgue measure, discrete
+/// families with respect to the counting measure (i.e. a log probability
+/// mass function).
+///
+/// # Examples
+///
+/// ```
+/// use probzelus_distributions::{Distribution, Gaussian};
+/// use rand::SeedableRng;
+///
+/// let d = Gaussian::new(0.0, 1.0).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let x = d.sample(&mut rng);
+/// assert!(d.log_pdf(&x).is_finite());
+/// ```
+pub trait Distribution {
+    /// The type of values this distribution ranges over.
+    type Item;
+
+    /// Draws a random sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Item;
+
+    /// Log density (or log mass) of `x`.
+    ///
+    /// Returns `f64::NEG_INFINITY` for values outside the support.
+    fn log_pdf(&self, x: &Self::Item) -> f64;
+
+    /// Density (or mass) of `x`, `exp(log_pdf(x))`.
+    fn pdf(&self, x: &Self::Item) -> f64 {
+        self.log_pdf(x).exp()
+    }
+}
+
+/// Distributions with a defined mean and variance on `f64`.
+///
+/// Discrete numeric distributions implement this with their values mapped
+/// into `f64` (e.g. `true -> 1.0` for Bernoulli).
+pub trait Moments {
+    /// Expected value.
+    fn mean(&self) -> f64;
+    /// Variance.
+    fn variance(&self) -> f64;
+    /// Standard deviation, `sqrt(variance)`.
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Error returned when constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError {
+    message: String,
+}
+
+impl ParamError {
+    /// Creates a new parameter error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParamError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_error_display() {
+        let e = ParamError::new("variance must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid distribution parameter: variance must be positive"
+        );
+    }
+
+    #[test]
+    fn param_error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<ParamError>();
+    }
+}

@@ -1,0 +1,110 @@
+//! Continuous uniform distribution.
+
+use crate::traits::{Distribution, Moments, ParamError};
+use rand::Rng;
+
+/// Uniform distribution on the half-open interval `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates `Uniform(lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `lo < hi` and both bounds are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ParamError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(ParamError::new(format!(
+                "uniform bounds must be finite with lo < hi, got [{lo}, {hi})"
+            )));
+        }
+        Ok(Uniform { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    type Item = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn log_pdf(&self, x: &f64) -> f64 {
+        if *x < self.lo || *x >= self.hi {
+            f64::NEG_INFINITY
+        } else {
+            -(self.hi - self.lo).ln()
+        }
+    }
+}
+
+impl Moments for Uniform {
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+impl std::fmt::Display for Uniform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Uniform({}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+        assert!(Uniform::new(-1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn density_and_support() {
+        let d = Uniform::new(0.0, 4.0).unwrap();
+        assert!((d.log_pdf(&1.0) - (-(4.0f64).ln())).abs() < 1e-12);
+        assert_eq!(d.log_pdf(&-0.1), f64::NEG_INFINITY);
+        assert_eq!(d.log_pdf(&4.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Uniform::new(2.0, 6.0).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.variance() - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let d = Uniform::new(-3.0, -1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-3.0..-1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Expansion of mode automata (§2.4) into the kernel.
+//!
+//! The paper: "hierarchical automata can be re-written using `present` and
+//! `reset` [Colaço et al. 2006]". This pass performs that rewriting for the
+//! equation-level automaton of Fig. 5's `task_bot`:
+//!
+//! ```text
+//! automaton
+//! | Go   -> do cmd = e1 and p = e2 until c then Task
+//! | Task -> do cmd = e3 done
+//! ```
+//!
+//! becomes (with a fresh state variable `st`, states numbered in
+//! declaration order, the first initial):
+//!
+//! ```text
+//! init st = 0
+//! and st = present (last st = 0) -> (if c then 1 else 0)
+//!          else present (last st = 1) -> 1 else last st
+//! and cmd = present (last st = 0) -> (reset e1 every (not (last st = 0)))
+//!           else present (last st = 1) -> (reset e3 every (not (last st = 1)))
+//!           else last cmd
+//! and p   = present (last st = 0) -> (reset e2 every (not (last st = 0)))
+//!           else last p
+//! and init p = nil
+//! ```
+//!
+//! Transitions are *weak* (`until`): the running state's equations execute,
+//! the conditions are inspected, and a firing transition changes the state
+//! **for the next instant**; the entered state's equations restart because
+//! the surrounding `reset` fires on entry (`last st ≠ i`). Variables that
+//! some states do not define hold their previous value there (`last v`),
+//! with a `nil` initial value — the initialization analysis then insists
+//! that the *initial* state defines every variable that is read at the
+//! first instant.
+
+use crate::ast::{AutoState, Const, Eq, Expr, NodeDecl, OpName, Program};
+use crate::error::{LangError, Stage};
+use std::collections::{HashMap, HashSet};
+
+/// Expands every automaton in the program.
+///
+/// # Errors
+///
+/// Unknown transition targets, duplicate state names, `init` equations
+/// inside states, or empty automata.
+pub fn expand_program(p: &Program) -> Result<Program, LangError> {
+    let mut fresh = 0u32;
+    let nodes = p
+        .nodes
+        .iter()
+        .map(|n| {
+            Ok(NodeDecl {
+                name: n.name.clone(),
+                param: n.param.clone(),
+                body: expand_expr(&n.body, &mut fresh)?,
+            })
+        })
+        .collect::<Result<_, LangError>>()?;
+    Ok(Program { nodes })
+}
+
+fn expand_expr(e: &Expr, fresh: &mut u32) -> Result<Expr, LangError> {
+    Ok(match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => e.clone(),
+        Expr::Pair(a, b) => Expr::pair(expand_expr(a, fresh)?, expand_expr(b, fresh)?),
+        Expr::Op(op, args) => Expr::Op(
+            *op,
+            args.iter()
+                .map(|a| expand_expr(a, fresh))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::App(f, arg) => Expr::App(f.clone(), Box::new(expand_expr(arg, fresh)?)),
+        Expr::Where { body, eqs } => Expr::Where {
+            body: Box::new(expand_expr(body, fresh)?),
+            eqs: expand_equations(eqs, fresh)?,
+        },
+        Expr::Present { cond, then, els } => Expr::Present {
+            cond: Box::new(expand_expr(cond, fresh)?),
+            then: Box::new(expand_expr(then, fresh)?),
+            els: Box::new(expand_expr(els, fresh)?),
+        },
+        Expr::Reset { body, every } => Expr::Reset {
+            body: Box::new(expand_expr(body, fresh)?),
+            every: Box::new(expand_expr(every, fresh)?),
+        },
+        Expr::If { cond, then, els } => Expr::If {
+            cond: Box::new(expand_expr(cond, fresh)?),
+            then: Box::new(expand_expr(then, fresh)?),
+            els: Box::new(expand_expr(els, fresh)?),
+        },
+        Expr::Sample(d) => Expr::Sample(Box::new(expand_expr(d, fresh)?)),
+        Expr::Observe(d, v) => Expr::Observe(
+            Box::new(expand_expr(d, fresh)?),
+            Box::new(expand_expr(v, fresh)?),
+        ),
+        Expr::Factor(w) => Expr::Factor(Box::new(expand_expr(w, fresh)?)),
+        Expr::ValueOp(x) => Expr::ValueOp(Box::new(expand_expr(x, fresh)?)),
+        Expr::Infer {
+            particles,
+            node,
+            arg,
+        } => Expr::Infer {
+            particles: *particles,
+            node: node.clone(),
+            arg: Box::new(expand_expr(arg, fresh)?),
+        },
+        Expr::Arrow(a, b) => Expr::Arrow(
+            Box::new(expand_expr(a, fresh)?),
+            Box::new(expand_expr(b, fresh)?),
+        ),
+        Expr::Fby(a, b) => Expr::Fby(
+            Box::new(expand_expr(a, fresh)?),
+            Box::new(expand_expr(b, fresh)?),
+        ),
+        Expr::Pre(x) => Expr::Pre(Box::new(expand_expr(x, fresh)?)),
+    })
+}
+
+fn expand_equations(eqs: &[Eq], fresh: &mut u32) -> Result<Vec<Eq>, LangError> {
+    let sibling_inits: HashSet<&str> = eqs
+        .iter()
+        .filter_map(|eq| match eq {
+            Eq::Init { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let mut out = Vec::new();
+    for eq in eqs {
+        match eq {
+            Eq::Def { name, expr } => out.push(Eq::Def {
+                name: name.clone(),
+                expr: expand_expr(expr, fresh)?,
+            }),
+            Eq::Init { .. } => out.push(eq.clone()),
+            Eq::Automaton { states } => {
+                expand_automaton(states, &sibling_inits, fresh, &mut out)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn expand_automaton(
+    states: &[AutoState],
+    sibling_inits: &HashSet<&str>,
+    fresh: &mut u32,
+    out: &mut Vec<Eq>,
+) -> Result<(), LangError> {
+    if states.is_empty() {
+        return Err(LangError::new(Stage::Parse, "automaton needs at least one state"));
+    }
+    let index: HashMap<&str, usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.name.as_str(), i))
+        .collect();
+    if index.len() != states.len() {
+        return Err(LangError::new(Stage::Parse, "duplicate automaton state names"));
+    }
+    *fresh += 1;
+    let st = format!("_auto{fresh}_st");
+
+    let active = |i: usize| -> Expr {
+        Expr::Op(
+            OpName::Eq,
+            vec![Expr::Last(st.clone()), Expr::int(i as i64)],
+        )
+    };
+    let entering = |i: usize| -> Expr {
+        Expr::Op(OpName::Not, vec![active(i)])
+    };
+    // A `present` chain over the active state, with `last st` fallback.
+    let chain = |branches: Vec<Expr>, fallback: Expr| -> Expr {
+        branches
+            .into_iter()
+            .enumerate()
+            .rev()
+            .fold(fallback, |els, (i, then)| Expr::Present {
+                cond: Box::new(active(i)),
+                then: Box::new(then),
+                els: Box::new(els),
+            })
+    };
+
+    // 1. The state equation.
+    let mut transition_branches = Vec::with_capacity(states.len());
+    for (i, state) in states.iter().enumerate() {
+        let mut next = Expr::int(i as i64);
+        for (cond, target) in state.transitions.iter().rev() {
+            let Some(&target_idx) = index.get(target.as_str()) else {
+                return Err(LangError::new(
+                    Stage::Parse,
+                    format!("automaton transition to unknown state `{target}`"),
+                ));
+            };
+            next = Expr::If {
+                cond: Box::new(expand_expr(cond, fresh)?),
+                then: Box::new(Expr::int(target_idx as i64)),
+                els: Box::new(next),
+            };
+        }
+        transition_branches.push(next);
+    }
+    out.push(Eq::Init {
+        name: st.clone(),
+        value: Const::Int(0),
+    });
+    out.push(Eq::Def {
+        name: st.clone(),
+        expr: chain(transition_branches, Expr::Last(st.clone())),
+    });
+
+    // 2. One equation per defined variable.
+    let mut var_order: Vec<String> = Vec::new();
+    let mut defs: HashMap<&str, HashMap<usize, &Expr>> = HashMap::new();
+    for (i, state) in states.iter().enumerate() {
+        for eq in &state.eqs {
+            match eq {
+                Eq::Def { name, expr } => {
+                    if !defs.contains_key(name.as_str()) {
+                        var_order.push(name.clone());
+                    }
+                    let per_state = defs.entry(name.as_str()).or_default();
+                    if per_state.insert(i, expr).is_some() {
+                        return Err(LangError::new(
+                            Stage::Parse,
+                            format!(
+                                "state `{}` defines `{name}` twice",
+                                state.name
+                            ),
+                        ));
+                    }
+                }
+                Eq::Init { name, .. } => {
+                    return Err(LangError::new(
+                        Stage::Parse,
+                        format!(
+                            "`init {name}` inside an automaton state; initialize at the \
+                             enclosing `where` instead (state bodies restart via reset)"
+                        ),
+                    ));
+                }
+                Eq::Automaton { .. } => {
+                    return Err(LangError::new(
+                        Stage::Parse,
+                        "nested automata are not supported directly; move the inner \
+                         automaton into its own node",
+                    ));
+                }
+            }
+        }
+    }
+
+    for v in &var_order {
+        let per_state = &defs[v.as_str()];
+        let total = per_state.len() == states.len();
+        let mut branches = Vec::with_capacity(states.len());
+        for i in 0..states.len() {
+            branches.push(match per_state.get(&i) {
+                Some(expr) => Expr::Reset {
+                    body: Box::new(expand_expr(expr, fresh)?),
+                    every: Box::new(entering(i)),
+                },
+                None => Expr::Last(v.clone()),
+            });
+        }
+        // For totally-defined variables the last state's branch doubles as
+        // the (unreachable) fallback, so no `last v` read — and hence no
+        // `init` — is needed.
+        let expr = if total {
+            let fallback = branches.pop().expect("at least one state");
+            chain(branches, fallback)
+        } else {
+            chain(branches, Expr::Last(v.clone()))
+        };
+        out.push(Eq::Def {
+            name: v.clone(),
+            expr,
+        });
+        if !total && !sibling_inits.contains(v.as_str()) {
+            out.push(Eq::Init {
+                name: v.clone(),
+                value: Const::Nil,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn expand(src: &str) -> Result<Program, LangError> {
+        expand_program(&parse_program(src).unwrap())
+    }
+
+    const TWO_STATE: &str = r#"
+        let node f x = cmd where
+          rec automaton
+              | Go -> do cmd = 1. until x > 3. then Stop
+              | Stop -> do cmd = 0. done
+    "#;
+
+    #[test]
+    fn expands_to_state_variable_and_present_chains() {
+        let p = expand(TWO_STATE).unwrap();
+        match &p.nodes[0].body {
+            Expr::Where { eqs, .. } => {
+                let names: Vec<&str> = eqs.iter().map(|q| q.name()).collect();
+                // init st, st, cmd.
+                assert_eq!(names.len(), 3, "{names:?}");
+                assert!(names[0].contains("_st"));
+                assert_eq!(names[2], "cmd");
+                assert!(matches!(&eqs[2], Eq::Def { expr: Expr::Present { .. }, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let err = expand(
+            "let node f x = c where rec automaton | A -> do c = 1. until x > 0. then B",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown state"));
+    }
+
+    #[test]
+    fn duplicate_states_rejected() {
+        let err = expand(
+            "let node f x = c where rec automaton | A -> do c = 1. done | A -> do c = 2. done",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn init_inside_state_rejected() {
+        let err = expand(
+            "let node f x = c where rec automaton | A -> do init c = 1. and c = 2. done",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("init"));
+    }
+
+    #[test]
+    fn partially_defined_variables_get_nil_inits() {
+        let src = r#"
+            let node f x = cmd where
+              rec automaton
+                  | Go -> do cmd = 1. and aux = x until aux > 3. then Stop
+                  | Stop -> do cmd = 0. done
+        "#;
+        let p = expand(src).unwrap();
+        match &p.nodes[0].body {
+            Expr::Where { eqs, .. } => {
+                assert!(eqs.iter().any(
+                    |q| matches!(q, Eq::Init { name, value: Const::Nil } if name == "aux")
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

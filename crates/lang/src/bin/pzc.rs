@@ -1,0 +1,211 @@
+//! `pzc` — the ProbZelus compiler/runner CLI.
+//!
+//! ```text
+//! pzc check FILE                          # compile; print kinds & types
+//! pzc emit  FILE                          # print the compiled µF code
+//! pzc run   FILE NODE [options]           # run a node over an input stream
+//!
+//! run options:
+//!   --inputs v1,v2,...   per-step inputs (floats, ints, bools, or () )
+//!   --steps N            number of steps (default: #inputs, or 10)
+//!   --method M           sds | bds | pf | ds | is      (default sds)
+//!   --particles N        for probabilistic nodes       (default 1000)
+//!   --seed S             RNG seed                      (default 0)
+//! ```
+//!
+//! Deterministic nodes are stepped directly (their embedded `infer` sites
+//! use the selected method); probabilistic nodes are wrapped in an engine
+//! and their per-step posterior mean/variance is printed.
+
+use probzelus_core::infer::Method;
+use probzelus_core::Value;
+use probzelus_lang::eval::Options;
+use probzelus_lang::muf::MufValue;
+use probzelus_lang::muf_pretty::print_muf_program;
+use probzelus_lang::pipeline::compile_source;
+use probzelus_lang::Kind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pzc: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: pzc <check|emit|run> FILE [NODE] [--inputs v1,v2,..] [--steps N] \
+     [--method sds|bds|pf|ds|is] [--particles N] [--seed S]"
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pos = Vec::new();
+    let mut inputs: Option<String> = None;
+    let mut steps: Option<usize> = None;
+    let mut method = Method::StreamingDs;
+    let mut particles = 1000usize;
+    let mut seed = 0u64;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--inputs" => inputs = Some(flag_value("--inputs")?),
+            "--steps" => {
+                steps = Some(
+                    flag_value("--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                )
+            }
+            "--particles" => {
+                particles = flag_value("--particles")?
+                    .parse()
+                    .map_err(|e| format!("--particles: {e}"))?
+            }
+            "--seed" => {
+                seed = flag_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--method" => {
+                method = match flag_value("--method")?.as_str() {
+                    "sds" => Method::StreamingDs,
+                    "bds" => Method::BoundedDs,
+                    "pf" => Method::ParticleFilter,
+                    "ds" => Method::ClassicDs,
+                    "is" => Method::Importance,
+                    other => return Err(format!("unknown method `{other}`")),
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()))
+            }
+            other => pos.push(other.to_string()),
+        }
+    }
+
+    let (cmd, file) = match (pos.first(), pos.get(1)) {
+        (Some(c), Some(f)) => (c.clone(), f.clone()),
+        _ => return Err(usage()),
+    };
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    let compiled = compile_source(&src).map_err(|e| format!("{file}: {e}"))?;
+
+    match cmd.as_str() {
+        "check" => {
+            println!("{file}: ok ({} nodes)", compiled.kinds.len());
+            let mut names: Vec<&String> = compiled.kinds.keys().collect();
+            names.sort();
+            for name in names {
+                let sig = &compiled.sigs[name];
+                println!(
+                    "  {:<4} node {name} : {} -> {}",
+                    compiled.kinds[name].to_string(),
+                    sig.input,
+                    sig.output
+                );
+            }
+            Ok(())
+        }
+        "emit" => {
+            print!("{}", print_muf_program(&compiled.muf));
+            Ok(())
+        }
+        "run" => {
+            let node = pos
+                .get(2)
+                .cloned()
+                .ok_or_else(|| format!("run needs a node name\n{}", usage()))?;
+            let parsed_inputs = parse_inputs(inputs.as_deref())?;
+            let n = steps.unwrap_or_else(|| parsed_inputs.as_ref().map_or(10, Vec::len));
+            let stream = |t: usize| -> Value {
+                match &parsed_inputs {
+                    Some(v) if !v.is_empty() => v[t % v.len()].clone(),
+                    _ => Value::Unit,
+                }
+            };
+            let options = Options { method, seed };
+            match compiled.kinds.get(node.as_str()) {
+                None => Err(format!("unknown node `{node}`")),
+                Some(Kind::D) => {
+                    let mut inst = compiled
+                        .instantiate(&node, options)
+                        .map_err(|e| e.to_string())?;
+                    for t in 0..n {
+                        let out = inst.step(stream(t)).map_err(|e| e.to_string())?;
+                        println!("{t}: {}", render(&out));
+                    }
+                    Ok(())
+                }
+                Some(Kind::P) => {
+                    let mut eng = compiled
+                        .infer_node(&node, particles, options)
+                        .map_err(|e| e.to_string())?;
+                    println!("running {node} under {} with {particles} particles", method);
+                    for t in 0..n {
+                        let post = eng.step(&stream(t)).map_err(|e| e.to_string())?;
+                        println!(
+                            "{t}: mean {:.6}  var {:.6}",
+                            post.mean_float(),
+                            post.variance_float()
+                        );
+                    }
+                    Ok(())
+                }
+            }
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn parse_inputs(spec: Option<&str>) -> Result<Option<Vec<Value>>, String> {
+    let Some(spec) = spec else { return Ok(None) };
+    let mut out = Vec::new();
+    for item in spec.split(',') {
+        let item = item.trim();
+        let v = if item == "()" {
+            Value::Unit
+        } else if item == "true" {
+            Value::Bool(true)
+        } else if item == "false" {
+            Value::Bool(false)
+        } else if let Ok(n) = item.parse::<i64>() {
+            if item.contains('.') {
+                Value::Float(n as f64)
+            } else {
+                Value::Int(n)
+            }
+        } else if let Ok(x) = item.parse::<f64>() {
+            Value::Float(x)
+        } else {
+            return Err(format!("cannot parse input `{item}`"));
+        };
+        out.push(v);
+    }
+    Ok(Some(out))
+}
+
+fn render(v: &MufValue) -> String {
+    match v {
+        MufValue::V(v) => v.to_string(),
+        MufValue::Nil => "nil".to_string(),
+        MufValue::Posterior(p) => format!(
+            "posterior(mean {:.6}, var {:.6})",
+            p.mean_float(),
+            p.variance_float()
+        ),
+        MufValue::Tuple(xs) => format!(
+            "({})",
+            xs.iter().map(render).collect::<Vec<_>>().join(", ")
+        ),
+        other => format!("<{}>", other.kind()),
+    }
+}

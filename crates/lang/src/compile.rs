@@ -1,0 +1,640 @@
+//! Compilation of the (kernel, scheduled) language to µF: the functions
+//! C(·) and A(·) of Fig. 11 / Fig. 20 / Fig. 21.
+//!
+//! Every expression compiles to a µF transition function `fun s -> (v, s')`
+//! and an allocation expression for its initial state. A node `f` yields
+//! two globals: `f_step = fun (s, x) -> C(body)(s)` and `f_init = fun () ->
+//! A(body)` (a thunk, so each instantiation gets fresh state — in
+//! particular a fresh inference engine for each `infer` site).
+//!
+//! One deliberate deviation from the paper's Fig. 21: we allocate
+//! `A(f(e)) = (A(e), f_init)` — argument state first — to match the
+//! destructuring order of Fig. 20's `C(f(e))`, whose printed allocation
+//! `(f_init, A(e))` appears to be a typo.
+
+use crate::ast::{Const, Eq, Expr, NodeDecl, Pattern, Program};
+use crate::error::{LangError, Stage};
+use crate::muf::{MufDef, MufExpr, MufPat, MufProgram};
+use crate::transform::is_kernel;
+use std::collections::HashSet;
+
+/// Compiles a kernel, scheduled program to µF.
+///
+/// # Errors
+///
+/// Rejects programs containing derived forms (compile after
+/// [`crate::transform::desugar_program`]) or duplicate definitions.
+pub fn compile_program(p: &Program) -> Result<MufProgram, LangError> {
+    let mut c = Compiler { fresh: 0 };
+    let mut defs = Vec::new();
+    for node in &p.nodes {
+        if !is_kernel(&node.body) {
+            return Err(LangError::new(
+                Stage::Compile,
+                format!("node `{}` contains derived forms; desugar first", node.name),
+            ));
+        }
+        let (step, init) = c.compile_node(node)?;
+        defs.push(MufDef {
+            name: step_name(&node.name),
+            expr: step,
+        });
+        defs.push(MufDef {
+            name: init_name(&node.name),
+            expr: init,
+        });
+    }
+    Ok(MufProgram { defs })
+}
+
+/// The global name of a node's transition function.
+pub fn step_name(node: &str) -> String {
+    format!("{node}_step")
+}
+
+/// The global name of a node's allocation thunk.
+pub fn init_name(node: &str) -> String {
+    format!("{node}_init")
+}
+
+/// The variable carrying `last x` values in compiled code. The `#` cannot
+/// appear in source identifiers, so there is no capture risk.
+fn last_var(x: &str) -> String {
+    format!("{x}#last")
+}
+
+struct Compiler {
+    fresh: u32,
+}
+
+fn var(name: impl Into<String>) -> MufExpr {
+    MufExpr::Var(name.into())
+}
+
+fn app(f: MufExpr, x: MufExpr) -> MufExpr {
+    MufExpr::App(Box::new(f), Box::new(x))
+}
+
+fn let_(pat: MufPat, bound: MufExpr, body: MufExpr) -> MufExpr {
+    MufExpr::Let(pat, Box::new(bound), Box::new(body))
+}
+
+fn fun(pat: MufPat, body: MufExpr) -> MufExpr {
+    MufExpr::Fun(pat, Box::new(body))
+}
+
+fn tuple(items: Vec<MufExpr>) -> MufExpr {
+    MufExpr::Tuple(items)
+}
+
+/// Adds `x = last x` for initialized variables without a defining
+/// equation, preserving scheduling (the added equations depend on nothing
+/// instantaneous). Returns `(inits, defs)`.
+fn normalize_where(eqs: &[Eq]) -> Result<(Vec<(String, Const)>, Vec<(String, Expr)>), LangError> {
+    let mut inits = Vec::new();
+    let mut defs = Vec::new();
+    let mut seen_init = HashSet::new();
+    let mut seen_def = HashSet::new();
+    for eq in eqs {
+        match eq {
+            Eq::Init { name, value } => {
+                if !seen_init.insert(name.clone()) {
+                    return Err(LangError::new(
+                        Stage::Compile,
+                        format!("duplicate `init {name}`"),
+                    ));
+                }
+                inits.push((name.clone(), value.clone()));
+            }
+            Eq::Def { name, expr } => {
+                if !seen_def.insert(name.clone()) {
+                    return Err(LangError::new(
+                        Stage::Compile,
+                        format!("duplicate definition of `{name}`"),
+                    ));
+                }
+                defs.push((name.clone(), expr.clone()));
+            }
+            Eq::Automaton { .. } => {
+                return Err(LangError::new(
+                    Stage::Compile,
+                    "automaton must be expanded before compilation",
+                ))
+            }
+        }
+    }
+    for (name, _) in &inits {
+        if !seen_def.contains(name) {
+            defs.push((name.clone(), Expr::Last(name.clone())));
+        }
+    }
+    Ok((inits, defs))
+}
+
+impl Compiler {
+    fn fresh(&mut self, hint: &str) -> String {
+        self.fresh += 1;
+        format!("{hint}%{}", self.fresh)
+    }
+
+    fn compile_node(&mut self, node: &NodeDecl) -> Result<(MufExpr, MufExpr), LangError> {
+        let s = self.fresh("s");
+        let step = fun(
+            MufPat::pair(MufPat::var(&s), pattern_to_pat(&node.param)),
+            app(self.c(&node.body)?, var(&s)),
+        );
+        let init = fun(MufPat::Unit, self.a(&node.body)?);
+        Ok((step, init))
+    }
+
+    /// C(·): the transition function of an expression (Fig. 20).
+    fn c(&mut self, e: &Expr) -> Result<MufExpr, LangError> {
+        match e {
+            Expr::Const(c) => {
+                let s = self.fresh("s");
+                Ok(fun(
+                    MufPat::var(&s),
+                    tuple(vec![MufExpr::Const(c.clone()), var(&s)]),
+                ))
+            }
+            Expr::Var(x) => {
+                let s = self.fresh("s");
+                Ok(fun(MufPat::var(&s), tuple(vec![var(x.clone()), var(&s)])))
+            }
+            Expr::Last(x) => {
+                let s = self.fresh("s");
+                Ok(fun(
+                    MufPat::var(&s),
+                    tuple(vec![var(last_var(x)), var(&s)]),
+                ))
+            }
+            Expr::Pair(e1, e2) => {
+                let (s1, s2) = (self.fresh("s"), self.fresh("s"));
+                let (v1, v2) = (self.fresh("v"), self.fresh("v"));
+                let (n1, n2) = (self.fresh("s"), self.fresh("s"));
+                let c1 = self.c(e1)?;
+                let c2 = self.c(e2)?;
+                Ok(fun(
+                    MufPat::Tuple(vec![MufPat::var(&s1), MufPat::var(&s2)]),
+                    let_(
+                        MufPat::pair(MufPat::var(&v1), MufPat::var(&n1)),
+                        app(c1, var(&s1)),
+                        let_(
+                            MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
+                            app(c2, var(&s2)),
+                            tuple(vec![
+                                tuple(vec![var(&v1), var(&v2)]),
+                                tuple(vec![var(&n1), var(&n2)]),
+                            ]),
+                        ),
+                    ),
+                ))
+            }
+            Expr::Op(op, args) => {
+                let compiled: Vec<MufExpr> =
+                    args.iter().map(|a| self.c(a)).collect::<Result<_, _>>()?;
+                let ss: Vec<String> = args.iter().map(|_| self.fresh("s")).collect();
+                let vs: Vec<String> = args.iter().map(|_| self.fresh("v")).collect();
+                let ns: Vec<String> = args.iter().map(|_| self.fresh("s")).collect();
+                let state_pat = if ss.len() == 1 {
+                    MufPat::var(&ss[0])
+                } else {
+                    MufPat::Tuple(ss.iter().map(MufPat::var).collect())
+                };
+                let next_state = if ns.len() == 1 {
+                    var(&ns[0])
+                } else {
+                    tuple(ns.iter().map(var).collect())
+                };
+                let mut body = tuple(vec![
+                    MufExpr::Op(*op, vs.iter().map(var).collect()),
+                    next_state,
+                ]);
+                for i in (0..args.len()).rev() {
+                    body = let_(
+                        MufPat::pair(MufPat::var(&vs[i]), MufPat::var(&ns[i])),
+                        app(compiled[i].clone(), var(&ss[i])),
+                        body,
+                    );
+                }
+                Ok(fun(state_pat, body))
+            }
+            Expr::App(f, arg) => {
+                let (s1, s2) = (self.fresh("s"), self.fresh("s"));
+                let (v1, v2) = (self.fresh("v"), self.fresh("v"));
+                let (n1, n2) = (self.fresh("s"), self.fresh("s"));
+                let carg = self.c(arg)?;
+                Ok(fun(
+                    MufPat::Tuple(vec![MufPat::var(&s1), MufPat::var(&s2)]),
+                    let_(
+                        MufPat::pair(MufPat::var(&v1), MufPat::var(&n1)),
+                        app(carg, var(&s1)),
+                        let_(
+                            MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
+                            app(var(step_name(f)), tuple(vec![var(&s2), var(&v1)])),
+                            tuple(vec![var(&v2), tuple(vec![var(&n1), var(&n2)])]),
+                        ),
+                    ),
+                ))
+            }
+            Expr::Where { body, eqs } => self.c_where(body, eqs),
+            Expr::If { cond, then, els } => {
+                let (s, s1, s2) = (self.fresh("s"), self.fresh("s"), self.fresh("s"));
+                let (v, v1, v2) = (self.fresh("v"), self.fresh("v"), self.fresh("v"));
+                let (n, n1, n2) = (self.fresh("s"), self.fresh("s"), self.fresh("s"));
+                let cc = self.c(cond)?;
+                let c1 = self.c(then)?;
+                let c2 = self.c(els)?;
+                Ok(fun(
+                    MufPat::Tuple(vec![
+                        MufPat::var(&s),
+                        MufPat::var(&s1),
+                        MufPat::var(&s2),
+                    ]),
+                    let_(
+                        MufPat::pair(MufPat::var(&v), MufPat::var(&n)),
+                        app(cc, var(&s)),
+                        let_(
+                            MufPat::pair(MufPat::var(&v1), MufPat::var(&n1)),
+                            app(c1, var(&s1)),
+                            let_(
+                                MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
+                                app(c2, var(&s2)),
+                                tuple(vec![
+                                    MufExpr::Select(
+                                        Box::new(var(&v)),
+                                        Box::new(var(&v1)),
+                                        Box::new(var(&v2)),
+                                    ),
+                                    tuple(vec![var(&n), var(&n1), var(&n2)]),
+                                ]),
+                            ),
+                        ),
+                    ),
+                ))
+            }
+            Expr::Present { cond, then, els } => {
+                let (s, s1, s2) = (self.fresh("s"), self.fresh("s"), self.fresh("s"));
+                let (v, v1, v2) = (self.fresh("v"), self.fresh("v"), self.fresh("v"));
+                let (n, n1, n2) = (self.fresh("s"), self.fresh("s"), self.fresh("s"));
+                let cc = self.c(cond)?;
+                let c1 = self.c(then)?;
+                let c2 = self.c(els)?;
+                Ok(fun(
+                    MufPat::Tuple(vec![
+                        MufPat::var(&s),
+                        MufPat::var(&s1),
+                        MufPat::var(&s2),
+                    ]),
+                    let_(
+                        MufPat::pair(MufPat::var(&v), MufPat::var(&n)),
+                        app(cc, var(&s)),
+                        MufExpr::If(
+                            Box::new(var(&v)),
+                            Box::new(let_(
+                                MufPat::pair(MufPat::var(&v1), MufPat::var(&n1)),
+                                app(c1, var(&s1)),
+                                tuple(vec![
+                                    var(&v1),
+                                    tuple(vec![var(&n), var(&n1), var(&s2)]),
+                                ]),
+                            )),
+                            Box::new(let_(
+                                MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
+                                app(c2, var(&s2)),
+                                tuple(vec![
+                                    var(&v2),
+                                    tuple(vec![var(&n), var(&s1), var(&n2)]),
+                                ]),
+                            )),
+                        ),
+                    ),
+                ))
+            }
+            Expr::Reset { body, every } => {
+                let (s0, s1, s2) = (self.fresh("s"), self.fresh("s"), self.fresh("s"));
+                let (v1, v2) = (self.fresh("v"), self.fresh("v"));
+                let (n1, n2) = (self.fresh("s"), self.fresh("s"));
+                let cb = self.c(body)?;
+                let ce = self.c(every)?;
+                Ok(fun(
+                    MufPat::Tuple(vec![
+                        MufPat::var(&s0),
+                        MufPat::var(&s1),
+                        MufPat::var(&s2),
+                    ]),
+                    let_(
+                        MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
+                        app(ce, var(&s2)),
+                        let_(
+                            MufPat::pair(MufPat::var(&v1), MufPat::var(&n1)),
+                            app(
+                                cb,
+                                MufExpr::If(
+                                    Box::new(var(&v2)),
+                                    Box::new(MufExpr::Freshen(Box::new(var(&s0)))),
+                                    Box::new(var(&s1)),
+                                ),
+                            ),
+                            tuple(vec![
+                                var(&v1),
+                                tuple(vec![var(&s0), var(&n1), var(&n2)]),
+                            ]),
+                        ),
+                    ),
+                ))
+            }
+            Expr::Sample(d) => {
+                let s = self.fresh("s");
+                let (mu, n) = (self.fresh("v"), self.fresh("s"));
+                let cd = self.c(d)?;
+                Ok(fun(
+                    MufPat::var(&s),
+                    let_(
+                        MufPat::pair(MufPat::var(&mu), MufPat::var(&n)),
+                        app(cd, var(&s)),
+                        tuple(vec![MufExpr::Sample(Box::new(var(&mu))), var(&n)]),
+                    ),
+                ))
+            }
+            Expr::Observe(d, o) => {
+                let (s1, s2) = (self.fresh("s"), self.fresh("s"));
+                let (v1, v2) = (self.fresh("v"), self.fresh("v"));
+                let (n1, n2) = (self.fresh("s"), self.fresh("s"));
+                let cd = self.c(d)?;
+                let co = self.c(o)?;
+                Ok(fun(
+                    MufPat::Tuple(vec![MufPat::var(&s1), MufPat::var(&s2)]),
+                    let_(
+                        MufPat::pair(MufPat::var(&v1), MufPat::var(&n1)),
+                        app(cd, var(&s1)),
+                        let_(
+                            MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
+                            app(co, var(&s2)),
+                            let_(
+                                MufPat::Wildcard,
+                                MufExpr::Observe(Box::new(var(&v1)), Box::new(var(&v2))),
+                                tuple(vec![
+                                    MufExpr::Const(Const::Unit),
+                                    tuple(vec![var(&n1), var(&n2)]),
+                                ]),
+                            ),
+                        ),
+                    ),
+                ))
+            }
+            Expr::Factor(w) => {
+                let s = self.fresh("s");
+                let (v, n) = (self.fresh("v"), self.fresh("s"));
+                let cw = self.c(w)?;
+                Ok(fun(
+                    MufPat::var(&s),
+                    let_(
+                        MufPat::pair(MufPat::var(&v), MufPat::var(&n)),
+                        app(cw, var(&s)),
+                        let_(
+                            MufPat::Wildcard,
+                            MufExpr::Factor(Box::new(var(&v))),
+                            tuple(vec![MufExpr::Const(Const::Unit), var(&n)]),
+                        ),
+                    ),
+                ))
+            }
+            Expr::ValueOp(x) => {
+                let s = self.fresh("s");
+                let (v, n) = (self.fresh("v"), self.fresh("s"));
+                let cx = self.c(x)?;
+                Ok(fun(
+                    MufPat::var(&s),
+                    let_(
+                        MufPat::pair(MufPat::var(&v), MufPat::var(&n)),
+                        app(cx, var(&s)),
+                        tuple(vec![MufExpr::ValueOp(Box::new(var(&v))), var(&n)]),
+                    ),
+                ))
+            }
+            Expr::Infer {
+                particles,
+                node,
+                arg,
+            } => {
+                let sigma = self.fresh("sigma");
+                let inner = self.c(&Expr::App(node.clone(), arg.clone()))?;
+                Ok(fun(
+                    MufPat::var(&sigma),
+                    MufExpr::Infer {
+                        particles: *particles,
+                        body: Box::new(inner),
+                        state: Box::new(var(&sigma)),
+                    },
+                ))
+            }
+            Expr::Arrow(_, _) | Expr::Pre(_) | Expr::Fby(_, _) => Err(LangError::new(
+                Stage::Compile,
+                "derived form reached the compiler; desugar first",
+            )),
+        }
+    }
+
+    fn c_where(&mut self, body: &Expr, eqs: &[Eq]) -> Result<MufExpr, LangError> {
+        let (inits, defs) = normalize_where(eqs)?;
+        let ms: Vec<String> = inits.iter().map(|_| self.fresh("m")).collect();
+        let ts: Vec<String> = defs.iter().map(|_| self.fresh("s")).collect();
+        let t0 = self.fresh("s");
+        let vs: Vec<String> = defs.iter().map(|_| self.fresh("v")).collect();
+        let ns: Vec<String> = defs.iter().map(|_| self.fresh("s")).collect();
+        let (v0, n0) = (self.fresh("v"), self.fresh("s"));
+
+        let state_pat = MufPat::Tuple(vec![
+            MufPat::Tuple(ms.iter().map(MufPat::var).collect()),
+            MufPat::Tuple(ts.iter().map(MufPat::var).collect()),
+            MufPat::var(&t0),
+        ]);
+
+        // Innermost: the result tuple.
+        let final_state = tuple(vec![
+            tuple(inits.iter().map(|(x, _)| var(x.clone())).collect()),
+            tuple(ns.iter().map(var).collect()),
+            var(&n0),
+        ]);
+        let mut inner = tuple(vec![var(&v0), final_state]);
+        inner = let_(
+            MufPat::pair(MufPat::var(&v0), MufPat::var(&n0)),
+            app(self.c(body)?, var(&t0)),
+            inner,
+        );
+        // Equations, innermost-last.
+        for i in (0..defs.len()).rev() {
+            let (name, expr) = &defs[i];
+            let compiled = self.c(expr)?;
+            inner = let_(
+                MufPat::pair(MufPat::var(&vs[i]), MufPat::var(&ns[i])),
+                app(compiled, var(&ts[i])),
+                let_(MufPat::var(name.clone()), var(&vs[i]), inner),
+            );
+        }
+        // last-variable bindings.
+        for (i, (x, _)) in inits.iter().enumerate().rev() {
+            inner = let_(MufPat::var(last_var(x)), var(&ms[i]), inner);
+        }
+        Ok(fun(state_pat, inner))
+    }
+
+    /// A(·): the initial state of an expression (Fig. 21).
+    fn a(&mut self, e: &Expr) -> Result<MufExpr, LangError> {
+        match e {
+            Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => Ok(MufExpr::Const(Const::Unit)),
+            Expr::Pair(e1, e2) => Ok(tuple(vec![self.a(e1)?, self.a(e2)?])),
+            Expr::Op(_, args) => {
+                if args.len() == 1 {
+                    self.a(&args[0])
+                } else {
+                    Ok(tuple(
+                        args.iter().map(|a| self.a(a)).collect::<Result<_, _>>()?,
+                    ))
+                }
+            }
+            Expr::App(f, arg) => Ok(tuple(vec![
+                self.a(arg)?,
+                app(var(init_name(f)), MufExpr::Const(Const::Unit)),
+            ])),
+            Expr::Where { body, eqs } => {
+                let (inits, defs) = normalize_where(eqs)?;
+                Ok(tuple(vec![
+                    tuple(
+                        inits
+                            .iter()
+                            .map(|(_, c)| MufExpr::Const(c.clone()))
+                            .collect(),
+                    ),
+                    tuple(
+                        defs.iter()
+                            .map(|(_, e)| self.a(e))
+                            .collect::<Result<_, _>>()?,
+                    ),
+                    self.a(body)?,
+                ]))
+            }
+            Expr::If { cond, then, els } | Expr::Present { cond, then, els } => Ok(tuple(vec![
+                self.a(cond)?,
+                self.a(then)?,
+                self.a(els)?,
+            ])),
+            Expr::Reset { body, every } => Ok(tuple(vec![
+                self.a(body)?,
+                self.a(body)?,
+                self.a(every)?,
+            ])),
+            Expr::Sample(d) => self.a(d),
+            Expr::Observe(d, o) => Ok(tuple(vec![self.a(d)?, self.a(o)?])),
+            Expr::Factor(w) => self.a(w),
+            Expr::ValueOp(x) => self.a(x),
+            Expr::Infer {
+                particles,
+                node,
+                arg,
+            } => {
+                let inner_app = Expr::App(node.clone(), arg.clone());
+                Ok(MufExpr::EngineInit {
+                    particles: *particles,
+                    init: Box::new(self.a(&inner_app)?),
+                    body: Box::new(self.c(&inner_app)?),
+                })
+            }
+            Expr::Arrow(_, _) | Expr::Pre(_) | Expr::Fby(_, _) => Err(LangError::new(
+                Stage::Compile,
+                "derived form reached the compiler; desugar first",
+            )),
+        }
+    }
+}
+
+fn pattern_to_pat(p: &Pattern) -> MufPat {
+    match p {
+        Pattern::Var(x) => MufPat::var(x),
+        Pattern::Unit => MufPat::Unit,
+        Pattern::Pair(a, b) => MufPat::pair(pattern_to_pat(a), pattern_to_pat(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::schedule::schedule_program;
+    use crate::transform::desugar_program;
+
+    fn compile(src: &str) -> Result<MufProgram, LangError> {
+        let p = parse_program(src).unwrap();
+        let p = desugar_program(&p);
+        let p = schedule_program(&p).unwrap();
+        compile_program(&p)
+    }
+
+    #[test]
+    fn produces_step_and_init_per_node() {
+        let m = compile("let node f x = x + 1.").unwrap();
+        let names: Vec<&str> = m.defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["f_step", "f_init"]);
+        assert!(matches!(m.defs[0].expr, MufExpr::Fun(_, _)));
+        assert!(matches!(m.defs[1].expr, MufExpr::Fun(_, _)));
+    }
+
+    #[test]
+    fn rejects_sugared_programs() {
+        let p = parse_program("let node f x = 0. -> x").unwrap();
+        assert!(compile_program(&p).is_err());
+    }
+
+    #[test]
+    fn missing_definition_for_init_gets_last_equation() {
+        let (inits, defs) = normalize_where(&[Eq::Init {
+            name: "x".into(),
+            value: Const::Float(0.0),
+        }])
+        .unwrap();
+        assert_eq!(inits.len(), 1);
+        assert_eq!(defs.len(), 1);
+        assert!(matches!(&defs[0].1, Expr::Last(x) if x == "x"));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let err = compile("let node f x = y where rec y = x and y = x").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn infer_compiles_to_engine_forms() {
+        let m = compile(
+            r#"
+            let node m y = sample(gaussian(y, 1.))
+            let node main y = infer 10 m y
+            "#,
+        )
+        .unwrap();
+        fn contains_infer(e: &MufExpr) -> bool {
+            match e {
+                MufExpr::Infer { .. } => true,
+                MufExpr::Fun(_, b) => contains_infer(b),
+                MufExpr::App(a, b) => contains_infer(a) || contains_infer(b),
+                MufExpr::Let(_, a, b) => contains_infer(a) || contains_infer(b),
+                MufExpr::Tuple(xs) => xs.iter().any(contains_infer),
+                _ => false,
+            }
+        }
+        fn contains_engine_init(e: &MufExpr) -> bool {
+            match e {
+                MufExpr::EngineInit { .. } => true,
+                MufExpr::Fun(_, b) => contains_engine_init(b),
+                MufExpr::Tuple(xs) => xs.iter().any(contains_engine_init),
+                MufExpr::App(a, b) => contains_engine_init(a) || contains_engine_init(b),
+                _ => false,
+            }
+        }
+        let main_step = &m.defs.iter().find(|d| d.name == "main_step").unwrap().expr;
+        let main_init = &m.defs.iter().find(|d| d.name == "main_init").unwrap().expr;
+        assert!(contains_infer(main_step));
+        assert!(contains_engine_init(main_init));
+    }
+}

@@ -1,0 +1,347 @@
+//! Initialization analysis.
+//!
+//! A simplified version of the Zelus initialization check (§3.2 "static
+//! analyses"): a fixpoint abstract interpretation that computes, for every
+//! expression, whether its value is *defined at the first instant* —
+//! i.e. can never be the `nil` that an unguarded `pre` produces. The
+//! analysis exploits the precise rule for `->` (only the left operand
+//! matters at instant 0), so it must run **before** desugaring turns `->`
+//! into a strict conditional.
+//!
+//! Runtime complements this with nil-poisoning: `nil` propagates through
+//! strict operators and is only an error at an observation sink. The
+//! analysis guarantees accepted programs never deliver `nil` to a sink:
+//! `sample` / `observe` / `factor` / `value` arguments, `present` and
+//! `reset` conditions, node-application arguments, `infer` inputs, and
+//! every node's result must be defined at instant 0.
+
+use crate::ast::{Const, Eq, Expr, Program};
+use crate::error::{LangError, Stage};
+use std::collections::HashMap;
+
+/// Checks the whole (sugared or kernel) program.
+///
+/// # Errors
+///
+/// [`crate::error::Stage::Init`] errors naming the offending construct.
+pub fn check_program(p: &Program) -> Result<(), LangError> {
+    for node in &p.nodes {
+        let mut env: HashMap<String, bool> = HashMap::new();
+        for v in node.param.vars() {
+            env.insert(v.to_string(), true);
+        }
+        let inits = HashMap::new();
+        let defined = analyze(&node.body, &mut env, &inits, true)?;
+        if !defined {
+            return Err(LangError::new(
+                Stage::Init,
+                format!(
+                    "the result of node `{}` may be uninitialized at the first instant \
+                     (guard `pre` with `->`)",
+                    node.name
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Computes whether `e` is defined at instant 0 and checks sink
+/// requirements (when `check` is true; the fixpoint passes run with
+/// `check` false to avoid reporting mid-iteration states).
+fn analyze(
+    e: &Expr,
+    env: &mut HashMap<String, bool>,
+    inits: &HashMap<String, Const>,
+    check: bool,
+) -> Result<bool, LangError> {
+    match e {
+        Expr::Const(Const::Nil) => Ok(false),
+        Expr::Const(_) => Ok(true),
+        Expr::Var(x) => Ok(*env.get(x.as_str()).unwrap_or(&true)),
+        Expr::Last(x) => match inits.get(x.as_str()) {
+            Some(Const::Nil) => Ok(false),
+            Some(_) => Ok(true),
+            None => Err(LangError::new(
+                Stage::Init,
+                format!("`last {x}` requires an `init {x} = c` equation in scope"),
+            )),
+        },
+        Expr::Pair(a, b) => {
+            let da = analyze(a, env, inits, check)?;
+            let db = analyze(b, env, inits, check)?;
+            Ok(da && db)
+        }
+        Expr::Op(_, args) => {
+            let mut d = true;
+            for a in args {
+                d &= analyze(a, env, inits, check)?;
+            }
+            Ok(d)
+        }
+        Expr::App(f, arg) => {
+            let d = analyze(arg, env, inits, check)?;
+            if check && !d {
+                return Err(LangError::new(
+                    Stage::Init,
+                    format!("the argument of node `{f}` may be uninitialized at the first instant"),
+                ));
+            }
+            // Node results are themselves checked to be initialized.
+            Ok(true)
+        }
+        Expr::Where { body, eqs } => {
+            let mut inner_env = env.clone();
+            let mut inner_inits = inits.clone();
+            for eq in eqs {
+                match eq {
+                    Eq::Init { name, value } => {
+                        inner_inits.insert(name.clone(), value.clone());
+                    }
+                    Eq::Def { name, .. } => {
+                        inner_env.insert(name.clone(), true);
+                    }
+                    Eq::Automaton { .. } => {
+                        return Err(LangError::new(
+                            Stage::Init,
+                            "automaton must be expanded before the initialization analysis",
+                        ))
+                    }
+                }
+            }
+            // Greatest-fixpoint iteration: definedness only decreases.
+            loop {
+                let mut changed = false;
+                for eq in eqs {
+                    if let Eq::Def { name, expr } = eq {
+                        let d = analyze(expr, &mut inner_env, &inner_inits, false)?;
+                        let cur = inner_env[name.as_str()];
+                        if d != cur {
+                            inner_env.insert(name.clone(), d);
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            if check {
+                // Final pass with sink checking enabled.
+                for eq in eqs {
+                    if let Eq::Def { expr, .. } = eq {
+                        analyze(expr, &mut inner_env, &inner_inits, true)?;
+                    }
+                }
+            }
+            analyze(body, &mut inner_env, &inner_inits, check)
+        }
+        Expr::Present { cond, then, els } => {
+            let dc = analyze(cond, env, inits, check)?;
+            if check && !dc {
+                return Err(LangError::new(
+                    Stage::Init,
+                    "the condition of `present` may be uninitialized at the first instant",
+                ));
+            }
+            let dt = analyze(then, env, inits, check)?;
+            let de = analyze(els, env, inits, check)?;
+            // Precision for expanded automata: when the condition's value
+            // at instant 0 is statically known (e.g. `last st = 0` with
+            // `init st = 0`), only the selected branch contributes to
+            // definedness — the other branch is not executed at instant 0.
+            match eval_instant0(cond, inits) {
+                Some(Const::Bool(true)) => Ok(dc && dt),
+                Some(Const::Bool(false)) => Ok(dc && de),
+                _ => Ok(dc && dt && de),
+            }
+        }
+        Expr::If { cond, then, els } => {
+            let dc = analyze(cond, env, inits, check)?;
+            let dt = analyze(then, env, inits, check)?;
+            let de = analyze(els, env, inits, check)?;
+            Ok(dc && dt && de)
+        }
+        Expr::Reset { body, every } => {
+            let de = analyze(every, env, inits, check)?;
+            if check && !de {
+                return Err(LangError::new(
+                    Stage::Init,
+                    "the condition of `reset … every` may be uninitialized at the first instant",
+                ));
+            }
+            analyze(body, env, inits, check)
+        }
+        Expr::Sample(d) => {
+            let dd = analyze(d, env, inits, check)?;
+            if check && !dd {
+                return Err(LangError::new(
+                    Stage::Init,
+                    "the distribution of `sample` may be uninitialized at the first instant",
+                ));
+            }
+            Ok(true)
+        }
+        Expr::Observe(d, v) => {
+            let dd = analyze(d, env, inits, check)?;
+            let dv = analyze(v, env, inits, check)?;
+            if check && !(dd && dv) {
+                return Err(LangError::new(
+                    Stage::Init,
+                    "the arguments of `observe` may be uninitialized at the first instant",
+                ));
+            }
+            Ok(true)
+        }
+        Expr::Factor(w) => {
+            let dw = analyze(w, env, inits, check)?;
+            if check && !dw {
+                return Err(LangError::new(
+                    Stage::Init,
+                    "the argument of `factor` may be uninitialized at the first instant",
+                ));
+            }
+            Ok(true)
+        }
+        Expr::ValueOp(x) => analyze(x, env, inits, check),
+        Expr::Infer { arg, .. } => {
+            let da = analyze(arg, env, inits, check)?;
+            if check && !da {
+                return Err(LangError::new(
+                    Stage::Init,
+                    "the input of `infer` may be uninitialized at the first instant",
+                ));
+            }
+            Ok(true)
+        }
+        Expr::Arrow(a, b) => {
+            // Precise rule: only the left operand matters at instant 0,
+            // but the right is still traversed for its own sinks.
+            let da = analyze(a, env, inits, check)?;
+            let _ = analyze(b, env, inits, check)?;
+            Ok(da)
+        }
+        Expr::Fby(a, b) => {
+            let da = analyze(a, env, inits, check)?;
+            let _ = analyze(b, env, inits, check)?;
+            Ok(da)
+        }
+        Expr::Pre(x) => {
+            let _ = analyze(x, env, inits, check)?;
+            Ok(false)
+        }
+    }
+}
+
+/// Constant-folds an expression *at the first instant*: literals are
+/// themselves and `last x` is `x`'s `init` constant. Returns `None` when
+/// the value is not statically known. Used to make the `present` rule
+/// precise on the code the automaton expansion generates.
+fn eval_instant0(e: &Expr, inits: &HashMap<String, Const>) -> Option<Const> {
+    use crate::ast::OpName;
+    match e {
+        Expr::Const(Const::Nil) => None,
+        Expr::Const(c) => Some(c.clone()),
+        Expr::Last(x) => match inits.get(x.as_str()) {
+            Some(Const::Nil) | None => None,
+            Some(c) => Some(c.clone()),
+        },
+        Expr::Op(op, args) => {
+            let vals: Vec<Const> = args
+                .iter()
+                .map(|a| eval_instant0(a, inits))
+                .collect::<Option<_>>()?;
+            match (op, vals.as_slice()) {
+                (OpName::Eq, [a, b]) => Some(Const::Bool(a == b)),
+                (OpName::Ne, [a, b]) => Some(Const::Bool(a != b)),
+                (OpName::Not, [Const::Bool(b)]) => Some(Const::Bool(!b)),
+                (OpName::And, [Const::Bool(a), Const::Bool(b)]) => {
+                    Some(Const::Bool(*a && *b))
+                }
+                (OpName::Or, [Const::Bool(a), Const::Bool(b)]) => {
+                    Some(Const::Bool(*a || *b))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), LangError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn guarded_pre_is_accepted() {
+        check("let node f x = y where rec y = 0. -> pre y + x").unwrap();
+    }
+
+    #[test]
+    fn unguarded_pre_output_is_rejected() {
+        let err = check("let node f x = pre x").unwrap_err();
+        assert_eq!(err.stage, Stage::Init);
+        assert!(err.message.contains("uninitialized"));
+    }
+
+    #[test]
+    fn unguarded_pre_under_sample_is_rejected() {
+        let err = check("let node f y = sample(gaussian(pre y, 1.))").unwrap_err();
+        assert_eq!(err.stage, Stage::Init);
+    }
+
+    #[test]
+    fn the_paper_hmm_is_accepted() {
+        check(
+            r#"
+            let node hmm y = x where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+              and () = observe (gaussian (x, 1.), y)
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pre_inside_arrow_right_operand_is_fine() {
+        // `pre x` only evaluated after the first instant.
+        check("let node f x = 0. -> pre x").unwrap();
+    }
+
+    #[test]
+    fn chained_unguarded_pre_detected_through_variables() {
+        // y is nil at instant 0, and z copies y.
+        let err = check(
+            "let node f x = z where rec y = pre x and z = y",
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, Stage::Init);
+    }
+
+    #[test]
+    fn last_requires_init() {
+        let err = check("let node f x = last x").unwrap_err();
+        assert!(err.message.contains("init"));
+        check("let node f x = last y where rec init y = 0. and y = x").unwrap();
+    }
+
+    #[test]
+    fn present_condition_must_be_initialized() {
+        let err = check(
+            "let node f c = present pre c -> 1. else 2.",
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, Stage::Init);
+    }
+
+    #[test]
+    fn intermediate_nil_is_allowed_when_guarded_downstream() {
+        // y is nil at instant 0 but only consumed under an arrow guard.
+        check("let node f x = 0. -> y where rec y = pre x").unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! Kind system: deterministic (`D`) vs probabilistic (`P`) expressions,
+//! exactly the rules of Fig. 7.
+//!
+//! `D <= P` by the sub-typing rule, so the kind of a compound expression is
+//! the join of its parts — except where a rule's premise *requires* `D`:
+//! the arguments of `sample`, `observe`, `factor`, `value`, node
+//! application, and `infer`. Probabilistic expressions may only occur
+//! under an `infer`, which itself is deterministic.
+
+use crate::ast::{Eq, Expr, NodeDecl, Program};
+use crate::error::{LangError, Stage};
+use std::collections::HashMap;
+
+/// Expression kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// Deterministic.
+    D,
+    /// Probabilistic.
+    P,
+}
+
+impl std::fmt::Display for Kind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Kind::D => write!(f, "D"),
+            Kind::P => write!(f, "P"),
+        }
+    }
+}
+
+/// Checks the whole program, returning each node's kind (the environment
+/// `G` of Fig. 7). Nodes must be declared before use.
+///
+/// # Errors
+///
+/// Kind errors per Fig. 7: probabilistic expressions in
+/// deterministic-only positions, unknown nodes, probabilistic `main`-style
+/// nodes used without `infer` are reported at their use.
+pub fn check_program(p: &Program) -> Result<HashMap<String, Kind>, LangError> {
+    let mut env: HashMap<String, Kind> = HashMap::new();
+    for node in &p.nodes {
+        let k = check_node(node, &env)?;
+        env.insert(node.name.clone(), k);
+    }
+    Ok(env)
+}
+
+fn check_node(node: &NodeDecl, env: &HashMap<String, Kind>) -> Result<Kind, LangError> {
+    kind_of(&node.body, env)
+}
+
+/// Infers the kind of an expression under a node-kind environment.
+///
+/// # Errors
+///
+/// See [`check_program`].
+pub fn kind_of(e: &Expr, env: &HashMap<String, Kind>) -> Result<Kind, LangError> {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => Ok(Kind::D),
+        Expr::Pair(a, b) => Ok(kind_of(a, env)?.max(kind_of(b, env)?)),
+        Expr::Op(_, args) => {
+            let mut k = Kind::D;
+            for a in args {
+                k = k.max(kind_of(a, env)?);
+            }
+            Ok(k)
+        }
+        Expr::App(f, arg) => {
+            require_d(arg, env, "the argument of a node application")?;
+            env.get(f.as_str()).copied().ok_or_else(|| {
+                LangError::new(Stage::Kind, format!("unknown node `{f}` (nodes must be declared before use)"))
+            })
+        }
+        Expr::Where { body, eqs } => {
+            let mut k = kind_of(body, env)?;
+            for eq in eqs {
+                match eq {
+                    Eq::Def { expr, .. } => k = k.max(kind_of(expr, env)?),
+                    Eq::Init { .. } => {}
+                    Eq::Automaton { .. } => {
+                        return Err(LangError::new(
+                            Stage::Kind,
+                            "automaton must be expanded before kind checking (run crate::automata::expand_program)",
+                        ))
+                    }
+                }
+            }
+            Ok(k)
+        }
+        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => Ok(kind_of(cond, env)?
+            .max(kind_of(then, env)?)
+            .max(kind_of(els, env)?)),
+        Expr::Reset { body, every } => Ok(kind_of(body, env)?.max(kind_of(every, env)?)),
+        Expr::Sample(d) => {
+            require_d(d, env, "the argument of `sample`")?;
+            Ok(Kind::P)
+        }
+        Expr::Observe(d, v) => {
+            require_d(d, env, "the distribution argument of `observe`")?;
+            require_d(v, env, "the observed value of `observe`")?;
+            Ok(Kind::P)
+        }
+        Expr::Factor(w) => {
+            require_d(w, env, "the argument of `factor`")?;
+            Ok(Kind::P)
+        }
+        Expr::ValueOp(x) => {
+            require_d(x, env, "the argument of `value`")?;
+            Ok(Kind::P)
+        }
+        Expr::Infer { node, arg, .. } => {
+            require_d(arg, env, "the input stream of `infer`")?;
+            if !env.contains_key(node.as_str()) {
+                return Err(LangError::new(
+                    Stage::Kind,
+                    format!("unknown node `{node}` in `infer`"),
+                ));
+            }
+            Ok(Kind::D)
+        }
+        Expr::Arrow(a, b) | Expr::Fby(a, b) => Ok(kind_of(a, env)?.max(kind_of(b, env)?)),
+        Expr::Pre(x) => kind_of(x, env),
+    }
+}
+
+fn require_d(
+    e: &Expr,
+    env: &HashMap<String, Kind>,
+    what: &str,
+) -> Result<(), LangError> {
+    match kind_of(e, env)? {
+        Kind::D => Ok(()),
+        Kind::P => Err(LangError::new(
+            Stage::Kind,
+            format!("{what} must be deterministic; bind intermediate probabilistic values with equations"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn kinds(src: &str) -> Result<HashMap<String, Kind>, LangError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn deterministic_node_is_d() {
+        let k = kinds("let node f x = x + 1.").unwrap();
+        assert_eq!(k["f"], Kind::D);
+    }
+
+    #[test]
+    fn sampling_node_is_p() {
+        let k = kinds("let node f x = sample(gaussian(x, 1.))").unwrap();
+        assert_eq!(k["f"], Kind::P);
+    }
+
+    #[test]
+    fn infer_makes_it_deterministic_again() {
+        let src = r#"
+            let node m y = x where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+              and () = observe (gaussian (x, 1.), y)
+            let node main y = infer 100 m y
+        "#;
+        let k = kinds(src).unwrap();
+        assert_eq!(k["m"], Kind::P);
+        assert_eq!(k["main"], Kind::D);
+    }
+
+    #[test]
+    fn sample_of_sample_is_rejected() {
+        // Fig. 7: sample's argument must be deterministic.
+        let err = kinds("let node f x = sample(gaussian(sample(gaussian(x, 1.)), 1.))")
+            .unwrap_err();
+        assert_eq!(err.stage, Stage::Kind);
+        assert!(err.message.contains("sample"));
+    }
+
+    #[test]
+    fn probabilistic_observed_value_is_rejected() {
+        let err =
+            kinds("let node f x = observe(gaussian(0., 1.), sample(gaussian(x, 1.)))")
+                .unwrap_err();
+        assert_eq!(err.stage, Stage::Kind);
+    }
+
+    #[test]
+    fn applying_probabilistic_node_keeps_p() {
+        let src = r#"
+            let node m x = sample(gaussian(x, 1.))
+            let node g x = m(x) + 1.
+        "#;
+        let k = kinds(src).unwrap();
+        assert_eq!(k["g"], Kind::P);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let err = kinds("let node f x = g(x)").unwrap_err();
+        assert!(err.message.contains("unknown node"));
+        let err = kinds("let node f x = infer 10 g x").unwrap_err();
+        assert!(err.message.contains("unknown node"));
+    }
+
+    #[test]
+    fn probabilistic_argument_to_application_rejected() {
+        let src = r#"
+            let node m x = sample(gaussian(x, 1.))
+            let node g x = m(m(x))
+        "#;
+        let err = kinds(src).unwrap_err();
+        assert_eq!(err.stage, Stage::Kind);
+    }
+
+    #[test]
+    fn composing_det_and_prob_equations_is_fine() {
+        let src = r#"
+            let node m y = x + d where
+              rec d = y * 2.
+              and x = sample (gaussian (d, 1.))
+        "#;
+        let k = kinds(src).unwrap();
+        assert_eq!(k["m"], Kind::P);
+    }
+}

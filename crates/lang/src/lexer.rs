@@ -1,0 +1,489 @@
+//! Lexer for the ProbZelus surface syntax.
+//!
+//! OCaml-flavoured tokens: identifiers, integer and float literals,
+//! keywords, symbolic operators (including the dotted float operators `+.`,
+//! `-.`, `*.`, `/.` of Zelus source), and nested `(* ... *)` comments.
+
+use crate::error::{LangError, Pos, Stage};
+
+/// Tokens of the surface language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `let`.
+    Let,
+    /// `node`.
+    Node,
+    /// `where`.
+    Where,
+    /// `rec`.
+    Rec,
+    /// `and`.
+    And,
+    /// `init`.
+    Init,
+    /// `last`.
+    Last,
+    /// `pre`.
+    Pre,
+    /// `fby`.
+    Fby,
+    /// `present`.
+    Present,
+    /// `else`.
+    Else,
+    /// `reset`.
+    Reset,
+    /// `every`.
+    Every,
+    /// `if`.
+    If,
+    /// `then`.
+    Then,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `not`.
+    Not,
+    /// `sample`.
+    Sample,
+    /// `observe`.
+    Observe,
+    /// `factor`.
+    Factor,
+    /// `infer`.
+    Infer,
+    /// `value`.
+    Value,
+    /// `automaton`.
+    Automaton,
+    /// `do`.
+    Do,
+    /// `until`.
+    Until,
+    /// `done`.
+    Done,
+    /// `|`.
+    Bar,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Equal,
+    /// `<>`.
+    NotEqual,
+    /// `->`.
+    Arrow,
+    /// `+` / `+.`.
+    Plus,
+    /// `-` / `-.`.
+    Minus,
+    /// `*` / `*.`.
+    Star,
+    /// `/` / `/.`.
+    Slash,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AmpAmp,
+    /// `||`.
+    BarBar,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::Float(x) => write!(f, "float `{x}`"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", other.text()),
+        }
+    }
+}
+
+impl Tok {
+    fn text(&self) -> &'static str {
+        match self {
+            Tok::Let => "let",
+            Tok::Node => "node",
+            Tok::Where => "where",
+            Tok::Rec => "rec",
+            Tok::And => "and",
+            Tok::Init => "init",
+            Tok::Last => "last",
+            Tok::Pre => "pre",
+            Tok::Fby => "fby",
+            Tok::Present => "present",
+            Tok::Else => "else",
+            Tok::Reset => "reset",
+            Tok::Every => "every",
+            Tok::If => "if",
+            Tok::Then => "then",
+            Tok::True => "true",
+            Tok::False => "false",
+            Tok::Not => "not",
+            Tok::Sample => "sample",
+            Tok::Observe => "observe",
+            Tok::Factor => "factor",
+            Tok::Infer => "infer",
+            Tok::Value => "value",
+            Tok::Automaton => "automaton",
+            Tok::Do => "do",
+            Tok::Until => "until",
+            Tok::Done => "done",
+            Tok::Bar => "|",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::Comma => ",",
+            Tok::Equal => "=",
+            Tok::NotEqual => "<>",
+            Tok::Arrow => "->",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::AmpAmp => "&&",
+            Tok::BarBar => "||",
+            Tok::Ident(_) | Tok::Int(_) | Tok::Float(_) | Tok::Eof => unreachable!(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unknown characters, malformed numbers, or
+/// unterminated comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    let advance = |c: char, line: &mut u32, col: &mut u32| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            advance(c, &mut line, &mut col);
+            i += 1;
+            continue;
+        }
+        // Nested comments (* ... *).
+        if c == '(' && bytes.get(i + 1) == Some(&'*') {
+            let start = pos!();
+            let mut depth = 1;
+            advance('(', &mut line, &mut col);
+            advance('*', &mut line, &mut col);
+            i += 2;
+            while depth > 0 {
+                if i >= bytes.len() {
+                    return Err(LangError::at(Stage::Lex, start, "unterminated comment"));
+                }
+                if bytes[i] == '(' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    advance('(', &mut line, &mut col);
+                    advance('*', &mut line, &mut col);
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&')') {
+                    depth -= 1;
+                    advance('*', &mut line, &mut col);
+                    advance(')', &mut line, &mut col);
+                    i += 2;
+                } else {
+                    advance(bytes[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        let start = pos!();
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'') {
+                s.push(bytes[i]);
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            let tok = match s.as_str() {
+                "let" => Tok::Let,
+                "node" => Tok::Node,
+                "where" => Tok::Where,
+                "rec" => Tok::Rec,
+                "and" => Tok::And,
+                "init" => Tok::Init,
+                "last" => Tok::Last,
+                "pre" => Tok::Pre,
+                "fby" => Tok::Fby,
+                "present" => Tok::Present,
+                "else" => Tok::Else,
+                "reset" => Tok::Reset,
+                "every" => Tok::Every,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "true" => Tok::True,
+                "false" => Tok::False,
+                "not" => Tok::Not,
+                "sample" => Tok::Sample,
+                "observe" => Tok::Observe,
+                "factor" => Tok::Factor,
+                "infer" => Tok::Infer,
+                "value" => Tok::Value,
+                "automaton" => Tok::Automaton,
+                "do" => Tok::Do,
+                "until" => Tok::Until,
+                "done" => Tok::Done,
+                _ => Tok::Ident(s),
+            };
+            out.push(Spanned { tok, pos: start });
+            continue;
+        }
+        // Numbers: ints, floats (with '.', exponents).
+        if c.is_ascii_digit() {
+            let mut s = String::new();
+            let mut is_float = false;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                s.push(bytes[i]);
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == '.' {
+                is_float = true;
+                s.push('.');
+                advance('.', &mut line, &mut col);
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    s.push(bytes[i]);
+                    advance(bytes[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                is_float = true;
+                s.push('e');
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+                if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                    s.push(bytes[i]);
+                    advance(bytes[i], &mut line, &mut col);
+                    i += 1;
+                }
+                let mut digits = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    digits = true;
+                    s.push(bytes[i]);
+                    advance(bytes[i], &mut line, &mut col);
+                    i += 1;
+                }
+                if !digits {
+                    return Err(LangError::at(Stage::Lex, start, "malformed exponent"));
+                }
+            }
+            let tok = if is_float {
+                Tok::Float(s.parse().map_err(|_| {
+                    LangError::at(Stage::Lex, start, format!("malformed float literal `{s}`"))
+                })?)
+            } else {
+                Tok::Int(s.parse().map_err(|_| {
+                    LangError::at(Stage::Lex, start, format!("malformed int literal `{s}`"))
+                })?)
+            };
+            out.push(Spanned { tok, pos: start });
+            continue;
+        }
+        // Symbols, longest match first.
+        let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let (tok, len) = match two.as_str() {
+            "->" => (Tok::Arrow, 2),
+            "<>" => (Tok::NotEqual, 2),
+            "<=" => (Tok::Le, 2),
+            ">=" => (Tok::Ge, 2),
+            "&&" => (Tok::AmpAmp, 2),
+            "||" => (Tok::BarBar, 2),
+            "+." => (Tok::Plus, 2),
+            "-." => (Tok::Minus, 2),
+            "*." => (Tok::Star, 2),
+            "/." => (Tok::Slash, 2),
+            _ => match c {
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                ',' => (Tok::Comma, 1),
+                '=' => (Tok::Equal, 1),
+                '+' => (Tok::Plus, 1),
+                '-' => (Tok::Minus, 1),
+                '*' => (Tok::Star, 1),
+                '/' => (Tok::Slash, 1),
+                '<' => (Tok::Lt, 1),
+                '>' => (Tok::Gt, 1),
+                '|' => (Tok::Bar, 1),
+                other => {
+                    return Err(LangError::at(
+                        Stage::Lex,
+                        start,
+                        format!("unexpected character `{other}`"),
+                    ))
+                }
+            },
+        };
+        for k in 0..len {
+            advance(bytes[i + k], &mut line, &mut col);
+        }
+        i += len;
+        out.push(Spanned { tok, pos: start });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("let node f x = sample"),
+            vec![
+                Tok::Let,
+                Tok::Node,
+                Tok::Ident("f".into()),
+                Tok::Ident("x".into()),
+                Tok::Equal,
+                Tok::Sample,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 0. 100 1.5 2e3 1.5e-2"),
+            vec![
+                Tok::Int(0),
+                Tok::Float(0.0),
+                Tok::Int(100),
+                Tok::Float(1.5),
+                Tok::Float(2000.0),
+                Tok::Float(0.015),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_float_operators_map_to_plain() {
+        assert_eq!(
+            toks("a +. b *. c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Plus,
+                Tok::Ident("b".into()),
+                Tok::Star,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            toks("0 -> pre x - 1"),
+            vec![
+                Tok::Int(0),
+                Tok::Arrow,
+                Tok::Pre,
+                Tok::Ident("x".into()),
+                Tok::Minus,
+                Tok::Int(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(
+            toks("a (* outer (* inner *) still *) b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+        assert!(lex("(* unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("2e").is_err());
+    }
+
+    #[test]
+    fn primes_allowed_in_identifiers() {
+        assert_eq!(
+            toks("x' a_b2"),
+            vec![Tok::Ident("x'".into()), Tok::Ident("a_b2".into()), Tok::Eof]
+        );
+    }
+}

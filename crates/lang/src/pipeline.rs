@@ -1,0 +1,207 @@
+//! The end-to-end compilation pipeline and its driver-facing API.
+//!
+//! ```text
+//! source ──parse──► AST ──automata──► AST ──kinds──► D/P ──types──► elaborated AST
+//!        ──initcheck──► ✓ ──desugar──► kernel ──schedule──► scheduled
+//!        ──compile──► µF ──Interp──► Instance / MufEngine
+//! ```
+
+use crate::ast::Program;
+use crate::automata::expand_program;
+use crate::compile::{compile_program, init_name, step_name};
+use crate::error::{LangError, Stage};
+use crate::eval::{Instance, Interp, MufEngine, Options, ProbSlot};
+use crate::initcheck;
+use crate::kinds::{self, Kind};
+use crate::muf::{MufProgram, MufValue};
+use crate::parser::parse_program;
+use crate::schedule::schedule_program;
+use crate::transform::desugar_program;
+use crate::types::{self, NodeSig};
+use std::collections::HashMap;
+
+/// A fully checked and compiled program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The scheduled kernel program (after desugaring).
+    pub kernel: Program,
+    /// The compiled µF definitions.
+    pub muf: MufProgram,
+    /// Each node's kind (deterministic / probabilistic).
+    pub kinds: HashMap<String, Kind>,
+    /// Each node's data-type signature.
+    pub sigs: HashMap<String, NodeSig>,
+}
+
+/// Runs the whole pipeline on source text.
+///
+/// # Errors
+///
+/// The first error of any stage, with stage and (for syntax errors)
+/// position information.
+///
+/// # Examples
+///
+/// ```
+/// let compiled = probzelus_lang::pipeline::compile_source(r#"
+///     let node hmm y = x where
+///       rec x = sample (gaussian ((0. -> pre x), (100. -> 1.)))
+///       and () = observe (gaussian (x, 1.), y)
+///     let node main y = infer 100 hmm y
+/// "#)?;
+/// assert_eq!(compiled.kinds["hmm"], probzelus_lang::Kind::P);
+/// assert_eq!(compiled.kinds["main"], probzelus_lang::Kind::D);
+/// # Ok::<(), probzelus_lang::LangError>(())
+/// ```
+pub fn compile_source(src: &str) -> Result<Compiled, LangError> {
+    let program = parse_program(src)?;
+    let mut program = expand_program(&program)?;
+    let kinds = kinds::check_program(&program)?;
+    let sigs = types::check_program(&mut program)?;
+    initcheck::check_program(&program)?;
+    let kernel = desugar_program(&program);
+    let kernel = schedule_program(&kernel)?;
+    let muf = compile_program(&kernel)?;
+    Ok(Compiled {
+        kernel,
+        muf,
+        kinds,
+        sigs,
+    })
+}
+
+impl Compiled {
+    /// Instantiates a **deterministic** node as a driver-facing stream
+    /// function (its embedded `infer` sites allocate engines per
+    /// `options`).
+    ///
+    /// # Errors
+    ///
+    /// Unknown or probabilistic nodes (use [`Compiled::infer_node`] for
+    /// the latter), or initialization failures.
+    pub fn instantiate(&self, node: &str, options: Options) -> Result<Instance, LangError> {
+        match self.kinds.get(node) {
+            None => {
+                return Err(LangError::new(
+                    Stage::Eval,
+                    format!("unknown node `{node}`"),
+                ))
+            }
+            Some(Kind::P) => {
+                return Err(LangError::new(
+                    Stage::Eval,
+                    format!(
+                        "node `{node}` is probabilistic; run it with `infer_node` or wrap it in `infer`"
+                    ),
+                ))
+            }
+            Some(Kind::D) => {}
+        }
+        let interp = Interp::new(&self.muf, options)?;
+        Instance::new(interp, node)
+    }
+
+    /// Runs a **probabilistic** node directly under an inference engine
+    /// (equivalent to `infer particles node input` at the driver level,
+    /// but feeding the input stream from Rust).
+    ///
+    /// # Errors
+    ///
+    /// Unknown nodes or initialization failures.
+    pub fn infer_node(
+        &self,
+        node: &str,
+        particles: usize,
+        options: Options,
+    ) -> Result<MufEngine, LangError> {
+        if !self.kinds.contains_key(node) {
+            return Err(LangError::new(
+                Stage::Eval,
+                format!("unknown node `{node}`"),
+            ));
+        }
+        let interp = Interp::new(&self.muf, options)?;
+        let step = interp.global(&step_name(node)).ok_or_else(|| {
+            LangError::new(Stage::Eval, format!("missing compiled step for `{node}`"))
+        })?;
+        let init_thunk = interp.global(&init_name(node)).ok_or_else(|| {
+            LangError::new(Stage::Eval, format!("missing compiled init for `{node}`"))
+        })?;
+        let init_state = interp.apply(&init_thunk, MufValue::unit(), &mut ProbSlot::Det)?;
+        Ok(MufEngine::new(
+            interp,
+            options.method,
+            particles,
+            init_state,
+            step,
+            true,
+            options.seed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probzelus_core::infer::Method;
+    use probzelus_core::Value;
+
+    const HMM: &str = r#"
+        let node hmm y = x where
+          rec x = sample (gaussian ((0. -> pre x), (100. -> 1.)))
+          and () = observe (gaussian (x, 1.), y)
+        let node main y = infer 1 hmm y
+    "#;
+
+    #[test]
+    fn pipeline_accepts_the_paper_programs() {
+        let c = compile_source(HMM).unwrap();
+        assert_eq!(c.kinds["hmm"], Kind::P);
+        assert_eq!(c.kinds["main"], Kind::D);
+    }
+
+    #[test]
+    fn instantiate_rejects_probabilistic_nodes() {
+        let c = compile_source(HMM).unwrap();
+        let err = c
+            .instantiate("hmm", Options { method: Method::StreamingDs, seed: 0 })
+            .unwrap_err();
+        assert!(err.message.contains("probabilistic"));
+    }
+
+    #[test]
+    fn infer_node_runs_exact_kalman() {
+        let c = compile_source(HMM).unwrap();
+        let mut eng = c
+            .infer_node("hmm", 1, Options { method: Method::StreamingDs, seed: 3 })
+            .unwrap();
+        let post = eng.step(&Value::Float(5.0)).unwrap();
+        assert!((post.mean_float() - 5.0 * 100.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_carry_their_stage() {
+        assert_eq!(
+            compile_source("let node f = 3").unwrap_err().stage,
+            Stage::Parse
+        );
+        assert_eq!(
+            compile_source("let node f x = sample(sample(x))").unwrap_err().stage,
+            Stage::Kind
+        );
+        assert_eq!(
+            compile_source("let node f x = x + true").unwrap_err().stage,
+            Stage::Type
+        );
+        assert_eq!(
+            compile_source("let node f x = pre x").unwrap_err().stage,
+            Stage::Init
+        );
+        assert_eq!(
+            compile_source("let node f x = y where rec y = y + x")
+                .unwrap_err()
+                .stage,
+            Stage::Schedule
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Scheduling and causality analysis (§3.1).
+//!
+//! `where rec` equations are mutually recursive; before compilation they
+//! must be reordered so that an equation defining `x` precedes every
+//! equation that reads `x` *instantaneously* (reads through `last` do not
+//! count — they break cycles, exactly as in the paper). `init` equations
+//! are grouped first. Instantaneous cycles are causality errors.
+
+use crate::ast::{Eq, Expr, Program};
+use crate::error::{LangError, Stage};
+use std::collections::{HashMap, HashSet};
+
+/// Schedules every `where rec` block of a program (recursively), returning
+/// the scheduled program.
+///
+/// # Errors
+///
+/// [`crate::error::Stage::Schedule`] errors on instantaneous dependency
+/// cycles, listing the variables involved.
+pub fn schedule_program(p: &Program) -> Result<Program, LangError> {
+    let mut out = p.clone();
+    for node in &mut out.nodes {
+        node.body = schedule_expr(&node.body)?;
+    }
+    Ok(out)
+}
+
+/// Schedules one expression tree.
+///
+/// # Errors
+///
+/// See [`schedule_program`].
+pub fn schedule_expr(e: &Expr) -> Result<Expr, LangError> {
+    Ok(match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => e.clone(),
+        Expr::Pair(a, b) => Expr::pair(schedule_expr(a)?, schedule_expr(b)?),
+        Expr::Op(op, args) => Expr::Op(
+            *op,
+            args.iter()
+                .map(schedule_expr)
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::App(f, arg) => Expr::App(f.clone(), Box::new(schedule_expr(arg)?)),
+        Expr::Where { body, eqs } => {
+            let body = schedule_expr(body)?;
+            let eqs = schedule_equations(eqs)?;
+            Expr::Where {
+                body: Box::new(body),
+                eqs,
+            }
+        }
+        Expr::Present { cond, then, els } => Expr::Present {
+            cond: Box::new(schedule_expr(cond)?),
+            then: Box::new(schedule_expr(then)?),
+            els: Box::new(schedule_expr(els)?),
+        },
+        Expr::If { cond, then, els } => Expr::If {
+            cond: Box::new(schedule_expr(cond)?),
+            then: Box::new(schedule_expr(then)?),
+            els: Box::new(schedule_expr(els)?),
+        },
+        Expr::Reset { body, every } => Expr::Reset {
+            body: Box::new(schedule_expr(body)?),
+            every: Box::new(schedule_expr(every)?),
+        },
+        Expr::Sample(d) => Expr::Sample(Box::new(schedule_expr(d)?)),
+        Expr::Observe(d, v) => {
+            Expr::Observe(Box::new(schedule_expr(d)?), Box::new(schedule_expr(v)?))
+        }
+        Expr::Factor(w) => Expr::Factor(Box::new(schedule_expr(w)?)),
+        Expr::ValueOp(x) => Expr::ValueOp(Box::new(schedule_expr(x)?)),
+        Expr::Infer {
+            particles,
+            node,
+            arg,
+        } => Expr::Infer {
+            particles: *particles,
+            node: node.clone(),
+            arg: Box::new(schedule_expr(arg)?),
+        },
+        Expr::Arrow(a, b) => Expr::Arrow(Box::new(schedule_expr(a)?), Box::new(schedule_expr(b)?)),
+        Expr::Fby(a, b) => Expr::Fby(Box::new(schedule_expr(a)?), Box::new(schedule_expr(b)?)),
+        Expr::Pre(x) => Expr::Pre(Box::new(schedule_expr(x)?)),
+    })
+}
+
+/// Orders equations: `init`s first (source order), then definitions in a
+/// stable topological order of instantaneous dependencies.
+fn schedule_equations(eqs: &[Eq]) -> Result<Vec<Eq>, LangError> {
+    let mut inits = Vec::new();
+    let mut defs: Vec<(String, Expr)> = Vec::new();
+    for eq in eqs {
+        match eq {
+            Eq::Init { .. } => inits.push(eq.clone()),
+            Eq::Def { name, expr } => defs.push((name.clone(), schedule_expr(expr)?)),
+            Eq::Automaton { .. } => {
+                return Err(LangError::new(
+                    Stage::Schedule,
+                    "automaton must be expanded before scheduling",
+                ))
+            }
+        }
+    }
+
+    let index_of: HashMap<&str, usize> = defs
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+
+    // dependencies[j] = set of definition indices j reads instantaneously.
+    let mut dependencies: Vec<HashSet<usize>> = vec![HashSet::new(); defs.len()];
+    for (j, (_, expr)) in defs.iter().enumerate() {
+        let mut reads = HashSet::new();
+        instantaneous_reads(expr, &mut HashSet::new(), &mut reads);
+        for r in reads {
+            if let Some(&i) = index_of.get(r.as_str()) {
+                if i != j {
+                    dependencies[j].insert(i);
+                }
+            }
+        }
+        // Self-dependency: x = f(x) without last is an instantaneous loop.
+        let (name, expr) = &defs[j];
+        let mut self_reads = HashSet::new();
+        instantaneous_reads(expr, &mut HashSet::new(), &mut self_reads);
+        if self_reads.contains(name.as_str()) {
+            return Err(LangError::new(
+                Stage::Schedule,
+                format!("instantaneous cycle: `{name}` depends on itself (use `last {name}` or `pre`)"),
+            ));
+        }
+    }
+
+    // Kahn's algorithm with a stable order (smallest original index first).
+    let n = defs.len();
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, deps) in dependencies.iter().enumerate() {
+        indegree[j] = deps.len();
+        for &i in deps {
+            dependents[i].push(j);
+        }
+    }
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&j| indegree[j] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(j)) = ready.pop() {
+        order.push(j);
+        for &k in &dependents[j] {
+            indegree[k] -= 1;
+            if indegree[k] == 0 {
+                ready.push(std::cmp::Reverse(k));
+            }
+        }
+    }
+    if order.len() != n {
+        let cyclic: Vec<&str> = (0..n)
+            .filter(|j| !order.contains(j))
+            .map(|j| defs[j].0.as_str())
+            .collect();
+        return Err(LangError::new(
+            Stage::Schedule,
+            format!(
+                "instantaneous dependency cycle between: {}",
+                cyclic.join(", ")
+            ),
+        ));
+    }
+
+    let mut scheduled = inits;
+    // Move the definitions out in topological order.
+    let mut slots: Vec<Option<(String, Expr)>> = defs.into_iter().map(Some).collect();
+    for j in order {
+        let (name, expr) = slots[j].take().expect("each index scheduled once");
+        scheduled.push(Eq::Def { name, expr });
+    }
+    Ok(scheduled)
+}
+
+/// Collects variables read instantaneously by `e` (not through `last`,
+/// and not shadowed by an inner `where`).
+fn instantaneous_reads(e: &Expr, shadowed: &mut HashSet<String>, out: &mut HashSet<String>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(x) => {
+            if !shadowed.contains(x.as_str()) {
+                out.insert(x.clone());
+            }
+        }
+        Expr::Last(_) => {}
+        Expr::Pair(a, b) => {
+            instantaneous_reads(a, shadowed, out);
+            instantaneous_reads(b, shadowed, out);
+        }
+        Expr::Op(_, args) => {
+            for a in args {
+                instantaneous_reads(a, shadowed, out);
+            }
+        }
+        Expr::App(_, arg) => instantaneous_reads(arg, shadowed, out),
+        Expr::Where { body, eqs } => {
+            let added: Vec<String> = eqs
+                .iter()
+                .filter(|eq| !matches!(eq, Eq::Automaton { .. }))
+                .map(|eq| eq.name().to_string())
+                .filter(|n| shadowed.insert(n.clone()))
+                .collect();
+            for eq in eqs {
+                if let Eq::Def { expr, .. } = eq {
+                    instantaneous_reads(expr, shadowed, out);
+                }
+            }
+            instantaneous_reads(body, shadowed, out);
+            for n in added {
+                shadowed.remove(&n);
+            }
+        }
+        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+            instantaneous_reads(cond, shadowed, out);
+            instantaneous_reads(then, shadowed, out);
+            instantaneous_reads(els, shadowed, out);
+        }
+        Expr::Reset { body, every } => {
+            instantaneous_reads(body, shadowed, out);
+            instantaneous_reads(every, shadowed, out);
+        }
+        Expr::Sample(d) => instantaneous_reads(d, shadowed, out),
+        Expr::Observe(d, v) => {
+            instantaneous_reads(d, shadowed, out);
+            instantaneous_reads(v, shadowed, out);
+        }
+        Expr::Factor(w) => instantaneous_reads(w, shadowed, out),
+        Expr::ValueOp(x) => instantaneous_reads(x, shadowed, out),
+        Expr::Infer { arg, .. } => instantaneous_reads(arg, shadowed, out),
+        Expr::Arrow(a, b) | Expr::Fby(a, b) => {
+            instantaneous_reads(a, shadowed, out);
+            instantaneous_reads(b, shadowed, out);
+        }
+        Expr::Pre(x) => {
+            // `pre e` reads e this instant to store it; but its *value*
+            // this instant does not depend on e. For scheduling, what
+            // matters is whether e must already be computed: it must (the
+            // state update reads it at the end of the step), yet because
+            // the read value is only used next instant, Zelus breaks the
+            // dependency here. We do the same.
+            let _ = x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn schedule(src: &str) -> Result<Program, LangError> {
+        schedule_program(&parse_program(src).unwrap())
+    }
+
+    fn eq_names(e: &Expr) -> Vec<String> {
+        match e {
+            Expr::Where { eqs, .. } => eqs.iter().map(|q| q.name().to_string()).collect(),
+            other => panic!("expected where, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reorders_by_dependency() {
+        let p = schedule(
+            "let node f x = z where rec z = y + 1. and y = x * 2.",
+        )
+        .unwrap();
+        assert_eq!(eq_names(&p.nodes[0].body), vec!["y", "z"]);
+    }
+
+    #[test]
+    fn keeps_source_order_when_independent() {
+        let p = schedule(
+            "let node f x = a where rec a = x and b = x and c = x",
+        )
+        .unwrap();
+        assert_eq!(eq_names(&p.nodes[0].body), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn inits_come_first() {
+        let p = schedule(
+            "let node f x = y where rec y = last y + x and init y = 0.",
+        )
+        .unwrap();
+        assert_eq!(eq_names(&p.nodes[0].body), vec!["y", "y"]);
+        match &p.nodes[0].body {
+            Expr::Where { eqs, .. } => {
+                assert!(matches!(eqs[0], Eq::Init { .. }));
+                assert!(matches!(eqs[1], Eq::Def { .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn last_breaks_cycles() {
+        schedule(
+            "let node f x = y where rec init y = 0. and init z = 0. \
+             and y = last z + x and z = y",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pre_breaks_cycles() {
+        schedule("let node f x = y where rec y = 0. -> pre y + x").unwrap();
+    }
+
+    #[test]
+    fn instantaneous_self_cycle_rejected() {
+        let err = schedule("let node f x = y where rec y = y + x").unwrap_err();
+        assert_eq!(err.stage, Stage::Schedule);
+        assert!(err.message.contains("y"));
+    }
+
+    #[test]
+    fn two_variable_cycle_rejected() {
+        let err =
+            schedule("let node f x = a where rec a = b + x and b = a").unwrap_err();
+        assert_eq!(err.stage, Stage::Schedule);
+        assert!(err.message.contains("a") && err.message.contains("b"));
+    }
+
+    #[test]
+    fn inner_where_shadows_outer_names() {
+        // The inner `y` is local; no dependency on the outer equation y.
+        let p = schedule(
+            "let node f x = z where rec z = (y where rec y = x) and y = z",
+        );
+        assert!(p.is_ok());
+    }
+}

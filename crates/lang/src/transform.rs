@@ -1,0 +1,371 @@
+//! Source-to-source desugaring into the kernel of Fig. 6.
+//!
+//! The derived operators are eliminated as §3.1 describes:
+//!
+//! * `e1 fby e2` ≡ `e1 -> pre e2`;
+//! * `e1 -> e2` introduces a first-instant flag in the enclosing equation
+//!   set: `init f = true and f = false`, and rewrites to
+//!   `if last f then e1 else e2`;
+//! * `pre x` of a variable `x` defined by an enclosing equation set
+//!   becomes `last x` (adding `init x = nil` when `x` has no `init`) —
+//!   this is the paper's own §3.1 rewriting of `x = 0 -> pre x + 1`, and
+//!   it is what makes recursion through `pre` causally schedulable;
+//! * `pre e` of a general expression becomes a unit delay through a fresh
+//!   state variable: `init m = nil and m = e`, rewritten to `last m`.
+//!
+//! Equations introduced by sugar are **hoisted** to the nearest enclosing
+//! equation set, but never across a *lazy* boundary (a `present` branch or
+//! a `reset` body): state inside a `present` branch must only advance when
+//! the branch is active, and state inside a `reset` must be re-initialized
+//! by the reset — so those positions become equation sets of their own when
+//! needed.
+
+use crate::ast::{Const, Eq, Expr, NodeDecl, Program};
+use std::collections::HashSet;
+
+/// Desugars every derived construct in a program.
+pub fn desugar_program(p: &Program) -> Program {
+    let mut ctx = Ctx::default();
+    Program {
+        nodes: p
+            .nodes
+            .iter()
+            .map(|n| NodeDecl {
+                name: n.name.clone(),
+                param: n.param.clone(),
+                body: ctx.desugar_scope(&n.body),
+            })
+            .collect(),
+    }
+}
+
+/// Desugars a single expression (fresh names are unique within the call).
+pub fn desugar_expr(e: &Expr) -> Expr {
+    Ctx::default().desugar_scope(e)
+}
+
+#[derive(Default)]
+struct Ctx {
+    fresh: u32,
+    /// Enclosing `where` scopes, innermost last: the names each defines,
+    /// and the defined variables that need an `init x = nil` added.
+    scopes: Vec<Scope>,
+}
+
+#[derive(Default)]
+struct Scope {
+    names: HashSet<String>,
+    has_init: HashSet<String>,
+    nil_inits: HashSet<String>,
+}
+
+impl Ctx {
+    fn fresh(&mut self, hint: &str) -> String {
+        self.fresh += 1;
+        format!("_{hint}{}", self.fresh)
+    }
+
+    /// Desugars `e` as its own hoisting scope: equations introduced by
+    /// sugar directly inside `e` wrap it in a fresh `where rec`.
+    fn desugar_scope(&mut self, e: &Expr) -> Expr {
+        let mut hoisted = Vec::new();
+        let body = self.desugar(e, &mut hoisted);
+        if hoisted.is_empty() {
+            body
+        } else if let Expr::Where { body, mut eqs } = body {
+            eqs.extend(hoisted);
+            Expr::Where { body, eqs }
+        } else {
+            Expr::Where {
+                body: Box::new(body),
+                eqs: hoisted,
+            }
+        }
+    }
+
+    fn desugar(&mut self, e: &Expr, hoist: &mut Vec<Eq>) -> Expr {
+        match e {
+            Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => e.clone(),
+            Expr::Pair(a, b) => {
+                Expr::pair(self.desugar(a, hoist), self.desugar(b, hoist))
+            }
+            Expr::Op(op, args) => Expr::Op(
+                *op,
+                args.iter().map(|a| self.desugar(a, hoist)).collect(),
+            ),
+            Expr::App(f, arg) => Expr::App(f.clone(), Box::new(self.desugar(arg, hoist))),
+            Expr::Where { body, eqs } => {
+                let mut scope = Scope::default();
+                for eq in eqs {
+                    if matches!(eq, Eq::Automaton { .. }) {
+                        continue; // expanded before this pass; kept inert here
+                    }
+                    scope.names.insert(eq.name().to_string());
+                    if let Eq::Init { name, .. } = eq {
+                        scope.has_init.insert(name.clone());
+                    }
+                }
+                self.scopes.push(scope);
+                let mut local = Vec::new();
+                let mut new_eqs = Vec::new();
+                for eq in eqs {
+                    match eq {
+                        Eq::Def { name, expr } => new_eqs.push(Eq::Def {
+                            name: name.clone(),
+                            expr: self.desugar(expr, &mut local),
+                        }),
+                        init => new_eqs.push(init.clone()),
+                    }
+                }
+                let body = self.desugar(body, &mut local);
+                let scope = self.scopes.pop().expect("scope pushed above");
+                for x in scope.nil_inits {
+                    if !scope.has_init.contains(&x) {
+                        new_eqs.push(Eq::Init {
+                            name: x,
+                            value: Const::Nil,
+                        });
+                    }
+                }
+                new_eqs.extend(local);
+                Expr::Where {
+                    body: Box::new(body),
+                    eqs: new_eqs,
+                }
+            }
+            Expr::Present { cond, then, els } => Expr::Present {
+                cond: Box::new(self.desugar(cond, hoist)),
+                // Lazy boundary: branch state stays inside the branch.
+                then: Box::new(self.desugar_scope(then)),
+                els: Box::new(self.desugar_scope(els)),
+            },
+            Expr::Reset { body, every } => Expr::Reset {
+                // Lazy boundary: the reset must re-initialize the body's
+                // state.
+                body: Box::new(self.desugar_scope(body)),
+                every: Box::new(self.desugar(every, hoist)),
+            },
+            Expr::If { cond, then, els } => Expr::If {
+                cond: Box::new(self.desugar(cond, hoist)),
+                then: Box::new(self.desugar(then, hoist)),
+                els: Box::new(self.desugar(els, hoist)),
+            },
+            Expr::Sample(d) => Expr::Sample(Box::new(self.desugar(d, hoist))),
+            Expr::Observe(d, v) => Expr::Observe(
+                Box::new(self.desugar(d, hoist)),
+                Box::new(self.desugar(v, hoist)),
+            ),
+            Expr::Factor(w) => Expr::Factor(Box::new(self.desugar(w, hoist))),
+            Expr::ValueOp(x) => Expr::ValueOp(Box::new(self.desugar(x, hoist))),
+            Expr::Infer {
+                particles,
+                node,
+                arg,
+            } => Expr::Infer {
+                particles: *particles,
+                node: node.clone(),
+                arg: Box::new(self.desugar(arg, hoist)),
+            },
+            Expr::Fby(a, b) => {
+                // e1 fby e2 ≡ e1 -> pre e2
+                let rewritten = Expr::Arrow(a.clone(), Box::new(Expr::Pre(b.clone())));
+                self.desugar(&rewritten, hoist)
+            }
+            Expr::Arrow(a, b) => {
+                let a = self.desugar(a, hoist);
+                let b = self.desugar(b, hoist);
+                let f = self.fresh("first");
+                hoist.push(Eq::Init {
+                    name: f.clone(),
+                    value: Const::Bool(true),
+                });
+                hoist.push(Eq::Def {
+                    name: f.clone(),
+                    expr: Expr::Const(Const::Bool(false)),
+                });
+                Expr::If {
+                    cond: Box::new(Expr::Last(f)),
+                    then: Box::new(a),
+                    els: Box::new(b),
+                }
+            }
+            Expr::Pre(inner) => {
+                // `pre x` of an equation-defined variable: reuse the
+                // variable's own state via `last x`.
+                if let Expr::Var(x) = &**inner {
+                    if let Some(scope) = self
+                        .scopes
+                        .iter_mut()
+                        .rev()
+                        .find(|s| s.names.contains(x.as_str()))
+                    {
+                        scope.nil_inits.insert(x.clone());
+                        return Expr::Last(x.clone());
+                    }
+                }
+                let inner = self.desugar(inner, hoist);
+                let m = self.fresh("pre");
+                hoist.push(Eq::Init {
+                    name: m.clone(),
+                    value: Const::Nil,
+                });
+                hoist.push(Eq::Def {
+                    name: m.clone(),
+                    expr: inner,
+                });
+                Expr::Last(m)
+            }
+        }
+    }
+}
+
+/// Whether an expression is in the kernel (contains no derived forms).
+pub fn is_kernel(e: &Expr) -> bool {
+    match e {
+        Expr::Arrow(_, _) | Expr::Pre(_) | Expr::Fby(_, _) => false,
+        Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => true,
+        Expr::Pair(a, b) => is_kernel(a) && is_kernel(b),
+        Expr::Op(_, args) => args.iter().all(is_kernel),
+        Expr::App(_, arg) => is_kernel(arg),
+        Expr::Where { body, eqs } => {
+            is_kernel(body)
+                && eqs.iter().all(|eq| match eq {
+                    Eq::Def { expr, .. } => is_kernel(expr),
+                    Eq::Init { .. } => true,
+                    Eq::Automaton { .. } => false,
+                })
+        }
+        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+            is_kernel(cond) && is_kernel(then) && is_kernel(els)
+        }
+        Expr::Reset { body, every } => is_kernel(body) && is_kernel(every),
+        Expr::Sample(d) => is_kernel(d),
+        Expr::Observe(d, v) => is_kernel(d) && is_kernel(v),
+        Expr::Factor(w) => is_kernel(w),
+        Expr::ValueOp(x) => is_kernel(x),
+        Expr::Infer { arg, .. } => is_kernel(arg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::schedule::schedule_expr;
+
+    #[test]
+    fn arrow_hoists_a_first_flag() {
+        let e = parse_expr("0. -> x").unwrap();
+        let d = desugar_expr(&e);
+        assert!(is_kernel(&d));
+        match &d {
+            Expr::Where { body, eqs } => {
+                assert!(matches!(&**body, Expr::If { .. }));
+                assert_eq!(eqs.len(), 2);
+                assert!(matches!(&eqs[0], Eq::Init { value: Const::Bool(true), .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_of_free_variable_hoists_a_state() {
+        let e = parse_expr("pre x").unwrap();
+        let d = desugar_expr(&e);
+        assert!(is_kernel(&d));
+        match &d {
+            Expr::Where { body, eqs } => {
+                assert!(matches!(&**body, Expr::Last(_)));
+                assert!(matches!(&eqs[0], Eq::Init { value: Const::Nil, .. }));
+                assert!(matches!(&eqs[1], Eq::Def { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_of_defined_variable_becomes_last() {
+        // x = 0 -> pre x + 1 (§3.1): pre x reuses x's own state.
+        let e = parse_expr("x where rec x = 0 -> pre x + 1").unwrap();
+        let d = desugar_expr(&e);
+        assert!(is_kernel(&d));
+        match &d {
+            Expr::Where { eqs, .. } => {
+                // x's definition plus the hoisted arrow flag plus
+                // `init x = nil`.
+                assert!(eqs
+                    .iter()
+                    .any(|q| matches!(q, Eq::Init { name, value: Const::Nil } if name == "x")));
+                // No fresh `_pre` state was needed.
+                assert!(!eqs.iter().any(|q| q.name().starts_with("_pre")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(schedule_expr(&d).is_ok());
+    }
+
+    #[test]
+    fn pre_of_defined_variable_with_user_init_adds_nothing() {
+        let e =
+            parse_expr("x where rec init x = 5. and x = pre x").unwrap();
+        let d = desugar_expr(&e);
+        match &d {
+            Expr::Where { eqs, .. } => {
+                let nils = eqs
+                    .iter()
+                    .filter(|q| matches!(q, Eq::Init { value: Const::Nil, .. }))
+                    .count();
+                assert_eq!(nils, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fby_goes_through_arrow_and_pre() {
+        let e = parse_expr("y where rec y = 0. fby y + 1.").unwrap();
+        let d = desugar_expr(&e);
+        assert!(is_kernel(&d));
+        assert!(schedule_expr(&d).is_ok());
+    }
+
+    #[test]
+    fn recursion_through_pre_inside_reset_is_causal() {
+        let e = parse_expr("n where rec n = reset (0. -> pre n + 1.) every c").unwrap();
+        let d = desugar_expr(&e);
+        assert!(is_kernel(&d));
+        assert!(schedule_expr(&d).is_ok());
+    }
+
+    #[test]
+    fn present_branches_are_their_own_scopes() {
+        let e = parse_expr("present c -> (0. -> pre c) else true").unwrap();
+        let d = desugar_expr(&e);
+        assert!(is_kernel(&d));
+        match &d {
+            Expr::Present { then, .. } => {
+                assert!(matches!(&**then, Expr::Where { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_arrows_get_distinct_flags() {
+        let e = parse_expr("(0. -> a) + (1. -> b)").unwrap();
+        let d = desugar_expr(&e);
+        assert!(is_kernel(&d));
+        match &d {
+            Expr::Where { eqs, .. } => {
+                let inits: Vec<&str> = eqs
+                    .iter()
+                    .filter(|q| matches!(q, Eq::Init { .. }))
+                    .map(|q| q.name())
+                    .collect();
+                assert_eq!(inits.len(), 2);
+                assert_ne!(inits[0], inits[1]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

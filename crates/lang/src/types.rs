@@ -1,0 +1,652 @@
+//! Data-type checking (§3.2).
+//!
+//! A monomorphic unification-based checker over the types
+//! `float | int | bool | unit | t * t | t dist | α`, with the probabilistic
+//! operator rules of §3.2 (`sample : t dist -> t`,
+//! `observe : t dist * t -> unit`, `factor : float -> unit`,
+//! `infer : t -> t dist`).
+//!
+//! Numeric literals are overloaded: an integer literal takes a fresh
+//! *numeric* type variable that unifies with `int` or `float`; literals
+//! still unconstrained after checking default to `float` and the program is
+//! elaborated in place (so `gaussian(0 -> pre x, 1.)`, as the paper writes
+//! it, type-checks with `0` read as `0.`).
+
+use crate::ast::{Const, Eq, Expr, NodeDecl, OpName, Pattern, Program};
+use crate::error::{LangError, Stage};
+use std::collections::HashMap;
+
+/// Types of the surface language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// `float`.
+    Float,
+    /// `int`.
+    Int,
+    /// `bool`.
+    Bool,
+    /// `unit`.
+    Unit,
+    /// Product `t1 * t2`.
+    Pair(Box<Ty>, Box<Ty>),
+    /// Distribution `t dist`.
+    Dist(Box<Ty>),
+    /// Unification variable.
+    Var(u32),
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Float => write!(f, "float"),
+            Ty::Int => write!(f, "int"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Unit => write!(f, "unit"),
+            Ty::Pair(a, b) => write!(f, "({a} * {b})"),
+            Ty::Dist(t) => write!(f, "{t} dist"),
+            Ty::Var(n) => write!(f, "'a{n}"),
+        }
+    }
+}
+
+/// A node's monomorphic signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSig {
+    /// Input type.
+    pub input: Ty,
+    /// Output type.
+    pub output: Ty,
+}
+
+/// Type-checks the program and elaborates overloaded integer literals in
+/// place. Returns each node's (fully resolved) signature.
+///
+/// # Errors
+///
+/// Unification failures, unknown variables/nodes, and arity mismatches.
+pub fn check_program(p: &mut Program) -> Result<HashMap<String, NodeSig>, LangError> {
+    let mut ck = Checker::default();
+    let mut sigs: HashMap<String, NodeSig> = HashMap::new();
+    for node in &p.nodes {
+        let sig = ck.check_node(node, &sigs)?;
+        sigs.insert(node.name.clone(), sig);
+    }
+    for node in &mut p.nodes {
+        ck.elaborate_expr(&mut node.body);
+    }
+    debug_assert!(ck.lit_cursor == ck.lit_vars.len(), "literal walk diverged");
+    let sigs = sigs
+        .into_iter()
+        .map(|(name, sig)| {
+            (
+                name,
+                NodeSig {
+                    input: ck.canonical(&sig.input),
+                    output: ck.canonical(&sig.output),
+                },
+            )
+        })
+        .collect();
+    Ok(sigs)
+}
+
+#[derive(Default)]
+struct Checker {
+    subst: Vec<Option<Ty>>,
+    numeric: Vec<bool>,
+    lit_vars: Vec<u32>,
+    lit_cursor: usize,
+}
+
+impl Checker {
+    fn fresh(&mut self) -> Ty {
+        self.subst.push(None);
+        self.numeric.push(false);
+        Ty::Var(self.subst.len() as u32 - 1)
+    }
+
+    fn fresh_numeric(&mut self) -> Ty {
+        let t = self.fresh();
+        if let Ty::Var(n) = t {
+            self.numeric[n as usize] = true;
+        }
+        t
+    }
+
+    fn resolve(&self, t: &Ty) -> Ty {
+        match t {
+            Ty::Var(n) => match &self.subst[*n as usize] {
+                Some(bound) => self.resolve(bound),
+                None => t.clone(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Fully resolves a type, defaulting leftover numeric variables to
+    /// `float` (used for reporting and elaboration).
+    fn canonical(&self, t: &Ty) -> Ty {
+        match self.resolve(t) {
+            Ty::Pair(a, b) => Ty::Pair(
+                Box::new(self.canonical(&a)),
+                Box::new(self.canonical(&b)),
+            ),
+            Ty::Dist(t) => Ty::Dist(Box::new(self.canonical(&t))),
+            Ty::Var(n) if self.numeric[n as usize] => Ty::Float,
+            other => other,
+        }
+    }
+
+    fn occurs(&self, var: u32, t: &Ty) -> bool {
+        match self.resolve(t) {
+            Ty::Var(n) => n == var,
+            Ty::Pair(a, b) => self.occurs(var, &a) || self.occurs(var, &b),
+            Ty::Dist(t) => self.occurs(var, &t),
+            _ => false,
+        }
+    }
+
+    fn bind(&mut self, var: u32, t: Ty) -> Result<(), LangError> {
+        if let Ty::Var(n) = &t {
+            if *n == var {
+                return Ok(());
+            }
+            // Propagate the numeric constraint.
+            if self.numeric[var as usize] {
+                self.numeric[*n as usize] = true;
+            }
+        } else if self.numeric[var as usize] && !matches!(t, Ty::Float | Ty::Int) {
+            return Err(LangError::new(
+                Stage::Type,
+                format!("numeric literal used at non-numeric type {t}"),
+            ));
+        }
+        if self.occurs(var, &t) {
+            return Err(LangError::new(
+                Stage::Type,
+                "recursive type (occurs check failed)",
+            ));
+        }
+        self.subst[var as usize] = Some(t);
+        Ok(())
+    }
+
+    fn unify(&mut self, a: &Ty, b: &Ty) -> Result<(), LangError> {
+        let (a, b) = (self.resolve(a), self.resolve(b));
+        match (a, b) {
+            (Ty::Var(n), t) | (t, Ty::Var(n)) => self.bind(n, t),
+            (Ty::Float, Ty::Float)
+            | (Ty::Int, Ty::Int)
+            | (Ty::Bool, Ty::Bool)
+            | (Ty::Unit, Ty::Unit) => Ok(()),
+            (Ty::Pair(a1, a2), Ty::Pair(b1, b2)) => {
+                self.unify(&a1, &b1)?;
+                self.unify(&a2, &b2)
+            }
+            (Ty::Dist(a), Ty::Dist(b)) => self.unify(&a, &b),
+            (a, b) => Err(LangError::new(
+                Stage::Type,
+                format!(
+                    "type mismatch: {} vs {}",
+                    self.canonical(&a),
+                    self.canonical(&b)
+                ),
+            )),
+        }
+    }
+
+    fn check_node(
+        &mut self,
+        node: &NodeDecl,
+        sigs: &HashMap<String, NodeSig>,
+    ) -> Result<NodeSig, LangError> {
+        let mut vars = HashMap::new();
+        let input = self.bind_pattern(&node.param, &mut vars);
+        let output = self.infer_expr(&node.body, &mut vars, sigs)?;
+        Ok(NodeSig { input, output })
+    }
+
+    fn bind_pattern(&mut self, p: &Pattern, vars: &mut HashMap<String, Ty>) -> Ty {
+        match p {
+            Pattern::Var(x) => {
+                let t = self.fresh();
+                vars.insert(x.clone(), t.clone());
+                t
+            }
+            Pattern::Unit => Ty::Unit,
+            Pattern::Pair(a, b) => {
+                let ta = self.bind_pattern(a, vars);
+                let tb = self.bind_pattern(b, vars);
+                Ty::Pair(Box::new(ta), Box::new(tb))
+            }
+        }
+    }
+
+    fn const_ty(&mut self, c: &Const) -> Ty {
+        match c {
+            Const::Unit => Ty::Unit,
+            Const::Bool(_) => Ty::Bool,
+            Const::Int(_) => {
+                let t = self.fresh_numeric();
+                if let Ty::Var(n) = t {
+                    self.lit_vars.push(n);
+                }
+                t
+            }
+            Const::Float(_) => Ty::Float,
+            Const::Nil => self.fresh(),
+        }
+    }
+
+    fn infer_expr(
+        &mut self,
+        e: &Expr,
+        vars: &mut HashMap<String, Ty>,
+        sigs: &HashMap<String, NodeSig>,
+    ) -> Result<Ty, LangError> {
+        match e {
+            Expr::Const(c) => Ok(self.const_ty(c)),
+            Expr::Var(x) => vars.get(x).cloned().ok_or_else(|| {
+                LangError::new(Stage::Type, format!("unbound variable `{x}`"))
+            }),
+            Expr::Last(x) => vars.get(x).cloned().ok_or_else(|| {
+                LangError::new(Stage::Type, format!("`last {x}` of unbound variable"))
+            }),
+            Expr::Pair(a, b) => {
+                let ta = self.infer_expr(a, vars, sigs)?;
+                let tb = self.infer_expr(b, vars, sigs)?;
+                Ok(Ty::Pair(Box::new(ta), Box::new(tb)))
+            }
+            Expr::Op(op, args) => {
+                let arg_tys: Vec<Ty> = args
+                    .iter()
+                    .map(|a| self.infer_expr(a, vars, sigs))
+                    .collect::<Result<_, _>>()?;
+                self.op_result(*op, &arg_tys)
+            }
+            Expr::App(f, arg) => {
+                let targ = self.infer_expr(arg, vars, sigs)?;
+                let sig = sigs.get(f.as_str()).ok_or_else(|| {
+                    LangError::new(Stage::Type, format!("unknown node `{f}`"))
+                })?;
+                let sig = sig.clone();
+                self.unify(&targ, &sig.input)?;
+                Ok(sig.output)
+            }
+            Expr::Where { body, eqs } => {
+                let mut inner = vars.clone();
+                // All equation names are in scope throughout (mutual
+                // recursion through `last`).
+                for eq in eqs {
+                    if matches!(eq, Eq::Automaton { .. }) {
+                        return Err(LangError::new(
+                            Stage::Type,
+                            "automaton must be expanded before type checking",
+                        ));
+                    }
+                    inner
+                        .entry(eq.name().to_string())
+                        .or_insert_with(|| self.fresh());
+                }
+                for eq in eqs {
+                    match eq {
+                        Eq::Init { name, value } => {
+                            let tv = self.const_ty(value);
+                            let tx = inner[name.as_str()].clone();
+                            self.unify(&tx, &tv)?;
+                        }
+                        Eq::Def { name, expr } => {
+                            let te = self.infer_expr(expr, &mut inner, sigs)?;
+                            let tx = inner[name.as_str()].clone();
+                            self.unify(&tx, &te)?;
+                        }
+                        Eq::Automaton { .. } => unreachable!("checked above"),
+                    }
+                }
+                self.infer_expr(body, &mut inner, sigs)
+            }
+            Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+                let tc = self.infer_expr(cond, vars, sigs)?;
+                self.unify(&tc, &Ty::Bool)?;
+                let tt = self.infer_expr(then, vars, sigs)?;
+                let te = self.infer_expr(els, vars, sigs)?;
+                self.unify(&tt, &te)?;
+                Ok(tt)
+            }
+            Expr::Reset { body, every } => {
+                let tb = self.infer_expr(body, vars, sigs)?;
+                let te = self.infer_expr(every, vars, sigs)?;
+                self.unify(&te, &Ty::Bool)?;
+                Ok(tb)
+            }
+            Expr::Sample(d) => {
+                let td = self.infer_expr(d, vars, sigs)?;
+                let t = self.fresh();
+                self.unify(&td, &Ty::Dist(Box::new(t.clone())))?;
+                Ok(t)
+            }
+            Expr::Observe(d, v) => {
+                let td = self.infer_expr(d, vars, sigs)?;
+                let tv = self.infer_expr(v, vars, sigs)?;
+                self.unify(&td, &Ty::Dist(Box::new(tv)))?;
+                Ok(Ty::Unit)
+            }
+            Expr::Factor(w) => {
+                let tw = self.infer_expr(w, vars, sigs)?;
+                self.unify(&tw, &Ty::Float)?;
+                Ok(Ty::Unit)
+            }
+            Expr::ValueOp(x) => self.infer_expr(x, vars, sigs),
+            Expr::Infer { node, arg, .. } => {
+                let targ = self.infer_expr(arg, vars, sigs)?;
+                let sig = sigs.get(node.as_str()).ok_or_else(|| {
+                    LangError::new(Stage::Type, format!("unknown node `{node}` in `infer`"))
+                })?;
+                let sig = sig.clone();
+                self.unify(&targ, &sig.input)?;
+                Ok(Ty::Dist(Box::new(sig.output)))
+            }
+            Expr::Arrow(a, b) | Expr::Fby(a, b) => {
+                let ta = self.infer_expr(a, vars, sigs)?;
+                let tb = self.infer_expr(b, vars, sigs)?;
+                self.unify(&ta, &tb)?;
+                Ok(ta)
+            }
+            Expr::Pre(x) => self.infer_expr(x, vars, sigs),
+        }
+    }
+
+    fn op_result(&mut self, op: OpName, args: &[Ty]) -> Result<Ty, LangError> {
+        use OpName::*;
+        let expect = |ck: &mut Self, t: &Ty, want: &Ty| ck.unify(t, want);
+        match op {
+            Add | Sub | Mul | Div | Min | Max => {
+                let t = self.fresh_numeric();
+                expect(self, &args[0], &t)?;
+                expect(self, &args[1], &t)?;
+                Ok(t)
+            }
+            Neg => {
+                let t = self.fresh_numeric();
+                expect(self, &args[0], &t)?;
+                Ok(t)
+            }
+            Lt | Le | Gt | Ge => {
+                let t = self.fresh_numeric();
+                expect(self, &args[0], &t)?;
+                expect(self, &args[1], &t)?;
+                Ok(Ty::Bool)
+            }
+            Eq | Ne => {
+                let t = self.fresh();
+                expect(self, &args[0], &t)?;
+                expect(self, &args[1], &t)?;
+                Ok(Ty::Bool)
+            }
+            And | Or => {
+                expect(self, &args[0], &Ty::Bool)?;
+                expect(self, &args[1], &Ty::Bool)?;
+                Ok(Ty::Bool)
+            }
+            Not => {
+                expect(self, &args[0], &Ty::Bool)?;
+                Ok(Ty::Bool)
+            }
+            Fst => {
+                let a = self.fresh();
+                let b = self.fresh();
+                expect(
+                    self,
+                    &args[0],
+                    &Ty::Pair(Box::new(a.clone()), Box::new(b)),
+                )?;
+                Ok(a)
+            }
+            Snd => {
+                let a = self.fresh();
+                let b = self.fresh();
+                expect(
+                    self,
+                    &args[0],
+                    &Ty::Pair(Box::new(a), Box::new(b.clone())),
+                )?;
+                Ok(b)
+            }
+            Exp | Log | Sqrt | Abs => {
+                expect(self, &args[0], &Ty::Float)?;
+                Ok(Ty::Float)
+            }
+            FloatOfInt => {
+                expect(self, &args[0], &Ty::Int)?;
+                Ok(Ty::Float)
+            }
+            MeanFloat | VarianceFloat => {
+                let t = self.fresh();
+                expect(self, &args[0], &Ty::Dist(Box::new(t)))?;
+                Ok(Ty::Float)
+            }
+            Prob => {
+                let t = self.fresh();
+                expect(self, &args[0], &Ty::Dist(Box::new(t)))?;
+                expect(self, &args[1], &Ty::Float)?;
+                expect(self, &args[2], &Ty::Float)?;
+                Ok(Ty::Float)
+            }
+            DrawDist => {
+                let t = self.fresh();
+                expect(self, &args[0], &Ty::Dist(Box::new(t.clone())))?;
+                Ok(t)
+            }
+            Gaussian | Beta | Uniform | Gamma => {
+                expect(self, &args[0], &Ty::Float)?;
+                expect(self, &args[1], &Ty::Float)?;
+                Ok(Ty::Dist(Box::new(Ty::Float)))
+            }
+            Bernoulli => {
+                expect(self, &args[0], &Ty::Float)?;
+                Ok(Ty::Dist(Box::new(Ty::Bool)))
+            }
+            Poisson => {
+                expect(self, &args[0], &Ty::Float)?;
+                Ok(Ty::Dist(Box::new(Ty::Int)))
+            }
+            Exponential => {
+                expect(self, &args[0], &Ty::Float)?;
+                Ok(Ty::Dist(Box::new(Ty::Float)))
+            }
+            Binomial => {
+                expect(self, &args[0], &Ty::Int)?;
+                expect(self, &args[1], &Ty::Float)?;
+                Ok(Ty::Dist(Box::new(Ty::Int)))
+            }
+            Dirac => {
+                let t = args[0].clone();
+                Ok(Ty::Dist(Box::new(t)))
+            }
+        }
+    }
+
+    // ---- literal elaboration (same traversal order as inference) -------
+
+    fn elaborate_const(&mut self, c: &mut Const) {
+        if let Const::Int(n) = c {
+            let var = self.lit_vars[self.lit_cursor];
+            self.lit_cursor += 1;
+            if matches!(self.canonical(&Ty::Var(var)), Ty::Float) {
+                *c = Const::Float(*n as f64);
+            }
+        }
+    }
+
+    fn elaborate_expr(&mut self, e: &mut Expr) {
+        match e {
+            Expr::Const(c) => self.elaborate_const(c),
+            Expr::Var(_) | Expr::Last(_) => {}
+            Expr::Pair(a, b) => {
+                self.elaborate_expr(a);
+                self.elaborate_expr(b);
+            }
+            Expr::Op(_, args) => {
+                for a in args {
+                    self.elaborate_expr(a);
+                }
+            }
+            Expr::App(_, arg) => self.elaborate_expr(arg),
+            Expr::Where { body, eqs } => {
+                for eq in eqs.iter_mut() {
+                    match eq {
+                        Eq::Init { value, .. } => self.elaborate_const(value),
+                        Eq::Def { expr, .. } => self.elaborate_expr(expr),
+                        Eq::Automaton { .. } => {}
+                    }
+                }
+                self.elaborate_expr(body);
+            }
+            Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+                self.elaborate_expr(cond);
+                self.elaborate_expr(then);
+                self.elaborate_expr(els);
+            }
+            Expr::Reset { body, every } => {
+                self.elaborate_expr(body);
+                self.elaborate_expr(every);
+            }
+            Expr::Sample(d) => self.elaborate_expr(d),
+            Expr::Observe(d, v) => {
+                self.elaborate_expr(d);
+                self.elaborate_expr(v);
+            }
+            Expr::Factor(w) => self.elaborate_expr(w),
+            Expr::ValueOp(x) => self.elaborate_expr(x),
+            Expr::Infer { arg, .. } => self.elaborate_expr(arg),
+            Expr::Arrow(a, b) | Expr::Fby(a, b) => {
+                self.elaborate_expr(a);
+                self.elaborate_expr(b);
+            }
+            Expr::Pre(x) => self.elaborate_expr(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(Program, HashMap<String, NodeSig>), LangError> {
+        let mut p = parse_program(src).unwrap();
+        let sigs = check_program(&mut p)?;
+        Ok((p, sigs))
+    }
+
+    #[test]
+    fn hmm_has_float_to_float_signature() {
+        let (_, sigs) = check(
+            r#"
+            let node hmm y = x where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+              and () = observe (gaussian (x, 1.), y)
+            "#,
+        )
+        .unwrap();
+        let sig = &sigs["hmm"];
+        assert_eq!(sig.input, Ty::Float);
+        assert_eq!(sig.output, Ty::Float);
+    }
+
+    #[test]
+    fn infer_returns_dist() {
+        let (_, sigs) = check(
+            r#"
+            let node m y = sample (gaussian (y, 1.))
+            let node main y = infer 10 m y
+            "#,
+        )
+        .unwrap();
+        assert_eq!(sigs["main"].output, Ty::Dist(Box::new(Ty::Float)));
+    }
+
+    #[test]
+    fn int_literals_elaborate_to_float_in_float_context() {
+        let (p, _) = check("let node f x = x + 0 where rec init unused = 1.0 and unused = 2.").unwrap();
+        // Ambiguous numeric: defaults to float.
+        let src = crate::pretty::print_program(&p);
+        assert!(src.contains("0.0"), "elaborated: {src}");
+    }
+
+    #[test]
+    fn int_literals_stay_int_when_constrained() {
+        let (p, sigs) = check("let node f n = binomial(n, 0.5)").unwrap();
+        assert_eq!(sigs["f"].input, Ty::Int);
+        assert_eq!(sigs["f"].output, Ty::Dist(Box::new(Ty::Int)));
+        let _ = p;
+    }
+
+    #[test]
+    fn observing_wrong_type_fails() {
+        let err = check("let node f y = observe(bernoulli(0.5), 1.0)").unwrap_err();
+        assert_eq!(err.stage, Stage::Type);
+    }
+
+    #[test]
+    fn branches_must_agree() {
+        let err = check("let node f c = if c then 1. else false").unwrap_err();
+        assert_eq!(err.stage, Stage::Type);
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        let err = check("let node f x = if x + 1. then 1. else 2.").unwrap_err();
+        assert_eq!(err.stage, Stage::Type);
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let err = check("let node f x = y").unwrap_err();
+        assert!(err.message.contains("unbound"));
+    }
+
+    #[test]
+    fn pairs_and_projections() {
+        let (_, sigs) = check("let node f p = fst(p) + 1.").unwrap();
+        match &sigs["f"].input {
+            Ty::Pair(a, _) => assert_eq!(**a, Ty::Float),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn node_application_types_flow() {
+        let (_, sigs) = check(
+            r#"
+            let node double x = x + x
+            let node f y = double(y) > 1.
+            "#,
+        )
+        .unwrap();
+        assert_eq!(sigs["f"].input, Ty::Float);
+        assert_eq!(sigs["f"].output, Ty::Bool);
+    }
+
+    #[test]
+    fn arrow_operands_must_match() {
+        let err = check("let node f x = true -> 1.").unwrap_err();
+        assert_eq!(err.stage, Stage::Type);
+    }
+
+    #[test]
+    fn the_paper_loose_int_literal_hmm_checks() {
+        // The paper writes `gaussian (0 -> pre x, speed)` with an int 0.
+        let (p, sigs) = check(
+            r#"
+            let node hmm y = x where
+              rec x = sample (gaussian (0 -> pre x, 1.))
+              and () = observe (gaussian (x, 1.), y)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(sigs["hmm"].output, Ty::Float);
+        let src = crate::pretty::print_program(&p);
+        assert!(src.contains("0.0"), "elaborated: {src}");
+    }
+}

@@ -1,0 +1,71 @@
+//! # probzelus
+//!
+//! A Rust reproduction of **ProbZelus** — Baudart, Mandel, Atkinson,
+//! Sherman, Pouzet, Carbin, *Reactive Probabilistic Programming*
+//! (PLDI 2020): the first synchronous probabilistic programming language.
+//!
+//! The workspace provides:
+//!
+//! * [`distributions`] — distributions, samplers, special functions, and
+//!   the conjugacy algebra;
+//! * [`core`] — the co-iterative runtime, symbolic values, the
+//!   delayed-sampling graph (pointer-minimal, §5.3), and five streaming
+//!   inference engines (importance sampling, particle filter, bounded
+//!   delayed sampling, streaming delayed sampling, classic delayed
+//!   sampling);
+//! * [`lang`] — the full language pipeline: parser, kind system (Fig. 7),
+//!   type checker, initialization and causality analyses, desugaring to
+//!   the kernel (Fig. 6), compilation to µF (Figs. 10/20/21), and a µF
+//!   interpreter whose probabilistic operators run on the core engines;
+//! * [`models`] — the paper's evaluation benchmarks (Kalman, Coin,
+//!   Outlier) with data generators and error metrics;
+//! * [`robot`] — the inference-in-the-loop robot of Fig. 5 with its
+//!   physics substitute.
+//!
+//! ## Quickstart
+//!
+//! Exact streaming inference on the paper's hidden Markov model with a
+//! single particle:
+//!
+//! ```
+//! use probzelus::core::infer::{Infer, Method};
+//! use probzelus::models::{generate_kalman, Kalman, MseTracker};
+//!
+//! let data = generate_kalman(1, 100);
+//! let mut engine = Infer::with_seed(Method::StreamingDs, 1, Kalman::default(), 0);
+//! let mut mse = MseTracker::new();
+//! for (y, x) in data.obs.iter().zip(&data.truth) {
+//!     let posterior = engine.step(y)?;
+//!     mse.push(posterior.mean_float(), *x);
+//! }
+//! assert!(mse.mse() < 2.0); // near the Kalman-optimal error
+//! # Ok::<(), probzelus::core::RuntimeError>(())
+//! ```
+//!
+//! Or compile actual ProbZelus source:
+//!
+//! ```
+//! use probzelus::lang::{compile_source, Options};
+//! use probzelus::core::{Method, Value};
+//!
+//! let compiled = compile_source(r#"
+//!     let node hmm y = x where
+//!       rec x = sample (gaussian ((0. -> pre x), (100. -> 1.)))
+//!       and () = observe (gaussian (x, 1.), y)
+//! "#)?;
+//! let mut engine = compiled.infer_node("hmm", 1, Options {
+//!     method: Method::StreamingDs,
+//!     seed: 0,
+//! })?;
+//! let posterior = engine.step(&Value::Float(5.0))?;
+//! assert!((posterior.mean_float() - 5.0 * 100.0 / 101.0).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use probzelus_core as core;
+pub use probzelus_distributions as distributions;
+pub use probzelus_lang as lang;
+
+pub mod models;
+pub mod mv_tracker;
+pub mod robot;

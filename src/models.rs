@@ -1,0 +1,391 @@
+//! The paper's benchmark models (§6.1, Appendix B) as embedded
+//! [`Model`]s, plus ground-truth data generators and the error metrics the
+//! evaluation uses.
+//!
+//! * [`Kalman`] — Appendix B.1: `x₀ ~ N(0,100)`, `xₜ ~ N(xₜ₋₁,1)`,
+//!   `yₜ ~ N(xₜ,1)`; under SDS each particle **is** a Kalman filter.
+//! * [`Coin`] — Appendix B.2: `p ~ Beta(1,1)`, `yₜ ~ Bernoulli(p)`; under
+//!   SDS each particle maintains the exact Beta posterior.
+//! * [`Outlier`] — Appendix B.3 (after Minka 2001): the Kalman model with
+//!   a latent outlier probability `~ Beta(100,1000)`; invalid readings come
+//!   from `N(0,100)`. Under SDS this is a Rao-Blackwellized particle
+//!   filter: the outlier indicator is sampled, position and outlier rate
+//!   stay symbolic.
+
+use probzelus_core::error::RuntimeError;
+use probzelus_core::model::Model;
+use probzelus_core::prob::ProbCtx;
+use probzelus_core::value::{DistExpr, Value};
+use probzelus_distributions::{Bernoulli, Beta, Distribution, Gaussian};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Parameters shared by the Kalman and Outlier benchmarks.
+pub const INITIAL_VAR: f64 = 100.0;
+/// Process noise variance.
+pub const PROCESS_VAR: f64 = 1.0;
+/// Observation noise variance.
+pub const OBS_VAR: f64 = 1.0;
+/// Outlier observation variance (Appendix B.3).
+pub const OUTLIER_VAR: f64 = 100.0;
+
+/// The Kalman benchmark model (Appendix B.1).
+#[derive(Debug, Clone, Default)]
+pub struct Kalman {
+    prev_x: Option<Value>,
+}
+
+impl Model for Kalman {
+    type Input = f64;
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, y: &f64) -> Result<Value, RuntimeError> {
+        let prior = match &self.prev_x {
+            None => DistExpr::gaussian(0.0, INITIAL_VAR),
+            Some(x) => DistExpr::gaussian(x.clone(), PROCESS_VAR),
+        };
+        let x = ctx.sample(&prior)?;
+        ctx.observe(&DistExpr::gaussian(x.clone(), OBS_VAR), &Value::Float(*y))?;
+        self.prev_x = Some(x.clone());
+        Ok(x)
+    }
+
+    fn reset(&mut self) {
+        self.prev_x = None;
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+        if let Some(x) = &mut self.prev_x {
+            f(x);
+        }
+    }
+}
+
+/// The Coin benchmark model (Appendix B.2).
+#[derive(Debug, Clone, Default)]
+pub struct Coin {
+    p: Option<Value>,
+}
+
+impl Model for Coin {
+    type Input = bool;
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, obs: &bool) -> Result<Value, RuntimeError> {
+        if self.p.is_none() {
+            self.p = Some(ctx.sample(&DistExpr::beta(1.0, 1.0))?);
+        }
+        let p = self.p.clone().expect("initialized above");
+        ctx.observe(&DistExpr::bernoulli(p.clone()), &Value::Bool(*obs))?;
+        Ok(p)
+    }
+
+    fn reset(&mut self) {
+        self.p = None;
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+        if let Some(p) = &mut self.p {
+            f(p);
+        }
+    }
+}
+
+/// The Outlier benchmark model (Appendix B.3).
+#[derive(Debug, Clone, Default)]
+pub struct Outlier {
+    prev_x: Option<Value>,
+    outlier_prob: Option<Value>,
+}
+
+impl Model for Outlier {
+    type Input = f64;
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, y: &f64) -> Result<Value, RuntimeError> {
+        let prior = match &self.prev_x {
+            None => DistExpr::gaussian(0.0, INITIAL_VAR),
+            Some(x) => DistExpr::gaussian(x.clone(), PROCESS_VAR),
+        };
+        let x = ctx.sample(&prior)?;
+        if self.outlier_prob.is_none() {
+            self.outlier_prob = Some(ctx.sample(&DistExpr::beta(100.0, 1000.0))?);
+        }
+        let op = self.outlier_prob.clone().expect("initialized above");
+        // The indicator must be concrete to branch on — the `present`
+        // construct of Appendix B.3 conditions control flow on it.
+        let indicator = ctx.sample(&DistExpr::bernoulli(op.clone()))?;
+        let is_outlier = ctx.force(&indicator)?.as_bool()?;
+        if is_outlier {
+            ctx.observe(&DistExpr::gaussian(0.0, OUTLIER_VAR), &Value::Float(*y))?;
+        } else {
+            ctx.observe(&DistExpr::gaussian(x.clone(), OBS_VAR), &Value::Float(*y))?;
+        }
+        self.prev_x = Some(x.clone());
+        Ok(x)
+    }
+
+    fn reset(&mut self) {
+        self.prev_x = None;
+        self.outlier_prob = None;
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+        if let Some(x) = &mut self.prev_x {
+            f(x);
+        }
+        if let Some(p) = &mut self.outlier_prob {
+            f(p);
+        }
+    }
+}
+
+/// Ground truth and observations drawn from a benchmark's own generative
+/// model (§6.1 "Data": every run across all experiments uses the same
+/// data, which we reproduce with fixed seeds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace<T, O> {
+    /// Latent ground truth per step.
+    pub truth: Vec<T>,
+    /// Observations per step.
+    pub obs: Vec<O>,
+}
+
+/// Samples a Kalman trace of `steps` steps.
+pub fn generate_kalman(seed: u64, steps: usize) -> Trace<f64, f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut truth = Vec::with_capacity(steps);
+    let mut obs = Vec::with_capacity(steps);
+    let mut x = Gaussian::new(0.0, INITIAL_VAR)
+        .expect("valid parameters")
+        .sample(&mut rng);
+    for t in 0..steps {
+        if t > 0 {
+            x = Gaussian::new(x, PROCESS_VAR)
+                .expect("valid parameters")
+                .sample(&mut rng);
+        }
+        truth.push(x);
+        obs.push(
+            Gaussian::new(x, OBS_VAR)
+                .expect("valid parameters")
+                .sample(&mut rng),
+        );
+    }
+    Trace { truth, obs }
+}
+
+/// Samples a Coin trace: the truth is the (constant) bias.
+pub fn generate_coin(seed: u64, steps: usize) -> Trace<f64, bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = Beta::new(1.0, 1.0).expect("valid parameters").sample(&mut rng);
+    let coin = Bernoulli::new(p).expect("beta sample is a probability");
+    let obs = (0..steps).map(|_| coin.sample(&mut rng)).collect();
+    Trace {
+        truth: vec![p; steps],
+        obs,
+    }
+}
+
+/// Samples an Outlier trace.
+pub fn generate_outlier(seed: u64, steps: usize) -> Trace<f64, f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let outlier_prob = Beta::new(100.0, 1000.0)
+        .expect("valid parameters")
+        .sample(&mut rng);
+    let flip = Bernoulli::new(outlier_prob).expect("probability");
+    let mut truth = Vec::with_capacity(steps);
+    let mut obs = Vec::with_capacity(steps);
+    let mut x = Gaussian::new(0.0, INITIAL_VAR)
+        .expect("valid parameters")
+        .sample(&mut rng);
+    for t in 0..steps {
+        if t > 0 {
+            x = Gaussian::new(x, PROCESS_VAR)
+                .expect("valid parameters")
+                .sample(&mut rng);
+        }
+        truth.push(x);
+        let d = if flip.sample(&mut rng) {
+            Gaussian::new(0.0, OUTLIER_VAR)
+        } else {
+            Gaussian::new(x, OBS_VAR)
+        };
+        obs.push(d.expect("valid parameters").sample(&mut rng));
+    }
+    Trace { truth, obs }
+}
+
+/// Running mean-squared error between per-step estimates and the ground
+/// truth — the benchmarks' end-to-end error metric (the `mse` stream of the
+/// paper's driver node, Appendix B).
+#[derive(Debug, Clone, Default)]
+pub struct MseTracker {
+    total: f64,
+    steps: u64,
+}
+
+impl MseTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one step's estimate against the truth and returns the MSE
+    /// so far.
+    pub fn push(&mut self, estimate: f64, truth: f64) -> f64 {
+        let err = estimate - truth;
+        self.total += err * err;
+        self.steps += 1;
+        self.mse()
+    }
+
+    /// The mean squared error over all recorded steps (0 when empty).
+    pub fn mse(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total / self.steps as f64
+        }
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+    }
+}
+
+/// The exact Kalman filter for the benchmark's parameters — the oracle the
+/// accuracy experiments compare against (SDS must match it to machine
+/// precision).
+#[derive(Debug, Clone)]
+pub struct KalmanOracle {
+    mean: f64,
+    var: f64,
+    started: bool,
+}
+
+impl Default for KalmanOracle {
+    fn default() -> Self {
+        KalmanOracle {
+            mean: 0.0,
+            var: INITIAL_VAR,
+            started: false,
+        }
+    }
+}
+
+impl KalmanOracle {
+    /// Creates the oracle at its prior.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Incorporates one observation, returning the posterior mean and
+    /// variance.
+    pub fn step(&mut self, y: f64) -> (f64, f64) {
+        if self.started {
+            self.var += PROCESS_VAR;
+        }
+        self.started = true;
+        let gain = self.var / (self.var + OBS_VAR);
+        self.mean += gain * (y - self.mean);
+        self.var *= 1.0 - gain;
+        (self.mean, self.var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probzelus_core::infer::{Infer, Method};
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        assert_eq!(generate_kalman(1, 50), generate_kalman(1, 50));
+        assert_ne!(generate_kalman(1, 50), generate_kalman(2, 50));
+        assert_eq!(generate_coin(3, 20), generate_coin(3, 20));
+        assert_eq!(generate_outlier(4, 20), generate_outlier(4, 20));
+    }
+
+    #[test]
+    fn kalman_sds_matches_oracle_on_generated_data() {
+        let trace = generate_kalman(7, 100);
+        let mut engine = Infer::with_seed(Method::StreamingDs, 1, Kalman::default(), 0);
+        let mut oracle = KalmanOracle::new();
+        for y in &trace.obs {
+            let post = engine.step(y).unwrap();
+            let (m, v) = oracle.step(*y);
+            assert!((post.mean_float() - m).abs() < 1e-8);
+            assert!((post.variance_float() - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn coin_sds_matches_conjugate_counts() {
+        let trace = generate_coin(9, 60);
+        let mut engine = Infer::with_seed(Method::StreamingDs, 1, Coin::default(), 0);
+        let mut post_mean = 0.5;
+        let (mut a, mut b) = (1.0, 1.0);
+        for y in &trace.obs {
+            let post = engine.step(y).unwrap();
+            if *y {
+                a += 1.0;
+            } else {
+                b += 1.0;
+            }
+            post_mean = a / (a + b);
+            assert!((post.mean_float() - post_mean).abs() < 1e-10);
+        }
+        // And the posterior concentrates near the truth.
+        assert!((post_mean - trace.truth[0]).abs() < 0.2);
+    }
+
+    #[test]
+    fn outlier_inference_tracks_position() {
+        let trace = generate_outlier(11, 150);
+        let mut engine = Infer::with_seed(Method::StreamingDs, 100, Outlier::default(), 5);
+        let mut mse = MseTracker::new();
+        for (y, x) in trace.obs.iter().zip(&trace.truth) {
+            let post = engine.step(y).unwrap();
+            mse.push(post.mean_float(), *x);
+        }
+        // A well-behaved filter keeps the MSE near the observation noise
+        // floor even with ~9% corrupted readings.
+        assert!(mse.mse() < 3.0, "MSE {}", mse.mse());
+    }
+
+    #[test]
+    fn outlier_memory_stays_bounded_under_sds() {
+        let trace = generate_outlier(13, 200);
+        let mut engine = Infer::with_seed(Method::StreamingDs, 20, Outlier::default(), 2);
+        let mut peak = 0;
+        for y in &trace.obs {
+            engine.step(y).unwrap();
+            peak = peak.max(engine.memory().live_nodes);
+        }
+        // Position chain + constant outlier-rate parameter per particle.
+        assert!(peak <= 20 * 10, "peak {peak}");
+    }
+
+    #[test]
+    fn mse_tracker_accumulates() {
+        let mut t = MseTracker::new();
+        assert_eq!(t.mse(), 0.0);
+        t.push(1.0, 0.0);
+        assert_eq!(t.mse(), 1.0);
+        t.push(0.0, 3.0);
+        assert_eq!(t.mse(), 5.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn oracle_matches_direct_formula_first_step() {
+        let mut o = KalmanOracle::new();
+        let (m, v) = o.step(5.0);
+        assert!((m - 5.0 * 100.0 / 101.0).abs() < 1e-12);
+        assert!((v - 100.0 / 101.0).abs() < 1e-12);
+    }
+}

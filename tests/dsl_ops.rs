@@ -1,0 +1,255 @@
+//! Coverage of the driver-level operators and value plumbing of the DSL:
+//! posterior statistics (`mean_float`, `variance_float`, `prob`, `draw`),
+//! distribution-valued expressions, `factor`, and mixed arithmetic.
+
+use probzelus::core::{Method, Value};
+use probzelus::lang::{compile_source, Options};
+
+fn opts(seed: u64) -> Options {
+    Options {
+        method: Method::StreamingDs,
+        seed,
+    }
+}
+
+fn run_main_float(src: &str, inputs: &[Value], seed: u64) -> Vec<f64> {
+    let c = compile_source(src).unwrap();
+    let mut inst = c.instantiate("main", opts(seed)).unwrap();
+    inputs
+        .iter()
+        .map(|i| {
+            inst.step(i.clone())
+                .unwrap()
+                .as_core()
+                .unwrap()
+                .as_float()
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn posterior_statistics_ops() {
+    // First step of the Kalman model: posterior N(y·100/101, 100/101).
+    let src = r#"
+        let node m y = x where
+          rec x = sample (gaussian ((0. -> pre x), (100. -> 1.)))
+          and () = observe (gaussian (x, 1.), y)
+        let node main y = (mean_float(d), (variance_float(d), prob(d, 4., 6.))) where
+          rec d = infer 1 m y
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut inst = c.instantiate("main", opts(0)).unwrap();
+    let out = inst.step(Value::Float(5.0)).unwrap().as_core().unwrap();
+    let (mean, rest) = out.as_pair().unwrap();
+    let (var, p) = rest.as_pair().unwrap();
+    assert!((mean.as_float().unwrap() - 500.0 / 101.0).abs() < 1e-9);
+    assert!((var.as_float().unwrap() - 100.0 / 101.0).abs() < 1e-9);
+    // N(4.95, 0.99): most mass in [4, 6].
+    let p = p.as_float().unwrap();
+    assert!(p > 0.6 && p < 0.95, "prob {p}");
+}
+
+#[test]
+fn draw_samples_from_the_posterior() {
+    let src = r#"
+        let node m y = x where
+          rec x = sample (gaussian ((0. -> pre x), (100. -> 1.)))
+          and () = observe (gaussian (x, 1.), y)
+        let node main y = draw(infer 1 m y)
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut inst = c.instantiate("main", opts(9)).unwrap();
+    let mut sum = 0.0;
+    let n = 200;
+    for _ in 0..n {
+        let v = inst
+            .step(Value::Float(5.0))
+            .unwrap()
+            .as_core()
+            .unwrap()
+            .as_float()
+            .unwrap();
+        sum += v;
+    }
+    // Posterior concentrates near 5 after many observations of 5.
+    assert!((sum / n as f64 - 5.0).abs() < 0.5, "mean {}", sum / n as f64);
+}
+
+#[test]
+fn factor_reweights_particles() {
+    // Penalize negative samples with a factor: the posterior mean of a
+    // standard normal shifts clearly positive.
+    let src = r#"
+        let node m u = x where
+          rec x = sample (gaussian (0., 1.))
+          and w = present x < 0. -> 0. - 10. else 0.
+          and () = factor(w)
+        let node main u = mean_float(infer 500 m u)
+    "#;
+    let outs = run_main_float(src, &vec![Value::Unit; 5], 3);
+    assert!(outs.iter().all(|&m| m > 0.3), "{outs:?}");
+}
+
+#[test]
+fn math_operators_in_driver_code() {
+    let src = r#"
+        let node main x = exp(log(max(x, 1.))) + sqrt(abs(0. - 9.)) + min(x, 2.)
+    "#;
+    let outs = run_main_float(src, &[Value::Float(4.0)], 0);
+    // exp(log(4)) + 3 + 2 = 9.
+    assert!((outs[0] - 9.0).abs() < 1e-9);
+}
+
+#[test]
+fn comparisons_booleans_and_projections() {
+    let src = r#"
+        let node main (a, b) = r where
+          rec p = (a + b, a - b)
+          and big = fst(p) > 3. && not (snd(p) >= 1.)
+          and r = if big || false then fst(p) else snd(p)
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut inst = c.instantiate("main", opts(0)).unwrap();
+    // a=2, b=2: sum 4 > 3, diff 0 < 1 -> big -> r = 4.
+    let v = inst
+        .step(Value::pair(Value::Float(2.0), Value::Float(2.0)))
+        .unwrap()
+        .as_core()
+        .unwrap()
+        .as_float()
+        .unwrap();
+    assert_eq!(v, 4.0);
+    // a=1, b=0: sum 1, not big -> r = diff = 1.
+    let v = inst
+        .step(Value::pair(Value::Float(1.0), Value::Float(0.0)))
+        .unwrap()
+        .as_core()
+        .unwrap()
+        .as_float()
+        .unwrap();
+    assert_eq!(v, 1.0);
+}
+
+#[test]
+fn integer_arithmetic_nodes() {
+    let src = r#"
+        let node main n = (n * 2 + 1) / 3 where rec unused = binomial(n, 0.5)
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut inst = c.instantiate("main", opts(0)).unwrap();
+    let out = inst.step(Value::Int(7)).unwrap().as_core().unwrap();
+    assert_eq!(out, Value::Int(5));
+}
+
+#[test]
+fn mean_of_distribution_values() {
+    // mean_float also works on first-class (non-posterior) distributions.
+    let src = "let node main u = mean_float(gaussian(3., 2.)) + mean_float(beta(2., 2.))";
+    let outs = run_main_float(src, &[Value::Unit], 0);
+    assert!((outs[0] - 3.5).abs() < 1e-12);
+}
+
+#[test]
+fn posteriors_flow_through_state() {
+    // A posterior (a `T dist` value) can be delayed with `->`/`pre` like
+    // any other stream value.
+    let src = r#"
+        let node m y = sample(gaussian(y, 1.))
+        let node main y = mean_float(dprev) where
+          rec d = infer 10 m y
+          and dprev = d -> pre d
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut inst = c.instantiate("main", opts(1)).unwrap();
+    let a = inst.step(Value::Float(10.0)).unwrap();
+    let b = inst.step(Value::Float(-10.0)).unwrap();
+    let a = a.as_core().unwrap().as_float().unwrap();
+    let b = b.as_core().unwrap().as_float().unwrap();
+    // Step 2 reports the delayed posterior (over y=10), not the current.
+    assert!((a - 10.0).abs() < 2.0, "step 1: {a}");
+    assert!((b - 10.0).abs() < 2.0, "step 2 should still be near 10: {b}");
+}
+
+#[test]
+fn gamma_poisson_rate_learning_is_exact_in_the_dsl() {
+    // Learn an event rate from Poisson counts: the SDS posterior is the
+    // conjugate Gamma(2 + Σk, 2 + t) — mean checked analytically.
+    let src = r#"
+        let node rate_model k = lam where
+          rec init lam = 1.
+          and lam = (sample (gamma (2., 2.))) -> last lam
+          and () = observe (poisson (lam), k)
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut eng = c.infer_node("rate_model", 1, opts(7)).unwrap();
+    let counts = [3i64, 1, 4, 1, 5, 9, 2, 6];
+    let (mut shape, mut rate) = (2.0f64, 2.0f64);
+    for k in counts {
+        let post = eng.step(&Value::Int(k)).unwrap();
+        shape += k as f64;
+        rate += 1.0;
+        assert!(
+            (post.mean_float() - shape / rate).abs() < 1e-9,
+            "{} vs {}",
+            post.mean_float(),
+            shape / rate
+        );
+    }
+}
+
+#[test]
+fn beta_binomial_batch_observations_are_exact_in_the_dsl() {
+    // Observe batches of n coin flips at once: Beta(1 + Σk, 1 + Σ(n-k)).
+    let src = r#"
+        let node bias (n, k) = p where
+          rec init p = 0.5
+          and p = (sample (beta (1., 1.))) -> last p
+          and () = observe (binomial (n, p), k)
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut eng = c.infer_node("bias", 1, opts(8)).unwrap();
+    let batches = [(10i64, 7i64), (10, 6), (10, 8)];
+    let (mut a, mut b) = (1.0f64, 1.0f64);
+    for (n, k) in batches {
+        let post = eng
+            .step(&Value::pair(Value::Int(n), Value::Int(k)))
+            .unwrap();
+        a += k as f64;
+        b += (n - k) as f64;
+        assert!(
+            (post.mean_float() - a / (a + b)).abs() < 1e-9,
+            "{} vs {}",
+            post.mean_float(),
+            a / (a + b)
+        );
+    }
+}
+
+#[test]
+fn gamma_exponential_waiting_times_are_exact_in_the_dsl() {
+    // Learn an arrival rate from waiting times: Gamma(2 + t, 2 + Σx).
+    let src = r#"
+        let node arrivals x = lam where
+          rec init lam = 1.
+          and lam = (sample (gamma (2., 2.))) -> last lam
+          and () = observe (exponential (lam), x)
+    "#;
+    let c = compile_source(src).unwrap();
+    let mut eng = c.infer_node("arrivals", 1, opts(6)).unwrap();
+    let waits = [0.5f64, 1.25, 0.1, 2.0, 0.75];
+    let (mut shape, mut rate) = (2.0f64, 2.0f64);
+    for x in waits {
+        let post = eng.step(&Value::Float(x)).unwrap();
+        shape += 1.0;
+        rate += x;
+        assert!(
+            (post.mean_float() - shape / rate).abs() < 1e-9,
+            "{} vs {}",
+            post.mean_float(),
+            shape / rate
+        );
+    }
+    // Bounded memory: one gamma parent per particle plus pending child.
+    assert!(eng.memory().live_nodes <= 3);
+}

@@ -1,0 +1,135 @@
+//! The delayed-sampling graph evolution of Fig. 3 / Fig. 15: node states
+//! and liveness across the first steps of the HMM, under both the
+//! pointer-minimal (SDS) and retain-all (classic DS) disciplines.
+
+use probzelus::core::ds::{Graph, Retention, StateKind};
+use probzelus::core::{DistExpr, RvId, Value};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn var_of(v: &Value) -> RvId {
+    match v {
+        Value::Aff(e) => e.as_var().expect("plain variable reference"),
+        Value::Rv(x) => *x,
+        other => panic!("expected symbolic value, got {other}"),
+    }
+}
+
+/// One HMM step: x' ~ N(x, 1) (or the prior at t=0), observe N(x', 1) = y.
+fn hmm_step(
+    g: &mut Graph,
+    rng: &mut SmallRng,
+    prev: Option<&Value>,
+    y: f64,
+) -> Value {
+    let prior = match prev {
+        None => DistExpr::gaussian(0.0, 100.0),
+        Some(x) => DistExpr::gaussian(x.clone(), 1.0),
+    };
+    let x = g.assume(&prior, rng).unwrap();
+    g.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(y), rng)
+        .unwrap();
+    x
+}
+
+#[test]
+fn figure_15_one_step_transitions() {
+    // Fig. 15: sample adds an initialized x (b); observe marginalizes x
+    // and realizes the observation (d)-(f); the stale prefix is collected
+    // once the program reference moves on (g).
+    let mut g = Graph::new(Retention::PointerMinimal);
+    let mut rng = SmallRng::seed_from_u64(0);
+
+    let pre_x = g.assume(&DistExpr::gaussian(0.0, 100.0), &mut rng).unwrap();
+    // (b) initialize(x, pre x): x is initialized.
+    let x = g
+        .assume(&DistExpr::gaussian(pre_x.clone(), 1.0), &mut rng)
+        .unwrap();
+    assert_eq!(g.state_kind(var_of(&x)), StateKind::Initialized);
+
+    // (c)-(f): the observation marginalizes the chain and realizes y.
+    g.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(0.5), &mut rng)
+        .unwrap();
+    assert_eq!(g.state_kind(var_of(&pre_x)), StateKind::Marginalized);
+    assert_eq!(g.state_kind(var_of(&x)), StateKind::Marginalized);
+
+    // (g) update state: only x is still referenced by the program.
+    let live_before = g.live_nodes();
+    g.collect([var_of(&x)]);
+    assert!(g.live_nodes() < live_before);
+    // x (and the realized y pending lazy folding on x) survive.
+    assert!(g.live_nodes() <= 2, "live {}", g.live_nodes());
+}
+
+#[test]
+fn figure_3_pointer_minimal_stays_constant_classic_grows() {
+    let observations: Vec<f64> = (0..60).map(|t| (t as f64 * 0.1).sin()).collect();
+
+    for (retention, expect_bounded) in [
+        (Retention::PointerMinimal, true),
+        (Retention::RetainAll, false),
+    ] {
+        let mut g = Graph::new(retention);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut x: Option<Value> = None;
+        let mut peak = 0usize;
+        for &y in &observations {
+            let next = hmm_step(&mut g, &mut rng, x.as_ref(), y);
+            x = Some(next);
+            g.collect([var_of(x.as_ref().expect("set above"))]);
+            peak = peak.max(g.live_nodes());
+        }
+        if expect_bounded {
+            assert!(peak <= 3, "pointer-minimal peak {peak}");
+        } else {
+            // The unrealized marginalized chain grows by one per step
+            // (Fig. 3: "its graph representation grows linearly").
+            assert!(peak >= observations.len(), "retain-all peak {peak}");
+        }
+    }
+}
+
+#[test]
+fn states_only_move_forward() {
+    // Initialized -> marginalized -> realized, never backwards (§5.2).
+    let mut g = Graph::new(Retention::PointerMinimal);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let x = g.assume(&DistExpr::gaussian(0.0, 100.0), &mut rng).unwrap();
+    let y = g
+        .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut rng)
+        .unwrap();
+    assert_eq!(g.state_kind(var_of(&y)), StateKind::Initialized);
+    // Query does not advance states.
+    let _ = g.query(var_of(&y)).unwrap();
+    assert_eq!(g.state_kind(var_of(&y)), StateKind::Initialized);
+    // Realization advances to the terminal state.
+    let _ = g.realize(var_of(&y), &mut rng).unwrap();
+    assert_eq!(g.state_kind(var_of(&y)), StateKind::Realized);
+    // And is idempotent.
+    let v1 = g.realize(var_of(&y), &mut rng).unwrap();
+    let v2 = g.realize(var_of(&y), &mut rng).unwrap();
+    assert_eq!(v1, v2);
+}
+
+#[test]
+fn kalman_posterior_via_graph_equals_closed_form_all_steps() {
+    // The running example of §2.3 end to end at graph level.
+    let mut g = Graph::new(Retention::PointerMinimal);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let ys = [1.0, -0.5, 0.25, 2.0, 1.5];
+    let mut x: Option<Value> = None;
+    let (mut m, mut v) = (0.0, 100.0);
+    for (t, &y) in ys.iter().enumerate() {
+        let next = hmm_step(&mut g, &mut rng, x.as_ref(), y);
+        if t > 0 {
+            v += 1.0;
+        }
+        let gain = v / (v + 1.0);
+        m += gain * (y - m);
+        v *= 1.0 - gain;
+        let marg = g.query(var_of(&next)).unwrap();
+        assert!((marg.mean_float().unwrap() - m).abs() < 1e-9, "step {t}");
+        assert!((marg.variance_float().unwrap() - v).abs() < 1e-9, "step {t}");
+        x = Some(next);
+    }
+}

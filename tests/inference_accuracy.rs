@@ -1,0 +1,112 @@
+//! Statistical acceptance tests for the §6.2 claims ("delayed samplers
+//! achieve better accuracy than the particle filter with the same
+//! computational resources"). These are randomized but heavily averaged;
+//! seeds are fixed.
+
+use probzelus::core::infer::{Infer, Method};
+use probzelus::core::model::Model;
+use probzelus::models::{generate_coin, generate_kalman, Coin, Kalman, MseTracker};
+use probzelus_distributions::stats;
+
+fn median_mse<M: Model>(
+    template: &M,
+    method: Method,
+    particles: usize,
+    obs: &[M::Input],
+    truth: &[f64],
+    runs: usize,
+) -> f64 {
+    let finals: Vec<f64> = (0..runs)
+        .map(|r| {
+            let mut engine = Infer::with_seed(method, particles, template.clone(), r as u64);
+            let mut mse = MseTracker::new();
+            for (y, x) in obs.iter().zip(truth) {
+                let post = engine.step(y).unwrap();
+                mse.push(post.mean_float(), *x);
+            }
+            mse.mse()
+        })
+        .collect();
+    stats::median(&finals)
+}
+
+#[test]
+fn kalman_ordering_sds_beats_bds_beats_pf_at_low_particle_counts() {
+    // Fig. 16 (top): at small particle counts the ordering is strict.
+    let data = generate_kalman(0xACC, 200);
+    let sds = median_mse(&Kalman::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 10);
+    let bds = median_mse(&Kalman::default(), Method::BoundedDs, 2, &data.obs, &data.truth, 30);
+    let pf = median_mse(&Kalman::default(), Method::ParticleFilter, 2, &data.obs, &data.truth, 30);
+    assert!(sds < bds, "SDS {sds} < BDS {bds}");
+    assert!(bds < pf, "BDS {bds} < PF {pf}");
+}
+
+#[test]
+fn kalman_pf_converges_to_sds_with_enough_particles() {
+    // "PF can achieve comparable accuracy to SDS … with 35 particles"
+    // (§6.2).
+    let data = generate_kalman(0xACC, 200);
+    let sds = median_mse(&Kalman::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 5);
+    let pf35 = median_mse(
+        &Kalman::default(),
+        Method::ParticleFilter,
+        35,
+        &data.obs,
+        &data.truth,
+        30,
+    );
+    assert!(
+        pf35 < 2.0 * sds,
+        "PF@35 {pf35} should be comparable to SDS {sds}"
+    );
+}
+
+#[test]
+fn sds_accuracy_is_independent_of_particle_count() {
+    // Fig. 16: "SDS returns the exact posterior distribution … therefore
+    // its accuracy is independent of the number of particles".
+    let data = generate_kalman(0xACC, 150);
+    let one = median_mse(&Kalman::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 3);
+    let hundred = median_mse(
+        &Kalman::default(),
+        Method::StreamingDs,
+        100,
+        &data.obs,
+        &data.truth,
+        3,
+    );
+    assert!((one - hundred).abs() < 1e-9, "{one} vs {hundred}");
+}
+
+#[test]
+fn coin_sds_dominates_and_bds_degenerates_to_pf() {
+    // §6.2: "After the first step the Beta-Bernoulli conjugacy is lost and
+    // BDS acts as a particle filter."
+    let data = generate_coin(0xC0, 300);
+    let sds = median_mse(&Coin::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 5);
+    let bds = median_mse(&Coin::default(), Method::BoundedDs, 3, &data.obs, &data.truth, 50);
+    let pf = median_mse(&Coin::default(), Method::ParticleFilter, 3, &data.obs, &data.truth, 50);
+    // At 3 particles the sample-impoverished filters are clearly worse
+    // than the exact posterior.
+    assert!(1.5 * sds < bds, "SDS {sds} << BDS {bds}");
+    assert!(1.5 * sds < pf, "SDS {sds} << PF {pf}");
+    // BDS ≈ PF on the coin: within a factor of three either way.
+    assert!(bds < 3.0 * pf && pf < 3.0 * bds, "BDS {bds} vs PF {pf}");
+}
+
+#[test]
+fn importance_sampling_collapses_over_time() {
+    // §5.1: "the probability of each individual path quickly collapses to
+    // 0 … not practical in a reactive context".
+    let data = generate_kalman(0xACC, 100);
+    let mut is = Infer::with_seed(Method::Importance, 100, Kalman::default(), 0);
+    let mut pf = Infer::with_seed(Method::ParticleFilter, 100, Kalman::default(), 0);
+    for y in &data.obs {
+        is.step(y).unwrap();
+        pf.step(y).unwrap();
+    }
+    // The importance sampler's effective sample size collapses to ~1
+    // particle; the particle filter keeps a healthy fraction.
+    assert!(is.last_ess() < 3.0, "IS ESS {}", is.last_ess());
+    assert!(pf.last_ess() > 20.0, "PF ESS {}", pf.last_ess());
+}

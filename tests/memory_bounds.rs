@@ -1,0 +1,187 @@
+//! The scope-and-limitations study of §5.3: which models run in bounded
+//! memory under streaming delayed sampling, which genuinely cannot, and
+//! how the paper's `value`-forcing idiom restores the bound.
+
+use probzelus::core::infer::{Infer, Method};
+use probzelus::core::model::Model;
+use probzelus::core::prob::ProbCtx;
+use probzelus::core::{DistExpr, RuntimeError, Value};
+
+/// The `hmm_init` model of §5.3: like the HMM but the initial position is
+/// drawn around an input and **kept referenced** through `init i = …`,
+/// which pins the whole chain.
+#[derive(Clone, Default)]
+struct HmmInit {
+    init_guess: Option<Value>,
+    prev_x: Option<Value>,
+}
+
+impl Model for HmmInit {
+    type Input = f64;
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, y: &f64) -> Result<Value, RuntimeError> {
+        if self.init_guess.is_none() {
+            self.init_guess = Some(ctx.sample(&DistExpr::gaussian(0.0, 1.0))?);
+        }
+        let prior = match &self.prev_x {
+            None => DistExpr::gaussian(
+                self.init_guess.clone().expect("set above"),
+                1.0,
+            ),
+            Some(x) => DistExpr::gaussian(x.clone(), 1.0),
+        };
+        let x = ctx.sample(&prior)?;
+        ctx.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(*y))?;
+        self.prev_x = Some(x.clone());
+        Ok(x)
+    }
+
+    fn reset(&mut self) {
+        *self = HmmInit::default();
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+        if let Some(i) = &mut self.init_guess {
+            f(i);
+        }
+        if let Some(x) = &mut self.prev_x {
+            f(x);
+        }
+    }
+}
+
+/// The `walk` model of §5.3: a random walk that is never observed, so
+/// nothing ever realizes the chain of initialized nodes.
+#[derive(Clone, Default)]
+struct Walk {
+    force_window: bool,
+    prev: Option<Value>,
+    prev2: Option<Value>,
+}
+
+impl Model for Walk {
+    type Input = ();
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, _input: &()) -> Result<Value, RuntimeError> {
+        let prior = match &self.prev {
+            None => DistExpr::gaussian(0.0, 1.0),
+            Some(x) => DistExpr::gaussian(x.clone(), 1.0),
+        };
+        let x = ctx.sample(&prior)?;
+        if self.force_window {
+            // §5.3: `value(0 -> pre (0 -> pre x))` — force the sample from
+            // two instants ago to keep the chain finite without losing the
+            // exactness of the current marginal.
+            if let Some(old) = self.prev2.take() {
+                ctx.force(&old)?;
+            }
+            self.prev2 = self.prev.clone();
+        }
+        self.prev = Some(x.clone());
+        Ok(x)
+    }
+
+    fn reset(&mut self) {
+        let fw = self.force_window;
+        *self = Walk {
+            force_window: fw,
+            ..Walk::default()
+        };
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+        if let Some(x) = &mut self.prev {
+            f(x);
+        }
+        if let Some(x) = &mut self.prev2 {
+            f(x);
+        }
+    }
+}
+
+fn peak_live_nodes<M: Model>(model: M, inputs: &[M::Input], particles: usize) -> usize {
+    let mut engine = Infer::with_seed(Method::StreamingDs, particles, model, 0);
+    let mut peak = 0;
+    for i in inputs {
+        engine.step(i).unwrap();
+        peak = peak.max(engine.memory().live_nodes);
+    }
+    peak
+}
+
+#[test]
+fn hmm_init_chain_grows_without_bound() {
+    // "unbounded chains can still be formed if the program keeps a
+    // reference to a constant variable that is never realized" (§5.3).
+    let obs: Vec<f64> = (0..100).map(|t| t as f64 * 0.01).collect();
+    let peak = peak_live_nodes(HmmInit::default(), &obs, 1);
+    assert!(peak >= 100, "expected unbounded growth, peak {peak}");
+}
+
+#[test]
+fn plain_hmm_stays_bounded() {
+    let obs: Vec<f64> = (0..100).map(|t| t as f64 * 0.01).collect();
+    let peak = peak_live_nodes(probzelus::models::Kalman::default(), &obs, 1);
+    assert!(peak <= 3, "peak {peak}");
+}
+
+#[test]
+fn walk_without_forcing_grows() {
+    // "it is thus possible to form unbounded chains of initialized nodes"
+    // (§5.3).
+    let inputs = vec![(); 100];
+    let peak = peak_live_nodes(Walk::default(), &inputs, 1);
+    assert!(peak >= 100, "peak {peak}");
+}
+
+#[test]
+fn walk_with_value_forcing_is_bounded_and_stays_exact() {
+    let inputs = vec![(); 200];
+    let peak = peak_live_nodes(
+        Walk {
+            force_window: true,
+            ..Walk::default()
+        },
+        &inputs,
+        1,
+    );
+    assert!(peak <= 4, "peak {peak}");
+
+    // Exactness of the reported marginal: at step t the walk's position
+    // has marginal N(realized anchor, k) where k counts the unforced
+    // steps; its variance grows by 1 per step from the last realization,
+    // so it is always in {1, 2}.
+    let mut engine = Infer::with_seed(
+        Method::StreamingDs,
+        1,
+        Walk {
+            force_window: true,
+            ..Walk::default()
+        },
+        3,
+    );
+    for t in 0..50 {
+        let post = engine.step(&()).unwrap();
+        let var = post.variance_float();
+        if t == 0 {
+            assert!((var - 1.0).abs() < 1e-9);
+        } else {
+            assert!(
+                (1.0..=2.0 + 1e-9).contains(&var),
+                "step {t}: variance {var}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bds_bounds_everything_by_construction() {
+    // Bounded delayed sampling realizes at each instant, so even the
+    // pathological models stay at zero retained nodes between steps.
+    let obs: Vec<f64> = (0..100).map(|t| t as f64 * 0.01).collect();
+    let mut engine = Infer::with_seed(Method::BoundedDs, 5, HmmInit::default(), 0);
+    for y in &obs {
+        engine.step(y).unwrap();
+        assert_eq!(engine.memory().live_nodes, 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Property-based tests (proptest) for the core invariants:
+//! SDS-vs-closed-form exactness on randomized models, posterior
+//! normalization, engine equivalences, and pipeline round-trips.
+
+use probzelus::core::infer::{Infer, Method};
+use probzelus::core::model::Model;
+use probzelus::core::prob::ProbCtx;
+use probzelus::core::{DistExpr, RuntimeError, Value};
+use probzelus::lang::{compile_source, Options};
+use proptest::prelude::*;
+
+/// A Kalman-style state-space model with arbitrary (valid) parameters and
+/// an affine state transition `x' ~ N(a·x + b, q)`.
+#[derive(Clone, Debug)]
+struct AffineSsm {
+    a: f64,
+    b: f64,
+    q: f64,
+    r: f64,
+    p0_mean: f64,
+    p0_var: f64,
+    prev: Option<Value>,
+}
+
+impl Model for AffineSsm {
+    type Input = f64;
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, y: &f64) -> Result<Value, RuntimeError> {
+        let prior = match &self.prev {
+            None => DistExpr::gaussian(self.p0_mean, self.p0_var),
+            Some(x) => {
+                let mean = probzelus::core::ops::add(
+                    &probzelus::core::ops::mul(x, &Value::Float(self.a))?,
+                    &Value::Float(self.b),
+                )?;
+                DistExpr::gaussian(mean, self.q)
+            }
+        };
+        let x = ctx.sample(&prior)?;
+        ctx.observe(&DistExpr::gaussian(x.clone(), self.r), &Value::Float(*y))?;
+        self.prev = Some(x.clone());
+        Ok(x)
+    }
+
+    fn reset(&mut self) {
+        self.prev = None;
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+        if let Some(x) = &mut self.prev {
+            f(x);
+        }
+    }
+}
+
+/// The textbook Kalman filter for [`AffineSsm`].
+fn kalman_reference(m: &AffineSsm, obs: &[f64]) -> Vec<(f64, f64)> {
+    let (mut mean, mut var) = (m.p0_mean, m.p0_var);
+    let mut out = Vec::with_capacity(obs.len());
+    for (t, &y) in obs.iter().enumerate() {
+        if t > 0 {
+            mean = m.a * mean + m.b;
+            var = m.a * m.a * var + m.q;
+        }
+        let gain = var / (var + m.r);
+        mean += gain * (y - mean);
+        var *= 1.0 - gain;
+        out.push((mean, var));
+    }
+    out
+}
+
+fn param() -> impl Strategy<Value = AffineSsm> {
+    (
+        -1.5f64..1.5,
+        -2.0f64..2.0,
+        0.05f64..5.0,
+        0.05f64..5.0,
+        -5.0f64..5.0,
+        0.1f64..50.0,
+    )
+        .prop_map(|(a, b, q, r, p0_mean, p0_var)| AffineSsm {
+            a,
+            b,
+            q,
+            r,
+            p0_mean,
+            p0_var,
+            prev: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One SDS particle equals the closed-form Kalman filter on any valid
+    /// affine state-space model and observation sequence.
+    #[test]
+    fn sds_is_exact_for_random_affine_ssms(
+        model in param(),
+        obs in proptest::collection::vec(-10.0f64..10.0, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut engine = Infer::with_seed(Method::StreamingDs, 1, model.clone(), seed);
+        let reference = kalman_reference(&model, &obs);
+        for (y, (m, v)) in obs.iter().zip(reference) {
+            let post = engine.step(y).unwrap();
+            prop_assert!((post.mean_float() - m).abs() < 1e-7,
+                "mean {} vs {m}", post.mean_float());
+            prop_assert!((post.variance_float() - v).abs() < 1e-7,
+                "var {} vs {v}", post.variance_float());
+        }
+        // And memory stays bounded regardless of the model parameters.
+        prop_assert!(engine.memory().live_nodes <= 3);
+    }
+
+    /// The classic-DS engine computes the same posteriors as SDS (only its
+    /// memory behaviour differs).
+    #[test]
+    fn classic_ds_posteriors_equal_sds(
+        model in param(),
+        obs in proptest::collection::vec(-10.0f64..10.0, 1..25),
+    ) {
+        let mut sds = Infer::with_seed(Method::StreamingDs, 1, model.clone(), 0);
+        let mut ds = Infer::with_seed(Method::ClassicDs, 1, model.clone(), 0);
+        for y in &obs {
+            let a = sds.step(y).unwrap();
+            let b = ds.step(y).unwrap();
+            prop_assert!((a.mean_float() - b.mean_float()).abs() < 1e-9);
+            prop_assert!((a.variance_float() - b.variance_float()).abs() < 1e-9);
+        }
+        prop_assert!(ds.memory().live_nodes >= obs.len());
+    }
+
+    /// Posterior component weights are always normalized, for every
+    /// method.
+    #[test]
+    fn posterior_weights_are_normalized(
+        model in param(),
+        obs in proptest::collection::vec(-10.0f64..10.0, 1..10),
+        method_idx in 0usize..4,
+    ) {
+        let method = [
+            Method::ParticleFilter,
+            Method::BoundedDs,
+            Method::StreamingDs,
+            Method::Importance,
+        ][method_idx];
+        let mut engine = Infer::with_seed(method, 13, model, 7);
+        for y in &obs {
+            let post = engine.step(y).unwrap();
+            let total: f64 = post.components().iter().map(|(w, _)| w).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+            prop_assert!(post.components().iter().all(|(w, _)| *w >= 0.0));
+        }
+    }
+
+    /// Beta-Bernoulli streaming inference matches the analytic posterior
+    /// for arbitrary flip sequences and priors.
+    #[test]
+    fn beta_bernoulli_counts_are_exact(
+        alpha in 0.5f64..20.0,
+        beta in 0.5f64..20.0,
+        flips in proptest::collection::vec(any::<bool>(), 1..50),
+    ) {
+        #[derive(Clone)]
+        struct CoinP {
+            alpha: f64,
+            beta: f64,
+            p: Option<Value>,
+        }
+        impl Model for CoinP {
+            type Input = bool;
+            fn step(&mut self, ctx: &mut dyn ProbCtx, obs: &bool)
+                -> Result<Value, RuntimeError> {
+                if self.p.is_none() {
+                    self.p = Some(ctx.sample(&DistExpr::beta(self.alpha, self.beta))?);
+                }
+                let p = self.p.clone().expect("set above");
+                ctx.observe(&DistExpr::bernoulli(p.clone()), &Value::Bool(*obs))?;
+                Ok(p)
+            }
+            fn reset(&mut self) {
+                self.p = None;
+            }
+            fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+                if let Some(p) = &mut self.p {
+                    f(p);
+                }
+            }
+        }
+        let mut engine = Infer::with_seed(
+            Method::StreamingDs,
+            1,
+            CoinP { alpha, beta, p: None },
+            0,
+        );
+        let (mut a, mut b) = (alpha, beta);
+        for y in &flips {
+            let post = engine.step(y).unwrap();
+            if *y { a += 1.0; } else { b += 1.0; }
+            prop_assert!((post.mean_float() - a / (a + b)).abs() < 1e-9);
+        }
+    }
+
+    /// Pretty-printing a random-ish kernel program and re-parsing it is the
+    /// identity on the reprint (parser/printer round-trip).
+    #[test]
+    fn pipeline_accepts_randomized_hmm_parameters(
+        speed in 0.1f64..10.0,
+        noise in 0.1f64..10.0,
+        prior_var in 1.0f64..200.0,
+        y in -5.0f64..5.0,
+    ) {
+        let src = format!(
+            "let node hmm y = x where
+               rec x = sample (gaussian ((0. -> pre x), ({prior_var:?} -> {speed:?})))
+               and () = observe (gaussian (x, {noise:?}), y)"
+        );
+        let compiled = compile_source(&src).unwrap();
+        let mut eng = compiled
+            .infer_node("hmm", 1, Options { method: Method::StreamingDs, seed: 0 })
+            .unwrap();
+        let post = eng.step(&Value::Float(y)).unwrap();
+        // First step: exact conjugate update from the prior.
+        let expected = y * prior_var / (prior_var + noise);
+        prop_assert!((post.mean_float() - expected).abs() < 1e-7,
+            "{} vs {expected}", post.mean_float());
+    }
+}
+
+mod linalg_props {
+    use probzelus_distributions::{Matrix, MvAffineGaussian, MvGaussian, Vector};
+    use proptest::prelude::*;
+
+    /// Random SPD matrix `B Bᵀ + εI` of dimension 2 or 3.
+    fn spd(dim: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-2.0f64..2.0, dim * dim).prop_map(move |data| {
+            let b = Matrix::new(dim, dim, data);
+            b.mul(&b.transpose())
+                .add(&Matrix::identity(dim).scale(0.1))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Cholesky reconstructs and SPD solves invert, for random SPD
+        /// matrices.
+        #[test]
+        fn cholesky_and_solve_are_consistent(
+            m in spd(3),
+            b in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            let l = m.cholesky().unwrap();
+            let rec = l.mul(&l.transpose());
+            for i in 0..3 {
+                for j in 0..3 {
+                    prop_assert!((rec.get(i, j) - m.get(i, j)).abs() < 1e-9);
+                }
+            }
+            let b = Vector::new(b);
+            let x = m.solve_spd(&b).unwrap();
+            let back = m.mul_vec(&x);
+            for i in 0..3 {
+                prop_assert!((back.get(i) - b.get(i)).abs() < 1e-7);
+            }
+        }
+
+        /// The matrix Kalman update never increases marginal variances and
+        /// reproduces the observation when the noise is tiny.
+        #[test]
+        fn mv_condition_contracts_variance(
+            cov in spd(2),
+            mean in proptest::collection::vec(-3.0f64..3.0, 2),
+            obs in -5.0f64..5.0,
+        ) {
+            let prior = MvGaussian::new(Vector::new(mean), cov).unwrap();
+            let link = MvAffineGaussian::new(
+                Matrix::from_rows(&[&[1.0, 0.0]]),
+                Vector::zeros(1),
+                Matrix::from_rows(&[&[1e-6]]),
+            )
+            .unwrap();
+            let post = link.condition(&prior, &Vector::new(vec![obs])).unwrap();
+            // Observed coordinate pinned to the observation.
+            prop_assert!((post.mean().get(0) - obs).abs() < 1e-2);
+            // No marginal variance grows.
+            for i in 0..2 {
+                prop_assert!(post.cov().get(i, i) <= prior.cov().get(i, i) + 1e-9);
+            }
+        }
+    }
+}
+
+mod printer_props {
+    use probzelus_lang::parser::parse_expr;
+    use probzelus_lang::pretty::print_expr;
+    use probzelus_lang::{Const, Expr, OpName};
+    use proptest::prelude::*;
+
+    /// Random kernel-ish expressions. Literals are non-negative: at the
+    /// expression level `-1` parses as `Neg(1)` (negative *constants* only
+    /// exist in `init` equations), so a negative literal would reparse as
+    /// the semantically-equal negation.
+    fn expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (0i64..100).prop_map(Expr::int),
+            (0.0f64..100.0).prop_map(|x| Expr::float((x * 8.0).round() / 8.0)),
+            Just(Expr::Const(Const::Bool(true))),
+            Just(Expr::Const(Const::Bool(false))),
+            "[a-z][a-z0-9_]{0,6}"
+                .prop_filter("not a keyword", |s| {
+                    !matches!(
+                        s.as_str(),
+                        "let" | "node" | "where" | "rec" | "and" | "init" | "last" | "pre"
+                            | "fby" | "present" | "else" | "reset" | "every" | "if"
+                            | "then" | "true" | "false" | "not" | "sample" | "observe"
+                            | "factor" | "infer" | "value" | "automaton" | "do"
+                            | "until" | "done" | "exp" | "log" | "sqrt" | "abs" | "min"
+                            | "max" | "fst" | "snd" | "prob" | "draw" | "gaussian"
+                            | "beta" | "bernoulli" | "uniform" | "gamma" | "poisson"
+                            | "binomial" | "dirac" | "exponential" | "mean_float"
+                            | "variance_float" | "float_of_int"
+                    )
+                })
+                .prop_map(Expr::var),
+        ];
+        leaf.prop_recursive(4, 48, 4, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Op(OpName::Add, vec![a, b])),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Op(OpName::Mul, vec![a, b])),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::pair(a, b)),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Arrow(Box::new(a), Box::new(b))),
+                inner.clone().prop_map(|a| Expr::Pre(Box::new(a))),
+                inner.clone().prop_map(|a| Expr::Sample(Box::new(a))),
+                (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
+                    Expr::If {
+                        cond: Box::new(c),
+                        then: Box::new(t),
+                        els: Box::new(e),
+                    }
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// print → parse is the identity on arbitrary expression trees.
+        #[test]
+        fn print_parse_round_trip(e in expr()) {
+            let printed = print_expr(&e);
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+            prop_assert_eq!(e, reparsed, "printed: {}", printed);
+        }
+    }
+}
