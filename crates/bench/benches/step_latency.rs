@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use probzelus::models::{generate_coin, generate_kalman, generate_outlier, Coin, Kalman, Outlier};
-use probzelus_core::infer::{Infer, Method};
+use probzelus_core::infer::{Infer, Method, Parallelism};
 use probzelus_core::model::Model;
 
 const PARTICLES: usize = 100;
@@ -14,13 +14,10 @@ const METHODS: [Method; 3] = [
     Method::BoundedDs,
     Method::StreamingDs,
 ];
+/// Worker-thread counts for the parallel sweep (0 = sequential path).
+const THREAD_COUNTS: [usize; 4] = [0, 2, 4, 8];
 
-fn bench_model<M: Model>(
-    c: &mut Criterion,
-    group: &str,
-    template: M,
-    obs: Vec<M::Input>,
-) {
+fn bench_model<M: Model>(c: &mut Criterion, group: &str, template: M, obs: Vec<M::Input>) {
     let mut g = c.benchmark_group(group);
     for method in METHODS {
         g.bench_with_input(
@@ -36,13 +33,51 @@ fn bench_model<M: Model>(
                     i += 1;
                     // Periodically restart so the streaming engines measure
                     // steady-state steps, not an ever-longer history.
-                    if i % obs.len() == 0 {
+                    if i.is_multiple_of(obs.len()) {
                         engine.reset();
                     }
                     p.mean_float()
                 });
             },
         );
+    }
+    g.finish();
+}
+
+/// Step latency at a fixed particle count across worker-thread counts.
+/// The posterior is identical across all rows (counter-derived RNG
+/// streams); only latency may change.
+fn bench_parallel<M: Model + Send>(c: &mut Criterion, group: &str, template: M, obs: Vec<M::Input>)
+where
+    M::Input: Sync,
+{
+    let mut g = c.benchmark_group(group);
+    for method in [Method::ParticleFilter, Method::StreamingDs] {
+        for threads in THREAD_COUNTS {
+            let parallelism = match threads {
+                0 => Parallelism::Sequential,
+                n => Parallelism::Threads(n),
+            };
+            g.bench_with_input(
+                BenchmarkId::new(method.label(), format!("{PARTICLES}p/{threads}t")),
+                &method,
+                |b, &method| {
+                    let mut engine = Infer::with_seed(method, PARTICLES, template.clone(), 1)
+                        .with_parallelism(parallelism);
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let p = engine
+                            .step(&obs[i % obs.len()])
+                            .expect("benchmark models do not fail");
+                        i += 1;
+                        if i.is_multiple_of(obs.len()) {
+                            engine.reset();
+                        }
+                        p.mean_float()
+                    });
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -58,6 +93,18 @@ fn benches(c: &mut Criterion) {
     bench_model(
         c,
         "outlier_step",
+        Outlier::default(),
+        generate_outlier(3, 200).obs,
+    );
+    bench_parallel(
+        c,
+        "kalman_step_threads",
+        Kalman::default(),
+        generate_kalman(1, 200).obs,
+    );
+    bench_parallel(
+        c,
+        "outlier_step_threads",
         Outlier::default(),
         generate_outlier(3, 200).obs,
     );

@@ -5,6 +5,7 @@
 //! figures latency       # Fig. 2b / Fig. 17
 //! figures step-latency  # Fig. 18
 //! figures memory        # Fig. 4 / Fig. 19
+//! figures parallel      # beyond the paper: latency vs worker threads
 //! figures all           # everything
 //! ```
 //!
@@ -12,8 +13,8 @@
 //! the shapes reported in `EXPERIMENTS.md`).
 
 use probzelus_bench::{
-    experiment_accuracy, experiment_latency, experiment_memory, experiment_resampling_ablation,
-    experiment_step_latency, slope, BenchModel,
+    experiment_accuracy, experiment_latency, experiment_memory, experiment_parallel_latency,
+    experiment_resampling_ablation, experiment_step_latency, slope, BenchModel,
 };
 
 struct Config {
@@ -24,6 +25,7 @@ struct Config {
     latency_runs: usize,
     long_steps: usize,
     long_particles: usize,
+    thread_counts: Vec<usize>,
 }
 
 impl Config {
@@ -36,6 +38,7 @@ impl Config {
             latency_runs: 5,
             long_steps: 1600,
             long_particles: 100,
+            thread_counts: vec![0, 1, 2, 4, 8],
         }
     }
 
@@ -48,6 +51,7 @@ impl Config {
             latency_runs: 2,
             long_steps: 200,
             long_particles: 20,
+            thread_counts: vec![0, 2, 4],
         }
     }
 }
@@ -55,7 +59,11 @@ impl Config {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let cfg = if quick { Config::quick() } else { Config::full() };
+    let cfg = if quick {
+        Config::quick()
+    } else {
+        Config::full()
+    };
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -67,16 +75,20 @@ fn main() {
         "step-latency" => step_latency(&cfg),
         "memory" => memory(&cfg),
         "ablation" => ablation(&cfg),
+        "parallel" => parallel(&cfg),
         "all" => {
             accuracy(&cfg);
             latency(&cfg);
             step_latency(&cfg);
             memory(&cfg);
             ablation(&cfg);
+            parallel(&cfg);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: figures [accuracy|latency|step-latency|memory|ablation|all] [--quick]");
+            eprintln!(
+                "usage: figures [accuracy|latency|step-latency|memory|ablation|parallel|all] [--quick]"
+            );
             std::process::exit(2);
         }
     }
@@ -87,9 +99,47 @@ fn ablation(cfg: &Config) {
     let (particles, steps, runs) = (50, cfg.accuracy_steps, cfg.accuracy_runs.min(30));
     println!("   ({particles} particles, {steps} steps, {runs} runs)");
     let pts = experiment_resampling_ablation(particles, steps, runs);
-    println!("{:>10} {:>36} {:>12}", "policy", "MSE median [q10, q90]", "min ESS");
+    println!(
+        "{:>10} {:>36} {:>12}",
+        "policy", "MSE median [q10, q90]", "min ESS"
+    );
     for p in &pts {
         println!("{:>10} {} {:>12.1}", p.policy, p.mse, p.min_ess);
+    }
+    println!();
+}
+
+fn parallel(cfg: &Config) {
+    println!("== Beyond the paper: step latency (ms) vs worker threads ==");
+    let (particles, steps, runs) = (100, cfg.latency_steps, cfg.latency_runs);
+    println!(
+        "   ({particles} particles, {runs} runs of {steps} steps, 1 warm-up run; 0 threads = sequential path)"
+    );
+    println!("   (posterior MSE column is constant by construction: counter-derived RNG streams)");
+    let pts = experiment_parallel_latency(
+        &[BenchModel::Kalman, BenchModel::Outlier],
+        particles,
+        &cfg.thread_counts,
+        steps,
+        runs,
+    );
+    for model in [BenchModel::Kalman, BenchModel::Outlier] {
+        println!("\n-- {model} Parallel Performance --");
+        println!(
+            "{:>8} {:>4} {:>36} {:>12}",
+            "threads", "alg", "latency ms median [q10, q90]", "final MSE"
+        );
+        for p in &pts {
+            if p.model == model {
+                println!(
+                    "{:>8} {:>4} {} {:>12.6}",
+                    p.threads,
+                    p.method.label(),
+                    p.latency_ms,
+                    p.mse
+                );
+            }
+        }
     }
     println!();
 }
@@ -108,7 +158,10 @@ fn accuracy(cfg: &Config) {
     );
     for model in BenchModel::ALL {
         println!("\n-- {model} Accuracy --");
-        println!("{:>10} {:>4} {:>36}", "particles", "alg", "MSE median [q10, q90]");
+        println!(
+            "{:>10} {:>4} {:>36}",
+            "particles", "alg", "MSE median [q10, q90]"
+        );
         for p in &pts {
             if p.model == model {
                 println!("{:>10} {:>4} {}", p.particles, p.method.label(), p.mse);
@@ -132,10 +185,18 @@ fn latency(cfg: &Config) {
     );
     for model in BenchModel::ALL {
         println!("\n-- {model} Performance --");
-        println!("{:>10} {:>4} {:>36}", "particles", "alg", "latency ms median [q10, q90]");
+        println!(
+            "{:>10} {:>4} {:>36}",
+            "particles", "alg", "latency ms median [q10, q90]"
+        );
         for p in &pts {
             if p.model == model {
-                println!("{:>10} {:>4} {}", p.particles, p.method.label(), p.latency_ms);
+                println!(
+                    "{:>10} {:>4} {}",
+                    p.particles,
+                    p.method.label(),
+                    p.latency_ms
+                );
             }
         }
     }

@@ -15,7 +15,7 @@
 use probzelus::models::{
     generate_coin, generate_kalman, generate_outlier, Coin, Kalman, MseTracker, Outlier,
 };
-use probzelus_core::infer::{Infer, Method};
+use probzelus_core::infer::{Infer, Method, Parallelism};
 use probzelus_core::model::Model;
 use probzelus_distributions::stats;
 use std::time::Instant;
@@ -83,21 +83,30 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:10.4} [{:10.4}, {:10.4}]", self.median, self.q10, self.q90)
+        write!(
+            f,
+            "{:10.4} [{:10.4}, {:10.4}]",
+            self.median, self.q10, self.q90
+        )
     }
 }
 
 /// One inference run over the fixed data: returns the final MSE and the
 /// mean per-step latency in milliseconds.
-fn run_once<M: Model>(
+fn run_once<M: Model + Send>(
     template: &M,
     method: Method,
     particles: usize,
     obs: &[M::Input],
     truth: &[f64],
     seed: u64,
-) -> (f64, Vec<f64>) {
-    let mut engine = Infer::with_seed(method, particles, template.clone(), seed);
+    parallelism: Parallelism,
+) -> (f64, Vec<f64>)
+where
+    M::Input: Sync,
+{
+    let mut engine =
+        Infer::with_seed(method, particles, template.clone(), seed).with_parallelism(parallelism);
     let mut mse = MseTracker::new();
     let mut latencies = Vec::with_capacity(obs.len());
     for (y, x) in obs.iter().zip(truth) {
@@ -111,11 +120,7 @@ fn run_once<M: Model>(
 
 /// Dispatches a closure over the concrete benchmark model, supplying the
 /// shared data.
-fn with_model<R>(
-    model: BenchModel,
-    steps: usize,
-    f: impl FnOnce(&dyn RunDyn) -> R,
-) -> R {
+fn with_model<R>(model: BenchModel, steps: usize, f: impl FnOnce(&dyn RunDyn) -> R) -> R {
     match model {
         BenchModel::Kalman => {
             let trace = generate_kalman(DATA_SEED, steps);
@@ -153,12 +158,40 @@ struct Runner<M: Model> {
 /// Object-safe view of a benchmark run (erases the model type).
 trait RunDyn {
     fn run(&self, method: Method, particles: usize, seed: u64) -> (f64, Vec<f64>);
+    fn run_par(
+        &self,
+        method: Method,
+        particles: usize,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> (f64, Vec<f64>);
     fn run_memory(&self, method: Method, particles: usize, seed: u64) -> Vec<usize>;
 }
 
-impl<M: Model> RunDyn for Runner<M> {
+impl<M: Model + Send> RunDyn for Runner<M>
+where
+    M::Input: Sync,
+{
     fn run(&self, method: Method, particles: usize, seed: u64) -> (f64, Vec<f64>) {
-        run_once(&self.template, method, particles, &self.obs, &self.truth, seed)
+        self.run_par(method, particles, seed, Parallelism::Sequential)
+    }
+
+    fn run_par(
+        &self,
+        method: Method,
+        particles: usize,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> (f64, Vec<f64>) {
+        run_once(
+            &self.template,
+            method,
+            particles,
+            &self.obs,
+            &self.truth,
+            seed,
+            parallelism,
+        )
     }
 
     fn run_memory(&self, method: Method, particles: usize, seed: u64) -> Vec<usize> {
@@ -193,7 +226,11 @@ pub fn experiment_accuracy(
     steps: usize,
     runs: usize,
 ) -> Vec<AccuracyPoint> {
-    let methods = [Method::ParticleFilter, Method::BoundedDs, Method::StreamingDs];
+    let methods = [
+        Method::ParticleFilter,
+        Method::BoundedDs,
+        Method::StreamingDs,
+    ];
     let mut out = Vec::new();
     for &model in models {
         with_model(model, steps, |runner| {
@@ -235,7 +272,11 @@ pub fn experiment_latency(
     steps: usize,
     runs: usize,
 ) -> Vec<LatencyPoint> {
-    let methods = [Method::ParticleFilter, Method::BoundedDs, Method::StreamingDs];
+    let methods = [
+        Method::ParticleFilter,
+        Method::BoundedDs,
+        Method::StreamingDs,
+    ];
     let mut out = Vec::new();
     for &model in models {
         with_model(model, steps, |runner| {
@@ -302,13 +343,76 @@ pub fn experiment_step_latency(
     out
 }
 
-/// Figs. 4 / 19: live delayed-sampling graph memory per step (nodes summed
-/// over particles), PF / BDS / SDS / DS.
-pub fn experiment_memory(
+/// One point of the thread-count latency sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelLatencyPoint {
+    /// Benchmark.
+    pub model: BenchModel,
+    /// Inference method.
+    pub method: Method,
+    /// Particle count.
+    pub particles: usize,
+    /// Worker threads (`0` = the sequential path, no pool).
+    pub threads: usize,
+    /// Per-step latency summary in milliseconds.
+    pub latency_ms: Summary,
+    /// Final MSE of one run — recorded to demonstrate that accuracy is
+    /// unchanged by the execution mode (determinism by construction).
+    pub mse: f64,
+}
+
+/// Beyond the paper: per-step latency vs worker-thread count at a fixed
+/// particle count. Thread count `0` requests the sequential path; any
+/// other value routes stepping through a [`Parallelism::Threads`] pool.
+/// Because per-particle RNG streams are counter-derived, every row of the
+/// sweep computes the identical posterior — the `mse` field makes that
+/// visible in the rendered tables.
+pub fn experiment_parallel_latency(
     models: &[BenchModel],
     particles: usize,
+    thread_counts: &[usize],
     steps: usize,
-) -> Vec<StepSeries> {
+    runs: usize,
+) -> Vec<ParallelLatencyPoint> {
+    let methods = [Method::ParticleFilter, Method::StreamingDs];
+    let mut out = Vec::new();
+    for &model in models {
+        with_model(model, steps, |runner| {
+            for &method in &methods {
+                for &threads in thread_counts {
+                    let parallelism = match threads {
+                        0 => Parallelism::Sequential,
+                        n => Parallelism::Threads(n),
+                    };
+                    let mut all = Vec::new();
+                    let mut mse = f64::NAN;
+                    for r in 0..runs {
+                        // Warm-up run amortizes pool creation, as for §6.2.
+                        if runs > 1 && r == 0 {
+                            let _ = runner.run_par(method, particles, 0, parallelism);
+                        }
+                        let (m, lat) = runner.run_par(method, particles, r as u64, parallelism);
+                        mse = m;
+                        all.extend(lat);
+                    }
+                    out.push(ParallelLatencyPoint {
+                        model,
+                        method,
+                        particles,
+                        threads,
+                        latency_ms: Summary::of(&all),
+                        mse,
+                    });
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Figs. 4 / 19: live delayed-sampling graph memory per step (nodes summed
+/// over particles), PF / BDS / SDS / DS.
+pub fn experiment_memory(models: &[BenchModel], particles: usize, steps: usize) -> Vec<StepSeries> {
     let methods = [
         Method::ParticleFilter,
         Method::BoundedDs,
@@ -466,6 +570,23 @@ mod tests {
         assert!(by("never").min_ess < by("always").min_ess);
         // Adaptive resampling stays in the same accuracy class as always.
         assert!(by("ess<0.5N").mse.median < 3.0 * by("always").mse.median);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_accuracy_across_thread_counts() {
+        let pts = experiment_parallel_latency(&[BenchModel::Kalman], 40, &[0, 2, 4], 60, 1);
+        for method in [Method::ParticleFilter, Method::StreamingDs] {
+            let mses: Vec<u64> = pts
+                .iter()
+                .filter(|p| p.method == method)
+                .map(|p| p.mse.to_bits())
+                .collect();
+            assert_eq!(mses.len(), 3);
+            assert!(
+                mses.windows(2).all(|w| w[0] == w[1]),
+                "{method}: MSE varies with thread count"
+            );
+        }
     }
 
     #[test]

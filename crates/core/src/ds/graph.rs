@@ -244,8 +244,7 @@ impl Graph {
                 let var = self.force_param_float(var, rng)?;
                 let mean = self.normalize_float_param(mean)?;
                 if let Some(m) = mean.as_constant() {
-                    let marg =
-                        Marginal::Gaussian(probzelus_distributions::Gaussian::new(m, var)?);
+                    let marg = Marginal::Gaussian(probzelus_distributions::Gaussian::new(m, var)?);
                     return Ok(self.root_float(marg));
                 }
                 if let Some((x, a, b)) = mean.as_single() {
@@ -322,8 +321,7 @@ impl Graph {
             DistExpr::Exponential { rate } => {
                 let rate = self.normalize_float_param(rate)?;
                 if let Some(c) = rate.as_constant() {
-                    let marg =
-                        Marginal::Exponential(probzelus_distributions::Exponential::new(c)?);
+                    let marg = Marginal::Exponential(probzelus_distributions::Exponential::new(c)?);
                     return Ok(self.root_float(marg));
                 }
                 if let Some((x, a, b)) = rate.as_single() {
@@ -364,13 +362,12 @@ impl Graph {
                 // concrete root.
                 if let Value::Rv(parent) = x {
                     if self.family_of(*parent) == Family::MvGaussian {
-                        let link = CondLink::MvAffine(
-                            probzelus_distributions::MvAffineGaussian::new(
+                        let link =
+                            CondLink::MvAffine(probzelus_distributions::MvAffineGaussian::new(
                                 a.clone(),
                                 b.clone(),
                                 cov.clone(),
-                            )?,
-                        );
+                            )?);
                         let id = self.alloc(NodeState::Initialized {
                             parent: *parent,
                             link,
@@ -529,14 +526,9 @@ impl Graph {
         //    ancestor.
         let mut chain = Vec::new();
         let mut cur = x;
-        loop {
-            match &self.node(cur).state {
-                NodeState::Initialized { parent, .. } => {
-                    chain.push(cur);
-                    cur = *parent;
-                }
-                _ => break,
-            }
+        while let NodeState::Initialized { parent, .. } = &self.node(cur).state {
+            chain.push(cur);
+            cur = *parent;
         }
         // 2. Make the top of the chain a childless marginal (fold realized
         //    evidence, prune a competing M-path).
@@ -560,7 +552,10 @@ impl Graph {
                         child: None,
                     };
                 }
-                NodeState::Marginalized { marginal, child: None } => {
+                NodeState::Marginalized {
+                    marginal,
+                    child: None,
+                } => {
                     let child_marg = link.marginalize(&marginal)?;
                     self.node_mut(child).state = NodeState::Marginalized {
                         marginal: child_marg,
@@ -582,11 +577,7 @@ impl Graph {
     /// Ensures a marginalized node has no child pointer, folding a realized
     /// child's evidence (lazy conditioning) or pruning a marginalized
     /// child's M-path by sampling it.
-    fn resolve_child<R: Rng + ?Sized>(
-        &mut self,
-        x: RvId,
-        rng: &mut R,
-    ) -> Result<(), RuntimeError> {
+    fn resolve_child<R: Rng + ?Sized>(&mut self, x: RvId, rng: &mut R) -> Result<(), RuntimeError> {
         let (c, link) = match &self.node(x).state {
             NodeState::Marginalized {
                 child: Some((c, link)),
@@ -739,12 +730,8 @@ impl Graph {
     pub fn simplify_value(&self, v: &Value) -> Value {
         match v {
             Value::Unit | Value::Bool(_) | Value::Int(_) | Value::Float(_) => v.clone(),
-            Value::Pair(a, b) => {
-                Value::pair(self.simplify_value(a), self.simplify_value(b))
-            }
-            Value::Array(xs) => {
-                Value::Array(xs.iter().map(|x| self.simplify_value(x)).collect())
-            }
+            Value::Pair(a, b) => Value::pair(self.simplify_value(a), self.simplify_value(b)),
+            Value::Array(xs) => Value::Array(xs.iter().map(|x| self.simplify_value(x)).collect()),
             Value::Dist(d) => {
                 let mut d = (**d).clone();
                 for p in d.params_mut() {
@@ -868,11 +855,14 @@ mod tests {
         let mut r = rng();
         let x = g.assume(&DistExpr::gaussian(0.0, 100.0), &mut r).unwrap();
         let lp = g
-            .observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(5.0), &mut r)
+            .observe(
+                &DistExpr::gaussian(x.clone(), 1.0),
+                &Value::Float(5.0),
+                &mut r,
+            )
             .unwrap();
         // Log-likelihood is the marginal N(0, 101) at 5.
-        let expected = probzelus_distributions::Gaussian::new(0.0, 101.0)
-            .unwrap();
+        let expected = probzelus_distributions::Gaussian::new(0.0, 101.0).unwrap();
         use probzelus_distributions::Distribution;
         assert!((lp - expected.log_pdf(&5.0)).abs() < 1e-10);
         // Posterior of x (lazily folded on query): Kalman update.
@@ -931,9 +921,15 @@ mod tests {
         let mut r = rng();
         let mut x = g.assume(&DistExpr::gaussian(0.0, 100.0), &mut r).unwrap();
         for step in 0..50 {
-            g.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(step as f64), &mut r)
+            g.observe(
+                &DistExpr::gaussian(x.clone(), 1.0),
+                &Value::Float(step as f64),
+                &mut r,
+            )
+            .unwrap();
+            x = g
+                .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
                 .unwrap();
-            x = g.assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r).unwrap();
             g.collect([var_of(&x)]);
             assert!(
                 g.live_nodes() <= 3,
@@ -949,9 +945,15 @@ mod tests {
         let mut r = rng();
         let mut x = g.assume(&DistExpr::gaussian(0.0, 100.0), &mut r).unwrap();
         for step in 0..50 {
-            g.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(step as f64), &mut r)
+            g.observe(
+                &DistExpr::gaussian(x.clone(), 1.0),
+                &Value::Float(step as f64),
+                &mut r,
+            )
+            .unwrap();
+            x = g
+                .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
                 .unwrap();
-            x = g.assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r).unwrap();
             g.collect([var_of(&x)]);
         }
         // The unrealized chain of positions grows by one per step; the
@@ -975,11 +977,17 @@ mod tests {
         let (mut km, mut kv) = (0.0f64, 100.0f64);
         for (t, &y) in obs.iter().enumerate() {
             if t > 0 {
-                x = g.assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r).unwrap();
+                x = g
+                    .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
+                    .unwrap();
                 kv += 1.0;
             }
-            g.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(y), &mut r)
-                .unwrap();
+            g.observe(
+                &DistExpr::gaussian(x.clone(), 1.0),
+                &Value::Float(y),
+                &mut r,
+            )
+            .unwrap();
             let gain = kv / (kv + 1.0);
             km += gain * (y - km);
             kv *= 1.0 - gain;
@@ -999,11 +1007,19 @@ mod tests {
         let mut g = Graph::new(Retention::PointerMinimal);
         let mut r = rng();
         let x = g.assume(&DistExpr::gaussian(0.0, 1.0), &mut r).unwrap();
-        let y = g.assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r).unwrap();
-        let z = g.assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r).unwrap();
-        // Graft y (via observe). Then grafting z must prune y's M-path.
-        g.observe(&DistExpr::gaussian(y.clone(), 1.0), &Value::Float(0.5), &mut r)
+        let y = g
+            .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
             .unwrap();
+        let z = g
+            .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
+            .unwrap();
+        // Graft y (via observe). Then grafting z must prune y's M-path.
+        g.observe(
+            &DistExpr::gaussian(y.clone(), 1.0),
+            &Value::Float(0.5),
+            &mut r,
+        )
+        .unwrap();
         let _ = g.realize(var_of(&z), &mut r).unwrap();
         // After realizing z, y's path must have been handled consistently:
         // querying y still works and yields a valid marginal.

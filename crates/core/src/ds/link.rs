@@ -8,8 +8,7 @@ use crate::error::RuntimeError;
 use crate::marginal::{Family, Marginal};
 use crate::value::Value;
 use probzelus_distributions::conjugacy::{
-    AffineGaussian, BetaBernoulliLink, BetaBinomialLink, GammaExponentialLink,
-    GammaPoissonLink,
+    AffineGaussian, BetaBernoulliLink, BetaBinomialLink, GammaExponentialLink, GammaPoissonLink,
 };
 use probzelus_distributions::MvAffineGaussian;
 
@@ -111,9 +110,9 @@ impl CondLink {
         child_value: &Value,
     ) -> Result<Marginal, RuntimeError> {
         match (self, parent) {
-            (CondLink::AffineGaussian(l), Marginal::Gaussian(p)) => Ok(Marginal::Gaussian(
-                l.condition(*p, child_value.as_float()?),
-            )),
+            (CondLink::AffineGaussian(l), Marginal::Gaussian(p)) => {
+                Ok(Marginal::Gaussian(l.condition(*p, child_value.as_float()?)))
+            }
             (CondLink::BetaBernoulli, Marginal::Beta(p)) => Ok(Marginal::Beta(
                 BetaBernoulliLink.condition(*p, child_value.as_bool()?),
             )),
@@ -152,9 +151,9 @@ impl CondLink {
     /// `[0, 1]` can not happen, but an explicitly forced float could).
     pub fn instantiate(&self, parent_value: &Value) -> Result<Marginal, RuntimeError> {
         match self {
-            CondLink::AffineGaussian(l) => Ok(Marginal::Gaussian(
-                l.instantiate(parent_value.as_float()?),
-            )),
+            CondLink::AffineGaussian(l) => {
+                Ok(Marginal::Gaussian(l.instantiate(parent_value.as_float()?)))
+            }
             CondLink::BetaBernoulli => Ok(Marginal::Bernoulli(
                 BetaBernoulliLink.instantiate(parent_value.as_float()?)?,
             )),

@@ -63,14 +63,16 @@ pub mod infer;
 pub mod marginal;
 pub mod model;
 pub mod ops;
+pub mod pool;
 pub mod posterior;
 pub mod prob;
+pub mod rngstream;
 pub mod stream;
 pub mod symbolic;
 pub mod value;
 
 pub use error::RuntimeError;
-pub use infer::{Infer, MemoryStats, Method, ResamplePolicy};
+pub use infer::{Infer, MemoryStats, Method, Parallelism, ResamplePolicy};
 pub use marginal::{Family, Marginal};
 pub use model::{FnModel, Model};
 pub use posterior::{Posterior, ValueDist};

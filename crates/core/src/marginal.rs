@@ -8,8 +8,8 @@
 use crate::error::RuntimeError;
 use crate::value::Value;
 use probzelus_distributions::{
-    Bernoulli, Beta, BetaBinomial, Binomial, Distribution, Exponential, Gamma, Gaussian,
-    Lomax, Moments, MvGaussian, NegativeBinomial, Poisson, Uniform, Vector,
+    Bernoulli, Beta, BetaBinomial, Binomial, Distribution, Exponential, Gamma, Gaussian, Lomax,
+    Moments, MvGaussian, NegativeBinomial, Poisson, Uniform, Vector,
 };
 use rand::Rng;
 
@@ -261,9 +261,7 @@ impl Marginal {
             }
             Marginal::Dirac(v) => match &**v {
                 Value::Float(x) => Some(Marginal::Dirac(Box::new(Value::Float(a * x + b)))),
-                Value::Int(n) => {
-                    Some(Marginal::Dirac(Box::new(Value::Float(a * *n as f64 + b))))
-                }
+                Value::Int(n) => Some(Marginal::Dirac(Box::new(Value::Float(a * *n as f64 + b)))),
                 _ => None,
             },
             _ => None,
@@ -303,10 +301,7 @@ mod tests {
     fn dirac_log_pdf_and_moments() {
         let m = Marginal::Dirac(Box::new(Value::Float(2.0)));
         assert_eq!(m.log_pdf(&Value::Float(2.0)).unwrap(), 0.0);
-        assert_eq!(
-            m.log_pdf(&Value::Float(2.1)).unwrap(),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(m.log_pdf(&Value::Float(2.1)).unwrap(), f64::NEG_INFINITY);
         assert_eq!(m.mean_float(), Some(2.0));
         assert_eq!(m.variance_float(), Some(0.0));
         assert_eq!(m.prob_interval(1.0, 3.0), Some(1.0));

@@ -77,11 +77,7 @@ pub trait Model: Clone {
     /// # Errors
     ///
     /// Runtime typing or parameter errors abort inference.
-    fn step(
-        &mut self,
-        ctx: &mut dyn ProbCtx,
-        input: &Self::Input,
-    ) -> Result<Value, RuntimeError>;
+    fn step(&mut self, ctx: &mut dyn ProbCtx, input: &Self::Input) -> Result<Value, RuntimeError>;
 
     /// Restores the initial state.
     fn reset(&mut self);

@@ -1,0 +1,209 @@
+//! A small persistent worker pool for parallel particle stepping.
+//!
+//! [`Infer`](crate::infer::Infer) steps are short (tens to hundreds of
+//! microseconds for typical particle counts), so spawning OS threads per
+//! step would dominate the work. The pool keeps `n` workers alive across
+//! steps and hands them borrowed jobs via [`WorkerPool::run_scoped`],
+//! which blocks until every job has finished — that barrier is what makes
+//! lending non-`'static` closures to the workers sound.
+//!
+//! Built on `std` only (`mpsc` + `Mutex`/`Condvar`); no external
+//! dependencies.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A countdown latch: `wait` blocks until `count_down` has been called
+/// the configured number of times.
+struct Latch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        while *remaining > 0 {
+            remaining = self.zero.wait(remaining).expect("latch poisoned");
+        }
+    }
+}
+
+/// Counts down its latch when dropped, so a panicking job still releases
+/// the coordinator.
+struct CountDownOnDrop(Arc<Latch>);
+
+impl Drop for CountDownOnDrop {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one thread");
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pz-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs every job on the pool and blocks until all have finished.
+    ///
+    /// Jobs may borrow from the caller's stack: the barrier at the end of
+    /// this function guarantees no job outlives the borrowed data. If any
+    /// job panics, the panic is swallowed on the worker (which stays
+    /// alive) and re-raised here after all jobs have completed.
+    pub fn run_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let latch = Arc::new(Latch::new(jobs.len()));
+        let panicked = Arc::new(AtomicBool::new(false));
+        for (i, job) in jobs.into_iter().enumerate() {
+            // SAFETY: the job only runs before `latch.wait()` returns
+            // below — the latch is counted down (via the drop guard) only
+            // after the job has finished or unwound, so no borrow in the
+            // job is used after this stack frame ends. The transmute only
+            // erases the `'scope` lifetime; the fat-pointer layout of
+            // `Box<dyn FnOnce() + Send>` is unaffected.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            let guard = CountDownOnDrop(Arc::clone(&latch));
+            let panicked = Arc::clone(&panicked);
+            let wrapped: Job = Box::new(move || {
+                let _guard = guard;
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+            });
+            let target = &self.senders[i % self.senders.len()];
+            if let Err(err) = target.send(wrapped) {
+                // The worker is gone (only possible after a poisoned
+                // spawn); degrade gracefully by running inline.
+                (err.0)();
+            }
+        }
+        latch.wait();
+        if panicked.load(Ordering::SeqCst) {
+            panic!("a worker-pool job panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_borrowed_jobs_to_completion() {
+        let pool = WorkerPool::new(4);
+        let mut results = vec![0usize; 32];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = i * i) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool.run_scoped(jobs);
+        for (i, &r) in results.iter().enumerate() {
+            assert_eq!(r, i * i);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|_| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(jobs);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 80);
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let pool = WorkerPool::new(1);
+        pool.run_scoped(Vec::new());
+    }
+
+    #[test]
+    fn panicking_job_propagates_without_killing_workers() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send + '_>];
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run_scoped(jobs))).is_err());
+        // The pool survives and keeps executing later batches.
+        let ok = AtomicBool::new(false);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
+            ok.store(true, Ordering::SeqCst);
+        })
+            as Box<dyn FnOnce() + Send + '_>];
+        pool.run_scoped(jobs);
+        assert!(ok.load(Ordering::SeqCst));
+    }
+}

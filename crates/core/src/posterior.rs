@@ -66,9 +66,7 @@ impl ValueDist {
     /// exists.
     pub fn prob_interval(&self, lo: f64, hi: f64) -> Option<f64> {
         match self {
-            ValueDist::Dirac(v) => {
-                Marginal::Dirac(Box::new(v.clone())).prob_interval(lo, hi)
-            }
+            ValueDist::Dirac(v) => Marginal::Dirac(Box::new(v.clone())).prob_interval(lo, hi),
             ValueDist::Marginal(m) => m.prob_interval(lo, hi),
             ValueDist::Pair(_, _) => None,
         }
@@ -121,7 +119,10 @@ impl Posterior {
     /// Panics if `components` is empty — `infer` always has at least one
     /// particle.
     pub fn new(components: Vec<(f64, ValueDist)>) -> Self {
-        assert!(!components.is_empty(), "posterior needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "posterior needs at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| w).sum();
         let components = if total > 0.0 && total.is_finite() {
             components
@@ -130,10 +131,7 @@ impl Posterior {
                 .collect()
         } else {
             let n = components.len() as f64;
-            components
-                .into_iter()
-                .map(|(_, d)| (1.0 / n, d))
-                .collect()
+            components.into_iter().map(|(_, d)| (1.0 / n, d)).collect()
         };
         Posterior { components }
     }

@@ -1,0 +1,103 @@
+//! Counter-derived per-particle RNG streams.
+//!
+//! The inference engine does not thread one mutable generator through the
+//! particle loop. Instead every particle derives a fresh stream each step
+//! from `(engine_seed, particle_index, generation)` via a SplitMix64-based
+//! sponge, and the coordinator derives its resampling stream from
+//! `(engine_seed, generation)` under a different domain tag. Consequences:
+//!
+//! * posteriors are bit-for-bit reproducible for a fixed seed regardless
+//!   of particle execution order — sequential and multi-threaded stepping
+//!   produce identical results by construction;
+//! * resampled clones of the same ancestor diverge automatically on the
+//!   next step because the stream is re-derived from the (distinct)
+//!   particle index;
+//! * the resampling stream never interleaves with particle streams, so
+//!   adding particles does not perturb resampling and vice versa.
+//!
+//! The derivation is *not* cryptographic; domain tags only separate the
+//! engine's internal consumers of the same seed.
+
+use rand::rngs::SmallRng;
+use rand::{splitmix64, SeedableRng};
+
+/// Domain tag for per-particle streams.
+pub const PARTICLE_DOMAIN: u64 = 0x5041_5254_4943_4c45; // "PARTICLE"
+
+/// Domain tag for the coordinator's resampling stream.
+pub const RESAMPLE_DOMAIN: u64 = 0x5245_5341_4d50_4c45; // "RESAMPLE"
+
+/// Absorbs one word into the running state (one SplitMix64 round over the
+/// state xored with a golden-ratio-multiplied word, so neighbouring
+/// counters land in unrelated states).
+fn absorb(state: u64, word: u64) -> u64 {
+    let mut s = state ^ word.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut s)
+}
+
+/// Derives a stream seed from the engine seed, a domain tag, and two
+/// counters. A final keyless round avoids length-extension-style
+/// collisions between `(a, b)` and `(a', b')` pairs that absorb to the
+/// same intermediate state.
+pub fn stream_seed(seed: u64, domain: u64, a: u64, b: u64) -> u64 {
+    absorb(absorb(absorb(absorb(seed, domain), a), b), 0)
+}
+
+/// The generator for particle `particle` at step `generation`.
+pub fn particle_rng(seed: u64, particle: u64, generation: u64) -> SmallRng {
+    SmallRng::seed_from_u64(stream_seed(seed, PARTICLE_DOMAIN, particle, generation))
+}
+
+/// The coordinator's resampling generator at step `generation`.
+pub fn resample_rng(seed: u64, generation: u64) -> SmallRng {
+    SmallRng::seed_from_u64(stream_seed(seed, RESAMPLE_DOMAIN, generation, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = particle_rng(7, 3, 11);
+        let mut b = particle_rng(7, 3, 11);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn neighbouring_counters_do_not_collide() {
+        // Collect stream seeds over a grid of nearby counters and check
+        // they are pairwise distinct (a weak but fast independence proxy).
+        let mut seen = std::collections::HashSet::new();
+        for particle in 0..64u64 {
+            for generation in 0..64u64 {
+                assert!(
+                    seen.insert(stream_seed(42, PARTICLE_DOMAIN, particle, generation)),
+                    "collision at ({particle}, {generation})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domains_separate_consumers() {
+        assert_ne!(
+            stream_seed(9, PARTICLE_DOMAIN, 5, 0),
+            stream_seed(9, RESAMPLE_DOMAIN, 5, 0)
+        );
+    }
+
+    #[test]
+    fn first_draws_look_uniform() {
+        // The first f64 of 1000 consecutive particle streams should have
+        // mean ~0.5; catches e.g. an absorb() that ignores its word.
+        let mean: f64 = (0..1000)
+            .map(|i| particle_rng(1, i, 0).gen::<f64>())
+            .sum::<f64>()
+            / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -106,11 +106,7 @@ pub struct Integrator {
 impl Integrator {
     /// Creates an integrator with initial value `x0` and step size `h`.
     pub fn new(x0: f64, h: f64) -> Self {
-        Integrator {
-            x0,
-            h,
-            state: None,
-        }
+        Integrator { x0, h, state: None }
     }
 }
 

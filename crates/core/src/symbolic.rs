@@ -235,7 +235,10 @@ mod tests {
 
     #[test]
     fn substitute_resolves_and_keeps() {
-        let e = AffExpr::var(x()).scale(2.0).add(&AffExpr::var(y())).offset(1.0);
+        let e = AffExpr::var(x())
+            .scale(2.0)
+            .add(&AffExpr::var(y()))
+            .offset(1.0);
         let s = e.substitute(|v| (v == x()).then_some(3.0));
         assert_eq!(s.as_single(), Some((y(), 1.0, 7.0)));
         let s2 = s.substitute(|v| (v == y()).then_some(-7.0));

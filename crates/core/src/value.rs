@@ -143,9 +143,7 @@ impl Value {
     pub fn as_vector(&self) -> Result<Vector, RuntimeError> {
         match self {
             Value::Array(xs) => Ok(Vector::new(
-                xs.iter()
-                    .map(|x| x.as_float())
-                    .collect::<Result<_, _>>()?,
+                xs.iter().map(|x| x.as_float()).collect::<Result<_, _>>()?,
             )),
             other => Err(RuntimeError::TypeMismatch {
                 expected: "float array",
@@ -447,12 +445,7 @@ impl DistExpr {
     }
 
     /// `N(A·x + b, cov)` constructor (matrix-affine link).
-    pub fn mv_gaussian_affine(
-        a: Matrix,
-        x: impl Into<Value>,
-        b: Vector,
-        cov: Matrix,
-    ) -> Self {
+    pub fn mv_gaussian_affine(a: Matrix, x: impl Into<Value>, b: Vector, cov: Matrix) -> Self {
         DistExpr::MvGaussian {
             a,
             x: x.into(),
@@ -530,9 +523,9 @@ impl DistExpr {
             DistExpr::Poisson { rate } => {
                 Ok(Marginal::Poisson(dist::Poisson::new(rate.as_float()?)?))
             }
-            DistExpr::Exponential { rate } => Ok(Marginal::Exponential(
-                dist::Exponential::new(rate.as_float()?)?,
-            )),
+            DistExpr::Exponential { rate } => Ok(Marginal::Exponential(dist::Exponential::new(
+                rate.as_float()?,
+            )?)),
             DistExpr::Binomial { n, p } => Ok(Marginal::Binomial(dist::Binomial::new(
                 n.as_count()?,
                 p.as_float()?,
@@ -568,7 +561,13 @@ impl std::fmt::Display for DistExpr {
             DistExpr::Binomial { n, p } => write!(f, "binomial({n}, {p})"),
             DistExpr::Dirac { point } => write!(f, "dirac({point})"),
             DistExpr::MvGaussian { a, x, cov, .. } => {
-                write!(f, "mv_gaussian({}x{}·{x}, dim {})", a.rows(), a.cols(), cov.rows())
+                write!(
+                    f,
+                    "mv_gaussian({}x{}·{x}, dim {})",
+                    a.rows(),
+                    a.cols(),
+                    cov.rows()
+                )
             }
         }
     }
@@ -583,7 +582,7 @@ mod tests {
     fn accessors_check_types() {
         assert_eq!(Value::Float(1.5).as_float().unwrap(), 1.5);
         assert!(Value::Bool(true).as_float().is_err());
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(Value::Int(3).as_count().unwrap(), 3);
         assert!(Value::Int(-1).as_count().is_err());
     }
@@ -620,16 +619,16 @@ mod tests {
         assert!(DistExpr::gaussian(0.0, 1.0).concrete().is_ok());
         assert!(DistExpr::gaussian(0.0, -1.0).concrete().is_err());
         let sym = DistExpr::gaussian(Value::Aff(AffExpr::var(RvId(0))), 1.0);
-        assert!(matches!(
-            sym.concrete(),
-            Err(RuntimeError::NeedsValue(_))
-        ));
+        assert!(matches!(sym.concrete(), Err(RuntimeError::NeedsValue(_))));
         assert!(sym.is_symbolic());
     }
 
     #[test]
     fn display_values() {
-        assert_eq!(Value::pair(Value::Int(1), Value::Bool(true)).to_string(), "(1, true)");
+        assert_eq!(
+            Value::pair(Value::Int(1), Value::Bool(true)).to_string(),
+            "(1, true)"
+        );
         assert_eq!(
             Value::dist(DistExpr::bernoulli(0.5)).to_string(),
             "bernoulli(0.5)"

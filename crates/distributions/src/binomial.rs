@@ -54,7 +54,11 @@ impl Distribution for Binomial {
         let kf = *k as f64;
         let nf = self.n as f64;
         let term_p = if *k == 0 { 0.0 } else { kf * self.p.ln() };
-        let term_q = if *k == self.n { 0.0 } else { (nf - kf) * (1.0 - self.p).ln() };
+        let term_q = if *k == self.n {
+            0.0
+        } else {
+            (nf - kf) * (1.0 - self.p).ln()
+        };
         ln_choose(self.n, *k) + term_p + term_q
     }
 }

@@ -226,8 +226,7 @@ impl GammaExponentialLink {
 
     /// Child's marginal: `Lomax(shape, rate / scale)`.
     pub fn marginalize(&self, parent: Gamma) -> Lomax {
-        Lomax::new(parent.shape(), parent.rate() / self.scale)
-            .expect("parameters stay positive")
+        Lomax::new(parent.shape(), parent.rate() / self.scale).expect("parameters stay positive")
     }
 
     /// Parent's posterior after observing waiting time `x`:

@@ -28,10 +28,14 @@ impl<T> Empirical<T> {
     /// or non-finite.
     pub fn new(items: Vec<(T, f64)>) -> Result<Self, ParamError> {
         if items.is_empty() {
-            return Err(ParamError::new("empirical distribution needs at least one item"));
+            return Err(ParamError::new(
+                "empirical distribution needs at least one item",
+            ));
         }
         if items.iter().any(|(_, w)| !w.is_finite() || *w < 0.0) {
-            return Err(ParamError::new("empirical weights must be finite and non-negative"));
+            return Err(ParamError::new(
+                "empirical weights must be finite and non-negative",
+            ));
         }
         let total: f64 = items.iter().map(|(_, w)| w).sum();
         let items = if total > 0.0 {

@@ -84,7 +84,8 @@ impl Distribution for Gamma {
         if *x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln() - self.rate * x
+        self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln()
+            - self.rate * x
             - ln_gamma(self.shape)
     }
 }

@@ -23,7 +23,9 @@ impl Gaussian {
     /// number or `mean` is not finite.
     pub fn new(mean: f64, var: f64) -> Result<Self, ParamError> {
         if !mean.is_finite() {
-            return Err(ParamError::new(format!("gaussian mean must be finite, got {mean}")));
+            return Err(ParamError::new(format!(
+                "gaussian mean must be finite, got {mean}"
+            )));
         }
         if !(var.is_finite() && var > 0.0) {
             return Err(ParamError::new(format!(
@@ -35,7 +37,10 @@ impl Gaussian {
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Gaussian { mean: 0.0, var: 1.0 }
+        Gaussian {
+            mean: 0.0,
+            var: 1.0,
+        }
     }
 
     /// Mean parameter.

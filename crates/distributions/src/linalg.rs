@@ -128,7 +128,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged matrix rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The `n × n` identity.
@@ -346,8 +350,8 @@ impl Matrix {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b.get(i);
-            for k in 0..i {
-                s -= self.get(i, k) * y[k];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                s -= self.get(i, k) * yk;
             }
             y[i] = s / self.get(i, i);
         }
@@ -360,8 +364,8 @@ impl Matrix {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y.get(i);
-            for k in (i + 1)..n {
-                s -= self.get(k, i) * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.get(k, i) * xk;
             }
             x[i] = s / self.get(i, i);
         }
@@ -392,7 +396,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         assert_eq!(a.mul(&b), Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
-        assert_eq!(a.transpose(), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.transpose(),
+            Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]])
+        );
         let v = Vector::new(vec![1.0, -1.0]);
         assert_eq!(a.mul_vec(&v), Vector::new(vec![-1.0, -1.0]));
         assert_eq!(Matrix::identity(2).mul(&a), a);

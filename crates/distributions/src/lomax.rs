@@ -55,8 +55,7 @@ impl Distribution for Lomax {
         if *x < 0.0 {
             return f64::NEG_INFINITY;
         }
-        self.shape.ln() - self.scale.ln()
-            - (self.shape + 1.0) * (1.0 + x / self.scale).ln()
+        self.shape.ln() - self.scale.ln() - (self.shape + 1.0) * (1.0 + x / self.scale).ln()
     }
 }
 

@@ -26,11 +26,16 @@ impl<D> Mixture<D> {
             return Err(ParamError::new("mixture needs at least one component"));
         }
         if components.iter().any(|(w, _)| !w.is_finite() || *w < 0.0) {
-            return Err(ParamError::new("mixture weights must be finite and non-negative"));
+            return Err(ParamError::new(
+                "mixture weights must be finite and non-negative",
+            ));
         }
         let total: f64 = components.iter().map(|(w, _)| w).sum();
         let components = if total > 0.0 {
-            components.into_iter().map(|(w, d)| (w / total, d)).collect()
+            components
+                .into_iter()
+                .map(|(w, d)| (w / total, d))
+                .collect()
         } else {
             let n = components.len() as f64;
             components.into_iter().map(|(_, d)| (1.0 / n, d)).collect()
@@ -140,10 +145,7 @@ mod tests {
         .unwrap();
         let mut rng = SmallRng::seed_from_u64(8);
         let n = 20_000;
-        let neg = (0..n)
-            .filter(|_| m.sample(&mut rng) < 0.0)
-            .count() as f64
-            / n as f64;
+        let neg = (0..n).filter(|_| m.sample(&mut rng) < 0.0).count() as f64 / n as f64;
         assert!((neg - 0.9).abs() < 0.01, "fraction {neg}");
     }
 

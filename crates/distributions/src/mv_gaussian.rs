@@ -152,13 +152,11 @@ impl MvAffineGaussian {
     /// # Errors
     ///
     /// Returns [`ParamError`] on dimension mismatches.
-    pub fn condition(
-        &self,
-        parent: &MvGaussian,
-        obs: &Vector,
-    ) -> Result<MvGaussian, ParamError> {
+    pub fn condition(&self, parent: &MvGaussian, obs: &Vector) -> Result<MvGaussian, ParamError> {
         if obs.dim() != self.a.rows() || parent.dim() != self.a.cols() {
-            return Err(ParamError::new("observation dimension does not match the link"));
+            return Err(ParamError::new(
+                "observation dimension does not match the link",
+            ));
         }
         let s = parent.cov();
         let innovation_cov = self
@@ -168,9 +166,7 @@ impl MvAffineGaussian {
             .add(&self.cov)
             .symmetrized();
         // K = S Aᵀ V⁻¹ computed as (V⁻¹ (A S))ᵀ.
-        let gain = innovation_cov
-            .solve_spd_matrix(&self.a.mul(s))?
-            .transpose();
+        let gain = innovation_cov.solve_spd_matrix(&self.a.mul(s))?.transpose();
         let residual = obs.sub(&self.a.mul_vec(parent.mean()).add(&self.b));
         let mean = parent.mean().add(&gain.mul_vec(&residual));
         let eye = Matrix::identity(parent.dim());
@@ -185,7 +181,9 @@ impl MvAffineGaussian {
     /// Returns [`ParamError`] on a dimension mismatch.
     pub fn instantiate(&self, value: &Vector) -> Result<MvGaussian, ParamError> {
         if value.dim() != self.a.cols() {
-            return Err(ParamError::new("parent value dimension does not match the link"));
+            return Err(ParamError::new(
+                "parent value dimension does not match the link",
+            ));
         }
         MvGaussian::new(self.a.mul_vec(value).add(&self.b), self.cov.clone())
     }
@@ -251,11 +249,8 @@ mod tests {
 
     #[test]
     fn condition_reduces_to_scalar_kalman_in_1d() {
-        let prior = MvGaussian::new(
-            Vector::new(vec![0.0]),
-            Matrix::from_rows(&[&[100.0]]),
-        )
-        .unwrap();
+        let prior =
+            MvGaussian::new(Vector::new(vec![0.0]), Matrix::from_rows(&[&[100.0]])).unwrap();
         let link = MvAffineGaussian::new(
             Matrix::identity(1),
             Vector::zeros(1),
@@ -282,7 +277,9 @@ mod tests {
             Matrix::from_rows(&[&[0.01]]),
         )
         .unwrap();
-        let post = observe_p.condition(&prior, &Vector::new(vec![2.0])).unwrap();
+        let post = observe_p
+            .condition(&prior, &Vector::new(vec![2.0]))
+            .unwrap();
         assert!((post.mean().get(0) - 2.0).abs() < 0.05);
         // v moves toward 0.8 × 2.0.
         assert!((post.mean().get(1) - 1.6).abs() < 0.05, "{:?}", post.mean());

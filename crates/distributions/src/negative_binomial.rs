@@ -65,10 +65,12 @@ impl Distribution for NegativeBinomial {
 
     fn log_pdf(&self, k: &u64) -> f64 {
         let kf = *k as f64;
-        let tail = if *k == 0 { 0.0 } else { kf * (1.0 - self.p).ln() };
-        ln_gamma(kf + self.r) - ln_gamma(kf + 1.0) - ln_gamma(self.r)
-            + self.r * self.p.ln()
-            + tail
+        let tail = if *k == 0 {
+            0.0
+        } else {
+            kf * (1.0 - self.p).ln()
+        };
+        ln_gamma(kf + self.r) - ln_gamma(kf + 1.0) - ln_gamma(self.r) + self.r * self.p.ln() + tail
     }
 }
 

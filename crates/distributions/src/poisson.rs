@@ -50,7 +50,9 @@ impl Distribution for Poisson {
             }
         } else {
             // Split recursively: Poisson(a + b) = Poisson(a) + Poisson(b).
-            let half = Poisson { lambda: self.lambda / 2.0 };
+            let half = Poisson {
+                lambda: self.lambda / 2.0,
+            };
             half.sample(rng) + half.sample(rng)
         }
     }

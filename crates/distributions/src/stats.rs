@@ -78,7 +78,11 @@ pub fn weighted_variance(pairs: &[(f64, f64)]) -> f64 {
         return 0.0;
     }
     let m = weighted_mean(pairs);
-    pairs.iter().map(|(v, w)| w * (v - m) * (v - m)).sum::<f64>() / total
+    pairs
+        .iter()
+        .map(|(v, w)| w * (v - m) * (v - m))
+        .sum::<f64>()
+        / total
 }
 
 /// Empirical quantile (by sorting) of unweighted samples; `q` in `[0, 1]`.
@@ -153,8 +157,8 @@ mod tests {
         let idx = systematic_resample(&mut rng, &[0.0, 0.0, 0.0], 30);
         assert_eq!(idx.len(), 30);
         // Uniform fallback touches every index with high probability.
-        assert!(idx.iter().any(|&i| i == 0));
-        assert!(idx.iter().any(|&i| i == 2));
+        assert!(idx.contains(&0));
+        assert!(idx.contains(&2));
     }
 
     #[test]

@@ -417,8 +417,23 @@ mod tests {
     #[test]
     fn op_arities_match_identifier_lookup() {
         for name in [
-            "exp", "log", "sqrt", "abs", "min", "max", "fst", "snd", "gaussian", "beta",
-            "bernoulli", "uniform", "gamma", "poisson", "binomial", "dirac", "prob",
+            "exp",
+            "log",
+            "sqrt",
+            "abs",
+            "min",
+            "max",
+            "fst",
+            "snd",
+            "gaussian",
+            "beta",
+            "bernoulli",
+            "uniform",
+            "gamma",
+            "poisson",
+            "binomial",
+            "dirac",
+            "prob",
             "mean_float",
         ] {
             let op = OpName::from_ident(name).unwrap();

@@ -148,7 +148,10 @@ fn expand_automaton(
     out: &mut Vec<Eq>,
 ) -> Result<(), LangError> {
     if states.is_empty() {
-        return Err(LangError::new(Stage::Parse, "automaton needs at least one state"));
+        return Err(LangError::new(
+            Stage::Parse,
+            "automaton needs at least one state",
+        ));
     }
     let index: HashMap<&str, usize> = states
         .iter()
@@ -156,7 +159,10 @@ fn expand_automaton(
         .map(|(i, s)| (s.name.as_str(), i))
         .collect();
     if index.len() != states.len() {
-        return Err(LangError::new(Stage::Parse, "duplicate automaton state names"));
+        return Err(LangError::new(
+            Stage::Parse,
+            "duplicate automaton state names",
+        ));
     }
     *fresh += 1;
     let st = format!("_auto{fresh}_st");
@@ -167,9 +173,7 @@ fn expand_automaton(
             vec![Expr::Last(st.clone()), Expr::int(i as i64)],
         )
     };
-    let entering = |i: usize| -> Expr {
-        Expr::Op(OpName::Not, vec![active(i)])
-    };
+    let entering = |i: usize| -> Expr { Expr::Op(OpName::Not, vec![active(i)]) };
     // A `present` chain over the active state, with `last st` fallback.
     let chain = |branches: Vec<Expr>, fallback: Expr| -> Expr {
         branches
@@ -225,10 +229,7 @@ fn expand_automaton(
                     if per_state.insert(i, expr).is_some() {
                         return Err(LangError::new(
                             Stage::Parse,
-                            format!(
-                                "state `{}` defines `{name}` twice",
-                                state.name
-                            ),
+                            format!("state `{}` defines `{name}` twice", state.name),
                         ));
                     }
                 }
@@ -314,7 +315,13 @@ mod tests {
                 assert_eq!(names.len(), 3, "{names:?}");
                 assert!(names[0].contains("_st"));
                 assert_eq!(names[2], "cmd");
-                assert!(matches!(&eqs[2], Eq::Def { expr: Expr::Present { .. }, .. }));
+                assert!(matches!(
+                    &eqs[2],
+                    Eq::Def {
+                        expr: Expr::Present { .. },
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -322,10 +329,9 @@ mod tests {
 
     #[test]
     fn unknown_target_rejected() {
-        let err = expand(
-            "let node f x = c where rec automaton | A -> do c = 1. until x > 0. then B",
-        )
-        .unwrap_err();
+        let err =
+            expand("let node f x = c where rec automaton | A -> do c = 1. until x > 0. then B")
+                .unwrap_err();
         assert!(err.message.contains("unknown state"));
     }
 
@@ -340,10 +346,9 @@ mod tests {
 
     #[test]
     fn init_inside_state_rejected() {
-        let err = expand(
-            "let node f x = c where rec automaton | A -> do init c = 1. and c = 2. done",
-        )
-        .unwrap_err();
+        let err =
+            expand("let node f x = c where rec automaton | A -> do init c = 1. and c = 2. done")
+                .unwrap_err();
         assert!(err.message.contains("init"));
     }
 
@@ -358,9 +363,9 @@ mod tests {
         let p = expand(src).unwrap();
         match &p.nodes[0].body {
             Expr::Where { eqs, .. } => {
-                assert!(eqs.iter().any(
-                    |q| matches!(q, Eq::Init { name, value: Const::Nil } if name == "aux")
-                ));
+                assert!(eqs
+                    .iter()
+                    .any(|q| matches!(q, Eq::Init { name, value: Const::Nil } if name == "aux")));
             }
             other => panic!("{other:?}"),
         }

@@ -53,9 +53,7 @@ fn run() -> Result<(), String> {
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        let mut flag_value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut flag_value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--inputs" => inputs = Some(flag_value("--inputs")?),
             "--steps" => {
@@ -202,10 +200,9 @@ fn render(v: &MufValue) -> String {
             p.mean_float(),
             p.variance_float()
         ),
-        MufValue::Tuple(xs) => format!(
-            "({})",
-            xs.iter().map(render).collect::<Vec<_>>().join(", ")
-        ),
+        MufValue::Tuple(xs) => {
+            format!("({})", xs.iter().map(render).collect::<Vec<_>>().join(", "))
+        }
         other => format!("<{}>", other.kind()),
     }
 }

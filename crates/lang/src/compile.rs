@@ -87,10 +87,14 @@ fn tuple(items: Vec<MufExpr>) -> MufExpr {
     MufExpr::Tuple(items)
 }
 
+/// Initialized variables and defining equations of a normalized `where`
+/// block.
+type NormalizedEqs = (Vec<(String, Const)>, Vec<(String, Expr)>);
+
 /// Adds `x = last x` for initialized variables without a defining
 /// equation, preserving scheduling (the added equations depend on nothing
 /// instantaneous). Returns `(inits, defs)`.
-fn normalize_where(eqs: &[Eq]) -> Result<(Vec<(String, Const)>, Vec<(String, Expr)>), LangError> {
+fn normalize_where(eqs: &[Eq]) -> Result<NormalizedEqs, LangError> {
     let mut inits = Vec::new();
     let mut defs = Vec::new();
     let mut seen_init = HashSet::new();
@@ -163,10 +167,7 @@ impl Compiler {
             }
             Expr::Last(x) => {
                 let s = self.fresh("s");
-                Ok(fun(
-                    MufPat::var(&s),
-                    tuple(vec![var(last_var(x)), var(&s)]),
-                ))
+                Ok(fun(MufPat::var(&s), tuple(vec![var(last_var(x)), var(&s)])))
             }
             Expr::Pair(e1, e2) => {
                 let (s1, s2) = (self.fresh("s"), self.fresh("s"));
@@ -246,11 +247,7 @@ impl Compiler {
                 let c1 = self.c(then)?;
                 let c2 = self.c(els)?;
                 Ok(fun(
-                    MufPat::Tuple(vec![
-                        MufPat::var(&s),
-                        MufPat::var(&s1),
-                        MufPat::var(&s2),
-                    ]),
+                    MufPat::Tuple(vec![MufPat::var(&s), MufPat::var(&s1), MufPat::var(&s2)]),
                     let_(
                         MufPat::pair(MufPat::var(&v), MufPat::var(&n)),
                         app(cc, var(&s)),
@@ -281,11 +278,7 @@ impl Compiler {
                 let c1 = self.c(then)?;
                 let c2 = self.c(els)?;
                 Ok(fun(
-                    MufPat::Tuple(vec![
-                        MufPat::var(&s),
-                        MufPat::var(&s1),
-                        MufPat::var(&s2),
-                    ]),
+                    MufPat::Tuple(vec![MufPat::var(&s), MufPat::var(&s1), MufPat::var(&s2)]),
                     let_(
                         MufPat::pair(MufPat::var(&v), MufPat::var(&n)),
                         app(cc, var(&s)),
@@ -294,18 +287,12 @@ impl Compiler {
                             Box::new(let_(
                                 MufPat::pair(MufPat::var(&v1), MufPat::var(&n1)),
                                 app(c1, var(&s1)),
-                                tuple(vec![
-                                    var(&v1),
-                                    tuple(vec![var(&n), var(&n1), var(&s2)]),
-                                ]),
+                                tuple(vec![var(&v1), tuple(vec![var(&n), var(&n1), var(&s2)])]),
                             )),
                             Box::new(let_(
                                 MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
                                 app(c2, var(&s2)),
-                                tuple(vec![
-                                    var(&v2),
-                                    tuple(vec![var(&n), var(&s1), var(&n2)]),
-                                ]),
+                                tuple(vec![var(&v2), tuple(vec![var(&n), var(&s1), var(&n2)])]),
                             )),
                         ),
                     ),
@@ -318,11 +305,7 @@ impl Compiler {
                 let cb = self.c(body)?;
                 let ce = self.c(every)?;
                 Ok(fun(
-                    MufPat::Tuple(vec![
-                        MufPat::var(&s0),
-                        MufPat::var(&s1),
-                        MufPat::var(&s2),
-                    ]),
+                    MufPat::Tuple(vec![MufPat::var(&s0), MufPat::var(&s1), MufPat::var(&s2)]),
                     let_(
                         MufPat::pair(MufPat::var(&v2), MufPat::var(&n2)),
                         app(ce, var(&s2)),
@@ -336,10 +319,7 @@ impl Compiler {
                                     Box::new(var(&s1)),
                                 ),
                             ),
-                            tuple(vec![
-                                var(&v1),
-                                tuple(vec![var(&s0), var(&n1), var(&n2)]),
-                            ]),
+                            tuple(vec![var(&v1), tuple(vec![var(&s0), var(&n1), var(&n2)])]),
                         ),
                     ),
                 ))
@@ -515,16 +495,12 @@ impl Compiler {
                     self.a(body)?,
                 ]))
             }
-            Expr::If { cond, then, els } | Expr::Present { cond, then, els } => Ok(tuple(vec![
-                self.a(cond)?,
-                self.a(then)?,
-                self.a(els)?,
-            ])),
-            Expr::Reset { body, every } => Ok(tuple(vec![
-                self.a(body)?,
-                self.a(body)?,
-                self.a(every)?,
-            ])),
+            Expr::If { cond, then, els } | Expr::Present { cond, then, els } => {
+                Ok(tuple(vec![self.a(cond)?, self.a(then)?, self.a(els)?]))
+            }
+            Expr::Reset { body, every } => {
+                Ok(tuple(vec![self.a(body)?, self.a(body)?, self.a(every)?]))
+            }
             Expr::Sample(d) => self.a(d),
             Expr::Observe(d, o) => Ok(tuple(vec![self.a(d)?, self.a(o)?])),
             Expr::Factor(w) => self.a(w),

@@ -15,7 +15,7 @@
 
 use crate::ast::{Const, OpName};
 use crate::error::{LangError, Stage};
-use crate::muf::{Closure, Env, EngineRef, MufDef, MufExpr, MufPat, MufProgram, MufValue};
+use crate::muf::{Closure, EngineRef, Env, MufDef, MufExpr, MufPat, MufProgram, MufValue};
 use probzelus_core::infer::{Infer, MemoryStats, Method};
 use probzelus_core::model::Model;
 use probzelus_core::prob::ProbCtx;
@@ -144,9 +144,7 @@ impl Interp {
                 .lookup(x)
                 .cloned()
                 .or_else(|| self.global(x))
-                .ok_or_else(|| {
-                    LangError::new(Stage::Eval, format!("unbound variable `{x}`"))
-                }),
+                .ok_or_else(|| LangError::new(Stage::Eval, format!("unbound variable `{x}`"))),
             MufExpr::Tuple(xs) => Ok(MufValue::Tuple(
                 xs.iter()
                     .map(|x| self.eval(env, x, prob))
@@ -231,19 +229,14 @@ impl Interp {
                     ProbSlot::Det => Err(outside_infer("value")),
                 }
             }
-            MufExpr::Freshen(inner) => {
-                Ok(self.eval(env, inner, prob)?.deep_clone())
-            }
+            MufExpr::Freshen(inner) => Ok(self.eval(env, inner, prob)?.deep_clone()),
             MufExpr::Infer { body, state, .. } => {
                 let closure = self.eval(env, body, prob)?;
                 let engine_val = self.eval(env, state, prob)?;
                 let MufValue::Engine(engine) = engine_val else {
                     return Err(LangError::new(
                         Stage::Eval,
-                        format!(
-                            "infer state must be an engine, found {}",
-                            engine_val.kind()
-                        ),
+                        format!("infer state must be an engine, found {}", engine_val.kind()),
                     ));
                 };
                 let posterior = {
@@ -289,9 +282,9 @@ impl Interp {
             MufValue::V(Value::Bool(b)) => Ok(Some(b)),
             MufValue::Nil => Ok(None),
             MufValue::V(sym @ (Value::Rv(_) | Value::Aff(_))) => match prob {
-                ProbSlot::Prob(ctx) => {
-                    Ok(Some(ctx.force(&sym).map_err(host)?.as_bool().map_err(host)?))
-                }
+                ProbSlot::Prob(ctx) => Ok(Some(
+                    ctx.force(&sym).map_err(host)?.as_bool().map_err(host)?,
+                )),
                 ProbSlot::Det => Err(LangError::new(
                     Stage::Eval,
                     "symbolic condition outside of `infer`",
@@ -367,10 +360,7 @@ impl Interp {
             }
         }
         // Core value operators.
-        let vals: Vec<Value> = args
-            .iter()
-            .map(|a| a.as_core())
-            .collect::<Result<_, _>>()?;
+        let vals: Vec<Value> = args.iter().map(|a| a.as_core()).collect::<Result<_, _>>()?;
         match core_op(op, &vals, self) {
             Ok(v) => Ok(MufValue::V(v)),
             Err(RuntimeError::NeedsValue(_)) => {
@@ -383,9 +373,7 @@ impl Interp {
                         .map(|v| ctx.force(v))
                         .collect::<Result<_, _>>()
                         .map_err(host)?;
-                    core_op(op, &forced, self)
-                        .map(MufValue::V)
-                        .map_err(host)
+                    core_op(op, &forced, self).map(MufValue::V).map_err(host)
                 } else {
                     Err(LangError::new(
                         Stage::Eval,
@@ -432,7 +420,11 @@ fn bind_pattern(pat: &MufPat, value: MufValue, env: &Env) -> Result<Env, LangErr
             if ps.len() != vs.len() {
                 return Err(LangError::new(
                     Stage::Eval,
-                    format!("tuple arity mismatch: pattern {} vs value {}", ps.len(), vs.len()),
+                    format!(
+                        "tuple arity mismatch: pattern {} vs value {}",
+                        ps.len(),
+                        vs.len()
+                    ),
                 ));
             }
             let mut env = env.clone();
@@ -489,27 +481,31 @@ fn core_op(op: OpName, v: &[Value], interp: &Rc<Interp>) -> Result<Value, Runtim
             // Distribution-valued (not posterior-valued) arguments.
             let d = v[0].as_dist()?.concrete()?;
             match op {
-                MeanFloat => d.mean_float().map(Value::Float).ok_or_else(|| {
-                    RuntimeError::TypeMismatch {
-                        expected: "numeric distribution",
-                        got: format!("{d}"),
-                    }
-                }),
-                VarianceFloat => d.variance_float().map(Value::Float).ok_or_else(|| {
-                    RuntimeError::TypeMismatch {
-                        expected: "numeric distribution",
-                        got: format!("{d}"),
-                    }
-                }),
+                MeanFloat => {
+                    d.mean_float()
+                        .map(Value::Float)
+                        .ok_or_else(|| RuntimeError::TypeMismatch {
+                            expected: "numeric distribution",
+                            got: format!("{d}"),
+                        })
+                }
+                VarianceFloat => {
+                    d.variance_float()
+                        .map(Value::Float)
+                        .ok_or_else(|| RuntimeError::TypeMismatch {
+                            expected: "numeric distribution",
+                            got: format!("{d}"),
+                        })
+                }
                 Prob => {
                     let lo = v[1].as_float()?;
                     let hi = v[2].as_float()?;
-                    d.prob_interval(lo, hi)
-                        .map(Value::Float)
-                        .ok_or_else(|| RuntimeError::TypeMismatch {
+                    d.prob_interval(lo, hi).map(Value::Float).ok_or_else(|| {
+                        RuntimeError::TypeMismatch {
                             expected: "interval-capable distribution",
                             got: format!("{d}"),
-                        })
+                        }
+                    })
                 }
                 DrawDist => Ok(d.sample(&mut *interp.rng.borrow_mut())),
                 _ => unreachable!(),
@@ -558,11 +554,7 @@ impl Clone for MufModel {
 impl Model for MufModel {
     type Input = Value;
 
-    fn step(
-        &mut self,
-        ctx: &mut dyn ProbCtx,
-        input: &Value,
-    ) -> Result<Value, RuntimeError> {
+    fn step(&mut self, ctx: &mut dyn ProbCtx, input: &Value) -> Result<Value, RuntimeError> {
         let closure = self.closure.borrow().clone();
         let state = std::mem::replace(&mut self.state, MufValue::Nil);
         let arg = if self.takes_input {
@@ -703,14 +695,10 @@ impl Instance {
     pub fn new(interp: Rc<Interp>, name: &str) -> Result<Instance, LangError> {
         let step = interp
             .global(&crate::compile::step_name(name))
-            .ok_or_else(|| {
-                LangError::new(Stage::Eval, format!("unknown node `{name}`"))
-            })?;
+            .ok_or_else(|| LangError::new(Stage::Eval, format!("unknown node `{name}`")))?;
         let init_thunk = interp
             .global(&crate::compile::init_name(name))
-            .ok_or_else(|| {
-                LangError::new(Stage::Eval, format!("unknown node `{name}`"))
-            })?;
+            .ok_or_else(|| LangError::new(Stage::Eval, format!("unknown node `{name}`")))?;
         let state = interp.apply(&init_thunk, MufValue::unit(), &mut ProbSlot::Det)?;
         Ok(Instance {
             interp,
@@ -771,7 +759,13 @@ mod tests {
     use crate::muf::MufProgram;
 
     fn det_instance(src: &str, node: &str) -> Instance {
-        let (interp, _) = build(src, Options { method: Method::StreamingDs, seed: 0 });
+        let (interp, _) = build(
+            src,
+            Options {
+                method: Method::StreamingDs,
+                seed: 0,
+            },
+        );
         Instance::new(interp, node).unwrap()
     }
 
@@ -848,7 +842,7 @@ mod tests {
 
     #[test]
     fn reset_reinitializes_state() {
-        let src = r#"
+        let _src = r#"
             let node f c = reset (0. -> pre n + 1.) every c where rec n = 0.0
         "#;
         // n unused; simpler: count inside reset.
@@ -872,7 +866,13 @@ mod tests {
               and () = observe (gaussian (x, 1.), yobs)
             let node main y = infer 1 kalman y
         "#;
-        let (interp, _) = build(src, Options { method: Method::StreamingDs, seed: 7 });
+        let (interp, _) = build(
+            src,
+            Options {
+                method: Method::StreamingDs,
+                seed: 7,
+            },
+        );
         let mut inst = Instance::new(interp, "main").unwrap();
         let obs = [1.3, 0.7, -0.2, 2.5];
         let (mut km, mut kv) = (0.0f64, 100.0f64);
@@ -900,7 +900,13 @@ mod tests {
     #[test]
     fn probabilistic_op_outside_infer_errors() {
         let src = "let node f x = sample(gaussian(x, 1.))";
-        let (interp, _) = build(src, Options { method: Method::StreamingDs, seed: 0 });
+        let (interp, _) = build(
+            src,
+            Options {
+                method: Method::StreamingDs,
+                seed: 0,
+            },
+        );
         let mut inst = Instance::new(interp, "f").unwrap();
         let err = inst.step(Value::Float(0.0)).unwrap_err();
         assert!(err.message.contains("outside"));

@@ -255,12 +255,8 @@ fn eval_instant0(e: &Expr, inits: &HashMap<String, Const>) -> Option<Const> {
                 (OpName::Eq, [a, b]) => Some(Const::Bool(a == b)),
                 (OpName::Ne, [a, b]) => Some(Const::Bool(a != b)),
                 (OpName::Not, [Const::Bool(b)]) => Some(Const::Bool(!b)),
-                (OpName::And, [Const::Bool(a), Const::Bool(b)]) => {
-                    Some(Const::Bool(*a && *b))
-                }
-                (OpName::Or, [Const::Bool(a), Const::Bool(b)]) => {
-                    Some(Const::Bool(*a || *b))
-                }
+                (OpName::And, [Const::Bool(a), Const::Bool(b)]) => Some(Const::Bool(*a && *b)),
+                (OpName::Or, [Const::Bool(a), Const::Bool(b)]) => Some(Const::Bool(*a || *b)),
                 _ => None,
             }
         }
@@ -316,10 +312,7 @@ mod tests {
     #[test]
     fn chained_unguarded_pre_detected_through_variables() {
         // y is nil at instant 0, and z copies y.
-        let err = check(
-            "let node f x = z where rec y = pre x and z = y",
-        )
-        .unwrap_err();
+        let err = check("let node f x = z where rec y = pre x and z = y").unwrap_err();
         assert_eq!(err.stage, Stage::Init);
     }
 
@@ -332,10 +325,7 @@ mod tests {
 
     #[test]
     fn present_condition_must_be_initialized() {
-        let err = check(
-            "let node f c = present pre c -> 1. else 2.",
-        )
-        .unwrap_err();
+        let err = check("let node f c = present pre c -> 1. else 2.").unwrap_err();
         assert_eq!(err.stage, Stage::Init);
     }
 

@@ -69,7 +69,10 @@ pub fn kind_of(e: &Expr, env: &HashMap<String, Kind>) -> Result<Kind, LangError>
         Expr::App(f, arg) => {
             require_d(arg, env, "the argument of a node application")?;
             env.get(f.as_str()).copied().ok_or_else(|| {
-                LangError::new(Stage::Kind, format!("unknown node `{f}` (nodes must be declared before use)"))
+                LangError::new(
+                    Stage::Kind,
+                    format!("unknown node `{f}` (nodes must be declared before use)"),
+                )
             })
         }
         Expr::Where { body, eqs } => {
@@ -124,11 +127,7 @@ pub fn kind_of(e: &Expr, env: &HashMap<String, Kind>) -> Result<Kind, LangError>
     }
 }
 
-fn require_d(
-    e: &Expr,
-    env: &HashMap<String, Kind>,
-    what: &str,
-) -> Result<(), LangError> {
+fn require_d(e: &Expr, env: &HashMap<String, Kind>, what: &str) -> Result<(), LangError> {
     match kind_of(e, env)? {
         Kind::D => Ok(()),
         Kind::P => Err(LangError::new(
@@ -175,8 +174,8 @@ mod tests {
     #[test]
     fn sample_of_sample_is_rejected() {
         // Fig. 7: sample's argument must be deterministic.
-        let err = kinds("let node f x = sample(gaussian(sample(gaussian(x, 1.)), 1.))")
-            .unwrap_err();
+        let err =
+            kinds("let node f x = sample(gaussian(sample(gaussian(x, 1.)), 1.))").unwrap_err();
         assert_eq!(err.stage, Stage::Kind);
         assert!(err.message.contains("sample"));
     }
@@ -184,8 +183,7 @@ mod tests {
     #[test]
     fn probabilistic_observed_value_is_rejected() {
         let err =
-            kinds("let node f x = observe(gaussian(0., 1.), sample(gaussian(x, 1.)))")
-                .unwrap_err();
+            kinds("let node f x = observe(gaussian(0., 1.), sample(gaussian(x, 1.)))").unwrap_err();
         assert_eq!(err.stage, Stage::Kind);
     }
 

@@ -248,7 +248,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
         // Identifiers and keywords.
         if c.is_ascii_alphabetic() || c == '_' {
             let mut s = String::new();
-            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'') {
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'')
+            {
                 s.push(bytes[i]);
                 advance(bytes[i], &mut line, &mut col);
                 i += 1;

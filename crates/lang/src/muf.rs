@@ -180,8 +180,7 @@ impl MufValue {
         match self {
             MufValue::V(v) => Ok(v.clone()),
             MufValue::Tuple(xs) => {
-                let parts: Vec<Value> =
-                    xs.iter().map(|x| x.as_core()).collect::<Result<_, _>>()?;
+                let parts: Vec<Value> = xs.iter().map(|x| x.as_core()).collect::<Result<_, _>>()?;
                 Ok(parts
                     .into_iter()
                     .rev()
@@ -204,9 +203,7 @@ impl MufValue {
     /// embeds a nested engine.
     pub fn deep_clone(&self) -> MufValue {
         match self {
-            MufValue::Tuple(xs) => {
-                MufValue::Tuple(xs.iter().map(MufValue::deep_clone).collect())
-            }
+            MufValue::Tuple(xs) => MufValue::Tuple(xs.iter().map(MufValue::deep_clone).collect()),
             MufValue::Engine(e) => {
                 MufValue::Engine(EngineRef(Rc::new(RefCell::new(e.0.borrow().clone()))))
             }
@@ -224,10 +221,8 @@ impl MufValue {
                     x.for_each_value_mut(f);
                 }
             }
-            MufValue::Nil
-            | MufValue::Closure(_)
-            | MufValue::Engine(_)
-            | MufValue::Posterior(_) => {}
+            MufValue::Nil | MufValue::Closure(_) | MufValue::Engine(_) | MufValue::Posterior(_) => {
+            }
         }
     }
 }
@@ -281,14 +276,8 @@ mod tests {
         let e0 = Env::empty();
         let e1 = e0.bind("x", MufValue::V(Value::Int(1)));
         let e2 = e1.bind("x", MufValue::V(Value::Int(2)));
-        assert!(matches!(
-            e2.lookup("x"),
-            Some(MufValue::V(Value::Int(2)))
-        ));
-        assert!(matches!(
-            e1.lookup("x"),
-            Some(MufValue::V(Value::Int(1)))
-        ));
+        assert!(matches!(e2.lookup("x"), Some(MufValue::V(Value::Int(2)))));
+        assert!(matches!(e1.lookup("x"), Some(MufValue::V(Value::Int(1)))));
         assert!(e0.lookup("x").is_none());
     }
 

@@ -17,7 +17,11 @@ pub fn print_muf_program(p: &MufProgram) -> String {
 
 /// Renders one definition.
 pub fn print_muf_def(def: &MufDef) -> String {
-    format!("let {} =\n{}\n", def.name, indent(&print_expr(&def.expr), 1))
+    format!(
+        "let {} =\n{}\n",
+        def.name,
+        indent(&print_expr(&def.expr), 1)
+    )
 }
 
 fn indent(s: &str, by: usize) -> String {
@@ -139,10 +143,9 @@ mod tests {
 
     #[test]
     fn prints_infer_forms() {
-        let p = parse_program(
-            "let node m y = sample(gaussian(y, 1.))\nlet node main y = infer 7 m y",
-        )
-        .unwrap();
+        let p =
+            parse_program("let node m y = sample(gaussian(y, 1.))\nlet node main y = infer 7 m y")
+                .unwrap();
         let muf = compile_program(&schedule_program(&desugar_program(&p)).unwrap()).unwrap();
         let printed = print_muf_program(&muf);
         assert!(printed.contains("infer<7>"), "{printed}");

@@ -674,7 +674,10 @@ mod tests {
                 Eq::Def { expr, .. } => {
                     assert!(matches!(
                         expr,
-                        Expr::Infer { particles: 1000, .. }
+                        Expr::Infer {
+                            particles: 1000,
+                            ..
+                        }
                     ));
                 }
                 other => panic!("unexpected {other:?}"),
@@ -737,8 +740,12 @@ mod tests {
         match &prog.nodes[0].body {
             Expr::Where { eqs, .. } => {
                 assert_eq!(eqs.len(), 3);
-                assert!(matches!(&eqs[1], Eq::Def { name, expr: Expr::Op(OpName::Fst, _) } if name == "p"));
-                assert!(matches!(&eqs[2], Eq::Def { name, expr: Expr::Op(OpName::Snd, _) } if name == "v"));
+                assert!(
+                    matches!(&eqs[1], Eq::Def { name, expr: Expr::Op(OpName::Fst, _) } if name == "p")
+                );
+                assert!(
+                    matches!(&eqs[2], Eq::Def { name, expr: Expr::Op(OpName::Snd, _) } if name == "v")
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -780,11 +787,16 @@ mod tests {
 
     #[test]
     fn negative_init_constants() {
-        let prog =
-            parse_program("let node f x = y where rec init y = -1.5 and y = x").unwrap();
+        let prog = parse_program("let node f x = y where rec init y = -1.5 and y = x").unwrap();
         match &prog.nodes[0].body {
             Expr::Where { eqs, .. } => {
-                assert_eq!(eqs[0], Eq::Init { name: "y".into(), value: Const::Float(-1.5) });
+                assert_eq!(
+                    eqs[0],
+                    Eq::Init {
+                        name: "y".into(),
+                        value: Const::Float(-1.5)
+                    }
+                );
             }
             other => panic!("{other:?}"),
         }

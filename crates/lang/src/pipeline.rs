@@ -164,7 +164,13 @@ mod tests {
     fn instantiate_rejects_probabilistic_nodes() {
         let c = compile_source(HMM).unwrap();
         let err = c
-            .instantiate("hmm", Options { method: Method::StreamingDs, seed: 0 })
+            .instantiate(
+                "hmm",
+                Options {
+                    method: Method::StreamingDs,
+                    seed: 0,
+                },
+            )
             .unwrap_err();
         assert!(err.message.contains("probabilistic"));
     }
@@ -173,7 +179,14 @@ mod tests {
     fn infer_node_runs_exact_kalman() {
         let c = compile_source(HMM).unwrap();
         let mut eng = c
-            .infer_node("hmm", 1, Options { method: Method::StreamingDs, seed: 3 })
+            .infer_node(
+                "hmm",
+                1,
+                Options {
+                    method: Method::StreamingDs,
+                    seed: 3,
+                },
+            )
             .unwrap();
         let post = eng.step(&Value::Float(5.0)).unwrap();
         assert!((post.mean_float() - 5.0 * 100.0 / 101.0).abs() < 1e-9);
@@ -186,7 +199,9 @@ mod tests {
             Stage::Parse
         );
         assert_eq!(
-            compile_source("let node f x = sample(sample(x))").unwrap_err().stage,
+            compile_source("let node f x = sample(sample(x))")
+                .unwrap_err()
+                .stage,
             Stage::Kind
         );
         assert_eq!(

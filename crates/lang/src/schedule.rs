@@ -36,9 +36,7 @@ pub fn schedule_expr(e: &Expr) -> Result<Expr, LangError> {
         Expr::Pair(a, b) => Expr::pair(schedule_expr(a)?, schedule_expr(b)?),
         Expr::Op(op, args) => Expr::Op(
             *op,
-            args.iter()
-                .map(schedule_expr)
-                .collect::<Result<_, _>>()?,
+            args.iter().map(schedule_expr).collect::<Result<_, _>>()?,
         ),
         Expr::App(f, arg) => Expr::App(f.clone(), Box::new(schedule_expr(arg)?)),
         Expr::Where { body, eqs } => {
@@ -127,7 +125,9 @@ fn schedule_equations(eqs: &[Eq]) -> Result<Vec<Eq>, LangError> {
         if self_reads.contains(name.as_str()) {
             return Err(LangError::new(
                 Stage::Schedule,
-                format!("instantaneous cycle: `{name}` depends on itself (use `last {name}` or `pre`)"),
+                format!(
+                    "instantaneous cycle: `{name}` depends on itself (use `last {name}` or `pre`)"
+                ),
             ));
         }
     }
@@ -269,28 +269,19 @@ mod tests {
 
     #[test]
     fn reorders_by_dependency() {
-        let p = schedule(
-            "let node f x = z where rec z = y + 1. and y = x * 2.",
-        )
-        .unwrap();
+        let p = schedule("let node f x = z where rec z = y + 1. and y = x * 2.").unwrap();
         assert_eq!(eq_names(&p.nodes[0].body), vec!["y", "z"]);
     }
 
     #[test]
     fn keeps_source_order_when_independent() {
-        let p = schedule(
-            "let node f x = a where rec a = x and b = x and c = x",
-        )
-        .unwrap();
+        let p = schedule("let node f x = a where rec a = x and b = x and c = x").unwrap();
         assert_eq!(eq_names(&p.nodes[0].body), vec!["a", "b", "c"]);
     }
 
     #[test]
     fn inits_come_first() {
-        let p = schedule(
-            "let node f x = y where rec y = last y + x and init y = 0.",
-        )
-        .unwrap();
+        let p = schedule("let node f x = y where rec y = last y + x and init y = 0.").unwrap();
         assert_eq!(eq_names(&p.nodes[0].body), vec!["y", "y"]);
         match &p.nodes[0].body {
             Expr::Where { eqs, .. } => {
@@ -324,8 +315,7 @@ mod tests {
 
     #[test]
     fn two_variable_cycle_rejected() {
-        let err =
-            schedule("let node f x = a where rec a = b + x and b = a").unwrap_err();
+        let err = schedule("let node f x = a where rec a = b + x and b = a").unwrap_err();
         assert_eq!(err.stage, Stage::Schedule);
         assert!(err.message.contains("a") && err.message.contains("b"));
     }
@@ -333,9 +323,7 @@ mod tests {
     #[test]
     fn inner_where_shadows_outer_names() {
         // The inner `y` is local; no dependency on the outer equation y.
-        let p = schedule(
-            "let node f x = z where rec z = (y where rec y = x) and y = z",
-        );
+        let p = schedule("let node f x = z where rec z = (y where rec y = x) and y = z");
         assert!(p.is_ok());
     }
 }

@@ -86,13 +86,10 @@ impl Ctx {
     fn desugar(&mut self, e: &Expr, hoist: &mut Vec<Eq>) -> Expr {
         match e {
             Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => e.clone(),
-            Expr::Pair(a, b) => {
-                Expr::pair(self.desugar(a, hoist), self.desugar(b, hoist))
+            Expr::Pair(a, b) => Expr::pair(self.desugar(a, hoist), self.desugar(b, hoist)),
+            Expr::Op(op, args) => {
+                Expr::Op(*op, args.iter().map(|a| self.desugar(a, hoist)).collect())
             }
-            Expr::Op(op, args) => Expr::Op(
-                *op,
-                args.iter().map(|a| self.desugar(a, hoist)).collect(),
-            ),
             Expr::App(f, arg) => Expr::App(f.clone(), Box::new(self.desugar(arg, hoist))),
             Expr::Where { body, eqs } => {
                 let mut scope = Scope::default();
@@ -262,7 +259,13 @@ mod tests {
             Expr::Where { body, eqs } => {
                 assert!(matches!(&**body, Expr::If { .. }));
                 assert_eq!(eqs.len(), 2);
-                assert!(matches!(&eqs[0], Eq::Init { value: Const::Bool(true), .. }));
+                assert!(matches!(
+                    &eqs[0],
+                    Eq::Init {
+                        value: Const::Bool(true),
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -276,7 +279,13 @@ mod tests {
         match &d {
             Expr::Where { body, eqs } => {
                 assert!(matches!(&**body, Expr::Last(_)));
-                assert!(matches!(&eqs[0], Eq::Init { value: Const::Nil, .. }));
+                assert!(matches!(
+                    &eqs[0],
+                    Eq::Init {
+                        value: Const::Nil,
+                        ..
+                    }
+                ));
                 assert!(matches!(&eqs[1], Eq::Def { .. }));
             }
             other => panic!("{other:?}"),
@@ -306,14 +315,21 @@ mod tests {
 
     #[test]
     fn pre_of_defined_variable_with_user_init_adds_nothing() {
-        let e =
-            parse_expr("x where rec init x = 5. and x = pre x").unwrap();
+        let e = parse_expr("x where rec init x = 5. and x = pre x").unwrap();
         let d = desugar_expr(&e);
         match &d {
             Expr::Where { eqs, .. } => {
                 let nils = eqs
                     .iter()
-                    .filter(|q| matches!(q, Eq::Init { value: Const::Nil, .. }))
+                    .filter(|q| {
+                        matches!(
+                            q,
+                            Eq::Init {
+                                value: Const::Nil,
+                                ..
+                            }
+                        )
+                    })
                     .count();
                 assert_eq!(nils, 0);
             }

@@ -127,10 +127,7 @@ impl Checker {
     /// `float` (used for reporting and elaboration).
     fn canonical(&self, t: &Ty) -> Ty {
         match self.resolve(t) {
-            Ty::Pair(a, b) => Ty::Pair(
-                Box::new(self.canonical(&a)),
-                Box::new(self.canonical(&b)),
-            ),
+            Ty::Pair(a, b) => Ty::Pair(Box::new(self.canonical(&a)), Box::new(self.canonical(&b))),
             Ty::Dist(t) => Ty::Dist(Box::new(self.canonical(&t))),
             Ty::Var(n) if self.numeric[n as usize] => Ty::Float,
             other => other,
@@ -246,9 +243,10 @@ impl Checker {
     ) -> Result<Ty, LangError> {
         match e {
             Expr::Const(c) => Ok(self.const_ty(c)),
-            Expr::Var(x) => vars.get(x).cloned().ok_or_else(|| {
-                LangError::new(Stage::Type, format!("unbound variable `{x}`"))
-            }),
+            Expr::Var(x) => vars
+                .get(x)
+                .cloned()
+                .ok_or_else(|| LangError::new(Stage::Type, format!("unbound variable `{x}`"))),
             Expr::Last(x) => vars.get(x).cloned().ok_or_else(|| {
                 LangError::new(Stage::Type, format!("`last {x}` of unbound variable"))
             }),
@@ -266,9 +264,9 @@ impl Checker {
             }
             Expr::App(f, arg) => {
                 let targ = self.infer_expr(arg, vars, sigs)?;
-                let sig = sigs.get(f.as_str()).ok_or_else(|| {
-                    LangError::new(Stage::Type, format!("unknown node `{f}`"))
-                })?;
+                let sig = sigs
+                    .get(f.as_str())
+                    .ok_or_else(|| LangError::new(Stage::Type, format!("unknown node `{f}`")))?;
                 let sig = sig.clone();
                 self.unify(&targ, &sig.input)?;
                 Ok(sig.output)
@@ -395,21 +393,13 @@ impl Checker {
             Fst => {
                 let a = self.fresh();
                 let b = self.fresh();
-                expect(
-                    self,
-                    &args[0],
-                    &Ty::Pair(Box::new(a.clone()), Box::new(b)),
-                )?;
+                expect(self, &args[0], &Ty::Pair(Box::new(a.clone()), Box::new(b)))?;
                 Ok(a)
             }
             Snd => {
                 let a = self.fresh();
                 let b = self.fresh();
-                expect(
-                    self,
-                    &args[0],
-                    &Ty::Pair(Box::new(a), Box::new(b.clone())),
-                )?;
+                expect(self, &args[0], &Ty::Pair(Box::new(a), Box::new(b.clone())))?;
                 Ok(b)
             }
             Exp | Log | Sqrt | Abs => {
@@ -568,7 +558,8 @@ mod tests {
 
     #[test]
     fn int_literals_elaborate_to_float_in_float_context() {
-        let (p, _) = check("let node f x = x + 0 where rec init unused = 1.0 and unused = 2.").unwrap();
+        let (p, _) =
+            check("let node f x = x + 0 where rec init unused = 1.0 and unused = 2.").unwrap();
         // Ambiguous numeric: defaults to float.
         let src = crate::pretty::print_program(&p);
         assert!(src.contains("0.0"), "elaborated: {src}");

@@ -45,13 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let data = generate_kalman(3, 30);
-    println!("\n{:>4} {:>9} {:>9} {:>12}", "t", "truth", "obs", "inferred");
+    println!(
+        "\n{:>4} {:>9} {:>9} {:>12}",
+        "t", "truth", "obs", "inferred"
+    );
     for (t, (y, x)) in data.obs.iter().zip(&data.truth).enumerate() {
         let out = instance.step(Value::Float(*y))?;
         let MufValue::Tuple(parts) = &out else {
             panic!("driver returns a pair");
         };
-        let mean = parts[0].as_core()?.as_float().map_err(probzelus::lang::LangError::from)?;
+        let mean = parts[0]
+            .as_core()?
+            .as_float()
+            .map_err(probzelus::lang::LangError::from)?;
         if t % 3 == 0 {
             println!("{:>4} {:>9.3} {:>9.3} {:>12.3}", t, x, y, mean);
         }

@@ -32,24 +32,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut physics = RobotPhysics::new(2026, 10);
     let mut cmd = 0.0f64;
     println!("seeking target 4.0 ± 0.25 (automaton written in ProbZelus source)\n");
-    println!("{:>7} {:>10} {:>10} {:>10}", "time", "true pos", "cmd", "at target");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10}",
+        "time", "true pos", "cmd", "at target"
+    );
     for t in 0..2000 {
         let sensors = physics.step(cmd);
         let input = Value::pair(
             Value::Float(sensors.a_obs),
             Value::pair(
                 Value::Bool(sensors.gps.is_some()),
-                Value::pair(
-                    Value::Float(sensors.gps.unwrap_or(0.0)),
-                    Value::Float(cmd),
-                ),
+                Value::pair(Value::Float(sensors.gps.unwrap_or(0.0)), Value::Float(cmd)),
             ),
         );
         let out = bot.step(input)?;
         let MufValue::Tuple(parts) = &out else {
             panic!("task_bot returns a pair");
         };
-        cmd = parts[0].as_core()?.as_float().map_err(probzelus::lang::LangError::from)?;
+        cmd = parts[0]
+            .as_core()?
+            .as_float()
+            .map_err(probzelus::lang::LangError::from)?;
         let at_target = parts[1]
             .as_core()?
             .as_bool()
@@ -72,6 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return Ok(());
         }
     }
-    println!("\nmission incomplete (final position {:.3})", physics.position());
+    println!(
+        "\nmission incomplete (final position {:.3})",
+        physics.position()
+    );
     Ok(())
 }

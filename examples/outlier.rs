@@ -32,9 +32,18 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
     }
 
     println!("tracking through ~9% corrupted readings, {steps} steps\n");
-    println!("{:>5} {:>10} {:>12} {:>12}", "alg", "particles", "MSE", "live nodes");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12}",
+        "alg", "particles", "MSE", "live nodes"
+    );
     for (method, particles, mse, nodes) in results {
-        println!("{:>5} {:>10} {:>12.4} {:>12}", method.label(), particles, mse, nodes);
+        println!(
+            "{:>5} {:>10} {:>12.4} {:>12}",
+            method.label(),
+            particles,
+            mse,
+            nodes
+        );
     }
     println!(
         "\n(the observation noise floor is ~{:.1}; a non-robust filter is pulled far off by outliers)",

@@ -22,7 +22,10 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
     let mut sds_mse = MseTracker::new();
     let mut pf_mse = MseTracker::new();
 
-    println!("{:>4} {:>9} {:>9} {:>19} {:>9}", "t", "truth", "obs", "SDS mean ± sd", "PF mean");
+    println!(
+        "{:>4} {:>9} {:>9} {:>19} {:>9}",
+        "t", "truth", "obs", "SDS mean ± sd", "PF mean"
+    );
     for (t, (y, x)) in data.obs.iter().zip(&data.truth).enumerate() {
         let sds_post = sds.step(y)?;
         let pf_post = pf.step(y)?;
@@ -42,7 +45,10 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
     }
 
     println!("\nMSE over {steps} steps:");
-    println!("  SDS, 1 particle   : {:.4}  (exact posterior)", sds_mse.mse());
+    println!(
+        "  SDS, 1 particle   : {:.4}  (exact posterior)",
+        sds_mse.mse()
+    );
     println!("  PF, 10 particles  : {:.4}", pf_mse.mse());
     println!(
         "\nlive graph nodes: SDS = {} (bounded), PF = {}",

@@ -19,8 +19,14 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
     let mut physics = RobotPhysics::new(2026, 10);
     let mut bot = TaskBot::new(Method::StreamingDs, 100, target, eps, 7);
 
-    println!("seeking target {target} ± {eps} (GPS every {}s)\n", 10.0 * H);
-    println!("{:>7} {:>10} {:>10} {:>8}", "time", "true pos", "cmd", "mode");
+    println!(
+        "seeking target {target} ± {eps} (GPS every {}s)\n",
+        10.0 * H
+    );
+    println!(
+        "{:>7} {:>10} {:>10} {:>8}",
+        "time", "true pos", "cmd", "mode"
+    );
 
     let mut cmd = 0.0;
     for t in 0..2000 {
@@ -47,6 +53,9 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
             return Ok(());
         }
     }
-    println!("\nmission incomplete after 200s (final position {:.3})", physics.position());
+    println!(
+        "\nmission incomplete after 200s (final position {:.3})",
+        physics.position()
+    );
     Ok(())
 }

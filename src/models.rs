@@ -175,7 +175,9 @@ pub fn generate_kalman(seed: u64, steps: usize) -> Trace<f64, f64> {
 /// Samples a Coin trace: the truth is the (constant) bias.
 pub fn generate_coin(seed: u64, steps: usize) -> Trace<f64, bool> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let p = Beta::new(1.0, 1.0).expect("valid parameters").sample(&mut rng);
+    let p = Beta::new(1.0, 1.0)
+        .expect("valid parameters")
+        .sample(&mut rng);
     let coin = Bernoulli::new(p).expect("beta sample is a probability");
     let obs = (0..steps).map(|_| coin.sample(&mut rng)).collect();
     Trace {
@@ -368,6 +370,30 @@ mod tests {
         }
         // Position chain + constant outlier-rate parameter per particle.
         assert!(peak <= 20 * 10, "peak {peak}");
+    }
+
+    #[test]
+    fn benchmark_models_are_send() {
+        // `Infer::with_parallelism` requires `M: Send`; every benchmark
+        // model must stay eligible for multi-threaded stepping.
+        fn assert_send<T: Send>() {}
+        assert_send::<Kalman>();
+        assert_send::<Coin>();
+        assert_send::<Outlier>();
+    }
+
+    #[test]
+    fn benchmark_models_run_under_parallel_inference() {
+        use probzelus_core::infer::{Infer, Method, Parallelism};
+        let data = generate_outlier(4, 30);
+        let mut seq = Infer::with_seed(Method::ParticleFilter, 20, Outlier::default(), 7);
+        let mut par = Infer::with_seed(Method::ParticleFilter, 20, Outlier::default(), 7)
+            .with_parallelism(Parallelism::Threads(3));
+        for y in &data.obs {
+            let a = seq.step(y).unwrap().mean_float();
+            let b = par.step(y).unwrap().mean_float();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@ use probzelus_core::error::RuntimeError;
 use probzelus_core::model::Model;
 use probzelus_core::prob::ProbCtx;
 use probzelus_core::value::{DistExpr, Value};
-use probzelus_distributions::{Distribution, Gaussian, Matrix, MvAffineGaussian, MvGaussian, Vector};
+use probzelus_distributions::{
+    Distribution, Gaussian, Matrix, MvAffineGaussian, MvGaussian, Vector,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -168,27 +170,22 @@ impl MvKalmanOracle {
     pub fn step(&mut self, input: &MvInput) -> MvGaussian {
         let p = &self.params;
         let predicted = match &self.state {
-            None => MvGaussian::new(p.prior_mean.clone(), p.prior_cov.clone())
-                .expect("valid prior"),
+            None => {
+                MvGaussian::new(p.prior_mean.clone(), p.prior_cov.clone()).expect("valid prior")
+            }
             Some(prev) => {
-                let dynamics = MvAffineGaussian::new(
-                    p.transition(),
-                    p.control(input.u),
-                    p.process_cov(),
-                )
-                .expect("valid dynamics");
+                let dynamics =
+                    MvAffineGaussian::new(p.transition(), p.control(input.u), p.process_cov())
+                        .expect("valid dynamics");
                 dynamics.marginalize(prev).expect("matching dimensions")
             }
         };
         let filtered = match input.obs {
             None => predicted,
             Some(y) => {
-                let obs_link = MvAffineGaussian::new(
-                    p.observation(),
-                    Vector::zeros(1),
-                    p.obs_cov(),
-                )
-                .expect("valid observation model");
+                let obs_link =
+                    MvAffineGaussian::new(p.observation(), Vector::zeros(1), p.obs_cov())
+                        .expect("valid observation model");
                 obs_link
                     .condition(&predicted, &Vector::new(vec![y]))
                     .expect("matching dimensions")
@@ -211,8 +208,8 @@ pub fn generate_mv_trace(
     let mut truth = Vec::with_capacity(controls.len());
     let mut inputs = Vec::with_capacity(controls.len());
     let mut state = Vector::zeros(2);
-    let process = MvGaussian::new(Vector::zeros(2), params.process_cov())
-        .expect("valid process covariance");
+    let process =
+        MvGaussian::new(Vector::zeros(2), params.process_cov()).expect("valid process covariance");
     for (t, &u) in controls.iter().enumerate() {
         if t > 0 {
             state = params
@@ -268,8 +265,7 @@ mod tests {
         // Constant acceleration for 10 s: final true velocity ≈ 1·t.
         let controls = vec![1.0; 200];
         let (truth, inputs) = generate_mv_trace(&params, &controls, 10, 7);
-        let mut engine =
-            Infer::with_seed(Method::StreamingDs, 1, MvTracker::new(params), 1);
+        let mut engine = Infer::with_seed(Method::StreamingDs, 1, MvTracker::new(params), 1);
         let mut last = None;
         for input in &inputs {
             last = Some(engine.step(input).unwrap());
@@ -289,14 +285,8 @@ mod tests {
         let params = MvTrackerParams::default();
         let controls: Vec<f64> = (0..100).map(|t| if t < 50 { 0.5 } else { -0.5 }).collect();
         let (_, inputs) = generate_mv_trace(&params, &controls, 5, 11);
-        let mut exact =
-            Infer::with_seed(Method::StreamingDs, 1, MvTracker::new(params.clone()), 0);
-        let mut pf = Infer::with_seed(
-            Method::ParticleFilter,
-            2000,
-            MvTracker::new(params),
-            0,
-        );
+        let mut exact = Infer::with_seed(Method::StreamingDs, 1, MvTracker::new(params.clone()), 0);
+        let mut pf = Infer::with_seed(Method::ParticleFilter, 2000, MvTracker::new(params), 0);
         let (mut e_last, mut p_last) = (None, None);
         for input in &inputs {
             e_last = Some(exact.step(input).unwrap());
@@ -304,7 +294,12 @@ mod tests {
         }
         let e = e_last.unwrap().mean_vector().unwrap();
         let p = p_last.unwrap().mean_vector().unwrap();
-        assert!((e.get(0) - p.get(0)).abs() < 0.2, "{} vs {}", e.get(0), p.get(0));
+        assert!(
+            (e.get(0) - p.get(0)).abs() < 0.2,
+            "{} vs {}",
+            e.get(0),
+            p.get(0)
+        );
     }
 
     #[test]
@@ -315,11 +310,7 @@ mod tests {
         struct Mixed;
         impl Model for Mixed {
             type Input = ();
-            fn step(
-                &mut self,
-                ctx: &mut dyn ProbCtx,
-                _input: &(),
-            ) -> Result<Value, RuntimeError> {
+            fn step(&mut self, ctx: &mut dyn ProbCtx, _input: &()) -> Result<Value, RuntimeError> {
                 let scalar = ctx.sample(&DistExpr::gaussian(0.0, 1.0))?;
                 let forced = ctx.force(&scalar)?.as_float()?;
                 let s = ctx.sample(&DistExpr::mv_gaussian(

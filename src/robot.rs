@@ -84,7 +84,7 @@ impl RobotPhysics {
         let a_obs = Gaussian::new(accel, A_NOISE)
             .expect("valid parameters")
             .sample(&mut self.rng);
-        let gps = (self.t % self.gps_every == 0).then(|| {
+        let gps = self.t.is_multiple_of(self.gps_every).then(|| {
             Gaussian::new(self.pos, P_NOISE)
                 .expect("valid parameters")
                 .sample(&mut self.rng)
@@ -136,11 +136,7 @@ impl Default for GpsAccTracker {
 impl Model for GpsAccTracker {
     type Input = TrackerInput;
 
-    fn step(
-        &mut self,
-        ctx: &mut dyn ProbCtx,
-        input: &TrackerInput,
-    ) -> Result<Value, RuntimeError> {
+    fn step(&mut self, ctx: &mut dyn ProbCtx, input: &TrackerInput) -> Result<Value, RuntimeError> {
         // a = zero -> sample (gaussian (pre cmd, a_var))
         let a = if self.first {
             Value::Float(0.0)
@@ -162,7 +158,10 @@ impl Model for GpsAccTracker {
         };
         // present gps(p_obs) -> observe (gaussian (p, p_noise), p_obs)
         if let Some(p_obs) = input.gps {
-            ctx.observe(&DistExpr::gaussian(p.clone(), P_NOISE), &Value::Float(p_obs))?;
+            ctx.observe(
+                &DistExpr::gaussian(p.clone(), P_NOISE),
+                &Value::Float(p_obs),
+            )?;
         }
         // Bounded-memory discipline (§5.3): the acceleration is realized at
         // the end of the instant and the integrator state compacted.
@@ -215,8 +214,7 @@ impl Controller {
             None => 0.0,
         };
         self.prev_est = Some(est);
-        (self.kp * (self.target - est) - self.kd * vel_est)
-            .clamp(-self.max_cmd, self.max_cmd)
+        (self.kp * (self.target - est) - self.kd * vel_est).clamp(-self.max_cmd, self.max_cmd)
     }
 }
 
@@ -242,10 +240,7 @@ impl Robot {
     /// # Errors
     ///
     /// Propagates inference errors.
-    pub fn step(
-        &mut self,
-        sensors: SensorReadings,
-    ) -> Result<(f64, Posterior), RuntimeError> {
+    pub fn step(&mut self, sensors: SensorReadings) -> Result<(f64, Posterior), RuntimeError> {
         let input = TrackerInput {
             a_obs: sensors.a_obs,
             gps: sensors.gps,
@@ -375,15 +370,22 @@ mod tests {
             phys.step(1.0);
         }
         // Constant unit acceleration for 10 s: v ≈ 10, p ≈ 50.
-        assert!((phys.velocity() - 10.0).abs() < 2.0, "v = {}", phys.velocity());
-        assert!((phys.position() - 50.0).abs() < 12.0, "p = {}", phys.position());
+        assert!(
+            (phys.velocity() - 10.0).abs() < 2.0,
+            "v = {}",
+            phys.velocity()
+        );
+        assert!(
+            (phys.position() - 50.0).abs() < 12.0,
+            "p = {}",
+            phys.position()
+        );
     }
 
     #[test]
     fn tracker_follows_true_position() {
         let mut phys = RobotPhysics::new(42, 10);
-        let mut engine =
-            Infer::with_seed(Method::StreamingDs, 50, GpsAccTracker::default(), 7);
+        let mut engine = Infer::with_seed(Method::StreamingDs, 50, GpsAccTracker::default(), 7);
         let mut mse = MseTracker::new();
         for t in 0..300 {
             let cmd = if t < 150 { 0.5 } else { -0.5 };
@@ -403,8 +405,7 @@ mod tests {
     #[test]
     fn tracker_memory_stays_bounded() {
         let mut phys = RobotPhysics::new(3, 10);
-        let mut engine =
-            Infer::with_seed(Method::StreamingDs, 10, GpsAccTracker::default(), 1);
+        let mut engine = Infer::with_seed(Method::StreamingDs, 10, GpsAccTracker::default(), 1);
         let mut peak = 0;
         for _ in 0..200 {
             let s = phys.step(0.2);

@@ -73,7 +73,11 @@ fn draw_samples_from_the_posterior() {
         sum += v;
     }
     // Posterior concentrates near 5 after many observations of 5.
-    assert!((sum / n as f64 - 5.0).abs() < 0.5, "mean {}", sum / n as f64);
+    assert!(
+        (sum / n as f64 - 5.0).abs() < 0.5,
+        "mean {}",
+        sum / n as f64
+    );
 }
 
 #[test]
@@ -168,7 +172,10 @@ fn posteriors_flow_through_state() {
     let b = b.as_core().unwrap().as_float().unwrap();
     // Step 2 reports the delayed posterior (over y=10), not the current.
     assert!((a - 10.0).abs() < 2.0, "step 1: {a}");
-    assert!((b - 10.0).abs() < 2.0, "step 2 should still be near 10: {b}");
+    assert!(
+        (b - 10.0).abs() < 2.0,
+        "step 2 should still be near 10: {b}"
+    );
 }
 
 #[test]

@@ -16,12 +16,7 @@ fn var_of(v: &Value) -> RvId {
 }
 
 /// One HMM step: x' ~ N(x, 1) (or the prior at t=0), observe N(x', 1) = y.
-fn hmm_step(
-    g: &mut Graph,
-    rng: &mut SmallRng,
-    prev: Option<&Value>,
-    y: f64,
-) -> Value {
+fn hmm_step(g: &mut Graph, rng: &mut SmallRng, prev: Option<&Value>, y: f64) -> Value {
     let prior = match prev {
         None => DistExpr::gaussian(0.0, 100.0),
         Some(x) => DistExpr::gaussian(x.clone(), 1.0),
@@ -48,8 +43,12 @@ fn figure_15_one_step_transitions() {
     assert_eq!(g.state_kind(var_of(&x)), StateKind::Initialized);
 
     // (c)-(f): the observation marginalizes the chain and realizes y.
-    g.observe(&DistExpr::gaussian(x.clone(), 1.0), &Value::Float(0.5), &mut rng)
-        .unwrap();
+    g.observe(
+        &DistExpr::gaussian(x.clone(), 1.0),
+        &Value::Float(0.5),
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(g.state_kind(var_of(&pre_x)), StateKind::Marginalized);
     assert_eq!(g.state_kind(var_of(&x)), StateKind::Marginalized);
 
@@ -129,7 +128,10 @@ fn kalman_posterior_via_graph_equals_closed_form_all_steps() {
         v *= 1.0 - gain;
         let marg = g.query(var_of(&next)).unwrap();
         assert!((marg.mean_float().unwrap() - m).abs() < 1e-9, "step {t}");
-        assert!((marg.variance_float().unwrap() - v).abs() < 1e-9, "step {t}");
+        assert!(
+            (marg.variance_float().unwrap() - v).abs() < 1e-9,
+            "step {t}"
+        );
         x = Some(next);
     }
 }

@@ -34,9 +34,30 @@ fn median_mse<M: Model>(
 fn kalman_ordering_sds_beats_bds_beats_pf_at_low_particle_counts() {
     // Fig. 16 (top): at small particle counts the ordering is strict.
     let data = generate_kalman(0xACC, 200);
-    let sds = median_mse(&Kalman::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 10);
-    let bds = median_mse(&Kalman::default(), Method::BoundedDs, 2, &data.obs, &data.truth, 30);
-    let pf = median_mse(&Kalman::default(), Method::ParticleFilter, 2, &data.obs, &data.truth, 30);
+    let sds = median_mse(
+        &Kalman::default(),
+        Method::StreamingDs,
+        1,
+        &data.obs,
+        &data.truth,
+        10,
+    );
+    let bds = median_mse(
+        &Kalman::default(),
+        Method::BoundedDs,
+        2,
+        &data.obs,
+        &data.truth,
+        30,
+    );
+    let pf = median_mse(
+        &Kalman::default(),
+        Method::ParticleFilter,
+        2,
+        &data.obs,
+        &data.truth,
+        30,
+    );
     assert!(sds < bds, "SDS {sds} < BDS {bds}");
     assert!(bds < pf, "BDS {bds} < PF {pf}");
 }
@@ -46,7 +67,14 @@ fn kalman_pf_converges_to_sds_with_enough_particles() {
     // "PF can achieve comparable accuracy to SDS … with 35 particles"
     // (§6.2).
     let data = generate_kalman(0xACC, 200);
-    let sds = median_mse(&Kalman::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 5);
+    let sds = median_mse(
+        &Kalman::default(),
+        Method::StreamingDs,
+        1,
+        &data.obs,
+        &data.truth,
+        5,
+    );
     let pf35 = median_mse(
         &Kalman::default(),
         Method::ParticleFilter,
@@ -66,7 +94,14 @@ fn sds_accuracy_is_independent_of_particle_count() {
     // Fig. 16: "SDS returns the exact posterior distribution … therefore
     // its accuracy is independent of the number of particles".
     let data = generate_kalman(0xACC, 150);
-    let one = median_mse(&Kalman::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 3);
+    let one = median_mse(
+        &Kalman::default(),
+        Method::StreamingDs,
+        1,
+        &data.obs,
+        &data.truth,
+        3,
+    );
     let hundred = median_mse(
         &Kalman::default(),
         Method::StreamingDs,
@@ -83,9 +118,30 @@ fn coin_sds_dominates_and_bds_degenerates_to_pf() {
     // §6.2: "After the first step the Beta-Bernoulli conjugacy is lost and
     // BDS acts as a particle filter."
     let data = generate_coin(0xC0, 300);
-    let sds = median_mse(&Coin::default(), Method::StreamingDs, 1, &data.obs, &data.truth, 5);
-    let bds = median_mse(&Coin::default(), Method::BoundedDs, 3, &data.obs, &data.truth, 50);
-    let pf = median_mse(&Coin::default(), Method::ParticleFilter, 3, &data.obs, &data.truth, 50);
+    let sds = median_mse(
+        &Coin::default(),
+        Method::StreamingDs,
+        1,
+        &data.obs,
+        &data.truth,
+        5,
+    );
+    let bds = median_mse(
+        &Coin::default(),
+        Method::BoundedDs,
+        3,
+        &data.obs,
+        &data.truth,
+        50,
+    );
+    let pf = median_mse(
+        &Coin::default(),
+        Method::ParticleFilter,
+        3,
+        &data.obs,
+        &data.truth,
+        50,
+    );
     // At 3 particles the sample-impoverished filters are clearly worse
     // than the exact posterior.
     assert!(1.5 * sds < bds, "SDS {sds} << BDS {bds}");

@@ -24,10 +24,7 @@ impl Model for HmmInit {
             self.init_guess = Some(ctx.sample(&DistExpr::gaussian(0.0, 1.0))?);
         }
         let prior = match &self.prev_x {
-            None => DistExpr::gaussian(
-                self.init_guess.clone().expect("set above"),
-                1.0,
-            ),
+            None => DistExpr::gaussian(self.init_guess.clone().expect("set above"), 1.0),
             Some(x) => DistExpr::gaussian(x.clone(), 1.0),
         };
         let x = ctx.sample(&prior)?;
@@ -184,4 +181,48 @@ fn bds_bounds_everything_by_construction() {
         engine.step(y).unwrap();
         assert_eq!(engine.memory().live_nodes, 0);
     }
+}
+
+#[test]
+fn sds_stays_flat_while_classic_ds_grows_under_parallel_stepping() {
+    // The GC and retention behavior must be oblivious to the execution
+    // mode: stepped over a worker pool, pointer-minimal SDS keeps a flat
+    // live-node count per particle while the retain-all ClassicDs
+    // baseline grows linearly with time.
+    use probzelus::core::infer::Parallelism;
+
+    let obs: Vec<f64> = (0..120).map(|t| (t as f64 * 0.05).cos()).collect();
+    let particles = 8;
+    let run = |method: Method| {
+        let mut engine =
+            Infer::with_seed(method, particles, probzelus::models::Kalman::default(), 0)
+                .with_parallelism(Parallelism::Threads(4));
+        let mut live_at = Vec::new();
+        for y in &obs {
+            engine.step(y).unwrap();
+            live_at.push(engine.memory().live_nodes);
+        }
+        live_at
+    };
+
+    let sds = run(Method::StreamingDs);
+    let ds = run(Method::ClassicDs);
+
+    let sds_peak = *sds.iter().max().unwrap();
+    assert!(
+        sds_peak <= 3 * particles,
+        "SDS live nodes not flat under parallel stepping: peak {sds_peak}"
+    );
+
+    // ClassicDs retains every node: at step t each particle has created
+    // at least t nodes, none reclaimed.
+    let (early, late) = (ds[9], ds[119]);
+    assert!(
+        late >= early + 100 * particles,
+        "ClassicDs failed to grow linearly: {early} -> {late}"
+    );
+    assert!(
+        ds.windows(2).all(|w| w[1] >= w[0]),
+        "ClassicDs live-node count decreased"
+    );
 }

@@ -174,8 +174,7 @@ fn ill_kinded_paper_style_programs_are_rejected() {
     // And kind errors proper:
     assert!(compile_source("let node f y = observe(1.0, 1.0)").is_err()); // type
     assert!(
-        compile_source("let node f y = sample(gaussian(sample(gaussian(y, 1.)), 1.))")
-            .is_err()
+        compile_source("let node f y = sample(gaussian(sample(gaussian(y, 1.)), 1.))").is_err()
     ); // kind
 }
 
@@ -227,7 +226,7 @@ fn automaton_with_partially_defined_variable() {
     };
     assert_eq!(step(&mut inst, 1.0), (1.0, 1.0));
     assert_eq!(step(&mut inst, 5.0), (1.0, 5.0)); // weak: still Go
-    // In Task, aux holds its last Go-value (5.0) and cmd uses it.
+                                                  // In Task, aux holds its last Go-value (5.0) and cmd uses it.
     assert_eq!(step(&mut inst, 9.0), (15.0, 5.0));
     assert_eq!(step(&mut inst, 0.0), (15.0, 5.0));
 }

@@ -237,8 +237,7 @@ mod linalg_props {
     fn spd(dim: usize) -> impl Strategy<Value = Matrix> {
         proptest::collection::vec(-2.0f64..2.0, dim * dim).prop_map(move |data| {
             let b = Matrix::new(dim, dim, data);
-            b.mul(&b.transpose())
-                .add(&Matrix::identity(dim).scale(0.1))
+            b.mul(&b.transpose()).add(&Matrix::identity(dim).scale(0.1))
         })
     }
 
@@ -313,25 +312,63 @@ mod printer_props {
                 .prop_filter("not a keyword", |s| {
                     !matches!(
                         s.as_str(),
-                        "let" | "node" | "where" | "rec" | "and" | "init" | "last" | "pre"
-                            | "fby" | "present" | "else" | "reset" | "every" | "if"
-                            | "then" | "true" | "false" | "not" | "sample" | "observe"
-                            | "factor" | "infer" | "value" | "automaton" | "do"
-                            | "until" | "done" | "exp" | "log" | "sqrt" | "abs" | "min"
-                            | "max" | "fst" | "snd" | "prob" | "draw" | "gaussian"
-                            | "beta" | "bernoulli" | "uniform" | "gamma" | "poisson"
-                            | "binomial" | "dirac" | "exponential" | "mean_float"
-                            | "variance_float" | "float_of_int"
+                        "let"
+                            | "node"
+                            | "where"
+                            | "rec"
+                            | "and"
+                            | "init"
+                            | "last"
+                            | "pre"
+                            | "fby"
+                            | "present"
+                            | "else"
+                            | "reset"
+                            | "every"
+                            | "if"
+                            | "then"
+                            | "true"
+                            | "false"
+                            | "not"
+                            | "sample"
+                            | "observe"
+                            | "factor"
+                            | "infer"
+                            | "value"
+                            | "automaton"
+                            | "do"
+                            | "until"
+                            | "done"
+                            | "exp"
+                            | "log"
+                            | "sqrt"
+                            | "abs"
+                            | "min"
+                            | "max"
+                            | "fst"
+                            | "snd"
+                            | "prob"
+                            | "draw"
+                            | "gaussian"
+                            | "beta"
+                            | "bernoulli"
+                            | "uniform"
+                            | "gamma"
+                            | "poisson"
+                            | "binomial"
+                            | "dirac"
+                            | "exponential"
+                            | "mean_float"
+                            | "variance_float"
+                            | "float_of_int"
                     )
                 })
                 .prop_map(Expr::var),
         ];
         leaf.prop_recursive(4, 48, 4, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Op(OpName::Add, vec![a, b])),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Op(OpName::Mul, vec![a, b])),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Op(OpName::Add, vec![a, b])),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Op(OpName::Mul, vec![a, b])),
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::pair(a, b)),
                 (inner.clone(), inner.clone())
                     .prop_map(|(a, b)| Expr::Arrow(Box::new(a), Box::new(b))),
@@ -358,6 +395,99 @@ mod printer_props {
             let reparsed = parse_expr(&printed)
                 .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
             prop_assert_eq!(e, reparsed, "printed: {}", printed);
+        }
+    }
+}
+
+mod stats_props {
+    use super::*;
+    use probzelus::distributions::stats;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Positive un-normalized weights (length 1..64).
+    fn weights() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(1e-6f64..1.0, 1..64)
+    }
+
+    fn normalized(raw: &[f64]) -> Vec<f64> {
+        let total: f64 = raw.iter().sum();
+        raw.iter().map(|x| x / total).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Systematic resampling is low-variance by construction: every
+        /// ancestor count is within ±1 of its expectation `n·w_i`, and
+        /// exactly `n` ancestors come back.
+        #[test]
+        fn systematic_resample_counts_are_within_one_of_expectation(
+            raw in weights(),
+            seed in any::<u64>(),
+            n in 1usize..256,
+        ) {
+            let w = normalized(&raw);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ancestors = stats::systematic_resample(&mut rng, &w, n);
+            prop_assert_eq!(ancestors.len(), n);
+            let mut counts = vec![0usize; w.len()];
+            for &a in &ancestors {
+                prop_assert!(a < w.len(), "ancestor {} out of range", a);
+                counts[a] += 1;
+            }
+            for (i, (&c, &wi)) in counts.iter().zip(&w).enumerate() {
+                let expect = n as f64 * wi;
+                prop_assert!(
+                    (c as f64 - expect).abs() <= 1.0 + 1e-9,
+                    "particle {}: {} copies vs expectation {}", i, c, expect
+                );
+            }
+        }
+
+        /// Log-weight normalization produces a probability vector for any
+        /// finite log-weights, however extreme.
+        #[test]
+        fn normalize_log_weights_sums_to_one(
+            lw in proptest::collection::vec(-500.0f64..100.0, 1..64),
+        ) {
+            let w = stats::normalize_log_weights(&lw);
+            prop_assert_eq!(w.len(), lw.len());
+            let sum: f64 = w.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+            prop_assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+        }
+
+        /// The degenerate cloud (every particle at `-inf`) falls back to
+        /// uniform instead of NaN.
+        #[test]
+        fn all_neg_inf_normalizes_to_uniform(n in 1usize..64) {
+            let w = stats::normalize_log_weights(&vec![f64::NEG_INFINITY; n]);
+            for x in &w {
+                prop_assert!(x.is_finite());
+                prop_assert!((x - 1.0 / n as f64).abs() < 1e-12, "{} vs 1/{}", x, n);
+            }
+        }
+
+        /// A single particle always normalizes to exactly [1.0], even for
+        /// extreme log-weights.
+        #[test]
+        fn single_particle_normalizes_without_nan(lw in -1e4f64..1e4) {
+            let w = stats::normalize_log_weights(&[lw]);
+            prop_assert_eq!(w.len(), 1);
+            prop_assert!(w[0].is_finite());
+            prop_assert!((w[0] - 1.0).abs() < 1e-12, "{}", w[0]);
+        }
+
+        /// For normalized weights, `1 ≤ ESS ≤ n` (Cauchy–Schwarz at both
+        /// ends: equality at a collapsed cloud resp. uniform weights).
+        #[test]
+        fn effective_sample_size_is_bounded(raw in weights()) {
+            let w = normalized(&raw);
+            let ess = stats::effective_sample_size(&w);
+            let n = w.len() as f64;
+            prop_assert!(ess >= 1.0 - 1e-9, "ess {} < 1", ess);
+            prop_assert!(ess <= n + 1e-9, "ess {} > n {}", ess, n);
         }
     }
 }

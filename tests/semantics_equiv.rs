@@ -103,7 +103,10 @@ fn compiled_integrator_matches_stream_combinator() {
             .unwrap()
             .as_float()
             .unwrap();
-        assert!((got - expected).abs() < 1e-12, "step {t}: {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "step {t}: {got} vs {expected}"
+        );
     }
 }
 
@@ -111,9 +114,7 @@ fn compiled_integrator_matches_stream_combinator() {
 fn driver_level_infer_equals_direct_engine() {
     // `main y = infer 1 kalman y` stepped as a deterministic driver must
     // equal running the probabilistic node directly.
-    let src = format!(
-        "{KALMAN_DSL}\n let node main y = mean_float(infer 1 kalman y)"
-    );
+    let src = format!("{KALMAN_DSL}\n let node main y = mean_float(infer 1 kalman y)");
     let compiled = compile_source(&src).unwrap();
     let mut driver = compiled
         .instantiate(

@@ -1,0 +1,280 @@
+//! Offline shim for the subset of the [`criterion`] benchmarking API this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Measurement model: each benchmark is warmed up for
+//! [`Criterion::warm_up_time`], then timed over batches until
+//! [`Criterion::measurement_time`] elapses; the reported numbers are the
+//! median and the 10%/90% quantiles of the per-iteration batch means,
+//! printed in criterion's familiar `time: [low mid high]` shape.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the warm-up duration (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement duration (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no persistent state.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        run_one(self, &label, &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark over an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility (per-group measurement override).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `name` or `name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label under which results are reported.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Batch means in seconds per iteration, filled by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and calibration of the batch size to ~1ms per batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn run_one(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        warm_up_time: criterion.warm_up_time,
+        measurement_time: criterion.measurement_time,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let mut s = b.samples;
+    if s.is_empty() {
+        println!("{label:<40} (no samples — did the closure call iter?)");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in timings"));
+    let q = |p: f64| s[((s.len() - 1) as f64 * p).round() as usize];
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        fmt_time(q(0.1)),
+        fmt_time(q(0.5)),
+        fmt_time(q(0.9)),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_cheap_closure() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("unit");
+        let mut acc = 0u64;
+        g.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}

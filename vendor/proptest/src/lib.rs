@@ -1,0 +1,738 @@
+//! Offline shim for the subset of the [`proptest`] crate API this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Semantics: strategies are random-value generators; the [`proptest!`]
+//! macro runs each property for `ProptestConfig::cases` deterministic
+//! pseudo-random cases (seeded from the test name, overridable via the
+//! `PROPTEST_SEED` environment variable) and reports the generated inputs
+//! of a failing case before re-raising the panic. Shrinking is not
+//! implemented — a failing case prints its exact inputs instead, and the
+//! deterministic seeding makes every failure reproducible.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Runner configuration (`cases` is the only knob the shim honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The generator threaded through strategies.
+pub type TestRng = SmallRng;
+
+/// Creates the deterministic per-test generator used by [`proptest!`].
+pub fn test_rng(test_name: &str) -> TestRng {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            return TestRng::seed_from_u64(seed);
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn gen_sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (regenerating, up to a retry bound).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Generates one value, then derives a second strategy from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy for smaller
+    /// instances and returns the strategy for larger ones; `depth` bounds
+    /// the nesting (`_desired_size` / `_expected_branch` are accepted for
+    /// API compatibility and ignored).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.clone().boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            // Each layer flips between terminating at a leaf and recursing,
+            // so generated structures have expected depth well below the
+            // bound while still exercising it.
+            cur = Union::new(vec![leaf.clone(), f(cur).boxed()]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_sample(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_sample(&self, rng: &mut TestRng) -> T {
+        self.inner.gen_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.gen_sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn gen_sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_sample(rng)).gen_sample(rng)
+    }
+}
+
+/// Always generates (a clone of) the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among equally-weighted alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "Union of no strategies");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].gen_sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn gen_sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// String strategies from a regex-like pattern. Supported subset: literal
+/// characters, character classes `[a-z0-9_]` (ranges and literals), `.`
+/// (printable ASCII), and quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+/// (`*`/`+` capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_sample(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // 1. Parse one atom into its candidate character set.
+        let candidates: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("ascii range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                (0x20u32..0x7f)
+                    .map(|c| char::from_u32(c).expect("ascii"))
+                    .collect()
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!candidates.is_empty(), "empty class in pattern {pattern:?}");
+        // 2. Parse an optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse::<usize>().expect("quantifier lower bound"),
+                    b.parse::<usize>().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.parse::<usize>().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        // 3. Emit.
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(candidates[rng.gen_range(0..candidates.len())]);
+        }
+    }
+    out
+}
+
+/// `any::<T>()` support: the full-range default strategy of a type.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The default strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates any value of `T` (full range for integers and `bool`; finite
+/// values spanning all magnitudes for floats).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy behind [`any`] for primitives.
+pub struct AnyOf<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> AnyOf<T> {
+    fn new() -> Self {
+        AnyOf {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+
+            fn gen_sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+
+            fn arbitrary() -> AnyOf<$t> {
+                AnyOf::new()
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Strategy for AnyOf<f64> {
+    type Value = f64;
+
+    fn gen_sample(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats across magnitudes: sign * 10^[-30, 30] * mantissa.
+        let exp = rng.gen_range(-30.0..30.0);
+        let mantissa = rng.gen_range(1.0..10.0);
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * mantissa * 10f64.powf(exp)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyOf<f64>;
+
+    fn arbitrary() -> AnyOf<f64> {
+        AnyOf::new()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable size specifications for [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower and upper (inclusive) bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.lo..=self.hi);
+            (0..n).map(|_| self.element.gen_sample(rng)).collect()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Re-exports matching the real crate's module layout.
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod test_runner {
+    //! Re-exports matching the real crate's module layout.
+    pub use super::ProptestConfig as Config;
+    pub use super::TestRng;
+}
+
+pub mod prelude {
+    //! The glob-import surface: traits, config, macros, and `any`.
+    pub use super::collection as prop_collection;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption fails. The shim panics with a
+/// distinctive message that the runner treats as a skip.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::AssumeRejected);
+        }
+    };
+}
+
+/// Payload of a [`prop_assume!`] rejection.
+pub struct AssumeRejected;
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut ran: u32 = 0;
+            let mut attempts: u32 = 0;
+            while ran < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts < cfg.cases.saturating_mul(20).max(1000),
+                    "prop_assume rejected too many cases"
+                );
+                $(let $arg = $crate::Strategy::gen_sample(&$strategy, &mut rng);)*
+                let __case = (ran, format!(
+                    concat!("" $(, stringify!($arg), " = {:?}\n")*),
+                    $(&$arg),*
+                ));
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body)) {
+                    Ok(()) => {}
+                    Err(payload) => {
+                        if payload.downcast_ref::<$crate::AssumeRejected>().is_some() {
+                            continue;
+                        }
+                        eprintln!(
+                            "proptest: case {} of {} failed with inputs:\n{}",
+                            __case.0, stringify!($name), __case.1
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+                ran += 1;
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_range() {
+        let mut rng = crate::test_rng("strategies_generate_in_range");
+        let s = (0.5f64..2.0).prop_map(|x| x * 2.0);
+        for _ in 0..100 {
+            let v = s.gen_sample(&mut rng);
+            assert!((1.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_all_branches() {
+        let mut rng = crate::test_rng("oneof");
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.gen_sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = crate::test_rng("pattern");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".gen_sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().expect("non-empty").is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!(*v < 10);
+                    1
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::test_rng("recursive");
+        for _ in 0..100 {
+            assert!(depth(&s.gen_sample(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_filters(x in (0i64..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vectors_respect_size(v in prop_collection::vec(0.0f64..1.0, 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_rejections_are_skipped(x in 0u64..100) {
+            prop_assume!(x > 10);
+            prop_assert!(x > 10);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Offline shim for the subset of the [`rand`] crate API this workspace
+//! uses (see `vendor/README.md`): the [`Rng`] / [`RngCore`] /
+//! [`SeedableRng`] traits, [`rngs::SmallRng`], and [`random`].
+//!
+//! The build container has no network access and no registry cache, so the
+//! real crates.io `rand` cannot be fetched. This shim keeps the public API
+//! surface identical for everything the workspace calls, with a
+//! xoshiro256++ generator behind `SmallRng` (the real `SmallRng` is also a
+//! xoshiro variant on 64-bit targets; the exact stream differs, which is
+//! fine — no test may depend on the upstream stream).
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`] exactly as in the real crate.
+pub trait Rng: RngCore {
+    /// Samples a value of a [`Standard`]-distributed type: uniform over all
+    /// values for integers and `bool`, uniform in `[0, 1)` for floats.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(&mut wrap(self))
+    }
+
+    /// Samples uniformly from a range (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut wrap(self))
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Adapter so provided methods can hand `&mut (impl RngCore + ?Sized)` to
+/// helpers requiring a sized generator.
+struct Wrap<'a, R: ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for Wrap<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn wrap<R: RngCore + ?Sized>(rng: &mut R) -> Wrap<'_, R> {
+    Wrap(rng)
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Builds the generator from OS-independent process entropy.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy())
+    }
+}
+
+/// Types samplable uniformly "by default" (the `Standard` distribution of
+/// the real crate, expressed as a trait on the output type).
+pub trait Standard: Sized {
+    /// Draws one standard-distributed value.
+    fn standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! std_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+std_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                // Guard against rounding up to `end` for huge spans.
+                let v = self.start + (self.end - self.start) * u;
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range in gen_range");
+                lo + (hi - lo) * (unit_f64(rng.next_u64()) as $t)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// Unbiased integer in `[0, n)` via Lemire's widening-multiply rejection.
+fn bounded_u64<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Reject the low product below 2^64 mod n (= -n mod n in wrapping
+    // arithmetic) so every output bucket receives equally many inputs.
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let m = (rng.next_u64() as u128) * (n as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Draws one standard-distributed value from process entropy (the
+/// `rand::random()` convenience function).
+pub fn random<T: Standard>() -> T {
+    let mut rng = rngs::SmallRng::seed_from_u64(entropy());
+    T::standard(&mut rng)
+}
+
+/// OS-independent entropy: hasher randomization + time + a counter.
+fn entropy() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        h.write_u128(d.as_nanos());
+    }
+    h.finish()
+}
+
+/// SplitMix64: the seed expander (also used on its own for stream
+/// derivation by downstream crates).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++ (Blackman &
+    /// Vigna), seeded via SplitMix64 — same family as the real crate's
+    /// `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    /// Alias: the workspace never relies on `StdRng`'s cryptographic
+    /// properties, so the shim maps it to the same generator.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&y));
+            let z = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(z > 0.0 && z < 1.0);
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_support() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        assert!((total / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 1e5 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn random_is_not_constant() {
+        let a: u64 = super::random();
+        let b: u64 = super::random();
+        // Two draws agreeing would be a 2^-64 fluke (or a broken entropy
+        // source).
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn takes_dynish<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut r = SmallRng::seed_from_u64(5);
+        let x = takes_dynish(&mut r);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
