@@ -6,8 +6,11 @@
 //! figures step-latency  # Fig. 18
 //! figures memory        # Fig. 4 / Fig. 19
 //! figures parallel      # beyond the paper: latency vs worker threads
+//! figures chaos         # beyond the paper: fault-recovery latency
 //! figures all           # everything
 //! ```
+//!
+//! `chaos` requires building with `--features chaos`.
 //!
 //! `--quick` shrinks runs/steps for a fast smoke pass (the defaults match
 //! the shapes reported in `EXPERIMENTS.md`).
@@ -76,6 +79,7 @@ fn main() {
         "memory" => memory(&cfg),
         "ablation" => ablation(&cfg),
         "parallel" => parallel(&cfg),
+        "chaos" => chaos(&cfg),
         "all" => {
             accuracy(&cfg);
             latency(&cfg);
@@ -83,15 +87,61 @@ fn main() {
             memory(&cfg);
             ablation(&cfg);
             parallel(&cfg);
+            #[cfg(feature = "chaos")]
+            chaos(&cfg);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: figures [accuracy|latency|step-latency|memory|ablation|parallel|all] [--quick]"
+                "usage: figures [accuracy|latency|step-latency|memory|ablation|parallel|chaos|all] [--quick]"
             );
             std::process::exit(2);
         }
     }
+}
+
+#[cfg(not(feature = "chaos"))]
+fn chaos(_cfg: &Config) {
+    eprintln!("the chaos experiment needs the fault-injection harness:");
+    eprintln!("    cargo run -p probzelus-bench --features chaos --bin figures -- chaos");
+    std::process::exit(2);
+}
+
+#[cfg(feature = "chaos")]
+fn chaos(cfg: &Config) {
+    println!("== Beyond the paper: fault-recovery latency (chaos harness, Kalman) ==");
+    let (particles, steps) = (cfg.long_particles, cfg.accuracy_steps);
+    println!(
+        "   ({particles} particles, {steps} steps, fault injected at tick {}; policy = rejuvenate)",
+        steps / 2
+    );
+    // Injected particle panics are caught by the supervisor; keep the
+    // default hook from spraying backtraces over the table.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let pts = probzelus_bench::experiment_chaos(particles, steps);
+    std::panic::set_hook(hook);
+    println!(
+        "{:>4} {:>18} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "alg", "fault", "faults", "collapses", "recovery", "nominal ms", "fault ms"
+    );
+    for p in &pts {
+        let recovery = match p.recovery_ticks {
+            Some(t) => format!("{t} ticks"),
+            None => "—".to_string(),
+        };
+        println!(
+            "{:>4} {:>18} {:>8} {:>10} {:>10} {:>12.4} {:>12.4}",
+            p.method.label(),
+            p.fault,
+            p.faults_reported,
+            p.collapsed_steps,
+            recovery,
+            p.nominal_ms,
+            p.fault_ms
+        );
+    }
+    println!();
 }
 
 fn ablation(cfg: &Config) {

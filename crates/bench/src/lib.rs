@@ -495,6 +495,107 @@ pub fn experiment_resampling_ablation(
         .collect()
 }
 
+/// One row of the chaos experiment: how one engine absorbed one injected
+/// fault and how long the posterior took to return to the fault-free
+/// trajectory.
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Inference engine.
+    pub method: Method,
+    /// Fault label.
+    pub fault: &'static str,
+    /// Tick the fault was injected at.
+    pub injected_at: u64,
+    /// Per-particle faults reported by `Health` over the whole run.
+    pub faults_reported: usize,
+    /// Steps that reported a weight collapse.
+    pub collapsed_steps: usize,
+    /// Ticks from injection until the posterior mean returned to within
+    /// 2% of the fault-free engine's (`None` = never within the run).
+    pub recovery_ticks: Option<u64>,
+    /// Median step latency (ms) over fault-free ticks.
+    pub nominal_ms: f64,
+    /// Step latency (ms) of the injection tick — the recovery overhead.
+    pub fault_ms: f64,
+}
+
+/// Chaos experiment (beyond the paper): injects one fault class per run
+/// into a Kalman engine under `RecoveryPolicy::Rejuvenate` and measures
+/// recovery latency — ticks until the posterior mean re-enters a 2% band
+/// around the fault-free run — plus the wall-clock cost of the recovery
+/// step itself. Observations ramp upward so the 2% band is meaningful.
+#[cfg(feature = "chaos")]
+pub fn experiment_chaos(particles: usize, steps: usize) -> Vec<ChaosPoint> {
+    use probzelus_core::chaos::{ChaosFault, ChaosModel};
+    use probzelus_core::supervisor::RecoveryPolicy;
+
+    let obs: Vec<f64> = (0..steps).map(|t| 0.1 * t as f64).collect();
+    let injected_at = (steps / 2) as u64;
+    let faults: [(&'static str, ChaosFault); 4] = [
+        ("panic 30%", ChaosFault::PanicParticles { prob: 0.3 }),
+        ("NaN weights", ChaosFault::NanWeight),
+        ("zero-density obs", ChaosFault::ZeroDensityObservation),
+        ("host error 30%", ChaosFault::HostError { prob: 0.3 }),
+    ];
+    let mut points = Vec::new();
+    for method in Method::ALL {
+        // Fault-free reference trajectory.
+        let mut clean = Infer::with_seed(method, particles, Kalman::default(), DATA_SEED);
+        let clean_means: Vec<f64> = obs
+            .iter()
+            .map(|y| clean.step(y).expect("kalman does not fail").mean_float())
+            .collect();
+        for (label, fault) in faults {
+            let mut engine = Infer::with_seed(
+                method,
+                particles,
+                ChaosModel::new(Kalman::default(), vec![(injected_at, fault)]),
+                DATA_SEED,
+            )
+            .with_recovery_policy(RecoveryPolicy::Rejuvenate);
+            let mut faults_reported = 0;
+            let mut collapsed_steps = 0;
+            let mut recovery_ticks = None;
+            let mut nominal_lat = Vec::with_capacity(steps);
+            let mut fault_ms = 0.0;
+            for (t, y) in obs.iter().enumerate() {
+                let t0 = Instant::now();
+                let outcome = engine
+                    .step_outcome(y)
+                    .expect("rejuvenation absorbs every injected fault");
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                if t as u64 == injected_at {
+                    fault_ms = ms;
+                } else {
+                    nominal_lat.push(ms);
+                }
+                faults_reported += outcome.health.faults.len();
+                collapsed_steps += usize::from(outcome.health.weight_collapse);
+                if t as u64 >= injected_at && recovery_ticks.is_none() {
+                    let clean_mean = clean_means[t];
+                    let rel = (outcome.posterior.mean_float() - clean_mean).abs()
+                        / clean_mean.abs().max(1e-9);
+                    if rel < 0.02 {
+                        recovery_ticks = Some(t as u64 - injected_at);
+                    }
+                }
+            }
+            points.push(ChaosPoint {
+                method,
+                fault: label,
+                injected_at,
+                faults_reported,
+                collapsed_steps,
+                recovery_ticks,
+                nominal_ms: stats::median(&nominal_lat),
+                fault_ms,
+            });
+        }
+    }
+    points
+}
+
 /// Least-squares slope of a series (used to assert constant-vs-linear
 /// growth in tests and in `EXPERIMENTS.md` summaries).
 pub fn slope(values: &[f64]) -> f64 {

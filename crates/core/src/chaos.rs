@@ -1,0 +1,203 @@
+//! Fault-injection harness for the inference supervisor (`chaos` feature).
+//!
+//! [`ChaosModel`] wraps any [`Model`] and injects scheduled faults at
+//! fixed ticks of the input stream: particle panics, NaN log-weights,
+//! zero-density observations, and host errors. Together with
+//! [`probzelus_distributions::chaos::FaultyDist`] (distribution-level
+//! density faults) and [`Infer::chaos_kill_worker`] (worker-thread
+//! death), it exercises every recovery path of the supervisor
+//! deterministically — per-particle fault decisions are drawn from the
+//! particle's own counter-derived stream, so a chaos run is bit-for-bit
+//! reproducible across sequential and multi-threaded execution.
+//!
+//! [`Infer::chaos_kill_worker`]: crate::infer::Infer::chaos_kill_worker
+
+use crate::error::RuntimeError;
+use crate::model::Model;
+use crate::prob::ProbCtx;
+use crate::value::DistExpr;
+
+/// A fault the chaos harness can inject at a scheduled tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosFault {
+    /// Each particle panics independently with this probability (drawn
+    /// from the particle's own stream, so which particles die is
+    /// deterministic for a fixed engine seed).
+    PanicParticles {
+        /// Per-particle panic probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Every particle's log-weight is multiplied into NaN via
+    /// `factor(NaN)` — the all-NaN weight-collapse scenario.
+    NanWeight,
+    /// Every particle observes an impossible value: `factor(-inf)`, the
+    /// all-zero-weight collapse scenario.
+    ZeroDensityObservation,
+    /// Each particle independently returns [`RuntimeError::Host`] with
+    /// this probability.
+    HostError {
+        /// Per-particle error probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// A model wrapper that injects [`ChaosFault`]s at scheduled ticks and
+/// otherwise behaves exactly like the wrapped model.
+#[derive(Debug, Clone)]
+pub struct ChaosModel<M> {
+    inner: M,
+    /// `(tick, fault)` pairs; every entry whose tick equals the current
+    /// one fires, in schedule order, before the inner model steps.
+    schedule: Vec<(u64, ChaosFault)>,
+    tick: u64,
+}
+
+impl<M> ChaosModel<M> {
+    /// Wraps `inner` with a fault schedule of `(tick, fault)` pairs
+    /// (tick 0 is the first step after a reset).
+    pub fn new(inner: M, schedule: Vec<(u64, ChaosFault)>) -> Self {
+        ChaosModel {
+            inner,
+            schedule,
+            tick: 0,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+/// Draws one uniform `[0, 1)` float from the particle's stream — the
+/// per-particle coin behind probabilistic faults.
+fn chaos_draw(ctx: &mut dyn ProbCtx) -> Result<f64, RuntimeError> {
+    let u = ctx.sample(&DistExpr::uniform(0.0, 1.0))?;
+    ctx.force(&u)?.as_float()
+}
+
+impl<M: Model> Model for ChaosModel<M> {
+    type Input = M::Input;
+
+    fn step(
+        &mut self,
+        ctx: &mut dyn ProbCtx,
+        input: &Self::Input,
+    ) -> Result<crate::value::Value, RuntimeError> {
+        let tick = self.tick;
+        self.tick += 1;
+        for &(at, fault) in &self.schedule {
+            if at != tick {
+                continue;
+            }
+            match fault {
+                ChaosFault::PanicParticles { prob } => {
+                    if chaos_draw(ctx)? < prob {
+                        panic!("chaos: injected particle panic at tick {tick}");
+                    }
+                }
+                ChaosFault::NanWeight => ctx.factor(f64::NAN),
+                ChaosFault::ZeroDensityObservation => ctx.factor(f64::NEG_INFINITY),
+                ChaosFault::HostError { prob } => {
+                    if chaos_draw(ctx)? < prob {
+                        return Err(RuntimeError::Host(format!(
+                            "chaos: injected host error at tick {tick}"
+                        )));
+                    }
+                }
+            }
+        }
+        self.inner.step(ctx, input)
+    }
+
+    fn reset(&mut self) {
+        self.tick = 0;
+        self.inner.reset();
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut crate::value::Value)) {
+        self.inner.for_each_state_value(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{Infer, Method};
+    use crate::value::Value;
+
+    /// A coin-flip posterior model: Beta(1,1) prior on the bias,
+    /// Bernoulli observations.
+    #[derive(Clone, Default)]
+    struct Coin {
+        bias: Option<Value>,
+    }
+
+    impl Model for Coin {
+        type Input = bool;
+
+        fn step(&mut self, ctx: &mut dyn ProbCtx, obs: &bool) -> Result<Value, RuntimeError> {
+            let bias = match self.bias.take() {
+                Some(b) => b,
+                None => ctx.sample(&DistExpr::beta(1.0, 1.0))?,
+            };
+            ctx.observe(&DistExpr::bernoulli(bias.clone()), &Value::Bool(*obs))?;
+            self.bias = Some(bias.clone());
+            Ok(bias)
+        }
+
+        fn reset(&mut self) {
+            self.bias = None;
+        }
+
+        fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+            if let Some(b) = &mut self.bias {
+                f(b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_transparent() {
+        let inputs = [true, true, false, true];
+        let mut plain = Infer::with_seed(Method::ParticleFilter, 32, Coin::default(), 11);
+        let mut chaotic = Infer::with_seed(
+            Method::ParticleFilter,
+            32,
+            ChaosModel::new(Coin::default(), Vec::new()),
+            11,
+        );
+        for obs in &inputs {
+            let a = plain.step(obs).unwrap().mean_float();
+            let b = chaotic.step(obs).unwrap().mean_float();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_weight_fault_collapses_every_particle() {
+        let mut engine = Infer::with_seed(
+            Method::ParticleFilter,
+            8,
+            ChaosModel::new(Coin::default(), vec![(1, ChaosFault::NanWeight)]),
+            3,
+        )
+        .with_recovery_policy(crate::supervisor::RecoveryPolicy::Rejuvenate);
+        engine.step(&true).unwrap();
+        let outcome = engine.step_outcome(&true).unwrap();
+        assert_eq!(outcome.health.faults.len(), 8);
+        assert!(outcome.health.weight_collapse);
+    }
+
+    #[test]
+    fn reset_rewinds_the_schedule() {
+        let mut m = ChaosModel::new(
+            Coin::default(),
+            vec![(0, ChaosFault::ZeroDensityObservation)],
+        );
+        assert_eq!(m.tick, 0);
+        m.tick = 5;
+        m.reset();
+        assert_eq!(m.tick, 0);
+    }
+}

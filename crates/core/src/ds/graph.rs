@@ -140,30 +140,36 @@ impl Graph {
 
     /// The coarse state of a node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a dangling id (a collected node), which indicates a bug in
-    /// root reporting.
-    pub fn state_kind(&self, rv: RvId) -> StateKind {
-        match &self.node(rv).state {
+    /// [`RuntimeError::GraphCorrupt`] on a dangling id (a collected node),
+    /// which indicates a bug in root reporting.
+    pub fn state_kind(&self, rv: RvId) -> Result<StateKind, RuntimeError> {
+        Ok(match &self.node(rv)?.state {
             NodeState::Initialized { .. } => StateKind::Initialized,
             NodeState::Marginalized { .. } => StateKind::Marginalized,
             NodeState::Realized(_) => StateKind::Realized,
-        }
+        })
     }
 
-    fn node(&self, rv: RvId) -> &Node {
+    fn node(&self, rv: RvId) -> Result<&Node, RuntimeError> {
         self.slots
             .get(rv.0)
             .and_then(|s| s.as_ref())
-            .unwrap_or_else(|| panic!("dangling random variable {rv}"))
+            .ok_or_else(|| RuntimeError::GraphCorrupt(format!("dangling random variable {rv}")))
     }
 
-    fn node_mut(&mut self, rv: RvId) -> &mut Node {
+    fn node_mut(&mut self, rv: RvId) -> Result<&mut Node, RuntimeError> {
         self.slots
             .get_mut(rv.0)
             .and_then(|s| s.as_mut())
-            .unwrap_or_else(|| panic!("dangling random variable {rv}"))
+            .ok_or_else(|| RuntimeError::GraphCorrupt(format!("dangling random variable {rv}")))
+    }
+
+    /// Non-failing lookup for read-only compaction paths, where a dangling
+    /// reference degrades to "not realized" instead of an error.
+    fn try_node(&self, rv: RvId) -> Option<&Node> {
+        self.slots.get(rv.0).and_then(|s| s.as_ref())
     }
 
     fn alloc(&mut self, state: NodeState) -> RvId {
@@ -179,18 +185,22 @@ impl Graph {
     }
 
     /// The family of the distribution a node will eventually realize from.
-    pub fn family_of(&self, rv: RvId) -> Family {
-        match &self.node(rv).state {
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::GraphCorrupt`] on a dangling id.
+    pub fn family_of(&self, rv: RvId) -> Result<Family, RuntimeError> {
+        Ok(match &self.node(rv)?.state {
             NodeState::Initialized { link, .. } => link.child_family(),
             NodeState::Marginalized { marginal, .. } => marginal.family(),
             NodeState::Realized(_) => Family::Dirac,
-        }
+        })
     }
 
     /// Substitutes realized variables in an affine expression.
     fn subst_realized(&self, e: &AffExpr) -> AffExpr {
-        e.substitute(|x| match &self.node(x).state {
-            NodeState::Realized(v) => v.as_float().ok(),
+        e.substitute(|x| match self.try_node(x).map(|n| &n.state) {
+            Some(NodeState::Realized(v)) => v.as_float().ok(),
             _ => None,
         })
     }
@@ -220,7 +230,9 @@ impl Graph {
             let xv = v.as_float()?;
             e = e.substitute(|y| (y == x).then_some(xv));
         }
-        Ok(e.as_constant().expect("all variables substituted"))
+        e.as_constant().ok_or_else(|| {
+            RuntimeError::GraphCorrupt("affine expression retained unsubstituted variables".into())
+        })
     }
 
     /// `sample(d)` under delayed sampling: introduces a random variable
@@ -248,7 +260,7 @@ impl Graph {
                     return Ok(self.root_float(marg));
                 }
                 if let Some((x, a, b)) = mean.as_single() {
-                    if self.family_of(x) == Family::Gaussian {
+                    if self.family_of(x)? == Family::Gaussian {
                         let link = CondLink::AffineGaussian(AffineGaussian::new(a, b, var)?);
                         let id = self.alloc(NodeState::Initialized { parent: x, link });
                         return Ok(Value::Aff(AffExpr::var(id)));
@@ -267,7 +279,7 @@ impl Graph {
                     return Ok(self.root_other(marg));
                 }
                 if let Some(x) = p.as_var() {
-                    if self.family_of(x) == Family::Beta {
+                    if self.family_of(x)? == Family::Beta {
                         let id = self.alloc(NodeState::Initialized {
                             parent: x,
                             link: CondLink::BetaBernoulli,
@@ -287,7 +299,7 @@ impl Graph {
                     return Ok(self.root_other(marg));
                 }
                 if let Some(x) = p.as_var() {
-                    if self.family_of(x) == Family::Beta {
+                    if self.family_of(x)? == Family::Beta {
                         let id = self.alloc(NodeState::Initialized {
                             parent: x,
                             link: CondLink::BetaBinomial { n },
@@ -306,7 +318,7 @@ impl Graph {
                     return Ok(self.root_other(marg));
                 }
                 if let Some((x, a, b)) = rate.as_single() {
-                    if b == 0.0 && a > 0.0 && self.family_of(x) == Family::Gamma {
+                    if b == 0.0 && a > 0.0 && self.family_of(x)? == Family::Gamma {
                         let id = self.alloc(NodeState::Initialized {
                             parent: x,
                             link: CondLink::GammaPoisson { scale: a },
@@ -325,7 +337,7 @@ impl Graph {
                     return Ok(self.root_float(marg));
                 }
                 if let Some((x, a, b)) = rate.as_single() {
-                    if b == 0.0 && a > 0.0 && self.family_of(x) == Family::Gamma {
+                    if b == 0.0 && a > 0.0 && self.family_of(x)? == Family::Gamma {
                         let id = self.alloc(NodeState::Initialized {
                             parent: x,
                             link: CondLink::GammaExponential { scale: a },
@@ -361,7 +373,7 @@ impl Graph {
                 // Gaussian variable; otherwise realize and fall back to a
                 // concrete root.
                 if let Value::Rv(parent) = x {
-                    if self.family_of(*parent) == Family::MvGaussian {
+                    if self.family_of(*parent)? == Family::MvGaussian {
                         let link =
                             CondLink::MvAffine(probzelus_distributions::MvAffineGaussian::new(
                                 a.clone(),
@@ -452,11 +464,15 @@ impl Graph {
         rng: &mut R,
     ) -> Result<f64, RuntimeError> {
         self.graft(x, rng)?;
-        let lp = match &self.node(x).state {
+        let lp = match &self.node(x)?.state {
             NodeState::Marginalized { marginal, .. } => marginal.log_pdf(&v)?,
-            other => unreachable!("graft must marginalize, got {other:?}"),
+            other => {
+                return Err(RuntimeError::GraphCorrupt(format!(
+                    "graft must marginalize, got {other:?}"
+                )))
+            }
         };
-        self.node_mut(x).state = NodeState::Realized(v);
+        self.node_mut(x)?.state = NodeState::Realized(v);
         Ok(lp)
     }
 
@@ -471,15 +487,19 @@ impl Graph {
         x: RvId,
         rng: &mut R,
     ) -> Result<Value, RuntimeError> {
-        if let NodeState::Realized(v) = &self.node(x).state {
+        if let NodeState::Realized(v) = &self.node(x)?.state {
             return Ok(v.clone());
         }
         self.graft(x, rng)?;
-        let v = match &self.node(x).state {
+        let v = match &self.node(x)?.state {
             NodeState::Marginalized { marginal, .. } => marginal.sample(rng),
-            other => unreachable!("graft must marginalize, got {other:?}"),
+            other => {
+                return Err(RuntimeError::GraphCorrupt(format!(
+                    "graft must marginalize, got {other:?}"
+                )))
+            }
         };
-        self.node_mut(x).state = NodeState::Realized(v.clone());
+        self.node_mut(x)?.state = NodeState::Realized(v.clone());
         Ok(v)
     }
 
@@ -526,28 +546,32 @@ impl Graph {
         //    ancestor.
         let mut chain = Vec::new();
         let mut cur = x;
-        while let NodeState::Initialized { parent, .. } = &self.node(cur).state {
+        while let NodeState::Initialized { parent, .. } = &self.node(cur)?.state {
             chain.push(cur);
             cur = *parent;
         }
         // 2. Make the top of the chain a childless marginal (fold realized
         //    evidence, prune a competing M-path).
-        if matches!(self.node(cur).state, NodeState::Marginalized { .. }) {
+        if matches!(self.node(cur)?.state, NodeState::Marginalized { .. }) {
             self.resolve_child(cur, rng)?;
         }
         // 3. Marginalize down the chain, flipping backward pointers into
         //    forward pointers (Fig. 15 (d)-(e)).
         let mut parent = cur;
         for &child in chain.iter().rev() {
-            let link = match &self.node(child).state {
+            let link = match &self.node(child)?.state {
                 NodeState::Initialized { link, .. } => link.clone(),
-                other => unreachable!("chain nodes are initialized, got {other:?}"),
+                other => {
+                    return Err(RuntimeError::GraphCorrupt(format!(
+                        "chain nodes are initialized, got {other:?}"
+                    )))
+                }
             };
-            let parent_state = self.node(parent).state.clone();
+            let parent_state = self.node(parent)?.state.clone();
             match parent_state {
                 NodeState::Realized(v) => {
                     let marginal = link.instantiate(&v)?;
-                    self.node_mut(child).state = NodeState::Marginalized {
+                    self.node_mut(child)?.state = NodeState::Marginalized {
                         marginal,
                         child: None,
                     };
@@ -557,17 +581,21 @@ impl Graph {
                     child: None,
                 } => {
                     let child_marg = link.marginalize(&marginal)?;
-                    self.node_mut(child).state = NodeState::Marginalized {
+                    self.node_mut(child)?.state = NodeState::Marginalized {
                         marginal: child_marg,
                         child: None,
                     };
                     if let NodeState::Marginalized { child: c, .. } =
-                        &mut self.node_mut(parent).state
+                        &mut self.node_mut(parent)?.state
                     {
                         *c = Some((child, link));
                     }
                 }
-                other => unreachable!("parent must be resolved, got {other:?}"),
+                other => {
+                    return Err(RuntimeError::GraphCorrupt(format!(
+                        "parent must be resolved, got {other:?}"
+                    )))
+                }
             }
             parent = child;
         }
@@ -578,21 +606,25 @@ impl Graph {
     /// child's evidence (lazy conditioning) or pruning a marginalized
     /// child's M-path by sampling it.
     fn resolve_child<R: Rng + ?Sized>(&mut self, x: RvId, rng: &mut R) -> Result<(), RuntimeError> {
-        let (c, link) = match &self.node(x).state {
+        let (c, link) = match &self.node(x)?.state {
             NodeState::Marginalized {
                 child: Some((c, link)),
                 ..
             } => (*c, link.clone()),
             _ => return Ok(()),
         };
-        if matches!(self.node(c).state, NodeState::Marginalized { .. }) {
+        if matches!(self.node(c)?.state, NodeState::Marginalized { .. }) {
             self.prune(c, rng)?;
         }
-        let v = match &self.node(c).state {
+        let v = match &self.node(c)?.state {
             NodeState::Realized(v) => v.clone(),
-            other => unreachable!("child must be realized after prune, got {other:?}"),
+            other => {
+                return Err(RuntimeError::GraphCorrupt(format!(
+                    "child must be realized after prune, got {other:?}"
+                )))
+            }
         };
-        if let NodeState::Marginalized { marginal, child } = &mut self.node_mut(x).state {
+        if let NodeState::Marginalized { marginal, child } = &mut self.node_mut(x)?.state {
             *marginal = link.condition(marginal, &v)?;
             *child = None;
         }
@@ -604,25 +636,30 @@ impl Graph {
     /// child (iterative; §5.2 `prune`).
     fn prune<R: Rng + ?Sized>(&mut self, c: RvId, rng: &mut R) -> Result<(), RuntimeError> {
         let mut chain = vec![c];
+        let mut cur = c;
         loop {
-            let cur = *chain.last().expect("chain is non-empty");
-            match &self.node(cur).state {
+            match &self.node(cur)?.state {
                 NodeState::Marginalized {
                     child: Some((d, _)),
                     ..
-                } if matches!(self.node(*d).state, NodeState::Marginalized { .. }) => {
+                } if matches!(self.node(*d)?.state, NodeState::Marginalized { .. }) => {
                     chain.push(*d);
+                    cur = *d;
                 }
                 _ => break,
             }
         }
         for &node in chain.iter().rev() {
             self.resolve_child(node, rng)?;
-            let v = match &self.node(node).state {
+            let v = match &self.node(node)?.state {
                 NodeState::Marginalized { marginal, .. } => marginal.sample(rng),
-                other => unreachable!("prune chain nodes are marginalized, got {other:?}"),
+                other => {
+                    return Err(RuntimeError::GraphCorrupt(format!(
+                        "prune chain nodes are marginalized, got {other:?}"
+                    )))
+                }
             };
-            self.node_mut(node).state = NodeState::Realized(v);
+            self.node_mut(node)?.state = NodeState::Realized(v);
         }
         Ok(())
     }
@@ -642,7 +679,7 @@ impl Graph {
         let mut links = Vec::new();
         let mut cur = x;
         let base = loop {
-            match &self.node(cur).state {
+            match &self.node(cur)?.state {
                 NodeState::Initialized { parent, link } => {
                     links.push(link.clone());
                     cur = *parent;
@@ -650,7 +687,7 @@ impl Graph {
                 NodeState::Realized(v) => break Marginal::Dirac(Box::new(v.clone())),
                 NodeState::Marginalized { marginal, child } => {
                     break match child {
-                        Some((c, l)) => match &self.node(*c).state {
+                        Some((c, l)) => match &self.node(*c)?.state {
                             NodeState::Realized(v) => l.condition(marginal, v)?,
                             _ => marginal.clone(),
                         },
@@ -741,8 +778,8 @@ impl Graph {
                 Value::dist(d)
             }
             Value::Aff(e) => Value::Aff(self.subst_realized(e)).simplify(),
-            Value::Rv(x) => match &self.node(*x).state {
-                NodeState::Realized(v) => v.clone(),
+            Value::Rv(x) => match self.try_node(*x).map(|n| &n.state) {
+                Some(NodeState::Realized(v)) => v.clone(),
                 _ => Value::Rv(*x),
             },
         }
@@ -760,7 +797,14 @@ impl Graph {
     /// Fig. 4 / Fig. 19: linear growth on Kalman/Outlier (an ever-growing
     /// chain of marginalized positions), constant on Coin (one Beta node;
     /// observations are realized immediately).
-    pub fn collect(&mut self, roots: impl IntoIterator<Item = RvId>) {
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::GraphCorrupt`] if a root or a live edge references an
+    /// already-collected node (a bug in root reporting); marks set before
+    /// the error are left in place, so the graph should be treated as
+    /// poisoned and the owning particle quarantined.
+    pub fn collect(&mut self, roots: impl IntoIterator<Item = RvId>) -> Result<(), RuntimeError> {
         let mut stack: Vec<RvId> = roots.into_iter().collect();
         if self.retention == Retention::RetainAll {
             for (i, slot) in self.slots.iter().enumerate() {
@@ -775,7 +819,11 @@ impl Graph {
         while let Some(x) = stack.pop() {
             let node = match self.slots.get_mut(x.0).and_then(|s| s.as_mut()) {
                 Some(n) => n,
-                None => panic!("root or edge references collected node {x}"),
+                None => {
+                    return Err(RuntimeError::GraphCorrupt(format!(
+                        "root or edge references collected node {x}"
+                    )))
+                }
             };
             if node.mark {
                 continue;
@@ -802,6 +850,7 @@ impl Graph {
                 None => {}
             }
         }
+        Ok(())
     }
 }
 
@@ -825,7 +874,7 @@ mod tests {
         let mut r = rng();
         let x = g.assume(&DistExpr::gaussian(0.0, 100.0), &mut r).unwrap();
         let id = var_of(&x);
-        assert_eq!(g.state_kind(id), StateKind::Marginalized);
+        assert_eq!(g.state_kind(id).unwrap(), StateKind::Marginalized);
         assert_eq!(g.live_nodes(), 1);
         let m = g.query(id).unwrap();
         assert_eq!(m.mean_float(), Some(0.0));
@@ -840,12 +889,12 @@ mod tests {
         let y = g
             .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
             .unwrap();
-        assert_eq!(g.state_kind(var_of(&y)), StateKind::Initialized);
+        assert_eq!(g.state_kind(var_of(&y)).unwrap(), StateKind::Initialized);
         // Query marginalizes through without mutating.
         let m = g.query(var_of(&y)).unwrap();
         assert_eq!(m.mean_float(), Some(0.0));
         assert_eq!(m.variance_float(), Some(101.0));
-        assert_eq!(g.state_kind(var_of(&y)), StateKind::Initialized);
+        assert_eq!(g.state_kind(var_of(&y)).unwrap(), StateKind::Initialized);
     }
 
     #[test]
@@ -899,7 +948,7 @@ mod tests {
         let v1 = g.realize(id, &mut r).unwrap();
         let v2 = g.realize(id, &mut r).unwrap();
         assert_eq!(v1, v2);
-        assert_eq!(g.state_kind(id), StateKind::Realized);
+        assert_eq!(g.state_kind(id).unwrap(), StateKind::Realized);
     }
 
     #[test]
@@ -930,7 +979,7 @@ mod tests {
             x = g
                 .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
                 .unwrap();
-            g.collect([var_of(&x)]);
+            g.collect([var_of(&x)]).unwrap();
             assert!(
                 g.live_nodes() <= 3,
                 "step {step}: live {} nodes",
@@ -954,7 +1003,7 @@ mod tests {
             x = g
                 .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut r)
                 .unwrap();
-            g.collect([var_of(&x)]);
+            g.collect([var_of(&x)]).unwrap();
         }
         // The unrealized chain of positions grows by one per step; the
         // realized observations are folded and collected (matching the
@@ -1037,7 +1086,7 @@ mod tests {
         let half_p = crate::ops::mul(&p, &Value::Float(0.5)).unwrap();
         let b = g.assume(&DistExpr::bernoulli(half_p), &mut r).unwrap();
         // The beta parent was forced to a value.
-        assert_eq!(g.state_kind(var_of(&p)), StateKind::Realized);
+        assert_eq!(g.state_kind(var_of(&p)).unwrap(), StateKind::Realized);
         // And the child is a root with a concrete probability.
         let m = g.query(var_of(&b)).unwrap();
         assert!(matches!(m, Marginal::Bernoulli(_)));
@@ -1085,7 +1134,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..100 {
             let _ = g.assume(&DistExpr::gaussian(0.0, 1.0), &mut r).unwrap();
-            g.collect([]);
+            g.collect([]).unwrap();
         }
         assert_eq!(g.live_nodes(), 0);
         assert!(g.total_created() == 100);

@@ -73,22 +73,22 @@ impl CondLink {
     pub fn marginalize(&self, parent: &Marginal) -> Result<Marginal, RuntimeError> {
         match (self, parent) {
             (CondLink::AffineGaussian(l), Marginal::Gaussian(p)) => {
-                Ok(Marginal::Gaussian(l.marginalize(*p)))
+                Ok(Marginal::Gaussian(l.marginalize(*p)?))
             }
             (CondLink::BetaBernoulli, Marginal::Beta(p)) => {
-                Ok(Marginal::Bernoulli(BetaBernoulliLink.marginalize(*p)))
+                Ok(Marginal::Bernoulli(BetaBernoulliLink.marginalize(*p)?))
             }
             (CondLink::BetaBinomial { n }, Marginal::Beta(p)) => Ok(Marginal::BetaBinomial(
-                BetaBinomialLink { n: *n }.marginalize(*p),
+                BetaBinomialLink { n: *n }.marginalize(*p)?,
             )),
             (CondLink::GammaPoisson { scale }, Marginal::Gamma(p)) => Ok(Marginal::NegBinomial(
-                GammaPoissonLink::new(*scale)?.marginalize(*p),
+                GammaPoissonLink::new(*scale)?.marginalize(*p)?,
             )),
             (CondLink::MvAffine(l), Marginal::MvGaussian(p)) => {
                 Ok(Marginal::MvGaussian(l.marginalize(p)?))
             }
             (CondLink::GammaExponential { scale }, Marginal::Gamma(p)) => Ok(Marginal::Lomax(
-                GammaExponentialLink::new(*scale)?.marginalize(*p),
+                GammaExponentialLink::new(*scale)?.marginalize(*p)?,
             )),
             (_, other) => Err(RuntimeError::TypeMismatch {
                 expected: "conjugate parent marginal",
@@ -110,11 +110,11 @@ impl CondLink {
         child_value: &Value,
     ) -> Result<Marginal, RuntimeError> {
         match (self, parent) {
-            (CondLink::AffineGaussian(l), Marginal::Gaussian(p)) => {
-                Ok(Marginal::Gaussian(l.condition(*p, child_value.as_float()?)))
-            }
+            (CondLink::AffineGaussian(l), Marginal::Gaussian(p)) => Ok(Marginal::Gaussian(
+                l.condition(*p, child_value.as_float()?)?,
+            )),
             (CondLink::BetaBernoulli, Marginal::Beta(p)) => Ok(Marginal::Beta(
-                BetaBernoulliLink.condition(*p, child_value.as_bool()?),
+                BetaBernoulliLink.condition(*p, child_value.as_bool()?)?,
             )),
             (CondLink::BetaBinomial { n }, Marginal::Beta(p)) => {
                 let k = child_value.as_count()?;
@@ -123,10 +123,10 @@ impl CondLink {
                         "binomial count {k} exceeds {n} trials"
                     )));
                 }
-                Ok(Marginal::Beta(BetaBinomialLink { n: *n }.condition(*p, k)))
+                Ok(Marginal::Beta(BetaBinomialLink { n: *n }.condition(*p, k)?))
             }
             (CondLink::GammaPoisson { scale }, Marginal::Gamma(p)) => Ok(Marginal::Gamma(
-                GammaPoissonLink::new(*scale)?.condition(*p, child_value.as_count()?),
+                GammaPoissonLink::new(*scale)?.condition(*p, child_value.as_count()?)?,
             )),
             (CondLink::MvAffine(l), Marginal::MvGaussian(p)) => Ok(Marginal::MvGaussian(
                 l.condition(p, &child_value.as_vector()?)?,
@@ -152,7 +152,7 @@ impl CondLink {
     pub fn instantiate(&self, parent_value: &Value) -> Result<Marginal, RuntimeError> {
         match self {
             CondLink::AffineGaussian(l) => {
-                Ok(Marginal::Gaussian(l.instantiate(parent_value.as_float()?)))
+                Ok(Marginal::Gaussian(l.instantiate(parent_value.as_float()?)?))
             }
             CondLink::BetaBernoulli => Ok(Marginal::Bernoulli(
                 BetaBernoulliLink.instantiate(parent_value.as_float()?)?,

@@ -26,6 +26,18 @@ pub enum RuntimeError {
     /// An error raised by a host embedding (e.g. the muF interpreter
     /// driving a model through the engine).
     Host(String),
+    /// The delayed-sampling graph violated a structural invariant (a
+    /// dangling node reference, an impossible state transition, a collected
+    /// node still reachable). Indicates a bug or memory corruption, not a
+    /// user error — but one the supervisor can contain to a single particle.
+    GraphCorrupt(String),
+    /// Inference degenerated beyond recovery: the particle population lost
+    /// all weight (every log-weight `-inf`/NaN) and the retry budget is
+    /// exhausted, or a recovery step itself failed.
+    Degenerate(String),
+    /// A particle panicked during a step; the payload is the rendered panic
+    /// message captured by `catch_unwind`.
+    ParticlePanic(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -43,6 +55,15 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "invalid observation: {msg}")
             }
             RuntimeError::Host(msg) => write!(f, "{msg}"),
+            RuntimeError::GraphCorrupt(msg) => {
+                write!(f, "delayed-sampling graph corrupt: {msg}")
+            }
+            RuntimeError::Degenerate(msg) => {
+                write!(f, "inference degenerate: {msg}")
+            }
+            RuntimeError::ParticlePanic(msg) => {
+                write!(f, "particle panicked: {msg}")
+            }
         }
     }
 }
@@ -67,6 +88,18 @@ mod tests {
         };
         assert_eq!(e.to_string(), "type mismatch: expected float, got bool");
         assert_eq!(RuntimeError::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(
+            RuntimeError::GraphCorrupt("dangling random variable rv3".into()).to_string(),
+            "delayed-sampling graph corrupt: dangling random variable rv3"
+        );
+        assert_eq!(
+            RuntimeError::Degenerate("retry budget exhausted after 3 collapses".into()).to_string(),
+            "inference degenerate: retry budget exhausted after 3 collapses"
+        );
+        assert_eq!(
+            RuntimeError::ParticlePanic("index out of bounds".into()).to_string(),
+            "particle panicked: index out of bounds"
+        );
     }
 
     #[test]

@@ -38,9 +38,15 @@ use crate::pool::WorkerPool;
 use crate::posterior::{Posterior, ValueDist};
 use crate::prob::{DsCtx, ProbCtx, SampleCtx};
 use crate::rngstream;
+use crate::supervisor::{
+    self, FaultKind, Health, ParticleFault, RecoveryAction, RecoveryPolicy, StepOutcome,
+};
 use crate::symbolic::RvId;
+use crate::value::Value;
 use probzelus_distributions::stats;
 use rand::rngs::SmallRng;
+use rand::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Inference method selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -190,6 +196,18 @@ pub struct Infer<M: Model> {
     /// [`Infer::with_parallelism`], where the pointer is instantiated —
     /// `step` itself needs no thread-safety bounds.
     par_step: Option<ParStepFn<M>>,
+    /// What to do with a particle that faults mid-step.
+    recovery: RecoveryPolicy,
+    /// How many consecutive weight collapses the supervisor absorbs
+    /// before declaring the run degenerate.
+    collapse_retry_budget: u32,
+    /// Consecutive collapsed steps so far (reset by any healthy step).
+    consecutive_collapses: u32,
+    /// The most recent healthy posterior, used as the fallback output
+    /// when a step produces no usable components.
+    last_good: Option<Posterior>,
+    /// Health report of the most recent completed step.
+    last_health: Option<Health>,
 }
 
 type ParStepFn<M> = fn(
@@ -199,7 +217,7 @@ type ParStepFn<M> = fn(
     Method,
     u64,
     u64,
-) -> Result<Vec<ValueDist>, RuntimeError>;
+) -> Vec<Result<ValueDist, FaultKind>>;
 
 impl<M: Model> Clone for Infer<M> {
     fn clone(&self) -> Self {
@@ -216,6 +234,11 @@ impl<M: Model> Clone for Infer<M> {
             // The clone re-creates its own pool on first use.
             pool: None,
             par_step: self.par_step,
+            recovery: self.recovery,
+            collapse_retry_budget: self.collapse_retry_budget,
+            consecutive_collapses: self.consecutive_collapses,
+            last_good: self.last_good.clone(),
+            last_health: self.last_health.clone(),
         }
     }
 }
@@ -254,6 +277,11 @@ impl<M: Model> Infer<M> {
             parallelism: Parallelism::Sequential,
             pool: None,
             par_step: None,
+            recovery: RecoveryPolicy::FailFast,
+            collapse_retry_budget: 8,
+            consecutive_collapses: 0,
+            last_good: None,
+            last_health: None,
         };
         engine.reset();
         engine
@@ -293,6 +321,33 @@ impl<M: Model> Infer<M> {
     /// The active execution mode.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// The active fault-recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Health report of the most recent completed step, if any.
+    pub fn last_health(&self) -> Option<&Health> {
+        self.last_health.as_ref()
+    }
+
+    /// Selects the fault-recovery policy (builder style). The default is
+    /// [`RecoveryPolicy::FailFast`].
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Sets how many *consecutive* weight collapses the supervisor
+    /// absorbs (by rejuvenating to uniform weights) before a step fails
+    /// with [`RuntimeError::Degenerate`]. The default is 8. Ignored under
+    /// [`RecoveryPolicy::FailFast`], which treats any collapse as an
+    /// error.
+    pub fn with_collapse_retry_budget(mut self, budget: u32) -> Self {
+        self.collapse_retry_budget = budget;
+        self
     }
 
     /// Selects the execution mode (builder style).
@@ -350,6 +405,50 @@ impl<M: Model> Infer<M> {
             .collect();
         self.steps = 0;
         self.last_ess = self.num_particles as f64;
+        self.consecutive_collapses = 0;
+        self.last_good = None;
+        self.last_health = None;
+    }
+
+    /// A fresh unweighted particle drawn from the model template (the
+    /// prior), used at reset and by [`RecoveryPolicy::ReseedPrior`].
+    fn blank_particle(&self) -> Particle<M> {
+        let graph = match self.method {
+            Method::StreamingDs => Some(Graph::new(Retention::PointerMinimal)),
+            Method::ClassicDs => Some(Graph::new(Retention::RetainAll)),
+            _ => None,
+        };
+        let mut model = self.template.clone();
+        model.reset();
+        Particle {
+            model,
+            graph,
+            log_w: 0.0,
+        }
+    }
+
+    /// Parks particle `i` with zero weight; if `poisoned`, its state is
+    /// first replaced by a fresh prior particle (a panicking or erroring
+    /// step leaves the model in an undefined state).
+    fn quarantine(&mut self, i: usize, poisoned: bool) {
+        if poisoned {
+            self.particles[i] = self.blank_particle();
+        }
+        self.particles[i].log_w = f64::NEG_INFINITY;
+    }
+
+    /// Kills worker thread `index` of the parallel pool, if one exists —
+    /// the chaos harness's worker-death injection. Returns whether a
+    /// worker was killed. The next parallel step detects and respawns it.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_kill_worker(&self, index: usize) -> bool {
+        match &self.pool {
+            Some(pool) if index < pool.workers() => {
+                pool.kill_worker(index);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Aggregate graph memory statistics across particles.
@@ -368,19 +467,48 @@ impl<M: Model> Infer<M> {
     /// Executes one synchronous step on every particle and returns the
     /// posterior over the model's output at this step.
     ///
+    /// Equivalent to [`Infer::step_outcome`] with the health report
+    /// dropped (it stays queryable via [`Infer::last_health`]).
+    ///
     /// # Errors
     ///
-    /// Sequentially, the first particle error aborts the step. In
-    /// parallel mode every shard runs to its own first error and the
-    /// error of the lowest-indexed failing particle is reported — the
-    /// same error a sequential run would surface. Either way the engine
-    /// is left in a consistent state but the step must be considered
-    /// failed.
+    /// Under the default [`RecoveryPolicy::FailFast`], the fault of the
+    /// lowest-indexed faulting particle fails the step with a typed
+    /// error — the same error sequential and parallel runs surface.
+    /// Under any other policy faults are repaired in place and only an
+    /// exhausted collapse-retry budget fails the step. Either way the
+    /// engine is left in a consistent state but a failed step does not
+    /// advance the stream clock.
     pub fn step(&mut self, input: &M::Input) -> Result<Posterior, RuntimeError> {
+        self.step_outcome(input).map(|o| o.posterior)
+    }
+
+    /// Executes one supervised step: every particle is stepped under a
+    /// fault barrier (`catch_unwind` plus typed-error capture), faults
+    /// are repaired per the configured [`RecoveryPolicy`], weight
+    /// collapse is absorbed up to the retry budget, and the posterior is
+    /// returned together with a [`Health`] report.
+    ///
+    /// Supervision is deterministic: fault repairs consume dedicated
+    /// counter-derived streams on the coordinator in particle-index
+    /// order, so sequential and multi-threaded runs recover bit-for-bit
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// See [`Infer::step`].
+    pub fn step_outcome(&mut self, input: &M::Input) -> Result<StepOutcome, RuntimeError> {
         let generation = self.steps;
-        let outs: Vec<ValueDist> = match (self.parallelism, self.par_step) {
-            (Parallelism::Threads(workers), Some(par_step)) if self.num_particles > 1 => {
+        let n = self.num_particles;
+        // Only SkipObservation needs the rollback snapshot; the other
+        // policies do not pay for the clone.
+        let snapshot =
+            (self.recovery == RecoveryPolicy::SkipObservation).then(|| self.particles.clone());
+
+        let mut slots: Vec<Result<ValueDist, FaultKind>> = match (self.parallelism, self.par_step) {
+            (Parallelism::Threads(workers), Some(par_step)) if n > 1 => {
                 let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+                pool.ensure_alive();
                 par_step(
                     pool,
                     &mut self.particles,
@@ -388,22 +516,167 @@ impl<M: Model> Infer<M> {
                     self.method,
                     self.seed,
                     generation,
-                )?
+                )
             }
-            _ => {
-                let mut outs = Vec::with_capacity(self.num_particles);
-                for (i, p) in self.particles.iter_mut().enumerate() {
+            _ => self
+                .particles
+                .iter_mut()
+                .enumerate()
+                .map(|(i, p)| {
                     let mut rng = rngstream::particle_rng(self.seed, i as u64, generation);
-                    outs.push(step_particle(self.method, p, input, &mut rng)?);
-                }
-                outs
-            }
+                    step_particle_caught(self.method, p, input, &mut rng)
+                })
+                .collect(),
         };
 
+        // A NaN or +inf accumulated log-weight is a per-particle fault;
+        // a plain -inf is a legitimately impossible observation.
+        for (slot, p) in slots.iter_mut().zip(&self.particles) {
+            if slot.is_ok() && !(p.log_w.is_finite() || p.log_w == f64::NEG_INFINITY) {
+                *slot = Err(FaultKind::NonFiniteWeight(p.log_w));
+            }
+        }
+
+        let mut outs: Vec<Option<ValueDist>> =
+            slots.iter().map(|s| s.as_ref().ok().cloned()).collect();
+        let mut faults: Vec<ParticleFault> = Vec::new();
+
+        if self.recovery == RecoveryPolicy::FailFast {
+            // Slots are scanned in particle order, so the error of the
+            // lowest-indexed faulting particle is reported — the same
+            // error regardless of the execution schedule. The failed
+            // step does not advance the stream clock.
+            for (i, slot) in slots.into_iter().enumerate() {
+                if let Err(kind) = slot {
+                    return Err(kind.into_error(i));
+                }
+            }
+        } else {
+            let survivors: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.is_ok().then_some(i))
+                .collect();
+            let mut recovery_rng = rngstream::recovery_rng(self.seed, generation);
+            for (i, slot) in slots.into_iter().enumerate() {
+                let kind = match slot {
+                    Ok(_) => continue,
+                    Err(k) => k,
+                };
+                // A panic or typed error may have left the particle's
+                // model state half-updated; a non-finite weight has not.
+                let poisoned = !matches!(kind, FaultKind::NonFiniteWeight(_));
+                let recovery = match self.recovery {
+                    RecoveryPolicy::SkipObservation => {
+                        if let Some(snap) = snapshot.as_ref().and_then(|ps| ps.get(i)) {
+                            self.particles[i] = snap.clone();
+                        }
+                        outs[i] = None;
+                        RecoveryAction::Skipped
+                    }
+                    RecoveryPolicy::Rejuvenate => {
+                        if survivors.is_empty() {
+                            self.quarantine(i, poisoned);
+                            outs[i] = None;
+                            RecoveryAction::Quarantined
+                        } else {
+                            let donor = survivors[recovery_rng.gen_range(0..survivors.len())];
+                            self.particles[i] = self.particles[donor].clone();
+                            outs[i] = outs[donor].clone();
+                            RecoveryAction::Rejuvenated { donor }
+                        }
+                    }
+                    RecoveryPolicy::ReseedPrior => {
+                        let mut fresh = self.blank_particle();
+                        let mut rng = rngstream::retry_rng(self.seed, i as u64, generation);
+                        match step_particle_caught(self.method, &mut fresh, input, &mut rng) {
+                            Ok(out)
+                                if fresh.log_w.is_finite() || fresh.log_w == f64::NEG_INFINITY =>
+                            {
+                                self.particles[i] = fresh;
+                                outs[i] = Some(out);
+                                RecoveryAction::Reseeded
+                            }
+                            _ => {
+                                self.quarantine(i, true);
+                                outs[i] = None;
+                                RecoveryAction::Quarantined
+                            }
+                        }
+                    }
+                    // Handled above; a faulting FailFast step never
+                    // reaches the recovery loop.
+                    RecoveryPolicy::FailFast => RecoveryAction::Failed,
+                };
+                faults.push(ParticleFault {
+                    particle: i,
+                    kind,
+                    recovery,
+                });
+            }
+        }
+
         let log_ws: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
-        let weights = stats::normalize_log_weights(&log_ws);
-        self.last_ess = stats::effective_sample_size(&weights);
-        let posterior = Posterior::new(weights.iter().copied().zip(outs).collect());
+        let normalized = stats::try_normalize_log_weights(&log_ws);
+        let collapse = normalized.is_err();
+
+        if collapse {
+            if self.recovery == RecoveryPolicy::FailFast {
+                return Err(RuntimeError::Degenerate(format!(
+                    "all {n} particle weights are zero at step {generation}"
+                )));
+            }
+            self.consecutive_collapses += 1;
+            if self.consecutive_collapses > self.collapse_retry_budget {
+                return Err(RuntimeError::Degenerate(format!(
+                    "particle cloud collapsed for {} consecutive steps, exhausting the retry \
+                     budget of {}",
+                    self.consecutive_collapses, self.collapse_retry_budget
+                )));
+            }
+            // Rejuvenate the cloud to uniform weights so the stream can
+            // keep running; the posterior below falls back to the last
+            // healthy one.
+            for p in &mut self.particles {
+                p.log_w = 0.0;
+            }
+        } else {
+            self.consecutive_collapses = 0;
+        }
+
+        let weights = match normalized {
+            Ok(w) => w,
+            Err(_) => vec![1.0 / n as f64; n],
+        };
+        self.last_ess = if collapse {
+            0.0
+        } else {
+            stats::effective_sample_size(&weights)
+        };
+
+        let step_unusable = collapse || outs.iter().all(|o| o.is_none());
+        let mut used_last_good = false;
+        let posterior = match (&self.last_good, step_unusable) {
+            (Some(last), true) => {
+                used_last_good = true;
+                last.clone()
+            }
+            _ => Posterior::new(
+                weights
+                    .iter()
+                    .zip(&outs)
+                    .map(|(&w, o)| match o {
+                        Some(d) => (w, d.clone()),
+                        // A recovered-but-outputless particle contributes
+                        // nothing to this step's posterior.
+                        None => (0.0, ValueDist::Dirac(Value::Unit)),
+                    })
+                    .collect(),
+            ),
+        };
+        if !collapse {
+            self.last_good = Some(posterior.clone());
+        }
 
         let should_resample = match self.resample {
             ResamplePolicy::EveryStep => self.method.resamples(),
@@ -424,8 +697,16 @@ impl<M: Model> Infer<M> {
             self.particles = next;
         }
 
+        let health = Health {
+            ess: self.last_ess,
+            weight_collapse: collapse,
+            used_last_good,
+            consecutive_collapses: self.consecutive_collapses,
+            faults,
+        };
+        self.last_health = Some(health.clone());
         self.steps += 1;
-        Ok(posterior)
+        Ok(StepOutcome { posterior, health })
     }
 
     /// Runs the engine over a whole input sequence, collecting the
@@ -489,16 +770,36 @@ fn step_particle<M: Model>(
                 *v = s;
                 v.for_each_rv(&mut |x| roots.push(x));
             });
-            graph.collect(roots);
+            graph.collect(roots)?;
             Ok(out)
         }
     }
 }
 
+/// Steps one particle under the supervisor's fault barrier: panics are
+/// caught and rendered, typed errors are captured, and either becomes a
+/// [`FaultKind`] for the coordinator to repair.
+fn step_particle_caught<M: Model>(
+    method: Method,
+    p: &mut Particle<M>,
+    input: &M::Input,
+    rng: &mut SmallRng,
+) -> Result<ValueDist, FaultKind> {
+    match catch_unwind(AssertUnwindSafe(|| step_particle(method, p, input, rng))) {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(e)) => Err(FaultKind::Error(e)),
+        Err(payload) => Err(FaultKind::Panic(supervisor::panic_message(
+            payload.as_ref(),
+        ))),
+    }
+}
+
 /// The parallel stepper: shards the particle slice across the pool's
-/// workers, steps each shard in place, and reassembles the outputs in
-/// particle order. Every particle's generator is derived from its global
-/// index, so the sharding layout cannot influence the result.
+/// workers, steps each shard in place under the fault barrier, and
+/// reassembles the per-particle outcomes in particle order. Every
+/// particle's generator is derived from its global index, so the sharding
+/// layout cannot influence the result — and faults are repaired on the
+/// coordinator afterwards, so recovery cannot either.
 fn par_step_impl<M: Model + Send>(
     pool: &WorkerPool,
     particles: &mut [Particle<M>],
@@ -506,14 +807,14 @@ fn par_step_impl<M: Model + Send>(
     method: Method,
     seed: u64,
     generation: u64,
-) -> Result<Vec<ValueDist>, RuntimeError>
+) -> Vec<Result<ValueDist, FaultKind>>
 where
     M::Input: Sync,
 {
     let n = particles.len();
     let shard = n.div_ceil(pool.workers());
     let shards: Vec<&mut [Particle<M>]> = particles.chunks_mut(shard).collect();
-    let mut slots: Vec<Option<Result<Vec<ValueDist>, RuntimeError>>> =
+    let mut slots: Vec<Option<Vec<Result<ValueDist, FaultKind>>>> =
         (0..shards.len()).map(|_| None).collect();
     let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = shards
         .into_iter()
@@ -522,30 +823,33 @@ where
         .map(|(si, (parts, slot))| {
             let base = si * shard;
             Box::new(move || {
-                let mut outs = Vec::with_capacity(parts.len());
-                let mut res = Ok(());
+                let mut outcomes = Vec::with_capacity(parts.len());
                 for (j, p) in parts.iter_mut().enumerate() {
                     let mut rng = rngstream::particle_rng(seed, (base + j) as u64, generation);
-                    match step_particle(method, p, input, &mut rng) {
-                        Ok(out) => outs.push(out),
-                        Err(e) => {
-                            res = Err(e);
-                            break;
-                        }
-                    }
+                    outcomes.push(step_particle_caught(method, p, input, &mut rng));
                 }
-                *slot = Some(res.map(|()| outs));
+                *slot = Some(outcomes);
             }) as Box<dyn FnOnce() + Send + '_>
         })
         .collect();
     pool.run_scoped(jobs);
-    // Scanning shards in index order surfaces the error of the
-    // lowest-indexed failing particle, matching sequential semantics.
     let mut all = Vec::with_capacity(n);
-    for slot in slots {
-        all.append(&mut slot.expect("run_scoped completes every job")?);
+    for (si, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(outcomes) => all.extend(outcomes),
+            // run_scoped completes every job (dead-worker sends degrade
+            // to inline execution), so this arm should be unreachable;
+            // if a job nonetheless vanished, report its particles as
+            // faulted rather than corrupting the index alignment.
+            None => {
+                let len = shard.min(n - si * shard);
+                all.extend(
+                    (0..len).map(|_| Err(FaultKind::Panic("worker-pool job vanished".into()))),
+                );
+            }
+        }
     }
-    Ok(all)
+    all
 }
 
 fn force_state<M: Model>(

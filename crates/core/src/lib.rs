@@ -57,6 +57,8 @@
 //! assert!((post.mean_float() - 5.0 * 100.0 / 101.0).abs() < 1e-9);
 //! ```
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod ds;
 pub mod error;
 pub mod infer;
@@ -68,6 +70,7 @@ pub mod posterior;
 pub mod prob;
 pub mod rngstream;
 pub mod stream;
+pub mod supervisor;
 pub mod symbolic;
 pub mod value;
 
@@ -77,5 +80,8 @@ pub use marginal::{Family, Marginal};
 pub use model::{FnModel, Model};
 pub use posterior::{Posterior, ValueDist};
 pub use prob::{DsCtx, ProbCtx, SampleCtx};
+pub use supervisor::{
+    FaultKind, Health, ParticleFault, RecoveryAction, RecoveryPolicy, StepOutcome,
+};
 pub use symbolic::{AffExpr, RvId};
 pub use value::{DistExpr, Value};

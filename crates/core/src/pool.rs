@@ -18,6 +18,35 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// What the coordinator sends a worker: work, or an order to die (the
+/// fault-injection hook behind [`WorkerPool::kill_worker`]).
+enum Msg {
+    Job(Job),
+    Die,
+}
+
+/// One worker thread plus its job channel.
+struct Worker {
+    sender: Sender<Msg>,
+    handle: JoinHandle<()>,
+}
+
+fn spawn_worker(index: usize) -> Worker {
+    let (sender, rx) = channel::<Msg>();
+    let handle = std::thread::Builder::new()
+        .name(format!("pz-worker-{index}"))
+        .spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Job(job) => job(),
+                    Msg::Die => break,
+                }
+            }
+        })
+        .expect("failed to spawn worker thread");
+    Worker { sender, handle }
+}
+
 /// A countdown latch: `wait` blocks until `count_down` has been called
 /// the configured number of times.
 struct Latch {
@@ -61,8 +90,7 @@ impl Drop for CountDownOnDrop {
 
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
-    senders: Vec<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    workers: Vec<Worker>,
 }
 
 impl WorkerPool {
@@ -73,28 +101,57 @@ impl WorkerPool {
     /// Panics if `workers` is zero.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "worker pool needs at least one thread");
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for i in 0..workers {
-            let (tx, rx) = channel::<Job>();
-            senders.push(tx);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("pz-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("failed to spawn worker thread"),
-            );
+        WorkerPool {
+            workers: (0..workers).map(spawn_worker).collect(),
         }
-        WorkerPool { senders, handles }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (dead or alive; see
+    /// [`WorkerPool::ensure_alive`]).
     pub fn workers(&self) -> usize {
-        self.senders.len()
+        self.workers.len()
+    }
+
+    /// Number of workers whose threads have exited.
+    pub fn dead_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.handle.is_finished())
+            .count()
+    }
+
+    /// Detects dead workers and respawns them, returning how many were
+    /// respawned. The supervised engine calls this before every parallel
+    /// step so a killed worker costs at most one thread spawn, never a
+    /// lost job.
+    pub fn ensure_alive(&mut self) -> usize {
+        let mut respawned = 0;
+        for (i, worker) in self.workers.iter_mut().enumerate() {
+            if worker.handle.is_finished() {
+                let fresh = spawn_worker(i);
+                let old = std::mem::replace(worker, fresh);
+                let _ = old.handle.join();
+                respawned += 1;
+            }
+        }
+        respawned
+    }
+
+    /// Orders worker `index` to exit and waits until its thread is gone —
+    /// the chaos harness's worker-death injection. The slot stays dead
+    /// until [`WorkerPool::ensure_alive`] respawns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn kill_worker(&self, index: usize) {
+        let worker = &self.workers[index];
+        // An already-dead worker has dropped its receiver; the failed
+        // send is fine either way.
+        let _ = worker.sender.send(Msg::Die);
+        while !worker.handle.is_finished() {
+            std::thread::yield_now();
+        }
     }
 
     /// Runs every job on the pool and blocks until all have finished.
@@ -123,11 +180,13 @@ impl WorkerPool {
                     panicked.store(true, Ordering::SeqCst);
                 }
             });
-            let target = &self.senders[i % self.senders.len()];
-            if let Err(err) = target.send(wrapped) {
-                // The worker is gone (only possible after a poisoned
+            let target = &self.workers[i % self.workers.len()].sender;
+            if let Err(err) = target.send(Msg::Job(wrapped)) {
+                // The worker is gone (killed, or dead after a poisoned
                 // spawn); degrade gracefully by running inline.
-                (err.0)();
+                if let Msg::Job(job) = err.0 {
+                    job();
+                }
             }
         }
         latch.wait();
@@ -140,9 +199,9 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the channels ends each worker's recv loop.
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        for worker in self.workers.drain(..) {
+            drop(worker.sender);
+            let _ = worker.handle.join();
         }
     }
 }
@@ -189,6 +248,46 @@ mod tests {
     fn empty_job_list_is_a_no_op() {
         let pool = WorkerPool::new(1);
         pool.run_scoped(Vec::new());
+    }
+
+    #[test]
+    fn killed_worker_is_detected_and_respawned() {
+        let mut pool = WorkerPool::new(3);
+        assert_eq!(pool.dead_workers(), 0);
+        pool.kill_worker(1);
+        assert_eq!(pool.dead_workers(), 1);
+        // Jobs routed at the dead worker degrade to inline execution, so
+        // nothing is lost even before the respawn.
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+        assert_eq!(pool.ensure_alive(), 1);
+        assert_eq!(pool.dead_workers(), 0);
+        // The respawned pool keeps working.
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn ensure_alive_is_a_no_op_on_healthy_pool() {
+        let mut pool = WorkerPool::new(2);
+        assert_eq!(pool.ensure_alive(), 0);
     }
 
     #[test]

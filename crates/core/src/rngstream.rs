@@ -27,6 +27,15 @@ pub const PARTICLE_DOMAIN: u64 = 0x5041_5254_4943_4c45; // "PARTICLE"
 /// Domain tag for the coordinator's resampling stream.
 pub const RESAMPLE_DOMAIN: u64 = 0x5245_5341_4d50_4c45; // "RESAMPLE"
 
+/// Domain tag for the coordinator's fault-recovery stream (donor
+/// selection during rejuvenation).
+pub const RECOVERY_DOMAIN: u64 = 0x5245_434f_5645_5259; // "RECOVERY"
+
+/// Domain tag for re-stepping reseeded particles. Distinct from
+/// [`PARTICLE_DOMAIN`] so a retry does not replay the draws that led to
+/// the fault.
+pub const RETRY_DOMAIN: u64 = 0x5245_5452_5953_5450; // "RETRYSTP"
+
 /// Absorbs one word into the running state (one SplitMix64 round over the
 /// state xored with a golden-ratio-multiplied word, so neighbouring
 /// counters land in unrelated states).
@@ -51,6 +60,19 @@ pub fn particle_rng(seed: u64, particle: u64, generation: u64) -> SmallRng {
 /// The coordinator's resampling generator at step `generation`.
 pub fn resample_rng(seed: u64, generation: u64) -> SmallRng {
     SmallRng::seed_from_u64(stream_seed(seed, RESAMPLE_DOMAIN, generation, 0))
+}
+
+/// The coordinator's fault-recovery generator at step `generation`
+/// (consumed in particle-index order, so recovery is independent of the
+/// execution schedule).
+pub fn recovery_rng(seed: u64, generation: u64) -> SmallRng {
+    SmallRng::seed_from_u64(stream_seed(seed, RECOVERY_DOMAIN, generation, 0))
+}
+
+/// The generator used to re-step a reseeded particle `particle` at step
+/// `generation`.
+pub fn retry_rng(seed: u64, particle: u64, generation: u64) -> SmallRng {
+    SmallRng::seed_from_u64(stream_seed(seed, RETRY_DOMAIN, particle, generation))
 }
 
 #[cfg(test)]
@@ -84,10 +106,17 @@ mod tests {
 
     #[test]
     fn domains_separate_consumers() {
-        assert_ne!(
-            stream_seed(9, PARTICLE_DOMAIN, 5, 0),
-            stream_seed(9, RESAMPLE_DOMAIN, 5, 0)
-        );
+        let domains = [
+            PARTICLE_DOMAIN,
+            RESAMPLE_DOMAIN,
+            RECOVERY_DOMAIN,
+            RETRY_DOMAIN,
+        ];
+        for (i, a) in domains.iter().enumerate() {
+            for b in &domains[i + 1..] {
+                assert_ne!(stream_seed(9, *a, 5, 0), stream_seed(9, *b, 5, 0));
+            }
+        }
     }
 
     #[test]

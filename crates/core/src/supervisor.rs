@@ -1,0 +1,220 @@
+//! Fault-tolerant inference supervision.
+//!
+//! Reactive controllers must keep producing estimates on every tick of an
+//! infinite stream (§2, §6): a single NaN log-weight, an out-of-support
+//! observation, or one panicking particle must not abort the whole engine.
+//! This module defines the vocabulary the supervised stepping path of
+//! [`Infer`](crate::infer::Infer) speaks:
+//!
+//! * every step classifies per-particle failures into a [`FaultKind`]
+//!   (panic, typed runtime error, non-finite accumulated weight);
+//! * a configurable [`RecoveryPolicy`] decides what happens to the faulted
+//!   particle — fail the step, skip the observation, rejuvenate from a
+//!   surviving particle, or reseed from the prior;
+//! * the applied repair is recorded as a [`RecoveryAction`] inside a
+//!   [`ParticleFault`], and the step's overall [`Health`] (ESS,
+//!   weight-collapse flag, fault list) rides along with the posterior in a
+//!   [`StepOutcome`].
+//!
+//! Recovery is deterministic: all repair decisions are made on the
+//! coordinator with dedicated counter-derived RNG streams
+//! ([`crate::rngstream::recovery_rng`] / [`crate::rngstream::retry_rng`]),
+//! so a faulting run recovers bit-for-bit identically under sequential and
+//! multi-threaded execution.
+
+use crate::error::RuntimeError;
+use crate::posterior::Posterior;
+
+/// What the engine does with a particle that faulted during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Surface the fault of the lowest-indexed faulting particle as a
+    /// typed [`RuntimeError`]; the step fails. This is the default and
+    /// matches the strictness of the unsupervised engine (with the
+    /// difference that particle panics become
+    /// [`RuntimeError::ParticlePanic`] instead of unwinding through the
+    /// caller).
+    FailFast,
+    /// Roll the faulted particle back to its pre-step state, as if it had
+    /// not seen this tick's input. The particle keeps its weight and
+    /// re-enters at the next step; its output is excluded from this
+    /// step's posterior. (This policy snapshots the cloud before every
+    /// step, which costs one clone of the particle state per step.)
+    SkipObservation,
+    /// Replace the faulted particle with a clone of a surviving particle
+    /// chosen uniformly at random (from the dedicated recovery stream).
+    /// With no survivors the particle is quarantined instead, which
+    /// triggers the collapse-recovery path.
+    Rejuvenate,
+    /// Replace the faulted particle with a fresh particle drawn from the
+    /// prior (the reset model template) and re-step it on this tick's
+    /// input with a dedicated retry stream. A particle that faults again
+    /// on the retry is quarantined.
+    ReseedPrior,
+}
+
+/// How a particle failed during one step.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// The model panicked; the payload is the rendered panic message
+    /// captured by `catch_unwind`.
+    Panic(String),
+    /// The model returned a typed error.
+    Error(RuntimeError),
+    /// The particle's accumulated log-weight became NaN or `+inf`. (A
+    /// plain `-inf` is a legitimately impossible observation, not a
+    /// fault; an all-`-inf` cloud is handled as weight collapse.)
+    NonFiniteWeight(f64),
+}
+
+impl FaultKind {
+    /// Renders this fault as the typed error `FailFast` surfaces for
+    /// particle `particle`.
+    pub fn into_error(self, particle: usize) -> RuntimeError {
+        match self {
+            FaultKind::Error(e) => e,
+            FaultKind::Panic(msg) => {
+                RuntimeError::ParticlePanic(format!("particle {particle}: {msg}"))
+            }
+            FaultKind::NonFiniteWeight(w) => RuntimeError::Degenerate(format!(
+                "particle {particle} accumulated non-finite log-weight {w}"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FaultKind::Error(e) => write!(f, "error: {e}"),
+            FaultKind::NonFiniteWeight(w) => write!(f, "non-finite log-weight {w}"),
+        }
+    }
+}
+
+/// The repair applied to one faulted particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Rolled back to the pre-step snapshot ([`RecoveryPolicy::SkipObservation`]).
+    Skipped,
+    /// Replaced by a clone of the surviving particle with this index.
+    Rejuvenated {
+        /// Index of the surviving donor particle.
+        donor: usize,
+    },
+    /// Replaced by a fresh prior particle successfully re-stepped on this
+    /// tick's input.
+    Reseeded,
+    /// Parked with zero weight (log-weight `-inf`); its state was replaced
+    /// by a fresh prior particle if the fault had poisoned it. Quarantine
+    /// happens when rejuvenation finds no survivors or a reseeded particle
+    /// faults again.
+    Quarantined,
+    /// No repair: the step failed ([`RecoveryPolicy::FailFast`]).
+    Failed,
+}
+
+/// One particle's fault during a step, plus the repair applied to it.
+#[derive(Debug, Clone)]
+pub struct ParticleFault {
+    /// Index of the faulted particle.
+    pub particle: usize,
+    /// How it failed.
+    pub kind: FaultKind,
+    /// What the supervisor did about it.
+    pub recovery: RecoveryAction,
+}
+
+/// The engine's health report for one step.
+#[derive(Debug, Clone)]
+pub struct Health {
+    /// Effective sample size of the (post-recovery) weights, before
+    /// resampling. Reported as `0.0` on weight collapse.
+    pub ess: f64,
+    /// Every particle weight was zero (`-inf` log-weight) after
+    /// recovery — the cloud lost all information this step.
+    pub weight_collapse: bool,
+    /// The posterior was substituted with the last healthy posterior
+    /// because this step produced no usable components.
+    pub used_last_good: bool,
+    /// How many consecutive steps (including this one) have collapsed;
+    /// reset to zero by any healthy step.
+    pub consecutive_collapses: u32,
+    /// Per-particle faults observed this step, in particle order.
+    pub faults: Vec<ParticleFault>,
+}
+
+impl Health {
+    /// No faults, no collapse: the step behaved like an unsupervised one.
+    pub fn is_nominal(&self) -> bool {
+        !self.weight_collapse && self.faults.is_empty()
+    }
+}
+
+/// A supervised step's result: the posterior plus the health report.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// The posterior over the model's output at this step.
+    pub posterior: Posterior,
+    /// Fault and degeneracy diagnostics for the step.
+    pub health: Health,
+}
+
+/// Renders a `catch_unwind` payload as a readable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_render_and_convert() {
+        let p = FaultKind::Panic("boom".into());
+        assert_eq!(p.to_string(), "panic: boom");
+        assert_eq!(
+            p.into_error(3).to_string(),
+            "particle panicked: particle 3: boom"
+        );
+        let e = FaultKind::Error(RuntimeError::DivisionByZero);
+        assert_eq!(e.to_string(), "error: division by zero");
+        assert_eq!(e.into_error(0), RuntimeError::DivisionByZero);
+        let w = FaultKind::NonFiniteWeight(f64::NAN);
+        assert!(matches!(w.into_error(1), RuntimeError::Degenerate(_)));
+    }
+
+    #[test]
+    fn health_nominal_logic() {
+        let h = Health {
+            ess: 10.0,
+            weight_collapse: false,
+            used_last_good: false,
+            consecutive_collapses: 0,
+            faults: Vec::new(),
+        };
+        assert!(h.is_nominal());
+        let mut sick = h.clone();
+        sick.faults.push(ParticleFault {
+            particle: 0,
+            kind: FaultKind::Panic("x".into()),
+            recovery: RecoveryAction::Quarantined,
+        });
+        assert!(!sick.is_nominal());
+    }
+
+    #[test]
+    fn panic_message_extracts_payloads() {
+        let err = std::panic::catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "static message");
+        let err = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "formatted 7");
+    }
+}

@@ -1,0 +1,168 @@
+//! Fault-injection wrappers for chaos testing (feature `chaos`).
+//!
+//! [`FaultyDist`] decorates any [`Distribution`] with a deterministic fault
+//! schedule keyed on the *call number* of `sample`/`log_pdf`: the wrapper
+//! counts invocations and, when the counter hits a scheduled call, corrupts
+//! the result (NaN density, `-inf` density) or panics outright. Because the
+//! schedule is data-driven rather than time- or RNG-driven, chaos runs stay
+//! bit-reproducible across thread counts — the supervisor tests rely on
+//! that.
+//!
+//! The wrapper is test infrastructure, not a modelling tool: it exists so
+//! every recovery path of the inference supervisor can be exercised in CI
+//! without hand-crafting a numerically degenerate model.
+
+use crate::traits::{Distribution, Moments};
+use rand::Rng;
+use std::cell::Cell;
+
+/// What a [`FaultyDist`] does when a scheduled call number is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistFault {
+    /// `log_pdf` returns `f64::NAN` (a non-finite weight fault).
+    NanDensity,
+    /// `log_pdf` returns `f64::NEG_INFINITY` (a zero-density observation).
+    ZeroDensity,
+    /// `sample`/`log_pdf` panics (a crashing particle).
+    Panic,
+}
+
+/// A [`Distribution`] decorator that injects faults at scheduled calls.
+///
+/// Calls to [`Distribution::sample`] and [`Distribution::log_pdf`] share one
+/// counter, incremented on every invocation. When the counter (0-based)
+/// matches a scheduled entry, the fault fires instead of the real result.
+///
+/// # Examples
+///
+/// ```
+/// use probzelus_distributions::chaos::{DistFault, FaultyDist};
+/// use probzelus_distributions::{Distribution, Gaussian};
+///
+/// let inner = Gaussian::new(0.0, 1.0).unwrap();
+/// let faulty = FaultyDist::new(inner, vec![(1, DistFault::ZeroDensity)]);
+/// assert!(faulty.log_pdf(&0.0).is_finite()); // call 0: passthrough
+/// assert_eq!(faulty.log_pdf(&0.0), f64::NEG_INFINITY); // call 1: fault
+/// assert!(faulty.log_pdf(&0.0).is_finite()); // call 2: passthrough
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyDist<D> {
+    inner: D,
+    /// `(call_number, fault)` pairs; call numbers are 0-based.
+    schedule: Vec<(u64, DistFault)>,
+    calls: Cell<u64>,
+}
+
+impl<D> FaultyDist<D> {
+    /// Wraps `inner` with a fault `schedule` of `(call_number, fault)`
+    /// pairs (0-based, matched against a shared sample/log_pdf counter).
+    pub fn new(inner: D, schedule: Vec<(u64, DistFault)>) -> Self {
+        FaultyDist {
+            inner,
+            schedule,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// The wrapped distribution.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// How many `sample`/`log_pdf` calls have been made so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Advances the call counter and returns the fault scheduled for the
+    /// call that just happened, if any.
+    fn tick(&self) -> Option<DistFault> {
+        let n = self.calls.get();
+        self.calls.set(n + 1);
+        self.schedule
+            .iter()
+            .find(|(at, _)| *at == n)
+            .map(|(_, f)| *f)
+    }
+}
+
+impl<D: Distribution> Distribution for FaultyDist<D> {
+    type Item = D::Item;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> D::Item {
+        match self.tick() {
+            Some(DistFault::Panic) => panic!("chaos: injected sample panic"),
+            // Density faults cannot corrupt a sample; fall through so the
+            // sampled value stays identical to the fault-free run.
+            _ => self.inner.sample(rng),
+        }
+    }
+
+    fn log_pdf(&self, x: &D::Item) -> f64 {
+        match self.tick() {
+            Some(DistFault::Panic) => panic!("chaos: injected log_pdf panic"),
+            Some(DistFault::NanDensity) => f64::NAN,
+            Some(DistFault::ZeroDensity) => f64::NEG_INFINITY,
+            None => self.inner.log_pdf(x),
+        }
+    }
+}
+
+impl<D: Moments> Moments for FaultyDist<D> {
+    fn mean(&self) -> f64 {
+        self.inner.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gaussian;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn unit() -> Gaussian {
+        Gaussian::new(0.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn passthrough_matches_inner() {
+        let faulty = FaultyDist::new(unit(), vec![]);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(faulty.sample(&mut a), unit().sample(&mut b));
+        assert_eq!(faulty.log_pdf(&0.3), unit().log_pdf(&0.3));
+        assert_eq!(faulty.calls(), 2);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_once_at_their_call() {
+        let faulty = FaultyDist::new(
+            unit(),
+            vec![(1, DistFault::NanDensity), (2, DistFault::ZeroDensity)],
+        );
+        assert!(faulty.log_pdf(&0.0).is_finite());
+        assert!(faulty.log_pdf(&0.0).is_nan());
+        assert_eq!(faulty.log_pdf(&0.0), f64::NEG_INFINITY);
+        assert!(faulty.log_pdf(&0.0).is_finite());
+    }
+
+    #[test]
+    fn panic_fault_panics() {
+        let faulty = FaultyDist::new(unit(), vec![(0, DistFault::Panic)]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| faulty.log_pdf(&0.0)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn density_fault_leaves_samples_untouched() {
+        let faulty = FaultyDist::new(unit(), vec![(0, DistFault::ZeroDensity)]);
+        let mut a = SmallRng::seed_from_u64(4);
+        let mut b = SmallRng::seed_from_u64(4);
+        assert_eq!(faulty.sample(&mut a), unit().sample(&mut b));
+    }
+}

@@ -64,29 +64,41 @@ impl AffineGaussian {
     }
 
     /// Child's marginal: `N(a·m + b, a²·v + var)` for parent `N(m, v)`.
-    pub fn marginalize(&self, parent: Gaussian) -> Gaussian {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the resulting parameters are not representable
+    /// (e.g. the mean overflows to `±inf` for extreme parents).
+    pub fn marginalize(&self, parent: Gaussian) -> Result<Gaussian, ParamError> {
         Gaussian::new(
             self.a * parent.mean_param() + self.b,
             self.a * self.a * parent.var_param() + self.var,
         )
-        .expect("variance stays positive under affine marginalization")
     }
 
     /// Parent's posterior after observing `child = obs`
     /// (the scalar Kalman update in information form).
-    pub fn condition(&self, parent: Gaussian, obs: f64) -> Gaussian {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the update degenerates numerically (a non-finite
+    /// observation, or an overflowing posterior mean).
+    pub fn condition(&self, parent: Gaussian, obs: f64) -> Result<Gaussian, ParamError> {
         let m0 = parent.mean_param();
         let v0 = parent.var_param();
         let prec = 1.0 / v0 + self.a * self.a / self.var;
         let post_var = 1.0 / prec;
         let post_mean = post_var * (m0 / v0 + self.a * (obs - self.b) / self.var);
-        Gaussian::new(post_mean, post_var).expect("posterior variance stays positive")
+        Gaussian::new(post_mean, post_var)
     }
 
     /// Child's conditional distribution for a realized parent value.
-    pub fn instantiate(&self, parent_value: f64) -> Gaussian {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] for a non-finite realized parent value.
+    pub fn instantiate(&self, parent_value: f64) -> Result<Gaussian, ParamError> {
         Gaussian::new(self.a * parent_value + self.b, self.var)
-            .expect("conditional variance is positive")
     }
 
     /// Composes two affine-Gaussian links: if `y | x` uses `self` and
@@ -109,19 +121,26 @@ pub struct BetaBernoulliLink;
 
 impl BetaBernoulliLink {
     /// Child's marginal: `Bernoulli(alpha / (alpha + beta))`.
-    pub fn marginalize(&self, parent: Beta) -> Bernoulli {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the parent mean is not a valid probability (only
+    /// possible for corrupted shape parameters).
+    pub fn marginalize(&self, parent: Beta) -> Result<Bernoulli, ParamError> {
         Bernoulli::new(parent.alpha() / (parent.alpha() + parent.beta()))
-            .expect("beta mean is a valid probability")
     }
 
     /// Parent's posterior after observing the child.
-    pub fn condition(&self, parent: Beta, obs: bool) -> Beta {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the incremented shapes are not representable.
+    pub fn condition(&self, parent: Beta, obs: bool) -> Result<Beta, ParamError> {
         if obs {
             Beta::new(parent.alpha() + 1.0, parent.beta())
         } else {
             Beta::new(parent.alpha(), parent.beta() + 1.0)
         }
-        .expect("incremented shapes stay positive")
     }
 
     /// Child's conditional for a realized parent value.
@@ -144,23 +163,31 @@ pub struct BetaBinomialLink {
 
 impl BetaBinomialLink {
     /// Child's marginal: `BetaBinomial(n, alpha, beta)`.
-    pub fn marginalize(&self, parent: Beta) -> BetaBinomial {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the parent shapes are not positive and finite.
+    pub fn marginalize(&self, parent: Beta) -> Result<BetaBinomial, ParamError> {
         BetaBinomial::new(self.n, parent.alpha(), parent.beta())
-            .expect("parent shapes are positive")
     }
 
     /// Parent's posterior after observing `k` successes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k > n`.
-    pub fn condition(&self, parent: Beta, k: u64) -> Beta {
-        assert!(k <= self.n, "observed count {k} exceeds trials {}", self.n);
+    /// [`ParamError`] if `k > n` (an out-of-support observation) or the
+    /// incremented shapes are not representable.
+    pub fn condition(&self, parent: Beta, k: u64) -> Result<Beta, ParamError> {
+        if k > self.n {
+            return Err(ParamError::new(format!(
+                "observed count {k} exceeds trials {}",
+                self.n
+            )));
+        }
         Beta::new(
             parent.alpha() + k as f64,
             parent.beta() + (self.n - k) as f64,
         )
-        .expect("incremented shapes stay positive")
     }
 }
 
@@ -188,16 +215,23 @@ impl GammaPoissonLink {
     }
 
     /// Child's marginal: `NB(shape, rate / (rate + scale))`.
-    pub fn marginalize(&self, parent: Gamma) -> NegativeBinomial {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the success probability falls outside `(0, 1]`
+    /// (only possible for corrupted parent parameters).
+    pub fn marginalize(&self, parent: Gamma) -> Result<NegativeBinomial, ParamError> {
         NegativeBinomial::new(parent.shape(), parent.rate() / (parent.rate() + self.scale))
-            .expect("probability stays in (0, 1]")
     }
 
     /// Parent's posterior after observing `k` events:
     /// `Gamma(shape + k, rate + scale)`.
-    pub fn condition(&self, parent: Gamma, k: u64) -> Gamma {
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the incremented parameters are not representable.
+    pub fn condition(&self, parent: Gamma, k: u64) -> Result<Gamma, ParamError> {
         Gamma::new(parent.shape() + k as f64, parent.rate() + self.scale)
-            .expect("incremented parameters stay positive")
     }
 }
 
@@ -225,8 +259,13 @@ impl GammaExponentialLink {
     }
 
     /// Child's marginal: `Lomax(shape, rate / scale)`.
-    pub fn marginalize(&self, parent: Gamma) -> Lomax {
-        Lomax::new(parent.shape(), parent.rate() / self.scale).expect("parameters stay positive")
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if the derived parameters are not positive and
+    /// finite.
+    pub fn marginalize(&self, parent: Gamma) -> Result<Lomax, ParamError> {
+        Lomax::new(parent.shape(), parent.rate() / self.scale)
     }
 
     /// Parent's posterior after observing waiting time `x`:
@@ -265,7 +304,9 @@ mod tests {
     #[test]
     fn affine_gaussian_marginalize_identity_link() {
         let link = AffineGaussian::new(1.0, 0.0, 1.0).unwrap();
-        let m = link.marginalize(Gaussian::new(0.0, 100.0).unwrap());
+        let m = link
+            .marginalize(Gaussian::new(0.0, 100.0).unwrap())
+            .unwrap();
         assert!((m.mean_param() - 0.0).abs() < 1e-12);
         assert!((m.var_param() - 101.0).abs() < 1e-12);
     }
@@ -275,7 +316,9 @@ mod tests {
         // Prior N(0, 100), obs noise 1, observation 5:
         // K = 100/101, post mean = K*5, post var = 100/101.
         let link = AffineGaussian::new(1.0, 0.0, 1.0).unwrap();
-        let post = link.condition(Gaussian::new(0.0, 100.0).unwrap(), 5.0);
+        let post = link
+            .condition(Gaussian::new(0.0, 100.0).unwrap(), 5.0)
+            .unwrap();
         assert!((post.mean_param() - 500.0 / 101.0).abs() < 1e-10);
         assert!((post.var_param() - 100.0 / 101.0).abs() < 1e-10);
     }
@@ -284,7 +327,9 @@ mod tests {
     fn affine_gaussian_condition_with_offset_and_scale() {
         // child = 2θ + 1 + noise(var 4), prior θ ~ N(3, 2), obs 10.
         let link = AffineGaussian::new(2.0, 1.0, 4.0).unwrap();
-        let post = link.condition(Gaussian::new(3.0, 2.0).unwrap(), 10.0);
+        let post = link
+            .condition(Gaussian::new(3.0, 2.0).unwrap(), 10.0)
+            .unwrap();
         let prec = 1.0 / 2.0 + 4.0 / 4.0;
         let var = 1.0 / prec;
         let mean = var * (3.0 / 2.0 + 2.0 * 9.0 / 4.0);
@@ -298,8 +343,10 @@ mod tests {
         let second = AffineGaussian::new(-1.5, 3.0, 2.0).unwrap();
         let fused = first.compose(&second);
         let prior = Gaussian::new(0.7, 1.3).unwrap();
-        let two_step = second.marginalize(first.marginalize(prior));
-        let one_step = fused.marginalize(prior);
+        let two_step = second
+            .marginalize(first.marginalize(prior).unwrap())
+            .unwrap();
+        let one_step = fused.marginalize(prior).unwrap();
         assert!((two_step.mean_param() - one_step.mean_param()).abs() < 1e-12);
         assert!((two_step.var_param() - one_step.var_param()).abs() < 1e-12);
     }
@@ -308,34 +355,35 @@ mod tests {
     fn beta_bernoulli_round_trip() {
         let link = BetaBernoulliLink;
         let prior = Beta::new(1.0, 1.0).unwrap();
-        let marg = link.marginalize(prior);
+        let marg = link.marginalize(prior).unwrap();
         assert!((marg.p() - 0.5).abs() < 1e-12);
-        let post = link.condition(prior, true);
+        let post = link.condition(prior, true).unwrap();
         assert_eq!((post.alpha(), post.beta()), (2.0, 1.0));
-        let post = link.condition(post, false);
+        let post = link.condition(post, false).unwrap();
         assert_eq!((post.alpha(), post.beta()), (2.0, 2.0));
     }
 
     #[test]
     fn beta_binomial_condition_counts() {
         let link = BetaBinomialLink { n: 10 };
-        let post = link.condition(Beta::new(2.0, 3.0).unwrap(), 7);
+        let post = link.condition(Beta::new(2.0, 3.0).unwrap(), 7).unwrap();
         assert_eq!((post.alpha(), post.beta()), (9.0, 6.0));
     }
 
     #[test]
-    #[should_panic(expected = "exceeds trials")]
     fn beta_binomial_rejects_excess_count() {
         let link = BetaBinomialLink { n: 5 };
-        link.condition(Beta::new(1.0, 1.0).unwrap(), 6);
+        let err = link.condition(Beta::new(1.0, 1.0).unwrap(), 6);
+        assert!(err.is_err());
+        assert!(format!("{}", err.unwrap_err()).contains("exceeds trials"));
     }
 
     #[test]
     fn gamma_poisson_posterior() {
         let link = GammaPoissonLink::new(1.0).unwrap();
-        let post = link.condition(Gamma::new(2.0, 3.0).unwrap(), 4);
+        let post = link.condition(Gamma::new(2.0, 3.0).unwrap(), 4).unwrap();
         assert_eq!((post.shape(), post.rate()), (6.0, 4.0));
-        let marg = link.marginalize(Gamma::new(2.0, 3.0).unwrap());
+        let marg = link.marginalize(Gamma::new(2.0, 3.0).unwrap()).unwrap();
         assert!((marg.p() - 0.75).abs() < 1e-12);
     }
 
@@ -343,7 +391,7 @@ mod tests {
     fn gamma_exponential_round_trip() {
         let link = GammaExponentialLink::new(2.0).unwrap();
         let prior = Gamma::new(3.0, 4.0).unwrap();
-        let marg = link.marginalize(prior);
+        let marg = link.marginalize(prior).unwrap();
         assert_eq!((marg.shape(), marg.scale()), (3.0, 2.0));
         let post = link.condition(prior, 1.5).unwrap();
         assert_eq!((post.shape(), post.rate()), (4.0, 7.0));
@@ -358,14 +406,14 @@ mod tests {
     fn affine_gaussian_marginal_matches_simulation() {
         let prior = Gaussian::new(1.0, 4.0).unwrap();
         let link = AffineGaussian::new(0.5, 2.0, 1.0).unwrap();
-        let analytic = link.marginalize(prior);
+        let analytic = link.marginalize(prior).unwrap();
         let mut rng = SmallRng::seed_from_u64(33);
         let n = 200_000;
         let mut sum = 0.0;
         let mut sum2 = 0.0;
         for _ in 0..n {
             let theta = prior.sample(&mut rng);
-            let x = link.instantiate(theta).sample(&mut rng);
+            let x = link.instantiate(theta).unwrap().sample(&mut rng);
             sum += x;
             sum2 += x * x;
         }

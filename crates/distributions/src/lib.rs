@@ -21,7 +21,7 @@
 //! // unit observation noise, observation y = 5.
 //! let prior = Gaussian::new(0.0, 100.0)?;
 //! let obs_link = AffineGaussian::new(1.0, 0.0, 1.0)?;
-//! let posterior = obs_link.condition(prior, 5.0);
+//! let posterior = obs_link.condition(prior, 5.0)?;
 //! assert!(posterior.variance() < prior.variance());
 //! # Ok(())
 //! # }
@@ -32,6 +32,8 @@
 pub mod bernoulli;
 pub mod beta;
 pub mod binomial;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod conjugacy;
 pub mod delta;
 pub mod empirical;

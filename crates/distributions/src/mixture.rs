@@ -63,19 +63,22 @@ impl<D: Distribution> Distribution for Mixture<D> {
     type Item = D::Item;
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> D::Item {
+        // The constructor rejects empty component lists, so the split
+        // always succeeds; falling back on the last component absorbs
+        // floating-point slack in the cumulative weights.
         let u: f64 = rng.gen_range(0.0f64..1.0);
+        let (last, rest) = match self.components.split_last() {
+            Some(pair) => pair,
+            None => unreachable!("mixture constructor rejects empty components"),
+        };
         let mut acc = 0.0;
-        for (w, d) in &self.components {
+        for (w, d) in rest {
             acc += w;
             if u < acc {
                 return d.sample(rng);
             }
         }
-        self.components
-            .last()
-            .expect("non-empty mixture")
-            .1
-            .sample(rng)
+        last.1.sample(rng)
     }
 
     fn log_pdf(&self, x: &D::Item) -> f64 {

@@ -4,18 +4,74 @@
 use crate::special::log_sum_exp;
 use rand::Rng;
 
-/// Normalizes a slice of log-weights into linear-space probabilities.
+/// Why a weight vector carries no usable probability mass.
 ///
-/// Numerically stable (subtracts the max before exponentiating). If every
-/// weight is `-inf`, returns the uniform distribution, matching the
-/// degenerate-particle-cloud convention used by the engines.
-pub fn normalize_log_weights(log_weights: &[f64]) -> Vec<f64> {
+/// Returned by [`try_normalize_log_weights`] and
+/// [`try_systematic_resample`] so callers (the inference supervisor in
+/// particular) can distinguish a *collapsed* particle cloud from a healthy
+/// one instead of silently receiving a uniformized fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightDegeneracy {
+    /// Every log-weight is `-inf` (all particles have zero likelihood) —
+    /// the "zero-density observation hit everyone" collapse.
+    AllZero,
+    /// At least one weight is `NaN` or `+inf`, so the normalization is
+    /// undefined (e.g. a `factor(NaN)` or an overflowing score).
+    NonFinite,
+    /// The weight vector is empty.
+    Empty,
+}
+
+impl std::fmt::Display for WeightDegeneracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightDegeneracy::AllZero => f.write_str("all weights are zero (log-weights -inf)"),
+            WeightDegeneracy::NonFinite => f.write_str("weights contain NaN or +inf"),
+            WeightDegeneracy::Empty => f.write_str("empty weight vector"),
+        }
+    }
+}
+
+impl std::error::Error for WeightDegeneracy {}
+
+/// Normalizes a slice of log-weights into linear-space probabilities,
+/// reporting degeneracy as a typed error instead of papering over it.
+///
+/// Numerically stable (subtracts the max before exponentiating).
+///
+/// # Errors
+///
+/// [`WeightDegeneracy`] if the slice is empty, contains `NaN`/`+inf`, or
+/// carries zero total mass (all `-inf`).
+pub fn try_normalize_log_weights(log_weights: &[f64]) -> Result<Vec<f64>, WeightDegeneracy> {
+    if log_weights.is_empty() {
+        return Err(WeightDegeneracy::Empty);
+    }
+    if log_weights
+        .iter()
+        .any(|w| w.is_nan() || *w == f64::INFINITY)
+    {
+        return Err(WeightDegeneracy::NonFinite);
+    }
     let z = log_sum_exp(log_weights);
     if !z.is_finite() {
-        let n = log_weights.len().max(1) as f64;
-        return vec![1.0 / n; log_weights.len()];
+        return Err(WeightDegeneracy::AllZero);
     }
-    log_weights.iter().map(|&lw| (lw - z).exp()).collect()
+    Ok(log_weights.iter().map(|&lw| (lw - z).exp()).collect())
+}
+
+/// Normalizes a slice of log-weights into linear-space probabilities.
+///
+/// Numerically stable (subtracts the max before exponentiating). If the
+/// weights are degenerate (all `-inf`, or any `NaN`/`+inf`), returns the
+/// uniform distribution. Callers that need to *react* to degeneracy (the
+/// fault-tolerant supervisor does) should use
+/// [`try_normalize_log_weights`] instead.
+pub fn normalize_log_weights(log_weights: &[f64]) -> Vec<f64> {
+    try_normalize_log_weights(log_weights).unwrap_or_else(|_| {
+        let n = log_weights.len().max(1) as f64;
+        vec![1.0 / n; log_weights.len()]
+    })
 }
 
 /// Effective sample size `1 / Σ w_i²` of normalized weights.
@@ -30,21 +86,63 @@ pub fn effective_sample_size(weights: &[f64]) -> f64 {
     }
 }
 
+/// Systematic resampling with typed degeneracy reporting: draws `n`
+/// ancestor indices from the normalized `weights` using a single uniform
+/// offset, the low-variance scheme standard in particle filtering.
+///
+/// # Errors
+///
+/// [`WeightDegeneracy`] if `weights` is empty, contains `NaN`/`±inf`, or
+/// sums to zero — resampling from such a cloud would fabricate ancestry
+/// out of nothing, which the supervisor must know about.
+pub fn try_systematic_resample<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+) -> Result<Vec<usize>, WeightDegeneracy> {
+    if weights.is_empty() {
+        return Err(WeightDegeneracy::Empty);
+    }
+    if weights.iter().any(|w| !w.is_finite()) {
+        return Err(WeightDegeneracy::NonFinite);
+    }
+    // Every weight is finite here, so the sum cannot be NaN.
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(WeightDegeneracy::AllZero);
+    }
+    Ok(systematic_resample_normalized(
+        rng,
+        &weights.iter().map(|w| w / total).collect::<Vec<f64>>(),
+        n,
+    ))
+}
+
 /// Systematic resampling: draws `n` ancestor indices from the normalized
 /// `weights` using a single uniform offset, the low-variance scheme standard
-/// in particle filtering.
+/// in particle filtering. Degenerate weights (zero total mass, `NaN`)
+/// fall back to uniform ancestry; use [`try_systematic_resample`] to
+/// detect that instead.
 ///
 /// # Panics
 ///
 /// Panics if `weights` is empty.
 pub fn systematic_resample<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], n: usize) -> Vec<usize> {
     assert!(!weights.is_empty(), "cannot resample from empty weights");
-    let total: f64 = weights.iter().sum();
-    let weights: Vec<f64> = if total > 0.0 {
-        weights.iter().map(|w| w / total).collect()
-    } else {
-        vec![1.0 / weights.len() as f64; weights.len()]
-    };
+    match try_systematic_resample(rng, weights, n) {
+        Ok(out) => out,
+        Err(_) => {
+            systematic_resample_normalized(rng, &vec![1.0 / weights.len() as f64; weights.len()], n)
+        }
+    }
+}
+
+/// The core systematic sweep over already-normalized weights.
+fn systematic_resample_normalized<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+) -> Vec<usize> {
     let step = 1.0 / n as f64;
     let mut u = rng.gen_range(0.0..step);
     let mut out = Vec::with_capacity(n);
@@ -123,6 +221,68 @@ mod tests {
     fn normalize_all_neg_inf_gives_uniform() {
         let w = normalize_log_weights(&[f64::NEG_INFINITY; 4]);
         assert!(w.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn try_normalize_reports_degeneracy_kinds() {
+        assert_eq!(
+            try_normalize_log_weights(&[f64::NEG_INFINITY; 3]),
+            Err(WeightDegeneracy::AllZero)
+        );
+        assert_eq!(
+            try_normalize_log_weights(&[0.0, f64::NAN]),
+            Err(WeightDegeneracy::NonFinite)
+        );
+        assert_eq!(
+            try_normalize_log_weights(&[0.0, f64::INFINITY]),
+            Err(WeightDegeneracy::NonFinite)
+        );
+        assert_eq!(try_normalize_log_weights(&[]), Err(WeightDegeneracy::Empty));
+        let ok = try_normalize_log_weights(&[0.0, 0.0]).unwrap();
+        assert!((ok[0] - 0.5).abs() < 1e-12);
+        // A single -inf among finite weights is NOT degenerate: that
+        // particle simply has zero weight.
+        let ok = try_normalize_log_weights(&[0.0, f64::NEG_INFINITY]).unwrap();
+        assert!((ok[0] - 1.0).abs() < 1e-12);
+        assert_eq!(ok[1], 0.0);
+    }
+
+    #[test]
+    fn try_resample_reports_degeneracy_and_matches_untyped() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(
+            try_systematic_resample(&mut rng, &[0.0, 0.0], 10),
+            Err(WeightDegeneracy::AllZero)
+        );
+        assert_eq!(
+            try_systematic_resample(&mut rng, &[f64::NAN, 1.0], 10),
+            Err(WeightDegeneracy::NonFinite)
+        );
+        assert_eq!(
+            try_systematic_resample(&mut rng, &[], 10),
+            Err(WeightDegeneracy::Empty)
+        );
+        // The typed and untyped paths agree bit-for-bit on healthy input.
+        let w = [0.1, 0.2, 0.3, 0.4];
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(
+            try_systematic_resample(&mut a, &w, 50).unwrap(),
+            systematic_resample(&mut b, &w, 50)
+        );
+    }
+
+    #[test]
+    fn degeneracy_display() {
+        assert_eq!(
+            WeightDegeneracy::AllZero.to_string(),
+            "all weights are zero (log-weights -inf)"
+        );
+        assert_eq!(
+            WeightDegeneracy::NonFinite.to_string(),
+            "weights contain NaN or +inf"
+        );
+        assert_eq!(WeightDegeneracy::Empty.to_string(), "empty weight vector");
     }
 
     #[test]

@@ -93,6 +93,52 @@ fn different_seeds_actually_differ() {
     assert_ne!(mean_bits(&mut a, &data.obs), mean_bits(&mut b, &data.obs));
 }
 
+/// Fault recovery is part of the determinism contract: a run through the
+/// chaos harness — particle panics, NaN weights, zero-density
+/// observations repaired by the supervisor — is still bit-for-bit
+/// identical across execution modes, because every recovery decision is
+/// made on the coordinator from counter-derived streams.
+#[cfg(feature = "chaos")]
+#[test]
+fn chaos_recovery_is_identical_across_thread_counts() {
+    use probzelus::core::chaos::{ChaosFault, ChaosModel};
+    use probzelus::core::supervisor::RecoveryPolicy;
+
+    let data = generate_kalman(13, STEPS);
+    let schedule = vec![
+        (5, ChaosFault::PanicParticles { prob: 0.4 }),
+        (12, ChaosFault::NanWeight),
+        (20, ChaosFault::ZeroDensityObservation),
+        (28, ChaosFault::HostError { prob: 0.4 }),
+    ];
+    for policy in [
+        RecoveryPolicy::SkipObservation,
+        RecoveryPolicy::Rejuvenate,
+        RecoveryPolicy::ReseedPrior,
+    ] {
+        for method in Method::ALL {
+            let engine = |par: Option<Parallelism>| {
+                let e = Infer::with_seed(
+                    method,
+                    PARTICLES,
+                    ChaosModel::new(Kalman::default(), schedule.clone()),
+                    SEED,
+                )
+                .with_recovery_policy(policy);
+                match par {
+                    Some(p) => e.with_parallelism(p),
+                    None => e,
+                }
+            };
+            let a = mean_bits(&mut engine(None), &data.obs);
+            let b = mean_bits(&mut engine(Some(Parallelism::Threads(2))), &data.obs);
+            let c = mean_bits(&mut engine(Some(Parallelism::Threads(8))), &data.obs);
+            assert_eq!(a, b, "{method}/{policy:?}: Sequential vs Threads(2)");
+            assert_eq!(a, c, "{method}/{policy:?}: Sequential vs Threads(8)");
+        }
+    }
+}
+
 #[test]
 fn variance_and_ess_are_deterministic_too() {
     let data = generate_kalman(9, STEPS);

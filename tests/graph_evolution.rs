@@ -40,7 +40,7 @@ fn figure_15_one_step_transitions() {
     let x = g
         .assume(&DistExpr::gaussian(pre_x.clone(), 1.0), &mut rng)
         .unwrap();
-    assert_eq!(g.state_kind(var_of(&x)), StateKind::Initialized);
+    assert_eq!(g.state_kind(var_of(&x)).unwrap(), StateKind::Initialized);
 
     // (c)-(f): the observation marginalizes the chain and realizes y.
     g.observe(
@@ -49,12 +49,15 @@ fn figure_15_one_step_transitions() {
         &mut rng,
     )
     .unwrap();
-    assert_eq!(g.state_kind(var_of(&pre_x)), StateKind::Marginalized);
-    assert_eq!(g.state_kind(var_of(&x)), StateKind::Marginalized);
+    assert_eq!(
+        g.state_kind(var_of(&pre_x)).unwrap(),
+        StateKind::Marginalized
+    );
+    assert_eq!(g.state_kind(var_of(&x)).unwrap(), StateKind::Marginalized);
 
     // (g) update state: only x is still referenced by the program.
     let live_before = g.live_nodes();
-    g.collect([var_of(&x)]);
+    g.collect([var_of(&x)]).unwrap();
     assert!(g.live_nodes() < live_before);
     // x (and the realized y pending lazy folding on x) survive.
     assert!(g.live_nodes() <= 2, "live {}", g.live_nodes());
@@ -75,7 +78,7 @@ fn figure_3_pointer_minimal_stays_constant_classic_grows() {
         for &y in &observations {
             let next = hmm_step(&mut g, &mut rng, x.as_ref(), y);
             x = Some(next);
-            g.collect([var_of(x.as_ref().expect("set above"))]);
+            g.collect([var_of(x.as_ref().expect("set above"))]).unwrap();
             peak = peak.max(g.live_nodes());
         }
         if expect_bounded {
@@ -97,13 +100,13 @@ fn states_only_move_forward() {
     let y = g
         .assume(&DistExpr::gaussian(x.clone(), 1.0), &mut rng)
         .unwrap();
-    assert_eq!(g.state_kind(var_of(&y)), StateKind::Initialized);
+    assert_eq!(g.state_kind(var_of(&y)).unwrap(), StateKind::Initialized);
     // Query does not advance states.
     let _ = g.query(var_of(&y)).unwrap();
-    assert_eq!(g.state_kind(var_of(&y)), StateKind::Initialized);
+    assert_eq!(g.state_kind(var_of(&y)).unwrap(), StateKind::Initialized);
     // Realization advances to the terminal state.
     let _ = g.realize(var_of(&y), &mut rng).unwrap();
-    assert_eq!(g.state_kind(var_of(&y)), StateKind::Realized);
+    assert_eq!(g.state_kind(var_of(&y)).unwrap(), StateKind::Realized);
     // And is idempotent.
     let v1 = g.realize(var_of(&y), &mut rng).unwrap();
     let v2 = g.realize(var_of(&y), &mut rng).unwrap();
