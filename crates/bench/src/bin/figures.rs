@@ -7,10 +7,16 @@
 //! figures memory        # Fig. 4 / Fig. 19
 //! figures parallel      # beyond the paper: latency vs worker threads
 //! figures chaos         # beyond the paper: fault-recovery latency
+//! figures obs           # beyond the paper: instrumentation overhead
 //! figures all           # everything
 //! ```
 //!
-//! `chaos` requires building with `--features chaos`.
+//! `chaos` requires building with `--features chaos`; `obs` with
+//! `--features obs`.
+//!
+//! Each table is printed to stdout and also written to
+//! `figures_out/<experiment>.txt` (the directory is gitignored; tables
+//! worth keeping are excerpted into `EXPERIMENTS.md`).
 //!
 //! `--quick` shrinks runs/steps for a fast smoke pass (the defaults match
 //! the shapes reported in `EXPERIMENTS.md`).
@@ -19,6 +25,18 @@ use probzelus_bench::{
     experiment_accuracy, experiment_latency, experiment_memory, experiment_parallel_latency,
     experiment_resampling_ablation, experiment_step_latency, slope, BenchModel,
 };
+use std::fmt::Write as _;
+
+/// Appends a line to the table buffer (writing to a `String` cannot fail).
+macro_rules! out {
+    ($dst:expr) => { let _ = writeln!($dst); };
+    ($dst:expr, $($arg:tt)*) => { let _ = writeln!($dst, $($arg)*); };
+}
+
+/// Appends without a newline.
+macro_rules! outw {
+    ($dst:expr, $($arg:tt)*) => { let _ = write!($dst, $($arg)*); };
+}
 
 struct Config {
     particle_counts: Vec<usize>,
@@ -59,6 +77,18 @@ impl Config {
     }
 }
 
+/// Prints a rendered table and mirrors it to `figures_out/<name>.txt`.
+fn emit(name: &str, table: &str) {
+    print!("{table}");
+    let dir = std::path::Path::new("figures_out");
+    let path = dir.join(format!("{name}.txt"));
+    let written = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, table));
+    match written {
+        Ok(()) => eprintln!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -73,27 +103,30 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
     match what {
-        "accuracy" => accuracy(&cfg),
-        "latency" => latency(&cfg),
-        "step-latency" => step_latency(&cfg),
-        "memory" => memory(&cfg),
-        "ablation" => ablation(&cfg),
-        "parallel" => parallel(&cfg),
-        "chaos" => chaos(&cfg),
+        "accuracy" => emit("accuracy", &accuracy(&cfg)),
+        "latency" => emit("latency", &latency(&cfg)),
+        "step-latency" => emit("step-latency", &step_latency(&cfg)),
+        "memory" => emit("memory", &memory(&cfg)),
+        "ablation" => emit("ablation", &ablation(&cfg)),
+        "parallel" => emit("parallel", &parallel(&cfg)),
+        "chaos" => emit("chaos", &chaos(&cfg)),
+        "obs" => emit("obs", &obs_overhead(&cfg)),
         "all" => {
-            accuracy(&cfg);
-            latency(&cfg);
-            step_latency(&cfg);
-            memory(&cfg);
-            ablation(&cfg);
-            parallel(&cfg);
+            emit("accuracy", &accuracy(&cfg));
+            emit("latency", &latency(&cfg));
+            emit("step-latency", &step_latency(&cfg));
+            emit("memory", &memory(&cfg));
+            emit("ablation", &ablation(&cfg));
+            emit("parallel", &parallel(&cfg));
             #[cfg(feature = "chaos")]
-            chaos(&cfg);
+            emit("chaos", &chaos(&cfg));
+            #[cfg(feature = "obs")]
+            emit("obs", &obs_overhead(&cfg));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: figures [accuracy|latency|step-latency|memory|ablation|parallel|chaos|all] [--quick]"
+                "usage: figures [accuracy|latency|step-latency|memory|ablation|parallel|chaos|obs|all] [--quick]"
             );
             std::process::exit(2);
         }
@@ -101,17 +134,22 @@ fn main() {
 }
 
 #[cfg(not(feature = "chaos"))]
-fn chaos(_cfg: &Config) {
+fn chaos(_cfg: &Config) -> String {
     eprintln!("the chaos experiment needs the fault-injection harness:");
     eprintln!("    cargo run -p probzelus-bench --features chaos --bin figures -- chaos");
     std::process::exit(2);
 }
 
 #[cfg(feature = "chaos")]
-fn chaos(cfg: &Config) {
-    println!("== Beyond the paper: fault-recovery latency (chaos harness, Kalman) ==");
+fn chaos(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(
+        t,
+        "== Beyond the paper: fault-recovery latency (chaos harness, Kalman) =="
+    );
     let (particles, steps) = (cfg.long_particles, cfg.accuracy_steps);
-    println!(
+    out!(
+        t,
         "   ({particles} particles, {steps} steps, fault injected at tick {}; policy = rejuvenate)",
         steps / 2
     );
@@ -121,16 +159,24 @@ fn chaos(cfg: &Config) {
     std::panic::set_hook(Box::new(|_| {}));
     let pts = probzelus_bench::experiment_chaos(particles, steps);
     std::panic::set_hook(hook);
-    println!(
+    out!(
+        t,
         "{:>4} {:>18} {:>8} {:>10} {:>10} {:>12} {:>12}",
-        "alg", "fault", "faults", "collapses", "recovery", "nominal ms", "fault ms"
+        "alg",
+        "fault",
+        "faults",
+        "collapses",
+        "recovery",
+        "nominal ms",
+        "fault ms"
     );
     for p in &pts {
         let recovery = match p.recovery_ticks {
-            Some(t) => format!("{t} ticks"),
+            Some(ticks) => format!("{ticks} ticks"),
             None => "—".to_string(),
         };
-        println!(
+        out!(
+            t,
             "{:>4} {:>18} {:>8} {:>10} {:>10} {:>12.4} {:>12.4}",
             p.method.label(),
             p.fault,
@@ -141,31 +187,95 @@ fn chaos(cfg: &Config) {
             p.fault_ms
         );
     }
-    println!();
+    out!(t);
+    t
 }
 
-fn ablation(cfg: &Config) {
-    println!("== Ablation (beyond the paper): resampling policy on Kalman/PF ==");
-    let (particles, steps, runs) = (50, cfg.accuracy_steps, cfg.accuracy_runs.min(30));
-    println!("   ({particles} particles, {steps} steps, {runs} runs)");
-    let pts = experiment_resampling_ablation(particles, steps, runs);
-    println!(
-        "{:>10} {:>36} {:>12}",
-        "policy", "MSE median [q10, q90]", "min ESS"
+#[cfg(not(feature = "obs"))]
+fn obs_overhead(_cfg: &Config) -> String {
+    eprintln!("the instrumentation-overhead experiment needs the telemetry subsystem:");
+    eprintln!("    cargo run -p probzelus-bench --features obs --bin figures -- obs");
+    std::process::exit(2);
+}
+
+#[cfg(feature = "obs")]
+fn obs_overhead(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(
+        t,
+        "== Beyond the paper: instrumentation overhead (telemetry sinks, Kalman) =="
+    );
+    let (particles, steps, runs) = (cfg.long_particles, cfg.latency_steps, cfg.latency_runs);
+    out!(
+        t,
+        "   ({particles} particles, {runs} runs of {steps} steps, 1 warm-up run)"
+    );
+    out!(
+        t,
+        "   (noop = attached-but-discarding sink: the cost of collection + dispatch alone)"
+    );
+    let pts =
+        probzelus_bench::experiment_obs_overhead(&[BenchModel::Kalman], particles, steps, runs);
+    out!(
+        t,
+        "{:>8} {:>4} {:>36} {:>10}",
+        "sink",
+        "alg",
+        "latency ms median [q10, q90]",
+        "overhead"
     );
     for p in &pts {
-        println!("{:>10} {} {:>12.1}", p.policy, p.mse, p.min_ess);
+        out!(
+            t,
+            "{:>8} {:>4} {} {:>9.2}%",
+            p.sink,
+            p.method.label(),
+            p.latency_ms,
+            p.overhead_pct
+        );
     }
-    println!();
+    out!(t);
+    t
 }
 
-fn parallel(cfg: &Config) {
-    println!("== Beyond the paper: step latency (ms) vs worker threads ==");
+fn ablation(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(
+        t,
+        "== Ablation (beyond the paper): resampling policy on Kalman/PF =="
+    );
+    let (particles, steps, runs) = (50, cfg.accuracy_steps, cfg.accuracy_runs.min(30));
+    out!(t, "   ({particles} particles, {steps} steps, {runs} runs)");
+    let pts = experiment_resampling_ablation(particles, steps, runs);
+    out!(
+        t,
+        "{:>10} {:>36} {:>12}",
+        "policy",
+        "MSE median [q10, q90]",
+        "min ESS"
+    );
+    for p in &pts {
+        out!(t, "{:>10} {} {:>12.1}", p.policy, p.mse, p.min_ess);
+    }
+    out!(t);
+    t
+}
+
+fn parallel(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(
+        t,
+        "== Beyond the paper: step latency (ms) vs worker threads =="
+    );
     let (particles, steps, runs) = (100, cfg.latency_steps, cfg.latency_runs);
-    println!(
+    out!(
+        t,
         "   ({particles} particles, {runs} runs of {steps} steps, 1 warm-up run; 0 threads = sequential path)"
     );
-    println!("   (posterior MSE column is constant by construction: counter-derived RNG streams)");
+    out!(
+        t,
+        "   (posterior MSE column is constant by construction: counter-derived RNG streams)"
+    );
     let pts = experiment_parallel_latency(
         &[BenchModel::Kalman, BenchModel::Outlier],
         particles,
@@ -174,14 +284,19 @@ fn parallel(cfg: &Config) {
         runs,
     );
     for model in [BenchModel::Kalman, BenchModel::Outlier] {
-        println!("\n-- {model} Parallel Performance --");
-        println!(
+        out!(t, "\n-- {model} Parallel Performance --");
+        out!(
+            t,
             "{:>8} {:>4} {:>36} {:>12}",
-            "threads", "alg", "latency ms median [q10, q90]", "final MSE"
+            "threads",
+            "alg",
+            "latency ms median [q10, q90]",
+            "final MSE"
         );
         for p in &pts {
             if p.model == model {
-                println!(
+                out!(
+                    t,
                     "{:>8} {:>4} {} {:>12.6}",
                     p.threads,
                     p.method.label(),
@@ -191,14 +306,21 @@ fn parallel(cfg: &Config) {
             }
         }
     }
-    println!();
+    out!(t);
+    t
 }
 
-fn accuracy(cfg: &Config) {
-    println!("== Figure 2a / Figure 16: accuracy (final MSE) vs number of particles ==");
-    println!(
+fn accuracy(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(
+        t,
+        "== Figure 2a / Figure 16: accuracy (final MSE) vs number of particles =="
+    );
+    out!(
+        t,
         "   ({} runs of {} steps each; median [q10, q90])",
-        cfg.accuracy_runs, cfg.accuracy_steps
+        cfg.accuracy_runs,
+        cfg.accuracy_steps
     );
     let pts = experiment_accuracy(
         &BenchModel::ALL,
@@ -207,25 +329,35 @@ fn accuracy(cfg: &Config) {
         cfg.accuracy_runs,
     );
     for model in BenchModel::ALL {
-        println!("\n-- {model} Accuracy --");
-        println!(
+        out!(t, "\n-- {model} Accuracy --");
+        out!(
+            t,
             "{:>10} {:>4} {:>36}",
-            "particles", "alg", "MSE median [q10, q90]"
+            "particles",
+            "alg",
+            "MSE median [q10, q90]"
         );
         for p in &pts {
             if p.model == model {
-                println!("{:>10} {:>4} {}", p.particles, p.method.label(), p.mse);
+                out!(t, "{:>10} {:>4} {}", p.particles, p.method.label(), p.mse);
             }
         }
     }
-    println!();
+    out!(t);
+    t
 }
 
-fn latency(cfg: &Config) {
-    println!("== Figure 2b / Figure 17: step latency (ms) vs number of particles ==");
-    println!(
+fn latency(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(
+        t,
+        "== Figure 2b / Figure 17: step latency (ms) vs number of particles =="
+    );
+    out!(
+        t,
         "   ({} runs of {} steps, 1 warm-up run; median [q10, q90])",
-        cfg.latency_runs, cfg.latency_steps
+        cfg.latency_runs,
+        cfg.latency_steps
     );
     let pts = experiment_latency(
         &BenchModel::ALL,
@@ -234,14 +366,18 @@ fn latency(cfg: &Config) {
         cfg.latency_runs,
     );
     for model in BenchModel::ALL {
-        println!("\n-- {model} Performance --");
-        println!(
+        out!(t, "\n-- {model} Performance --");
+        out!(
+            t,
             "{:>10} {:>4} {:>36}",
-            "particles", "alg", "latency ms median [q10, q90]"
+            "particles",
+            "alg",
+            "latency ms median [q10, q90]"
         );
         for p in &pts {
             if p.model == model {
-                println!(
+                out!(
+                    t,
                     "{:>10} {:>4} {}",
                     p.particles,
                     p.method.label(),
@@ -250,7 +386,8 @@ fn latency(cfg: &Config) {
             }
         }
     }
-    println!();
+    out!(t);
+    t
 }
 
 fn sampled_indices(len: usize, points: usize) -> Vec<usize> {
@@ -258,66 +395,80 @@ fn sampled_indices(len: usize, points: usize) -> Vec<usize> {
     (0..len).step_by(stride).chain([len - 1]).collect()
 }
 
-fn step_latency(cfg: &Config) {
-    println!("== Figure 18: step latency (ms) over a long run ==");
-    println!(
+fn step_latency(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(t, "== Figure 18: step latency (ms) over a long run ==");
+    out!(
+        t,
         "   ({} particles, {} steps)",
-        cfg.long_particles, cfg.long_steps
+        cfg.long_particles,
+        cfg.long_steps
     );
     let series = experiment_step_latency(&BenchModel::ALL, cfg.long_particles, cfg.long_steps);
     for model in BenchModel::ALL {
-        println!("\n-- {model} Performance over steps --");
+        out!(t, "\n-- {model} Performance over steps --");
         let rows: Vec<_> = series.iter().filter(|s| s.model == model).collect();
-        print!("{:>8}", "step");
+        outw!(t, "{:>8}", "step");
         for s in &rows {
-            print!(" {:>12}", s.method.label());
+            outw!(t, " {:>12}", s.method.label());
         }
-        println!();
+        out!(t);
         let len = rows[0].values.len();
         for &i in &sampled_indices(len, 8) {
-            print!("{:>8}", i);
+            outw!(t, "{:>8}", i);
             for s in &rows {
-                print!(" {:>12.4}", s.values[i]);
+                outw!(t, " {:>12.4}", s.values[i]);
             }
-            println!();
+            out!(t);
         }
-        print!("{:>8}", "slope");
+        outw!(t, "{:>8}", "slope");
         for s in &rows {
-            print!(" {:>12.6}", slope(&s.values[len / 10..]));
+            outw!(t, " {:>12.6}", slope(&s.values[len / 10..]));
         }
-        println!("  (ms/step; DS grows, the rest stay flat)");
+        out!(t, "  (ms/step; DS grows, the rest stay flat)");
     }
-    println!();
+    out!(t);
+    t
 }
 
-fn memory(cfg: &Config) {
-    println!("== Figure 4 / Figure 19: live delayed-sampling nodes over a long run ==");
-    println!(
+fn memory(cfg: &Config) -> String {
+    let mut t = String::new();
+    out!(
+        t,
+        "== Figure 4 / Figure 19: live delayed-sampling nodes over a long run =="
+    );
+    out!(
+        t,
         "   ({} particles, {} steps; summed over particles)",
-        cfg.long_particles, cfg.long_steps
+        cfg.long_particles,
+        cfg.long_steps
     );
     let series = experiment_memory(&BenchModel::ALL, cfg.long_particles, cfg.long_steps);
     for model in BenchModel::ALL {
-        println!("\n-- {model} Ideal Memory --");
+        out!(t, "\n-- {model} Ideal Memory --");
         let rows: Vec<_> = series.iter().filter(|s| s.model == model).collect();
-        print!("{:>8}", "step");
+        outw!(t, "{:>8}", "step");
         for s in &rows {
-            print!(" {:>12}", s.method.label());
+            outw!(t, " {:>12}", s.method.label());
         }
-        println!();
+        out!(t);
         let len = rows[0].values.len();
         for &i in &sampled_indices(len, 8) {
-            print!("{:>8}", i);
+            outw!(t, "{:>8}", i);
             for s in &rows {
-                print!(" {:>12.0}", s.values[i]);
+                outw!(t, " {:>12.0}", s.values[i]);
             }
-            println!();
+            out!(t);
         }
-        print!("{:>8}", "slope");
+        outw!(t, "{:>8}", "slope");
         for s in &rows {
-            print!(" {:>12.4}", slope(&s.values[len / 10..]));
+            outw!(t, " {:>12.4}", slope(&s.values[len / 10..]));
         }
-        println!("  (nodes/step; DS grows on Kalman/Outlier, flat on Coin)");
+        out!(
+            t,
+            "  (nodes/step; DS grows on Kalman/Outlier, flat on Coin)"
+        );
     }
-    println!();
+    out!(t);
+    t
 }

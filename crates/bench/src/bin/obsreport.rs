@@ -1,0 +1,662 @@
+//! `obsreport`: summarizes and validates JSONL telemetry exported by
+//! [`WriterSink`](probzelus_core::obs::WriterSink).
+//!
+//! ```text
+//! obsreport <file.jsonl>            per-engine summary tables (default)
+//! obsreport summary <file.jsonl>    same, explicit
+//! obsreport --schema                machine-readable line schema + registry
+//! obsreport --check <file.jsonl>    validate a stream against the registry
+//! ```
+//!
+//! `--check` exits non-zero if any line fails to parse, names a metric or
+//! event outside the registry of `probzelus-core::obs`, or declares a kind
+//! that disagrees with the registered one — the contract CI holds exported
+//! streams to.
+
+use probzelus_core::obs::{self, MetricKind};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader};
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (std-only; the workspace vendors no serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            // WriterSink exports non-finite values as strings to keep the
+            // line parseable; accept them back here.
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or("surrogate \\u escape unsupported")?,
+                            );
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().ok_or("utf8 boundary")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream model
+// ---------------------------------------------------------------------------
+
+/// One decoded telemetry line.
+#[derive(Debug)]
+struct Line {
+    typ: String,
+    engine: Option<String>,
+    tick: u64,
+    name: String,
+    value: Option<f64>,
+    fields: Vec<(String, Json)>,
+}
+
+fn decode_line(no: usize, text: &str) -> Result<Line, String> {
+    let json = Parser::parse(text).map_err(|e| format!("line {no}: {e}"))?;
+    let typ = json
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or(format!("line {no}: missing \"type\""))?
+        .to_owned();
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or(format!("line {no}: missing \"name\""))?
+        .to_owned();
+    let tick = json
+        .get("tick")
+        .and_then(Json::as_u64)
+        .ok_or(format!("line {no}: missing or negative \"tick\""))?;
+    let engine = json.get("engine").and_then(Json::as_str).map(str::to_owned);
+    let value = json.get("value").and_then(Json::as_f64);
+    let fields = match json.get("fields") {
+        Some(Json::Object(fs)) => fs.clone(),
+        Some(_) => return Err(format!("line {no}: \"fields\" is not an object")),
+        None => Vec::new(),
+    };
+    Ok(Line {
+        typ,
+        engine,
+        tick,
+        name,
+        value,
+        fields,
+    })
+}
+
+fn read_lines(path: &str) -> Result<Vec<Line>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(decode_line(i + 1, &line)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Validation (`--check`)
+// ---------------------------------------------------------------------------
+
+fn check_line(no: usize, line: &Line) -> Result<(), String> {
+    match line.typ.as_str() {
+        "counter" | "gauge" | "histogram" => {
+            let desc = obs::metric(&line.name).ok_or(format!(
+                "line {no}: metric \"{}\" is not in the registry",
+                line.name
+            ))?;
+            let kind = match line.typ.as_str() {
+                "counter" => MetricKind::Counter,
+                "gauge" => MetricKind::Gauge,
+                _ => MetricKind::Histogram,
+            };
+            if desc.kind != kind {
+                return Err(format!(
+                    "line {no}: metric \"{}\" is registered as a {}, exported as a {}",
+                    line.name, desc.kind, line.typ
+                ));
+            }
+            if line.value.is_none() {
+                return Err(format!("line {no}: metric line has no numeric \"value\""));
+            }
+        }
+        "event" => {
+            let desc = obs::event_desc(&line.name).ok_or(format!(
+                "line {no}: event \"{}\" is not in the registry",
+                line.name
+            ))?;
+            for (field, _) in &line.fields {
+                if !desc.fields.contains(&field.as_str()) {
+                    return Err(format!(
+                        "line {no}: event \"{}\" has unregistered field \"{field}\"",
+                        line.name
+                    ));
+                }
+            }
+        }
+        other => return Err(format!("line {no}: unknown line type \"{other}\"")),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Summary tables
+// ---------------------------------------------------------------------------
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[derive(Default)]
+struct MetricAgg {
+    counter_total: f64,
+    gauge_last: f64,
+    gauge_min: f64,
+    gauge_max: f64,
+    histogram: Vec<f64>,
+    samples: usize,
+}
+
+/// `writeln!` into a `String` (infallible).
+macro_rules! out {
+    ($dst:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($dst, $($arg)*);
+    }};
+}
+
+fn summarize(lines: &[Line]) -> String {
+    let mut report = String::new();
+    // engine label -> (metric name -> aggregate)
+    let mut engines: BTreeMap<String, BTreeMap<String, MetricAgg>> = BTreeMap::new();
+    let mut events: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    let mut ticks: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for line in lines {
+        let engine = line.engine.clone().unwrap_or_else(|| "(unscoped)".into());
+        let span = ticks.entry(engine.clone()).or_insert((u64::MAX, 0));
+        span.0 = span.0.min(line.tick);
+        span.1 = span.1.max(line.tick);
+        if line.typ == "event" {
+            *events
+                .entry(engine)
+                .or_default()
+                .entry(line.name.clone())
+                .or_insert(0) += 1;
+            continue;
+        }
+        let agg = engines
+            .entry(engine)
+            .or_default()
+            .entry(line.name.clone())
+            .or_default();
+        let value = line.value.unwrap_or(f64::NAN);
+        match line.typ.as_str() {
+            "counter" => agg.counter_total += value,
+            "gauge" => {
+                if agg.samples == 0 {
+                    agg.gauge_min = value;
+                    agg.gauge_max = value;
+                } else {
+                    agg.gauge_min = agg.gauge_min.min(value);
+                    agg.gauge_max = agg.gauge_max.max(value);
+                }
+                agg.gauge_last = value;
+            }
+            _ => agg.histogram.push(value),
+        }
+        agg.samples += 1;
+    }
+
+    for (engine, metrics) in &engines {
+        let (lo, hi) = ticks[engine];
+        out!(report, "engine {engine}  (ticks {lo}..={hi})");
+        out!(report, "  {:<28} {:>8}  summary", "metric", "samples");
+        for (name, agg) in metrics {
+            let summary = match obs::metric(name).map(|d| d.kind) {
+                Some(MetricKind::Counter) => format!("total {}", agg.counter_total),
+                Some(MetricKind::Histogram) | None => {
+                    let mut xs = agg.histogram.clone();
+                    xs.sort_by(f64::total_cmp);
+                    format!(
+                        "p50 {:.4}  p90 {:.4}  max {:.4}",
+                        quantile(&xs, 0.5),
+                        quantile(&xs, 0.9),
+                        xs.last().copied().unwrap_or(f64::NAN)
+                    )
+                }
+                Some(MetricKind::Gauge) => format!(
+                    "last {}  min {}  max {}",
+                    agg.gauge_last, agg.gauge_min, agg.gauge_max
+                ),
+            };
+            out!(report, "  {name:<28} {:>8}  {summary}", agg.samples);
+        }
+        if let Some(evs) = events.get(engine) {
+            for (name, count) in evs {
+                out!(report, "  {:<28} {count:>8}  (events)", format!("[{name}]"));
+            }
+        }
+        out!(report, "");
+    }
+    for (engine, evs) in &events {
+        if engines.contains_key(engine) {
+            continue;
+        }
+        out!(report, "engine {engine}");
+        for (name, count) in evs {
+            out!(report, "  {:<28} {count:>8}  (events)", format!("[{name}]"));
+        }
+        out!(report, "");
+    }
+    out!(report, "{} lines total", lines.len());
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Schema (`--schema`)
+// ---------------------------------------------------------------------------
+
+fn schema() -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"line\": {\n");
+    out.push_str(
+        "    \"metric\": [\"type\", \"engine?\", \"tick\", \"name\", \"index?\", \"value\"],\n",
+    );
+    out.push_str("    \"event\": [\"type\", \"engine?\", \"tick\", \"name\", \"fields\"]\n  },\n");
+    out.push_str("  \"metrics\": [\n");
+    for (i, m) in obs::METRICS.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"unit\": \"{}\", \"help\": \"{}\"}}{}\n",
+            m.name,
+            m.kind,
+            m.unit,
+            obs::json_escape(m.help),
+            if i + 1 < obs::METRICS.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"events\": [\n");
+    for (i, e) in obs::EVENTS.iter().enumerate() {
+        let fields: Vec<String> = e.fields.iter().map(|f| format!("\"{f}\"")).collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"fields\": [{}], \"help\": \"{}\"}}{}\n",
+            e.name,
+            fields.join(", "),
+            obs::json_escape(e.help),
+            if i + 1 < obs::EVENTS.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes to stdout, tolerating a closed pipe (`obsreport file | head`).
+fn emit(text: &str) {
+    use std::io::Write as _;
+    let _ = io::stdout().write_all(text.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+const USAGE: &str = "usage: obsreport [summary] <file.jsonl> | --check <file.jsonl> | --schema";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["--schema"] => {
+            emit(&schema());
+            ExitCode::SUCCESS
+        }
+        ["--check", path] => match read_lines(path) {
+            Ok(lines) => {
+                let mut bad = 0usize;
+                for (i, line) in lines.iter().enumerate() {
+                    if let Err(e) = check_line(i + 1, line) {
+                        eprintln!("{e}");
+                        bad += 1;
+                    }
+                }
+                if bad == 0 {
+                    emit(&format!(
+                        "ok: {} lines conform to the registry\n",
+                        lines.len()
+                    ));
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("{bad} of {} lines failed validation", lines.len());
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        [path] | ["summary", path] if !path.starts_with('-') => match read_lines(path) {
+            Ok(lines) => {
+                emit(&summarize(&lines));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_writer_sink_lines() {
+        let line = decode_line(
+            1,
+            "{\"type\":\"gauge\",\"engine\":\"SDS\",\"tick\":12,\"name\":\"ds.live_nodes\",\"value\":3.0}",
+        )
+        .expect("parses");
+        assert_eq!(line.typ, "gauge");
+        assert_eq!(line.engine.as_deref(), Some("SDS"));
+        assert_eq!(line.tick, 12);
+        assert_eq!(line.value, Some(3.0));
+        assert!(check_line(1, &line).is_ok());
+    }
+
+    #[test]
+    fn parses_events_and_escapes() {
+        let line = decode_line(
+            1,
+            "{\"type\":\"event\",\"engine\":\"PF\",\"tick\":8,\"name\":\"recovery\",\"fields\":{\"particle\":1,\"fault\":\"a \\\"quoted\\\"\\nfault\",\"action\":\"quarantined\"}}",
+        )
+        .expect("parses");
+        assert_eq!(line.fields.len(), 3);
+        assert_eq!(
+            line.fields[1].1,
+            Json::Str("a \"quoted\"\nfault".to_owned())
+        );
+        assert!(check_line(1, &line).is_ok());
+    }
+
+    #[test]
+    fn nonfinite_values_round_trip() {
+        let line = decode_line(
+            1,
+            "{\"type\":\"gauge\",\"tick\":0,\"name\":\"step.log_evidence\",\"value\":\"-inf\"}",
+        )
+        .expect("parses");
+        assert_eq!(line.value, Some(f64::NEG_INFINITY));
+        assert!(check_line(1, &line).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_unregistered_and_miskinded_lines() {
+        let unregistered = decode_line(
+            1,
+            "{\"type\":\"gauge\",\"tick\":0,\"name\":\"no.such.metric\",\"value\":1.0}",
+        )
+        .expect("parses");
+        assert!(check_line(1, &unregistered).is_err());
+        let miskinded = decode_line(
+            1,
+            "{\"type\":\"counter\",\"tick\":0,\"name\":\"step.ess\",\"value\":1.0}",
+        )
+        .expect("parses");
+        assert!(check_line(1, &miskinded).is_err());
+        let bad_field = decode_line(
+            1,
+            "{\"type\":\"event\",\"tick\":0,\"name\":\"recovery\",\"fields\":{\"bogus\":1}}",
+        )
+        .expect("parses");
+        assert!(check_line(1, &bad_field).is_err());
+    }
+
+    #[test]
+    fn parser_handles_nested_arrays_and_literals() {
+        let v =
+            Parser::parse("{\"a\":[1,2.5,true,null,\"x\"],\"b\":{\"c\":-3e2}}").expect("parses");
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Array(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Bool(true),
+                Json::Null,
+                Json::Str("x".into()),
+            ]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")),
+            Some(&Json::Num(-300.0))
+        );
+        assert!(Parser::parse("{\"a\":}").is_err());
+        assert!(Parser::parse("{} trailing").is_err());
+    }
+}

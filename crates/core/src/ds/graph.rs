@@ -86,6 +86,57 @@ struct Node {
     mark: bool,
 }
 
+/// A structural snapshot of one graph — the bounded-memory witnesses of
+/// §6 / Fig. 15, exported per tick by the telemetry subsystem and
+/// consumed directly by the memory-bounds tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Live (non-freed) nodes.
+    pub live_nodes: usize,
+    /// Live pointer edges: initialized → parent plus marginalized →
+    /// child, counting only targets that are themselves live.
+    pub live_edges: usize,
+    /// Live nodes in the `Initialized` state.
+    pub initialized: usize,
+    /// Live nodes in the `Marginalized` state.
+    pub marginalized: usize,
+    /// Live nodes in the `Realized` state.
+    pub realized: usize,
+    /// Length (in nodes) of the longest pointer chain. Under the
+    /// pointer-minimal discipline this stays O(1) on bounded models; the
+    /// retain-all baseline grows it without bound on state-space models.
+    pub max_chain_depth: usize,
+    /// Nodes ever created.
+    pub total_created: u64,
+    /// Approximate live heap bytes.
+    pub live_bytes: usize,
+}
+
+impl GraphStats {
+    /// Folds another particle's snapshot into this one (sums, except the
+    /// chain depth, which takes the max over particles).
+    pub fn merge(&mut self, other: &GraphStats) {
+        self.live_nodes += other.live_nodes;
+        self.live_edges += other.live_edges;
+        self.initialized += other.initialized;
+        self.marginalized += other.marginalized;
+        self.realized += other.realized;
+        self.max_chain_depth = self.max_chain_depth.max(other.max_chain_depth);
+        self.total_created += other.total_created;
+        self.live_bytes += other.live_bytes;
+    }
+
+    /// Fraction of live nodes that are realized (sampled-vs-symbolic
+    /// balance); `0.0` on an empty graph.
+    pub fn realized_ratio(&self) -> f64 {
+        if self.live_nodes == 0 {
+            0.0
+        } else {
+            self.realized as f64 / self.live_nodes as f64
+        }
+    }
+}
+
 /// A per-particle delayed-sampling graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
@@ -127,6 +178,113 @@ impl Graph {
     /// paper's "live words in the heap" metric).
     pub fn live_bytes(&self) -> usize {
         self.live * std::mem::size_of::<Node>()
+    }
+
+    /// Computes a structural snapshot: per-state node counts, live edge
+    /// count, and the longest pointer chain. One `O(live)` pass (chain
+    /// depths are memoized), so it is cheap enough to sample per tick —
+    /// but callers gate it behind an enabled telemetry sink anyway.
+    pub fn stats(&self) -> GraphStats {
+        self.stats_with_scratch(&mut Vec::new(), &mut Vec::new())
+    }
+
+    /// [`Graph::stats`] with caller-owned scratch buffers, so a per-tick
+    /// sweep over many particle graphs allocates once instead of per
+    /// graph.
+    pub fn stats_with_scratch(&self, depth: &mut Vec<usize>, path: &mut Vec<usize>) -> GraphStats {
+        /// Depth-memo marker for a node currently on the traversal path
+        /// (a cycle would otherwise loop; the pointer discipline makes
+        /// one impossible, but telemetry must not hang on a corrupt graph).
+        const IN_PROGRESS: usize = usize::MAX;
+        let mut stats = GraphStats {
+            live_nodes: self.live,
+            total_created: self.created,
+            live_bytes: self.live_bytes(),
+            ..GraphStats::default()
+        };
+        // The single out-pointer of a node, if its target is still live.
+        let out_of = |state: &NodeState| -> Option<usize> {
+            let target = match state {
+                NodeState::Initialized { parent, .. } => Some(parent.0),
+                NodeState::Marginalized {
+                    child: Some((c, _)),
+                    ..
+                } => Some(c.0),
+                _ => None,
+            };
+            target.filter(|&t| self.slots.get(t).is_some_and(Option::is_some))
+        };
+        // Small graphs — the steady-state SDS case, where this runs per
+        // tick per particle — take a memo-free path: direct chain walks
+        // bounded by the live count beat the memo buffers' maintenance
+        // cost. Larger graphs (classic DS retain-all) use the memoized
+        // walk, which keeps the whole pass O(live).
+        let small = self.live <= 16;
+        if !small {
+            depth.clear();
+            depth.resize(self.slots.len(), 0);
+        }
+        for (start, slot) in self.slots.iter().enumerate() {
+            let Some(node) = slot else { continue };
+            match &node.state {
+                NodeState::Initialized { .. } => stats.initialized += 1,
+                NodeState::Marginalized { .. } => stats.marginalized += 1,
+                NodeState::Realized(_) => stats.realized += 1,
+            }
+            if out_of(&node.state).is_some() {
+                stats.live_edges += 1;
+            }
+            if small {
+                // The `len < live` bound doubles as the cycle guard.
+                let mut len = 1usize;
+                let mut cur = start;
+                while len < self.live {
+                    match self.slots[cur].as_ref().and_then(|n| out_of(&n.state)) {
+                        Some(next) => {
+                            cur = next;
+                            len += 1;
+                        }
+                        None => break,
+                    }
+                }
+                stats.max_chain_depth = stats.max_chain_depth.max(len);
+                continue;
+            }
+            if depth[start] != 0 {
+                continue;
+            }
+            // Walk the pointer chain to a node of known depth (or a
+            // terminal), then assign depths back along the path.
+            path.clear();
+            let mut cur = start;
+            let base = loop {
+                match depth[cur] {
+                    0 => {}
+                    IN_PROGRESS => break 0,
+                    d => break d,
+                }
+                depth[cur] = IN_PROGRESS;
+                path.push(cur);
+                match self.slots[cur].as_ref().and_then(|n| out_of(&n.state)) {
+                    Some(next) => cur = next,
+                    None => break 0,
+                }
+            };
+            let mut d = base;
+            for &i in path.iter().rev() {
+                d += 1;
+                depth[i] = d;
+            }
+        }
+        if !small {
+            stats.max_chain_depth = depth
+                .iter()
+                .filter(|&&d| d != IN_PROGRESS)
+                .copied()
+                .max()
+                .unwrap_or(0);
+        }
+        stats
     }
 
     /// Ids of all live nodes, ascending.
@@ -937,6 +1095,45 @@ mod tests {
             }
             other => panic!("expected beta, got {other}"),
         }
+    }
+
+    #[test]
+    fn stats_snapshot_counts_states_edges_and_chain_depth() {
+        let mut g = Graph::new(Retention::RetainAll);
+        let mut r = rng();
+        // Dependent chain x0 -> x1 -> x2: a marginalized root plus two
+        // initialized children holding backward pointers.
+        let x0 = g.assume(&DistExpr::gaussian(0.0, 1.0), &mut r).unwrap();
+        let x1 = g
+            .assume(&DistExpr::gaussian(x0.clone(), 1.0), &mut r)
+            .unwrap();
+        let x2 = g
+            .assume(&DistExpr::gaussian(x1.clone(), 1.0), &mut r)
+            .unwrap();
+        let s = g.stats();
+        assert_eq!(s.live_nodes, 3);
+        assert_eq!(s.initialized, 2);
+        assert_eq!(s.marginalized, 1);
+        assert_eq!(s.realized, 0);
+        assert_eq!(s.live_edges, 2);
+        assert_eq!(s.max_chain_depth, 3);
+        assert_eq!(s.total_created, 3);
+        assert_eq!(s.realized_ratio(), 0.0);
+        // Realizing the tip marginalizes the path (backward pointers flip
+        // forward) and realizes only x2.
+        let _ = g.realize(var_of(&x2), &mut r).unwrap();
+        let s = g.stats();
+        assert_eq!(s.live_nodes, 3);
+        assert_eq!(s.realized, 1);
+        assert_eq!(s.marginalized, 2);
+        assert_eq!(s.initialized, 0);
+        assert_eq!(s.live_edges, 2);
+        assert_eq!(s.max_chain_depth, 3);
+        assert!((s.realized_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            Graph::new(Retention::PointerMinimal).stats(),
+            GraphStats::default()
+        );
     }
 
     #[test]

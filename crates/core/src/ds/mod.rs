@@ -6,5 +6,5 @@
 pub mod graph;
 pub mod link;
 
-pub use graph::{Graph, NodeState, Retention, StateKind};
+pub use graph::{Graph, GraphStats, NodeState, Retention, StateKind};
 pub use link::CondLink;

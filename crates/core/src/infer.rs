@@ -31,9 +31,11 @@
 //! required only by `with_parallelism` itself; purely sequential use of
 //! [`Infer`] places no thread-safety constraints on the model.
 
-use crate::ds::graph::{Graph, Retention};
+use crate::ds::graph::{Graph, GraphStats, Retention};
 use crate::error::RuntimeError;
 use crate::model::Model;
+#[cfg(feature = "obs")]
+use crate::obs::{self, FieldValue, Obs};
 use crate::pool::WorkerPool;
 use crate::posterior::{Posterior, ValueDist};
 use crate::prob::{DsCtx, ProbCtx, SampleCtx};
@@ -208,6 +210,9 @@ pub struct Infer<M: Model> {
     last_good: Option<Posterior>,
     /// Health report of the most recent completed step.
     last_health: Option<Health>,
+    /// Telemetry handle; off (a no-op branch per emission) by default.
+    #[cfg(feature = "obs")]
+    obs: Obs,
 }
 
 type ParStepFn<M> = fn(
@@ -239,6 +244,8 @@ impl<M: Model> Clone for Infer<M> {
             consecutive_collapses: self.consecutive_collapses,
             last_good: self.last_good.clone(),
             last_health: self.last_health.clone(),
+            #[cfg(feature = "obs")]
+            obs: self.obs.clone(),
         }
     }
 }
@@ -282,6 +289,8 @@ impl<M: Model> Infer<M> {
             consecutive_collapses: 0,
             last_good: None,
             last_health: None,
+            #[cfg(feature = "obs")]
+            obs: Obs::off(),
         };
         engine.reset();
         engine
@@ -338,6 +347,41 @@ impl<M: Model> Infer<M> {
     pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
         self
+    }
+
+    /// Attaches a telemetry handle (builder style). The handle is scoped
+    /// to the method's label (so exported lines carry `"engine":"SDS"`
+    /// etc.), an `engine.attach` event is emitted, and every subsequent
+    /// step exports its per-tick metrics — see [`crate::obs::METRICS`]
+    /// for the registry. Passing [`Obs::off`] detaches.
+    #[cfg(feature = "obs")]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Non-consuming form of [`Infer::with_obs`].
+    #[cfg(feature = "obs")]
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs.scoped(self.method.label());
+        if let Some(pool) = &mut self.pool {
+            pool.set_obs(self.obs.clone());
+        }
+        self.obs.event(
+            self.steps,
+            obs::events::ENGINE_ATTACH,
+            &[
+                ("method", FieldValue::Text(self.method.label())),
+                ("particles", FieldValue::Int(self.num_particles as i64)),
+                ("seed", FieldValue::Int(self.seed as i64)),
+            ],
+        );
+    }
+
+    /// The attached telemetry handle (off by default).
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Sets how many *consecutive* weight collapses the supervisor
@@ -451,6 +495,21 @@ impl<M: Model> Infer<M> {
         }
     }
 
+    /// Aggregate structural snapshot of the delayed-sampling graphs
+    /// across particles (all zeros for graph-free methods). Sums node,
+    /// edge, and state counts; takes the per-particle max of the chain
+    /// depth.
+    pub fn graph_stats(&self) -> GraphStats {
+        let mut agg = GraphStats::default();
+        let (mut depth, mut path) = (Vec::new(), Vec::new());
+        for p in &self.particles {
+            if let Some(g) = &p.graph {
+                agg.merge(&g.stats_with_scratch(&mut depth, &mut path));
+            }
+        }
+        agg
+    }
+
     /// Aggregate graph memory statistics across particles.
     pub fn memory(&self) -> MemoryStats {
         let mut stats = MemoryStats::default();
@@ -500,6 +559,10 @@ impl<M: Model> Infer<M> {
     pub fn step_outcome(&mut self, input: &M::Input) -> Result<StepOutcome, RuntimeError> {
         let generation = self.steps;
         let n = self.num_particles;
+        // Clock reads are gated on an attached sink so the disabled
+        // engine does no telemetry work at all.
+        #[cfg(feature = "obs")]
+        let obs_t0 = self.obs.enabled().then(std::time::Instant::now);
         // Only SkipObservation needs the rollback snapshot; the other
         // policies do not pay for the clone.
         let snapshot =
@@ -508,6 +571,10 @@ impl<M: Model> Infer<M> {
         let mut slots: Vec<Result<ValueDist, FaultKind>> = match (self.parallelism, self.par_step) {
             (Parallelism::Threads(workers), Some(par_step)) if n > 1 => {
                 let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+                #[cfg(feature = "obs")]
+                if self.obs.enabled() {
+                    pool.set_obs(self.obs.clone());
+                }
                 pool.ensure_alive();
                 par_step(
                     pool,
@@ -704,6 +771,108 @@ impl<M: Model> Infer<M> {
             consecutive_collapses: self.consecutive_collapses,
             faults,
         };
+
+        // Per-tick telemetry export. The whole block is skipped (and,
+        // without the `obs` feature, compiled out) when no sink is
+        // attached.
+        #[cfg(feature = "obs")]
+        if let Some(t0) = obs_t0 {
+            use crate::obs::names;
+            let tick = generation;
+            self.obs.gauge(tick, names::STEP_PARTICLES, n as f64);
+            self.obs.gauge(tick, names::STEP_ESS, health.ess);
+            // Log-evidence increment: the log mean particle weight
+            // (log-normalizer) of this tick's cloud. Under every-step
+            // resampling the accumulated weights are exactly one tick's
+            // increments; under lazier policies this is the evidence
+            // accumulated since the last resample. Recovered from the
+            // already-normalized weights — normalized[i] = exp(log_ws[i] -
+            // logsumexp) — so no per-particle exp() is spent here.
+            let log_evidence = if collapse {
+                f64::NEG_INFINITY
+            } else {
+                let (argmax, &w_max) = weights
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("particle cloud is non-empty");
+                log_ws[argmax] - w_max.ln() - (n as f64).ln()
+            };
+            self.obs.gauge(tick, names::STEP_LOG_EVIDENCE, log_evidence);
+            if should_resample {
+                self.obs.counter(tick, names::STEP_RESAMPLES, 1);
+            }
+            self.obs.gauge(
+                tick,
+                names::STEP_CONSECUTIVE_COLLAPSES,
+                f64::from(health.consecutive_collapses),
+            );
+            if health.weight_collapse {
+                self.obs.counter(tick, names::STEP_COLLAPSES, 1);
+                self.obs.event(
+                    tick,
+                    obs::events::COLLAPSE,
+                    &[
+                        (
+                            "consecutive",
+                            FieldValue::Int(i64::from(health.consecutive_collapses)),
+                        ),
+                        (
+                            "budget",
+                            FieldValue::Int(i64::from(self.collapse_retry_budget)),
+                        ),
+                    ],
+                );
+            }
+            if health.used_last_good {
+                self.obs.counter(tick, names::STEP_USED_LAST_GOOD, 1);
+            }
+            if !health.faults.is_empty() {
+                self.obs
+                    .counter(tick, names::STEP_FAULTS, health.faults.len() as u64);
+                for fault in &health.faults {
+                    let kind = fault.kind.to_string();
+                    let action = fault.recovery.to_string();
+                    self.obs.event(
+                        tick,
+                        obs::events::RECOVERY,
+                        &[
+                            ("particle", FieldValue::Int(fault.particle as i64)),
+                            ("fault", FieldValue::Text(&kind)),
+                            ("action", FieldValue::Text(&action)),
+                        ],
+                    );
+                }
+            }
+            // Graph gauges — the bounded-memory witnesses — only for
+            // methods that retain a graph across ticks.
+            if self.particles.iter().any(|p| p.graph.is_some()) {
+                let gs = self.graph_stats();
+                self.obs
+                    .gauge(tick, names::DS_LIVE_NODES, gs.live_nodes as f64);
+                self.obs
+                    .gauge(tick, names::DS_LIVE_EDGES, gs.live_edges as f64);
+                self.obs
+                    .gauge(tick, names::DS_INITIALIZED, gs.initialized as f64);
+                self.obs
+                    .gauge(tick, names::DS_MARGINALIZED, gs.marginalized as f64);
+                self.obs.gauge(tick, names::DS_REALIZED, gs.realized as f64);
+                self.obs
+                    .gauge(tick, names::DS_REALIZED_RATIO, gs.realized_ratio());
+                self.obs
+                    .gauge(tick, names::DS_CHAIN_DEPTH, gs.max_chain_depth as f64);
+                self.obs
+                    .gauge(tick, names::DS_TOTAL_CREATED, gs.total_created as f64);
+                self.obs
+                    .gauge(tick, names::DS_LIVE_BYTES, gs.live_bytes as f64);
+            }
+            self.obs.histogram(
+                tick,
+                names::STEP_LATENCY_MS,
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+
         self.last_health = Some(health.clone());
         self.steps += 1;
         Ok(StepOutcome { posterior, health })

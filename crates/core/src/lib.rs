@@ -64,6 +64,8 @@ pub mod error;
 pub mod infer;
 pub mod marginal;
 pub mod model;
+#[cfg(feature = "obs")]
+pub mod obs;
 pub mod ops;
 pub mod pool;
 pub mod posterior;

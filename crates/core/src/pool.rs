@@ -10,7 +10,11 @@
 //! Built on `std` only (`mpsc` + `Mutex`/`Condvar`); no external
 //! dependencies.
 
+#[cfg(feature = "obs")]
+use crate::obs::{self, FieldValue, Obs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+#[cfg(feature = "obs")]
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -91,6 +95,13 @@ impl Drop for CountDownOnDrop {
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
     workers: Vec<Worker>,
+    /// Telemetry handle; off by default. Pool metrics use the pool's own
+    /// batch index as their tick (one batch per [`WorkerPool::run_scoped`]
+    /// call, which for inference is one engine step).
+    #[cfg(feature = "obs")]
+    obs: Obs,
+    #[cfg(feature = "obs")]
+    batches: AtomicU64,
 }
 
 impl WorkerPool {
@@ -103,7 +114,18 @@ impl WorkerPool {
         assert!(workers > 0, "worker pool needs at least one thread");
         WorkerPool {
             workers: (0..workers).map(spawn_worker).collect(),
+            #[cfg(feature = "obs")]
+            obs: Obs::off(),
+            #[cfg(feature = "obs")]
+            batches: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a telemetry handle; per-batch queue depth, per-worker job
+    /// latency, and respawn events are exported through it.
+    #[cfg(feature = "obs")]
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of worker threads (dead or alive; see
@@ -126,12 +148,23 @@ impl WorkerPool {
     /// lost job.
     pub fn ensure_alive(&mut self) -> usize {
         let mut respawned = 0;
+        #[cfg(feature = "obs")]
+        let tick = self.batches.load(Ordering::Relaxed);
         for (i, worker) in self.workers.iter_mut().enumerate() {
             if worker.handle.is_finished() {
                 let fresh = spawn_worker(i);
                 let old = std::mem::replace(worker, fresh);
                 let _ = old.handle.join();
                 respawned += 1;
+                #[cfg(feature = "obs")]
+                if self.obs.enabled() {
+                    self.obs.counter(tick, obs::names::POOL_RESPAWNS, 1);
+                    self.obs.event(
+                        tick,
+                        obs::events::POOL_RESPAWN,
+                        &[("worker", FieldValue::Int(i as i64))],
+                    );
+                }
             }
         }
         respawned
@@ -161,6 +194,15 @@ impl WorkerPool {
     /// job panics, the panic is swallowed on the worker (which stays
     /// alive) and re-raised here after all jobs have completed.
     pub fn run_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        #[cfg(feature = "obs")]
+        let batch = {
+            let batch = self.batches.fetch_add(1, Ordering::Relaxed);
+            if self.obs.enabled() {
+                self.obs
+                    .gauge(batch, obs::names::POOL_QUEUE_DEPTH, jobs.len() as f64);
+            }
+            batch
+        };
         let latch = Arc::new(Latch::new(jobs.len()));
         let panicked = Arc::new(AtomicBool::new(false));
         for (i, job) in jobs.into_iter().enumerate() {
@@ -174,10 +216,29 @@ impl WorkerPool {
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
             let guard = CountDownOnDrop(Arc::clone(&latch));
             let panicked = Arc::clone(&panicked);
+            // (obs, batch, worker index) captured per job so the timing
+            // emission happens on the worker thread without touching the
+            // pool's borrow.
+            #[cfg(feature = "obs")]
+            let timing = self
+                .obs
+                .enabled()
+                .then(|| (self.obs.clone(), batch, (i % self.workers.len()) as u64));
             let wrapped: Job = Box::new(move || {
                 let _guard = guard;
+                #[cfg(feature = "obs")]
+                let t0 = timing.as_ref().map(|_| std::time::Instant::now());
                 if catch_unwind(AssertUnwindSafe(job)).is_err() {
                     panicked.store(true, Ordering::SeqCst);
+                }
+                #[cfg(feature = "obs")]
+                if let (Some((obs, batch, worker)), Some(t0)) = (timing, t0) {
+                    obs.histogram_at(
+                        batch,
+                        obs::names::POOL_JOB_MS,
+                        worker,
+                        t0.elapsed().as_secs_f64() * 1e3,
+                    );
                 }
             });
             let target = &self.workers[i % self.workers.len()].sender;

@@ -115,6 +115,20 @@ pub enum RecoveryAction {
     Failed,
 }
 
+impl std::fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryAction::Skipped => f.write_str("skipped observation"),
+            RecoveryAction::Rejuvenated { donor } => {
+                write!(f, "rejuvenated from particle {donor}")
+            }
+            RecoveryAction::Reseeded => f.write_str("reseeded from prior"),
+            RecoveryAction::Quarantined => f.write_str("quarantined"),
+            RecoveryAction::Failed => f.write_str("failed the step"),
+        }
+    }
+}
+
 /// One particle's fault during a step, plus the repair applied to it.
 #[derive(Debug, Clone)]
 pub struct ParticleFault {
@@ -124,6 +138,16 @@ pub struct ParticleFault {
     pub kind: FaultKind,
     /// What the supervisor did about it.
     pub recovery: RecoveryAction,
+}
+
+impl std::fmt::Display for ParticleFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "particle {}: {} -> {}",
+            self.particle, self.kind, self.recovery
+        )
+    }
 }
 
 /// The engine's health report for one step.
@@ -149,6 +173,32 @@ impl Health {
     /// No faults, no collapse: the step behaved like an unsupervised one.
     pub fn is_nominal(&self) -> bool {
         !self.weight_collapse && self.faults.is_empty()
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ess {:.2}", self.ess)?;
+        if self.is_nominal() {
+            return write!(f, "; nominal");
+        }
+        if self.weight_collapse {
+            write!(
+                f,
+                "; weight collapse ({} consecutive)",
+                self.consecutive_collapses
+            )?;
+        }
+        if self.used_last_good {
+            write!(f, "; posterior held at last good step")?;
+        }
+        if !self.faults.is_empty() {
+            write!(f, "; {} fault(s):", self.faults.len())?;
+            for fault in &self.faults {
+                write!(f, " [{fault}]")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -208,6 +258,57 @@ mod tests {
             recovery: RecoveryAction::Quarantined,
         });
         assert!(!sick.is_nominal());
+    }
+
+    #[test]
+    fn recovery_reports_render_readably() {
+        assert_eq!(
+            RecoveryAction::Rejuvenated { donor: 4 }.to_string(),
+            "rejuvenated from particle 4"
+        );
+        assert_eq!(RecoveryAction::Skipped.to_string(), "skipped observation");
+        let fault = ParticleFault {
+            particle: 2,
+            kind: FaultKind::Panic("boom".into()),
+            recovery: RecoveryAction::Reseeded,
+        };
+        assert_eq!(
+            fault.to_string(),
+            "particle 2: panic: boom -> reseeded from prior"
+        );
+    }
+
+    #[test]
+    fn health_renders_nominal_and_faulted_states() {
+        let nominal = Health {
+            ess: 10.0,
+            weight_collapse: false,
+            used_last_good: false,
+            consecutive_collapses: 0,
+            faults: Vec::new(),
+        };
+        assert_eq!(nominal.to_string(), "ess 10.00; nominal");
+        let sick = Health {
+            ess: 0.0,
+            weight_collapse: true,
+            used_last_good: true,
+            consecutive_collapses: 2,
+            faults: vec![ParticleFault {
+                particle: 0,
+                kind: FaultKind::NonFiniteWeight(f64::NAN),
+                recovery: RecoveryAction::Quarantined,
+            }],
+        };
+        let rendered = sick.to_string();
+        assert!(
+            rendered.contains("weight collapse (2 consecutive)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("held at last good"), "{rendered}");
+        assert!(
+            rendered.contains("particle 0: non-finite log-weight NaN -> quarantined"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub struct Interp {
     globals: RefCell<HashMap<String, MufValue>>,
     method: Method,
     rng: RefCell<SmallRng>,
+    /// Telemetry handle inherited by every engine an `infer` site
+    /// allocates; off unless built via [`Interp::new_with_obs`].
+    #[cfg(feature = "obs")]
+    obs: probzelus_core::obs::Obs,
 }
 
 impl std::fmt::Debug for Interp {
@@ -78,16 +82,54 @@ impl Interp {
     ///
     /// Propagates evaluation errors from top-level definitions.
     pub fn new(program: &MufProgram, options: Options) -> Result<Rc<Interp>, LangError> {
-        let interp = Rc::new(Interp {
-            globals: RefCell::new(HashMap::new()),
-            method: options.method,
-            rng: RefCell::new(SmallRng::seed_from_u64(options.seed)),
-        });
+        Interp::load(
+            Rc::new(Interp {
+                globals: RefCell::new(HashMap::new()),
+                method: options.method,
+                rng: RefCell::new(SmallRng::seed_from_u64(options.seed)),
+                #[cfg(feature = "obs")]
+                obs: probzelus_core::obs::Obs::off(),
+            }),
+            program,
+        )
+    }
+
+    /// Like [`Interp::new`], but every engine allocated by the program's
+    /// `infer` sites reports through `obs` (scoped per engine to its
+    /// inference-method label).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from top-level definitions.
+    #[cfg(feature = "obs")]
+    pub fn new_with_obs(
+        program: &MufProgram,
+        options: Options,
+        obs: probzelus_core::obs::Obs,
+    ) -> Result<Rc<Interp>, LangError> {
+        Interp::load(
+            Rc::new(Interp {
+                globals: RefCell::new(HashMap::new()),
+                method: options.method,
+                rng: RefCell::new(SmallRng::seed_from_u64(options.seed)),
+                obs,
+            }),
+            program,
+        )
+    }
+
+    fn load(interp: Rc<Interp>, program: &MufProgram) -> Result<Rc<Interp>, LangError> {
         for MufDef { name, expr } in &program.defs {
             let v = interp.eval(&Env::empty(), expr, &mut ProbSlot::Det)?;
             interp.globals.borrow_mut().insert(name.clone(), v);
         }
         Ok(interp)
+    }
+
+    /// The telemetry handle engines inherit.
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> &probzelus_core::obs::Obs {
+        &self.obs
     }
 
     /// The configured inference method.
@@ -622,6 +664,8 @@ impl MufEngine {
         seed: u64,
     ) -> MufEngine {
         let slot = Rc::new(RefCell::new(closure));
+        #[cfg(feature = "obs")]
+        let obs = interp.obs.clone();
         let model = MufModel {
             interp,
             closure: slot.clone(),
@@ -629,8 +673,11 @@ impl MufEngine {
             init_state,
             takes_input,
         };
+        let inner = Infer::with_seed(method, particles, model, seed);
+        #[cfg(feature = "obs")]
+        let inner = inner.with_obs(obs);
         MufEngine {
-            inner: Infer::with_seed(method, particles, model, seed),
+            inner,
             closure: slot,
         }
     }

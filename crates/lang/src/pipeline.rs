@@ -80,25 +80,49 @@ impl Compiled {
     /// Unknown or probabilistic nodes (use [`Compiled::infer_node`] for
     /// the latter), or initialization failures.
     pub fn instantiate(&self, node: &str, options: Options) -> Result<Instance, LangError> {
-        match self.kinds.get(node) {
-            None => {
-                return Err(LangError::new(
-                    Stage::Eval,
-                    format!("unknown node `{node}`"),
-                ))
-            }
-            Some(Kind::P) => {
-                return Err(LangError::new(
-                    Stage::Eval,
-                    format!(
-                        "node `{node}` is probabilistic; run it with `infer_node` or wrap it in `infer`"
-                    ),
-                ))
-            }
-            Some(Kind::D) => {}
-        }
+        self.check_deterministic(node)?;
         let interp = Interp::new(&self.muf, options)?;
         Instance::new(interp, node)
+    }
+
+    /// Like [`Compiled::instantiate`], but every engine the instance's
+    /// embedded `infer` sites allocate exports telemetry through `obs`
+    /// (scoped per engine to its inference-method label).
+    ///
+    /// Keep a clone of `obs` and call [`Obs::flush`](probzelus_core::obs::Obs::flush)
+    /// when the run ends: the interpreter retains its own handle, so a
+    /// buffered sink (e.g. `WriterSink`) cannot rely on drop order to
+    /// flush.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Compiled::instantiate`].
+    #[cfg(feature = "obs")]
+    pub fn instantiate_with_obs(
+        &self,
+        node: &str,
+        options: Options,
+        obs: probzelus_core::obs::Obs,
+    ) -> Result<Instance, LangError> {
+        self.check_deterministic(node)?;
+        let interp = Interp::new_with_obs(&self.muf, options, obs)?;
+        Instance::new(interp, node)
+    }
+
+    fn check_deterministic(&self, node: &str) -> Result<(), LangError> {
+        match self.kinds.get(node) {
+            None => Err(LangError::new(
+                Stage::Eval,
+                format!("unknown node `{node}`"),
+            )),
+            Some(Kind::P) => Err(LangError::new(
+                Stage::Eval,
+                format!(
+                    "node `{node}` is probabilistic; run it with `infer_node` or wrap it in `infer`"
+                ),
+            )),
+            Some(Kind::D) => Ok(()),
+        }
     }
 
     /// Runs a **probabilistic** node directly under an inference engine

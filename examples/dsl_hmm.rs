@@ -7,10 +7,77 @@
 //! ```text
 //! cargo run --release --example dsl_hmm
 //! ```
+//!
+//! With `--metrics <path>` (requires `--features obs`) the embedded
+//! `infer` engine exports per-tick JSONL telemetry to `<path>`,
+//! readable by `obsreport`:
+//!
+//! ```text
+//! cargo run --release --features obs --example dsl_hmm -- --metrics hmm.jsonl
+//! ```
 
 use probzelus::core::{Method, Value};
-use probzelus::lang::{compile_source, Kind, MufValue, Options};
+use probzelus::lang::{compile_source, Compiled, Instance, Kind, LangError, MufValue, Options};
 use probzelus::models::generate_kalman;
+
+/// Parses `--metrics <path>` from the command line, if present.
+fn metrics_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            match args.next() {
+                Some(path) => return Some(path),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// A flusher for the telemetry sink, called once at the end of the run
+/// (the interpreter keeps its own handle alive, so the example must
+/// flush explicitly rather than rely on drop order).
+type Flush = Box<dyn Fn()>;
+
+#[cfg(not(feature = "obs"))]
+fn instantiate_exporting(
+    _compiled: &Compiled,
+    _options: Options,
+    path: &str,
+) -> Result<(Instance, Flush), LangError> {
+    eprintln!("--metrics {path} needs the telemetry subsystem; rebuild with:");
+    eprintln!("    cargo run --release --features obs --example dsl_hmm -- --metrics {path}");
+    std::process::exit(2);
+}
+
+#[cfg(feature = "obs")]
+fn instantiate_exporting(
+    compiled: &Compiled,
+    options: Options,
+    path: &str,
+) -> Result<(Instance, Flush), LangError> {
+    use probzelus::core::obs::{Obs, WriterSink};
+    use std::sync::Arc;
+    match WriterSink::create(path) {
+        Ok(sink) => {
+            let obs = Obs::to(Arc::new(sink));
+            let instance = compiled.instantiate_with_obs("main", options, obs.clone())?;
+            let flush = Box::new(move || {
+                if let Err(e) = obs.flush() {
+                    eprintln!("telemetry flush failed: {e}");
+                }
+            });
+            Ok((instance, flush))
+        }
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 const SOURCE: &str = r#"
     (* The hidden Markov model of Section 2.2:
@@ -36,13 +103,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(compiled.kinds["hmm"], Kind::P);
     assert_eq!(compiled.kinds["main"], Kind::D);
 
-    let mut instance = compiled.instantiate(
-        "main",
-        Options {
-            method: Method::StreamingDs,
-            seed: 4,
-        },
-    )?;
+    let options = Options {
+        method: Method::StreamingDs,
+        seed: 4,
+    };
+    let (mut instance, flush_metrics) = match metrics_path() {
+        Some(path) => {
+            let (instance, flush) = instantiate_exporting(&compiled, options, &path)?;
+            println!("exporting telemetry to {path}");
+            (instance, Some(flush))
+        }
+        None => (compiled.instantiate("main", options)?, None),
+    };
 
     let data = generate_kalman(3, 30);
     println!(
@@ -63,5 +135,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\n(one SDS particle: the inferred mean is the exact Kalman posterior)");
+    if let Some(flush) = flush_metrics {
+        flush();
+    }
     Ok(())
 }

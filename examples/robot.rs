@@ -9,15 +9,80 @@
 //! ```text
 //! cargo run --release --example robot
 //! ```
+//!
+//! With `--metrics <path>` (requires `--features obs`) the tracking
+//! engine exports per-tick JSONL telemetry to `<path>`, readable by
+//! `obsreport`:
+//!
+//! ```text
+//! cargo run --release --features obs --example robot -- --metrics robot.jsonl
+//! ```
 
 use probzelus::core::infer::Method;
 use probzelus::robot::{BotMode, RobotPhysics, TaskBot, H};
+
+/// Parses `--metrics <path>` from the command line, if present.
+fn metrics_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            match args.next() {
+                Some(path) => return Some(path),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// A flusher for the telemetry sink, called once before each exit path.
+type Flush = Box<dyn Fn()>;
+
+#[cfg(not(feature = "obs"))]
+fn attach_metrics(bot: TaskBot, path: &str) -> (TaskBot, Flush) {
+    let _ = bot;
+    eprintln!("--metrics {path} needs the telemetry subsystem; rebuild with:");
+    eprintln!("    cargo run --release --features obs --example robot -- --metrics {path}");
+    std::process::exit(2);
+}
+
+#[cfg(feature = "obs")]
+fn attach_metrics(bot: TaskBot, path: &str) -> (TaskBot, Flush) {
+    use probzelus::core::obs::{Obs, WriterSink};
+    use std::sync::Arc;
+    match WriterSink::create(path) {
+        Ok(sink) => {
+            let obs = Obs::to(Arc::new(sink));
+            let bot = bot.with_obs(obs.clone());
+            let flush = Box::new(move || {
+                if let Err(e) = obs.flush() {
+                    eprintln!("telemetry flush failed: {e}");
+                }
+            });
+            (bot, flush)
+        }
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() -> Result<(), probzelus::core::RuntimeError> {
     let target = 4.0;
     let eps = 0.25;
     let mut physics = RobotPhysics::new(2026, 10);
     let mut bot = TaskBot::new(Method::StreamingDs, 100, target, eps, 7);
+    let mut flush_metrics: Option<Flush> = None;
+    if let Some(path) = metrics_path() {
+        let (instrumented, flush) = attach_metrics(bot, &path);
+        bot = instrumented;
+        flush_metrics = Some(flush);
+        println!("exporting telemetry to {path}");
+    }
 
     println!(
         "seeking target {target} ± {eps} (GPS every {}s)\n",
@@ -50,6 +115,9 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
                 t as f64 * H,
                 physics.position()
             );
+            if let Some(flush) = flush_metrics {
+                flush();
+            }
             return Ok(());
         }
     }
@@ -57,5 +125,8 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
         "\nmission incomplete after 200s (final position {:.3})",
         physics.position()
     );
+    if let Some(flush) = flush_metrics {
+        flush();
+    }
     Ok(())
 }

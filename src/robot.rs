@@ -235,6 +235,14 @@ impl Robot {
         }
     }
 
+    /// Attaches a telemetry handle to the tracking engine (per-tick ESS,
+    /// latency, and delayed-sampling graph gauges).
+    #[cfg(feature = "obs")]
+    pub fn with_obs(mut self, obs: probzelus_core::obs::Obs) -> Self {
+        self.engine.set_obs(obs);
+        self
+    }
+
     /// One closed-loop step: infer from sensors, then control.
     ///
     /// # Errors
@@ -284,6 +292,13 @@ impl TaskBot {
             target,
             eps,
         }
+    }
+
+    /// Attaches a telemetry handle to the underlying robot's engine.
+    #[cfg(feature = "obs")]
+    pub fn with_obs(mut self, obs: probzelus_core::obs::Obs) -> Self {
+        self.robot = self.robot.with_obs(obs);
+        self
     }
 
     /// Current automaton mode.

@@ -226,3 +226,127 @@ fn sds_stays_flat_while_classic_ds_grows_under_parallel_stepping() {
         "ClassicDs live-node count decreased"
     );
 }
+
+/// §6 / Fig. 15, witnessed through the telemetry subsystem: the graph
+/// gauges an attached sink receives *are* the bounded-memory evidence,
+/// so the claim can be audited from an export alone, without access to
+/// the engine.
+#[cfg(feature = "obs")]
+mod obs_witness {
+    use probzelus::core::infer::{Infer, Method};
+    use probzelus::core::obs::{names, MemorySink, Obs, WriterSink};
+    use std::sync::Arc;
+
+    /// Extracts `"key":<number>` from a JSONL line.
+    fn field_num(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\":");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+
+    /// The `(tick, value)` series of one metric in a JSONL export.
+    fn series(text: &str, typ: &str, name: &str) -> Vec<(u64, f64)> {
+        let typ_pat = format!("\"type\":\"{typ}\"");
+        let name_pat = format!("\"name\":\"{name}\"");
+        text.lines()
+            .filter(|l| l.contains(&typ_pat) && l.contains(&name_pat))
+            .map(|l| {
+                let tick = field_num(l, "tick").expect("line has a tick") as u64;
+                let value = field_num(l, "value").expect("line has a numeric value");
+                (tick, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sds_writer_export_witnesses_bounded_memory_over_10k_ticks() {
+        const TICKS: usize = 10_000;
+        let path = std::env::temp_dir().join("pz_memory_bounds_sds_10k.jsonl");
+        let obs = Obs::to(Arc::new(
+            WriterSink::create(&path).expect("temp dir is writable"),
+        ));
+        let mut engine = Infer::with_seed(
+            Method::StreamingDs,
+            1,
+            probzelus::models::Kalman::default(),
+            0,
+        )
+        .with_obs(obs.clone());
+        for t in 0..TICKS {
+            engine.step(&(t as f64 * 0.01).sin()).unwrap();
+        }
+        obs.flush().expect("flush succeeds");
+        drop(engine);
+
+        let text = std::fs::read_to_string(&path).expect("export exists");
+        std::fs::remove_file(&path).ok();
+
+        // Per-tick ESS and tick latency: one sample per step, every step.
+        let ess = series(&text, "gauge", names::STEP_ESS);
+        assert_eq!(ess.len(), TICKS, "one ESS gauge per tick");
+        let latency = series(&text, "histogram", names::STEP_LATENCY_MS);
+        assert_eq!(latency.len(), TICKS, "one latency sample per tick");
+        assert!(latency.iter().all(|&(_, v)| v.is_finite() && v >= 0.0));
+
+        // The bounded-memory witness: node and edge gauges never grow.
+        // Pointer-minimal SDS keeps the Kalman chain at <= 3 live nodes
+        // per particle whether at tick 10 or tick 10 000.
+        let nodes = series(&text, "gauge", names::DS_LIVE_NODES);
+        assert_eq!(nodes.len(), TICKS, "one live-node gauge per tick");
+        assert!(
+            nodes.iter().zip(0u64..).all(|(&(t, _), i)| t == i),
+            "ticks are contiguous from 0"
+        );
+        let peak = nodes.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        assert!(
+            peak <= 3.0,
+            "SDS live nodes not flat over 10k ticks: peak {peak}"
+        );
+        assert_eq!(
+            nodes.first().expect("non-empty").1,
+            nodes.last().expect("non-empty").1,
+            "live-node count drifted between first and last tick"
+        );
+        let edge_peak = series(&text, "gauge", names::DS_LIVE_EDGES)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        assert!(
+            edge_peak <= 3.0,
+            "SDS live edges not flat: peak {edge_peak}"
+        );
+    }
+
+    #[test]
+    fn classic_ds_gauges_grow_where_sds_stays_flat() {
+        let run = |method: Method, ticks: usize| {
+            let sink = Arc::new(MemorySink::new());
+            let mut engine = Infer::with_seed(method, 1, probzelus::models::Kalman::default(), 0)
+                .with_obs(Obs::to(sink.clone()));
+            for t in 0..ticks {
+                engine.step(&(t as f64 * 0.01).sin()).unwrap();
+            }
+            sink.gauge_series(names::DS_LIVE_NODES)
+        };
+
+        // Retain-all classic DS: the gauge records one extra node per tick.
+        let ds = run(Method::ClassicDs, 2_000);
+        assert_eq!(ds.len(), 2_000);
+        let (first, last) = (ds[0].1, ds[1_999].1);
+        assert!(
+            last >= first + 1_900.0,
+            "ClassicDs gauge failed to grow: {first} -> {last}"
+        );
+        assert!(
+            ds.windows(2).all(|w| w[1].1 >= w[0].1),
+            "ClassicDs live-node gauge decreased"
+        );
+
+        // Same model, same sink, SDS: flat.
+        let sds = run(Method::StreamingDs, 2_000);
+        let peak = sds.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        assert!(peak <= 3.0, "SDS gauge not flat: peak {peak}");
+    }
+}

@@ -1,0 +1,168 @@
+//! The telemetry export surface end to end: JSONL well-formedness from a
+//! real engine run, recovery events under injected faults, and worker-pool
+//! metrics under parallel stepping. Compiled only with `--features obs`.
+#![cfg(feature = "obs")]
+
+use probzelus::core::infer::{Infer, Method, Parallelism};
+use probzelus::core::model::Model;
+use probzelus::core::obs::{events, names, MemorySink, Obs, Record, WriterSink};
+use probzelus::core::prob::ProbCtx;
+use probzelus::core::supervisor::RecoveryPolicy;
+use probzelus::core::value::Value;
+use probzelus::core::RuntimeError;
+use probzelus::models::Kalman;
+use std::sync::Arc;
+
+/// Wraps a model and makes every particle fail at one scheduled tick.
+#[derive(Debug, Clone)]
+struct FaultAt<M> {
+    inner: M,
+    at: u64,
+    tick: u64,
+}
+
+impl<M: Model> Model for FaultAt<M> {
+    type Input = M::Input;
+
+    fn step(&mut self, ctx: &mut dyn ProbCtx, input: &M::Input) -> Result<Value, RuntimeError> {
+        let tick = self.tick;
+        self.tick += 1;
+        if tick == self.at {
+            return Err(RuntimeError::Host(format!("injected fault at tick {tick}")));
+        }
+        self.inner.step(ctx, input)
+    }
+
+    fn reset(&mut self) {
+        self.tick = 0;
+        self.inner.reset();
+    }
+
+    fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
+        self.inner.for_each_state_value(f);
+    }
+}
+
+#[test]
+fn jsonl_export_is_one_wellformed_object_per_line() {
+    let path = std::env::temp_dir().join("pz_obs_export_wellformed.jsonl");
+    let obs = Obs::to(Arc::new(
+        WriterSink::create(&path).expect("temp dir is writable"),
+    ));
+    let mut engine =
+        Infer::with_seed(Method::ParticleFilter, 16, Kalman::default(), 11).with_obs(obs.clone());
+    for t in 0..50 {
+        engine.step(&(t as f64 * 0.1).cos()).unwrap();
+    }
+    obs.flush().unwrap();
+    drop(engine);
+
+    let text = std::fs::read_to_string(&path).expect("export exists");
+    std::fs::remove_file(&path).ok();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object: {line}"
+        );
+        assert!(
+            line.contains("\"type\":\"") && line.contains("\"name\":\""),
+            "missing type/name: {line}"
+        );
+        assert!(
+            line.contains("\"engine\":\"PF\""),
+            "missing engine scope: {line}"
+        );
+        // Balanced quoting: JSON string syntax means an even number of
+        // unescaped quotes on every line.
+        let (mut quotes, mut prev) = (0usize, b' ');
+        for &c in line.as_bytes() {
+            if c == b'"' && prev != b'\\' {
+                quotes += 1;
+            }
+            prev = c;
+        }
+        assert!(quotes % 2 == 0, "unbalanced quotes: {line}");
+    }
+    assert!(
+        text.lines()
+            .any(|l| l.contains(&format!("\"name\":\"{}\"", events::ENGINE_ATTACH))),
+        "attach event missing"
+    );
+}
+
+#[test]
+fn injected_faults_export_recovery_events_and_fault_counters() {
+    let sink = Arc::new(MemorySink::new());
+    let model = FaultAt {
+        inner: Kalman::default(),
+        at: 5,
+        tick: 0,
+    };
+    let mut engine = Infer::with_seed(Method::ParticleFilter, 8, model, 2)
+        .with_recovery_policy(RecoveryPolicy::Rejuvenate)
+        .with_obs(Obs::to(sink.clone()));
+    for t in 0..10 {
+        engine.step(&(t as f64 * 0.1)).unwrap();
+    }
+
+    // All 8 particles faulted at tick 5 and were rejuvenated: one
+    // recovery event each, mirrored by the fault counter.
+    assert_eq!(sink.event_count(events::RECOVERY), 8);
+    assert_eq!(sink.counter_total(names::STEP_FAULTS), 8.0);
+    let recovery_fields: Vec<Vec<(String, String)>> = sink
+        .records()
+        .iter()
+        .filter_map(|r| match r {
+            Record::Event { name, fields, .. } if name == events::RECOVERY => Some(fields.clone()),
+            _ => None,
+        })
+        .collect();
+    for fields in &recovery_fields {
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["particle", "fault", "action"]);
+        let fault = &fields[1].1;
+        assert!(
+            fault.contains("injected fault at tick 5"),
+            "fault text lost: {fault}"
+        );
+    }
+}
+
+#[test]
+fn parallel_stepping_exports_pool_metrics() {
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = Infer::with_seed(Method::ParticleFilter, 16, Kalman::default(), 5)
+        .with_parallelism(Parallelism::Threads(2))
+        .with_obs(Obs::to(sink.clone()));
+    let steps = 20;
+    for t in 0..steps {
+        engine.step(&(t as f64 * 0.1)).unwrap();
+    }
+
+    // One queue-depth gauge per pool batch (= per engine step), and at
+    // least one per-job latency sample per batch.
+    let depth = sink.gauge_series(names::POOL_QUEUE_DEPTH);
+    assert_eq!(depth.len(), steps, "one queue-depth gauge per step");
+    assert!(depth.iter().all(|&(_, v)| v >= 1.0));
+    let jobs = sink.histogram_values(names::POOL_JOB_MS);
+    assert!(
+        jobs.len() >= steps,
+        "expected >= {steps} job latency samples, got {}",
+        jobs.len()
+    );
+    assert!(jobs.iter().all(|v| v.is_finite() && *v >= 0.0));
+}
+
+#[test]
+fn detached_engine_exports_nothing() {
+    // `Obs::off` is the default: a run without a sink must not record.
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = Infer::with_seed(Method::StreamingDs, 4, Kalman::default(), 9);
+    for t in 0..20 {
+        engine.step(&(t as f64 * 0.1)).unwrap();
+    }
+    assert!(sink.is_empty());
+    drop(engine);
+    assert_eq!(Arc::strong_count(&sink), 1);
+}
