@@ -613,6 +613,10 @@ pub mod events {
     pub const COLLAPSE: &str = "collapse";
     /// A dead pool worker was respawned. Fields: `worker`.
     pub const POOL_RESPAWN: &str = "pool.respawn";
+    /// A static-analysis advisory about the selected inference method
+    /// (e.g. classic DS on a provably bounded model). Fields: `node`,
+    /// `method`, `message`.
+    pub const CHECK_ADVISORY: &str = "check.advisory";
 }
 
 /// Description of one registered metric.
@@ -790,6 +794,11 @@ pub const EVENTS: &[EventDesc] = &[
         name: events::POOL_RESPAWN,
         fields: &["worker"],
         help: "a dead pool worker was respawned",
+    },
+    EventDesc {
+        name: events::CHECK_ADVISORY,
+        fields: &["node", "method", "message"],
+        help: "static-analysis advisory about the selected inference method",
     },
 ];
 

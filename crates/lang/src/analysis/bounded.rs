@@ -1,0 +1,566 @@
+//! Bounded-memory delayed-sampling analysis.
+//!
+//! Streaming delayed sampling (§5–6 of the paper) keeps inference in
+//! constant memory only when every chain of linked marginal nodes is
+//! eventually cut: a `pre`-carried random variable whose parent is never
+//! consumed by an `observe` or `value` drags an ever-growing conjugate
+//! chain from tick to tick (the classic-DS failure mode the paper's Fig. 14
+//! measures). This module proves per-node chain boundedness by abstract
+//! interpretation over the scheduled kernel program.
+//!
+//! Each stream variable is abstracted by a [`Shape`] in the lattice
+//!
+//! ```text
+//! Const < Det < Sampled < Marginal(1) < Marginal(2) < … < Top
+//! ```
+//!
+//! where `Marginal(k)` means "head of a chain of `k` linked marginal
+//! nodes" and `Top` means the depth exceeded [`DEPTH_CAP`]. One abstract
+//! *tick* evaluates the node's equations in scheduled order; `last x`
+//! reads the shape carried from the previous tick; `observe`/`value`
+//! *consume* the random variables their arguments read (realizing them to
+//! `Sampled`, in the environment and in the carried state, following
+//! copy aliases). The tick function iterates until the carried state
+//! reaches a fixpoint (or [`MAX_TICKS`], a backstop the saturating depth
+//! makes unreachable for genuinely growing chains).
+//!
+//! The verdict is [`Verdict::Bounded`] with the deepest chain ever built,
+//! or [`Verdict::Unbounded`] with a witness cycle of stream variables that
+//! feed each other's chains.
+
+use crate::analysis::{collect_reads, each_eq};
+use crate::ast::{Eq, Expr, NodeDecl, Program};
+use crate::error::Pos;
+use crate::kinds::Kind;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Chain depth at which the analysis saturates to `Top`.
+const DEPTH_CAP: u32 = 8;
+
+/// Backstop on abstract ticks per node (the carried state normally
+/// reaches a fixpoint much sooner).
+const MAX_TICKS: usize = 24;
+
+/// Abstract delayed-sampling shape of one stream value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Shape {
+    /// Compile-time constant.
+    Const,
+    /// Deterministic function of the node's inputs.
+    Det,
+    /// A realized (observed or forced) random variable.
+    Sampled,
+    /// Head of a chain of `k` linked marginal nodes.
+    Marginal(u32),
+    /// Chain depth exceeded [`DEPTH_CAP`].
+    Top,
+}
+
+impl Shape {
+    fn join(self, other: Shape) -> Shape {
+        self.max(other)
+    }
+
+    fn is_random(self) -> bool {
+        matches!(self, Shape::Marginal(_) | Shape::Top)
+    }
+
+    fn depth(self) -> u32 {
+        match self {
+            Shape::Marginal(k) => k,
+            _ => 0,
+        }
+    }
+}
+
+/// Per-node result of the boundedness analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every delayed-sampling chain the node builds has at most `k`
+    /// linked marginal nodes, at every tick.
+    Bounded(u32),
+    /// Some `pre`-carried random variable's chain never stabilizes: its
+    /// parent is not consumed by `observe`/`value` on every path. The
+    /// witness lists stream variables feeding each other's chains, with
+    /// the first repeated at the end to close the cycle.
+    Unbounded {
+        /// The growing cycle, e.g. `["x", "x"]` for a self-feeding chain.
+        witness: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Bounded(k) => write!(f, "Bounded({k})"),
+            Verdict::Unbounded { witness } => write!(f, "Unbounded({})", witness.join(" -> ")),
+        }
+    }
+}
+
+/// An observation whose distribution and observed value are both
+/// compile-time constants (it conditions nothing; feeds the
+/// `observe-constant` lint).
+#[derive(Debug, Clone)]
+pub struct ConstObserve {
+    /// Node the observation occurs in.
+    pub node: String,
+    /// Span of the `observe`, when known.
+    pub pos: Option<Pos>,
+}
+
+/// The result of analyzing a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedReport {
+    /// Verdict per node.
+    pub verdicts: HashMap<String, Verdict>,
+    /// Provably state-independent observations.
+    pub const_observes: Vec<ConstObserve>,
+}
+
+/// Analyzes every node of a scheduled kernel program (nodes are analyzed
+/// in declaration order, so applications fold in the callee's verdict).
+pub fn analyze_program(kernel: &Program, kinds: &HashMap<String, Kind>) -> BoundedReport {
+    let mut report = BoundedReport::default();
+    for node in &kernel.nodes {
+        let mut a = NodeAnalyzer {
+            kinds,
+            summaries: &report.verdicts,
+            env: HashMap::new(),
+            carried: HashMap::new(),
+            aliases: HashMap::new(),
+            max_depth: 0,
+            saturated: false,
+            const_observes: Vec::new(),
+        };
+        let verdict = a.run(node);
+        for pos in a.const_observes {
+            report.const_observes.push(ConstObserve {
+                node: node.name.clone(),
+                pos,
+            });
+        }
+        report.verdicts.insert(node.name.clone(), verdict);
+    }
+    report
+}
+
+struct NodeAnalyzer<'a> {
+    kinds: &'a HashMap<String, Kind>,
+    summaries: &'a HashMap<String, Verdict>,
+    /// Shape of each variable this tick.
+    env: HashMap<String, Shape>,
+    /// Shape carried across the tick boundary by `last`.
+    carried: HashMap<String, Shape>,
+    /// Copy equations `m = x`, used to realize aliases together.
+    aliases: HashMap<String, String>,
+    max_depth: u32,
+    saturated: bool,
+    const_observes: Vec<Option<Pos>>,
+}
+
+impl NodeAnalyzer<'_> {
+    fn run(&mut self, node: &NodeDecl) -> Verdict {
+        each_eq(&node.body, &mut |eq| {
+            if let Eq::Init { name, .. } = eq {
+                self.carried.insert(name.clone(), Shape::Const);
+            }
+        });
+        for _ in 0..MAX_TICKS {
+            self.env.clear();
+            self.aliases.clear();
+            for v in node.param.vars() {
+                self.env.insert(v.to_string(), Shape::Det);
+            }
+            let _ = self.eval(&node.body, None);
+            let mut next = self.carried.clone();
+            for (name, shape) in &mut next {
+                if let Some(s) = self.env.get(name) {
+                    *shape = *s;
+                }
+            }
+            if next == self.carried {
+                break;
+            }
+            self.carried = next;
+        }
+        if self.saturated {
+            Verdict::Unbounded {
+                witness: self.witness(node),
+            }
+        } else {
+            Verdict::Bounded(self.max_depth)
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, pos: Option<Pos>) -> Shape {
+        match e {
+            Expr::At(inner, p) => self.eval(inner, Some(*p)),
+            Expr::Const(_) => Shape::Const,
+            Expr::Var(x) => self.env.get(x.as_str()).copied().unwrap_or(Shape::Det),
+            Expr::Last(x) => self
+                .carried
+                .get(x.as_str())
+                .copied()
+                .unwrap_or(Shape::Const),
+            Expr::Pair(a, b) => {
+                let sa = self.eval(a, pos);
+                let sb = self.eval(b, pos);
+                sa.join(sb)
+            }
+            Expr::Op(_, args) => args.iter().fold(Shape::Const, |acc, a| {
+                let s = self.eval(a, pos);
+                acc.join(s)
+            }),
+            Expr::App(f, arg) => {
+                let sa = self.eval(arg, pos);
+                if self.kinds.get(f.as_str()) == Some(&Kind::P) {
+                    self.apply_summary(f, sa)
+                } else {
+                    Shape::Det.join(sa)
+                }
+            }
+            Expr::Where { body, eqs } => {
+                for eq in eqs {
+                    if let Eq::Def { name, expr } = eq {
+                        let s = self.eval(expr, pos);
+                        if let Expr::Var(y) = expr.peel() {
+                            self.aliases.insert(name.clone(), y.clone());
+                        }
+                        self.env.insert(name.clone(), s);
+                    }
+                }
+                self.eval(body, pos)
+            }
+            Expr::If { cond, then, els } => {
+                // Strict: both branches run, so their consumptions persist.
+                let _ = self.eval(cond, pos);
+                let st = self.eval(then, pos);
+                let se = self.eval(els, pos);
+                st.join(se)
+            }
+            Expr::Present { cond, then, els } => {
+                // Lazy: a branch only realizes variables when taken, so
+                // post-branch states are joined (join discards a
+                // consumption unless both branches perform it).
+                let _ = self.eval(cond, pos);
+                let saved_env = self.env.clone();
+                let saved_carried = self.carried.clone();
+                let st = self.eval(then, pos);
+                let env_then = std::mem::replace(&mut self.env, saved_env);
+                let carried_then = std::mem::replace(&mut self.carried, saved_carried);
+                let se = self.eval(els, pos);
+                for (k, v) in env_then {
+                    let cur = self.env.entry(k).or_insert(v);
+                    *cur = cur.join(v);
+                }
+                for (k, v) in carried_then {
+                    let cur = self.carried.entry(k).or_insert(v);
+                    *cur = cur.join(v);
+                }
+                st.join(se)
+            }
+            Expr::Reset { body, every } => {
+                // Ignoring the reset (which only shrinks chains) is a
+                // sound upper bound.
+                let _ = self.eval(every, pos);
+                self.eval(body, pos)
+            }
+            Expr::Sample(d) => {
+                let sd = self.eval(d, pos);
+                self.sample_result(sd)
+            }
+            Expr::Observe(d, v) => {
+                let sd = self.eval(d, pos);
+                let sv = self.eval(v, pos);
+                if sd == Shape::Const && sv == Shape::Const {
+                    self.const_observes.push(pos);
+                }
+                self.consume(d);
+                Shape::Const
+            }
+            Expr::Factor(w) => {
+                let _ = self.eval(w, pos);
+                Shape::Const
+            }
+            Expr::ValueOp(x) => {
+                let _ = self.eval(x, pos);
+                self.consume(x);
+                Shape::Det
+            }
+            Expr::Infer { arg, .. } => {
+                let _ = self.eval(arg, pos);
+                Shape::Det
+            }
+            Expr::Arrow(a, b) | Expr::Fby(a, b) => {
+                let sa = self.eval(a, pos);
+                let sb = self.eval(b, pos);
+                sa.join(sb)
+            }
+            Expr::Pre(x) => self.eval(x, pos),
+        }
+    }
+
+    /// `sample` from a distribution whose parameters have shape `parent`:
+    /// extends the parent's chain by one node.
+    fn sample_result(&mut self, parent: Shape) -> Shape {
+        let s = match parent {
+            Shape::Top => {
+                self.saturated = true;
+                Shape::Top
+            }
+            Shape::Marginal(k) if k >= DEPTH_CAP => {
+                self.saturated = true;
+                Shape::Top
+            }
+            Shape::Marginal(k) => Shape::Marginal(k + 1),
+            _ => Shape::Marginal(1),
+        };
+        self.max_depth = self.max_depth.max(s.depth());
+        s
+    }
+
+    /// Applying a probabilistic node folds the callee's verdict: its
+    /// internal chains contribute at most its bound on top of the
+    /// argument's chain.
+    fn apply_summary(&mut self, f: &str, arg: Shape) -> Shape {
+        let base = match self.summaries.get(f) {
+            Some(Verdict::Bounded(k)) => (*k).max(1),
+            Some(Verdict::Unbounded { .. }) | None => {
+                self.saturated = true;
+                return Shape::Top;
+            }
+        };
+        let s = match arg {
+            Shape::Top => {
+                self.saturated = true;
+                Shape::Top
+            }
+            Shape::Marginal(j) if j + base > DEPTH_CAP => {
+                self.saturated = true;
+                Shape::Top
+            }
+            Shape::Marginal(j) => Shape::Marginal(j + base),
+            _ => Shape::Marginal(base),
+        };
+        self.max_depth = self.max_depth.max(s.depth());
+        s
+    }
+
+    /// Realizes every random variable read by `e` (and its copy aliases):
+    /// `observe`/`value` cut the chain at the consumed node.
+    fn consume(&mut self, e: &Expr) {
+        let mut reads = Vec::new();
+        collect_reads(e, &mut reads);
+        let mut names: HashSet<String> = HashSet::new();
+        for name in reads {
+            names.insert(self.resolve_alias(&name));
+            names.insert(name);
+        }
+        let also: Vec<String> = self
+            .aliases
+            .keys()
+            .filter(|a| names.contains(&self.resolve_alias(a)))
+            .cloned()
+            .collect();
+        names.extend(also);
+        for name in names {
+            if let Some(s) = self.env.get_mut(&name) {
+                if s.is_random() {
+                    *s = Shape::Sampled;
+                }
+            }
+            if let Some(s) = self.carried.get_mut(&name) {
+                if s.is_random() {
+                    *s = Shape::Sampled;
+                }
+            }
+        }
+    }
+
+    fn resolve_alias(&self, name: &str) -> String {
+        let mut cur = name;
+        let mut hops = 0;
+        while let Some(next) = self.aliases.get(cur) {
+            cur = next;
+            hops += 1;
+            if hops > 32 {
+                break;
+            }
+        }
+        cur.to_string()
+    }
+
+    /// A cycle of saturated stream variables feeding each other's chains:
+    /// an edge `x -> y` means the definition of `x` reads `y` (directly or
+    /// through `last` / a copy alias) and both saturated.
+    fn witness(&self, node: &NodeDecl) -> Vec<String> {
+        let tops: BTreeSet<String> = self
+            .env
+            .iter()
+            .chain(self.carried.iter())
+            .filter(|(_, s)| matches!(s, Shape::Top))
+            .map(|(k, _)| self.resolve_alias(k))
+            .collect();
+        let mut edges: HashMap<String, BTreeSet<String>> = HashMap::new();
+        each_eq(&node.body, &mut |eq| {
+            if let Eq::Def { name, expr } = eq {
+                let x = self.resolve_alias(name);
+                if !tops.contains(&x) {
+                    return;
+                }
+                let mut reads = Vec::new();
+                collect_reads(expr, &mut reads);
+                for y in reads {
+                    let y = self.resolve_alias(&y);
+                    if tops.contains(&y) {
+                        edges.entry(x.clone()).or_default().insert(y);
+                    }
+                }
+            }
+        });
+        for start in &tops {
+            if let Some(cycle) = find_cycle(&edges, start) {
+                return cycle;
+            }
+        }
+        let v = tops
+            .iter()
+            .next()
+            .cloned()
+            .unwrap_or_else(|| node.name.clone());
+        vec![v.clone(), v]
+    }
+}
+
+/// A path `start -> … -> start` in the read graph, if one exists.
+fn find_cycle(edges: &HashMap<String, BTreeSet<String>>, start: &str) -> Option<Vec<String>> {
+    let mut stack = vec![(start.to_string(), vec![start.to_string()])];
+    let mut visited: HashSet<String> = HashSet::new();
+    while let Some((cur, path)) = stack.pop() {
+        for next in edges.get(&cur).into_iter().flatten() {
+            if next == start {
+                let mut p = path.clone();
+                p.push(start.to_string());
+                return Some(p);
+            }
+            if visited.insert(next.clone()) {
+                let mut p = path.clone();
+                p.push(next.clone());
+                stack.push((next.clone(), p));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds;
+    use crate::parser::parse_program;
+    use crate::schedule::schedule_program;
+    use crate::transform::desugar_program;
+
+    fn analyze(src: &str) -> BoundedReport {
+        let p = parse_program(src).unwrap();
+        let p = crate::automata::expand_program(&p).unwrap();
+        let kinds = kinds::check_program(&p).unwrap();
+        let kernel = desugar_program(&p);
+        let kernel = schedule_program(&kernel).unwrap();
+        analyze_program(&kernel, &kinds)
+    }
+
+    #[test]
+    fn deterministic_node_is_bounded_zero() {
+        let r = analyze("let node counter x = c where rec c = 0. -> pre c + x");
+        assert_eq!(r.verdicts["counter"], Verdict::Bounded(0));
+    }
+
+    #[test]
+    fn the_observed_hmm_is_bounded_one() {
+        let r = analyze(
+            r#"
+            let node hmm y = x where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+              and () = observe (gaussian (x, 1.), y)
+            let node main y = infer 100 hmm y
+            "#,
+        );
+        assert_eq!(r.verdicts["hmm"], Verdict::Bounded(1));
+        assert_eq!(r.verdicts["main"], Verdict::Bounded(0));
+    }
+
+    #[test]
+    fn unobserved_pre_chain_is_unbounded_with_a_witness() {
+        let r = analyze(
+            r#"
+            let node drift () = x where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+            "#,
+        );
+        match &r.verdicts["drift"] {
+            Verdict::Unbounded { witness } => {
+                assert!(witness.contains(&"x".to_string()), "witness: {witness:?}");
+                assert!(witness.len() >= 2);
+            }
+            other => panic!("expected unbounded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn value_consumption_cuts_the_chain() {
+        let r = analyze(
+            r#"
+            let node forced () = v where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+              and v = value (x)
+            "#,
+        );
+        assert!(
+            matches!(r.verdicts["forced"], Verdict::Bounded(_)),
+            "got {}",
+            r.verdicts["forced"]
+        );
+    }
+
+    #[test]
+    fn applying_an_unbounded_node_is_unbounded() {
+        let r = analyze(
+            r#"
+            let node drift () = x where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+            let node wrapper () = drift () + 0.
+            "#,
+        );
+        assert!(matches!(r.verdicts["wrapper"], Verdict::Unbounded { .. }));
+    }
+
+    #[test]
+    fn constant_observation_is_reported() {
+        let r = analyze("let node silly y = observe (gaussian (0., 1.), 2.)");
+        assert_eq!(r.const_observes.len(), 1);
+        assert_eq!(r.const_observes[0].node, "silly");
+        // A state-dependent observation is not.
+        let r = analyze(
+            r#"
+            let node fine y = x where
+              rec x = sample (gaussian (0. -> pre x, 1.))
+              and () = observe (gaussian (x, 1.), y)
+            "#,
+        );
+        assert!(r.const_observes.is_empty());
+    }
+
+    #[test]
+    fn verdict_display_is_stable() {
+        assert_eq!(Verdict::Bounded(2).to_string(), "Bounded(2)");
+        assert_eq!(
+            Verdict::Unbounded {
+                witness: vec!["x".into(), "x".into()]
+            }
+            .to_string(),
+            "Unbounded(x -> x)"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Style lints over checked programs, with per-node suppression.
+//!
+//! Three lints ride on the check pipeline (all severity
+//! [`Severity::Lint`](crate::diag::Severity), so they never fail a build):
+//!
+//! * `unused-stream` ([`Code::LINT_UNUSED_STREAM`]) — an equation defines
+//!   a stream nothing reads.
+//! * `observe-constant` ([`Code::LINT_OBSERVE_CONST`]) — an `observe`
+//!   whose distribution and value are both compile-time constants.
+//! * `resample-free-infer` ([`Code::LINT_RESAMPLE_FREE`]) — `infer` of a
+//!   node that never conditions (no `observe`/`factor`, transitively).
+//!
+//! A lint (or the `unbounded-chain` warning) is suppressed by an allow
+//! directive comment inside the offending node:
+//!
+//! ```text
+//! (*@ allow unused-stream *)
+//! ```
+//!
+//! A directive before the first node applies to the whole file.
+
+use crate::analysis::bounded::BoundedReport;
+use crate::analysis::{walk, walk_at};
+use crate::ast::{Eq, Expr, Program};
+use crate::diag::{lint_name, Code, Diagnostic};
+use crate::kinds::Kind;
+use crate::lexer::collect_allows;
+use std::collections::{HashMap, HashSet};
+
+/// Runs all lints over a checked program.
+///
+/// `program` is the automata-expanded surface program (before
+/// desugaring, so equations are the ones the user wrote); `report` comes
+/// from [`crate::analysis::bounded::analyze_program`]. Suppression
+/// directives are honored; results are sorted by source position.
+pub fn lint_program(
+    src: &str,
+    program: &Program,
+    kinds: &HashMap<String, Kind>,
+    report: &BoundedReport,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    unused_streams(program, &mut out);
+    observe_constants(report, &mut out);
+    resample_free_infers(program, kinds, &mut out);
+    filter_suppressed(src, out)
+}
+
+/// Drops diagnostics suppressed by `(*@ allow lint-name *)` directives.
+/// Applies to any diagnostic whose code has a lint name (including the
+/// `unbounded-chain` warning); position-less diagnostics only respond to
+/// file-level directives.
+pub fn filter_suppressed(src: &str, mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let allows = collect_allows(src);
+    if !allows.is_empty() {
+        let starts = node_start_lines(src);
+        let scope_of = |line: u32| starts.partition_point(|s| *s <= line);
+        diags.retain(|d| {
+            let Some(name) = lint_name(d.code) else {
+                return true;
+            };
+            let scope = d.pos.map(|p| scope_of(p.line));
+            !allows.iter().any(|a| {
+                a.names.iter().any(|n| n == name) && {
+                    let a_scope = scope_of(a.pos.line);
+                    a_scope == 0 || Some(a_scope) == scope
+                }
+            })
+        });
+    }
+    diags.sort_by_key(|d| {
+        (
+            d.pos.map_or((u32::MAX, u32::MAX), |p| (p.line, p.col)),
+            d.code.0,
+        )
+    });
+    diags
+}
+
+/// 1-based line numbers at which `let node` declarations start, in order.
+fn node_start_lines(src: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let mut words = line.split_whitespace();
+        if words.next() == Some("let") && words.next() == Some("node") {
+            out.push(i as u32 + 1);
+        }
+    }
+    out
+}
+
+fn unused_streams(program: &Program, out: &mut Vec<Diagnostic>) {
+    for node in &program.nodes {
+        walk(&node.body, &mut |e| {
+            let Expr::Where { body, eqs } = e else {
+                return;
+            };
+            // Reads per source: the block's body, and each definition
+            // attributed to the variable it defines (self-reads like
+            // `x = 0. -> pre x` don't count as uses of `x`).
+            let mut body_reads = Vec::new();
+            crate::analysis::collect_reads(body, &mut body_reads);
+            let body_reads: HashSet<String> = body_reads.into_iter().collect();
+            let mut def_reads: Vec<(String, HashSet<String>)> = Vec::new();
+            for eq in eqs {
+                if let Eq::Def { name, expr } = eq {
+                    let mut reads = Vec::new();
+                    crate::analysis::collect_reads(expr, &mut reads);
+                    def_reads.push((name.clone(), reads.into_iter().collect()));
+                }
+            }
+            for eq in eqs {
+                let Eq::Def { name, expr } = eq else { continue };
+                if name.starts_with('_') {
+                    continue;
+                }
+                let used = body_reads.contains(name)
+                    || def_reads
+                        .iter()
+                        .any(|(other, reads)| other != name && reads.contains(name));
+                if !used {
+                    out.push(
+                        Diagnostic::lint(
+                            Code::LINT_UNUSED_STREAM,
+                            format!(
+                                "stream `{name}` is defined but never used (in node `{}`)",
+                                node.name
+                            ),
+                        )
+                        .with_pos(expr.span())
+                        .with_note(
+                            "prefix the name with `_`, remove the equation, or add \
+                             `(*@ allow unused-stream *)`",
+                        ),
+                    );
+                }
+            }
+        });
+    }
+}
+
+fn observe_constants(report: &BoundedReport, out: &mut Vec<Diagnostic>) {
+    for co in &report.const_observes {
+        out.push(
+            Diagnostic::lint(
+                Code::LINT_OBSERVE_CONST,
+                format!(
+                    "`observe` of a constant distribution against a constant value \
+                     conditions nothing (in node `{}`)",
+                    co.node
+                ),
+            )
+            .with_pos(co.pos)
+            .with_note("the weight it contributes is the same for every particle"),
+        );
+    }
+}
+
+fn resample_free_infers(
+    program: &Program,
+    kinds: &HashMap<String, Kind>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut sites: Vec<(String, Option<crate::error::Pos>)> = Vec::new();
+    for node in &program.nodes {
+        walk_at(&node.body, None, &mut |e, pos| {
+            if let Expr::Infer { node: f, .. } = e {
+                sites.push((f.clone(), pos));
+            }
+        });
+    }
+    let mut reported: HashSet<String> = HashSet::new();
+    for (f, pos) in sites {
+        if kinds.get(f.as_str()) != Some(&Kind::P) || !reported.insert(f.clone()) {
+            continue;
+        }
+        let mut seen = HashSet::new();
+        if !conditions(program, &f, &mut seen) {
+            out.push(
+                Diagnostic::lint(
+                    Code::LINT_RESAMPLE_FREE,
+                    format!(
+                        "node `{f}` never observes or factors; `infer` will never \
+                         reweight or resample its particles"
+                    ),
+                )
+                .with_pos(pos)
+                .with_note("every particle keeps weight 1, so the posterior is the prior"),
+            );
+        }
+    }
+}
+
+/// Whether node `f` conditions the posterior (contains `observe` or
+/// `factor`), directly or through an applied node.
+fn conditions(program: &Program, f: &str, seen: &mut HashSet<String>) -> bool {
+    if !seen.insert(f.to_string()) {
+        return false;
+    }
+    let Some(decl) = program.node(f) else {
+        return false;
+    };
+    let mut found = false;
+    let mut apps: Vec<String> = Vec::new();
+    walk(&decl.body, &mut |e| match e {
+        Expr::Observe(_, _) | Expr::Factor(_) => found = true,
+        Expr::App(g, _) => apps.push(g.clone()),
+        _ => {}
+    });
+    found || apps.iter().any(|g| conditions(program, g, seen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::bounded;
+    use crate::kinds;
+    use crate::parser::parse_program;
+    use crate::schedule::schedule_program;
+    use crate::transform::desugar_program;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let p = parse_program(src).unwrap();
+        let p = crate::automata::expand_program(&p).unwrap();
+        let kinds = kinds::check_program(&p).unwrap();
+        let kernel = desugar_program(&p);
+        let kernel = schedule_program(&kernel).unwrap();
+        let report = bounded::analyze_program(&kernel, &kinds);
+        lint_program(src, &p, &kinds, &report)
+    }
+
+    #[test]
+    fn unused_stream_is_linted_and_underscore_escapes() {
+        let diags = lint("let node f x = y where rec y = x + 1. and dead = x * 2.");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::LINT_UNUSED_STREAM);
+        assert!(diags[0].message.contains("`dead`"));
+        let diags = lint("let node f x = y where rec y = x + 1. and _dead = x * 2.");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn self_read_does_not_count_as_a_use() {
+        let diags = lint("let node f x = y where rec y = x + 1. and dead = 0. -> pre dead");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::LINT_UNUSED_STREAM);
+    }
+
+    #[test]
+    fn observe_constant_is_linted() {
+        let diags = lint("let node f y = observe (gaussian (0., 1.), 2.)");
+        assert!(diags.iter().any(|d| d.code == Code::LINT_OBSERVE_CONST));
+    }
+
+    #[test]
+    fn resample_free_infer_is_linted() {
+        let src = r#"
+            let node prior () = sample (gaussian (0., 1.))
+            let node main () = infer 10 prior ()
+        "#;
+        let diags = lint(src);
+        assert!(
+            diags.iter().any(|d| d.code == Code::LINT_RESAMPLE_FREE),
+            "{diags:?}"
+        );
+        // Conditioning through an applied node clears it.
+        let src = r#"
+            let node noisy x = observe (gaussian (x, 1.), 0.)
+            let node model () = x where
+              rec x = sample (gaussian (0., 1.))
+              and () = noisy (x)
+            let node main () = infer 10 model ()
+        "#;
+        let diags = lint(src);
+        assert!(
+            !diags.iter().any(|d| d.code == Code::LINT_RESAMPLE_FREE),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn allow_directive_suppresses_within_its_node_only() {
+        let src = "let node f x = y where rec y = x + 1. and dead = x * 2.\n\
+                   let node g x = y where\n  \
+                   (*@ allow unused-stream *)\n  \
+                   rec y = x + 1. and dead = x * 2.\n";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].pos.unwrap().line, 1);
+    }
+
+    #[test]
+    fn file_level_allow_suppresses_everywhere() {
+        let src = "(*@ allow unused-stream *)\n\
+                   let node f x = y where rec y = x + 1. and dead = x * 2.\n";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Static analyses that run after the core pipeline checks succeed:
+//! delayed-sampling boundedness ([`bounded`]) and style lints ([`lints`]).
+//!
+//! Unlike the pipeline passes these are advisory — they never reject a
+//! program, they produce [`crate::diag::Diagnostic`]s (warnings and lints)
+//! and per-node verdicts that drivers can use to pick an inference method.
+
+pub mod bounded;
+pub mod lints;
+
+use crate::ast::{Eq, Expr};
+use crate::error::Pos;
+
+/// Pre-order visitor over every expression in a tree, including equation
+/// right-hand sides and automaton state machinery.
+pub(crate) fn walk<'e>(e: &'e Expr, f: &mut impl FnMut(&'e Expr)) {
+    f(e);
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => {}
+        Expr::At(inner, _)
+        | Expr::Sample(inner)
+        | Expr::Factor(inner)
+        | Expr::ValueOp(inner)
+        | Expr::Pre(inner) => walk(inner, f),
+        Expr::Pair(a, b) | Expr::Observe(a, b) | Expr::Arrow(a, b) | Expr::Fby(a, b) => {
+            walk(a, f);
+            walk(b, f);
+        }
+        Expr::Op(_, args) => {
+            for a in args {
+                walk(a, f);
+            }
+        }
+        Expr::App(_, arg) | Expr::Infer { arg, .. } => walk(arg, f),
+        Expr::Where { body, eqs } => {
+            for eq in eqs {
+                walk_eq(eq, f);
+            }
+            walk(body, f);
+        }
+        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+            walk(cond, f);
+            walk(then, f);
+            walk(els, f);
+        }
+        Expr::Reset { body, every } => {
+            walk(body, f);
+            walk(every, f);
+        }
+    }
+}
+
+/// Visits every expression reachable from an equation.
+pub(crate) fn walk_eq<'e>(eq: &'e Eq, f: &mut impl FnMut(&'e Expr)) {
+    match eq {
+        Eq::Def { expr, .. } => walk(expr, f),
+        Eq::Init { .. } => {}
+        Eq::Automaton { states } => {
+            for st in states {
+                for eq in &st.eqs {
+                    walk_eq(eq, f);
+                }
+                for (cond, _) in &st.transitions {
+                    walk(cond, f);
+                }
+            }
+        }
+    }
+}
+
+/// Visits every equation in an expression tree (outermost `where` blocks
+/// first, then nested ones).
+pub(crate) fn each_eq<'e>(e: &'e Expr, f: &mut impl FnMut(&'e Eq)) {
+    walk(e, &mut |x| {
+        if let Expr::Where { eqs, .. } = x {
+            for eq in eqs {
+                f(eq);
+            }
+        }
+    });
+}
+
+/// Like [`walk`], threading the nearest enclosing span annotation.
+pub(crate) fn walk_at<'e>(
+    e: &'e Expr,
+    pos: Option<Pos>,
+    f: &mut impl FnMut(&'e Expr, Option<Pos>),
+) {
+    f(e, pos);
+    match e {
+        Expr::At(inner, p) => walk_at(inner, Some(*p), f),
+        Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => {}
+        Expr::Sample(inner) | Expr::Factor(inner) | Expr::ValueOp(inner) | Expr::Pre(inner) => {
+            walk_at(inner, pos, f);
+        }
+        Expr::Pair(a, b) | Expr::Observe(a, b) | Expr::Arrow(a, b) | Expr::Fby(a, b) => {
+            walk_at(a, pos, f);
+            walk_at(b, pos, f);
+        }
+        Expr::Op(_, args) => {
+            for a in args {
+                walk_at(a, pos, f);
+            }
+        }
+        Expr::App(_, arg) | Expr::Infer { arg, .. } => walk_at(arg, pos, f),
+        Expr::Where { body, eqs } => {
+            for eq in eqs {
+                if let Eq::Def { expr, .. } = eq {
+                    walk_at(expr, pos, f);
+                }
+            }
+            walk_at(body, pos, f);
+        }
+        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+            walk_at(cond, pos, f);
+            walk_at(then, pos, f);
+            walk_at(els, pos, f);
+        }
+        Expr::Reset { body, every } => {
+            walk_at(body, pos, f);
+            walk_at(every, pos, f);
+        }
+    }
+}
+
+/// All variable reads (`x` and `last x`) in an expression, in visit order,
+/// possibly with duplicates.
+pub(crate) fn collect_reads(e: &Expr, out: &mut Vec<String>) {
+    walk(e, &mut |x| match x {
+        Expr::Var(name) | Expr::Last(name) => out.push(name.clone()),
+        _ => {}
+    });
+}

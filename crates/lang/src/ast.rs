@@ -2,6 +2,15 @@
 //! derived operators the paper desugars into the kernel (`->`, `pre`,
 //! `fby`): those are removed by [`crate::transform`] before kind checking,
 //! scheduling, and compilation.
+//!
+//! Source spans are carried by the transparent [`Expr::At`] wrapper, which
+//! the parser inserts around the expressions diagnostics most often point
+//! at (effectful operators, node applications, and equation right-hand
+//! sides). Every pass either threads the position into its errors or
+//! passes straight through it; [`Expr::peel`] and [`Expr::strip_spans`]
+//! recover the span-free structure.
+
+use crate::error::Pos;
 
 /// Literal constants.
 #[derive(Debug, Clone, PartialEq)]
@@ -278,6 +287,9 @@ pub enum Expr {
     Pre(Box<Expr>),
     /// Derived: `e1 fby e2` ≡ `e1 -> pre e2` (removed by desugaring).
     Fby(Box<Expr>, Box<Expr>),
+    /// Span annotation: semantically transparent, carries the source
+    /// position of the wrapped expression for diagnostics.
+    At(Box<Expr>, Pos),
 }
 
 impl Expr {
@@ -299,6 +311,80 @@ impl Expr {
     /// Int literal.
     pub fn int(n: i64) -> Expr {
         Expr::Const(Const::Int(n))
+    }
+
+    /// Wraps an expression with a source span.
+    pub fn at(e: Expr, pos: Pos) -> Expr {
+        Expr::At(Box::new(e), pos)
+    }
+
+    /// The underlying expression with any [`Expr::At`] wrappers removed
+    /// (outermost only; sub-expressions keep their spans).
+    pub fn peel(&self) -> &Expr {
+        let mut e = self;
+        while let Expr::At(inner, _) = e {
+            e = inner;
+        }
+        e
+    }
+
+    /// The outermost span annotation, if any.
+    pub fn span(&self) -> Option<Pos> {
+        match self {
+            Expr::At(_, p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// A structurally identical copy with every [`Expr::At`] removed.
+    /// Round-trip tests compare span-free trees with this.
+    pub fn strip_spans(&self) -> Expr {
+        fn b(e: &Expr) -> Box<Expr> {
+            Box::new(e.strip_spans())
+        }
+        match self {
+            Expr::At(inner, _) => inner.strip_spans(),
+            Expr::Const(c) => Expr::Const(c.clone()),
+            Expr::Var(x) => Expr::Var(x.clone()),
+            Expr::Pair(a, x) => Expr::Pair(b(a), b(x)),
+            Expr::Op(op, args) => Expr::Op(*op, args.iter().map(Expr::strip_spans).collect()),
+            Expr::App(f, arg) => Expr::App(f.clone(), b(arg)),
+            Expr::Last(x) => Expr::Last(x.clone()),
+            Expr::Where { body, eqs } => Expr::Where {
+                body: b(body),
+                eqs: eqs.iter().map(Eq::strip_spans).collect(),
+            },
+            Expr::Present { cond, then, els } => Expr::Present {
+                cond: b(cond),
+                then: b(then),
+                els: b(els),
+            },
+            Expr::Reset { body, every } => Expr::Reset {
+                body: b(body),
+                every: b(every),
+            },
+            Expr::If { cond, then, els } => Expr::If {
+                cond: b(cond),
+                then: b(then),
+                els: b(els),
+            },
+            Expr::Sample(d) => Expr::Sample(b(d)),
+            Expr::Observe(d, v) => Expr::Observe(b(d), b(v)),
+            Expr::Factor(w) => Expr::Factor(b(w)),
+            Expr::ValueOp(x) => Expr::ValueOp(b(x)),
+            Expr::Infer {
+                particles,
+                node,
+                arg,
+            } => Expr::Infer {
+                particles: *particles,
+                node: node.clone(),
+                arg: b(arg),
+            },
+            Expr::Arrow(a, x) => Expr::Arrow(b(a), b(x)),
+            Expr::Pre(x) => Expr::Pre(b(x)),
+            Expr::Fby(a, x) => Expr::Fby(b(a), b(x)),
+        }
     }
 }
 
@@ -343,6 +429,34 @@ pub struct AutoState {
 }
 
 impl Eq {
+    /// A copy with every [`Expr::At`] removed from contained expressions.
+    pub fn strip_spans(&self) -> Eq {
+        match self {
+            Eq::Def { name, expr } => Eq::Def {
+                name: name.clone(),
+                expr: expr.strip_spans(),
+            },
+            Eq::Init { name, value } => Eq::Init {
+                name: name.clone(),
+                value: value.clone(),
+            },
+            Eq::Automaton { states } => Eq::Automaton {
+                states: states
+                    .iter()
+                    .map(|s| AutoState {
+                        name: s.name.clone(),
+                        eqs: s.eqs.iter().map(Eq::strip_spans).collect(),
+                        transitions: s
+                            .transitions
+                            .iter()
+                            .map(|(c, t)| (c.strip_spans(), t.clone()))
+                            .collect(),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
     /// The variable this equation defines or initializes.
     ///
     /// # Panics

@@ -62,6 +62,7 @@ pub fn expand_program(p: &Program) -> Result<Program, LangError> {
 
 fn expand_expr(e: &Expr, fresh: &mut u32) -> Result<Expr, LangError> {
     Ok(match e {
+        Expr::At(inner, p) => Expr::at(expand_expr(inner, fresh)?, *p),
         Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => e.clone(),
         Expr::Pair(a, b) => Expr::pair(expand_expr(a, fresh)?, expand_expr(b, fresh)?),
         Expr::Op(op, args) => Expr::Op(

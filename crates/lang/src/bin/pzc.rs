@@ -1,9 +1,15 @@
 //! `pzc` — the ProbZelus compiler/runner CLI.
 //!
 //! ```text
-//! pzc check FILE                          # compile; print kinds & types
+//! pzc check FILE [--lint] [--json]        # full pipeline + static analyses
+//! pzc explain PZ0xxx                      # long-form help for a diagnostic
 //! pzc emit  FILE                          # print the compiled µF code
 //! pzc run   FILE NODE [options]           # run a node over an input stream
+//!
+//! check options:
+//!   --lint               also run style lints (unused-stream, ...)
+//!   --json               one JSON object per line: nodes, then diagnostics
+//!   --explain PZ0xxx     alias for the explain subcommand
 //!
 //! run options:
 //!   --inputs v1,v2,...   per-step inputs (floats, ints, bools, or () )
@@ -13,22 +19,25 @@
 //!   --seed S             RNG seed                      (default 0)
 //! ```
 //!
-//! Deterministic nodes are stepped directly (their embedded `infer` sites
-//! use the selected method); probabilistic nodes are wrapped in an engine
-//! and their per-step posterior mean/variance is printed.
+//! `check` exits nonzero only on error-severity diagnostics; warnings and
+//! lints are reported but do not fail the build. Deterministic nodes are
+//! stepped directly by `run` (their embedded `infer` sites use the
+//! selected method); probabilistic nodes are wrapped in an engine and
+//! their per-step posterior mean/variance is printed.
 
 use probzelus_core::infer::Method;
 use probzelus_core::Value;
+use probzelus_lang::diag;
 use probzelus_lang::eval::Options;
 use probzelus_lang::muf::MufValue;
 use probzelus_lang::muf_pretty::print_muf_program;
-use probzelus_lang::pipeline::compile_source;
-use probzelus_lang::Kind;
+use probzelus_lang::pipeline::{check_source, compile_source};
+use probzelus_lang::{Code, Kind, Severity};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("pzc: {msg}");
             ExitCode::from(1)
@@ -37,12 +46,13 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: pzc <check|emit|run> FILE [NODE] [--inputs v1,v2,..] [--steps N] \
+    "usage: pzc <check|explain|emit|run> FILE|CODE [NODE] [--lint] [--json] \
+     [--explain PZ0xxx] [--inputs v1,v2,..] [--steps N] \
      [--method sds|bds|pf|ds|is] [--particles N] [--seed S]"
         .to_string()
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pos = Vec::new();
     let mut inputs: Option<String> = None;
@@ -50,11 +60,17 @@ fn run() -> Result<(), String> {
     let mut method = Method::StreamingDs;
     let mut particles = 1000usize;
     let mut seed = 0u64;
+    let mut lint = false;
+    let mut json = false;
+    let mut explain: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let mut flag_value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
+            "--lint" => lint = true,
+            "--json" => json = true,
+            "--explain" => explain = Some(flag_value("--explain")?),
             "--inputs" => inputs = Some(flag_value("--inputs")?),
             "--steps" => {
                 steps = Some(
@@ -90,34 +106,31 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let (cmd, file) = match (pos.first(), pos.get(1)) {
+    if let Some(code) = explain {
+        return explain_code(&code);
+    }
+
+    let (cmd, arg) = match (pos.first(), pos.get(1)) {
         (Some(c), Some(f)) => (c.clone(), f.clone()),
         _ => return Err(usage()),
     };
+
+    if cmd == "explain" {
+        return explain_code(&arg);
+    }
+
+    let file = arg;
     let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
-    let compiled = compile_source(&src).map_err(|e| format!("{file}: {e}"))?;
 
     match cmd.as_str() {
-        "check" => {
-            println!("{file}: ok ({} nodes)", compiled.kinds.len());
-            let mut names: Vec<&String> = compiled.kinds.keys().collect();
-            names.sort();
-            for name in names {
-                let sig = &compiled.sigs[name];
-                println!(
-                    "  {:<4} node {name} : {} -> {}",
-                    compiled.kinds[name].to_string(),
-                    sig.input,
-                    sig.output
-                );
-            }
-            Ok(())
-        }
+        "check" => Ok(check(&file, &src, lint, json)),
         "emit" => {
+            let compiled = compile_source(&src).map_err(|e| format!("{file}: {e}"))?;
             print!("{}", print_muf_program(&compiled.muf));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "run" => {
+            let compiled = compile_source(&src).map_err(|e| format!("{file}: {e}"))?;
             let node = pos
                 .get(2)
                 .cloned()
@@ -141,7 +154,7 @@ fn run() -> Result<(), String> {
                         let out = inst.step(stream(t)).map_err(|e| e.to_string())?;
                         println!("{t}: {}", render(&out));
                     }
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
                 Some(Kind::P) => {
                     let mut eng = compiled
@@ -156,12 +169,94 @@ fn run() -> Result<(), String> {
                             post.variance_float()
                         );
                     }
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
             }
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+/// `pzc check`: pipeline + boundedness analysis (+ lints), diagnostics to
+/// stderr, node summary to stdout. Exits nonzero only on hard errors.
+fn check(file: &str, src: &str, lint: bool, json: bool) -> ExitCode {
+    let checked = check_source(src, lint);
+    if json {
+        if let Some(compiled) = &checked.compiled {
+            let mut names: Vec<&String> = compiled.kinds.keys().collect();
+            names.sort();
+            for name in names {
+                let sig = &compiled.sigs[name];
+                let verdict = compiled
+                    .bounded
+                    .get(name)
+                    .map_or_else(|| "unknown".to_string(), |v| v.to_string());
+                println!(
+                    "{{\"kind\":\"node\",\"name\":\"{name}\",\"node_kind\":\"{}\",\
+                     \"input\":\"{}\",\"output\":\"{}\",\"verdict\":\"{verdict}\"}}",
+                    compiled.kinds[name], sig.input, sig.output
+                );
+            }
+        }
+        for d in &checked.diagnostics {
+            println!("{}", d.to_json());
+        }
+    } else {
+        for d in &checked.diagnostics {
+            eprintln!("{}", d.render(file, src));
+        }
+        if let Some(compiled) = &checked.compiled {
+            println!("{file}: ok ({} nodes)", compiled.kinds.len());
+            let mut names: Vec<&String> = compiled.kinds.keys().collect();
+            names.sort();
+            for name in names {
+                let sig = &compiled.sigs[name];
+                let verdict = compiled
+                    .bounded
+                    .get(name)
+                    .map_or_else(|| "unknown".to_string(), |v| v.to_string());
+                println!(
+                    "  {:<4} node {name} : {} -> {}  [{verdict}]",
+                    compiled.kinds[name].to_string(),
+                    sig.input,
+                    sig.output
+                );
+            }
+        }
+        let (errors, warnings, lints) =
+            checked
+                .diagnostics
+                .iter()
+                .fold((0usize, 0usize, 0usize), |(e, w, l), d| match d.severity {
+                    Severity::Error => (e + 1, w, l),
+                    Severity::Warning => (e, w + 1, l),
+                    Severity::Lint => (e, w, l + 1),
+                });
+        if errors + warnings + lints > 0 {
+            eprintln!("{file}: {errors} error(s), {warnings} warning(s), {lints} lint(s)");
+        }
+    }
+    if checked.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn explain_code(spec: &str) -> Result<ExitCode, String> {
+    let code = Code::parse(spec).ok_or_else(|| {
+        format!(
+            "unknown diagnostic code `{spec}` (known: {})",
+            diag::ALL_CODES
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let text = diag::explain(code).ok_or_else(|| format!("no explanation for `{code}`"))?;
+    println!("{text}");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn parse_inputs(spec: Option<&str>) -> Result<Option<Vec<Value>>, String> {

@@ -154,6 +154,7 @@ impl Compiler {
     /// C(·): the transition function of an expression (Fig. 20).
     fn c(&mut self, e: &Expr) -> Result<MufExpr, LangError> {
         match e {
+            Expr::At(inner, _) => self.c(inner),
             Expr::Const(c) => {
                 let s = self.fresh("s");
                 Ok(fun(
@@ -463,6 +464,7 @@ impl Compiler {
     /// A(·): the initial state of an expression (Fig. 21).
     fn a(&mut self, e: &Expr) -> Result<MufExpr, LangError> {
         match e {
+            Expr::At(inner, _) => self.a(inner),
             Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => Ok(MufExpr::Const(Const::Unit)),
             Expr::Pair(e1, e2) => Ok(tuple(vec![self.a(e1)?, self.a(e2)?])),
             Expr::Op(_, args) => {

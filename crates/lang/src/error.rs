@@ -61,6 +61,12 @@ pub struct LangError {
     pub message: String,
     /// Source position, when known.
     pub pos: Option<Pos>,
+    /// Diagnostic code (`PZ0xxx`); stage-default when `None`.
+    pub code: Option<crate::diag::Code>,
+    /// Secondary positions with explanatory messages.
+    pub labels: Vec<(Pos, String)>,
+    /// Free-form notes rendered after the snippet.
+    pub notes: Vec<String>,
 }
 
 impl LangError {
@@ -70,16 +76,48 @@ impl LangError {
             stage,
             message: message.into(),
             pos: None,
+            code: None,
+            labels: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
     /// Creates an error at a source position.
     pub fn at(stage: Stage, pos: Pos, message: impl Into<String>) -> Self {
         LangError {
-            stage,
-            message: message.into(),
             pos: Some(pos),
+            ..LangError::new(stage, message)
         }
+    }
+
+    /// Sets the diagnostic code.
+    #[must_use]
+    pub fn with_code(mut self, code: crate::diag::Code) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// Sets the primary position if not already known.
+    #[must_use]
+    pub fn with_pos(mut self, pos: Option<Pos>) -> Self {
+        if self.pos.is_none() {
+            self.pos = pos;
+        }
+        self
+    }
+
+    /// Adds a secondary label.
+    #[must_use]
+    pub fn with_label(mut self, pos: Pos, message: impl Into<String>) -> Self {
+        self.labels.push((pos, message.into()));
+        self
+    }
+
+    /// Adds a note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
     }
 }
 

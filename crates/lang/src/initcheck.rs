@@ -16,7 +16,8 @@
 //! every node's result must be defined at instant 0.
 
 use crate::ast::{Const, Eq, Expr, Program};
-use crate::error::{LangError, Stage};
+use crate::diag::Code;
+use crate::error::{LangError, Pos, Stage};
 use std::collections::HashMap;
 
 /// Checks the whole (sugared or kernel) program.
@@ -31,7 +32,7 @@ pub fn check_program(p: &Program) -> Result<(), LangError> {
             env.insert(v.to_string(), true);
         }
         let inits = HashMap::new();
-        let defined = analyze(&node.body, &mut env, &inits, true)?;
+        let defined = analyze(&node.body, &mut env, &inits, true, None)?;
         if !defined {
             return Err(LangError::new(
                 Stage::Init,
@@ -40,7 +41,9 @@ pub fn check_program(p: &Program) -> Result<(), LangError> {
                      (guard `pre` with `->`)",
                     node.name
                 ),
-            ));
+            )
+            .with_code(Code::INIT_UNDEFINED)
+            .with_pos(node.body.span()));
         }
     }
     Ok(())
@@ -54,8 +57,10 @@ fn analyze(
     env: &mut HashMap<String, bool>,
     inits: &HashMap<String, Const>,
     check: bool,
+    pos: Option<Pos>,
 ) -> Result<bool, LangError> {
     match e {
+        Expr::At(inner, p) => analyze(inner, env, inits, check, Some(*p)),
         Expr::Const(Const::Nil) => Ok(false),
         Expr::Const(_) => Ok(true),
         Expr::Var(x) => Ok(*env.get(x.as_str()).unwrap_or(&true)),
@@ -65,27 +70,31 @@ fn analyze(
             None => Err(LangError::new(
                 Stage::Init,
                 format!("`last {x}` requires an `init {x} = c` equation in scope"),
-            )),
+            )
+            .with_code(Code::INIT_NO_INIT)
+            .with_pos(pos)),
         },
         Expr::Pair(a, b) => {
-            let da = analyze(a, env, inits, check)?;
-            let db = analyze(b, env, inits, check)?;
+            let da = analyze(a, env, inits, check, pos)?;
+            let db = analyze(b, env, inits, check, pos)?;
             Ok(da && db)
         }
         Expr::Op(_, args) => {
             let mut d = true;
             for a in args {
-                d &= analyze(a, env, inits, check)?;
+                d &= analyze(a, env, inits, check, pos)?;
             }
             Ok(d)
         }
         Expr::App(f, arg) => {
-            let d = analyze(arg, env, inits, check)?;
+            let d = analyze(arg, env, inits, check, pos)?;
             if check && !d {
                 return Err(LangError::new(
                     Stage::Init,
                     format!("the argument of node `{f}` may be uninitialized at the first instant"),
-                ));
+                )
+                .with_code(Code::INIT_UNDEFINED)
+                .with_pos(pos));
             }
             // Node results are themselves checked to be initialized.
             Ok(true)
@@ -114,7 +123,7 @@ fn analyze(
                 let mut changed = false;
                 for eq in eqs {
                     if let Eq::Def { name, expr } = eq {
-                        let d = analyze(expr, &mut inner_env, &inner_inits, false)?;
+                        let d = analyze(expr, &mut inner_env, &inner_inits, false, pos)?;
                         let cur = inner_env[name.as_str()];
                         if d != cur {
                             inner_env.insert(name.clone(), d);
@@ -130,22 +139,24 @@ fn analyze(
                 // Final pass with sink checking enabled.
                 for eq in eqs {
                     if let Eq::Def { expr, .. } = eq {
-                        analyze(expr, &mut inner_env, &inner_inits, true)?;
+                        analyze(expr, &mut inner_env, &inner_inits, true, pos)?;
                     }
                 }
             }
-            analyze(body, &mut inner_env, &inner_inits, check)
+            analyze(body, &mut inner_env, &inner_inits, check, pos)
         }
         Expr::Present { cond, then, els } => {
-            let dc = analyze(cond, env, inits, check)?;
+            let dc = analyze(cond, env, inits, check, pos)?;
             if check && !dc {
                 return Err(LangError::new(
                     Stage::Init,
                     "the condition of `present` may be uninitialized at the first instant",
-                ));
+                )
+                .with_code(Code::INIT_UNDEFINED)
+                .with_pos(pos));
             }
-            let dt = analyze(then, env, inits, check)?;
-            let de = analyze(els, env, inits, check)?;
+            let dt = analyze(then, env, inits, check, pos)?;
+            let de = analyze(els, env, inits, check, pos)?;
             // Precision for expanded automata: when the condition's value
             // at instant 0 is statically known (e.g. `last st = 0` with
             // `init st = 0`), only the selected branch contributes to
@@ -157,77 +168,87 @@ fn analyze(
             }
         }
         Expr::If { cond, then, els } => {
-            let dc = analyze(cond, env, inits, check)?;
-            let dt = analyze(then, env, inits, check)?;
-            let de = analyze(els, env, inits, check)?;
+            let dc = analyze(cond, env, inits, check, pos)?;
+            let dt = analyze(then, env, inits, check, pos)?;
+            let de = analyze(els, env, inits, check, pos)?;
             Ok(dc && dt && de)
         }
         Expr::Reset { body, every } => {
-            let de = analyze(every, env, inits, check)?;
+            let de = analyze(every, env, inits, check, pos)?;
             if check && !de {
                 return Err(LangError::new(
                     Stage::Init,
                     "the condition of `reset … every` may be uninitialized at the first instant",
-                ));
+                )
+                .with_code(Code::INIT_UNDEFINED)
+                .with_pos(pos));
             }
-            analyze(body, env, inits, check)
+            analyze(body, env, inits, check, pos)
         }
         Expr::Sample(d) => {
-            let dd = analyze(d, env, inits, check)?;
+            let dd = analyze(d, env, inits, check, pos)?;
             if check && !dd {
                 return Err(LangError::new(
                     Stage::Init,
                     "the distribution of `sample` may be uninitialized at the first instant",
-                ));
+                )
+                .with_code(Code::INIT_UNDEFINED)
+                .with_pos(pos));
             }
             Ok(true)
         }
         Expr::Observe(d, v) => {
-            let dd = analyze(d, env, inits, check)?;
-            let dv = analyze(v, env, inits, check)?;
+            let dd = analyze(d, env, inits, check, pos)?;
+            let dv = analyze(v, env, inits, check, pos)?;
             if check && !(dd && dv) {
                 return Err(LangError::new(
                     Stage::Init,
                     "the arguments of `observe` may be uninitialized at the first instant",
-                ));
+                )
+                .with_code(Code::INIT_UNDEFINED)
+                .with_pos(pos));
             }
             Ok(true)
         }
         Expr::Factor(w) => {
-            let dw = analyze(w, env, inits, check)?;
+            let dw = analyze(w, env, inits, check, pos)?;
             if check && !dw {
                 return Err(LangError::new(
                     Stage::Init,
                     "the argument of `factor` may be uninitialized at the first instant",
-                ));
+                )
+                .with_code(Code::INIT_UNDEFINED)
+                .with_pos(pos));
             }
             Ok(true)
         }
-        Expr::ValueOp(x) => analyze(x, env, inits, check),
+        Expr::ValueOp(x) => analyze(x, env, inits, check, pos),
         Expr::Infer { arg, .. } => {
-            let da = analyze(arg, env, inits, check)?;
+            let da = analyze(arg, env, inits, check, pos)?;
             if check && !da {
                 return Err(LangError::new(
                     Stage::Init,
                     "the input of `infer` may be uninitialized at the first instant",
-                ));
+                )
+                .with_code(Code::INIT_UNDEFINED)
+                .with_pos(pos));
             }
             Ok(true)
         }
         Expr::Arrow(a, b) => {
             // Precise rule: only the left operand matters at instant 0,
             // but the right is still traversed for its own sinks.
-            let da = analyze(a, env, inits, check)?;
-            let _ = analyze(b, env, inits, check)?;
+            let da = analyze(a, env, inits, check, pos)?;
+            let _ = analyze(b, env, inits, check, pos)?;
             Ok(da)
         }
         Expr::Fby(a, b) => {
-            let da = analyze(a, env, inits, check)?;
-            let _ = analyze(b, env, inits, check)?;
+            let da = analyze(a, env, inits, check, pos)?;
+            let _ = analyze(b, env, inits, check, pos)?;
             Ok(da)
         }
         Expr::Pre(x) => {
-            let _ = analyze(x, env, inits, check)?;
+            let _ = analyze(x, env, inits, check, pos)?;
             Ok(false)
         }
     }
@@ -240,6 +261,7 @@ fn analyze(
 fn eval_instant0(e: &Expr, inits: &HashMap<String, Const>) -> Option<Const> {
     use crate::ast::OpName;
     match e {
+        Expr::At(inner, _) => eval_instant0(inner, inits),
         Expr::Const(Const::Nil) => None,
         Expr::Const(c) => Some(c.clone()),
         Expr::Last(x) => match inits.get(x.as_str()) {

@@ -8,7 +8,8 @@
 //! under an `infer`, which itself is deterministic.
 
 use crate::ast::{Eq, Expr, NodeDecl, Program};
-use crate::error::{LangError, Stage};
+use crate::diag::Code;
+use crate::error::{LangError, Pos, Stage};
 use std::collections::HashMap;
 
 /// Expression kinds.
@@ -56,30 +57,39 @@ fn check_node(node: &NodeDecl, env: &HashMap<String, Kind>) -> Result<Kind, Lang
 ///
 /// See [`check_program`].
 pub fn kind_of(e: &Expr, env: &HashMap<String, Kind>) -> Result<Kind, LangError> {
+    kind_at(e, env, None)
+}
+
+/// [`kind_of`] with the position of the nearest enclosing span annotation,
+/// so errors point at the offending `sample`/`observe` instead of nothing.
+fn kind_at(e: &Expr, env: &HashMap<String, Kind>, pos: Option<Pos>) -> Result<Kind, LangError> {
     match e {
+        Expr::At(inner, p) => kind_at(inner, env, Some(*p)),
         Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => Ok(Kind::D),
-        Expr::Pair(a, b) => Ok(kind_of(a, env)?.max(kind_of(b, env)?)),
+        Expr::Pair(a, b) => Ok(kind_at(a, env, pos)?.max(kind_at(b, env, pos)?)),
         Expr::Op(_, args) => {
             let mut k = Kind::D;
             for a in args {
-                k = k.max(kind_of(a, env)?);
+                k = k.max(kind_at(a, env, pos)?);
             }
             Ok(k)
         }
         Expr::App(f, arg) => {
-            require_d(arg, env, "the argument of a node application")?;
+            require_d(arg, env, "the argument of a node application", pos)?;
             env.get(f.as_str()).copied().ok_or_else(|| {
                 LangError::new(
                     Stage::Kind,
                     format!("unknown node `{f}` (nodes must be declared before use)"),
                 )
+                .with_code(Code::KIND_UNKNOWN_NODE)
+                .with_pos(pos)
             })
         }
         Expr::Where { body, eqs } => {
-            let mut k = kind_of(body, env)?;
+            let mut k = kind_at(body, env, pos)?;
             for eq in eqs {
                 match eq {
-                    Eq::Def { expr, .. } => k = k.max(kind_of(expr, env)?),
+                    Eq::Def { expr, .. } => k = k.max(kind_at(expr, env, pos)?),
                     Eq::Init { .. } => {}
                     Eq::Automaton { .. } => {
                         return Err(LangError::new(
@@ -91,49 +101,105 @@ pub fn kind_of(e: &Expr, env: &HashMap<String, Kind>) -> Result<Kind, LangError>
             }
             Ok(k)
         }
-        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => Ok(kind_of(cond, env)?
-            .max(kind_of(then, env)?)
-            .max(kind_of(els, env)?)),
-        Expr::Reset { body, every } => Ok(kind_of(body, env)?.max(kind_of(every, env)?)),
+        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+            Ok(kind_at(cond, env, pos)?
+                .max(kind_at(then, env, pos)?)
+                .max(kind_at(els, env, pos)?))
+        }
+        Expr::Reset { body, every } => Ok(kind_at(body, env, pos)?.max(kind_at(every, env, pos)?)),
         Expr::Sample(d) => {
-            require_d(d, env, "the argument of `sample`")?;
+            require_d(d, env, "the argument of `sample`", pos)?;
             Ok(Kind::P)
         }
         Expr::Observe(d, v) => {
-            require_d(d, env, "the distribution argument of `observe`")?;
-            require_d(v, env, "the observed value of `observe`")?;
+            require_d(d, env, "the distribution argument of `observe`", pos)?;
+            require_d(v, env, "the observed value of `observe`", pos)?;
             Ok(Kind::P)
         }
         Expr::Factor(w) => {
-            require_d(w, env, "the argument of `factor`")?;
+            require_d(w, env, "the argument of `factor`", pos)?;
             Ok(Kind::P)
         }
         Expr::ValueOp(x) => {
-            require_d(x, env, "the argument of `value`")?;
+            require_d(x, env, "the argument of `value`", pos)?;
             Ok(Kind::P)
         }
         Expr::Infer { node, arg, .. } => {
-            require_d(arg, env, "the input stream of `infer`")?;
+            require_d(arg, env, "the input stream of `infer`", pos)?;
             if !env.contains_key(node.as_str()) {
                 return Err(LangError::new(
                     Stage::Kind,
                     format!("unknown node `{node}` in `infer`"),
-                ));
+                )
+                .with_code(Code::KIND_UNKNOWN_NODE)
+                .with_pos(pos));
             }
             Ok(Kind::D)
         }
-        Expr::Arrow(a, b) | Expr::Fby(a, b) => Ok(kind_of(a, env)?.max(kind_of(b, env)?)),
-        Expr::Pre(x) => kind_of(x, env),
+        Expr::Arrow(a, b) | Expr::Fby(a, b) => Ok(kind_at(a, env, pos)?.max(kind_at(b, env, pos)?)),
+        Expr::Pre(x) => kind_at(x, env, pos),
     }
 }
 
-fn require_d(e: &Expr, env: &HashMap<String, Kind>, what: &str) -> Result<(), LangError> {
-    match kind_of(e, env)? {
+fn require_d(
+    e: &Expr,
+    env: &HashMap<String, Kind>,
+    what: &str,
+    enclosing: Option<Pos>,
+) -> Result<(), LangError> {
+    let at = e.span().or(enclosing);
+    match kind_at(e, env, at)? {
         Kind::D => Ok(()),
-        Kind::P => Err(LangError::new(
-            Stage::Kind,
-            format!("{what} must be deterministic; bind intermediate probabilistic values with equations"),
-        )),
+        Kind::P => {
+            // Point at the probabilistic leaf that poisoned the position,
+            // not the enclosing construct.
+            let at = p_witness(e, env, at).or(at);
+            Err(LangError::new(
+                Stage::Kind,
+                format!("{what} must be deterministic; bind intermediate probabilistic values with equations"),
+            )
+            .with_code(Code::KIND_PROB_IN_DET)
+            .with_pos(at))
+        }
+    }
+}
+
+/// The span of the first probabilistic leaf inside `e` (descending
+/// through the first P-kinded child at each level).
+fn p_witness(e: &Expr, env: &HashMap<String, Kind>, pos: Option<Pos>) -> Option<Pos> {
+    let is_p = |x: &Expr| matches!(kind_at(x, env, None), Ok(Kind::P));
+    let descend = |kids: &[&Expr]| {
+        kids.iter()
+            .copied()
+            .find(|&x| is_p(x))
+            .and_then(|x| p_witness(x, env, pos))
+    };
+    match e {
+        Expr::At(inner, p) => p_witness(inner, env, Some(*p)),
+        Expr::Sample(_)
+        | Expr::Observe(_, _)
+        | Expr::Factor(_)
+        | Expr::ValueOp(_)
+        | Expr::App(_, _) => pos,
+        Expr::Pair(a, b)
+        | Expr::Arrow(a, b)
+        | Expr::Fby(a, b)
+        | Expr::Reset { body: a, every: b } => descend(&[a, b]),
+        Expr::Op(_, args) => descend(&args.iter().collect::<Vec<_>>()),
+        Expr::Present { cond, then, els } | Expr::If { cond, then, els } => {
+            descend(&[cond, then, els])
+        }
+        Expr::Pre(x) => p_witness(x, env, pos),
+        Expr::Where { body, eqs } => {
+            if is_p(body) {
+                return p_witness(body, env, pos);
+            }
+            eqs.iter().find_map(|eq| match eq {
+                Eq::Def { expr, .. } if is_p(expr) => p_witness(expr, env, pos),
+                _ => None,
+            })
+        }
+        _ => pos,
     }
 }
 
@@ -178,6 +244,17 @@ mod tests {
             kinds("let node f x = sample(gaussian(sample(gaussian(x, 1.)), 1.))").unwrap_err();
         assert_eq!(err.stage, Stage::Kind);
         assert!(err.message.contains("sample"));
+    }
+
+    #[test]
+    fn kind_errors_point_at_the_offending_sample() {
+        let err =
+            kinds("let node f x = sample(gaussian(sample(gaussian(x, 1.)), 1.))").unwrap_err();
+        let pos = err.pos.expect("kind errors must carry a position");
+        // ...............123456789012345678901234567890123456789
+        // The inner `sample` starts at column 32.
+        assert_eq!((pos.line, pos.col), (1, 32));
+        assert_eq!(err.code, Some(crate::diag::Code::KIND_PROB_IN_DET));
     }
 
     #[test]

@@ -388,6 +388,52 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
     Ok(out)
 }
 
+/// A `(*@ allow name … *)` suppression directive found in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowDirective {
+    /// Position of the opening `(*@`.
+    pub pos: Pos,
+    /// The lint names or `PZ0xxx` codes listed after `allow`.
+    pub names: Vec<String>,
+}
+
+/// Scans the raw source for `(*@ allow … *)` directives.
+///
+/// Directives are ordinary comments to the lexer; this pass finds them so
+/// the lint engine can suppress diagnostics per node. A directive must
+/// open and close on one line. Malformed directives (no `allow` head) are
+/// ignored — they are comments, after all.
+pub fn collect_allows(src: &str) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (lineno, text) in src.lines().enumerate() {
+        let mut rest = text;
+        let mut offset = 0usize;
+        while let Some(open) = rest.find("(*@") {
+            let after = &rest[open + 3..];
+            let Some(close) = after.find("*)") else {
+                break;
+            };
+            let body = &after[..close];
+            let mut words = body.split_whitespace();
+            if words.next() == Some("allow") {
+                let names: Vec<String> = words.map(str::to_string).collect();
+                if !names.is_empty() {
+                    out.push(AllowDirective {
+                        pos: Pos {
+                            line: (lineno + 1) as u32,
+                            col: (offset + open + 1) as u32,
+                        },
+                        names,
+                    });
+                }
+            }
+            offset += open + 3 + close + 2;
+            rest = &rest[open + 3 + close + 2..];
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +525,19 @@ mod tests {
     fn rejects_unknown_characters() {
         assert!(lex("a # b").is_err());
         assert!(lex("2e").is_err());
+    }
+
+    #[test]
+    fn allow_directives_are_collected_and_still_lex_as_comments() {
+        let src =
+            "let node f x = x (*@ allow unused-stream PZ0603 *)\n(* plain *) let node g y = y";
+        let allows = collect_allows(src);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].pos.line, 1);
+        assert_eq!(allows[0].names, vec!["unused-stream", "PZ0603"]);
+        // The directive is an ordinary comment to the lexer.
+        assert!(lex(src).is_ok());
+        assert!(collect_allows("(* no at-sign *) (*@ allow *)").is_empty());
     }
 
     #[test]

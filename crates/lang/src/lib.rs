@@ -8,9 +8,11 @@
 //! probabilistic operators are routed through the inference engines of
 //! [`probzelus_core`].
 
+pub mod analysis;
 pub mod ast;
 pub mod automata;
 pub mod compile;
+pub mod diag;
 pub mod error;
 pub mod eval;
 pub mod initcheck;
@@ -25,10 +27,12 @@ pub mod schedule;
 pub mod transform;
 pub mod types;
 
+pub use analysis::bounded::Verdict;
 pub use ast::{Const, Eq, Expr, NodeDecl, OpName, Pattern, Program};
+pub use diag::{Code, Diagnostic, Severity};
 pub use error::{LangError, Pos, Stage};
 pub use eval::{Instance, MufEngine, Options};
 pub use kinds::Kind;
 pub use muf::{MufProgram, MufValue};
-pub use pipeline::{compile_source, Compiled};
+pub use pipeline::{check_source, compile_source, Checked, Compiled};
 pub use types::{NodeSig, Ty};

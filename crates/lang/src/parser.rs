@@ -189,13 +189,18 @@ impl Parser {
             out.push(Eq::Init { name, value });
             return Ok(());
         }
-        // LHS: ident, (), or a tuple of identifiers.
+        // LHS: ident, (), or a tuple of identifiers. The whole equation is
+        // spanned at its left-hand side.
+        let eq_pos = self.pos();
         match self.peek().clone() {
             Tok::Ident(name) => {
                 self.bump();
                 self.expect(Tok::Equal)?;
                 let expr = self.expr_arrow()?;
-                out.push(Eq::Def { name, expr });
+                out.push(Eq::Def {
+                    name,
+                    expr: Expr::at(expr, eq_pos),
+                });
                 Ok(())
             }
             Tok::LParen => {
@@ -205,7 +210,10 @@ impl Parser {
                     self.expect(Tok::Equal)?;
                     let expr = self.expr_arrow()?;
                     let name = self.fresh_var("unit");
-                    out.push(Eq::Def { name, expr });
+                    out.push(Eq::Def {
+                        name,
+                        expr: Expr::at(expr, eq_pos),
+                    });
                     return Ok(());
                 }
                 let mut names = vec![self.ident()?];
@@ -219,7 +227,7 @@ impl Parser {
                 let tmp = self.fresh_var("pat");
                 out.push(Eq::Def {
                     name: tmp.clone(),
-                    expr,
+                    expr: Expr::at(expr, eq_pos),
                 });
                 let n = names.len();
                 let mut path = Expr::var(&tmp);
@@ -229,7 +237,10 @@ impl Parser {
                     } else {
                         Expr::Op(OpName::Fst, vec![path.clone()])
                     };
-                    out.push(Eq::Def { name, expr: proj });
+                    out.push(Eq::Def {
+                        name,
+                        expr: Expr::at(proj, eq_pos),
+                    });
                     path = Expr::Op(OpName::Snd, vec![path]);
                 }
                 Ok(())
@@ -456,9 +467,10 @@ impl Parser {
         // application; builtin names become operators.
         if let Tok::Ident(name) = self.peek().clone() {
             if self.toks[self.i + 1].tok == Tok::LParen {
+                let pos = self.pos();
                 self.bump(); // ident
                 let arg = self.parenthesized()?;
-                return self.make_app(&name, arg);
+                return Ok(Expr::at(self.make_app(&name, arg)?, pos));
             }
         }
         self.primary()
@@ -525,30 +537,35 @@ impl Parser {
             }
             Tok::LParen => self.parenthesized(),
             Tok::Sample => {
+                let kw = self.pos();
                 self.bump();
                 let arg = self.parenthesized()?;
-                Ok(Expr::Sample(Box::new(arg)))
+                Ok(Expr::at(Expr::Sample(Box::new(arg)), kw))
             }
             Tok::Value => {
+                let kw = self.pos();
                 self.bump();
                 let arg = self.parenthesized()?;
-                Ok(Expr::ValueOp(Box::new(arg)))
+                Ok(Expr::at(Expr::ValueOp(Box::new(arg)), kw))
             }
             Tok::Factor => {
+                let kw = self.pos();
                 self.bump();
                 let arg = self.parenthesized()?;
-                Ok(Expr::Factor(Box::new(arg)))
+                Ok(Expr::at(Expr::Factor(Box::new(arg)), kw))
             }
             Tok::Observe => {
+                let kw = self.pos();
                 self.bump();
                 self.expect(Tok::LParen)?;
                 let d = self.expr_arrow()?;
                 self.expect(Tok::Comma)?;
                 let v = self.expr_arrow()?;
                 self.expect(Tok::RParen)?;
-                Ok(Expr::Observe(Box::new(d), Box::new(v)))
+                Ok(Expr::at(Expr::Observe(Box::new(d), Box::new(v)), kw))
             }
             Tok::Infer => {
+                let kw = self.pos();
                 self.bump();
                 let pos = self.pos();
                 let particles = match self.bump() {
@@ -568,11 +585,14 @@ impl Parser {
                     // `infer 1000 hmm y` — bare variable argument.
                     Expr::Var(self.ident()?)
                 };
-                Ok(Expr::Infer {
-                    particles,
-                    node,
-                    arg: Box::new(arg),
-                })
+                Ok(Expr::at(
+                    Expr::Infer {
+                        particles,
+                        node,
+                        arg: Box::new(arg),
+                    },
+                    kw,
+                ))
             }
             Tok::Present => {
                 self.bump();
@@ -673,12 +693,14 @@ mod tests {
             Expr::Where { eqs, .. } => match &eqs[0] {
                 Eq::Def { expr, .. } => {
                     assert!(matches!(
-                        expr,
+                        expr.peel(),
                         Expr::Infer {
                             particles: 1000,
                             ..
                         }
                     ));
+                    // Equation spans point at the left-hand side.
+                    assert!(expr.span().is_some());
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -715,16 +737,16 @@ mod tests {
         assert!(parse_expr("gaussian(0., 1.)").is_ok());
         assert!(parse_expr("gaussian(0.)").is_err());
         let e = parse_expr("exp(1.0)").unwrap();
-        assert!(matches!(e, Expr::Op(OpName::Exp, _)));
+        assert!(matches!(e.peel(), Expr::Op(OpName::Exp, _)));
     }
 
     #[test]
     fn node_application_vs_operator() {
         let e = parse_expr("integr(a, b)").unwrap();
-        match e {
+        match e.peel() {
             Expr::App(name, arg) => {
                 assert_eq!(name, "integr");
-                assert!(matches!(*arg, Expr::Pair(_, _)));
+                assert!(matches!(&**arg, Expr::Pair(_, _)));
             }
             other => panic!("{other:?}"),
         }
@@ -740,12 +762,10 @@ mod tests {
         match &prog.nodes[0].body {
             Expr::Where { eqs, .. } => {
                 assert_eq!(eqs.len(), 3);
-                assert!(
-                    matches!(&eqs[1], Eq::Def { name, expr: Expr::Op(OpName::Fst, _) } if name == "p")
-                );
-                assert!(
-                    matches!(&eqs[2], Eq::Def { name, expr: Expr::Op(OpName::Snd, _) } if name == "v")
-                );
+                assert!(matches!(&eqs[1], Eq::Def { name, expr } if name == "p"
+                        && matches!(expr.peel(), Expr::Op(OpName::Fst, _))));
+                assert!(matches!(&eqs[2], Eq::Def { name, expr } if name == "v"
+                        && matches!(expr.peel(), Expr::Op(OpName::Snd, _))));
             }
             other => panic!("{other:?}"),
         }

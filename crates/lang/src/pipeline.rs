@@ -6,9 +6,12 @@
 //!        ──compile──► µF ──Interp──► Instance / MufEngine
 //! ```
 
+use crate::analysis::bounded::{self, BoundedReport, Verdict};
+use crate::analysis::lints;
 use crate::ast::Program;
 use crate::automata::expand_program;
 use crate::compile::{compile_program, init_name, step_name};
+use crate::diag::{Code, Diagnostic};
 use crate::error::{LangError, Stage};
 use crate::eval::{Instance, Interp, MufEngine, Options, ProbSlot};
 use crate::initcheck;
@@ -18,6 +21,7 @@ use crate::parser::parse_program;
 use crate::schedule::schedule_program;
 use crate::transform::desugar_program;
 use crate::types::{self, NodeSig};
+use probzelus_core::infer::Method;
 use std::collections::HashMap;
 
 /// A fully checked and compiled program.
@@ -31,6 +35,8 @@ pub struct Compiled {
     pub kinds: HashMap<String, Kind>,
     /// Each node's data-type signature.
     pub sigs: HashMap<String, NodeSig>,
+    /// Each node's delayed-sampling boundedness verdict.
+    pub bounded: HashMap<String, Verdict>,
 }
 
 /// Runs the whole pipeline on source text.
@@ -54,6 +60,13 @@ pub struct Compiled {
 /// # Ok::<(), probzelus_lang::LangError>(())
 /// ```
 pub fn compile_source(src: &str) -> Result<Compiled, LangError> {
+    build(src).map(|(compiled, _, _)| compiled)
+}
+
+/// The pipeline plus the full analysis report and the expanded surface
+/// program (which the lints need: its equations are the ones the user
+/// wrote).
+fn build(src: &str) -> Result<(Compiled, BoundedReport, Program), LangError> {
     let program = parse_program(src)?;
     let mut program = expand_program(&program)?;
     let kinds = kinds::check_program(&program)?;
@@ -62,12 +75,90 @@ pub fn compile_source(src: &str) -> Result<Compiled, LangError> {
     let kernel = desugar_program(&program);
     let kernel = schedule_program(&kernel)?;
     let muf = compile_program(&kernel)?;
-    Ok(Compiled {
-        kernel,
-        muf,
-        kinds,
-        sigs,
-    })
+    let report = bounded::analyze_program(&kernel, &kinds);
+    Ok((
+        Compiled {
+            kernel,
+            muf,
+            kinds,
+            sigs,
+            bounded: report.verdicts.clone(),
+        },
+        report,
+        program,
+    ))
+}
+
+/// The result of [`check_source`]: diagnostics plus, when every pipeline
+/// stage passed, the compiled program.
+#[derive(Debug, Clone)]
+pub struct Checked {
+    /// Present when compilation succeeded (warnings and lints do not
+    /// prevent compilation).
+    pub compiled: Option<Compiled>,
+    /// All diagnostics: the first hard error, or any warnings/lints on a
+    /// successful compile, sorted by source position.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Checked {
+    /// Whether any diagnostic is a hard error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == crate::diag::Severity::Error)
+    }
+}
+
+/// Checks source without instantiating anything: runs the whole pipeline,
+/// the boundedness analysis, and (when `lint` is set) the style lints.
+/// Never returns `Err`: failures become error diagnostics.
+pub fn check_source(src: &str, lint: bool) -> Checked {
+    match build(src) {
+        Err(e) => Checked {
+            compiled: None,
+            diagnostics: vec![Diagnostic::from_error(&e)],
+        },
+        Ok((compiled, report, expanded)) => {
+            let mut diags = Vec::new();
+            for node in &expanded.nodes {
+                if compiled.kinds.get(&node.name) != Some(&Kind::P) {
+                    continue;
+                }
+                if let Some(Verdict::Unbounded { witness }) = compiled.bounded.get(&node.name) {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::UNBOUNDED_CHAIN,
+                            format!(
+                                "delayed-sampling chain of node `{}` can grow without bound \
+                                 (cycle: {})",
+                                node.name,
+                                witness.join(" -> ")
+                            ),
+                        )
+                        .with_pos(node.body.span())
+                        .with_note(
+                            "every `pre`-carried random variable must be consumed by \
+                             `observe` or `value` on every path",
+                        ),
+                    );
+                }
+            }
+            if lint {
+                diags.extend(lints::lint_program(
+                    src,
+                    &expanded,
+                    &compiled.kinds,
+                    &report,
+                ));
+            }
+            let diags = lints::filter_suppressed(src, diags);
+            Checked {
+                compiled: Some(compiled),
+                diagnostics: diags,
+            }
+        }
+    }
 }
 
 impl Compiled {
@@ -105,8 +196,63 @@ impl Compiled {
         obs: probzelus_core::obs::Obs,
     ) -> Result<Instance, LangError> {
         self.check_deterministic(node)?;
+        self.emit_advisories(node, options.method, &obs);
         let interp = Interp::new_with_obs(&self.muf, options, obs)?;
         Instance::new(interp, node)
+    }
+
+    /// Emits a `check.advisory` obs event for every embedded `infer` site
+    /// whose method choice contradicts the boundedness verdict.
+    #[cfg(feature = "obs")]
+    fn emit_advisories(&self, node: &str, method: Method, obs: &probzelus_core::obs::Obs) {
+        use probzelus_core::obs::{events, FieldValue};
+        let Some(decl) = self.kernel.node(node) else {
+            return;
+        };
+        let mut inferred = Vec::new();
+        crate::analysis::walk(&decl.body, &mut |e| {
+            if let crate::ast::Expr::Infer { node: f, .. } = e {
+                inferred.push(f.clone());
+            }
+        });
+        inferred.sort();
+        inferred.dedup();
+        for f in inferred {
+            if let Some(msg) = self.method_advisory(&f, method) {
+                obs.event(
+                    0,
+                    events::CHECK_ADVISORY,
+                    &[
+                        ("node", FieldValue::Text(&f)),
+                        ("method", FieldValue::Text(method.label())),
+                        ("message", FieldValue::Text(&msg)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// A warning when the selected inference method contradicts the
+    /// boundedness verdict ([`Code::METHOD_MISMATCH`]): classic DS on a
+    /// node proved bounded (streaming DS gives the same posterior in
+    /// constant memory), or a bounded-memory method on a node proved
+    /// unbounded (the graph will still grow).
+    pub fn method_advisory(&self, node: &str, method: Method) -> Option<String> {
+        match (method, self.bounded.get(node)?) {
+            (Method::ClassicDs, Verdict::Bounded(k)) if *k > 0 => Some(format!(
+                "node `{node}` has a provably bounded delayed-sampling graph (Bounded({k})); \
+                 streaming delayed sampling (`--method sds`) gives the same posterior in \
+                 constant memory"
+            )),
+            (Method::StreamingDs | Method::BoundedDs, Verdict::Unbounded { witness }) => {
+                Some(format!(
+                    "node `{node}` has an unbounded delayed-sampling chain (cycle: {}); \
+                     bounded-memory delayed sampling will grow its graph anyway",
+                    witness.join(" -> ")
+                ))
+            }
+            _ => None,
+        }
     }
 
     fn check_deterministic(&self, node: &str) -> Result<(), LangError> {
@@ -143,6 +289,9 @@ impl Compiled {
                 Stage::Eval,
                 format!("unknown node `{node}`"),
             ));
+        }
+        if let Some(msg) = self.method_advisory(node, options.method) {
+            eprintln!("warning[{}]: {msg}", Code::METHOD_MISMATCH);
         }
         let interp = Interp::new(&self.muf, options)?;
         let step = interp.global(&step_name(node)).ok_or_else(|| {
@@ -214,6 +363,49 @@ mod tests {
             .unwrap();
         let post = eng.step(&Value::Float(5.0)).unwrap();
         assert!((post.mean_float() - 5.0 * 100.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_source_reports_errors_as_diagnostics() {
+        let checked = check_source("let node f x = x + true", false);
+        assert!(checked.compiled.is_none());
+        assert!(checked.has_errors());
+        assert_eq!(checked.diagnostics[0].code, Code::TYPE_MISMATCH);
+    }
+
+    #[test]
+    fn check_source_warns_on_unbounded_chains() {
+        let src = r#"
+            let node drift () = x where
+              rec x = sample (gaussian ((0. -> pre x), 1.))
+        "#;
+        let checked = check_source(src, false);
+        assert!(!checked.has_errors(), "{:?}", checked.diagnostics);
+        assert_eq!(checked.diagnostics.len(), 1);
+        assert_eq!(checked.diagnostics[0].code, Code::UNBOUNDED_CHAIN);
+        let compiled = checked.compiled.unwrap();
+        assert!(matches!(
+            compiled.bounded["drift"],
+            Verdict::Unbounded { .. }
+        ));
+    }
+
+    #[test]
+    fn method_advisory_flags_contradictory_choices() {
+        let c = compile_source(HMM).unwrap();
+        let msg = c.method_advisory("hmm", Method::ClassicDs).unwrap();
+        assert!(msg.contains("Bounded(1)"), "{msg}");
+        assert!(msg.contains("--method sds"), "{msg}");
+        assert!(c.method_advisory("hmm", Method::StreamingDs).is_none());
+        assert!(c.method_advisory("hmm", Method::ParticleFilter).is_none());
+
+        let c = compile_source(
+            "let node drift () = x where rec x = sample (gaussian ((0. -> pre x), 1.))",
+        )
+        .unwrap();
+        let msg = c.method_advisory("drift", Method::StreamingDs).unwrap();
+        assert!(msg.contains("unbounded"), "{msg}");
+        assert!(c.method_advisory("drift", Method::ClassicDs).is_none());
     }
 
     #[test]

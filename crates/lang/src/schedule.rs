@@ -7,6 +7,7 @@
 //! are grouped first. Instantaneous cycles are causality errors.
 
 use crate::ast::{Eq, Expr, Program};
+use crate::diag::Code;
 use crate::error::{LangError, Stage};
 use std::collections::{HashMap, HashSet};
 
@@ -32,6 +33,7 @@ pub fn schedule_program(p: &Program) -> Result<Program, LangError> {
 /// See [`schedule_program`].
 pub fn schedule_expr(e: &Expr) -> Result<Expr, LangError> {
     Ok(match e {
+        Expr::At(inner, p) => Expr::at(schedule_expr(inner)?, *p),
         Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => e.clone(),
         Expr::Pair(a, b) => Expr::pair(schedule_expr(a)?, schedule_expr(b)?),
         Expr::Op(op, args) => Expr::Op(
@@ -128,7 +130,9 @@ fn schedule_equations(eqs: &[Eq]) -> Result<Vec<Eq>, LangError> {
                 format!(
                     "instantaneous cycle: `{name}` depends on itself (use `last {name}` or `pre`)"
                 ),
-            ));
+            )
+            .with_code(Code::SCHED_CYCLE)
+            .with_pos(expr.span()));
         }
     }
 
@@ -157,17 +161,24 @@ fn schedule_equations(eqs: &[Eq]) -> Result<Vec<Eq>, LangError> {
         }
     }
     if order.len() != n {
-        let cyclic: Vec<&str> = (0..n)
-            .filter(|j| !order.contains(j))
-            .map(|j| defs[j].0.as_str())
-            .collect();
-        return Err(LangError::new(
+        let cyclic: Vec<usize> = (0..n).filter(|j| !order.contains(j)).collect();
+        let names: Vec<&str> = cyclic.iter().map(|&j| defs[j].0.as_str()).collect();
+        let mut err = LangError::new(
             Stage::Schedule,
             format!(
                 "instantaneous dependency cycle between: {}",
-                cyclic.join(", ")
+                names.join(", ")
             ),
-        ));
+        )
+        .with_code(Code::SCHED_CYCLE)
+        .with_pos(cyclic.first().and_then(|&j| defs[j].1.span()))
+        .with_note("break the cycle with a delay: `pre`, `fby`, or `last`");
+        for &j in cyclic.iter().skip(1) {
+            if let Some(pos) = defs[j].1.span() {
+                err = err.with_label(pos, format!("`{}` is defined here", defs[j].0));
+            }
+        }
+        return Err(err);
     }
 
     let mut scheduled = inits;
@@ -184,6 +195,7 @@ fn schedule_equations(eqs: &[Eq]) -> Result<Vec<Eq>, LangError> {
 /// and not shadowed by an inner `where`).
 fn instantaneous_reads(e: &Expr, shadowed: &mut HashSet<String>, out: &mut HashSet<String>) {
     match e {
+        Expr::At(inner, _) => instantaneous_reads(inner, shadowed, out),
         Expr::Const(_) => {}
         Expr::Var(x) => {
             if !shadowed.contains(x.as_str()) {

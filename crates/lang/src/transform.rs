@@ -85,6 +85,7 @@ impl Ctx {
 
     fn desugar(&mut self, e: &Expr, hoist: &mut Vec<Eq>) -> Expr {
         match e {
+            Expr::At(inner, p) => Expr::at(self.desugar(inner, hoist), *p),
             Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => e.clone(),
             Expr::Pair(a, b) => Expr::pair(self.desugar(a, hoist), self.desugar(b, hoist)),
             Expr::Op(op, args) => {
@@ -188,8 +189,9 @@ impl Ctx {
             }
             Expr::Pre(inner) => {
                 // `pre x` of an equation-defined variable: reuse the
-                // variable's own state via `last x`.
-                if let Expr::Var(x) = &**inner {
+                // variable's own state via `last x`. (Peel span wrappers:
+                // `pre x` must hit this case even when `x` is annotated.)
+                if let Expr::Var(x) = inner.peel() {
                     if let Some(scope) = self
                         .scopes
                         .iter_mut()
@@ -219,6 +221,7 @@ impl Ctx {
 /// Whether an expression is in the kernel (contains no derived forms).
 pub fn is_kernel(e: &Expr) -> bool {
     match e {
+        Expr::At(inner, _) => is_kernel(inner),
         Expr::Arrow(_, _) | Expr::Pre(_) | Expr::Fby(_, _) => false,
         Expr::Const(_) | Expr::Var(_) | Expr::Last(_) => true,
         Expr::Pair(a, b) => is_kernel(a) && is_kernel(b),

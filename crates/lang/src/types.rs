@@ -13,7 +13,8 @@
 //! it, type-checks with `0` read as `0.`).
 
 use crate::ast::{Const, Eq, Expr, NodeDecl, OpName, Pattern, Program};
-use crate::error::{LangError, Stage};
+use crate::diag::Code;
+use crate::error::{LangError, Pos, Stage};
 use std::collections::HashMap;
 
 /// Types of the surface language.
@@ -96,6 +97,9 @@ struct Checker {
     numeric: Vec<bool>,
     lit_vars: Vec<u32>,
     lit_cursor: usize,
+    /// Position of the nearest enclosing span annotation, so unification
+    /// failures deep inside `unify`/`bind` can still point at source.
+    cur_pos: Option<Pos>,
 }
 
 impl Checker {
@@ -156,13 +160,16 @@ impl Checker {
             return Err(LangError::new(
                 Stage::Type,
                 format!("numeric literal used at non-numeric type {t}"),
-            ));
+            )
+            .with_code(Code::TYPE_MISMATCH)
+            .with_pos(self.cur_pos));
         }
         if self.occurs(var, &t) {
-            return Err(LangError::new(
-                Stage::Type,
-                "recursive type (occurs check failed)",
-            ));
+            return Err(
+                LangError::new(Stage::Type, "recursive type (occurs check failed)")
+                    .with_code(Code::TYPE_RECURSIVE)
+                    .with_pos(self.cur_pos),
+            );
         }
         self.subst[var as usize] = Some(t);
         Ok(())
@@ -188,7 +195,9 @@ impl Checker {
                     self.canonical(&a),
                     self.canonical(&b)
                 ),
-            )),
+            )
+            .with_code(Code::TYPE_MISMATCH)
+            .with_pos(self.cur_pos)),
         }
     }
 
@@ -242,13 +251,23 @@ impl Checker {
         sigs: &HashMap<String, NodeSig>,
     ) -> Result<Ty, LangError> {
         match e {
+            Expr::At(inner, p) => {
+                let saved = self.cur_pos;
+                self.cur_pos = Some(*p);
+                let r = self.infer_expr(inner, vars, sigs);
+                self.cur_pos = saved;
+                r
+            }
             Expr::Const(c) => Ok(self.const_ty(c)),
-            Expr::Var(x) => vars
-                .get(x)
-                .cloned()
-                .ok_or_else(|| LangError::new(Stage::Type, format!("unbound variable `{x}`"))),
+            Expr::Var(x) => vars.get(x).cloned().ok_or_else(|| {
+                LangError::new(Stage::Type, format!("unbound variable `{x}`"))
+                    .with_code(Code::TYPE_UNBOUND)
+                    .with_pos(self.cur_pos)
+            }),
             Expr::Last(x) => vars.get(x).cloned().ok_or_else(|| {
                 LangError::new(Stage::Type, format!("`last {x}` of unbound variable"))
+                    .with_code(Code::TYPE_UNBOUND)
+                    .with_pos(self.cur_pos)
             }),
             Expr::Pair(a, b) => {
                 let ta = self.infer_expr(a, vars, sigs)?;
@@ -264,9 +283,11 @@ impl Checker {
             }
             Expr::App(f, arg) => {
                 let targ = self.infer_expr(arg, vars, sigs)?;
-                let sig = sigs
-                    .get(f.as_str())
-                    .ok_or_else(|| LangError::new(Stage::Type, format!("unknown node `{f}`")))?;
+                let sig = sigs.get(f.as_str()).ok_or_else(|| {
+                    LangError::new(Stage::Type, format!("unknown node `{f}`"))
+                        .with_code(Code::TYPE_UNKNOWN_NODE)
+                        .with_pos(self.cur_pos)
+                })?;
                 let sig = sig.clone();
                 self.unify(&targ, &sig.input)?;
                 Ok(sig.output)
@@ -296,7 +317,12 @@ impl Checker {
                         Eq::Def { name, expr } => {
                             let te = self.infer_expr(expr, &mut inner, sigs)?;
                             let tx = inner[name.as_str()].clone();
-                            self.unify(&tx, &te)?;
+                            // Point definition/use mismatches at the equation.
+                            let saved = self.cur_pos;
+                            self.cur_pos = expr.span().or(saved);
+                            let r = self.unify(&tx, &te);
+                            self.cur_pos = saved;
+                            r?;
                         }
                         Eq::Automaton { .. } => unreachable!("checked above"),
                     }
@@ -339,6 +365,8 @@ impl Checker {
                 let targ = self.infer_expr(arg, vars, sigs)?;
                 let sig = sigs.get(node.as_str()).ok_or_else(|| {
                     LangError::new(Stage::Type, format!("unknown node `{node}` in `infer`"))
+                        .with_code(Code::TYPE_UNKNOWN_NODE)
+                        .with_pos(self.cur_pos)
                 })?;
                 let sig = sig.clone();
                 self.unify(&targ, &sig.input)?;
@@ -470,6 +498,7 @@ impl Checker {
 
     fn elaborate_expr(&mut self, e: &mut Expr) {
         match e {
+            Expr::At(inner, _) => self.elaborate_expr(inner),
             Expr::Const(c) => self.elaborate_const(c),
             Expr::Var(_) | Expr::Last(_) => {}
             Expr::Pair(a, b) => {

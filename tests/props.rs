@@ -388,13 +388,14 @@ mod printer_props {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
-        /// print → parse is the identity on arbitrary expression trees.
+        /// print → parse is the identity on arbitrary expression trees
+        /// (modulo span annotations, which depend on layout).
         #[test]
         fn print_parse_round_trip(e in expr()) {
             let printed = print_expr(&e);
             let reparsed = parse_expr(&printed)
                 .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
-            prop_assert_eq!(e, reparsed, "printed: {}", printed);
+            prop_assert_eq!(e.strip_spans(), reparsed.strip_spans(), "printed: {}", printed);
         }
     }
 }
