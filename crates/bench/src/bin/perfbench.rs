@@ -1,0 +1,610 @@
+//! `perfbench` — the machine-readable perf-trajectory harness.
+//!
+//! Runs the PF / BDS / SDS engines over the `hmm` (Kalman) and `robot`
+//! (GPS+accelerometer tracker) benchmarks with fixed seeds and appends one
+//! schema-stable JSON object per run to `BENCH_step_latency.json`, so the
+//! repository accumulates a perf trajectory across PRs that tooling can
+//! diff without scraping logs.
+//!
+//! ```text
+//! perfbench [--quick] [--label NAME] [--out PATH] [--fresh]
+//!           [--strategy clone-minimal|clone-all]
+//! perfbench --check PATH     # validate an existing trajectory file
+//! ```
+//!
+//! Timing numbers are machine-dependent; everything else in an entry —
+//! seeds, counts, the final posterior mean, clones avoided — is
+//! deterministic, which is what makes before/after rows comparable.
+
+use probzelus::models::{generate_kalman, Kalman};
+use probzelus::robot::{GpsAccTracker, TrackerInput};
+use probzelus_bench::DATA_SEED;
+use probzelus_core::infer::{Infer, Method, ResampleStrategy};
+use probzelus_core::model::Model;
+use std::time::Instant;
+
+/// Engine seed, distinct from the data seed so neither masks the other.
+const ENGINE_SEED: u64 = 0xbe_a5;
+
+/// Keys every trajectory entry must carry, in emission order. `--check`
+/// enforces this exact set: the schema is closed, so a new field is a
+/// deliberate schema bump, not drift.
+const SCHEMA: [(&str, Kind); 14] = [
+    ("label", Kind::Str),
+    ("bench", Kind::Str),
+    ("method", Kind::Str),
+    ("strategy", Kind::Str),
+    ("particles", Kind::Num),
+    ("ticks", Kind::Num),
+    ("data_seed", Kind::Num),
+    ("engine_seed", Kind::Num),
+    ("ticks_per_sec", Kind::Num),
+    ("p50_ms", Kind::Num),
+    ("p99_ms", Kind::Num),
+    ("peak_live_bytes", Kind::Num),
+    ("clones_avoided", Kind::Num),
+    ("posterior_mean_final", Kind::Num),
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Str,
+    Num,
+}
+
+struct Entry {
+    label: String,
+    bench: &'static str,
+    method: Method,
+    strategy: ResampleStrategy,
+    particles: usize,
+    ticks: usize,
+    ticks_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    peak_live_bytes: usize,
+    clones_avoided: u64,
+    posterior_mean_final: f64,
+}
+
+impl Entry {
+    fn to_json(&self) -> String {
+        let strategy = match self.strategy {
+            ResampleStrategy::CloneMinimal => "clone-minimal",
+            ResampleStrategy::CloneAll => "clone-all",
+        };
+        format!(
+            "{{\"label\":{label},\"bench\":\"{bench}\",\"method\":\"{method}\",\
+             \"strategy\":\"{strategy}\",\"particles\":{particles},\"ticks\":{ticks},\
+             \"data_seed\":{data_seed},\"engine_seed\":{engine_seed},\
+             \"ticks_per_sec\":{tps:?},\"p50_ms\":{p50:?},\"p99_ms\":{p99:?},\
+             \"peak_live_bytes\":{peak},\"clones_avoided\":{avoided},\
+             \"posterior_mean_final\":{mean:?}}}",
+            label = json_string(&self.label),
+            bench = self.bench,
+            method = self.method,
+            particles = self.particles,
+            ticks = self.ticks,
+            data_seed = DATA_SEED,
+            engine_seed = ENGINE_SEED,
+            tps = self.ticks_per_sec,
+            p50 = self.p50_ms,
+            p99 = self.p99_ms,
+            peak = self.peak_live_bytes,
+            avoided = self.clones_avoided,
+            mean = self.posterior_mean_final,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Drives one engine over a fixed input stream and measures the step loop.
+fn drive<M: Model>(
+    template: M,
+    inputs: &[M::Input],
+    bench: &'static str,
+    method: Method,
+    strategy: ResampleStrategy,
+    particles: usize,
+    label: &str,
+) -> Entry {
+    let mut engine =
+        Infer::with_seed(method, particles, template, ENGINE_SEED).with_resample_strategy(strategy);
+    let mut latencies_ms = Vec::with_capacity(inputs.len());
+    let mut peak_live_bytes = 0usize;
+    let mut mean = f64::NAN;
+    let t_all = Instant::now();
+    for y in inputs {
+        let t0 = Instant::now();
+        let posterior = engine.step(y).expect("benchmark models do not fail");
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        peak_live_bytes = peak_live_bytes.max(engine.memory().live_bytes);
+        mean = posterior.mean_float();
+    }
+    let wall = t_all.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let q = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p).round() as usize];
+    Entry {
+        label: label.to_owned(),
+        bench,
+        method,
+        strategy,
+        particles,
+        ticks: inputs.len(),
+        ticks_per_sec: inputs.len() as f64 / wall,
+        p50_ms: q(0.50),
+        p99_ms: q(0.99),
+        peak_live_bytes,
+        clones_avoided: engine.resample_stats().clones_avoided,
+        posterior_mean_final: mean,
+    }
+}
+
+/// Synthetic robot sensor stream: sinusoidal accelerometer, a GPS fix
+/// every four ticks, constant command — same shape as the fault-tolerance
+/// suite so numbers line up across harnesses.
+fn robot_inputs(steps: usize) -> Vec<TrackerInput> {
+    (0..steps)
+        .map(|t| TrackerInput {
+            a_obs: (t as f64 * 0.1).sin(),
+            gps: (t % 4 == 0).then_some(t as f64 * 0.05),
+            cmd: 0.1,
+        })
+        .collect()
+}
+
+fn run_suite(quick: bool, strategy: ResampleStrategy, label: &str) -> Vec<Entry> {
+    let (ticks, particles) = if quick { (200, 32) } else { (1_000, 100) };
+    let methods = [
+        Method::ParticleFilter,
+        Method::BoundedDs,
+        Method::StreamingDs,
+    ];
+    let hmm = generate_kalman(DATA_SEED, ticks);
+    let robot = robot_inputs(ticks);
+    let mut out = Vec::new();
+    for method in methods {
+        out.push(drive(
+            Kalman::default(),
+            &hmm.obs,
+            "hmm",
+            method,
+            strategy,
+            particles,
+            label,
+        ));
+        out.push(drive(
+            GpsAccTracker::default(),
+            &robot,
+            "robot",
+            method,
+            strategy,
+            particles,
+            label,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Trajectory file: a JSON array with one entry object per line, so
+// appending a run is a textual line insert and diffs stay line-per-run.
+// ---------------------------------------------------------------------
+
+/// Reads the raw entry lines of an existing trajectory file.
+fn read_entries(text: &str) -> Result<Vec<String>, String> {
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if lines.first() != Some(&"[") || lines.last() != Some(&"]") {
+        return Err("trajectory file must be a one-entry-per-line JSON array".into());
+    }
+    Ok(lines[1..lines.len() - 1]
+        .iter()
+        .map(|l| l.trim_end_matches(',').to_owned())
+        .collect())
+}
+
+fn render(entries: &[String]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(e);
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — enough to schema-check entries without deps.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or("bad \\u escape")?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        Some(&c) => out.push(c as char),
+                        None => return Err("unterminated escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validates one entry against the closed schema.
+fn check_entry(raw: &str) -> Result<(), String> {
+    let Json::Obj(fields) = parse_json(raw)? else {
+        return Err("entry is not a JSON object".into());
+    };
+    if fields.len() != SCHEMA.len() {
+        return Err(format!(
+            "entry has {} fields, schema has {}",
+            fields.len(),
+            SCHEMA.len()
+        ));
+    }
+    for ((key, value), (want_key, want_kind)) in fields.iter().zip(SCHEMA) {
+        if key != want_key {
+            return Err(format!("field '{key}' where schema wants '{want_key}'"));
+        }
+        match (want_kind, value) {
+            (Kind::Str, Json::Str(_)) => {}
+            (Kind::Num, Json::Num(n)) if n.is_finite() => {}
+            _ => return Err(format!("field '{key}' has the wrong type")),
+        }
+    }
+    let num = |k: &str| {
+        fields
+            .iter()
+            .find_map(|(key, v)| match v {
+                Json::Num(n) if key == k => Some(*n),
+                _ => None,
+            })
+            .expect("validated above")
+    };
+    if num("ticks_per_sec") <= 0.0 || num("p50_ms") < 0.0 || num("p99_ms") < num("p50_ms") {
+        return Err("implausible latency numbers".into());
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let entries = read_entries(&text)?;
+    if entries.is_empty() {
+        return Err("trajectory file has no entries".into());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        check_entry(e).map_err(|err| format!("entry {i}: {err}"))?;
+    }
+    Ok(entries.len())
+}
+
+const USAGE: &str = "usage: perfbench [--quick] [--label NAME] [--out PATH] [--fresh] \
+                     [--strategy clone-minimal|clone-all] | perfbench --check PATH";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut fresh = false;
+    let mut label = String::from("run");
+    let mut out = String::from("BENCH_step_latency.json");
+    let mut strategy = ResampleStrategy::CloneMinimal;
+    let mut check: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--fresh" => fresh = true,
+            "--label" => label = take("--label"),
+            "--out" => out = take("--out"),
+            "--check" => check = Some(take("--check")),
+            "--strategy" => {
+                strategy = match take("--strategy").as_str() {
+                    "clone-minimal" => ResampleStrategy::CloneMinimal,
+                    "clone-all" => ResampleStrategy::CloneAll,
+                    other => panic!("unknown strategy '{other}'; {USAGE}"),
+                }
+            }
+            other => panic!("unknown argument '{other}'; {USAGE}"),
+        }
+    }
+
+    if let Some(path) = check {
+        match check_file(&path) {
+            Ok(n) => println!("{path}: {n} entries, schema OK"),
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut entries = if fresh {
+        Vec::new()
+    } else {
+        match std::fs::read_to_string(&out) {
+            Ok(text) => read_entries(&text).expect("existing trajectory file is well-formed"),
+            Err(_) => Vec::new(),
+        }
+    };
+    for entry in run_suite(quick, strategy, &label) {
+        println!(
+            "{label:>12} {bench:>5} {method:>3} {tps:>9.0} ticks/s  p50 {p50:.4}ms  p99 {p99:.4}ms  \
+             peak {peak}B  avoided {avoided}",
+            label = entry.label,
+            bench = entry.bench,
+            method = entry.method,
+            tps = entry.ticks_per_sec,
+            p50 = entry.p50_ms,
+            p99 = entry.p99_ms,
+            peak = entry.peak_live_bytes,
+            avoided = entry.clones_avoided,
+        );
+        entries.push(entry.to_json());
+    }
+    std::fs::write(&out, render(&entries)).expect("trajectory file is writable");
+    for e in &entries {
+        check_entry(e).expect("emitted entries satisfy the schema");
+    }
+    println!("wrote {} ({} entries)", out, entries.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_entries_satisfy_the_closed_schema() {
+        for entry in run_suite(true, ResampleStrategy::CloneMinimal, "test") {
+            check_entry(&entry.to_json()).expect("schema-valid");
+        }
+    }
+
+    #[test]
+    fn schema_rejects_missing_and_extra_fields() {
+        let good = run_suite(true, ResampleStrategy::CloneAll, "t")[0].to_json();
+        check_entry(&good).unwrap();
+        let missing = good.replacen("\"bench\":\"hmm\",", "", 1);
+        assert!(check_entry(&missing).is_err());
+        let extra = good.replacen('{', "{\"surprise\":1,", 1);
+        assert!(check_entry(&extra).is_err());
+        let retyped = good.replacen("\"bench\":\"hmm\"", "\"bench\":3", 1);
+        assert!(check_entry(&retyped).is_err());
+    }
+
+    #[test]
+    fn render_and_read_roundtrip() {
+        let entries = vec!["{\"a\":1}".to_owned(), "{\"b\":2}".to_owned()];
+        assert_eq!(read_entries(&render(&entries)).unwrap(), entries);
+        assert_eq!(read_entries("[\n]\n").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn json_parser_handles_the_basics() {
+        assert_eq!(
+            parse_json("{\"k\":[1,true,null,\"s\\n\"]}").unwrap(),
+            Json::Obj(vec![(
+                "k".into(),
+                Json::Arr(vec![
+                    Json::Num(1.0),
+                    Json::Bool(true),
+                    Json::Null,
+                    Json::Str("s\n".into()),
+                ])
+            )])
+        );
+        assert!(parse_json("{\"k\":}").is_err());
+        assert!(parse_json("[1,2] trailing").is_err());
+    }
+
+    #[test]
+    fn clone_minimal_and_clone_all_agree_on_the_posterior() {
+        // The determinism witness the JSON rows rely on: strategies differ
+        // only in cost, never in the posterior.
+        let minimal = run_suite(true, ResampleStrategy::CloneMinimal, "a");
+        let all = run_suite(true, ResampleStrategy::CloneAll, "b");
+        for (m, a) in minimal.iter().zip(&all) {
+            assert_eq!(
+                m.posterior_mean_final.to_bits(),
+                a.posterior_mean_final.to_bits(),
+                "{}/{} diverged across strategies",
+                m.bench,
+                m.method
+            );
+            assert!(m.clones_avoided > 0);
+            assert_eq!(a.clones_avoided, 0);
+        }
+    }
+}

@@ -110,6 +110,14 @@ pub struct GraphStats {
     pub total_created: u64,
     /// Approximate live heap bytes.
     pub live_bytes: usize,
+    /// Allocations served by recycling a swept slot from the free list
+    /// instead of growing the slab.
+    pub slots_reused: u64,
+    /// Slab capacity in slots (live + freed). The bounded-memory witness:
+    /// under `Retention::PointerMinimal` this must plateau even though
+    /// `total_created` grows every tick, because every allocation after
+    /// warm-up reuses a swept slot.
+    pub capacity: usize,
 }
 
 impl GraphStats {
@@ -124,6 +132,8 @@ impl GraphStats {
         self.max_chain_depth = self.max_chain_depth.max(other.max_chain_depth);
         self.total_created += other.total_created;
         self.live_bytes += other.live_bytes;
+        self.slots_reused += other.slots_reused;
+        self.capacity += other.capacity;
     }
 
     /// Fraction of live nodes that are realized (sampled-vs-symbolic
@@ -145,6 +155,7 @@ pub struct Graph {
     retention: Retention,
     live: usize,
     created: u64,
+    reused: u64,
 }
 
 impl Graph {
@@ -156,6 +167,7 @@ impl Graph {
             retention,
             live: 0,
             created: 0,
+            reused: 0,
         }
     }
 
@@ -172,6 +184,20 @@ impl Graph {
     /// Total nodes ever created.
     pub fn total_created(&self) -> u64 {
         self.created
+    }
+
+    /// Allocations served by popping the free list instead of growing the
+    /// slot vector.
+    pub fn slots_reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Slab capacity in slots (live nodes plus swept-but-recyclable
+    /// slots). Boundedness of this — not just of [`Graph::live_nodes`] —
+    /// is what makes the streaming memory claim honest: freed slots are
+    /// recycled rather than accumulated.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Approximate live heap footprint in bytes (the analogue of the
@@ -200,6 +226,8 @@ impl Graph {
             live_nodes: self.live,
             total_created: self.created,
             live_bytes: self.live_bytes(),
+            slots_reused: self.reused,
+            capacity: self.slots.len(),
             ..GraphStats::default()
         };
         // The single out-pointer of a node, if its target is still live.
@@ -335,6 +363,7 @@ impl Graph {
         self.live += 1;
         let node = Node { state, mark: false };
         if let Some(i) = self.free.pop() {
+            self.reused += 1;
             self.slots[i] = Some(node);
             return RvId(i);
         }
@@ -1337,5 +1366,16 @@ mod tests {
         assert!(g.total_created() == 100);
         // Slab stayed small thanks to the free list.
         assert!(g.slots.len() <= 2, "slab grew to {}", g.slots.len());
+        // All but the first allocation recycled a swept slot, and both
+        // counters surface through the stats snapshot.
+        assert_eq!(g.slots_reused(), 99);
+        assert_eq!(g.capacity(), g.slots.len());
+        let s = g.stats();
+        assert_eq!(s.slots_reused, 99);
+        assert_eq!(s.capacity, g.capacity());
+        let mut merged = s;
+        merged.merge(&s);
+        assert_eq!(merged.slots_reused, 198);
+        assert_eq!(merged.capacity, 2 * s.capacity);
     }
 }

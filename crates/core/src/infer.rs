@@ -127,6 +127,85 @@ pub enum ResamplePolicy {
     Never,
 }
 
+/// How the resampling pass materializes the next particle cloud.
+///
+/// Both strategies produce bit-for-bit identical posterior streams for a
+/// given seed: systematic resampling emits its ancestor indices in
+/// nondecreasing order, so laying out `offspring[i]` copies of particle
+/// `i` for ascending `i` (the clone-minimal pass) reproduces exactly the
+/// slot order of cloning every selected ancestor. The strategy is purely
+/// a cost knob, which is why the old behavior survives as an explicit
+/// variant for A/B regression tests and perf baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResampleStrategy {
+    /// Move each surviving ancestor into one of its offspring slots and
+    /// deep-clone only the remaining `count - 1` duplicates; dead
+    /// particles are dropped in place so their heap becomes immediately
+    /// reusable by the clones. A typical tick pays ~`N - ESS`-ish clones
+    /// instead of `N`. The default.
+    #[default]
+    CloneMinimal,
+    /// Deep-clone every selected ancestor (model + delayed-sampling
+    /// graph), `N` clones per pass — the original behavior, kept as the
+    /// reference for determinism tests and as the perf baseline.
+    CloneAll,
+}
+
+/// Cumulative resampling-work counters, queryable via
+/// [`Infer::resample_stats`]. These are plain `u64` increments on the
+/// coordinator, cheap enough to track unconditionally (no `obs` feature
+/// needed), which is what lets the perf harness and feature-independent
+/// tests witness clone-minimality directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResampleStats {
+    /// Resampling passes executed.
+    pub passes: u64,
+    /// Deep particle clones performed (model state plus delayed-sampling
+    /// graph).
+    pub clones: u64,
+    /// Clones avoided relative to the clone-everything baseline — one per
+    /// surviving ancestor that was moved into its slot instead of cloned.
+    pub clones_avoided: u64,
+    /// Dead particles dropped in place (no offspring).
+    pub dropped: u64,
+}
+
+/// Persistent per-tick numeric scratch. The weight pipeline reuses these
+/// buffers every step, so the steady-state hot loop performs no
+/// weight/ancestor allocations after the first tick.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Accumulated per-particle log-weights, snapshotted each tick.
+    log_ws: Vec<f64>,
+    /// Normalized linear-space weights (uniform on collapse).
+    weights: Vec<f64>,
+    /// Ancestor indices from the systematic sweep (nondecreasing).
+    ancestors: Vec<usize>,
+    /// Per-ancestor offspring counts for the clone-minimal pass.
+    offspring: Vec<u32>,
+}
+
+impl StepScratch {
+    /// An empty scratch carrying only `other`'s capacity hints, so a
+    /// cloned engine's first step is allocation-free too.
+    fn with_capacity_of(other: &StepScratch) -> StepScratch {
+        StepScratch {
+            log_ws: Vec::with_capacity(other.log_ws.capacity()),
+            weights: Vec::with_capacity(other.weights.capacity()),
+            ancestors: Vec::with_capacity(other.ancestors.capacity()),
+            offspring: Vec::with_capacity(other.offspring.capacity()),
+        }
+    }
+
+    /// Heap bytes currently reserved by the numeric buffers.
+    fn bytes(&self) -> usize {
+        self.log_ws.capacity() * std::mem::size_of::<f64>()
+            + self.weights.capacity() * std::mem::size_of::<f64>()
+            + self.ancestors.capacity() * std::mem::size_of::<usize>()
+            + self.offspring.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
 /// Aggregate memory statistics across particles (the analogue of the
 /// paper's live-heap-words measurements of Fig. 4 / Fig. 19).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -190,6 +269,15 @@ pub struct Infer<M: Model> {
     steps: u64,
     last_ess: f64,
     resample: ResamplePolicy,
+    strategy: ResampleStrategy,
+    /// Cumulative resampling-work counters (reset by [`Infer::reset`]).
+    resample_stats: ResampleStats,
+    /// Per-tick numeric scratch, reused across steps.
+    scratch: StepScratch,
+    /// Retired particle buffer, ping-ponged with `particles` by the
+    /// clone-minimal resampler so the next-cloud `Vec` is reused too.
+    /// Always empty between steps; only its capacity persists.
+    spare: Vec<Particle<M>>,
     parallelism: Parallelism,
     /// Lazily created on the first parallel step; never cloned.
     pool: Option<WorkerPool>,
@@ -235,6 +323,13 @@ impl<M: Model> Clone for Infer<M> {
             steps: self.steps,
             last_ess: self.last_ess,
             resample: self.resample,
+            strategy: self.strategy,
+            resample_stats: self.resample_stats,
+            // Scratch contents are strictly per-tick, so the clone copies
+            // only the capacity hints: its first step allocates nothing,
+            // same as the original's.
+            scratch: StepScratch::with_capacity_of(&self.scratch),
+            spare: Vec::with_capacity(self.spare.capacity()),
             parallelism: self.parallelism,
             // The clone re-creates its own pool on first use.
             pool: None,
@@ -281,6 +376,10 @@ impl<M: Model> Infer<M> {
             } else {
                 ResamplePolicy::Never
             },
+            strategy: ResampleStrategy::default(),
+            resample_stats: ResampleStats::default(),
+            scratch: StepScratch::default(),
+            spare: Vec::new(),
             parallelism: Parallelism::Sequential,
             pool: None,
             par_step: None,
@@ -325,6 +424,25 @@ impl<M: Model> Infer<M> {
     /// The active resampling policy.
     pub fn resample_policy(&self) -> ResamplePolicy {
         self.resample
+    }
+
+    /// The active resampling strategy.
+    pub fn resample_strategy(&self) -> ResampleStrategy {
+        self.strategy
+    }
+
+    /// Cumulative resampling-work counters since construction or the
+    /// last [`Infer::reset`]. Available without the `obs` feature.
+    pub fn resample_stats(&self) -> ResampleStats {
+        self.resample_stats
+    }
+
+    /// Heap bytes currently reserved by the persistent per-tick scratch:
+    /// the weight/ancestor/offspring buffers plus the retired particle
+    /// buffer. On bounded models this plateaus after the first few ticks
+    /// — the allocation-free-steady-state witness.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes() + self.spare.capacity() * std::mem::size_of::<Particle<M>>()
     }
 
     /// The active execution mode.
@@ -431,6 +549,17 @@ impl<M: Model> Infer<M> {
         self
     }
 
+    /// Selects how the resampling pass materializes the next cloud
+    /// (builder style). The default, [`ResampleStrategy::CloneMinimal`],
+    /// is bit-for-bit equivalent to [`ResampleStrategy::CloneAll`] for
+    /// any seed — see [`ResampleStrategy`] for the argument — so this
+    /// knob exists for A/B regression tests and perf baselines, not for
+    /// semantics.
+    pub fn with_resample_strategy(mut self, strategy: ResampleStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Discards all inference state and restarts from the initial model.
     pub fn reset(&mut self) {
         let graph = |method: Method| match method {
@@ -449,6 +578,8 @@ impl<M: Model> Infer<M> {
             .collect();
         self.steps = 0;
         self.last_ess = self.num_particles as f64;
+        self.resample_stats = ResampleStats::default();
+        self.spare.clear();
         self.consecutive_collapses = 0;
         self.last_good = None;
         self.last_health = None;
@@ -683,9 +814,13 @@ impl<M: Model> Infer<M> {
             }
         }
 
-        let log_ws: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
-        let normalized = stats::try_normalize_log_weights(&log_ws);
-        let collapse = normalized.is_err();
+        self.scratch.log_ws.clear();
+        self.scratch
+            .log_ws
+            .extend(self.particles.iter().map(|p| p.log_w));
+        let collapse =
+            stats::try_normalize_log_weights_into(&self.scratch.log_ws, &mut self.scratch.weights)
+                .is_err();
 
         if collapse {
             if self.recovery == RecoveryPolicy::FailFast {
@@ -711,14 +846,14 @@ impl<M: Model> Infer<M> {
             self.consecutive_collapses = 0;
         }
 
-        let weights = match normalized {
-            Ok(w) => w,
-            Err(_) => vec![1.0 / n as f64; n],
-        };
+        if collapse {
+            // The error path left the buffer empty; fall back to uniform.
+            self.scratch.weights.resize(n, 1.0 / n as f64);
+        }
         self.last_ess = if collapse {
             0.0
         } else {
-            stats::effective_sample_size(&weights)
+            stats::effective_sample_size(&self.scratch.weights)
         };
 
         let step_unusable = collapse || outs.iter().all(|o| o.is_none());
@@ -729,7 +864,8 @@ impl<M: Model> Infer<M> {
                 last.clone()
             }
             _ => Posterior::new(
-                weights
+                self.scratch
+                    .weights
                     .iter()
                     .zip(&outs)
                     .map(|(&w, o)| match o {
@@ -752,16 +888,72 @@ impl<M: Model> Infer<M> {
             }
             ResamplePolicy::Never => false,
         };
+        #[cfg(feature = "obs")]
+        let clones_avoided_before = self.resample_stats.clones_avoided;
         if should_resample {
             let mut rng = rngstream::resample_rng(self.seed, generation);
-            let ancestors = stats::systematic_resample(&mut rng, &weights, self.num_particles);
-            let mut next = Vec::with_capacity(self.num_particles);
-            for &a in &ancestors {
-                let mut p = self.particles[a].clone();
-                p.log_w = 0.0;
-                next.push(p);
+            let StepScratch {
+                weights,
+                ancestors,
+                offspring,
+                ..
+            } = &mut self.scratch;
+            stats::systematic_resample_into(&mut rng, weights, n, ancestors);
+            self.resample_stats.passes += 1;
+            match self.strategy {
+                ResampleStrategy::CloneAll => {
+                    // The original clone-everything pass, preserved
+                    // verbatim as the reference for A/B determinism tests
+                    // and as the perf baseline.
+                    let mut next = Vec::with_capacity(n);
+                    for &a in ancestors.iter() {
+                        let mut p = self.particles[a].clone();
+                        p.log_w = 0.0;
+                        next.push(p);
+                    }
+                    self.particles = next;
+                    self.resample_stats.clones += n as u64;
+                }
+                ResampleStrategy::CloneMinimal => {
+                    offspring.clear();
+                    offspring.resize(n, 0);
+                    for &a in ancestors.iter() {
+                        offspring[a] += 1;
+                    }
+                    // The systematic sweep emits nondecreasing ancestor
+                    // indices, so laying out `offspring[i]` copies of
+                    // particle `i` for ascending `i` reproduces exactly
+                    // the slot order the clone-everything pass builds —
+                    // which is what keeps the posterior stream
+                    // bit-identical across strategies.
+                    debug_assert!(ancestors.windows(2).all(|w| w[0] <= w[1]));
+                    let mut old =
+                        std::mem::replace(&mut self.particles, std::mem::take(&mut self.spare));
+                    self.particles.clear();
+                    self.particles.reserve(n);
+                    for (i, mut p) in old.drain(..).enumerate() {
+                        let k = offspring[i];
+                        if k == 0 {
+                            // Dead ancestor: dropped in place, its heap
+                            // immediately reusable by the clones below.
+                            self.resample_stats.dropped += 1;
+                            continue;
+                        }
+                        p.log_w = 0.0;
+                        for _ in 1..k {
+                            self.particles.push(p.clone());
+                            self.resample_stats.clones += 1;
+                        }
+                        // The surviving ancestor itself is moved into its
+                        // last slot, not cloned.
+                        self.particles.push(p);
+                        self.resample_stats.clones_avoided += 1;
+                    }
+                    // `old` is drained empty; keep its capacity for the
+                    // next tick's ping-pong.
+                    self.spare = old;
+                }
             }
-            self.particles = next;
         }
 
         let health = Health {
@@ -791,17 +983,26 @@ impl<M: Model> Infer<M> {
             let log_evidence = if collapse {
                 f64::NEG_INFINITY
             } else {
-                let (argmax, &w_max) = weights
+                let (argmax, &w_max) = self
+                    .scratch
+                    .weights
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
                     .expect("particle cloud is non-empty");
-                log_ws[argmax] - w_max.ln() - (n as f64).ln()
+                self.scratch.log_ws[argmax] - w_max.ln() - (n as f64).ln()
             };
             self.obs.gauge(tick, names::STEP_LOG_EVIDENCE, log_evidence);
             if should_resample {
                 self.obs.counter(tick, names::STEP_RESAMPLES, 1);
+                let avoided = self.resample_stats.clones_avoided - clones_avoided_before;
+                if avoided > 0 {
+                    self.obs
+                        .counter(tick, names::RESAMPLE_CLONES_AVOIDED, avoided);
+                }
             }
+            self.obs
+                .gauge(tick, names::STEP_SCRATCH_BYTES, self.scratch_bytes() as f64);
             self.obs.gauge(
                 tick,
                 names::STEP_CONSECUTIVE_COLLAPSES,
@@ -865,6 +1066,10 @@ impl<M: Model> Infer<M> {
                     .gauge(tick, names::DS_TOTAL_CREATED, gs.total_created as f64);
                 self.obs
                     .gauge(tick, names::DS_LIVE_BYTES, gs.live_bytes as f64);
+                self.obs
+                    .gauge(tick, names::GRAPH_SLOTS_REUSED, gs.slots_reused as f64);
+                self.obs
+                    .gauge(tick, names::GRAPH_CAPACITY, gs.capacity as f64);
             }
             self.obs.histogram(
                 tick,

@@ -572,6 +572,13 @@ pub mod names {
     pub const STEP_FAULTS: &str = "step.faults";
     /// Steps whose posterior fell back to the last healthy one. Counter.
     pub const STEP_USED_LAST_GOOD: &str = "step.used_last_good";
+    /// Heap bytes reserved by the engine's persistent per-tick scratch
+    /// (weight/ancestor buffers plus the retired particle buffer);
+    /// plateaus on bounded models. Gauge.
+    pub const STEP_SCRATCH_BYTES: &str = "step.scratch_bytes";
+    /// Deep particle clones avoided by the clone-minimal resampler this
+    /// pass (surviving ancestors moved instead of cloned). Counter.
+    pub const RESAMPLE_CLONES_AVOIDED: &str = "resample.clones_avoided";
     /// Live delayed-sampling nodes, summed over particles. Gauge.
     pub const DS_LIVE_NODES: &str = "ds.live_nodes";
     /// Live delayed-sampling edges, summed over particles. Gauge.
@@ -591,6 +598,13 @@ pub mod names {
     pub const DS_TOTAL_CREATED: &str = "ds.total_created";
     /// Approximate live graph bytes, summed over particles. Gauge.
     pub const DS_LIVE_BYTES: &str = "ds.live_bytes";
+    /// Slab allocations served by recycling a swept slot, summed over
+    /// particles. Gauge (monotone).
+    pub const GRAPH_SLOTS_REUSED: &str = "graph.slots_reused";
+    /// Slab capacity in slots (live + recyclable), summed over
+    /// particles; flat capacity under pointer-minimal retention is the
+    /// bounded-memory witness. Gauge.
+    pub const GRAPH_CAPACITY: &str = "graph.capacity";
     /// Jobs submitted to the worker pool in one batch. Gauge.
     pub const POOL_QUEUE_DEPTH: &str = "pool.queue_depth";
     /// Per-job wall time on a worker (ms); `index` is the worker id.
@@ -700,6 +714,18 @@ pub const METRICS: &[MetricDesc] = &[
         help: "steps falling back to the last healthy posterior",
     },
     MetricDesc {
+        name: names::STEP_SCRATCH_BYTES,
+        kind: MetricKind::Gauge,
+        unit: "bytes",
+        help: "heap bytes reserved by the persistent per-tick scratch",
+    },
+    MetricDesc {
+        name: names::RESAMPLE_CLONES_AVOIDED,
+        kind: MetricKind::Counter,
+        unit: "count",
+        help: "deep particle clones avoided by the clone-minimal resampler",
+    },
+    MetricDesc {
         name: names::DS_LIVE_NODES,
         kind: MetricKind::Gauge,
         unit: "nodes",
@@ -752,6 +778,18 @@ pub const METRICS: &[MetricDesc] = &[
         kind: MetricKind::Gauge,
         unit: "bytes",
         help: "approximate live graph bytes, summed over particles",
+    },
+    MetricDesc {
+        name: names::GRAPH_SLOTS_REUSED,
+        kind: MetricKind::Gauge,
+        unit: "slots",
+        help: "slab allocations served by recycling a swept slot",
+    },
+    MetricDesc {
+        name: names::GRAPH_CAPACITY,
+        kind: MetricKind::Gauge,
+        unit: "slots",
+        help: "slab capacity in slots (live + recyclable), summed over particles",
     },
     MetricDesc {
         name: names::POOL_QUEUE_DEPTH,

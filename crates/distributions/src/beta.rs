@@ -47,6 +47,7 @@ impl Beta {
 impl Distribution for Beta {
     type Item = f64;
 
+    #[inline]
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let x = Gamma::draw_with_shape(rng, self.alpha);
         let y = Gamma::draw_with_shape(rng, self.beta);
@@ -54,6 +55,7 @@ impl Distribution for Beta {
         (x / (x + y)).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON)
     }
 
+    #[inline]
     fn log_pdf(&self, x: &f64) -> f64 {
         if *x <= 0.0 || *x >= 1.0 {
             return f64::NEG_INFINITY;

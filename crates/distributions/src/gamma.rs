@@ -76,10 +76,12 @@ impl Gamma {
 impl Distribution for Gamma {
     type Item = f64;
 
+    #[inline]
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         Self::draw_with_shape(rng, self.shape) / self.rate
     }
 
+    #[inline]
     fn log_pdf(&self, x: &f64) -> f64 {
         if *x <= 0.0 {
             return f64::NEG_INFINITY;

@@ -14,6 +14,11 @@ pub struct Gaussian {
     var: f64,
 }
 
+/// `ln(2π)`, hoisted out of the `log_pdf` hot path. Bit-identical to the
+/// runtime value `(2.0 * std::f64::consts::PI).ln()` (asserted in tests),
+/// so hoisting it preserves the determinism contract.
+const LN_2PI: f64 = 1.837_877_066_409_345_3_f64;
+
 impl Gaussian {
     /// Creates `N(mean, var)`.
     ///
@@ -69,6 +74,7 @@ impl Gaussian {
     }
 
     /// Draws a standard-normal variate with the Marsaglia polar method.
+    #[inline]
     pub(crate) fn draw_std<R: Rng + ?Sized>(rng: &mut R) -> f64 {
         loop {
             let u: f64 = rng.gen_range(-1.0..1.0);
@@ -84,13 +90,15 @@ impl Gaussian {
 impl Distribution for Gaussian {
     type Item = f64;
 
+    #[inline]
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.mean + self.var.sqrt() * Self::draw_std(rng)
     }
 
+    #[inline]
     fn log_pdf(&self, x: &f64) -> f64 {
         let d = x - self.mean;
-        -0.5 * (d * d / self.var + self.var.ln() + (2.0 * std::f64::consts::PI).ln())
+        -0.5 * (d * d / self.var + self.var.ln() + LN_2PI)
     }
 }
 
@@ -130,6 +138,12 @@ mod tests {
         let d = Gaussian::standard();
         let expected = -0.5 * (2.0 * std::f64::consts::PI).ln();
         assert!((d.log_pdf(&0.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hoisted_ln_2pi_is_bit_identical_to_runtime() {
+        let runtime = (2.0 * std::f64::consts::PI).ln();
+        assert_eq!(LN_2PI.to_bits(), runtime.to_bits());
     }
 
     #[test]

@@ -44,6 +44,29 @@ impl std::error::Error for WeightDegeneracy {}
 /// [`WeightDegeneracy`] if the slice is empty, contains `NaN`/`+inf`, or
 /// carries zero total mass (all `-inf`).
 pub fn try_normalize_log_weights(log_weights: &[f64]) -> Result<Vec<f64>, WeightDegeneracy> {
+    let mut out = Vec::with_capacity(log_weights.len());
+    try_normalize_log_weights_into(log_weights, &mut out)?;
+    Ok(out)
+}
+
+/// Buffer-reusing variant of [`try_normalize_log_weights`]: writes the
+/// normalized probabilities into `out` (cleared first) instead of
+/// allocating a fresh vector. The steady-state inference hot loop calls
+/// this every tick with a persistent scratch buffer so normalization is
+/// allocation-free once the buffer has warmed up.
+///
+/// On error `out` is left empty. Produces bit-identical values to the
+/// allocating variant.
+///
+/// # Errors
+///
+/// [`WeightDegeneracy`] if the slice is empty, contains `NaN`/`+inf`, or
+/// carries zero total mass (all `-inf`).
+pub fn try_normalize_log_weights_into(
+    log_weights: &[f64],
+    out: &mut Vec<f64>,
+) -> Result<(), WeightDegeneracy> {
+    out.clear();
     if log_weights.is_empty() {
         return Err(WeightDegeneracy::Empty);
     }
@@ -57,7 +80,8 @@ pub fn try_normalize_log_weights(log_weights: &[f64]) -> Result<Vec<f64>, Weight
     if !z.is_finite() {
         return Err(WeightDegeneracy::AllZero);
     }
-    Ok(log_weights.iter().map(|&lw| (lw - z).exp()).collect())
+    out.extend(log_weights.iter().map(|&lw| (lw - z).exp()));
+    Ok(())
 }
 
 /// Normalizes a slice of log-weights into linear-space probabilities.
@@ -128,12 +152,38 @@ pub fn try_systematic_resample<R: Rng + ?Sized>(
 ///
 /// Panics if `weights` is empty.
 pub fn systematic_resample<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    systematic_resample_into(rng, weights, n, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`systematic_resample`]: writes the `n`
+/// ancestor indices into `out` (cleared first) instead of allocating.
+/// Consumes exactly one RNG draw, like the allocating variant, and
+/// produces bit-identical ancestry — the inference engine relies on that
+/// equivalence for its determinism contract.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn systematic_resample_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+    out: &mut Vec<usize>,
+) {
     assert!(!weights.is_empty(), "cannot resample from empty weights");
-    match try_systematic_resample(rng, weights, n) {
-        Ok(out) => out,
-        Err(_) => {
-            systematic_resample_normalized(rng, &vec![1.0 / weights.len() as f64; weights.len()], n)
-        }
+    let healthy = weights.iter().all(|w| w.is_finite());
+    // Every weight is finite here, so the sum cannot be NaN.
+    let total: f64 = if healthy { weights.iter().sum() } else { 0.0 };
+    if healthy && total > 0.0 {
+        // Normalizing inside the accessor performs the same `w / total`
+        // divisions, in the same order, as materializing a normalized
+        // vector first — so the accumulated sweep is bit-identical.
+        systematic_sweep_into(rng, |i| weights[i] / total, weights.len(), n, out);
+    } else {
+        let uniform = 1.0 / weights.len() as f64;
+        systematic_sweep_into(rng, |_| uniform, weights.len(), n, out);
     }
 }
 
@@ -143,20 +193,37 @@ fn systematic_resample_normalized<R: Rng + ?Sized>(
     weights: &[f64],
     n: usize,
 ) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    systematic_sweep_into(rng, |i| weights[i], weights.len(), n, &mut out);
+    out
+}
+
+/// Single-offset systematic sweep: one uniform draw, then `n` evenly
+/// spaced pointers walked across the cumulative weights. `w(i)` must
+/// yield the normalized weight of index `i` for `i < len`. The emitted
+/// indices are nondecreasing, a property the clone-minimal resampler in
+/// the core engine depends on.
+fn systematic_sweep_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    w: impl Fn(usize) -> f64,
+    len: usize,
+    n: usize,
+    out: &mut Vec<usize>,
+) {
     let step = 1.0 / n as f64;
     let mut u = rng.gen_range(0.0..step);
-    let mut out = Vec::with_capacity(n);
-    let mut acc = weights[0];
+    out.clear();
+    out.reserve(n);
+    let mut acc = w(0);
     let mut i = 0usize;
     for _ in 0..n {
-        while u > acc && i + 1 < weights.len() {
+        while u > acc && i + 1 < len {
             i += 1;
-            acc += weights[i];
+            acc += w(i);
         }
         out.push(i);
         u += step;
     }
-    out
 }
 
 /// Weighted mean of `(value, weight)` pairs (weights need not be
@@ -270,6 +337,33 @@ mod tests {
             try_systematic_resample(&mut a, &w, 50).unwrap(),
             systematic_resample(&mut b, &w, 50)
         );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_bitwise() {
+        let log_ws = [0.3, -1.7, 0.0, -0.4, 2.2];
+        let alloc = try_normalize_log_weights(&log_ws).unwrap();
+        let mut out = vec![9.0; 2]; // stale contents must be cleared
+        try_normalize_log_weights_into(&log_ws, &mut out).unwrap();
+        assert_eq!(
+            alloc.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            out.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            try_normalize_log_weights_into(&[f64::NAN], &mut out),
+            Err(WeightDegeneracy::NonFinite)
+        );
+        assert!(out.is_empty(), "error path leaves the buffer empty");
+
+        for weights in [vec![0.1, 0.2, 0.3, 0.4], vec![0.0, 0.0, 0.0]] {
+            let mut a = SmallRng::seed_from_u64(17);
+            let mut b = SmallRng::seed_from_u64(17);
+            let alloc = systematic_resample(&mut a, &weights, 64);
+            let mut out = vec![99usize; 3];
+            systematic_resample_into(&mut b, &weights, 64, &mut out);
+            assert_eq!(alloc, out);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "nondecreasing");
+        }
     }
 
     #[test]

@@ -240,6 +240,46 @@ fn skip_observation_rolls_back_and_reports_skipped() {
     }
 }
 
+/// The `SkipObservation` rollback snapshot is taken before particles are
+/// stepped — and therefore before the resampler moves (rather than
+/// clones) survivors into the next cloud — so the chaos rollback path
+/// composes with clone-minimal resampling: the repaired stream is
+/// bit-identical under both strategies, with identical skip counts.
+#[test]
+fn skip_observation_composes_with_clone_minimal_resampling() {
+    use probzelus::core::infer::ResampleStrategy;
+    let data = generate_kalman(6, 30);
+    let schedule = vec![
+        (4, Glitch::Error(0.5)),
+        (11, Glitch::Panic(0.3)),
+        (19, Glitch::Error(1.0)),
+    ];
+    let run = |strategy| {
+        let model = Glitchy::new(Kalman::default(), schedule.clone());
+        let mut engine = Infer::with_seed(Method::ParticleFilter, PARTICLES, model, SEED)
+            .with_recovery_policy(RecoveryPolicy::SkipObservation)
+            .with_resample_strategy(strategy);
+        let mut bits = Vec::new();
+        let mut skipped = 0usize;
+        for y in &data.obs {
+            let outcome = engine.step_outcome(y).unwrap();
+            skipped += outcome
+                .health
+                .faults
+                .iter()
+                .filter(|f| f.recovery == RecoveryAction::Skipped)
+                .count();
+            bits.push(outcome.posterior.mean_float().to_bits());
+        }
+        (bits, skipped)
+    };
+    let (minimal, skipped_minimal) = run(ResampleStrategy::CloneMinimal);
+    let (all, skipped_all) = run(ResampleStrategy::CloneAll);
+    assert_eq!(minimal, all, "SkipObservation diverged across strategies");
+    assert_eq!(skipped_minimal, skipped_all);
+    assert!(skipped_minimal > 0, "schedule injected no skipped faults");
+}
+
 #[test]
 fn rejuvenate_clones_survivors_and_reports_donors() {
     let data = generate_kalman(6, 12);

@@ -227,6 +227,108 @@ fn sds_stays_flat_while_classic_ds_grows_under_parallel_stepping() {
     );
 }
 
+/// The slab-capacity witness: under pointer-minimal retention the node
+/// slab's *capacity* — live plus recyclable slots, not just the live
+/// count — stays flat over 10k ticks, because after warm-up every
+/// allocation recycles a slot the mark-and-sweep collector returned to
+/// the free list. A monotonically growing slab with a flat live count
+/// would still be a leak; this pins it down.
+#[test]
+fn slab_capacity_flat_over_10k_ticks_under_pointer_minimal() {
+    const TICKS: usize = 10_000;
+    let mut engine = Infer::with_seed(
+        Method::StreamingDs,
+        1,
+        probzelus::models::Kalman::default(),
+        0,
+    );
+    let mut warmed = None;
+    for t in 0..TICKS {
+        engine.step(&(t as f64 * 0.01).sin()).unwrap();
+        let gs = engine.graph_stats();
+        if t == 99 {
+            warmed = Some(gs.capacity);
+        }
+        if let Some(cap) = warmed {
+            assert!(
+                gs.capacity <= cap,
+                "slab capacity grew after warm-up: {cap} -> {} at tick {t}",
+                gs.capacity
+            );
+        }
+    }
+    let gs = engine.graph_stats();
+    assert!(gs.capacity <= 8, "slab capacity {}", gs.capacity);
+    assert!(
+        gs.slots_reused as usize >= TICKS - gs.capacity,
+        "slot reuse not happening: {} reuses for {} creations",
+        gs.slots_reused,
+        gs.total_created
+    );
+}
+
+/// The same capacity metric still grows without bound under retain-all —
+/// the counterpart that keeps the witness above honest.
+#[test]
+fn slab_capacity_still_grows_under_retain_all() {
+    const TICKS: usize = 2_000;
+    let mut engine = Infer::with_seed(
+        Method::ClassicDs,
+        1,
+        probzelus::models::Kalman::default(),
+        0,
+    );
+    let mut caps = Vec::with_capacity(TICKS);
+    for t in 0..TICKS {
+        engine.step(&(t as f64 * 0.01).sin()).unwrap();
+        caps.push(engine.graph_stats().capacity);
+    }
+    assert!(
+        caps[TICKS - 1] >= caps[9] + (TICKS - 100),
+        "retain-all slab failed to grow: {} -> {}",
+        caps[9],
+        caps[TICKS - 1]
+    );
+    assert!(
+        caps.windows(2).all(|w| w[1] >= w[0]),
+        "retain-all slab capacity decreased"
+    );
+    // Retain-all still sweeps *realized* nodes (the per-tick observation),
+    // so at most one slot is recycled per tick — the unrealized chain,
+    // which is what grows, never hands its slots back.
+    assert!(engine.graph_stats().slots_reused <= TICKS as u64);
+}
+
+/// The engine-side scratch (weights, ancestors, offspring, retired
+/// particle buffer) reaches a fixed footprint within a few ticks and
+/// never grows again: the steady-state step loop is allocation-free.
+#[test]
+fn step_scratch_plateaus_after_warmup() {
+    let mut engine = Infer::with_seed(
+        Method::ParticleFilter,
+        64,
+        probzelus::models::Kalman::default(),
+        0,
+    );
+    for t in 0..5 {
+        engine.step(&(t as f64 * 0.01).sin()).unwrap();
+    }
+    let warm = engine.scratch_bytes();
+    assert!(warm > 0, "scratch never warmed up");
+    for t in 5..300 {
+        engine.step(&(t as f64 * 0.01).sin()).unwrap();
+        assert_eq!(
+            engine.scratch_bytes(),
+            warm,
+            "scratch footprint changed at tick {t}"
+        );
+    }
+    // A clone starts with the same reservations (capacity hints carry
+    // over), so its first step allocates nothing either.
+    let clone = engine.clone();
+    assert_eq!(clone.scratch_bytes(), warm);
+}
+
 /// §6 / Fig. 15, witnessed through the telemetry subsystem: the graph
 /// gauges an attached sink receives *are* the bounded-memory evidence,
 /// so the claim can be audited from an export alone, without access to

@@ -5,7 +5,7 @@
 
 use probzelus::core::infer::{Infer, Method, Parallelism};
 use probzelus::core::model::Model;
-use probzelus::core::obs::{events, names, MemorySink, Obs, Record, WriterSink};
+use probzelus::core::obs::{events, names, MemorySink, MetricKind, Obs, Record, WriterSink};
 use probzelus::core::prob::ProbCtx;
 use probzelus::core::supervisor::RecoveryPolicy;
 use probzelus::core::value::Value;
@@ -152,6 +152,96 @@ fn parallel_stepping_exports_pool_metrics() {
         jobs.len()
     );
     assert!(jobs.iter().all(|v| v.is_finite() && *v >= 0.0));
+}
+
+/// Acceptance witness for the clone-minimal resampler, through the
+/// telemetry surface: on the hmm (Kalman) benchmark every resampling
+/// pass emits a strictly positive `resample.clones_avoided` increment —
+/// equivalently, strictly fewer than `particles` deep clones per tick —
+/// and the totals reconcile with the engine's own counters.
+#[test]
+fn clone_minimal_is_witnessed_by_the_clones_avoided_metric() {
+    const PARTICLES: usize = 64;
+    const TICKS: u64 = 50;
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = Infer::with_seed(Method::ParticleFilter, PARTICLES, Kalman::default(), 0x5EED)
+        .with_obs(Obs::to(sink.clone()));
+    for t in 0..TICKS {
+        engine.step(&(t as f64 * 0.1).sin()).unwrap();
+    }
+
+    let increments: Vec<(u64, f64)> = sink
+        .records()
+        .iter()
+        .filter_map(|r| match r {
+            Record::Sample {
+                kind: MetricKind::Counter,
+                name,
+                tick,
+                value,
+                ..
+            } if name == names::RESAMPLE_CLONES_AVOIDED => Some((*tick, *value)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        increments.len() as u64,
+        TICKS,
+        "one clones-avoided increment per PF resampling pass"
+    );
+    for (tick, avoided) in &increments {
+        assert!(
+            *avoided >= 1.0 && *avoided <= PARTICLES as f64,
+            "tick {tick}: implausible clones-avoided {avoided}"
+        );
+    }
+
+    let stats = engine.resample_stats();
+    let total = sink.counter_total(names::RESAMPLE_CLONES_AVOIDED);
+    assert_eq!(total as u64, stats.clones_avoided);
+    // clones + avoided = passes × N, so a positive avoided count per pass
+    // is exactly "fewer deep clones per tick than the particle count".
+    assert!(stats.clones < stats.passes * PARTICLES as u64);
+
+    // The scratch gauge is emitted every tick and plateaus after warm-up.
+    let scratch = sink.gauge_series(names::STEP_SCRATCH_BYTES);
+    assert_eq!(scratch.len() as u64, TICKS);
+    let warm = scratch[5].1;
+    assert!(warm > 0.0);
+    assert!(scratch[5..].iter().all(|&(_, v)| v == warm));
+}
+
+/// The slab gauges: `graph.slots_reused` climbs monotonically under SDS
+/// (every post-warm-up allocation recycles a slot) while
+/// `graph.capacity` stays flat — the exported form of the
+/// bounded-capacity witness.
+#[test]
+fn sds_exports_slot_reuse_and_flat_capacity_gauges() {
+    const TICKS: usize = 2_000;
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = Infer::with_seed(Method::StreamingDs, 1, Kalman::default(), 0)
+        .with_obs(Obs::to(sink.clone()));
+    for t in 0..TICKS {
+        engine.step(&(t as f64 * 0.01).sin()).unwrap();
+    }
+
+    let reused = sink.gauge_series(names::GRAPH_SLOTS_REUSED);
+    assert_eq!(reused.len(), TICKS);
+    assert!(
+        reused.windows(2).all(|w| w[1].1 >= w[0].1),
+        "slot-reuse gauge decreased"
+    );
+    assert!(
+        reused[TICKS - 1].1 >= (TICKS - 100) as f64,
+        "slot reuse not happening: {}",
+        reused[TICKS - 1].1
+    );
+
+    let capacity = sink.gauge_series(names::GRAPH_CAPACITY);
+    assert_eq!(capacity.len(), TICKS);
+    let peak = capacity.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+    assert!(peak <= 8.0, "slab capacity gauge not flat: peak {peak}");
+    assert_eq!(capacity[100].1, capacity[TICKS - 1].1);
 }
 
 #[test]

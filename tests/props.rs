@@ -2,7 +2,7 @@
 //! SDS-vs-closed-form exactness on randomized models, posterior
 //! normalization, engine equivalences, and pipeline round-trips.
 
-use probzelus::core::infer::{Infer, Method};
+use probzelus::core::infer::{Infer, Method, ResampleStrategy};
 use probzelus::core::model::Model;
 use probzelus::core::prob::ProbCtx;
 use probzelus::core::{DistExpr, RuntimeError, Value};
@@ -153,6 +153,29 @@ proptest! {
             prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
             prop_assert!(post.components().iter().all(|(w, _)| *w >= 0.0));
         }
+    }
+
+    /// Engine-level strategy equivalence on random state-space models:
+    /// the clone-minimal resampler and the clone-everything reference it
+    /// replaced produce bit-identical posterior streams for any
+    /// parameters, observations, and seed.
+    #[test]
+    fn resample_strategies_agree_on_random_models(
+        model in param(),
+        obs in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let run = |strategy| {
+            let mut e = Infer::with_seed(Method::ParticleFilter, 17, model.clone(), seed)
+                .with_resample_strategy(strategy);
+            obs.iter()
+                .map(|y| e.step(y).unwrap().mean_float().to_bits())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(
+            run(ResampleStrategy::CloneMinimal),
+            run(ResampleStrategy::CloneAll)
+        );
     }
 
     /// Beta-Bernoulli streaming inference matches the analytic posterior
@@ -444,6 +467,38 @@ mod stats_props {
                     "particle {}: {} copies vs expectation {}", i, c, expect
                 );
             }
+        }
+
+        /// The clone-minimal resampler's offspring counts are a faithful
+        /// reformulation of the naive clone-everything reference: because
+        /// the systematic sweep emits nondecreasing indices, expanding
+        /// per-ancestor counts in ascending order rebuilds the naive
+        /// ancestor layout slot for slot, and the move-one-clone-rest
+        /// accounting always saves `survivors ≥ 1` clones out of `n`.
+        #[test]
+        fn clone_minimal_offspring_counts_match_naive_reference(
+            raw in weights(),
+            seed in any::<u64>(),
+            n in 1usize..256,
+        ) {
+            let w = normalized(&raw);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let naive = stats::systematic_resample(&mut rng, &w, n);
+            let mut offspring = vec![0usize; w.len()];
+            for &a in &naive {
+                offspring[a] += 1;
+            }
+            let expanded: Vec<usize> = offspring
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &k)| std::iter::repeat_n(i, k))
+                .collect();
+            prop_assert_eq!(&expanded, &naive);
+            let survivors = offspring.iter().filter(|&&k| k > 0).count();
+            let clones: usize = offspring.iter().map(|&k| k.saturating_sub(1)).sum();
+            prop_assert_eq!(clones + survivors, n);
+            prop_assert!(survivors >= 1);
+            prop_assert!(clones < n, "clone-minimal must beat clone-everything");
         }
 
         /// Log-weight normalization produces a probability vector for any
