@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! perfbench [--quick] [--label NAME] [--out PATH] [--fresh]
-//!           [--strategy clone-minimal|clone-all]
+//!           [--strategy clone-minimal|clone-all] [--layout aos|soa]
 //! perfbench --check PATH     # validate an existing trajectory file
 //! ```
 //!
@@ -19,7 +19,7 @@
 use probzelus::models::{generate_kalman, Kalman};
 use probzelus::robot::{GpsAccTracker, TrackerInput};
 use probzelus_bench::DATA_SEED;
-use probzelus_core::infer::{Infer, Method, ResampleStrategy};
+use probzelus_core::infer::{Infer, Method, ParticleLayout, ResampleStrategy};
 use probzelus_core::model::Model;
 use std::time::Instant;
 
@@ -28,12 +28,15 @@ const ENGINE_SEED: u64 = 0xbe_a5;
 
 /// Keys every trajectory entry must carry, in emission order. `--check`
 /// enforces this exact set: the schema is closed, so a new field is a
-/// deliberate schema bump, not drift.
-const SCHEMA: [(&str, Kind); 14] = [
+/// deliberate schema bump, not drift. Rows written before the `layout`
+/// field existed (the seed-pr4/pr5 history) omit it; `--check` accepts
+/// those legacy rows so the trajectory file stays append-only.
+const SCHEMA: [(&str, Kind); 15] = [
     ("label", Kind::Str),
     ("bench", Kind::Str),
     ("method", Kind::Str),
     ("strategy", Kind::Str),
+    ("layout", Kind::Str),
     ("particles", Kind::Num),
     ("ticks", Kind::Num),
     ("data_seed", Kind::Num),
@@ -57,6 +60,7 @@ struct Entry {
     bench: &'static str,
     method: Method,
     strategy: ResampleStrategy,
+    layout: ParticleLayout,
     particles: usize,
     ticks: usize,
     ticks_per_sec: f64,
@@ -75,7 +79,8 @@ impl Entry {
         };
         format!(
             "{{\"label\":{label},\"bench\":\"{bench}\",\"method\":\"{method}\",\
-             \"strategy\":\"{strategy}\",\"particles\":{particles},\"ticks\":{ticks},\
+             \"strategy\":\"{strategy}\",\"layout\":\"{layout}\",\
+             \"particles\":{particles},\"ticks\":{ticks},\
              \"data_seed\":{data_seed},\"engine_seed\":{engine_seed},\
              \"ticks_per_sec\":{tps:?},\"p50_ms\":{p50:?},\"p99_ms\":{p99:?},\
              \"peak_live_bytes\":{peak},\"clones_avoided\":{avoided},\
@@ -83,6 +88,7 @@ impl Entry {
             label = json_string(&self.label),
             bench = self.bench,
             method = self.method,
+            layout = self.layout,
             particles = self.particles,
             ticks = self.ticks,
             data_seed = DATA_SEED,
@@ -114,17 +120,20 @@ fn json_string(s: &str) -> String {
 }
 
 /// Drives one engine over a fixed input stream and measures the step loop.
+#[allow(clippy::too_many_arguments)]
 fn drive<M: Model>(
     template: M,
     inputs: &[M::Input],
     bench: &'static str,
     method: Method,
     strategy: ResampleStrategy,
+    layout: ParticleLayout,
     particles: usize,
     label: &str,
 ) -> Entry {
-    let mut engine =
-        Infer::with_seed(method, particles, template, ENGINE_SEED).with_resample_strategy(strategy);
+    let mut engine = Infer::with_seed(method, particles, template, ENGINE_SEED)
+        .with_resample_strategy(strategy)
+        .with_particle_layout(layout);
     let mut latencies_ms = Vec::with_capacity(inputs.len());
     let mut peak_live_bytes = 0usize;
     let mut mean = f64::NAN;
@@ -144,6 +153,7 @@ fn drive<M: Model>(
         bench,
         method,
         strategy,
+        layout,
         particles,
         ticks: inputs.len(),
         ticks_per_sec: inputs.len() as f64 / wall,
@@ -168,7 +178,12 @@ fn robot_inputs(steps: usize) -> Vec<TrackerInput> {
         .collect()
 }
 
-fn run_suite(quick: bool, strategy: ResampleStrategy, label: &str) -> Vec<Entry> {
+fn run_suite(
+    quick: bool,
+    strategy: ResampleStrategy,
+    layout: ParticleLayout,
+    label: &str,
+) -> Vec<Entry> {
     let (ticks, particles) = if quick { (200, 32) } else { (1_000, 100) };
     let methods = [
         Method::ParticleFilter,
@@ -185,6 +200,7 @@ fn run_suite(quick: bool, strategy: ResampleStrategy, label: &str) -> Vec<Entry>
             "hmm",
             method,
             strategy,
+            layout,
             particles,
             label,
         ));
@@ -194,6 +210,7 @@ fn run_suite(quick: bool, strategy: ResampleStrategy, label: &str) -> Vec<Entry>
             "robot",
             method,
             strategy,
+            layout,
             particles,
             label,
         ));
@@ -420,19 +437,32 @@ fn parse_json(s: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-/// Validates one entry against the closed schema.
+/// Validates one entry against the closed schema. Rows written before
+/// the `layout` field existed are validated against the schema minus
+/// that field — the trajectory file is append-only, so history keeps
+/// its original shape.
 fn check_entry(raw: &str) -> Result<(), String> {
     let Json::Obj(fields) = parse_json(raw)? else {
         return Err("entry is not a JSON object".into());
     };
-    if fields.len() != SCHEMA.len() {
+    let legacy = !fields.iter().any(|(k, _)| k == "layout");
+    let schema: Vec<(&str, Kind)> = if legacy {
+        SCHEMA
+            .iter()
+            .filter(|(k, _)| *k != "layout")
+            .copied()
+            .collect()
+    } else {
+        SCHEMA.to_vec()
+    };
+    if fields.len() != schema.len() {
         return Err(format!(
             "entry has {} fields, schema has {}",
             fields.len(),
-            SCHEMA.len()
+            schema.len()
         ));
     }
-    for ((key, value), (want_key, want_kind)) in fields.iter().zip(SCHEMA) {
+    for ((key, value), (want_key, want_kind)) in fields.iter().zip(schema) {
         if key != want_key {
             return Err(format!("field '{key}' where schema wants '{want_key}'"));
         }
@@ -470,7 +500,8 @@ fn check_file(path: &str) -> Result<usize, String> {
 }
 
 const USAGE: &str = "usage: perfbench [--quick] [--label NAME] [--out PATH] [--fresh] \
-                     [--strategy clone-minimal|clone-all] | perfbench --check PATH";
+                     [--strategy clone-minimal|clone-all] [--layout aos|soa] | \
+                     perfbench --check PATH";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -479,6 +510,7 @@ fn main() {
     let mut label = String::from("run");
     let mut out = String::from("BENCH_step_latency.json");
     let mut strategy = ResampleStrategy::CloneMinimal;
+    let mut layout = ParticleLayout::PerParticle;
     let mut check: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -494,6 +526,13 @@ fn main() {
                     "clone-minimal" => ResampleStrategy::CloneMinimal,
                     "clone-all" => ResampleStrategy::CloneAll,
                     other => panic!("unknown strategy '{other}'; {USAGE}"),
+                }
+            }
+            "--layout" => {
+                layout = match take("--layout").as_str() {
+                    "aos" => ParticleLayout::PerParticle,
+                    "soa" => ParticleLayout::StructOfArrays,
+                    other => panic!("unknown layout '{other}'; {USAGE}"),
                 }
             }
             other => panic!("unknown argument '{other}'; {USAGE}"),
@@ -519,7 +558,7 @@ fn main() {
             Err(_) => Vec::new(),
         }
     };
-    for entry in run_suite(quick, strategy, &label) {
+    for entry in run_suite(quick, strategy, layout, &label) {
         println!(
             "{label:>12} {bench:>5} {method:>3} {tps:>9.0} ticks/s  p50 {p50:.4}ms  p99 {p99:.4}ms  \
              peak {peak}B  avoided {avoided}",
@@ -547,14 +586,22 @@ mod tests {
 
     #[test]
     fn emitted_entries_satisfy_the_closed_schema() {
-        for entry in run_suite(true, ResampleStrategy::CloneMinimal, "test") {
-            check_entry(&entry.to_json()).expect("schema-valid");
+        for layout in [ParticleLayout::PerParticle, ParticleLayout::StructOfArrays] {
+            for entry in run_suite(true, ResampleStrategy::CloneMinimal, layout, "test") {
+                check_entry(&entry.to_json()).expect("schema-valid");
+            }
         }
     }
 
     #[test]
     fn schema_rejects_missing_and_extra_fields() {
-        let good = run_suite(true, ResampleStrategy::CloneAll, "t")[0].to_json();
+        let good = run_suite(
+            true,
+            ResampleStrategy::CloneAll,
+            ParticleLayout::PerParticle,
+            "t",
+        )[0]
+        .to_json();
         check_entry(&good).unwrap();
         let missing = good.replacen("\"bench\":\"hmm\",", "", 1);
         assert!(check_entry(&missing).is_err());
@@ -562,6 +609,24 @@ mod tests {
         assert!(check_entry(&extra).is_err());
         let retyped = good.replacen("\"bench\":\"hmm\"", "\"bench\":3", 1);
         assert!(check_entry(&retyped).is_err());
+    }
+
+    #[test]
+    fn schema_accepts_legacy_rows_without_layout() {
+        // Pre-layout history (seed-pr4/pr5 rows) must keep validating.
+        let good = run_suite(
+            true,
+            ResampleStrategy::CloneMinimal,
+            ParticleLayout::PerParticle,
+            "t",
+        )[0]
+        .to_json();
+        let legacy = good.replacen("\"layout\":\"aos\",", "", 1);
+        assert_ne!(legacy, good, "layout field was not present to strip");
+        check_entry(&legacy).expect("legacy 14-field row validates");
+        // But a legacy row with a field missing is still rejected.
+        let broken = legacy.replacen("\"bench\":\"hmm\",", "", 1);
+        assert!(check_entry(&broken).is_err());
     }
 
     #[test]
@@ -593,8 +658,18 @@ mod tests {
     fn clone_minimal_and_clone_all_agree_on_the_posterior() {
         // The determinism witness the JSON rows rely on: strategies differ
         // only in cost, never in the posterior.
-        let minimal = run_suite(true, ResampleStrategy::CloneMinimal, "a");
-        let all = run_suite(true, ResampleStrategy::CloneAll, "b");
+        let minimal = run_suite(
+            true,
+            ResampleStrategy::CloneMinimal,
+            ParticleLayout::PerParticle,
+            "a",
+        );
+        let all = run_suite(
+            true,
+            ResampleStrategy::CloneAll,
+            ParticleLayout::PerParticle,
+            "b",
+        );
         for (m, a) in minimal.iter().zip(&all) {
             assert_eq!(
                 m.posterior_mean_final.to_bits(),
@@ -605,6 +680,34 @@ mod tests {
             );
             assert!(m.clones_avoided > 0);
             assert_eq!(a.clones_avoided, 0);
+        }
+    }
+
+    #[test]
+    fn layouts_agree_on_the_posterior() {
+        // Same witness for the layout knob: identical posterior bits,
+        // identical resampling work, different storage only.
+        let aos = run_suite(
+            true,
+            ResampleStrategy::CloneMinimal,
+            ParticleLayout::PerParticle,
+            "a",
+        );
+        let soa = run_suite(
+            true,
+            ResampleStrategy::CloneMinimal,
+            ParticleLayout::StructOfArrays,
+            "s",
+        );
+        for (a, s) in aos.iter().zip(&soa) {
+            assert_eq!(
+                a.posterior_mean_final.to_bits(),
+                s.posterior_mean_final.to_bits(),
+                "{}/{} diverged across layouts",
+                a.bench,
+                a.method
+            );
+            assert_eq!(a.clones_avoided, s.clones_avoided);
         }
     }
 }

@@ -147,6 +147,43 @@ impl GraphStats {
     }
 }
 
+/// One observation's contribution to a particle's log-weight, as produced
+/// by [`Graph::observe_scored`].
+///
+/// The batchable scalar families defer the density evaluation: the term
+/// carries the already-validated marginal (a `Copy` struct) and the float
+/// observation, so many terms can be evaluated together by the slice
+/// kernels in `probzelus_distributions::batch`. Everything else arrives
+/// pre-evaluated as [`ScoreTerm::Ready`]. Evaluation is pure — no graph
+/// access, no randomness — which is what makes cross-particle deferral
+/// safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreTerm {
+    /// An already-evaluated log-density (non-batchable family, Dirac
+    /// observation, or an explicit `factor`).
+    Ready(f64),
+    /// A Gaussian density evaluation pending at the given point.
+    Gaussian(probzelus_distributions::Gaussian, f64),
+    /// A Beta density evaluation pending at the given point.
+    Beta(probzelus_distributions::Beta, f64),
+    /// A Gamma density evaluation pending at the given point.
+    Gamma(probzelus_distributions::Gamma, f64),
+}
+
+impl ScoreTerm {
+    /// Evaluates the term now, through the same scalar kernels the batch
+    /// evaluators use element-wise (bit-identical by construction).
+    pub fn eval_scalar(&self) -> f64 {
+        use probzelus_distributions::Distribution as _;
+        match self {
+            ScoreTerm::Ready(lp) => *lp,
+            ScoreTerm::Gaussian(d, x) => d.log_pdf(x),
+            ScoreTerm::Beta(d, x) => d.log_pdf(x),
+            ScoreTerm::Gamma(d, x) => d.log_pdf(x),
+        }
+    }
+}
+
 /// A per-particle delayed-sampling graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
@@ -156,6 +193,12 @@ pub struct Graph {
     live: usize,
     created: u64,
     reused: u64,
+    // Reusable traversal buffers for the per-tick hot paths (graft chain /
+    // collect mark stack, and the rarer prune chain). Always empty between
+    // calls, so the derived `Clone`/`PartialEq` see only trivially equal
+    // empty vectors and the structural-equality contract is unaffected.
+    scratch_chain: Vec<RvId>,
+    scratch_prune: Vec<RvId>,
 }
 
 impl Graph {
@@ -168,6 +211,8 @@ impl Graph {
             live: 0,
             created: 0,
             reused: 0,
+            scratch_chain: Vec::new(),
+            scratch_prune: Vec::new(),
         }
     }
 
@@ -338,6 +383,7 @@ impl Graph {
         })
     }
 
+    #[inline]
     fn node(&self, rv: RvId) -> Result<&Node, RuntimeError> {
         self.slots
             .get(rv.0)
@@ -345,6 +391,7 @@ impl Graph {
             .ok_or_else(|| RuntimeError::GraphCorrupt(format!("dangling random variable {rv}")))
     }
 
+    #[inline]
     fn node_mut(&mut self, rv: RvId) -> Result<&mut Node, RuntimeError> {
         self.slots
             .get_mut(rv.0)
@@ -555,18 +602,20 @@ impl Graph {
                 Ok(self.root_float(marg))
             }
             DistExpr::Dirac { point } => Ok(point.clone()),
-            DistExpr::MvGaussian { a, x, b, cov } => {
+            DistExpr::MvGaussian(e) => {
+                let crate::value::MvGaussianExpr { a, x, b, cov } = &**e;
                 // Conjugate when the parent is a symbolic multivariate
                 // Gaussian variable; otherwise realize and fall back to a
                 // concrete root.
                 if let Value::Rv(parent) = x {
                     if self.family_of(*parent)? == Family::MvGaussian {
-                        let link =
-                            CondLink::MvAffine(probzelus_distributions::MvAffineGaussian::new(
+                        let link = CondLink::MvAffine(Box::new(
+                            probzelus_distributions::MvAffineGaussian::new(
                                 a.clone(),
                                 b.clone(),
                                 cov.clone(),
-                            )?);
+                            )?,
+                        ));
                         let id = self.alloc(NodeState::Initialized {
                             parent: *parent,
                             link,
@@ -575,10 +624,9 @@ impl Graph {
                     }
                 }
                 let xv = self.force_value(x, rng)?.as_vector()?;
-                let marg = Marginal::MvGaussian(probzelus_distributions::MvGaussian::new(
-                    a.mul_vec(&xv).add(b),
-                    cov.clone(),
-                )?);
+                let marg = Marginal::MvGaussian(Box::new(
+                    probzelus_distributions::MvGaussian::new(a.mul_vec(&xv).add(b), cov.clone())?,
+                ));
                 Ok(self.root_other(marg))
             }
         }
@@ -623,15 +671,56 @@ impl Graph {
         v: &Value,
         rng: &mut R,
     ) -> Result<f64, RuntimeError> {
+        Ok(self.observe_scored(d, v, rng)?.eval_scalar())
+    }
+
+    /// [`Graph::observe`], but with the final density evaluation split
+    /// out: all graph mutation (graft, conditioning, realization) happens
+    /// here exactly as in `observe`, while for the batchable scalar
+    /// families (Gaussian/Beta/Gamma) the returned [`ScoreTerm`] carries
+    /// the fully validated marginal and observation point instead of the
+    /// evaluated log-density. Scoring consumes no randomness, so a caller
+    /// may accumulate terms across particles and evaluate them with the
+    /// batch kernels of `probzelus_distributions::batch` — or call
+    /// [`ScoreTerm::eval_scalar`] immediately, which is what `observe`
+    /// does. Both routes go through the same scalar kernel per element and
+    /// are therefore bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Graph::observe`]: typing errors (including a
+    /// non-float observation for a float family) surface here, never at
+    /// batch-evaluation time.
+    pub fn observe_scored<R: Rng + ?Sized>(
+        &mut self,
+        d: &DistExpr,
+        v: &Value,
+        rng: &mut R,
+    ) -> Result<ScoreTerm, RuntimeError> {
         let v = self.force_value(v, rng)?;
         let sym = self.assume(d, rng)?;
-        match Self::sym_var(&sym) {
-            Some(x) => self.observe_node(x, v, rng),
-            None => {
-                // Dirac observation (or a fully concrete point).
-                Marginal::Dirac(Box::new(sym)).log_pdf(&v)
+        let Some(x) = Self::sym_var(&sym) else {
+            // Dirac observation (or a fully concrete point).
+            return Ok(ScoreTerm::Ready(
+                Marginal::Dirac(Box::new(sym)).log_pdf(&v)?,
+            ));
+        };
+        self.graft(x, rng)?;
+        let term = match &self.node(x)?.state {
+            NodeState::Marginalized { marginal, .. } => match marginal {
+                Marginal::Gaussian(g) => ScoreTerm::Gaussian(*g, v.as_float()?),
+                Marginal::Beta(b) => ScoreTerm::Beta(*b, v.as_float()?),
+                Marginal::Gamma(g) => ScoreTerm::Gamma(*g, v.as_float()?),
+                m => ScoreTerm::Ready(m.log_pdf(&v)?),
+            },
+            other => {
+                return Err(RuntimeError::GraphCorrupt(format!(
+                    "graft must marginalize, got {other:?}"
+                )))
             }
-        }
+        };
+        self.node_mut(x)?.state = NodeState::Realized(v);
+        Ok(term)
     }
 
     /// Extracts the single variable of a symbolic reference produced by
@@ -642,25 +731,6 @@ impl Graph {
             Value::Aff(e) => e.as_var(),
             _ => None,
         }
-    }
-
-    fn observe_node<R: Rng + ?Sized>(
-        &mut self,
-        x: RvId,
-        v: Value,
-        rng: &mut R,
-    ) -> Result<f64, RuntimeError> {
-        self.graft(x, rng)?;
-        let lp = match &self.node(x)?.state {
-            NodeState::Marginalized { marginal, .. } => marginal.log_pdf(&v)?,
-            other => {
-                return Err(RuntimeError::GraphCorrupt(format!(
-                    "graft must marginalize, got {other:?}"
-                )))
-            }
-        };
-        self.node_mut(x)?.state = NodeState::Realized(v);
-        Ok(lp)
     }
 
     /// `value(x)`: realizes a random variable (grafting first), returning
@@ -730,8 +800,14 @@ impl Graph {
     /// sampling; iterative so unbounded chains cannot overflow the stack.
     fn graft<R: Rng + ?Sized>(&mut self, x: RvId, rng: &mut R) -> Result<(), RuntimeError> {
         // 1. Walk the backward pointers up to the first non-initialized
-        //    ancestor.
-        let mut chain = Vec::new();
+        //    ancestor. The chain buffer is graph-owned scratch: taken for
+        //    the duration of the call, cleared and returned at the end, so
+        //    the per-observe allocation disappears from the tick hot loop.
+        //    (An early `?` return leaves the field empty — still a valid
+        //    state, just one lost capacity reservation on a path that
+        //    poisons the particle anyway.)
+        let mut chain = std::mem::take(&mut self.scratch_chain);
+        chain.clear();
         let mut cur = x;
         while let NodeState::Initialized { parent, .. } = &self.node(cur)?.state {
             chain.push(cur);
@@ -746,46 +822,52 @@ impl Graph {
         //    forward pointers (Fig. 15 (d)-(e)).
         let mut parent = cur;
         for &child in chain.iter().rev() {
-            let link = match &self.node(child)?.state {
-                NodeState::Initialized { link, .. } => link.clone(),
+            // The child's `Initialized` state is about to be overwritten
+            // with its marginal, so the link can be moved out rather than
+            // cloned. On the error paths below the child is left holding
+            // the placeholder — acceptable, since every error here poisons
+            // (quarantines) the owning particle.
+            let link = match std::mem::replace(
+                &mut self.node_mut(child)?.state,
+                NodeState::Realized(Value::Unit),
+            ) {
+                NodeState::Initialized { link, .. } => link,
                 other => {
                     return Err(RuntimeError::GraphCorrupt(format!(
                         "chain nodes are initialized, got {other:?}"
                     )))
                 }
             };
-            let parent_state = self.node(parent)?.state.clone();
-            match parent_state {
-                NodeState::Realized(v) => {
-                    let marginal = link.instantiate(&v)?;
-                    self.node_mut(child)?.state = NodeState::Marginalized {
-                        marginal,
-                        child: None,
-                    };
-                }
+            // Compute the child's marginal borrowing the parent in place;
+            // cloning the parent's whole state (marginal + forward link)
+            // per chain element showed up as the hottest allocation in the
+            // tick profile.
+            let (child_marg, parent_is_marginal) = match &self.node(parent)?.state {
+                NodeState::Realized(v) => (link.instantiate(v)?, false),
                 NodeState::Marginalized {
                     marginal,
                     child: None,
-                } => {
-                    let child_marg = link.marginalize(&marginal)?;
-                    self.node_mut(child)?.state = NodeState::Marginalized {
-                        marginal: child_marg,
-                        child: None,
-                    };
-                    if let NodeState::Marginalized { child: c, .. } =
-                        &mut self.node_mut(parent)?.state
-                    {
-                        *c = Some((child, link));
-                    }
-                }
+                } => (link.marginalize(marginal)?, true),
                 other => {
                     return Err(RuntimeError::GraphCorrupt(format!(
                         "parent must be resolved, got {other:?}"
                     )))
                 }
+            };
+            self.node_mut(child)?.state = NodeState::Marginalized {
+                marginal: child_marg,
+                child: None,
+            };
+            if parent_is_marginal {
+                if let NodeState::Marginalized { child: c, .. } = &mut self.node_mut(parent)?.state
+                {
+                    *c = Some((child, link));
+                }
             }
             parent = child;
         }
+        chain.clear();
+        self.scratch_chain = chain;
         Ok(())
     }
 
@@ -793,11 +875,15 @@ impl Graph {
     /// child's evidence (lazy conditioning) or pruning a marginalized
     /// child's M-path by sampling it.
     fn resolve_child<R: Rng + ?Sized>(&mut self, x: RvId, rng: &mut R) -> Result<(), RuntimeError> {
-        let (c, link) = match &self.node(x)?.state {
+        // Detach the forward pointer up front: it ends the call as `None`
+        // either way, so the link moves out instead of being cloned. An
+        // error from `prune` leaves the pointer already cleared — fine,
+        // since errors poison the owning particle.
+        let (c, link) = match &mut self.node_mut(x)?.state {
             NodeState::Marginalized {
-                child: Some((c, link)),
+                child: child @ Some(_),
                 ..
-            } => (*c, link.clone()),
+            } => child.take().expect("matched Some"),
             _ => return Ok(()),
         };
         if matches!(self.node(c)?.state, NodeState::Marginalized { .. }) {
@@ -811,9 +897,8 @@ impl Graph {
                 )))
             }
         };
-        if let NodeState::Marginalized { marginal, child } = &mut self.node_mut(x)?.state {
+        if let NodeState::Marginalized { marginal, .. } = &mut self.node_mut(x)?.state {
             *marginal = link.condition(marginal, &v)?;
-            *child = None;
         }
         Ok(())
     }
@@ -822,7 +907,11 @@ impl Graph {
     /// `c`, sampling leaf-first so every conditioning step sees a realized
     /// child (iterative; §5.2 `prune`).
     fn prune<R: Rng + ?Sized>(&mut self, c: RvId, rng: &mut R) -> Result<(), RuntimeError> {
-        let mut chain = vec![c];
+        // Separate scratch from graft's: prune runs while graft still holds
+        // the chain buffer.
+        let mut chain = std::mem::take(&mut self.scratch_prune);
+        chain.clear();
+        chain.push(c);
         let mut cur = c;
         loop {
             match &self.node(cur)?.state {
@@ -848,6 +937,8 @@ impl Graph {
             };
             self.node_mut(node)?.state = NodeState::Realized(v);
         }
+        chain.clear();
+        self.scratch_prune = chain;
         Ok(())
     }
 
@@ -992,7 +1083,11 @@ impl Graph {
     /// the error are left in place, so the graph should be treated as
     /// poisoned and the owning particle quarantined.
     pub fn collect(&mut self, roots: impl IntoIterator<Item = RvId>) -> Result<(), RuntimeError> {
-        let mut stack: Vec<RvId> = roots.into_iter().collect();
+        // The mark stack shares graft's scratch buffer (collect never runs
+        // while a graft is in flight).
+        let mut stack = std::mem::take(&mut self.scratch_chain);
+        stack.clear();
+        stack.extend(roots);
         if self.retention == Retention::RetainAll {
             for (i, slot) in self.slots.iter().enumerate() {
                 if let Some(node) = slot {
@@ -1026,17 +1121,19 @@ impl Graph {
             }
         }
         // Sweep.
-        for i in 0..self.slots.len() {
-            match &mut self.slots[i] {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            match slot {
                 Some(node) if node.mark => node.mark = false,
                 Some(_) => {
-                    self.slots[i] = None;
+                    *slot = None;
                     self.free.push(i);
                     self.live -= 1;
                 }
                 None => {}
             }
         }
+        stack.clear();
+        self.scratch_chain = stack;
         Ok(())
     }
 }

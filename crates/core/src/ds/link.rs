@@ -30,8 +30,10 @@ pub enum CondLink {
         scale: f64,
     },
     /// `child | parent ~ N(A·parent + b, Σ)` with multivariate-Gaussian
-    /// parent (the matrix Kalman conjugacy).
-    MvAffine(MvAffineGaussian),
+    /// parent (the matrix Kalman conjugacy). Boxed for the same reason as
+    /// [`Marginal::MvGaussian`]: keeps `CondLink` (and with it every graph
+    /// node) small on the scalar hot path.
+    MvAffine(Box<MvAffineGaussian>),
     /// `child | parent ~ Exponential(scale·parent)` with Gamma parent.
     GammaExponential {
         /// Rate multiplier.
@@ -85,7 +87,7 @@ impl CondLink {
                 GammaPoissonLink::new(*scale)?.marginalize(*p)?,
             )),
             (CondLink::MvAffine(l), Marginal::MvGaussian(p)) => {
-                Ok(Marginal::MvGaussian(l.marginalize(p)?))
+                Ok(Marginal::MvGaussian(Box::new(l.marginalize(p)?)))
             }
             (CondLink::GammaExponential { scale }, Marginal::Gamma(p)) => Ok(Marginal::Lomax(
                 GammaExponentialLink::new(*scale)?.marginalize(*p)?,
@@ -128,9 +130,9 @@ impl CondLink {
             (CondLink::GammaPoisson { scale }, Marginal::Gamma(p)) => Ok(Marginal::Gamma(
                 GammaPoissonLink::new(*scale)?.condition(*p, child_value.as_count()?)?,
             )),
-            (CondLink::MvAffine(l), Marginal::MvGaussian(p)) => Ok(Marginal::MvGaussian(
+            (CondLink::MvAffine(l), Marginal::MvGaussian(p)) => Ok(Marginal::MvGaussian(Box::new(
                 l.condition(p, &child_value.as_vector()?)?,
-            )),
+            ))),
             (CondLink::GammaExponential { scale }, Marginal::Gamma(p)) => Ok(Marginal::Gamma(
                 GammaExponentialLink::new(*scale)?.condition(*p, child_value.as_float()?)?,
             )),
@@ -163,9 +165,9 @@ impl CondLink {
             CondLink::GammaPoisson { scale } => Ok(Marginal::Poisson(
                 probzelus_distributions::Poisson::new(scale * parent_value.as_float()?)?,
             )),
-            CondLink::MvAffine(l) => Ok(Marginal::MvGaussian(
+            CondLink::MvAffine(l) => Ok(Marginal::MvGaussian(Box::new(
                 l.instantiate(&parent_value.as_vector()?)?,
-            )),
+            ))),
             CondLink::GammaExponential { scale } => Ok(Marginal::Exponential(
                 GammaExponentialLink::new(*scale)?.instantiate(parent_value.as_float()?)?,
             )),

@@ -38,7 +38,7 @@ use crate::model::Model;
 use crate::obs::{self, FieldValue, Obs};
 use crate::pool::WorkerPool;
 use crate::posterior::{Posterior, ValueDist};
-use crate::prob::{DsCtx, ProbCtx, SampleCtx};
+use crate::prob::{DsCtx, ProbCtx, SampleCtx, ScoreSink};
 use crate::rngstream;
 use crate::supervisor::{
     self, FaultKind, Health, ParticleFault, RecoveryAction, RecoveryPolicy, StepOutcome,
@@ -151,6 +151,42 @@ pub enum ResampleStrategy {
     CloneAll,
 }
 
+/// How particle state is laid out in memory.
+///
+/// Like [`ResampleStrategy`], this is purely a cost knob: for any fixed
+/// seed both layouts produce bit-for-bit identical posterior streams (the
+/// layout-differential test suite asserts this across methods, programs,
+/// and worker counts). The per-particle layout is the semantic reference;
+/// the structure-of-arrays layout exists so the step loop, the
+/// clone-minimal resampler, and the weight pipeline walk flat contiguous
+/// memory — and so the sequential delayed-sampling step can defer its
+/// density evaluations into batched slice kernels (see
+/// [`crate::prob::ScoreSink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParticleLayout {
+    /// One `Particle` struct per particle (model + graph + weight
+    /// together), stepped and scored one at a time — the original layout,
+    /// preserved verbatim as the semantic reference. The default.
+    #[default]
+    PerParticle,
+    /// Parallel arrays: all models contiguous, all graphs contiguous, all
+    /// log-weights in one flat `Vec<f64>`. Sequential delayed-sampling
+    /// steps additionally batch their Gaussian/Beta/Gamma observation
+    /// densities across particles through a [`crate::prob::ScoreSink`] —
+    /// bit-identical to the scalar path because both evaluate the same
+    /// scalar kernel per element in the same order.
+    StructOfArrays,
+}
+
+impl std::fmt::Display for ParticleLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ParticleLayout::PerParticle => "aos",
+            ParticleLayout::StructOfArrays => "soa",
+        })
+    }
+}
+
 /// Cumulative resampling-work counters, queryable via
 /// [`Infer::resample_stats`]. These are plain `u64` increments on the
 /// coordinator, cheap enough to track unconditionally (no `obs` feature
@@ -183,6 +219,9 @@ struct StepScratch {
     ancestors: Vec<usize>,
     /// Per-ancestor offspring counts for the clone-minimal pass.
     offspring: Vec<u32>,
+    /// GC-root buffer reused across the sequential step loop (each
+    /// particle clears and refills it).
+    roots: Vec<RvId>,
 }
 
 impl StepScratch {
@@ -194,6 +233,7 @@ impl StepScratch {
             weights: Vec::with_capacity(other.weights.capacity()),
             ancestors: Vec::with_capacity(other.ancestors.capacity()),
             offspring: Vec::with_capacity(other.offspring.capacity()),
+            roots: Vec::with_capacity(other.roots.capacity()),
         }
     }
 
@@ -203,6 +243,7 @@ impl StepScratch {
             + self.weights.capacity() * std::mem::size_of::<f64>()
             + self.ancestors.capacity() * std::mem::size_of::<usize>()
             + self.offspring.capacity() * std::mem::size_of::<u32>()
+            + self.roots.capacity() * std::mem::size_of::<RvId>()
     }
 }
 
@@ -223,6 +264,301 @@ struct Particle<M> {
     model: M,
     graph: Option<Graph>,
     log_w: f64,
+}
+
+/// Structure-of-arrays particle storage: the `i`-th particle is the
+/// triple `(models[i], graphs[i], log_ws[i])`. The three primary arrays
+/// always have equal length; the spare arrays are the clone-minimal
+/// resampler's ping-pong buffers (always empty between steps, capacity
+/// retained).
+struct SoaStore<M> {
+    models: Vec<M>,
+    graphs: Vec<Option<Graph>>,
+    log_ws: Vec<f64>,
+    spare_models: Vec<M>,
+    spare_graphs: Vec<Option<Graph>>,
+}
+
+/// Particle storage behind the [`ParticleLayout`] knob. Every engine
+/// access to particle state goes through this enum, so the two layouts
+/// share one driver (`step_outcome`) and one per-particle stepping core
+/// (`step_particle_parts`) — the layout decides only where the bytes
+/// live and whether sequential delayed-sampling scoring is batched.
+enum Store<M> {
+    /// Array-of-structs: the original layout, preserved verbatim
+    /// (including the clone-minimal resampler's exact loop) as the
+    /// semantic reference.
+    Aos {
+        particles: Vec<Particle<M>>,
+        /// Retired particle buffer, ping-ponged with `particles` by the
+        /// clone-minimal resampler. Always empty between steps.
+        spare: Vec<Particle<M>>,
+    },
+    /// Structure-of-arrays.
+    Soa(SoaStore<M>),
+}
+
+impl<M: Model> Store<M> {
+    fn build(layout: ParticleLayout, n: usize, mut blank: impl FnMut() -> Particle<M>) -> Self {
+        match layout {
+            ParticleLayout::PerParticle => Store::Aos {
+                particles: (0..n).map(|_| blank()).collect(),
+                spare: Vec::new(),
+            },
+            ParticleLayout::StructOfArrays => {
+                let mut models = Vec::with_capacity(n);
+                let mut graphs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let p = blank();
+                    models.push(p.model);
+                    graphs.push(p.graph);
+                }
+                Store::Soa(SoaStore {
+                    models,
+                    graphs,
+                    log_ws: vec![0.0; n],
+                    spare_models: Vec::new(),
+                    spare_graphs: Vec::new(),
+                })
+            }
+        }
+    }
+
+    /// Clones the live particle state; spare buffers come back empty with
+    /// the original's capacity hints.
+    fn snapshot(&self) -> Store<M> {
+        match self {
+            Store::Aos { particles, spare } => Store::Aos {
+                particles: particles.clone(),
+                spare: Vec::with_capacity(spare.capacity()),
+            },
+            Store::Soa(s) => Store::Soa(SoaStore {
+                models: s.models.clone(),
+                graphs: s.graphs.clone(),
+                log_ws: s.log_ws.clone(),
+                spare_models: Vec::with_capacity(s.spare_models.capacity()),
+                spare_graphs: Vec::with_capacity(s.spare_graphs.capacity()),
+            }),
+        }
+    }
+
+    fn log_w(&self, i: usize) -> f64 {
+        match self {
+            Store::Aos { particles, .. } => particles[i].log_w,
+            Store::Soa(s) => s.log_ws[i],
+        }
+    }
+
+    fn set_log_w(&mut self, i: usize, v: f64) {
+        match self {
+            Store::Aos { particles, .. } => particles[i].log_w = v,
+            Store::Soa(s) => s.log_ws[i] = v,
+        }
+    }
+
+    fn zero_log_ws(&mut self) {
+        match self {
+            Store::Aos { particles, .. } => {
+                for p in particles {
+                    p.log_w = 0.0;
+                }
+            }
+            Store::Soa(s) => {
+                for w in &mut s.log_ws {
+                    *w = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Appends every particle's accumulated log-weight to `out` (which
+    /// the caller has cleared). The SoA arm is a straight slice copy.
+    fn extend_log_ws(&self, out: &mut Vec<f64>) {
+        match self {
+            Store::Aos { particles, .. } => out.extend(particles.iter().map(|p| p.log_w)),
+            Store::Soa(s) => out.extend_from_slice(&s.log_ws),
+        }
+    }
+
+    /// Replaces particle `i` wholesale.
+    fn install(&mut self, i: usize, p: Particle<M>) {
+        match self {
+            Store::Aos { particles, .. } => particles[i] = p,
+            Store::Soa(s) => {
+                s.models[i] = p.model;
+                s.graphs[i] = p.graph;
+                s.log_ws[i] = p.log_w;
+            }
+        }
+    }
+
+    /// Copies particle `i` out of a snapshot taken from the same engine
+    /// (the `SkipObservation` rollback).
+    fn restore_one_from(&mut self, i: usize, snap: &Store<M>) {
+        match (self, snap) {
+            (Store::Aos { particles, .. }, Store::Aos { particles: o, .. }) => {
+                particles[i] = o[i].clone();
+            }
+            (Store::Soa(s), Store::Soa(o)) => {
+                s.models[i] = o.models[i].clone();
+                s.graphs[i] = o.graphs[i].clone();
+                s.log_ws[i] = o.log_ws[i];
+            }
+            _ => unreachable!("snapshot layout always matches the store layout"),
+        }
+    }
+
+    /// Clones particle `src` over particle `dst` (the `Rejuvenate`
+    /// donor copy), including the donor's accumulated weight.
+    fn clone_within(&mut self, dst: usize, src: usize) {
+        match self {
+            Store::Aos { particles, .. } => particles[dst] = particles[src].clone(),
+            Store::Soa(s) => {
+                s.models[dst] = s.models[src].clone();
+                s.graphs[dst] = s.graphs[src].clone();
+                s.log_ws[dst] = s.log_ws[src];
+            }
+        }
+    }
+
+    /// Whether any particle carries a delayed-sampling graph (gates the
+    /// per-tick graph telemetry).
+    #[cfg(feature = "obs")]
+    fn has_graphs(&self) -> bool {
+        match self {
+            Store::Aos { particles, .. } => particles.iter().any(|p| p.graph.is_some()),
+            Store::Soa(s) => s.graphs.iter().any(Option::is_some),
+        }
+    }
+
+    fn for_each_graph(&self, f: &mut dyn FnMut(&Graph)) {
+        match self {
+            Store::Aos { particles, .. } => {
+                for p in particles {
+                    if let Some(g) = &p.graph {
+                        f(g);
+                    }
+                }
+            }
+            Store::Soa(s) => {
+                for g in s.graphs.iter().flatten() {
+                    f(g);
+                }
+            }
+        }
+    }
+
+    /// Heap bytes reserved by the retired-particle ping-pong buffers.
+    fn spare_bytes(&self) -> usize {
+        match self {
+            Store::Aos { spare, .. } => spare.capacity() * std::mem::size_of::<Particle<M>>(),
+            Store::Soa(s) => {
+                s.spare_models.capacity() * std::mem::size_of::<M>()
+                    + s.spare_graphs.capacity() * std::mem::size_of::<Option<Graph>>()
+            }
+        }
+    }
+
+    /// The clone-everything resampling pass.
+    fn resample_clone_all(&mut self, ancestors: &[usize], stats: &mut ResampleStats) {
+        let n = ancestors.len();
+        match self {
+            Store::Aos { particles, .. } => {
+                // The original clone-everything pass, preserved verbatim
+                // as the reference for A/B determinism tests and as the
+                // perf baseline.
+                let mut next = Vec::with_capacity(n);
+                for &a in ancestors {
+                    let mut p = particles[a].clone();
+                    p.log_w = 0.0;
+                    next.push(p);
+                }
+                *particles = next;
+            }
+            Store::Soa(s) => {
+                let mut next_models = Vec::with_capacity(n);
+                let mut next_graphs = Vec::with_capacity(n);
+                for &a in ancestors {
+                    next_models.push(s.models[a].clone());
+                    next_graphs.push(s.graphs[a].clone());
+                }
+                s.models = next_models;
+                s.graphs = next_graphs;
+                for w in &mut s.log_ws {
+                    *w = 0.0;
+                }
+            }
+        }
+        stats.clones += n as u64;
+    }
+
+    /// The clone-minimal resampling pass. `offspring[i]` holds particle
+    /// `i`'s offspring count from a nondecreasing ancestor sweep, so
+    /// laying out the copies in ascending `i` reproduces exactly the slot
+    /// order of [`Store::resample_clone_all`].
+    fn resample_clone_minimal(&mut self, offspring: &[u32], stats: &mut ResampleStats) {
+        let n = offspring.len();
+        match self {
+            Store::Aos { particles, spare } => {
+                let mut old = std::mem::replace(particles, std::mem::take(spare));
+                particles.clear();
+                particles.reserve(n);
+                for (i, mut p) in old.drain(..).enumerate() {
+                    let k = offspring[i];
+                    if k == 0 {
+                        // Dead ancestor: dropped in place, its heap
+                        // immediately reusable by the clones below.
+                        stats.dropped += 1;
+                        continue;
+                    }
+                    p.log_w = 0.0;
+                    for _ in 1..k {
+                        particles.push(p.clone());
+                        stats.clones += 1;
+                    }
+                    // The surviving ancestor itself is moved into its
+                    // last slot, not cloned.
+                    particles.push(p);
+                    stats.clones_avoided += 1;
+                }
+                // `old` is drained empty; keep its capacity for the next
+                // tick's ping-pong.
+                *spare = old;
+            }
+            Store::Soa(s) => {
+                let mut old_models =
+                    std::mem::replace(&mut s.models, std::mem::take(&mut s.spare_models));
+                let mut old_graphs =
+                    std::mem::replace(&mut s.graphs, std::mem::take(&mut s.spare_graphs));
+                s.models.clear();
+                s.models.reserve(n);
+                s.graphs.clear();
+                s.graphs.reserve(n);
+                for (i, (m, g)) in old_models.drain(..).zip(old_graphs.drain(..)).enumerate() {
+                    let k = offspring[i];
+                    if k == 0 {
+                        stats.dropped += 1;
+                        continue;
+                    }
+                    for _ in 1..k {
+                        s.models.push(m.clone());
+                        s.graphs.push(g.clone());
+                        stats.clones += 1;
+                    }
+                    s.models.push(m);
+                    s.graphs.push(g);
+                    stats.clones_avoided += 1;
+                }
+                s.spare_models = old_models;
+                s.spare_graphs = old_graphs;
+                // All survivors restart unweighted, exactly like the AoS
+                // arm's per-particle `log_w = 0.0`.
+                for w in &mut s.log_ws {
+                    *w = 0.0;
+                }
+            }
+        }
+    }
 }
 
 /// A streaming inference engine over a probabilistic [`Model`].
@@ -263,7 +599,10 @@ struct Particle<M> {
 pub struct Infer<M: Model> {
     method: Method,
     num_particles: usize,
-    particles: Vec<Particle<M>>,
+    /// Particle state, laid out per [`ParticleLayout`].
+    store: Store<M>,
+    /// The layout [`Infer::reset`] (re)builds the store with.
+    layout: ParticleLayout,
     template: M,
     seed: u64,
     steps: u64,
@@ -274,18 +613,19 @@ pub struct Infer<M: Model> {
     resample_stats: ResampleStats,
     /// Per-tick numeric scratch, reused across steps.
     scratch: StepScratch,
-    /// Retired particle buffer, ping-ponged with `particles` by the
-    /// clone-minimal resampler so the next-cloud `Vec` is reused too.
-    /// Always empty between steps; only its capacity persists.
-    spare: Vec<Particle<M>>,
+    /// Deferred-scoring buffer for the sequential structure-of-arrays
+    /// step (always empty between steps; only capacity persists).
+    score_sink: ScoreSink,
     parallelism: Parallelism,
     /// Lazily created on the first parallel step; never cloned.
     pool: Option<WorkerPool>,
-    /// The monomorphized parallel stepper. Storing it as a plain `fn`
-    /// pointer keeps the `M: Send` obligation confined to
-    /// [`Infer::with_parallelism`], where the pointer is instantiated —
-    /// `step` itself needs no thread-safety bounds.
+    /// The monomorphized parallel stepper over the per-particle layout.
+    /// Storing it as a plain `fn` pointer keeps the `M: Send` obligation
+    /// confined to [`Infer::with_parallelism`], where the pointer is
+    /// instantiated — `step` itself needs no thread-safety bounds.
     par_step: Option<ParStepFn<M>>,
+    /// The parallel stepper over the structure-of-arrays layout.
+    par_step_soa: Option<ParSoaStepFn<M>>,
     /// What to do with a particle that faults mid-step.
     recovery: RecoveryPolicy,
     /// How many consecutive weight collapses the supervisor absorbs
@@ -312,12 +652,24 @@ type ParStepFn<M> = fn(
     u64,
 ) -> Vec<Result<ValueDist, FaultKind>>;
 
+type ParSoaStepFn<M> = fn(
+    &WorkerPool,
+    &mut [M],
+    &mut [Option<Graph>],
+    &mut [f64],
+    &<M as Model>::Input,
+    Method,
+    u64,
+    u64,
+) -> Vec<Result<ValueDist, FaultKind>>;
+
 impl<M: Model> Clone for Infer<M> {
     fn clone(&self) -> Self {
         Infer {
             method: self.method,
             num_particles: self.num_particles,
-            particles: self.particles.clone(),
+            store: self.store.snapshot(),
+            layout: self.layout,
             template: self.template.clone(),
             seed: self.seed,
             steps: self.steps,
@@ -327,13 +679,15 @@ impl<M: Model> Clone for Infer<M> {
             resample_stats: self.resample_stats,
             // Scratch contents are strictly per-tick, so the clone copies
             // only the capacity hints: its first step allocates nothing,
-            // same as the original's.
+            // same as the original's. The sink is likewise empty between
+            // steps.
             scratch: StepScratch::with_capacity_of(&self.scratch),
-            spare: Vec::with_capacity(self.spare.capacity()),
+            score_sink: ScoreSink::with_capacity_of(&self.score_sink),
             parallelism: self.parallelism,
             // The clone re-creates its own pool on first use.
             pool: None,
             par_step: self.par_step,
+            par_step_soa: self.par_step_soa,
             recovery: self.recovery,
             collapse_retry_budget: self.collapse_retry_budget,
             consecutive_collapses: self.consecutive_collapses,
@@ -366,7 +720,11 @@ impl<M: Model> Infer<M> {
         let mut engine = Infer {
             method,
             num_particles,
-            particles: Vec::new(),
+            store: Store::Aos {
+                particles: Vec::new(),
+                spare: Vec::new(),
+            },
+            layout: ParticleLayout::default(),
             template: model,
             seed,
             steps: 0,
@@ -379,10 +737,11 @@ impl<M: Model> Infer<M> {
             strategy: ResampleStrategy::default(),
             resample_stats: ResampleStats::default(),
             scratch: StepScratch::default(),
-            spare: Vec::new(),
+            score_sink: ScoreSink::new(),
             parallelism: Parallelism::Sequential,
             pool: None,
             par_step: None,
+            par_step_soa: None,
             recovery: RecoveryPolicy::FailFast,
             collapse_retry_budget: 8,
             consecutive_collapses: 0,
@@ -431,6 +790,25 @@ impl<M: Model> Infer<M> {
         self.strategy
     }
 
+    /// The active particle-storage layout.
+    pub fn particle_layout(&self) -> ParticleLayout {
+        self.layout
+    }
+
+    /// Selects the particle-storage layout (builder style). Both layouts
+    /// produce bit-for-bit identical posterior streams for any seed (see
+    /// [`ParticleLayout`]); this knob trades memory locality against the
+    /// reference representation. Switching layouts rebuilds the particle
+    /// store, so call this before stepping: if inference has already
+    /// started, changing the layout restarts it via [`Infer::reset`].
+    pub fn with_particle_layout(mut self, layout: ParticleLayout) -> Self {
+        if layout != self.layout {
+            self.layout = layout;
+            self.reset();
+        }
+        self
+    }
+
     /// Cumulative resampling-work counters since construction or the
     /// last [`Infer::reset`]. Available without the `obs` feature.
     pub fn resample_stats(&self) -> ResampleStats {
@@ -442,7 +820,7 @@ impl<M: Model> Infer<M> {
     /// buffer. On bounded models this plateaus after the first few ticks
     /// — the allocation-free-steady-state witness.
     pub fn scratch_bytes(&self) -> usize {
-        self.scratch.bytes() + self.spare.capacity() * std::mem::size_of::<Particle<M>>()
+        self.scratch.bytes() + self.store.spare_bytes() + self.score_sink.scratch_bytes()
     }
 
     /// The active execution mode.
@@ -537,6 +915,10 @@ impl<M: Model> Infer<M> {
             Parallelism::Sequential => None,
             Parallelism::Threads(_) => Some(par_step_impl::<M>),
         };
+        self.par_step_soa = match parallelism {
+            Parallelism::Sequential => None,
+            Parallelism::Threads(_) => Some(par_soa_step_impl::<M>),
+        };
         self
     }
 
@@ -562,24 +944,12 @@ impl<M: Model> Infer<M> {
 
     /// Discards all inference state and restarts from the initial model.
     pub fn reset(&mut self) {
-        let graph = |method: Method| match method {
-            Method::StreamingDs => Some(Graph::new(Retention::PointerMinimal)),
-            Method::ClassicDs => Some(Graph::new(Retention::RetainAll)),
-            _ => None,
-        };
-        let mut template = self.template.clone();
-        template.reset();
-        self.particles = (0..self.num_particles)
-            .map(|_| Particle {
-                model: template.clone(),
-                graph: graph(self.method),
-                log_w: 0.0,
-            })
-            .collect();
+        let store = Store::build(self.layout, self.num_particles, || self.blank_particle());
+        self.store = store;
         self.steps = 0;
         self.last_ess = self.num_particles as f64;
         self.resample_stats = ResampleStats::default();
-        self.spare.clear();
+        self.score_sink.clear();
         self.consecutive_collapses = 0;
         self.last_good = None;
         self.last_health = None;
@@ -607,9 +977,10 @@ impl<M: Model> Infer<M> {
     /// step leaves the model in an undefined state).
     fn quarantine(&mut self, i: usize, poisoned: bool) {
         if poisoned {
-            self.particles[i] = self.blank_particle();
+            let fresh = self.blank_particle();
+            self.store.install(i, fresh);
         }
-        self.particles[i].log_w = f64::NEG_INFINITY;
+        self.store.set_log_w(i, f64::NEG_INFINITY);
     }
 
     /// Kills worker thread `index` of the parallel pool, if one exists —
@@ -633,24 +1004,20 @@ impl<M: Model> Infer<M> {
     pub fn graph_stats(&self) -> GraphStats {
         let mut agg = GraphStats::default();
         let (mut depth, mut path) = (Vec::new(), Vec::new());
-        for p in &self.particles {
-            if let Some(g) = &p.graph {
-                agg.merge(&g.stats_with_scratch(&mut depth, &mut path));
-            }
-        }
+        self.store.for_each_graph(&mut |g| {
+            agg.merge(&g.stats_with_scratch(&mut depth, &mut path));
+        });
         agg
     }
 
     /// Aggregate graph memory statistics across particles.
     pub fn memory(&self) -> MemoryStats {
         let mut stats = MemoryStats::default();
-        for p in &self.particles {
-            if let Some(g) = &p.graph {
-                stats.live_nodes += g.live_nodes();
-                stats.live_bytes += g.live_bytes();
-                stats.total_created += g.total_created();
-            }
-        }
+        self.store.for_each_graph(&mut |g| {
+            stats.live_nodes += g.live_nodes();
+            stats.live_bytes += g.live_bytes();
+            stats.total_created += g.total_created();
+        });
         stats
     }
 
@@ -697,77 +1064,149 @@ impl<M: Model> Infer<M> {
         // Only SkipObservation needs the rollback snapshot; the other
         // policies do not pay for the clone.
         let snapshot =
-            (self.recovery == RecoveryPolicy::SkipObservation).then(|| self.particles.clone());
+            (self.recovery == RecoveryPolicy::SkipObservation).then(|| self.store.snapshot());
 
-        let mut slots: Vec<Result<ValueDist, FaultKind>> = match (self.parallelism, self.par_step) {
-            (Parallelism::Threads(workers), Some(par_step)) if n > 1 => {
-                let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
-                #[cfg(feature = "obs")]
-                if self.obs.enabled() {
-                    pool.set_obs(self.obs.clone());
+        let mut slots: Vec<Result<ValueDist, FaultKind>> =
+            match (self.parallelism, self.par_step, self.par_step_soa) {
+                (Parallelism::Threads(workers), Some(par_step), Some(par_step_soa)) if n > 1 => {
+                    let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+                    #[cfg(feature = "obs")]
+                    if self.obs.enabled() {
+                        pool.set_obs(self.obs.clone());
+                    }
+                    pool.ensure_alive();
+                    match &mut self.store {
+                        Store::Aos { particles, .. } => {
+                            par_step(pool, particles, input, self.method, self.seed, generation)
+                        }
+                        Store::Soa(s) => par_step_soa(
+                            pool,
+                            &mut s.models,
+                            &mut s.graphs,
+                            &mut s.log_ws,
+                            input,
+                            self.method,
+                            self.seed,
+                            generation,
+                        ),
+                    }
                 }
-                pool.ensure_alive();
-                par_step(
-                    pool,
-                    &mut self.particles,
-                    input,
-                    self.method,
-                    self.seed,
-                    generation,
-                )
-            }
-            _ => self
-                .particles
-                .iter_mut()
-                .enumerate()
-                .map(|(i, p)| {
-                    let mut rng = rngstream::particle_rng(self.seed, i as u64, generation);
-                    step_particle_caught(self.method, p, input, &mut rng)
-                })
-                .collect(),
-        };
+                _ => {
+                    let (method, seed) = (self.method, self.seed);
+                    let roots = &mut self.scratch.roots;
+                    match &mut self.store {
+                        Store::Aos { particles, .. } => particles
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, p)| {
+                                let mut rng = rngstream::particle_rng(seed, i as u64, generation);
+                                step_particle_caught(
+                                    method,
+                                    &mut p.model,
+                                    &mut p.graph,
+                                    &mut p.log_w,
+                                    input,
+                                    &mut rng,
+                                    None,
+                                    roots,
+                                )
+                            })
+                            .collect(),
+                        Store::Soa(s) => {
+                            // Sequential SoA defers every delayed-sampling
+                            // observation density into the sink and scores
+                            // the whole cloud with batched slice kernels —
+                            // bit-identical to the eager path (see
+                            // [`ScoreSink::flush_into`]). Eager-sampling
+                            // methods score inline exactly like AoS.
+                            let defer = matches!(
+                                method,
+                                Method::BoundedDs | Method::StreamingDs | Method::ClassicDs
+                            );
+                            let sink = &mut self.score_sink;
+                            sink.clear();
+                            let mut slots = Vec::with_capacity(n);
+                            for i in 0..n {
+                                let mut rng = rngstream::particle_rng(seed, i as u64, generation);
+                                let slot = step_particle_caught(
+                                    method,
+                                    &mut s.models[i],
+                                    &mut s.graphs[i],
+                                    &mut s.log_ws[i],
+                                    input,
+                                    &mut rng,
+                                    defer.then_some(&mut *sink),
+                                    roots,
+                                );
+                                if defer {
+                                    // The boundary is recorded even for a
+                                    // faulted particle so later particles'
+                                    // ops stay aligned; recovery overwrites
+                                    // a faulted particle's weight anyway.
+                                    sink.end_particle();
+                                }
+                                slots.push(slot);
+                            }
+                            if defer {
+                                // Must run before the non-finite-weight
+                                // scan below: the deferred scores are part
+                                // of this tick's weights.
+                                sink.flush_into(&mut s.log_ws);
+                            }
+                            slots
+                        }
+                    }
+                }
+            };
 
         // A NaN or +inf accumulated log-weight is a per-particle fault;
         // a plain -inf is a legitimately impossible observation.
-        for (slot, p) in slots.iter_mut().zip(&self.particles) {
-            if slot.is_ok() && !(p.log_w.is_finite() || p.log_w == f64::NEG_INFINITY) {
-                *slot = Err(FaultKind::NonFiniteWeight(p.log_w));
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let w = self.store.log_w(i);
+            if slot.is_ok() && !(w.is_finite() || w == f64::NEG_INFINITY) {
+                *slot = Err(FaultKind::NonFiniteWeight(w));
             }
         }
 
-        let mut outs: Vec<Option<ValueDist>> =
-            slots.iter().map(|s| s.as_ref().ok().cloned()).collect();
+        // Split the slots into per-particle outputs (moved, not cloned —
+        // a `ValueDist` can hold a whole mixture) and an index-ordered
+        // fault list.
+        let mut outs: Vec<Option<ValueDist>> = Vec::with_capacity(n);
+        let mut faulted: Vec<(usize, FaultKind)> = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Ok(d) => outs.push(Some(d)),
+                Err(kind) => {
+                    outs.push(None);
+                    faulted.push((i, kind));
+                }
+            }
+        }
         let mut faults: Vec<ParticleFault> = Vec::new();
 
         if self.recovery == RecoveryPolicy::FailFast {
-            // Slots are scanned in particle order, so the error of the
-            // lowest-indexed faulting particle is reported — the same
+            // Faults were collected in particle order, so the error of
+            // the lowest-indexed faulting particle is reported — the same
             // error regardless of the execution schedule. The failed
             // step does not advance the stream clock.
-            for (i, slot) in slots.into_iter().enumerate() {
-                if let Err(kind) = slot {
-                    return Err(kind.into_error(i));
-                }
+            if let Some((i, kind)) = faulted.into_iter().next() {
+                return Err(kind.into_error(i));
             }
-        } else {
-            let survivors: Vec<usize> = slots
+        } else if !faulted.is_empty() {
+            let survivors: Vec<usize> = outs
                 .iter()
                 .enumerate()
-                .filter_map(|(i, s)| s.is_ok().then_some(i))
+                .filter_map(|(i, o)| o.is_some().then_some(i))
                 .collect();
             let mut recovery_rng = rngstream::recovery_rng(self.seed, generation);
-            for (i, slot) in slots.into_iter().enumerate() {
-                let kind = match slot {
-                    Ok(_) => continue,
-                    Err(k) => k,
-                };
+            for (i, kind) in faulted {
                 // A panic or typed error may have left the particle's
                 // model state half-updated; a non-finite weight has not.
                 let poisoned = !matches!(kind, FaultKind::NonFiniteWeight(_));
                 let recovery = match self.recovery {
                     RecoveryPolicy::SkipObservation => {
-                        if let Some(snap) = snapshot.as_ref().and_then(|ps| ps.get(i)) {
-                            self.particles[i] = snap.clone();
+                        if let Some(snap) = snapshot.as_ref() {
+                            self.store.restore_one_from(i, snap);
                         }
                         outs[i] = None;
                         RecoveryAction::Skipped
@@ -779,7 +1218,7 @@ impl<M: Model> Infer<M> {
                             RecoveryAction::Quarantined
                         } else {
                             let donor = survivors[recovery_rng.gen_range(0..survivors.len())];
-                            self.particles[i] = self.particles[donor].clone();
+                            self.store.clone_within(i, donor);
                             outs[i] = outs[donor].clone();
                             RecoveryAction::Rejuvenated { donor }
                         }
@@ -787,11 +1226,20 @@ impl<M: Model> Infer<M> {
                     RecoveryPolicy::ReseedPrior => {
                         let mut fresh = self.blank_particle();
                         let mut rng = rngstream::retry_rng(self.seed, i as u64, generation);
-                        match step_particle_caught(self.method, &mut fresh, input, &mut rng) {
+                        match step_particle_caught(
+                            self.method,
+                            &mut fresh.model,
+                            &mut fresh.graph,
+                            &mut fresh.log_w,
+                            input,
+                            &mut rng,
+                            None,
+                            &mut self.scratch.roots,
+                        ) {
                             Ok(out)
                                 if fresh.log_w.is_finite() || fresh.log_w == f64::NEG_INFINITY =>
                             {
-                                self.particles[i] = fresh;
+                                self.store.install(i, fresh);
                                 outs[i] = Some(out);
                                 RecoveryAction::Reseeded
                             }
@@ -815,9 +1263,7 @@ impl<M: Model> Infer<M> {
         }
 
         self.scratch.log_ws.clear();
-        self.scratch
-            .log_ws
-            .extend(self.particles.iter().map(|p| p.log_w));
+        self.store.extend_log_ws(&mut self.scratch.log_ws);
         let collapse =
             stats::try_normalize_log_weights_into(&self.scratch.log_ws, &mut self.scratch.weights)
                 .is_err();
@@ -839,9 +1285,7 @@ impl<M: Model> Infer<M> {
             // Rejuvenate the cloud to uniform weights so the stream can
             // keep running; the posterior below falls back to the last
             // healthy one.
-            for p in &mut self.particles {
-                p.log_w = 0.0;
-            }
+            self.store.zero_log_ws();
         } else {
             self.consecutive_collapses = 0;
         }
@@ -867,9 +1311,11 @@ impl<M: Model> Infer<M> {
                 self.scratch
                     .weights
                     .iter()
-                    .zip(&outs)
+                    .zip(outs)
                     .map(|(&w, o)| match o {
-                        Some(d) => (w, d.clone()),
+                        // The step's outputs are moved into the posterior,
+                        // not cloned.
+                        Some(d) => (w, d),
                         // A recovered-but-outputless particle contributes
                         // nothing to this step's posterior.
                         None => (0.0, ValueDist::Dirac(Value::Unit)),
@@ -902,17 +1348,8 @@ impl<M: Model> Infer<M> {
             self.resample_stats.passes += 1;
             match self.strategy {
                 ResampleStrategy::CloneAll => {
-                    // The original clone-everything pass, preserved
-                    // verbatim as the reference for A/B determinism tests
-                    // and as the perf baseline.
-                    let mut next = Vec::with_capacity(n);
-                    for &a in ancestors.iter() {
-                        let mut p = self.particles[a].clone();
-                        p.log_w = 0.0;
-                        next.push(p);
-                    }
-                    self.particles = next;
-                    self.resample_stats.clones += n as u64;
+                    self.store
+                        .resample_clone_all(ancestors, &mut self.resample_stats);
                 }
                 ResampleStrategy::CloneMinimal => {
                     offspring.clear();
@@ -927,31 +1364,8 @@ impl<M: Model> Infer<M> {
                     // which is what keeps the posterior stream
                     // bit-identical across strategies.
                     debug_assert!(ancestors.windows(2).all(|w| w[0] <= w[1]));
-                    let mut old =
-                        std::mem::replace(&mut self.particles, std::mem::take(&mut self.spare));
-                    self.particles.clear();
-                    self.particles.reserve(n);
-                    for (i, mut p) in old.drain(..).enumerate() {
-                        let k = offspring[i];
-                        if k == 0 {
-                            // Dead ancestor: dropped in place, its heap
-                            // immediately reusable by the clones below.
-                            self.resample_stats.dropped += 1;
-                            continue;
-                        }
-                        p.log_w = 0.0;
-                        for _ in 1..k {
-                            self.particles.push(p.clone());
-                            self.resample_stats.clones += 1;
-                        }
-                        // The surviving ancestor itself is moved into its
-                        // last slot, not cloned.
-                        self.particles.push(p);
-                        self.resample_stats.clones_avoided += 1;
-                    }
-                    // `old` is drained empty; keep its capacity for the
-                    // next tick's ping-pong.
-                    self.spare = old;
+                    self.store
+                        .resample_clone_minimal(offspring, &mut self.resample_stats);
                 }
             }
         }
@@ -1047,7 +1461,7 @@ impl<M: Model> Infer<M> {
             }
             // Graph gauges — the bounded-memory witnesses — only for
             // methods that retain a graph across ticks.
-            if self.particles.iter().any(|p| p.graph.is_some()) {
+            if self.store.has_graphs() {
                 let gs = self.graph_stats();
                 self.obs
                     .gauge(tick, names::DS_LIVE_NODES, gs.live_nodes as f64);
@@ -1095,19 +1509,35 @@ impl<M: Model> Infer<M> {
 }
 
 /// Steps one particle with its own derived generator. This is the single
-/// code path behind both execution modes, which is what makes their
-/// equivalence structural rather than coincidental.
-fn step_particle<M: Model>(
+/// code path behind both execution modes and both storage layouts, which
+/// is what makes their equivalence structural rather than coincidental:
+/// the particle arrives as disjoint borrows of its model, its graph slot,
+/// and its accumulated log-weight, regardless of how those are stored.
+///
+/// With `sink: Some(..)` (the sequential SoA path, delayed-sampling
+/// methods only) the step's observation/factor scores are recorded into
+/// the sink in program order instead of accumulating in `log_w`; the
+/// caller batch-evaluates and applies them after the whole cloud has
+/// stepped. With `sink: None` scores accumulate eagerly, exactly as the
+/// original per-particle path did.
+///
+/// `roots` is caller-owned GC-root scratch (cleared here before use).
+#[allow(clippy::too_many_arguments)]
+fn step_particle_parts<M: Model>(
     method: Method,
-    p: &mut Particle<M>,
+    model: &mut M,
+    graph_slot: &mut Option<Graph>,
+    log_w: &mut f64,
     input: &M::Input,
     rng: &mut SmallRng,
+    sink: Option<&mut ScoreSink>,
+    roots: &mut Vec<RvId>,
 ) -> Result<ValueDist, RuntimeError> {
     match method {
         Method::Importance | Method::ParticleFilter => {
             let mut ctx = SampleCtx::new(rng);
-            let out = p.model.step(&mut ctx, input)?;
-            p.log_w += ctx.log_weight();
+            let out = model.step(&mut ctx, input)?;
+            *log_w += ctx.log_weight();
             Ok(ValueDist::Dirac(out))
         }
         Method::BoundedDs => {
@@ -1117,34 +1547,46 @@ fn step_particle<M: Model>(
             let mut graph = Graph::new(Retention::PointerMinimal);
             let out;
             {
-                let mut ctx = DsCtx::new(&mut graph, rng);
-                let sym = p.model.step(&mut ctx, input)?;
+                let deferred = sink.is_some();
+                let mut ctx = match sink {
+                    Some(s) => DsCtx::with_sink(&mut graph, rng, s),
+                    None => DsCtx::new(&mut graph, rng),
+                };
+                let sym = model.step(&mut ctx, input)?;
                 out = ctx.force(&sym)?;
-                p.log_w += ctx.log_weight();
+                if !deferred {
+                    *log_w += ctx.log_weight();
+                }
             }
-            force_state(&mut p.model, &mut graph, rng)?;
+            force_state(model, &mut graph, rng)?;
             Ok(ValueDist::Dirac(out))
         }
         Method::StreamingDs | Method::ClassicDs => {
-            let graph = p.graph.as_mut().expect("graph-backed method");
+            let graph = graph_slot.as_mut().expect("graph-backed method");
             let out;
             {
-                let mut ctx = DsCtx::new(graph, rng);
-                let sym = p.model.step(&mut ctx, input)?;
-                p.log_w += ctx.log_weight();
+                let deferred = sink.is_some();
+                let mut ctx = match sink {
+                    Some(s) => DsCtx::with_sink(graph, rng, s),
+                    None => DsCtx::new(graph, rng),
+                };
+                let sym = model.step(&mut ctx, input)?;
+                if !deferred {
+                    *log_w += ctx.log_weight();
+                }
                 out = ctx.dist_of(&sym)?;
             }
             // Compact the model's symbolic state: realized
             // variables become constants, so affine expressions do
             // not accumulate stale references (and do not pin
             // realized nodes as GC roots).
-            let mut roots: Vec<RvId> = Vec::new();
-            p.model.for_each_state_value(&mut |v| {
+            roots.clear();
+            model.for_each_state_value(&mut |v| {
                 let s = graph.simplify_value(v);
                 *v = s;
                 v.for_each_rv(&mut |x| roots.push(x));
             });
-            graph.collect(roots)?;
+            graph.collect(roots.drain(..))?;
             Ok(out)
         }
     }
@@ -1153,13 +1595,20 @@ fn step_particle<M: Model>(
 /// Steps one particle under the supervisor's fault barrier: panics are
 /// caught and rendered, typed errors are captured, and either becomes a
 /// [`FaultKind`] for the coordinator to repair.
+#[allow(clippy::too_many_arguments)]
 fn step_particle_caught<M: Model>(
     method: Method,
-    p: &mut Particle<M>,
+    model: &mut M,
+    graph_slot: &mut Option<Graph>,
+    log_w: &mut f64,
     input: &M::Input,
     rng: &mut SmallRng,
+    sink: Option<&mut ScoreSink>,
+    roots: &mut Vec<RvId>,
 ) -> Result<ValueDist, FaultKind> {
-    match catch_unwind(AssertUnwindSafe(|| step_particle(method, p, input, rng))) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        step_particle_parts(method, model, graph_slot, log_w, input, rng, sink, roots)
+    })) {
         Ok(Ok(out)) => Ok(out),
         Ok(Err(e)) => Err(FaultKind::Error(e)),
         Err(payload) => Err(FaultKind::Panic(supervisor::panic_message(
@@ -1198,15 +1647,89 @@ where
             let base = si * shard;
             Box::new(move || {
                 let mut outcomes = Vec::with_capacity(parts.len());
+                let mut roots: Vec<RvId> = Vec::new();
                 for (j, p) in parts.iter_mut().enumerate() {
                     let mut rng = rngstream::particle_rng(seed, (base + j) as u64, generation);
-                    outcomes.push(step_particle_caught(method, p, input, &mut rng));
+                    outcomes.push(step_particle_caught(
+                        method,
+                        &mut p.model,
+                        &mut p.graph,
+                        &mut p.log_w,
+                        input,
+                        &mut rng,
+                        None,
+                        &mut roots,
+                    ));
                 }
                 *slot = Some(outcomes);
             }) as Box<dyn FnOnce() + Send + '_>
         })
         .collect();
     pool.run_scoped(jobs);
+    reassemble_shards(slots, shard, n)
+}
+
+/// The parallel stepper over the structure-of-arrays layout: identical
+/// sharding, generator derivation, and reassembly to [`par_step_impl`],
+/// but each shard is a triple of parallel slices. Scoring is always
+/// eager here (each worker's particles score independently), which is
+/// bit-identical to the deferred sequential path by construction — both
+/// evaluate the same scalar kernel per observation in the same per-
+/// particle order.
+#[allow(clippy::too_many_arguments)]
+fn par_soa_step_impl<M: Model + Send>(
+    pool: &WorkerPool,
+    models: &mut [M],
+    graphs: &mut [Option<Graph>],
+    log_ws: &mut [f64],
+    input: &M::Input,
+    method: Method,
+    seed: u64,
+    generation: u64,
+) -> Vec<Result<ValueDist, FaultKind>>
+where
+    M::Input: Sync,
+{
+    let n = models.len();
+    let shard = n.div_ceil(pool.workers());
+    type Shard<'a, M> = ((&'a mut [M], &'a mut [Option<Graph>]), &'a mut [f64]);
+    let shards: Vec<Shard<'_, M>> = models
+        .chunks_mut(shard)
+        .zip(graphs.chunks_mut(shard))
+        .zip(log_ws.chunks_mut(shard))
+        .collect();
+    let mut slots: Vec<Option<Vec<Result<ValueDist, FaultKind>>>> =
+        (0..shards.len()).map(|_| None).collect();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = shards
+        .into_iter()
+        .zip(slots.iter_mut())
+        .enumerate()
+        .map(|(si, (((ms, gs), ws), slot))| {
+            let base = si * shard;
+            Box::new(move || {
+                let mut outcomes = Vec::with_capacity(ms.len());
+                let mut roots: Vec<RvId> = Vec::new();
+                for j in 0..ms.len() {
+                    let mut rng = rngstream::particle_rng(seed, (base + j) as u64, generation);
+                    outcomes.push(step_particle_caught(
+                        method, &mut ms[j], &mut gs[j], &mut ws[j], input, &mut rng, None,
+                        &mut roots,
+                    ));
+                }
+                *slot = Some(outcomes);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run_scoped(jobs);
+    reassemble_shards(slots, shard, n)
+}
+
+/// Reassembles per-shard outcome vectors into particle order.
+fn reassemble_shards(
+    slots: Vec<Option<Vec<Result<ValueDist, FaultKind>>>>,
+    shard: usize,
+    n: usize,
+) -> Vec<Result<ValueDist, FaultKind>> {
     let mut all = Vec::with_capacity(n);
     for (si, slot) in slots.into_iter().enumerate() {
         match slot {
@@ -1526,6 +2049,90 @@ mod tests {
             .collect();
         assert_eq!(runs[0], runs[1]);
         assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn soa_layout_matches_aos_bitwise() {
+        // The tentpole invariant: for every method, the structure-of-
+        // arrays layout (including its deferred batch scoring) replays
+        // the per-particle layout bit-for-bit, posterior and resampling
+        // work alike.
+        let obs: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        for method in Method::ALL {
+            let mut aos = Infer::with_seed(method, 37, Kalman::default(), 123);
+            let mut soa = Infer::with_seed(method, 37, Kalman::default(), 123)
+                .with_particle_layout(ParticleLayout::StructOfArrays);
+            assert_eq!(soa.particle_layout(), ParticleLayout::StructOfArrays);
+            for y in &obs {
+                let a = aos.step(y).unwrap();
+                let b = soa.step(y).unwrap();
+                assert_eq!(
+                    a.mean_float().to_bits(),
+                    b.mean_float().to_bits(),
+                    "{method} diverged"
+                );
+                assert_eq!(
+                    a.variance_float().to_bits(),
+                    b.variance_float().to_bits(),
+                    "{method} variance diverged"
+                );
+            }
+            assert_eq!(aos.resample_stats(), soa.resample_stats(), "{method}");
+        }
+    }
+
+    #[test]
+    fn soa_layout_matches_aos_on_beta_bernoulli() {
+        // Exercises the Beta batch kernel and the Ready (non-batched
+        // marginal) path through the sink.
+        let flips: Vec<bool> = (0..40).map(|i| i % 3 != 0).collect();
+        for method in [Method::StreamingDs, Method::BoundedDs] {
+            let mut aos = Infer::with_seed(method, 29, Coin::default(), 7);
+            let mut soa = Infer::with_seed(method, 29, Coin::default(), 7)
+                .with_particle_layout(ParticleLayout::StructOfArrays);
+            for b in &flips {
+                let a = aos.step(b).unwrap();
+                let s = soa.step(b).unwrap();
+                assert_eq!(
+                    a.mean_float().to_bits(),
+                    s.mean_float().to_bits(),
+                    "{method} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soa_parallel_matches_soa_sequential() {
+        let obs: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).cos()).collect();
+        for method in Method::ALL {
+            let mut seq = Infer::with_seed(method, 23, Kalman::default(), 77)
+                .with_particle_layout(ParticleLayout::StructOfArrays);
+            let mut par = Infer::with_seed(method, 23, Kalman::default(), 77)
+                .with_particle_layout(ParticleLayout::StructOfArrays)
+                .with_parallelism(Parallelism::Threads(3));
+            for y in &obs {
+                let a = seq.step(y).unwrap();
+                let b = par.step(y).unwrap();
+                assert_eq!(
+                    a.mean_float().to_bits(),
+                    b.mean_float().to_bits(),
+                    "{method} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clone_of_soa_engine_replays_identically() {
+        let mut a = Infer::with_seed(Method::StreamingDs, 8, Kalman::default(), 5)
+            .with_particle_layout(ParticleLayout::StructOfArrays);
+        a.step(&1.0).unwrap();
+        let mut b = a.clone();
+        assert_eq!(b.particle_layout(), ParticleLayout::StructOfArrays);
+        let pa = a.step(&0.5).unwrap();
+        let pb = b.step(&0.5).unwrap();
+        assert_eq!(pa.mean_float().to_bits(), pb.mean_float().to_bits());
     }
 
     #[test]

@@ -69,8 +69,11 @@ pub enum Marginal {
     /// Negative binomial over counts (delayed Poisson marginal).
     NegBinomial(NegativeBinomial),
     /// Multivariate Gaussian over float vectors (represented as
-    /// [`Value::Array`] of floats).
-    MvGaussian(MvGaussian),
+    /// [`Value::Array`] of floats). Boxed: the three matrices would
+    /// otherwise dominate `size_of::<Marginal>()` (104 bytes vs 16 for
+    /// the scalar families), and every delayed-sampling node-state write
+    /// pays that size.
+    MvGaussian(Box<MvGaussian>),
     /// Exponential over non-negative floats.
     Exponential(Exponential),
     /// Lomax over non-negative floats (delayed exponential marginal).

@@ -7,6 +7,19 @@
 //! `b + Σ aᵢ·Xᵢ`: affine images of Gaussians stay Gaussian, which is what
 //! lets the robot tracker of Fig. 5 integrate a random acceleration twice
 //! and still condition exactly on GPS fixes.
+//!
+//! # Representation
+//!
+//! Affine expressions sit on the per-particle hot path: every model step
+//! clones, substitutes, and rebuilds them several times per particle. The
+//! overwhelmingly common cases on the paper's models are the constant and
+//! the single-term `a·x + b`, so those are stored inline ([`Terms::Zero`],
+//! [`Terms::One`]) with no heap allocation at all; only expressions over
+//! two or more distinct variables spill into a [`BTreeMap`]
+//! ([`Terms::Many`]). The representation is kept canonical — `Many` holds
+//! at least two terms, zero coefficients are dropped, term order is always
+//! ascending by variable id — so structural equality and the bit-exact
+//! evaluation order of the old map-only representation are preserved.
 
 use std::collections::BTreeMap;
 
@@ -29,15 +42,31 @@ impl std::fmt::Display for RvId {
     }
 }
 
+/// The variable terms of an affine expression, inline for arity ≤ 1.
+///
+/// Invariant (canonicality): `Many` always holds ≥ 2 entries, and no
+/// stored coefficient is `0.0` (dropped on cancellation, exactly like the
+/// old map-only representation dropped them).
+#[derive(Debug, Clone, PartialEq, Default)]
+enum Terms {
+    /// No variables (a constant expression).
+    #[default]
+    Zero,
+    /// Exactly one term `a·x`.
+    One(RvId, f64),
+    /// Two or more terms, keyed ascending by variable id.
+    Many(BTreeMap<RvId, f64>),
+}
+
 /// A float-valued affine expression `konst + Σ coeff·rv` over graph random
 /// variables.
 ///
-/// The representation is canonical: terms are keyed by variable, zero
+/// The representation is canonical: terms are ordered by variable, zero
 /// coefficients are dropped. Two equal expressions therefore compare equal
 /// with `==`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct AffExpr {
-    terms: BTreeMap<RvId, f64>,
+    terms: Terms,
     konst: f64,
 }
 
@@ -45,16 +74,46 @@ impl AffExpr {
     /// The constant expression `c`.
     pub fn constant(c: f64) -> Self {
         AffExpr {
-            terms: BTreeMap::new(),
+            terms: Terms::Zero,
             konst: c,
         }
     }
 
     /// The bare variable `x`.
     pub fn var(x: RvId) -> Self {
-        let mut terms = BTreeMap::new();
-        terms.insert(x, 1.0);
-        AffExpr { terms, konst: 0.0 }
+        AffExpr {
+            terms: Terms::One(x, 1.0),
+            konst: 0.0,
+        }
+    }
+
+    /// Restores the canonical representation after term edits: drops zero
+    /// coefficients and demotes a map with fewer than two surviving terms
+    /// back to the inline forms.
+    fn canonicalize(map: BTreeMap<RvId, f64>, konst: f64) -> AffExpr {
+        let terms = match map.len() {
+            0 => Terms::Zero,
+            1 => {
+                let (&x, &a) = map.iter().next().expect("len checked");
+                Terms::One(x, a)
+            }
+            _ => Terms::Many(map),
+        };
+        AffExpr { terms, konst }
+    }
+
+    /// The terms as a fresh map (spill path for arithmetic that needs
+    /// keyed access).
+    fn to_map(&self) -> BTreeMap<RvId, f64> {
+        match &self.terms {
+            Terms::Zero => BTreeMap::new(),
+            Terms::One(x, a) => {
+                let mut m = BTreeMap::new();
+                m.insert(*x, *a);
+                m
+            }
+            Terms::Many(m) => m.clone(),
+        }
     }
 
     /// The constant offset.
@@ -63,19 +122,31 @@ impl AffExpr {
     }
 
     /// Iterates over `(variable, coefficient)` pairs (coefficients are
-    /// nonzero).
+    /// nonzero), ascending by variable id.
     pub fn terms(&self) -> impl Iterator<Item = (RvId, f64)> + '_ {
-        self.terms.iter().map(|(&x, &a)| (x, a))
+        let inline = match self.terms {
+            Terms::One(x, a) => Some((x, a)),
+            _ => None,
+        };
+        let map = match &self.terms {
+            Terms::Many(m) => Some(m.iter().map(|(&x, &a)| (x, a))),
+            _ => None,
+        };
+        inline.into_iter().chain(map.into_iter().flatten())
     }
 
     /// Number of distinct variables.
     pub fn num_vars(&self) -> usize {
-        self.terms.len()
+        match &self.terms {
+            Terms::Zero => 0,
+            Terms::One(..) => 1,
+            Terms::Many(m) => m.len(),
+        }
     }
 
     /// Whether the expression mentions no random variable.
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty()
+        matches!(self.terms, Terms::Zero)
     }
 
     /// If the expression is a constant, its value.
@@ -86,11 +157,9 @@ impl AffExpr {
     /// If the expression has the form `a·x + b` with exactly one variable,
     /// returns `(x, a, b)`.
     pub fn as_single(&self) -> Option<(RvId, f64, f64)> {
-        if self.terms.len() == 1 {
-            let (&x, &a) = self.terms.iter().next().expect("len checked");
-            Some((x, a, self.konst))
-        } else {
-            None
+        match self.terms {
+            Terms::One(x, a) => Some((x, a, self.konst)),
+            _ => None,
         }
     }
 
@@ -104,16 +173,54 @@ impl AffExpr {
 
     /// Adds two affine expressions.
     pub fn add(&self, other: &AffExpr) -> AffExpr {
-        let mut out = self.clone();
-        out.konst += other.konst;
+        let konst = self.konst + other.konst;
+        // Inline fast paths: no map, no allocation. The merged-coefficient
+        // arithmetic (`a + a'` for a shared variable) is the same single
+        // addition the map path performs.
+        match (&self.terms, &other.terms) {
+            (Terms::Zero, _) => {
+                return AffExpr {
+                    terms: other.terms.clone(),
+                    konst,
+                }
+            }
+            (_, Terms::Zero) => {
+                return AffExpr {
+                    terms: self.terms.clone(),
+                    konst,
+                }
+            }
+            (&Terms::One(x, a), &Terms::One(y, b)) => {
+                if x == y {
+                    let c = a + b;
+                    return AffExpr {
+                        terms: if c == 0.0 {
+                            Terms::Zero
+                        } else {
+                            Terms::One(x, c)
+                        },
+                        konst,
+                    };
+                }
+                let mut m = BTreeMap::new();
+                m.insert(x, a);
+                m.insert(y, b);
+                return AffExpr {
+                    terms: Terms::Many(m),
+                    konst,
+                };
+            }
+            _ => {}
+        }
+        let mut out = self.to_map();
         for (x, a) in other.terms() {
-            let entry = out.terms.entry(x).or_insert(0.0);
+            let entry = out.entry(x).or_insert(0.0);
             *entry += a;
             if *entry == 0.0 {
-                out.terms.remove(&x);
+                out.remove(&x);
             }
         }
-        out
+        Self::canonicalize(out, konst)
     }
 
     /// Subtracts `other` from `self`.
@@ -127,7 +234,11 @@ impl AffExpr {
             return AffExpr::constant(0.0);
         }
         AffExpr {
-            terms: self.terms.iter().map(|(&x, &a)| (x, a * k)).collect(),
+            terms: match &self.terms {
+                Terms::Zero => Terms::Zero,
+                Terms::One(x, a) => Terms::One(*x, a * k),
+                Terms::Many(m) => Terms::Many(m.iter().map(|(&x, &a)| (x, a * k)).collect()),
+            },
             konst: self.konst * k,
         }
     }
@@ -142,22 +253,36 @@ impl AffExpr {
     /// Substitutes concrete values for variables, using `lookup` to resolve
     /// a variable to a value when available. Variables that `lookup` does
     /// not resolve remain symbolic.
+    ///
+    /// Terms are visited ascending by variable id and resolved values are
+    /// folded into the constant in that order, matching the old map-only
+    /// representation bit for bit.
     pub fn substitute(&self, mut lookup: impl FnMut(RvId) -> Option<f64>) -> AffExpr {
-        let mut out = AffExpr::constant(self.konst);
-        for (x, a) in self.terms() {
-            match lookup(x) {
-                Some(v) => out.konst += a * v,
-                None => {
-                    out.terms.insert(x, a);
+        match &self.terms {
+            Terms::Zero => self.clone(),
+            &Terms::One(x, a) => match lookup(x) {
+                Some(v) => AffExpr::constant(self.konst + a * v),
+                None => self.clone(),
+            },
+            Terms::Many(_) => {
+                let mut konst = self.konst;
+                let mut out = BTreeMap::new();
+                for (x, a) in self.terms() {
+                    match lookup(x) {
+                        Some(v) => konst += a * v,
+                        None => {
+                            out.insert(x, a);
+                        }
+                    }
                 }
+                Self::canonicalize(out, konst)
             }
         }
-        out
     }
 
     /// All variables mentioned, in ascending id order.
     pub fn vars(&self) -> Vec<RvId> {
-        self.terms.keys().copied().collect()
+        self.terms().map(|(x, _)| x).collect()
     }
 }
 
@@ -258,5 +383,35 @@ mod tests {
         let a = AffExpr::var(x()).add(&AffExpr::var(y()));
         let b = AffExpr::var(y()).add(&AffExpr::var(x()));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn many_demotes_to_inline_on_cancellation() {
+        // x + y − y must come back to the inline single-term form so the
+        // canonical-equality contract survives the representation change.
+        let e = AffExpr::var(x())
+            .add(&AffExpr::var(y()))
+            .sub(&AffExpr::var(y()));
+        assert_eq!(e.as_single(), Some((x(), 1.0, 0.0)));
+        assert_eq!(e, AffExpr::var(x()));
+        // And substituting all but one variable of a Many demotes too.
+        let m = AffExpr::var(x()).add(&AffExpr::var(y()));
+        let s = m.substitute(|v| (v == x()).then_some(2.0));
+        assert_eq!(s.as_single(), Some((y(), 1.0, 2.0)));
+        assert_eq!(s, AffExpr::var(y()).offset(2.0));
+    }
+
+    #[test]
+    fn three_term_spill_roundtrip() {
+        let z = RvId(2);
+        let e = AffExpr::var(x())
+            .add(&AffExpr::var(y()))
+            .add(&AffExpr::var(z).scale(3.0))
+            .offset(-1.0);
+        assert_eq!(e.num_vars(), 3);
+        assert_eq!(e.vars(), vec![x(), y(), z]);
+        let s = e.substitute(|v| (v == y()).then_some(0.5));
+        assert_eq!(s.num_vars(), 2);
+        assert_eq!(s.konst(), -0.5);
     }
 }

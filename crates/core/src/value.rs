@@ -356,18 +356,24 @@ pub enum DistExpr {
     /// Multivariate Gaussian `N(A·x + b, cov)` with a (possibly symbolic)
     /// vector-valued `x` — the matrix-affine form the authors'
     /// implementation uses for its tracker examples. With `A = I`,
-    /// `b = 0`, this is a plain `N(x, cov)`.
-    MvGaussian {
-        /// Link matrix `A` (`m × d`).
-        a: Matrix,
-        /// The parent value: a symbolic multivariate variable
-        /// ([`Value::Rv`]) or a concrete float array.
-        x: Value,
-        /// Offset `b` (`m`).
-        b: Vector,
-        /// Conditional covariance (`m × m`).
-        cov: Matrix,
-    },
+    /// `b = 0`, this is a plain `N(x, cov)`. Boxed: the inline matrices
+    /// would otherwise triple `size_of::<DistExpr>()`, and scalar models
+    /// construct (and move) two `DistExpr`s per particle per tick.
+    MvGaussian(Box<MvGaussianExpr>),
+}
+
+/// Parameters of [`DistExpr::MvGaussian`] (see there for why it is boxed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvGaussianExpr {
+    /// Link matrix `A` (`m × d`).
+    pub a: Matrix,
+    /// The parent value: a symbolic multivariate variable
+    /// ([`Value::Rv`]) or a concrete float array.
+    pub x: Value,
+    /// Offset `b` (`m`).
+    pub b: Vector,
+    /// Conditional covariance (`m × m`).
+    pub cov: Matrix,
 }
 
 impl DistExpr {
@@ -436,22 +442,22 @@ impl DistExpr {
     /// `N(x, cov)` constructor over vectors (identity link).
     pub fn mv_gaussian(x: impl Into<Value>, cov: Matrix) -> Self {
         let d = cov.rows();
-        DistExpr::MvGaussian {
+        DistExpr::MvGaussian(Box::new(MvGaussianExpr {
             a: Matrix::identity(d),
             x: x.into(),
             b: Vector::zeros(d),
             cov,
-        }
+        }))
     }
 
     /// `N(A·x + b, cov)` constructor (matrix-affine link).
     pub fn mv_gaussian_affine(a: Matrix, x: impl Into<Value>, b: Vector, cov: Matrix) -> Self {
-        DistExpr::MvGaussian {
+        DistExpr::MvGaussian(Box::new(MvGaussianExpr {
             a,
             x: x.into(),
             b,
             cov,
-        }
+        }))
     }
 
     /// The parameters, in declaration order.
@@ -466,7 +472,7 @@ impl DistExpr {
             DistExpr::Exponential { rate } => vec![rate],
             DistExpr::Binomial { n, p } => vec![n, p],
             DistExpr::Dirac { point } => vec![point],
-            DistExpr::MvGaussian { x, .. } => vec![x],
+            DistExpr::MvGaussian(e) => vec![&e.x],
         }
     }
 
@@ -482,7 +488,7 @@ impl DistExpr {
             DistExpr::Exponential { rate } => vec![rate],
             DistExpr::Binomial { n, p } => vec![n, p],
             DistExpr::Dirac { point } => vec![point],
-            DistExpr::MvGaussian { x, .. } => vec![x],
+            DistExpr::MvGaussian(e) => vec![&mut e.x],
         }
     }
 
@@ -537,12 +543,13 @@ impl DistExpr {
                     Ok(Marginal::Dirac(Box::new(point.clone())))
                 }
             }
-            DistExpr::MvGaussian { a, x, b, cov } => {
+            DistExpr::MvGaussian(e) => {
+                let MvGaussianExpr { a, x, b, cov } = &**e;
                 let xv = x.as_vector()?;
-                Ok(Marginal::MvGaussian(dist::MvGaussian::new(
+                Ok(Marginal::MvGaussian(Box::new(dist::MvGaussian::new(
                     a.mul_vec(&xv).add(b),
                     cov.clone(),
-                )?))
+                )?)))
             }
         }
     }
@@ -560,13 +567,14 @@ impl std::fmt::Display for DistExpr {
             DistExpr::Exponential { rate } => write!(f, "exponential({rate})"),
             DistExpr::Binomial { n, p } => write!(f, "binomial({n}, {p})"),
             DistExpr::Dirac { point } => write!(f, "dirac({point})"),
-            DistExpr::MvGaussian { a, x, cov, .. } => {
+            DistExpr::MvGaussian(e) => {
                 write!(
                     f,
-                    "mv_gaussian({}x{}·{x}, dim {})",
-                    a.rows(),
-                    a.cols(),
-                    cov.rows()
+                    "mv_gaussian({}x{}·{}, dim {})",
+                    e.a.rows(),
+                    e.a.cols(),
+                    e.x,
+                    e.cov.rows()
                 )
             }
         }

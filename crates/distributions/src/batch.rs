@@ -1,0 +1,181 @@
+//! Batched log-density kernels over parameter/observation slices.
+//!
+//! Each `*_log_pdf_into` evaluates one distribution family over parallel
+//! slices of per-element parameters and observations in a single tight
+//! loop. The loops have no bounds checks after the up-front length
+//! asserts and no calls other than the shared scalar kernels, so the
+//! compiler is free to unroll and auto-vectorize them.
+//!
+//! **Bit-exactness contract:** every element of the output is produced by
+//! the *same* `#[inline(always)]` scalar kernel that the corresponding
+//! [`crate::Distribution::log_pdf`] uses. Batch-vs-scalar bit-identity is
+//! therefore structural — there is no second formula to drift — which is
+//! what lets the structure-of-arrays inference layout promise posteriors
+//! bitwise-identical to the per-particle layout.
+
+use crate::{beta, gamma, gaussian};
+
+/// Gaussian log-density over parallel `(mean, var, x)` triples.
+///
+/// `out` is cleared first and refilled with one entry per element.
+///
+/// # Panics
+///
+/// Panics if the three input slices differ in length.
+pub fn gaussian_log_pdf_into(means: &[f64], vars: &[f64], xs: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(
+        means.len(),
+        xs.len(),
+        "gaussian batch: means/xs length mismatch"
+    );
+    assert_eq!(
+        vars.len(),
+        xs.len(),
+        "gaussian batch: vars/xs length mismatch"
+    );
+    out.clear();
+    out.reserve(xs.len());
+    out.extend(
+        means
+            .iter()
+            .zip(vars)
+            .zip(xs)
+            .map(|((&m, &v), &x)| gaussian::log_pdf_kernel(m, v, x)),
+    );
+}
+
+/// Beta log-density over parallel `(alpha, beta, x)` triples.
+///
+/// `out` is cleared first and refilled with one entry per element.
+///
+/// # Panics
+///
+/// Panics if the three input slices differ in length.
+pub fn beta_log_pdf_into(alphas: &[f64], betas: &[f64], xs: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(
+        alphas.len(),
+        xs.len(),
+        "beta batch: alphas/xs length mismatch"
+    );
+    assert_eq!(
+        betas.len(),
+        xs.len(),
+        "beta batch: betas/xs length mismatch"
+    );
+    out.clear();
+    out.reserve(xs.len());
+    out.extend(
+        alphas
+            .iter()
+            .zip(betas)
+            .zip(xs)
+            .map(|((&a, &b), &x)| beta::log_pdf_kernel(a, b, x)),
+    );
+}
+
+/// Gamma log-density over parallel `(shape, rate, x)` triples.
+///
+/// `out` is cleared first and refilled with one entry per element.
+///
+/// # Panics
+///
+/// Panics if the three input slices differ in length.
+pub fn gamma_log_pdf_into(shapes: &[f64], rates: &[f64], xs: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(
+        shapes.len(),
+        xs.len(),
+        "gamma batch: shapes/xs length mismatch"
+    );
+    assert_eq!(
+        rates.len(),
+        xs.len(),
+        "gamma batch: rates/xs length mismatch"
+    );
+    out.clear();
+    out.reserve(xs.len());
+    out.extend(
+        shapes
+            .iter()
+            .zip(rates)
+            .zip(xs)
+            .map(|((&s, &r), &x)| gamma::log_pdf_kernel(s, r, x)),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Distribution;
+    use crate::{Beta, Gamma, Gaussian};
+
+    #[test]
+    fn gaussian_batch_is_bitwise_scalar() {
+        let means = [0.0, 1.5, -3.0, 0.0, 7.0];
+        let vars = [1.0, 0.25, 100.0, 2.0, 0.5];
+        let xs = [0.3, 1.5, -300.0, f64::NAN, f64::INFINITY];
+        let mut out = Vec::new();
+        gaussian_log_pdf_into(&means, &vars, &xs, &mut out);
+        for i in 0..xs.len() {
+            let d = Gaussian::new(means[i], vars[i]).unwrap();
+            assert_eq!(out[i].to_bits(), d.log_pdf(&xs[i]).to_bits(), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn beta_batch_is_bitwise_scalar() {
+        let alphas = [1.0, 2.0, 0.5, 100.0, 3.0];
+        let betas = [1.0, 6.0, 0.5, 1000.0, 3.0];
+        let xs = [0.3, 0.0, 1.0, 0.0909, f64::NAN];
+        let mut out = Vec::new();
+        beta_log_pdf_into(&alphas, &betas, &xs, &mut out);
+        for i in 0..xs.len() {
+            let d = Beta::new(alphas[i], betas[i]).unwrap();
+            assert_eq!(out[i].to_bits(), d.log_pdf(&xs[i]).to_bits(), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn gamma_batch_is_bitwise_scalar() {
+        let shapes = [1.0, 4.0, 0.5, 2.0, 9.0];
+        let rates = [2.0, 2.0, 1.0, 3.0, 0.5];
+        let xs = [0.7, -1.0, 0.0, f64::INFINITY, 4.0];
+        let mut out = Vec::new();
+        gamma_log_pdf_into(&shapes, &rates, &xs, &mut out);
+        for i in 0..xs.len() {
+            let d = Gamma::new(shapes[i], rates[i]).unwrap();
+            assert_eq!(out[i].to_bits(), d.log_pdf(&xs[i]).to_bits(), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_param_batch_matches_scalar_loop() {
+        let d = Gaussian::new(2.0, 3.0).unwrap();
+        let xs: Vec<f64> = (0..64).map(|i| i as f64 * 0.37 - 5.0).collect();
+        let batch = d.log_pdf_batch(&xs);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), d.log_pdf(x).to_bits());
+        }
+        let b = Beta::new(2.0, 5.0).unwrap();
+        let xs: Vec<f64> = (0..64).map(|i| i as f64 / 63.0).collect();
+        let batch = b.log_pdf_batch(&xs);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), b.log_pdf(x).to_bits());
+        }
+        let g = Gamma::new(3.0, 1.5).unwrap();
+        let batch = g.log_pdf_batch(&xs);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), g.log_pdf(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffer_and_clear() {
+        let mut out = vec![99.0; 8];
+        let d = Gaussian::standard();
+        d.log_pdf_batch_into(&[0.0, 1.0], &mut out);
+        assert_eq!(out.len(), 2);
+        gaussian_log_pdf_into(&[0.0], &[1.0], &[0.0], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to_bits(), d.log_pdf(&0.0).to_bits());
+    }
+}

@@ -12,6 +12,17 @@ pub struct Beta {
     beta: f64,
 }
 
+/// The Beta log-density as a free scalar kernel, shared by the scalar
+/// [`Distribution::log_pdf`] and all batched evaluators so their
+/// bit-identity is structural.
+#[inline(always)]
+pub(crate) fn log_pdf_kernel(alpha: f64, beta: f64, x: f64) -> f64 {
+    if x <= 0.0 || x >= 1.0 {
+        return f64::NEG_INFINITY;
+    }
+    (alpha - 1.0) * x.ln() + (beta - 1.0) * (1.0 - x).ln() - ln_beta(alpha, beta)
+}
+
 impl Beta {
     /// Creates `Beta(alpha, beta)`.
     ///
@@ -42,6 +53,23 @@ impl Beta {
     pub fn beta(&self) -> f64 {
         self.beta
     }
+
+    /// Evaluates the log-density over a slice of observations in one
+    /// tight loop. Element-wise bit-identical to the scalar
+    /// [`Distribution::log_pdf`] — both dispatch to the same kernel.
+    pub fn log_pdf_batch(&self, xs: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.log_pdf_batch_into(xs, &mut out);
+        out
+    }
+
+    /// [`Beta::log_pdf_batch`] into a caller-owned buffer (cleared first).
+    pub fn log_pdf_batch_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(xs.len());
+        let (alpha, beta) = (self.alpha, self.beta);
+        out.extend(xs.iter().map(|&x| log_pdf_kernel(alpha, beta, x)));
+    }
 }
 
 impl Distribution for Beta {
@@ -57,11 +85,7 @@ impl Distribution for Beta {
 
     #[inline]
     fn log_pdf(&self, x: &f64) -> f64 {
-        if *x <= 0.0 || *x >= 1.0 {
-            return f64::NEG_INFINITY;
-        }
-        (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
-            - ln_beta(self.alpha, self.beta)
+        log_pdf_kernel(self.alpha, self.beta, *x)
     }
 }
 

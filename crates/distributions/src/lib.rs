@@ -29,6 +29,7 @@
 //!
 //! [ProbZelus]: https://arxiv.org/abs/1908.07563
 
+pub mod batch;
 pub mod bernoulli;
 pub mod beta;
 pub mod binomial;

@@ -16,7 +16,7 @@
 use crate::ast::{Const, OpName};
 use crate::error::{LangError, Stage};
 use crate::muf::{Closure, EngineRef, Env, MufDef, MufExpr, MufPat, MufProgram, MufValue};
-use probzelus_core::infer::{Infer, MemoryStats, Method};
+use probzelus_core::infer::{Infer, MemoryStats, Method, ParticleLayout, ResampleStats};
 use probzelus_core::model::Model;
 use probzelus_core::prob::ProbCtx;
 use probzelus_core::value::{DistExpr, Value};
@@ -721,6 +721,19 @@ impl MufEngine {
     /// Restarts inference from the initial model state.
     pub fn reset(&mut self) {
         self.inner.reset();
+    }
+
+    /// Selects the particle storage layout (resets particle state when it
+    /// changes, exactly like [`Infer::with_particle_layout`]).
+    #[must_use]
+    pub fn with_particle_layout(mut self, layout: ParticleLayout) -> Self {
+        self.inner = self.inner.with_particle_layout(layout);
+        self
+    }
+
+    /// Cumulative resampling statistics since the last reset.
+    pub fn resample_stats(&self) -> ResampleStats {
+        self.inner.resample_stats()
     }
 }
 

@@ -1,0 +1,275 @@
+//! Differential harness for the particle-storage layouts.
+//!
+//! The `StructOfArrays` layout (contiguous per-particle weight/model/graph
+//! arrays plus deferred batch scoring) is an *internal representation
+//! change only*: for every inference method, every good `examples/zelus/`
+//! program, every golden seed, and every execution mode, the posterior
+//! stream must be **bit-for-bit identical** to the default `PerParticle`
+//! layout, and the resampling work counters must match exactly. The
+//! per-particle path is the semantic reference; any drift here is a bug in
+//! the SoA path, never an acceptable approximation.
+//!
+//! The matrix has two halves because DSL engines hold `Rc`s and cannot
+//! cross threads: the `examples/zelus/` sweep runs each program through
+//! every method × layout × seed sequentially, while the worker-count axis
+//! (sequential vs `Threads(3)`) is exercised on the native benchmark
+//! models, which are `Send`.
+
+use probzelus::core::infer::{Infer, Parallelism, ParticleLayout, ResampleStats};
+use probzelus::core::{Method, Value};
+use probzelus::lang::{compile_source, MufEngine, Options};
+use probzelus::models::{generate_coin, generate_kalman, Coin, Kalman};
+
+const SEEDS: [u64; 2] = [0xA11CE, 0xB0B5EED];
+const PARTICLES: usize = 40;
+const STEPS: usize = 60;
+
+/// The two worker counts of the native-model matrix: sequential, and a
+/// thread count that does not divide the particle count evenly (exercises
+/// ragged shards).
+const WORKERS: [Parallelism; 2] = [Parallelism::Sequential, Parallelism::Threads(3)];
+
+fn read_example(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/zelus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Every good example with a probabilistic node, with a deterministic
+/// input stream for it. (`counter.zl` is deterministic and covered by
+/// `counter_is_layout_oblivious` below.)
+fn prob_examples() -> Vec<(&'static str, &'static str, Vec<Value>)> {
+    let hmm_inputs: Vec<Value> = (0..STEPS)
+        .map(|t| Value::Float((t as f64 * 0.17).sin() * 3.0))
+        .collect();
+    let coin_inputs: Vec<Value> = (0..STEPS).map(|t| Value::Bool(t % 3 != 0)).collect();
+    let robot_inputs: Vec<Value> = (0..STEPS)
+        .map(|t| {
+            let tf = t as f64;
+            let has_gps = t % 5 == 0;
+            Value::pair(
+                Value::Float((tf * 0.31).cos() * 0.5),
+                Value::pair(
+                    Value::Bool(has_gps),
+                    Value::pair(
+                        Value::Float(if has_gps { tf * 0.01 } else { 0.0 }),
+                        Value::Float(0.2),
+                    ),
+                ),
+            )
+        })
+        .collect();
+    vec![
+        ("hmm.zl", "hmm", hmm_inputs),
+        ("coin.zl", "coin", coin_inputs),
+        ("robot.zl", "gps_acc_tracker", robot_inputs),
+    ]
+}
+
+/// The full posterior trace as raw bit patterns plus the final resampling
+/// counters — the complete observable surface the layouts must agree on.
+fn dsl_trace(
+    file: &str,
+    node: &str,
+    method: Method,
+    seed: u64,
+    layout: ParticleLayout,
+    inputs: &[Value],
+) -> (Vec<(u64, u64)>, ResampleStats) {
+    let compiled = compile_source(&read_example(file)).expect("example compiles");
+    let mut engine: MufEngine = compiled
+        .infer_node(node, PARTICLES, Options { method, seed })
+        .expect("probabilistic node instantiates")
+        .with_particle_layout(layout);
+    let trace = inputs
+        .iter()
+        .map(|y| {
+            let post = engine.step(y).expect("step");
+            (post.mean_float().to_bits(), post.variance_float().to_bits())
+        })
+        .collect();
+    (trace, engine.resample_stats())
+}
+
+/// The acceptance sweep: every method × every good program × both layouts
+/// × golden seeds produce bitwise-equal posterior traces and identical
+/// resampling counters.
+#[test]
+fn layouts_agree_bitwise_on_every_good_example() {
+    for (file, node, inputs) in prob_examples() {
+        for method in Method::ALL {
+            for seed in SEEDS {
+                let (reference, ref_stats) = dsl_trace(
+                    file,
+                    node,
+                    method,
+                    seed,
+                    ParticleLayout::PerParticle,
+                    &inputs,
+                );
+                let (trace, stats) = dsl_trace(
+                    file,
+                    node,
+                    method,
+                    seed,
+                    ParticleLayout::StructOfArrays,
+                    &inputs,
+                );
+                assert_eq!(
+                    reference, trace,
+                    "{file}/{node} {method} seed={seed:#x}: posterior trace diverged \
+                     from the per-particle reference"
+                );
+                assert_eq!(
+                    ref_stats, stats,
+                    "{file}/{node} {method} seed={seed:#x}: resampling counters diverged"
+                );
+            }
+        }
+    }
+}
+
+fn native_trace<M, I>(
+    method: Method,
+    seed: u64,
+    layout: ParticleLayout,
+    workers: Parallelism,
+    model: M,
+    inputs: &[I],
+) -> (Vec<u64>, ResampleStats)
+where
+    M: probzelus::core::model::Model<Input = I> + Send + Clone,
+    I: Sync,
+{
+    let mut engine = Infer::with_seed(method, PARTICLES, model, seed)
+        .with_particle_layout(layout)
+        .with_parallelism(workers);
+    let trace = inputs
+        .iter()
+        .map(|y| engine.step(y).expect("step").mean_float().to_bits())
+        .collect();
+    (trace, engine.resample_stats())
+}
+
+/// The worker-count axis (DSL engines are single-threaded, so this half of
+/// the matrix runs on the native `Send` models): layout × worker count is
+/// a single equivalence class per (model, method, seed).
+#[test]
+fn layouts_agree_bitwise_across_worker_counts_on_native_models() {
+    let kalman = generate_kalman(13, STEPS);
+    let coin = generate_coin(17, STEPS);
+    for method in Method::ALL {
+        for seed in SEEDS {
+            let (reference, ref_stats) = native_trace(
+                method,
+                seed,
+                ParticleLayout::PerParticle,
+                Parallelism::Sequential,
+                Kalman::default(),
+                &kalman.obs,
+            );
+            let (coin_ref, coin_ref_stats) = native_trace(
+                method,
+                seed,
+                ParticleLayout::PerParticle,
+                Parallelism::Sequential,
+                Coin::default(),
+                &coin.obs,
+            );
+            for layout in [ParticleLayout::PerParticle, ParticleLayout::StructOfArrays] {
+                for workers in WORKERS {
+                    let (trace, stats) = native_trace(
+                        method,
+                        seed,
+                        layout,
+                        workers,
+                        Kalman::default(),
+                        &kalman.obs,
+                    );
+                    assert_eq!(
+                        reference, trace,
+                        "kalman {method} seed={seed:#x} {layout} {workers:?}"
+                    );
+                    assert_eq!(
+                        ref_stats, stats,
+                        "kalman stats {method} seed={seed:#x} {layout} {workers:?}"
+                    );
+                    let (trace, stats) =
+                        native_trace(method, seed, layout, workers, Coin::default(), &coin.obs);
+                    assert_eq!(
+                        coin_ref, trace,
+                        "coin {method} seed={seed:#x} {layout} {workers:?}"
+                    );
+                    assert_eq!(
+                        coin_ref_stats, stats,
+                        "coin stats {method} seed={seed:#x} {layout} {workers:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `counter.zl` has no probabilistic node; its deterministic instance must
+/// be oblivious to everything this PR touches. Driving it at all keeps
+/// "every good example" honest in this suite.
+#[test]
+fn counter_is_layout_oblivious() {
+    let compiled = compile_source(&read_example("counter.zl")).expect("counter compiles");
+    let mut inst = compiled
+        .instantiate(
+            "counter",
+            Options {
+                method: Method::StreamingDs,
+                seed: 0,
+            },
+        )
+        .expect("counter instantiates");
+    for t in 0..20 {
+        let out = inst.step(Value::Unit).expect("step");
+        let n = out
+            .as_core()
+            .expect("core value")
+            .as_float()
+            .expect("number");
+        assert_eq!(n, f64::from(t), "counter output");
+    }
+}
+
+/// Switching layouts mid-stream resets particle state (documented
+/// behaviour of `with_particle_layout`), after which the engine replays
+/// the reference sequence exactly.
+#[test]
+fn switching_layout_resets_and_replays_identically() {
+    let inputs: Vec<Value> = (0..30)
+        .map(|t| Value::Float((t as f64 * 0.17).sin() * 3.0))
+        .collect();
+    let compiled = compile_source(&read_example("hmm.zl")).expect("hmm compiles");
+    let opts = Options {
+        method: Method::StreamingDs,
+        seed: SEEDS[0],
+    };
+    let mut reference = compiled
+        .infer_node("hmm", PARTICLES, opts)
+        .expect("instantiate");
+    let expected: Vec<u64> = inputs
+        .iter()
+        .map(|y| reference.step(y).expect("step").mean_float().to_bits())
+        .collect();
+
+    let mut engine = compiled
+        .infer_node("hmm", PARTICLES, opts)
+        .expect("instantiate");
+    // Burn a few steps, then switch to SoA: the switch resets, so the
+    // engine must replay the expected sequence from the top.
+    for y in inputs.iter().take(5) {
+        engine.step(y).expect("step");
+    }
+    let mut engine = engine.with_particle_layout(ParticleLayout::StructOfArrays);
+    let replay: Vec<u64> = inputs
+        .iter()
+        .map(|y| engine.step(y).expect("step").mean_float().to_bits())
+        .collect();
+    assert_eq!(expected, replay, "post-switch replay diverged");
+}
