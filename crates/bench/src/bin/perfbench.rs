@@ -26,12 +26,13 @@ use std::time::Instant;
 /// Engine seed, distinct from the data seed so neither masks the other.
 const ENGINE_SEED: u64 = 0xbe_a5;
 
-/// Keys every trajectory entry must carry, in emission order. `--check`
+/// Keys a trajectory entry may carry, in emission order. `--check`
 /// enforces this exact set: the schema is closed, so a new field is a
-/// deliberate schema bump, not drift. Rows written before the `layout`
-/// field existed (the seed-pr4/pr5 history) omit it; `--check` accepts
-/// those legacy rows so the trajectory file stays append-only.
-const SCHEMA: [(&str, Kind); 15] = [
+/// deliberate schema bump, not drift. Fields in [`OPTIONAL`] may be
+/// absent — rows written before the `layout` field existed (the
+/// seed-pr4/pr5 history) omit it, and only deadline-harness rows carry
+/// the `deadline_*` pair — so the trajectory file stays append-only.
+const SCHEMA: [(&str, Kind); 17] = [
     ("label", Kind::Str),
     ("bench", Kind::Str),
     ("method", Kind::Str),
@@ -47,7 +48,13 @@ const SCHEMA: [(&str, Kind); 15] = [
     ("peak_live_bytes", Kind::Num),
     ("clones_avoided", Kind::Num),
     ("posterior_mean_final", Kind::Num),
+    ("deadline_ms", Kind::Num),
+    ("deadline_misses", Kind::Num),
 ];
+
+/// Schema fields an entry may omit. Present fields must still appear in
+/// schema order with the schema type.
+const OPTIONAL: [&str; 3] = ["layout", "deadline_ms", "deadline_misses"];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
@@ -69,6 +76,11 @@ struct Entry {
     peak_live_bytes: usize,
     clones_avoided: u64,
     posterior_mean_final: f64,
+    /// Per-tick budget of a deadline-harness run (absent on plain rows).
+    deadline_ms: Option<f64>,
+    /// Deadline misses observed by the harness clock (absent on plain
+    /// rows; present exactly when `deadline_ms` is).
+    deadline_misses: Option<u64>,
 }
 
 impl Entry {
@@ -77,14 +89,14 @@ impl Entry {
             ResampleStrategy::CloneMinimal => "clone-minimal",
             ResampleStrategy::CloneAll => "clone-all",
         };
-        format!(
+        let mut out = format!(
             "{{\"label\":{label},\"bench\":\"{bench}\",\"method\":\"{method}\",\
              \"strategy\":\"{strategy}\",\"layout\":\"{layout}\",\
              \"particles\":{particles},\"ticks\":{ticks},\
              \"data_seed\":{data_seed},\"engine_seed\":{engine_seed},\
              \"ticks_per_sec\":{tps:?},\"p50_ms\":{p50:?},\"p99_ms\":{p99:?},\
              \"peak_live_bytes\":{peak},\"clones_avoided\":{avoided},\
-             \"posterior_mean_final\":{mean:?}}}",
+             \"posterior_mean_final\":{mean:?}",
             label = json_string(&self.label),
             bench = self.bench,
             method = self.method,
@@ -99,7 +111,14 @@ impl Entry {
             peak = self.peak_live_bytes,
             avoided = self.clones_avoided,
             mean = self.posterior_mean_final,
-        )
+        );
+        if let (Some(budget), Some(misses)) = (self.deadline_ms, self.deadline_misses) {
+            out.push_str(&format!(
+                ",\"deadline_ms\":{budget:?},\"deadline_misses\":{misses}"
+            ));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -162,6 +181,8 @@ fn drive<M: Model>(
         peak_live_bytes,
         clones_avoided: engine.resample_stats().clones_avoided,
         posterior_mean_final: mean,
+        deadline_ms: None,
+        deadline_misses: None,
     }
 }
 
@@ -437,24 +458,21 @@ fn parse_json(s: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-/// Validates one entry against the closed schema. Rows written before
-/// the `layout` field existed are validated against the schema minus
-/// that field — the trajectory file is append-only, so history keeps
-/// its original shape.
+/// Validates one entry against the closed schema. Fields in [`OPTIONAL`]
+/// may be absent (legacy pre-`layout` rows, plain rows without the
+/// `deadline_*` pair); every field the entry does carry must appear in
+/// schema order with the schema type, and nothing outside the schema is
+/// admitted — the trajectory file is append-only, so history keeps its
+/// original shape while new rows can say more.
 fn check_entry(raw: &str) -> Result<(), String> {
     let Json::Obj(fields) = parse_json(raw)? else {
         return Err("entry is not a JSON object".into());
     };
-    let legacy = !fields.iter().any(|(k, _)| k == "layout");
-    let schema: Vec<(&str, Kind)> = if legacy {
-        SCHEMA
-            .iter()
-            .filter(|(k, _)| *k != "layout")
-            .copied()
-            .collect()
-    } else {
-        SCHEMA.to_vec()
-    };
+    let schema: Vec<(&str, Kind)> = SCHEMA
+        .iter()
+        .filter(|(k, _)| !OPTIONAL.contains(k) || fields.iter().any(|(fk, _)| fk == k))
+        .copied()
+        .collect();
     if fields.len() != schema.len() {
         return Err(format!(
             "entry has {} fields, schema has {}",
@@ -484,6 +502,10 @@ fn check_entry(raw: &str) -> Result<(), String> {
     if num("ticks_per_sec") <= 0.0 || num("p50_ms") < 0.0 || num("p99_ms") < num("p50_ms") {
         return Err("implausible latency numbers".into());
     }
+    let has = |k: &str| fields.iter().any(|(key, _)| key == k);
+    if has("deadline_ms") != has("deadline_misses") {
+        return Err("deadline_ms and deadline_misses must appear together".into());
+    }
     Ok(())
 }
 
@@ -499,48 +521,436 @@ fn check_file(path: &str) -> Result<usize, String> {
     Ok(entries.len())
 }
 
-const USAGE: &str = "usage: perfbench [--quick] [--label NAME] [--out PATH] [--fresh] \
-                     [--strategy clone-minimal|clone-all] [--layout aos|soa] | \
-                     perfbench --check PATH";
+/// The soft-real-time deadline harness (`--deadline`, `chaos` feature).
+///
+/// For each benchmark it runs the same chaos-spiked input stream at a
+/// fixed tick rate three times: uncontrolled (no adaptation), controlled
+/// (the [`AdaptiveController`] degradation ladder), and a clock-free
+/// replay of the controlled run's decision trace on the other particle
+/// layout, asserting the replayed posterior is bit-identical. The
+/// uncontrolled and controlled rows land in the trajectory file with the
+/// `deadline_ms`/`deadline_misses` pair filled in.
+///
+/// [`AdaptiveController`]: probzelus_core::adaptive::AdaptiveController
+#[cfg(feature = "chaos")]
+mod deadline {
+    use super::{robot_inputs, Cli, DeadlineSpec, Entry, ENGINE_SEED};
+    use probzelus::models::{generate_kalman, Kalman};
+    use probzelus::robot::GpsAccTracker;
+    use probzelus_bench::DATA_SEED;
+    use probzelus_core::adaptive::{DeadlineConfig, DecisionTrace};
+    use probzelus_core::chaos::{busy_spin, ChaosFault, ChaosModel};
+    use probzelus_core::infer::{Infer, Method, ParticleLayout, ResampleStrategy};
+    use probzelus_core::model::Model;
+    use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
-    let mut fresh = false;
-    let mut label = String::from("run");
-    let mut out = String::from("BENCH_step_latency.json");
-    let mut strategy = ResampleStrategy::CloneMinimal;
-    let mut layout = ParticleLayout::PerParticle;
-    let mut check: Option<String> = None;
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        let mut take = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--fresh" => fresh = true,
-            "--label" => label = take("--label"),
-            "--out" => out = take("--out"),
-            "--check" => check = Some(take("--check")),
-            "--strategy" => {
-                strategy = match take("--strategy").as_str() {
-                    "clone-minimal" => ResampleStrategy::CloneMinimal,
-                    "clone-all" => ResampleStrategy::CloneAll,
-                    other => panic!("unknown strategy '{other}'; {USAGE}"),
-                }
+    /// Iterations of [`busy_spin`] that take roughly `ms` milliseconds,
+    /// calibrated by timing the exact loop the fault will run.
+    fn spin_iters_for_ms(ms: f64) -> u64 {
+        let mut iters = 1_000_000u64;
+        let iters_per_ms = loop {
+            let t = Instant::now();
+            busy_spin(iters);
+            let elapsed = t.elapsed().as_secs_f64() * 1e3;
+            if elapsed > 5.0 {
+                break iters as f64 / elapsed;
             }
-            "--layout" => {
-                layout = match take("--layout").as_str() {
-                    "aos" => ParticleLayout::PerParticle,
-                    "soa" => ParticleLayout::StructOfArrays,
-                    other => panic!("unknown layout '{other}'; {USAGE}"),
-                }
+            iters *= 4;
+        };
+        (ms * iters_per_ms).max(1.0) as u64
+    }
+
+    /// Three spike windows, each ~10% of the run, at 1/4, 1/2, and 3/4
+    /// of the stream; every spiked tick burns ~5 budgets of CPU across
+    /// the full cloud, so only a shrunk cloud can meet the deadline.
+    fn spike_schedule(ticks: usize, budget_ms: f64, particles: usize) -> Vec<(u64, ChaosFault)> {
+        let iters = spin_iters_for_ms(5.0 * budget_ms / particles as f64);
+        let width = (ticks / 10).max(1);
+        let mut schedule = Vec::new();
+        for quarter in [1usize, 2, 3] {
+            let start = ticks * quarter / 4;
+            for t in start..(start + width).min(ticks) {
+                schedule.push((t as u64, ChaosFault::BusySpin { iters }));
             }
-            other => panic!("unknown argument '{other}'; {USAGE}"),
+        }
+        schedule
+    }
+
+    /// Median plain-run step latency, for `--deadline auto` calibration.
+    fn plain_p50_ms<M: Model + Clone>(template: M, inputs: &[M::Input], particles: usize) -> f64 {
+        let mut engine = Infer::with_seed(Method::StreamingDs, particles, template, ENGINE_SEED);
+        let mut lats: Vec<f64> = inputs
+            .iter()
+            .map(|y| {
+                let t0 = Instant::now();
+                engine.step(y).expect("benchmark models do not fail");
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        lats[lats.len() / 2]
+    }
+
+    struct RunOutput {
+        entry: Entry,
+        posterior_bits: Vec<(u64, u64)>,
+        trace: Option<DecisionTrace>,
+    }
+
+    /// Drives one fixed-tick-rate run: each tick steps the engine, counts
+    /// a miss when the step overruns the budget, then sleeps out the rest
+    /// of the tick. `cfg` attaches the adaptive controller; `floor` (only
+    /// meaningful with it) is asserted as a lower bound on the cloud every
+    /// tick.
+    #[allow(clippy::too_many_arguments)]
+    fn timed_run<M: Model + Clone>(
+        label: String,
+        bench: &'static str,
+        template: M,
+        inputs: &[M::Input],
+        schedule: &[(u64, ChaosFault)],
+        budget_ms: f64,
+        cfg: Option<DeadlineConfig>,
+        floor: usize,
+        particles: usize,
+        obs_out: Option<&str>,
+    ) -> RunOutput {
+        let controlled = cfg.is_some();
+        let mut engine = Infer::with_seed(
+            Method::StreamingDs,
+            particles,
+            ChaosModel::new(template, schedule.to_vec()),
+            ENGINE_SEED,
+        );
+        if let Some(cfg) = cfg {
+            engine = engine.with_deadline(cfg);
+        }
+        #[cfg(feature = "obs")]
+        let obs = obs_out.map(|path| {
+            use probzelus_core::obs::{Obs, WriterSink};
+            let sink =
+                std::sync::Arc::new(WriterSink::create(path).expect("obs export path is writable"));
+            let obs = Obs::to(sink);
+            engine.set_obs(obs.clone());
+            obs
+        });
+        #[cfg(not(feature = "obs"))]
+        let _ = obs_out;
+        let mut latencies_ms = Vec::with_capacity(inputs.len());
+        let mut posterior_bits = Vec::with_capacity(inputs.len());
+        let mut misses = 0u64;
+        let mut peak_live_bytes = 0usize;
+        let mut mean = f64::NAN;
+        let t_all = Instant::now();
+        for y in inputs {
+            let t0 = Instant::now();
+            let posterior = engine.step(y).expect("benchmark models do not fail");
+            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if elapsed_ms > budget_ms {
+                misses += 1;
+            }
+            latencies_ms.push(elapsed_ms);
+            posterior_bits.push((
+                posterior.mean_float().to_bits(),
+                posterior.variance_float().to_bits(),
+            ));
+            peak_live_bytes = peak_live_bytes.max(engine.memory().live_bytes);
+            mean = posterior.mean_float();
+            if controlled {
+                assert!(
+                    engine.num_particles() >= floor,
+                    "controller dropped the cloud below the floor"
+                );
+            }
+            let remaining_ms = budget_ms - elapsed_ms;
+            if remaining_ms > 0.05 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(remaining_ms / 1e3));
+            }
+        }
+        let wall = t_all.elapsed().as_secs_f64();
+        #[cfg(feature = "obs")]
+        if let Some(obs) = obs {
+            obs.flush().expect("obs export flushes");
+        }
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let q = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p).round() as usize];
+        RunOutput {
+            entry: Entry {
+                label,
+                bench,
+                method: Method::StreamingDs,
+                strategy: ResampleStrategy::CloneMinimal,
+                layout: ParticleLayout::PerParticle,
+                particles,
+                ticks: inputs.len(),
+                ticks_per_sec: inputs.len() as f64 / wall,
+                p50_ms: q(0.50),
+                p99_ms: q(0.99),
+                peak_live_bytes,
+                clones_avoided: engine.resample_stats().clones_avoided,
+                posterior_mean_final: mean,
+                deadline_ms: Some(budget_ms),
+                deadline_misses: Some(misses),
+            },
+            trace: engine.decision_trace().cloned(),
+            posterior_bits,
         }
     }
 
-    if let Some(path) = check {
-        match check_file(&path) {
+    /// Uncontrolled vs controlled vs replay on one benchmark; returns the
+    /// two trajectory rows.
+    #[allow(clippy::too_many_arguments)]
+    fn bench_trio<M: Model + Clone>(
+        bench: &'static str,
+        template: M,
+        inputs: &[M::Input],
+        cli: &Cli,
+        spec: DeadlineSpec,
+        particles: usize,
+        floor: usize,
+    ) -> Vec<Entry> {
+        let budget_ms = match spec {
+            DeadlineSpec::Ms(ms) => ms,
+            // 2.5 medians of headroom, but never below 1ms: tighter
+            // budgets drown in scheduler noise and make miss counts
+            // meaningless.
+            DeadlineSpec::Auto => {
+                (2.5 * plain_p50_ms(template.clone(), inputs, particles)).max(1.0)
+            }
+        };
+        let schedule = spike_schedule(inputs.len(), budget_ms, particles);
+        let uncontrolled = timed_run(
+            format!("{}-uncontrolled", cli.label),
+            bench,
+            template.clone(),
+            inputs,
+            &schedule,
+            budget_ms,
+            None,
+            floor,
+            particles,
+            None,
+        );
+        let mut cfg = DeadlineConfig::new(budget_ms);
+        cfg.floor = floor;
+        cfg.window = 4;
+        cfg.cooldown = 2;
+        cfg.shrink_factor = 0.5;
+        let controlled = timed_run(
+            format!("{}-controlled", cli.label),
+            bench,
+            template.clone(),
+            inputs,
+            &schedule,
+            budget_ms,
+            Some(cfg),
+            floor,
+            particles,
+            // One obs export is enough for `obsreport --check`.
+            cli.obs_out.as_deref().filter(|_| bench == "hmm"),
+        );
+        let trace = controlled.trace.clone().expect("controlled runs trace");
+        // The decision trace must survive its wire format bit-for-bit.
+        let roundtrip = DecisionTrace::from_jsonl(&trace.to_jsonl()).expect("trace round-trips");
+        assert_eq!(roundtrip, trace, "trace JSONL round-trip changed it");
+        if let Some(path) = cli.trace_out.as_deref().filter(|_| bench == "hmm") {
+            std::fs::write(path, trace.to_jsonl()).expect("trace path is writable");
+        }
+        // Replay witness: same seed and spikes, opposite layout, no
+        // clock — the trace alone must reproduce the posterior bits.
+        let mut replay = Infer::with_seed(
+            Method::StreamingDs,
+            particles,
+            ChaosModel::new(template, schedule.clone()),
+            ENGINE_SEED,
+        )
+        .with_particle_layout(ParticleLayout::StructOfArrays)
+        .with_decision_replay(trace);
+        for (y, (mean_bits, var_bits)) in inputs.iter().zip(&controlled.posterior_bits) {
+            let p = replay.step(y).expect("benchmark models do not fail");
+            assert_eq!(
+                p.mean_float().to_bits(),
+                *mean_bits,
+                "{bench}: replayed posterior mean diverged"
+            );
+            assert_eq!(
+                p.variance_float().to_bits(),
+                *var_bits,
+                "{bench}: replayed posterior variance diverged"
+            );
+        }
+        let (u_misses, c_misses) = (
+            uncontrolled.entry.deadline_misses.expect("set above"),
+            controlled.entry.deadline_misses.expect("set above"),
+        );
+        println!(
+            "{bench}: replay bit-identical across layouts; misses {u_misses} uncontrolled \
+             -> {c_misses} controlled (budget {budget_ms:.3}ms)"
+        );
+        if cli.assert_improves && c_misses >= u_misses {
+            eprintln!(
+                "perfbench: --assert-improves failed on {bench}: controlled run missed \
+                 {c_misses} deadlines, uncontrolled {u_misses}"
+            );
+            std::process::exit(1);
+        }
+        vec![uncontrolled.entry, controlled.entry]
+    }
+
+    pub(super) fn run_harness(cli: &Cli, spec: DeadlineSpec) -> Vec<Entry> {
+        let (ticks, particles) = if cli.quick { (240, 32) } else { (600, 64) };
+        let floor = cli.floor.unwrap_or_else(|| (particles / 8).max(1));
+        assert!(
+            floor <= particles,
+            "--floor {floor} exceeds the particle count {particles}"
+        );
+        let hmm = generate_kalman(DATA_SEED, ticks);
+        let mut rows = bench_trio(
+            "hmm",
+            Kalman::default(),
+            &hmm.obs,
+            cli,
+            spec,
+            particles,
+            floor,
+        );
+        let robot = robot_inputs(ticks);
+        rows.extend(bench_trio(
+            "robot",
+            GpsAccTracker::default(),
+            &robot,
+            cli,
+            spec,
+            particles,
+            floor,
+        ));
+        rows
+    }
+}
+
+const USAGE: &str = "usage: perfbench [--quick] [--label NAME] [--out PATH] [--fresh]
+                 [--strategy clone-minimal|clone-all] [--layout aos|soa]
+       perfbench --deadline MS|auto [--floor N] [--assert-improves]
+                 [--trace-out PATH] [--obs-out PATH] [other flags as above]
+                 (requires the `chaos` feature; --obs-out also `obs`)
+       perfbench --check PATH     # validate an existing trajectory file";
+
+/// How the deadline harness picks its per-tick budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DeadlineSpec {
+    /// Calibrate from the uncontrolled p50 of each benchmark.
+    Auto,
+    /// A fixed budget in milliseconds.
+    Ms(f64),
+}
+
+/// Parsed command line. Deadline flags parse everywhere so the errors
+/// are uniform; `main` rejects them when the needed features are absent.
+#[derive(Debug)]
+struct Cli {
+    quick: bool,
+    fresh: bool,
+    label: String,
+    out: String,
+    strategy: ResampleStrategy,
+    layout: ParticleLayout,
+    check: Option<String>,
+    deadline: Option<DeadlineSpec>,
+    floor: Option<usize>,
+    assert_improves: bool,
+    trace_out: Option<String>,
+    obs_out: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        fresh: false,
+        label: String::from("run"),
+        out: String::from("BENCH_step_latency.json"),
+        strategy: ResampleStrategy::CloneMinimal,
+        layout: ParticleLayout::PerParticle,
+        check: None,
+        deadline: None,
+        floor: None,
+        assert_improves: false,
+        trace_out: None,
+        obs_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--fresh" => cli.fresh = true,
+            "--assert-improves" => cli.assert_improves = true,
+            "--label" => cli.label = take()?,
+            "--out" => cli.out = take()?,
+            "--check" => cli.check = Some(take()?),
+            "--trace-out" => cli.trace_out = Some(take()?),
+            "--obs-out" => cli.obs_out = Some(take()?),
+            "--floor" => {
+                let v = take()?;
+                cli.floor = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--floor wants a positive integer, got '{v}'"))?,
+                );
+            }
+            "--deadline" => {
+                let v = take()?;
+                cli.deadline = Some(if v == "auto" {
+                    DeadlineSpec::Auto
+                } else {
+                    DeadlineSpec::Ms(
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|ms| ms.is_finite() && *ms > 0.0)
+                            .ok_or_else(|| {
+                                format!(
+                                    "--deadline wants a positive budget in ms or 'auto', got '{v}'"
+                                )
+                            })?,
+                    )
+                });
+            }
+            "--strategy" => {
+                cli.strategy = match take()?.as_str() {
+                    "clone-minimal" => ResampleStrategy::CloneMinimal,
+                    "clone-all" => ResampleStrategy::CloneAll,
+                    other => return Err(format!("unknown strategy '{other}'")),
+                }
+            }
+            "--layout" => {
+                cli.layout = match take()?.as_str() {
+                    "aos" => ParticleLayout::PerParticle,
+                    "soa" => ParticleLayout::StructOfArrays,
+                    other => return Err(format!("unknown layout '{other}'")),
+                }
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("perfbench: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &cli.check {
+        match check_file(path) {
             Ok(n) => println!("{path}: {n} entries, schema OK"),
             Err(e) => {
                 eprintln!("{path}: schema violation: {e}");
@@ -550,15 +960,51 @@ fn main() {
         return;
     }
 
-    let mut entries = if fresh {
+    #[cfg(not(feature = "chaos"))]
+    if cli.deadline.is_some() {
+        eprintln!("perfbench: --deadline needs the `chaos` feature (load spikes are chaos faults)");
+        std::process::exit(2);
+    }
+    #[cfg(not(feature = "obs"))]
+    if cli.obs_out.is_some() {
+        eprintln!("perfbench: --obs-out needs the `obs` feature");
+        std::process::exit(2);
+    }
+
+    let mut entries = if cli.fresh {
         Vec::new()
     } else {
-        match std::fs::read_to_string(&out) {
+        match std::fs::read_to_string(&cli.out) {
             Ok(text) => read_entries(&text).expect("existing trajectory file is well-formed"),
             Err(_) => Vec::new(),
         }
     };
-    for entry in run_suite(quick, strategy, layout, &label) {
+
+    #[cfg(feature = "chaos")]
+    if let Some(spec) = cli.deadline {
+        let rows = deadline::run_harness(&cli, spec);
+        for entry in rows {
+            println!(
+                "{label:>24} {bench:>5} {method:>3} budget {budget:.3}ms  misses {misses}  \
+                 p99 {p99:.4}ms",
+                label = entry.label,
+                bench = entry.bench,
+                method = entry.method,
+                budget = entry.deadline_ms.expect("deadline rows carry a budget"),
+                misses = entry.deadline_misses.expect("deadline rows carry misses"),
+                p99 = entry.p99_ms,
+            );
+            entries.push(entry.to_json());
+        }
+        std::fs::write(&cli.out, render(&entries)).expect("trajectory file is writable");
+        for e in &entries {
+            check_entry(e).expect("emitted entries satisfy the schema");
+        }
+        println!("wrote {} ({} entries)", cli.out, entries.len());
+        return;
+    }
+
+    for entry in run_suite(cli.quick, cli.strategy, cli.layout, &cli.label) {
         println!(
             "{label:>12} {bench:>5} {method:>3} {tps:>9.0} ticks/s  p50 {p50:.4}ms  p99 {p99:.4}ms  \
              peak {peak}B  avoided {avoided}",
@@ -573,11 +1019,11 @@ fn main() {
         );
         entries.push(entry.to_json());
     }
-    std::fs::write(&out, render(&entries)).expect("trajectory file is writable");
+    std::fs::write(&cli.out, render(&entries)).expect("trajectory file is writable");
     for e in &entries {
         check_entry(e).expect("emitted entries satisfy the schema");
     }
-    println!("wrote {} ({} entries)", out, entries.len());
+    println!("wrote {} ({} entries)", cli.out, entries.len());
 }
 
 #[cfg(test)]
@@ -627,6 +1073,99 @@ mod tests {
         // But a legacy row with a field missing is still rejected.
         let broken = legacy.replacen("\"bench\":\"hmm\",", "", 1);
         assert!(check_entry(&broken).is_err());
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flags_and_missing_values() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown argument '--frobnicate'"), "{err}");
+        for flag in [
+            "--label",
+            "--out",
+            "--check",
+            "--strategy",
+            "--layout",
+            "--deadline",
+            "--floor",
+            "--trace-out",
+            "--obs-out",
+        ] {
+            let err = parse_args(&args(&[flag])).unwrap_err();
+            assert!(err.contains("needs a value"), "{flag}: {err}");
+        }
+        let err = parse_args(&args(&["--strategy", "psychic"])).unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
+        let err = parse_args(&args(&["--deadline", "-3"])).unwrap_err();
+        assert!(err.contains("positive budget"), "{err}");
+        let err = parse_args(&args(&["--floor", "0"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn parse_args_accepts_the_full_flag_set() {
+        let args: Vec<String> = [
+            "--quick",
+            "--fresh",
+            "--label",
+            "l",
+            "--out",
+            "o.json",
+            "--strategy",
+            "clone-all",
+            "--layout",
+            "soa",
+            "--deadline",
+            "auto",
+            "--floor",
+            "4",
+            "--assert-improves",
+            "--trace-out",
+            "t.jsonl",
+            "--obs-out",
+            "m.jsonl",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = parse_args(&args).unwrap();
+        assert!(cli.quick && cli.fresh && cli.assert_improves);
+        assert_eq!(cli.label, "l");
+        assert_eq!(cli.strategy, ResampleStrategy::CloneAll);
+        assert_eq!(cli.layout, ParticleLayout::StructOfArrays);
+        assert_eq!(cli.deadline, Some(DeadlineSpec::Auto));
+        assert_eq!(cli.floor, Some(4));
+        assert_eq!(cli.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(cli.obs_out.as_deref(), Some("m.jsonl"));
+        let fixed = parse_args(&["--deadline".to_string(), "2.5".to_string()]).unwrap();
+        assert_eq!(fixed.deadline, Some(DeadlineSpec::Ms(2.5)));
+    }
+
+    #[test]
+    fn schema_accepts_deadline_rows_and_rejects_a_lone_half_of_the_pair() {
+        let mut entry = run_suite(
+            true,
+            ResampleStrategy::CloneMinimal,
+            ParticleLayout::PerParticle,
+            "d",
+        )
+        .remove(0);
+        entry.deadline_ms = Some(1.5);
+        entry.deadline_misses = Some(7);
+        let row = entry.to_json();
+        assert!(row.ends_with("\"deadline_ms\":1.5,\"deadline_misses\":7}"));
+        check_entry(&row).expect("deadline row validates");
+        let half = row.replacen(",\"deadline_misses\":7", "", 1);
+        assert!(check_entry(&half).is_err(), "lone deadline_ms accepted");
+        let swapped = row.replacen(
+            "\"deadline_ms\":1.5,\"deadline_misses\":7",
+            "\"deadline_misses\":7,\"deadline_ms\":1.5",
+            1,
+        );
+        assert!(
+            check_entry(&swapped).is_err(),
+            "out-of-order fields accepted"
+        );
     }
 
     #[test]

@@ -39,6 +39,27 @@ pub enum ChaosFault {
         /// Per-particle error probability in `[0, 1]`.
         prob: f64,
     },
+    /// Every particle burns CPU for this many spin iterations before the
+    /// inner model steps. Purely a load fault: no RNG draws, no weight
+    /// changes, so the posterior stays bit-identical to the un-spiked run
+    /// — which is exactly what a deadline controller needs to be tested
+    /// against.
+    BusySpin {
+        /// Spin iterations per particle.
+        iters: u64,
+    },
+}
+
+/// Burns roughly `iters` iterations of dependent integer work. The
+/// accumulator feeds a volatile-style `black_box` so the optimizer cannot
+/// delete the loop; callers calibrate wall-clock cost by timing this exact
+/// function.
+pub fn busy_spin(iters: u64) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in 0..iters {
+        acc = acc.rotate_left(7) ^ i.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+    std::hint::black_box(acc)
 }
 
 /// A model wrapper that injects [`ChaosFault`]s at scheduled ticks and
@@ -104,6 +125,9 @@ impl<M: Model> Model for ChaosModel<M> {
                             "chaos: injected host error at tick {tick}"
                         )));
                     }
+                }
+                ChaosFault::BusySpin { iters } => {
+                    busy_spin(iters);
                 }
             }
         }
@@ -187,6 +211,26 @@ mod tests {
         let outcome = engine.step_outcome(&true).unwrap();
         assert_eq!(outcome.health.faults.len(), 8);
         assert!(outcome.health.weight_collapse);
+    }
+
+    #[test]
+    fn busy_spin_burns_time_without_touching_the_posterior() {
+        let inputs = [true, false, true, true, false];
+        let schedule: Vec<(u64, ChaosFault)> = (0..inputs.len() as u64)
+            .map(|t| (t, ChaosFault::BusySpin { iters: 2_000 }))
+            .collect();
+        let mut plain = Infer::with_seed(Method::ParticleFilter, 16, Coin::default(), 5);
+        let mut spiked = Infer::with_seed(
+            Method::ParticleFilter,
+            16,
+            ChaosModel::new(Coin::default(), schedule),
+            5,
+        );
+        for obs in &inputs {
+            let a = plain.step(obs).unwrap().mean_float();
+            let b = spiked.step(obs).unwrap().mean_float();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -35,6 +35,18 @@ pub enum RuntimeError {
     /// all weight (every log-weight `-inf`/NaN) and the retry budget is
     /// exhausted, or a recovery step itself failed.
     Degenerate(String),
+    /// The particle cloud collapsed for more consecutive steps than the
+    /// configured retry budget allows. Unlike [`RuntimeError::Degenerate`]
+    /// this carries the structured facts, so fleet dashboards can count and
+    /// bucket exhaustions without parsing a message string.
+    CollapseBudgetExhausted {
+        /// The engine step (0-based generation) that exhausted the budget.
+        tick: u64,
+        /// How many consecutive steps had collapsed, including this one.
+        consecutive: u32,
+        /// The configured retry budget that was exceeded.
+        budget: u32,
+    },
     /// A particle panicked during a step; the payload is the rendered panic
     /// message captured by `catch_unwind`.
     ParticlePanic(String),
@@ -61,6 +73,15 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Degenerate(msg) => {
                 write!(f, "inference degenerate: {msg}")
             }
+            RuntimeError::CollapseBudgetExhausted {
+                tick,
+                consecutive,
+                budget,
+            } => write!(
+                f,
+                "inference degenerate: particle cloud collapsed for {consecutive} \
+                 consecutive steps at tick {tick}, exhausting the retry budget of {budget}"
+            ),
             RuntimeError::ParticlePanic(msg) => {
                 write!(f, "particle panicked: {msg}")
             }
@@ -99,6 +120,16 @@ mod tests {
         assert_eq!(
             RuntimeError::ParticlePanic("index out of bounds".into()).to_string(),
             "particle panicked: index out of bounds"
+        );
+        assert_eq!(
+            RuntimeError::CollapseBudgetExhausted {
+                tick: 41,
+                consecutive: 3,
+                budget: 2,
+            }
+            .to_string(),
+            "inference degenerate: particle cloud collapsed for 3 consecutive steps \
+             at tick 41, exhausting the retry budget of 2"
         );
     }
 

@@ -31,6 +31,10 @@
 //! required only by `with_parallelism` itself; purely sequential use of
 //! [`Infer`] places no thread-safety constraints on the model.
 
+use crate::adaptive::{
+    AdaptiveController, DeadlineAction, DeadlineConfig, DeadlineStatus, DecisionRecord,
+    DecisionTrace,
+};
 use crate::ds::graph::{Graph, GraphStats, Retention};
 use crate::error::RuntimeError;
 use crate::model::Model;
@@ -459,7 +463,9 @@ impl<M: Model> Store<M> {
         }
     }
 
-    /// The clone-everything resampling pass.
+    /// The clone-everything resampling pass. The new cloud has
+    /// `ancestors.len()` particles — equal to the old count on an
+    /// ordinary pass, different on a deadline-driven resize.
     fn resample_clone_all(&mut self, ancestors: &[usize], stats: &mut ResampleStats) {
         let n = ancestors.len();
         match self {
@@ -484,9 +490,10 @@ impl<M: Model> Store<M> {
                 }
                 s.models = next_models;
                 s.graphs = next_graphs;
-                for w in &mut s.log_ws {
-                    *w = 0.0;
-                }
+                // Capacity-preserving equivalent of zeroing in place,
+                // correct even when the pass changes the cloud size.
+                s.log_ws.clear();
+                s.log_ws.resize(n, 0.0);
             }
         }
         stats.clones += n as u64;
@@ -495,14 +502,21 @@ impl<M: Model> Store<M> {
     /// The clone-minimal resampling pass. `offspring[i]` holds particle
     /// `i`'s offspring count from a nondecreasing ancestor sweep, so
     /// laying out the copies in ascending `i` reproduces exactly the slot
-    /// order of [`Store::resample_clone_all`].
-    fn resample_clone_minimal(&mut self, offspring: &[u32], stats: &mut ResampleStats) {
-        let n = offspring.len();
+    /// order of [`Store::resample_clone_all`]. `target` is the offspring
+    /// sum — the new cloud size, equal to `offspring.len()` on an
+    /// ordinary pass and different on a deadline-driven resize.
+    fn resample_clone_minimal(
+        &mut self,
+        offspring: &[u32],
+        target: usize,
+        stats: &mut ResampleStats,
+    ) {
+        debug_assert_eq!(offspring.iter().map(|&k| k as usize).sum::<usize>(), target);
         match self {
             Store::Aos { particles, spare } => {
                 let mut old = std::mem::replace(particles, std::mem::take(spare));
                 particles.clear();
-                particles.reserve(n);
+                particles.reserve(target);
                 for (i, mut p) in old.drain(..).enumerate() {
                     let k = offspring[i];
                     if k == 0 {
@@ -531,9 +545,9 @@ impl<M: Model> Store<M> {
                 let mut old_graphs =
                     std::mem::replace(&mut s.graphs, std::mem::take(&mut s.spare_graphs));
                 s.models.clear();
-                s.models.reserve(n);
+                s.models.reserve(target);
                 s.graphs.clear();
-                s.graphs.reserve(n);
+                s.graphs.reserve(target);
                 for (i, (m, g)) in old_models.drain(..).zip(old_graphs.drain(..)).enumerate() {
                     let k = offspring[i];
                     if k == 0 {
@@ -552,13 +566,33 @@ impl<M: Model> Store<M> {
                 s.spare_models = old_models;
                 s.spare_graphs = old_graphs;
                 // All survivors restart unweighted, exactly like the AoS
-                // arm's per-particle `log_w = 0.0`.
-                for w in &mut s.log_ws {
-                    *w = 0.0;
-                }
+                // arm's per-particle `log_w = 0.0` — sized to the new
+                // cloud, capacity-preserving.
+                s.log_ws.clear();
+                s.log_ws.resize(target, 0.0);
             }
         }
     }
+}
+
+/// Deadline state attached to an engine: either a live measuring
+/// controller or a recorded trace being replayed clock-free.
+#[derive(Clone)]
+enum DeadlineMode {
+    /// Watch measured step latencies and walk the degradation ladder.
+    Measure(AdaptiveController),
+    /// Re-apply the decisions of a recorded [`DecisionTrace`] at their
+    /// original ticks. No clock is consulted, so the run is a pure
+    /// function of `(seed, method, initial particles, inputs, trace)`.
+    Replay { trace: DecisionTrace, cursor: usize },
+}
+
+#[derive(Clone)]
+struct DeadlineState {
+    mode: DeadlineMode,
+    /// The resample policy to restore when the controller un-relaxes
+    /// (kept in sync by [`Infer::with_resample_policy`]).
+    base_policy: ResamplePolicy,
 }
 
 /// A streaming inference engine over a probabilistic [`Model`].
@@ -599,6 +633,12 @@ impl<M: Model> Store<M> {
 pub struct Infer<M: Model> {
     method: Method,
     num_particles: usize,
+    /// The particle count the engine was built with. `num_particles` may
+    /// drift below it under deadline control; [`Infer::reset`] restores it
+    /// and the controller never grows past it.
+    initial_particles: usize,
+    /// Deadline controller / trace replay, when attached.
+    deadline: Option<DeadlineState>,
     /// Particle state, laid out per [`ParticleLayout`].
     store: Store<M>,
     /// The layout [`Infer::reset`] (re)builds the store with.
@@ -668,6 +708,8 @@ impl<M: Model> Clone for Infer<M> {
         Infer {
             method: self.method,
             num_particles: self.num_particles,
+            initial_particles: self.initial_particles,
+            deadline: self.deadline.clone(),
             store: self.store.snapshot(),
             layout: self.layout,
             template: self.template.clone(),
@@ -720,6 +762,8 @@ impl<M: Model> Infer<M> {
         let mut engine = Infer {
             method,
             num_particles,
+            initial_particles: num_particles,
+            deadline: None,
             store: Store::Aos {
                 particles: Vec::new(),
                 spare: Vec::new(),
@@ -759,9 +803,16 @@ impl<M: Model> Infer<M> {
         self.method
     }
 
-    /// Number of particles.
+    /// Number of particles currently in the cloud. Under deadline control
+    /// this may sit anywhere in `[floor, initial]`.
     pub fn num_particles(&self) -> usize {
         self.num_particles
+    }
+
+    /// The particle count the engine was built with (the deadline
+    /// controller's growth ceiling).
+    pub fn initial_particles(&self) -> usize {
+        self.initial_particles
     }
 
     /// Steps executed so far.
@@ -923,12 +974,120 @@ impl<M: Model> Infer<M> {
     }
 
     /// Overrides the resampling policy (builder style). The `Importance`
-    /// method ignores this and never resamples.
+    /// method ignores this and never resamples. With a deadline attached,
+    /// this also becomes the policy the controller restores when it
+    /// un-relaxes.
     pub fn with_resample_policy(mut self, policy: ResamplePolicy) -> Self {
         if self.method.resamples() {
             self.resample = policy;
+            if let Some(state) = &mut self.deadline {
+                state.base_policy = policy;
+            }
         }
         self
+    }
+
+    /// Attaches a per-tick deadline budget (builder style): every step's
+    /// measured latency feeds an [`AdaptiveController`] that shrinks the
+    /// particle cloud toward `cfg.floor`, relaxes the resample policy,
+    /// and — once the ladder is exhausted — reports typed degradation
+    /// through [`Health::deadline`] instead of thinning further.
+    /// Sustained headroom walks the ladder back up to the initial cloud.
+    ///
+    /// Timing is measured once per step (the same clock read feeds the
+    /// `obs` latency histogram when a sink is attached). Decisions apply
+    /// *after* the tick that triggered them, so the tick's own posterior
+    /// never depends on its own latency — which is what makes the
+    /// recorded [`DecisionTrace`] a faithful replay artifact: see
+    /// [`Infer::with_decision_replay`].
+    ///
+    /// Attach the deadline after the other builder knobs (particle
+    /// layout, resample policy); it captures the current policy as the
+    /// one to restore. Replaces any previously attached deadline state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is structurally invalid (see [`DeadlineConfig`]).
+    pub fn with_deadline(mut self, cfg: DeadlineConfig) -> Self {
+        self.deadline = Some(DeadlineState {
+            mode: DeadlineMode::Measure(AdaptiveController::new(cfg, self.num_particles)),
+            base_policy: self.resample,
+        });
+        self
+    }
+
+    /// Replays a recorded [`DecisionTrace`] instead of measuring
+    /// latencies (builder style): each recorded decision is re-applied at
+    /// its original tick, clock-free. Given the same seed, method,
+    /// initial particle count, and inputs as the adaptive run that
+    /// recorded the trace, the replayed posteriors are bit-for-bit
+    /// identical to the adaptive run's — across particle layouts and
+    /// worker counts, like every other determinism guarantee.
+    ///
+    /// Replay engines report `Health::deadline == None` (there is no
+    /// controller measuring anything).
+    pub fn with_decision_replay(mut self, trace: DecisionTrace) -> Self {
+        self.deadline = Some(DeadlineState {
+            mode: DeadlineMode::Replay { trace, cursor: 0 },
+            base_policy: self.resample,
+        });
+        self
+    }
+
+    /// The decision trace recorded so far (measure mode) or being
+    /// replayed (replay mode). `None` without a deadline attached.
+    pub fn decision_trace(&self) -> Option<&DecisionTrace> {
+        match &self.deadline {
+            Some(DeadlineState {
+                mode: DeadlineMode::Measure(ctrl),
+                ..
+            }) => Some(ctrl.trace()),
+            Some(DeadlineState {
+                mode: DeadlineMode::Replay { trace, .. },
+                ..
+            }) => Some(trace),
+            None => None,
+        }
+    }
+
+    /// Ticks observed over budget since attach or reset (measure mode;
+    /// zero otherwise).
+    pub fn deadline_misses(&self) -> u64 {
+        match &self.deadline {
+            Some(DeadlineState {
+                mode: DeadlineMode::Measure(ctrl),
+                ..
+            }) => ctrl.misses(),
+            _ => 0,
+        }
+    }
+
+    /// The controller's current status (measure mode only).
+    pub fn deadline_status(&self) -> Option<DeadlineStatus> {
+        match &self.deadline {
+            Some(DeadlineState {
+                mode: DeadlineMode::Measure(ctrl),
+                ..
+            }) => Some(ctrl.status()),
+            _ => None,
+        }
+    }
+
+    /// Changes the deadline budget mid-stream (the serving-layer knob).
+    /// Returns whether a measuring controller was present to update; the
+    /// controller's latency window is cleared so stale samples measured
+    /// against the old budget cannot trigger an immediate decision.
+    pub fn set_deadline_budget(&mut self, budget_ms: f64) -> bool {
+        match &mut self.deadline {
+            Some(DeadlineState {
+                mode: DeadlineMode::Measure(ctrl),
+                ..
+            }) => {
+                ctrl.set_budget(budget_ms);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Selects how the resampling pass materializes the next cloud
@@ -943,7 +1102,18 @@ impl<M: Model> Infer<M> {
     }
 
     /// Discards all inference state and restarts from the initial model.
+    /// A deadline-controlled cloud returns to its initial size, the
+    /// controller forgets its window and trace, and a replay cursor
+    /// rewinds to the first recorded decision.
     pub fn reset(&mut self) {
+        self.num_particles = self.initial_particles;
+        if let Some(state) = &mut self.deadline {
+            self.resample = state.base_policy;
+            match &mut state.mode {
+                DeadlineMode::Measure(ctrl) => ctrl.reset(),
+                DeadlineMode::Replay { cursor, .. } => *cursor = 0,
+            }
+        }
         let store = Store::build(self.layout, self.num_particles, || self.blank_particle());
         self.store = store;
         self.steps = 0;
@@ -1057,10 +1227,22 @@ impl<M: Model> Infer<M> {
     pub fn step_outcome(&mut self, input: &M::Input) -> Result<StepOutcome, RuntimeError> {
         let generation = self.steps;
         let n = self.num_particles;
-        // Clock reads are gated on an attached sink so the disabled
-        // engine does no telemetry work at all.
+        // One clock read serves both consumers of step latency — the
+        // telemetry histogram and the deadline controller — and is gated
+        // on either being active, so an engine with neither does no
+        // timing work at all.
+        let deadline_measuring = matches!(
+            &self.deadline,
+            Some(DeadlineState {
+                mode: DeadlineMode::Measure(_),
+                ..
+            })
+        );
         #[cfg(feature = "obs")]
-        let obs_t0 = self.obs.enabled().then(std::time::Instant::now);
+        let need_clock = deadline_measuring || self.obs.enabled();
+        #[cfg(not(feature = "obs"))]
+        let need_clock = deadline_measuring;
+        let t0 = need_clock.then(std::time::Instant::now);
         // Only SkipObservation needs the rollback snapshot; the other
         // policies do not pay for the clone.
         let snapshot =
@@ -1276,11 +1458,29 @@ impl<M: Model> Infer<M> {
             }
             self.consecutive_collapses += 1;
             if self.consecutive_collapses > self.collapse_retry_budget {
-                return Err(RuntimeError::Degenerate(format!(
-                    "particle cloud collapsed for {} consecutive steps, exhausting the retry \
-                     budget of {}",
-                    self.consecutive_collapses, self.collapse_retry_budget
-                )));
+                // This early return skips the per-tick export block below,
+                // so the exhaustion event is emitted here — dashboards can
+                // count exhaustions without parsing the error string.
+                #[cfg(feature = "obs")]
+                self.obs.event(
+                    generation,
+                    obs::events::COLLAPSE_EXHAUSTED,
+                    &[
+                        (
+                            "consecutive",
+                            FieldValue::Int(i64::from(self.consecutive_collapses)),
+                        ),
+                        (
+                            "budget",
+                            FieldValue::Int(i64::from(self.collapse_retry_budget)),
+                        ),
+                    ],
+                );
+                return Err(RuntimeError::CollapseBudgetExhausted {
+                    tick: generation,
+                    consecutive: self.consecutive_collapses,
+                    budget: self.collapse_retry_budget,
+                });
             }
             // Rejuvenate the cloud to uniform weights so the stream can
             // keep running; the posterior below falls back to the last
@@ -1365,24 +1565,29 @@ impl<M: Model> Infer<M> {
                     // bit-identical across strategies.
                     debug_assert!(ancestors.windows(2).all(|w| w[0] <= w[1]));
                     self.store
-                        .resample_clone_minimal(offspring, &mut self.resample_stats);
+                        .resample_clone_minimal(offspring, n, &mut self.resample_stats);
                 }
             }
         }
 
-        let health = Health {
+        let mut health = Health {
             ess: self.last_ess,
             weight_collapse: collapse,
             used_last_good,
             consecutive_collapses: self.consecutive_collapses,
             faults,
+            deadline: None,
         };
+
+        // The single latency measurement for this tick, shared by the
+        // telemetry histogram and the deadline controller.
+        let elapsed_ms = t0.map(|t| t.elapsed().as_secs_f64() * 1e3);
 
         // Per-tick telemetry export. The whole block is skipped (and,
         // without the `obs` feature, compiled out) when no sink is
         // attached.
         #[cfg(feature = "obs")]
-        if let Some(t0) = obs_t0 {
+        if self.obs.enabled() {
             use crate::obs::names;
             let tick = generation;
             self.obs.gauge(tick, names::STEP_PARTICLES, n as f64);
@@ -1485,16 +1690,170 @@ impl<M: Model> Infer<M> {
                 self.obs
                     .gauge(tick, names::GRAPH_CAPACITY, gs.capacity as f64);
             }
-            self.obs.histogram(
-                tick,
-                names::STEP_LATENCY_MS,
-                t0.elapsed().as_secs_f64() * 1e3,
-            );
+            self.obs
+                .histogram(tick, names::STEP_LATENCY_MS, elapsed_ms.unwrap_or(0.0));
         }
+
+        // Deadline control runs last: the decision consumes this tick's
+        // measured latency and applies to the cloud *after* this tick's
+        // posterior, so a recorded trace replays clock-free (tick t's
+        // posterior never depends on tick t's own latency).
+        self.deadline_control(generation, elapsed_ms, &mut health);
 
         self.last_health = Some(health.clone());
         self.steps += 1;
         Ok(StepOutcome { posterior, health })
+    }
+
+    /// One tick of deadline control: feed the measured latency to the
+    /// controller (measure mode) or advance the trace cursor (replay
+    /// mode), then apply any decision to the engine. Populates
+    /// `health.deadline` in measure mode.
+    fn deadline_control(&mut self, generation: u64, elapsed_ms: Option<f64>, health: &mut Health) {
+        let Some(state) = &mut self.deadline else {
+            return;
+        };
+        let base_policy = state.base_policy;
+        // Decision ticks are rare; this vector stays unallocated on the
+        // (common) decision-free tick.
+        let mut to_apply: Vec<DecisionRecord> = Vec::new();
+        match &mut state.mode {
+            DeadlineMode::Measure(ctrl) => {
+                if let Some(rec) = ctrl.observe(generation, elapsed_ms.unwrap_or(0.0)) {
+                    to_apply.push(rec);
+                }
+                let status = ctrl.status();
+                health.deadline = Some(status);
+                #[cfg(feature = "obs")]
+                if self.obs.enabled() {
+                    use crate::obs::names;
+                    if status.missed {
+                        self.obs.counter(generation, names::DEADLINE_MISSES, 1);
+                    }
+                    self.obs
+                        .gauge(generation, names::DEADLINE_BUDGET_MS, status.budget_ms);
+                    if let Some(p99) = status.window_p99_ms {
+                        self.obs
+                            .gauge(generation, names::DEADLINE_WINDOW_P99_MS, p99);
+                    }
+                }
+            }
+            DeadlineMode::Replay { trace, cursor } => {
+                // Entries are tick-ordered; apply every record for this
+                // generation and skip any the stream has already passed
+                // (a trace recorded on a longer run replays its prefix).
+                while let Some(rec) = trace.entries().get(*cursor) {
+                    if rec.tick > generation {
+                        break;
+                    }
+                    if rec.tick == generation {
+                        to_apply.push(rec.clone());
+                    }
+                    *cursor += 1;
+                }
+            }
+        }
+        for rec in &to_apply {
+            self.apply_decision(rec, base_policy);
+            #[cfg(feature = "obs")]
+            if self.obs.enabled() {
+                self.obs.event(
+                    generation,
+                    obs::events::DEADLINE_DECISION,
+                    &[
+                        ("action", FieldValue::Text(rec.action.label())),
+                        ("from", FieldValue::Int(rec.from as i64)),
+                        ("to", FieldValue::Int(rec.to as i64)),
+                        ("observed_p99_ms", FieldValue::Float(rec.observed_p99_ms)),
+                        ("budget_ms", FieldValue::Float(rec.budget_ms)),
+                    ],
+                );
+            }
+        }
+        if !to_apply.is_empty() {
+            // Refresh the status so `health.deadline` reflects the cloud
+            // the *next* tick will actually run.
+            if let Some(DeadlineState {
+                mode: DeadlineMode::Measure(ctrl),
+                ..
+            }) = &self.deadline
+            {
+                health.deadline = Some(ctrl.status());
+            }
+        }
+    }
+
+    /// Applies one controller decision to the engine.
+    fn apply_decision(&mut self, rec: &DecisionRecord, base_policy: ResamplePolicy) {
+        match rec.action {
+            DeadlineAction::Shrink | DeadlineAction::Grow => {
+                self.resize_cloud(rec.to, rec.tick);
+            }
+            DeadlineAction::RelaxResample => {
+                if self.method.resamples() {
+                    self.resample = ResamplePolicy::EssBelow(0.5);
+                }
+            }
+            DeadlineAction::RestoreResample => {
+                if self.method.resamples() {
+                    self.resample = base_policy;
+                }
+            }
+            // Pure health signals; the engine state is untouched.
+            DeadlineAction::FloorDegraded | DeadlineAction::FloorRecovered => {}
+        }
+    }
+
+    /// Resizes the particle cloud to `target` slots via one forced
+    /// systematic resampling pass drawn from the dedicated resize stream
+    /// ([`rngstream::resize_rng`]). Selection respects the current
+    /// accumulated weights (uniform if the cloud just resampled or has
+    /// collapsed), and survivors restart unweighted exactly like an
+    /// ordinary resample — so the pass composes with both
+    /// [`ResampleStrategy`] variants, both [`ParticleLayout`]s, and every
+    /// [`RecoveryPolicy`]. Under `Method::Importance` a resize is the one
+    /// event that discards accumulated weights (it *is* a resample).
+    fn resize_cloud(&mut self, target: usize, generation: u64) {
+        let n = self.num_particles;
+        if target == n || target == 0 {
+            return;
+        }
+        self.scratch.log_ws.clear();
+        self.store.extend_log_ws(&mut self.scratch.log_ws);
+        if stats::try_normalize_log_weights_into(&self.scratch.log_ws, &mut self.scratch.weights)
+            .is_err()
+        {
+            // Collapsed cloud: select uniformly, matching the collapse
+            // path's rejuvenation to uniform weights.
+            self.scratch.weights.clear();
+            self.scratch.weights.resize(n, 1.0 / n as f64);
+        }
+        let mut rng = rngstream::resize_rng(self.seed, generation);
+        let StepScratch {
+            weights,
+            ancestors,
+            offspring,
+            ..
+        } = &mut self.scratch;
+        stats::systematic_resample_into(&mut rng, weights, target, ancestors);
+        self.resample_stats.passes += 1;
+        match self.strategy {
+            ResampleStrategy::CloneAll => {
+                self.store
+                    .resample_clone_all(ancestors, &mut self.resample_stats);
+            }
+            ResampleStrategy::CloneMinimal => {
+                offspring.clear();
+                offspring.resize(n, 0);
+                for &a in ancestors.iter() {
+                    offspring[a] += 1;
+                }
+                debug_assert!(ancestors.windows(2).all(|w| w[0] <= w[1]));
+                self.store
+                    .resample_clone_minimal(offspring, target, &mut self.resample_stats);
+            }
+        }
+        self.num_particles = target;
     }
 
     /// Runs the engine over a whole input sequence, collecting the
@@ -2181,5 +2540,138 @@ mod tests {
     fn zero_threads_rejected() {
         let _ = Infer::with_seed(Method::ParticleFilter, 4, Kalman::default(), 0)
             .with_parallelism(Parallelism::Threads(0));
+    }
+
+    /// A deadline config whose budget no real step can meet, so every tick
+    /// is a miss and the degradation ladder unrolls deterministically.
+    fn impossible_deadline(floor: usize) -> crate::adaptive::DeadlineConfig {
+        let mut cfg = crate::adaptive::DeadlineConfig::new(-1.0);
+        cfg.floor = floor;
+        cfg.window = 4;
+        cfg.cooldown = 2;
+        cfg
+    }
+
+    #[test]
+    fn deadline_ladder_shrinks_to_floor_never_below() {
+        let obs: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut e = Infer::with_seed(Method::StreamingDs, 50, Kalman::default(), 11)
+            .with_deadline(impossible_deadline(8));
+        assert_eq!(e.initial_particles(), 50);
+        for y in &obs {
+            let p = e.step(y).unwrap();
+            assert!(p.mean_float().is_finite());
+            assert!(e.num_particles() >= 8, "cloud fell below the floor");
+        }
+        assert_eq!(
+            e.num_particles(),
+            8,
+            "ladder should bottom out at the floor"
+        );
+        let health = e.last_health().expect("health after stepping");
+        let status = health.deadline.expect("deadline status populated");
+        assert!(status.at_floor);
+        assert!(
+            status.degraded,
+            "floor pressure must surface as degradation"
+        );
+        assert!(health.is_nominal(), "deadline pressure is not a fault");
+        assert!(e.deadline_misses() > 0);
+        let trace = e.decision_trace().expect("trace recorded");
+        assert!(
+            trace
+                .entries()
+                .iter()
+                .any(|r| r.action == crate::adaptive::DeadlineAction::FloorDegraded),
+            "trace should record the floor-degraded transition"
+        );
+    }
+
+    #[test]
+    fn deadline_grow_recovers_after_budget_relief() {
+        let obs: Vec<f64> = (0..140).map(|i| (i as f64 * 0.2).cos()).collect();
+        let mut e = Infer::with_seed(Method::StreamingDs, 50, Kalman::default(), 11)
+            .with_deadline(impossible_deadline(8));
+        for y in &obs[..60] {
+            e.step(y).unwrap();
+        }
+        assert_eq!(e.num_particles(), 8);
+        // Relieve the budget: every window now shows massive headroom and
+        // the controller climbs back, never above the initial size.
+        assert!(e.set_deadline_budget(1e12));
+        for y in &obs[60..] {
+            e.step(y).unwrap();
+            assert!(e.num_particles() <= 50, "cloud grew past the initial size");
+        }
+        assert_eq!(e.num_particles(), 50, "recovery should restore the cloud");
+        let status = e.deadline_status().expect("deadline status");
+        assert!(!status.degraded);
+        assert!(!status.at_floor);
+    }
+
+    #[test]
+    fn deadline_replay_reproduces_adaptive_run_bitwise() {
+        let obs: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut live = Infer::with_seed(Method::StreamingDs, 40, Kalman::default(), 21)
+            .with_deadline(impossible_deadline(5));
+        let live_bits: Vec<(u64, u64)> = obs
+            .iter()
+            .map(|y| {
+                let p = live.step(y).unwrap();
+                (p.mean_float().to_bits(), p.variance_float().to_bits())
+            })
+            .collect();
+        let trace = live.decision_trace().expect("live trace").clone();
+        assert!(!trace.entries().is_empty(), "the run should have degraded");
+        // Replay is clock-free: a fresh engine fed the same trace replays
+        // the same posteriors bit-for-bit, in either particle layout.
+        for layout in [ParticleLayout::PerParticle, ParticleLayout::StructOfArrays] {
+            let mut replay = Infer::with_seed(Method::StreamingDs, 40, Kalman::default(), 21)
+                .with_particle_layout(layout)
+                .with_decision_replay(trace.clone());
+            for (y, (mean_bits, var_bits)) in obs.iter().zip(&live_bits) {
+                let p = replay.step(y).unwrap();
+                assert_eq!(p.mean_float().to_bits(), *mean_bits, "{layout:?} mean");
+                assert_eq!(p.variance_float().to_bits(), *var_bits, "{layout:?} var");
+            }
+            assert_eq!(replay.num_particles(), live.num_particles(), "{layout:?}");
+            let h = replay.last_health().expect("replay health");
+            assert!(h.deadline.is_none(), "replay engines report no deadline");
+        }
+    }
+
+    #[test]
+    fn deadline_reset_restores_initial_cloud_and_clears_trace() {
+        let obs: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let mut e = Infer::with_seed(Method::ParticleFilter, 30, Kalman::default(), 4)
+            .with_deadline(impossible_deadline(6));
+        for y in &obs {
+            e.step(y).unwrap();
+        }
+        assert!(e.num_particles() < 30);
+        assert!(!e.decision_trace().expect("trace").entries().is_empty());
+        e.reset();
+        assert_eq!(e.num_particles(), 30);
+        assert!(e.decision_trace().expect("trace").entries().is_empty());
+        assert_eq!(e.deadline_misses(), 0);
+        // A reset engine degrades again from scratch, identically.
+        for y in &obs {
+            e.step(y).unwrap();
+        }
+        assert!(e.num_particles() < 30);
+    }
+
+    #[test]
+    fn deadline_resize_composes_with_clone_all_strategy() {
+        let obs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.25).sin()).collect();
+        let mut e = Infer::with_seed(Method::ParticleFilter, 24, Kalman::default(), 9)
+            .with_resample_strategy(ResampleStrategy::CloneAll)
+            .with_deadline(impossible_deadline(4));
+        for y in &obs {
+            let p = e.step(y).unwrap();
+            assert!(p.mean_float().is_finite());
+            assert!(e.num_particles() >= 4);
+        }
+        assert_eq!(e.num_particles(), 4);
     }
 }

@@ -57,6 +57,7 @@
 //! assert!((post.mean_float() - 5.0 * 100.0 / 101.0).abs() < 1e-9);
 //! ```
 
+pub mod adaptive;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 pub mod ds;
@@ -76,6 +77,10 @@ pub mod supervisor;
 pub mod symbolic;
 pub mod value;
 
+pub use adaptive::{
+    AdaptiveController, DeadlineAction, DeadlineConfig, DeadlineStatus, DecisionRecord,
+    DecisionTrace,
+};
 pub use error::RuntimeError;
 pub use infer::{Infer, MemoryStats, Method, Parallelism, ResamplePolicy};
 pub use marginal::{Family, Marginal};

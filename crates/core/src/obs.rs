@@ -612,6 +612,13 @@ pub mod names {
     pub const POOL_JOB_MS: &str = "pool.job_ms";
     /// Dead workers detected and respawned. Counter.
     pub const POOL_RESPAWNS: &str = "pool.respawns";
+    /// Ticks whose measured step latency exceeded the deadline budget.
+    /// Counter.
+    pub const DEADLINE_MISSES: &str = "deadline.misses";
+    /// The controller's current per-tick latency budget (ms). Gauge.
+    pub const DEADLINE_BUDGET_MS: &str = "deadline.budget_ms";
+    /// p99 step latency over the controller's sliding window (ms). Gauge.
+    pub const DEADLINE_WINDOW_P99_MS: &str = "deadline.window_p99_ms";
 }
 
 /// Event names.
@@ -631,6 +638,13 @@ pub mod events {
     /// (e.g. classic DS on a provably bounded model). Fields: `node`,
     /// `method`, `message`.
     pub const CHECK_ADVISORY: &str = "check.advisory";
+    /// The deadline controller took one degradation-ladder decision.
+    /// Fields: `action`, `from`, `to`, `observed_p99_ms`, `budget_ms`.
+    pub const DEADLINE_DECISION: &str = "deadline.decision";
+    /// The collapse retry budget was exhausted; the step is about to fail
+    /// with `RuntimeError::CollapseBudgetExhausted`. Fields: `consecutive`,
+    /// `budget`.
+    pub const COLLAPSE_EXHAUSTED: &str = "collapse.exhausted";
 }
 
 /// Description of one registered metric.
@@ -809,6 +823,24 @@ pub const METRICS: &[MetricDesc] = &[
         unit: "count",
         help: "dead workers detected and respawned",
     },
+    MetricDesc {
+        name: names::DEADLINE_MISSES,
+        kind: MetricKind::Counter,
+        unit: "count",
+        help: "ticks whose step latency exceeded the deadline budget",
+    },
+    MetricDesc {
+        name: names::DEADLINE_BUDGET_MS,
+        kind: MetricKind::Gauge,
+        unit: "ms",
+        help: "the deadline controller's current per-tick budget",
+    },
+    MetricDesc {
+        name: names::DEADLINE_WINDOW_P99_MS,
+        kind: MetricKind::Gauge,
+        unit: "ms",
+        help: "p99 step latency over the controller's sliding window",
+    },
 ];
 
 /// The closed registry of event names the runtime emits.
@@ -837,6 +869,16 @@ pub const EVENTS: &[EventDesc] = &[
         name: events::CHECK_ADVISORY,
         fields: &["node", "method", "message"],
         help: "static-analysis advisory about the selected inference method",
+    },
+    EventDesc {
+        name: events::DEADLINE_DECISION,
+        fields: &["action", "from", "to", "observed_p99_ms", "budget_ms"],
+        help: "the deadline controller took one degradation-ladder decision",
+    },
+    EventDesc {
+        name: events::COLLAPSE_EXHAUSTED,
+        fields: &["consecutive", "budget"],
+        help: "the collapse retry budget was exhausted; the step fails typed",
     },
 ];
 

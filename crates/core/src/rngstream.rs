@@ -36,6 +36,12 @@ pub const RECOVERY_DOMAIN: u64 = 0x5245_434f_5645_5259; // "RECOVERY"
 /// the fault.
 pub const RETRY_DOMAIN: u64 = 0x5245_5452_5953_5450; // "RETRYSTP"
 
+/// Domain tag for deadline-driven particle-cloud resizes. Distinct from
+/// [`RESAMPLE_DOMAIN`] so a grow/shrink pass at step `g` cannot collide
+/// with the ordinary resampling stream of the same step, which may also
+/// run at `g`.
+pub const RESIZE_DOMAIN: u64 = 0x5245_5349_5a45_434c; // "RESIZECL"
+
 /// Absorbs one word into the running state (one SplitMix64 round over the
 /// state xored with a golden-ratio-multiplied word, so neighbouring
 /// counters land in unrelated states).
@@ -75,6 +81,13 @@ pub fn retry_rng(seed: u64, particle: u64, generation: u64) -> SmallRng {
     SmallRng::seed_from_u64(stream_seed(seed, RETRY_DOMAIN, particle, generation))
 }
 
+/// The generator for a deadline-driven cloud resize applied after step
+/// `generation`. Counter-derived like every other stream, so replaying a
+/// recorded decision trace reproduces the resize bit-for-bit.
+pub fn resize_rng(seed: u64, generation: u64) -> SmallRng {
+    SmallRng::seed_from_u64(stream_seed(seed, RESIZE_DOMAIN, generation, 0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +124,7 @@ mod tests {
             RESAMPLE_DOMAIN,
             RECOVERY_DOMAIN,
             RETRY_DOMAIN,
+            RESIZE_DOMAIN,
         ];
         for (i, a) in domains.iter().enumerate() {
             for b in &domains[i + 1..] {

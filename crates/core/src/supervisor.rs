@@ -22,6 +22,7 @@
 //! so a faulting run recovers bit-for-bit identically under sequential and
 //! multi-threaded execution.
 
+use crate::adaptive::DeadlineStatus;
 use crate::error::RuntimeError;
 use crate::posterior::Posterior;
 
@@ -167,10 +168,18 @@ pub struct Health {
     pub consecutive_collapses: u32,
     /// Per-particle faults observed this step, in particle order.
     pub faults: Vec<ParticleFault>,
+    /// Deadline-controller status for this step, when a deadline budget is
+    /// attached and measuring ([`crate::infer::Infer::with_deadline`]).
+    /// `None` on engines without a deadline and on trace-replay engines
+    /// (replay applies recorded decisions without consulting a clock).
+    pub deadline: Option<DeadlineStatus>,
 }
 
 impl Health {
     /// No faults, no collapse: the step behaved like an unsupervised one.
+    /// Deadline pressure deliberately does not affect nominality — a
+    /// shrunken-but-converged cloud is still producing usable posteriors;
+    /// check [`DeadlineStatus::degraded`] for the ladder-exhausted signal.
     pub fn is_nominal(&self) -> bool {
         !self.weight_collapse && self.faults.is_empty()
     }
@@ -179,8 +188,15 @@ impl Health {
 impl std::fmt::Display for Health {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "ess {:.2}", self.ess)?;
-        if self.is_nominal() {
+        let deadline_noteworthy = self
+            .deadline
+            .as_ref()
+            .is_some_and(|d| d.degraded || d.missed);
+        if self.is_nominal() && !deadline_noteworthy {
             return write!(f, "; nominal");
+        }
+        if self.is_nominal() {
+            write!(f, "; nominal")?;
         }
         if self.weight_collapse {
             write!(
@@ -196,6 +212,13 @@ impl std::fmt::Display for Health {
             write!(f, "; {} fault(s):", self.faults.len())?;
             for fault in &self.faults {
                 write!(f, " [{fault}]")?;
+            }
+        }
+        if let Some(d) = &self.deadline {
+            if d.degraded {
+                write!(f, "; deadline degraded (cloud held at floor {})", d.floor)?;
+            } else if d.missed {
+                write!(f, "; deadline missed (budget {:.2}ms)", d.budget_ms)?;
             }
         }
         Ok(())
@@ -249,6 +272,7 @@ mod tests {
             used_last_good: false,
             consecutive_collapses: 0,
             faults: Vec::new(),
+            deadline: None,
         };
         assert!(h.is_nominal());
         let mut sick = h.clone();
@@ -286,6 +310,7 @@ mod tests {
             used_last_good: false,
             consecutive_collapses: 0,
             faults: Vec::new(),
+            deadline: None,
         };
         assert_eq!(nominal.to_string(), "ess 10.00; nominal");
         let sick = Health {
@@ -298,6 +323,7 @@ mod tests {
                 kind: FaultKind::NonFiniteWeight(f64::NAN),
                 recovery: RecoveryAction::Quarantined,
             }],
+            deadline: None,
         };
         let rendered = sick.to_string();
         assert!(
@@ -309,6 +335,39 @@ mod tests {
             rendered.contains("particle 0: non-finite log-weight NaN -> quarantined"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn health_renders_deadline_pressure_without_losing_nominality() {
+        let mut h = Health {
+            ess: 10.0,
+            weight_collapse: false,
+            used_last_good: false,
+            consecutive_collapses: 0,
+            faults: Vec::new(),
+            deadline: Some(DeadlineStatus {
+                budget_ms: 2.0,
+                particles: 8,
+                floor: 8,
+                missed: true,
+                window_p99_ms: Some(3.5),
+                at_floor: true,
+                degraded: true,
+            }),
+        };
+        // Deadline pressure is visible in the rendering...
+        let rendered = h.to_string();
+        assert!(rendered.contains("deadline degraded"), "{rendered}");
+        assert!(rendered.contains("floor 8"), "{rendered}");
+        // ...but does not make the step non-nominal: the cloud still
+        // produced a usable posterior.
+        assert!(h.is_nominal());
+        h.deadline = Some(DeadlineStatus {
+            degraded: false,
+            ..h.deadline.expect("set above")
+        });
+        let rendered = h.to_string();
+        assert!(rendered.contains("deadline missed"), "{rendered}");
     }
 
     #[test]

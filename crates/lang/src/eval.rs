@@ -16,9 +16,11 @@
 use crate::ast::{Const, OpName};
 use crate::error::{LangError, Stage};
 use crate::muf::{Closure, EngineRef, Env, MufDef, MufExpr, MufPat, MufProgram, MufValue};
+use probzelus_core::adaptive::{DeadlineConfig, DeadlineStatus, DecisionTrace};
 use probzelus_core::infer::{Infer, MemoryStats, Method, ParticleLayout, ResampleStats};
 use probzelus_core::model::Model;
 use probzelus_core::prob::ProbCtx;
+use probzelus_core::supervisor::Health;
 use probzelus_core::value::{DistExpr, Value};
 use probzelus_core::{ops as vops, Posterior, RuntimeError};
 use rand::rngs::SmallRng;
@@ -734,6 +736,52 @@ impl MufEngine {
     /// Cumulative resampling statistics since the last reset.
     pub fn resample_stats(&self) -> ResampleStats {
         self.inner.resample_stats()
+    }
+
+    /// Attaches a per-tick deadline budget and adaptive controller (see
+    /// [`Infer::with_deadline`]). Attach after other builder knobs so the
+    /// controller captures the intended resampling policy as its baseline.
+    #[must_use]
+    pub fn with_deadline(mut self, cfg: DeadlineConfig) -> Self {
+        self.inner = self.inner.with_deadline(cfg);
+        self
+    }
+
+    /// Replays a previously recorded decision trace instead of measuring
+    /// the clock (see [`Infer::with_decision_replay`]).
+    #[must_use]
+    pub fn with_decision_replay(mut self, trace: DecisionTrace) -> Self {
+        self.inner = self.inner.with_decision_replay(trace);
+        self
+    }
+
+    /// Updates the deadline budget mid-stream. Returns `false` when no
+    /// controller is attached or the engine is replaying a trace.
+    pub fn set_deadline_budget(&mut self, budget_ms: f64) -> bool {
+        self.inner.set_deadline_budget(budget_ms)
+    }
+
+    /// The adaptive controller's decision trace so far (measuring or
+    /// replaying), or `None` when no deadline is attached. This is the
+    /// pzserve-facing query surface: serialize with
+    /// [`DecisionTrace::to_jsonl`].
+    pub fn decision_trace(&self) -> Option<&DecisionTrace> {
+        self.inner.decision_trace()
+    }
+
+    /// Deadline misses observed so far (0 without a measuring controller).
+    pub fn deadline_misses(&self) -> u64 {
+        self.inner.deadline_misses()
+    }
+
+    /// Current deadline status, when a measuring controller is attached.
+    pub fn deadline_status(&self) -> Option<DeadlineStatus> {
+        self.inner.deadline_status()
+    }
+
+    /// Health of the most recent step, including deadline pressure.
+    pub fn last_health(&self) -> Option<&Health> {
+        self.inner.last_health()
     }
 }
 

@@ -230,6 +230,97 @@ fn clone_minimal_does_strictly_fewer_clones_than_particle_count() {
     assert_eq!(s.clones_avoided, 0);
 }
 
+/// The deadline controller's decision trace makes an adaptive run
+/// replayable: a fresh engine fed the recorded trace — no clock, any
+/// particle layout, any worker count — reproduces the live run's
+/// posterior stream bit-for-bit. The live run uses a negative budget so
+/// every tick misses and the full degradation ladder (shrink rungs,
+/// resample relaxation, floor degradation) unrolls deterministically,
+/// followed by a budget relief that drives the grow rungs too.
+#[test]
+fn decision_trace_replay_is_bitwise_identical_across_layouts_and_workers() {
+    use probzelus::core::adaptive::DeadlineConfig;
+    use probzelus::core::infer::ParticleLayout;
+
+    let data = generate_kalman(17, 2 * STEPS);
+    let mut cfg = DeadlineConfig::new(-1.0);
+    cfg.floor = 6;
+    cfg.window = 4;
+    cfg.cooldown = 2;
+    let mut live = Infer::with_seed(Method::StreamingDs, PARTICLES, Kalman::default(), SEED)
+        .with_deadline(cfg);
+    let mut live_bits = Vec::new();
+    for (t, y) in data.obs.iter().enumerate() {
+        if t == STEPS {
+            // Relief: massive headroom from here on, so the trace also
+            // records restore and grow decisions.
+            assert!(live.set_deadline_budget(1e12));
+        }
+        let p = live.step(y).unwrap();
+        live_bits.push((p.mean_float().to_bits(), p.variance_float().to_bits()));
+    }
+    let trace = live.decision_trace().expect("live trace").clone();
+    let shrinks = trace.entries().iter().filter(|r| r.to < r.from).count();
+    let grows = trace.entries().iter().filter(|r| r.to > r.from).count();
+    assert!(shrinks > 0 && grows > 0, "ladder did not unroll both ways");
+    for layout in [ParticleLayout::PerParticle, ParticleLayout::StructOfArrays] {
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threads(2),
+            Parallelism::Threads(5),
+        ] {
+            let mut replay =
+                Infer::with_seed(Method::StreamingDs, PARTICLES, Kalman::default(), SEED)
+                    .with_particle_layout(layout)
+                    .with_parallelism(par)
+                    .with_decision_replay(trace.clone());
+            for (y, (mean_bits, var_bits)) in data.obs.iter().zip(&live_bits) {
+                let p = replay.step(y).unwrap();
+                assert_eq!(
+                    p.mean_float().to_bits(),
+                    *mean_bits,
+                    "{layout:?}/{par:?}: mean diverged"
+                );
+                assert_eq!(
+                    p.variance_float().to_bits(),
+                    *var_bits,
+                    "{layout:?}/{par:?}: variance diverged"
+                );
+            }
+            assert_eq!(
+                replay.num_particles(),
+                live.num_particles(),
+                "{layout:?}/{par:?}"
+            );
+        }
+    }
+}
+
+/// Cloud resizing composes with the resampling strategies: a deadline
+/// run under `CloneAll` matches the same run under `CloneMinimal`, so
+/// the resize path inherits the strategy-equivalence contract.
+#[test]
+fn deadline_resizes_agree_across_resample_strategies() {
+    use probzelus::core::adaptive::DeadlineConfig;
+
+    let data = generate_kalman(23, STEPS);
+    let mut cfg = DeadlineConfig::new(-1.0);
+    cfg.floor = 7;
+    cfg.window = 4;
+    cfg.cooldown = 2;
+    let run = |strategy| {
+        let mut e = Infer::with_seed(Method::ParticleFilter, PARTICLES, Kalman::default(), SEED)
+            .with_resample_strategy(strategy)
+            .with_deadline(cfg);
+        mean_bits(&mut e, &data.obs)
+    };
+    assert_eq!(
+        run(ResampleStrategy::CloneMinimal),
+        run(ResampleStrategy::CloneAll),
+        "deadline resizes diverged across strategies"
+    );
+}
+
 #[test]
 fn variance_and_ess_are_deterministic_too() {
     let data = generate_kalman(9, STEPS);

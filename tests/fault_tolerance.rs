@@ -375,8 +375,21 @@ fn collapse_retry_budget_exhaustion_is_a_typed_error() {
         }
     }
     let err = err.expect("budget exhaustion never surfaced");
-    assert!(matches!(err, RuntimeError::Degenerate(_)), "got {err}");
-    assert!(err.to_string().contains("retry"), "got {err}");
+    // The structured variant carries the facts a dashboard needs without
+    // string parsing; the budget allows 2 consecutive collapses, so the
+    // third one (tick 4 of the 2..8 glitch window) exhausts it.
+    assert!(
+        matches!(
+            err,
+            RuntimeError::CollapseBudgetExhausted {
+                tick: 4,
+                consecutive: 3,
+                budget: 2,
+            }
+        ),
+        "got {err:?}"
+    );
+    assert!(err.to_string().contains("retry budget"), "got {err}");
 }
 
 #[test]

@@ -244,6 +244,116 @@ fn sds_exports_slot_reuse_and_flat_capacity_gauges() {
     assert_eq!(capacity[100].1, capacity[TICKS - 1].1);
 }
 
+/// The deadline controller's telemetry: every recorded decision is
+/// mirrored as a `deadline.decision` event with the documented field
+/// order, misses accumulate in the `deadline.misses` counter, and the
+/// budget gauge is emitted every measured tick.
+#[test]
+fn deadline_controller_exports_decision_events_and_miss_counters() {
+    use probzelus::core::adaptive::DeadlineConfig;
+
+    const TICKS: usize = 40;
+    let sink = Arc::new(MemorySink::new());
+    let mut cfg = DeadlineConfig::new(-1.0); // every tick misses
+    cfg.floor = 4;
+    cfg.window = 4;
+    cfg.cooldown = 2;
+    let mut engine = Infer::with_seed(Method::StreamingDs, 24, Kalman::default(), 13)
+        .with_obs(Obs::to(sink.clone()))
+        .with_deadline(cfg);
+    for t in 0..TICKS {
+        engine.step(&(t as f64 * 0.1).sin()).unwrap();
+    }
+
+    let trace_len = engine.decision_trace().expect("trace").len();
+    assert!(
+        trace_len > 0,
+        "impossible budget never triggered a decision"
+    );
+    assert_eq!(sink.event_count(events::DEADLINE_DECISION), trace_len);
+    assert_eq!(
+        sink.counter_total(names::DEADLINE_MISSES) as u64,
+        engine.deadline_misses()
+    );
+    assert_eq!(engine.deadline_misses(), TICKS as u64);
+    let budget = sink.gauge_series(names::DEADLINE_BUDGET_MS);
+    assert_eq!(budget.len(), TICKS, "one budget gauge per measured tick");
+    assert!(budget.iter().all(|&(_, v)| v == -1.0));
+    for r in sink.records() {
+        if let Record::Event { name, fields, .. } = &r {
+            if name == events::DEADLINE_DECISION {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(
+                    keys,
+                    ["action", "from", "to", "observed_p99_ms", "budget_ms"]
+                );
+            }
+        }
+    }
+}
+
+/// Exhausting the collapse retry budget surfaces both ways at once: the
+/// structured `CollapseBudgetExhausted` error and a matching
+/// `collapse.exhausted` event carrying the same facts.
+#[test]
+fn collapse_budget_exhaustion_exports_a_typed_event() {
+    use probzelus::core::DistExpr;
+
+    /// Zeroes every particle's weight each step.
+    #[derive(Debug, Clone, Default)]
+    struct AlwaysCollapses;
+    impl Model for AlwaysCollapses {
+        type Input = f64;
+        fn step(&mut self, ctx: &mut dyn ProbCtx, _y: &f64) -> Result<Value, RuntimeError> {
+            let x = ctx.sample(&DistExpr::gaussian(0.0, 1.0))?;
+            ctx.factor(f64::NEG_INFINITY);
+            Ok(x)
+        }
+        fn reset(&mut self) {}
+        fn for_each_state_value(&mut self, _f: &mut dyn FnMut(&mut Value)) {}
+    }
+
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = Infer::with_seed(Method::ParticleFilter, 8, AlwaysCollapses, 3)
+        .with_recovery_policy(RecoveryPolicy::Rejuvenate)
+        .with_collapse_retry_budget(1)
+        .with_obs(Obs::to(sink.clone()));
+    let mut err = None;
+    for t in 0..5 {
+        if let Err(e) = engine.step(&(t as f64)) {
+            err = Some(e);
+            break;
+        }
+    }
+    let err = err.expect("budget exhaustion never surfaced");
+    assert!(
+        matches!(
+            err,
+            RuntimeError::CollapseBudgetExhausted {
+                tick: 1,
+                consecutive: 2,
+                budget: 1,
+            }
+        ),
+        "got {err:?}"
+    );
+    assert_eq!(sink.event_count(events::COLLAPSE_EXHAUSTED), 1);
+    let fields = sink
+        .records()
+        .iter()
+        .find_map(|r| match r {
+            Record::Event { name, fields, .. } if name == events::COLLAPSE_EXHAUSTED => {
+                Some(fields.clone())
+            }
+            _ => None,
+        })
+        .expect("event recorded");
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["consecutive", "budget"]);
+    assert_eq!(fields[0].1, "2");
+    assert_eq!(fields[1].1, "1");
+}
+
 #[test]
 fn detached_engine_exports_nothing() {
     // `Obs::off` is the default: a run without a sink must not record.

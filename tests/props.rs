@@ -673,3 +673,78 @@ mod batch_kernels {
         }
     }
 }
+
+mod deadline_controller {
+    use super::*;
+    use probzelus::core::adaptive::{
+        AdaptiveController, DeadlineAction, DeadlineConfig, DecisionTrace,
+    };
+
+    proptest! {
+        /// Under any latency sequence — spikes, silence, alternation —
+        /// the controller keeps the cloud inside `[floor, initial]`,
+        /// walks one rung at a time, and records a well-formed,
+        /// tick-ordered decision trace.
+        #[test]
+        fn cloud_stays_between_floor_and_initial(
+            initial in 1usize..200,
+            floor in 1usize..200,
+            budget_ms in 0.01f64..10.0,
+            latencies in proptest::collection::vec(0.0f64..50.0, 0..300),
+        ) {
+            let mut cfg = DeadlineConfig::new(budget_ms);
+            cfg.floor = floor;
+            cfg.window = 3;
+            cfg.cooldown = 1;
+            let mut ctrl = AdaptiveController::new(cfg, initial);
+            let effective_floor = floor.clamp(1, initial);
+            prop_assert_eq!(ctrl.floor(), effective_floor);
+            for (tick, &ms) in latencies.iter().enumerate() {
+                let decision = ctrl.observe(tick as u64, ms);
+                let status = ctrl.status();
+                prop_assert!(status.particles >= effective_floor,
+                    "tick {}: {} below floor {}", tick, status.particles, effective_floor);
+                prop_assert!(status.particles <= initial,
+                    "tick {}: {} above initial {}", tick, status.particles, initial);
+                if let Some(rec) = decision {
+                    prop_assert_eq!(rec.tick, tick as u64);
+                    prop_assert_eq!(rec.to, status.particles);
+                    match rec.action {
+                        DeadlineAction::Shrink => prop_assert!(rec.to < rec.from),
+                        DeadlineAction::Grow => prop_assert!(rec.to > rec.from),
+                        _ => prop_assert_eq!(rec.to, rec.from),
+                    }
+                }
+            }
+            let trace = ctrl.trace();
+            for pair in trace.entries().windows(2) {
+                prop_assert!(pair[0].tick < pair[1].tick, "trace out of order");
+            }
+            for rec in trace.entries() {
+                prop_assert!(rec.to >= effective_floor && rec.to <= initial);
+            }
+        }
+
+        /// Any recorded trace survives its JSONL wire format bit-for-bit
+        /// (the property behind replayability: the file on disk IS the
+        /// run).
+        #[test]
+        fn trace_jsonl_roundtrip_is_lossless(
+            initial in 2usize..100,
+            budget_ms in 0.01f64..5.0,
+            latencies in proptest::collection::vec(0.0f64..20.0, 0..200),
+        ) {
+            let mut cfg = DeadlineConfig::new(budget_ms);
+            cfg.floor = 1;
+            cfg.window = 2;
+            cfg.cooldown = 0;
+            let mut ctrl = AdaptiveController::new(cfg, initial);
+            for (tick, &ms) in latencies.iter().enumerate() {
+                ctrl.observe(tick as u64, ms);
+            }
+            let trace = ctrl.trace().clone();
+            let parsed = DecisionTrace::from_jsonl(&trace.to_jsonl());
+            prop_assert_eq!(parsed.as_ref(), Ok(&trace));
+        }
+    }
+}
