@@ -21,6 +21,7 @@ use probzelus::robot::{GpsAccTracker, TrackerInput};
 use probzelus_bench::DATA_SEED;
 use probzelus_core::infer::{Infer, Method, ParticleLayout, ResampleStrategy};
 use probzelus_core::model::Model;
+use probzelus_core::LogHistogram;
 use std::time::Instant;
 
 /// Engine seed, distinct from the data seed so neither masks the other.
@@ -153,20 +154,22 @@ fn drive<M: Model>(
     let mut engine = Infer::with_seed(method, particles, template, ENGINE_SEED)
         .with_resample_strategy(strategy)
         .with_particle_layout(layout);
-    let mut latencies_ms = Vec::with_capacity(inputs.len());
+    // The shared log-bucketed histogram (`LogHistogram`) is the one
+    // quantile implementation workspace-wide; reported quantiles are
+    // bucket lower bounds.
+    let mut latencies = LogHistogram::new();
     let mut peak_live_bytes = 0usize;
     let mut mean = f64::NAN;
     let t_all = Instant::now();
     for y in inputs {
         let t0 = Instant::now();
         let posterior = engine.step(y).expect("benchmark models do not fail");
-        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        latencies.record(t0.elapsed().as_secs_f64() * 1e3);
         peak_live_bytes = peak_live_bytes.max(engine.memory().live_bytes);
         mean = posterior.mean_float();
     }
     let wall = t_all.elapsed().as_secs_f64();
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let q = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p).round() as usize];
+    let q = |p: f64| latencies.quantile(p).unwrap_or(0.0);
     Entry {
         label: label.to_owned(),
         bench,
@@ -636,7 +639,7 @@ mod deadline {
         });
         #[cfg(not(feature = "obs"))]
         let _ = obs_out;
-        let mut latencies_ms = Vec::with_capacity(inputs.len());
+        let mut latencies = super::LogHistogram::new();
         let mut posterior_bits = Vec::with_capacity(inputs.len());
         let mut misses = 0u64;
         let mut peak_live_bytes = 0usize;
@@ -649,7 +652,7 @@ mod deadline {
             if elapsed_ms > budget_ms {
                 misses += 1;
             }
-            latencies_ms.push(elapsed_ms);
+            latencies.record(elapsed_ms);
             posterior_bits.push((
                 posterior.mean_float().to_bits(),
                 posterior.variance_float().to_bits(),
@@ -672,8 +675,7 @@ mod deadline {
         if let Some(obs) = obs {
             obs.flush().expect("obs export flushes");
         }
-        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let q = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p).round() as usize];
+        let q = |p: f64| latencies.quantile(p).unwrap_or(0.0);
         RunOutput {
             entry: Entry {
                 label,

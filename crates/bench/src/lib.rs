@@ -566,9 +566,19 @@ pub fn experiment_obs_overhead(
                     let _ = runner.run(method, particles, 0);
                 }
                 // Sink configurations are interleaved at the run level so
-                // slow drift (CPU frequency, cache state) hits every
-                // configuration equally instead of biasing whole blocks.
-                let mut all: Vec<Vec<f64>> = vec![Vec::new(); sinks.len()];
+                // slow drift (CPU frequency, cache state, VM steal) hits
+                // every configuration equally instead of biasing whole
+                // blocks. Per-run sample sets are kept separate: the
+                // overhead estimate pairs each configuration's run with
+                // the `off` run of the same interleave cycle (milliseconds
+                // apart) and takes the median of the per-cycle ratios, so
+                // drift *between* cycles cancels instead of polluting a
+                // pooled median. Within a cycle the ratio basis is the
+                // *minimum* step latency: hypervisor steal only ever
+                // inflates a sample, so min-of-steps is immune to it,
+                // while a genuine fixed per-tick cost still lands on the
+                // fastest step in full.
+                let mut all: Vec<Vec<Vec<f64>>> = vec![Vec::new(); sinks.len()];
                 for r in 0..runs {
                     for (si, &sink) in sinks.iter().enumerate() {
                         let obs = match sink {
@@ -584,22 +594,24 @@ pub fn experiment_obs_overhead(
                             }
                             _ => unreachable!(),
                         };
-                        all[si].extend(runner.run_obs(method, particles, r as u64, obs));
+                        all[si].push(runner.run_obs(method, particles, r as u64, obs));
                     }
                 }
-                let rows: Vec<(&'static str, Summary)> = sinks
-                    .iter()
-                    .zip(&all)
-                    .map(|(&sink, lat)| (sink, Summary::of(lat)))
-                    .collect();
-                let base = rows[0].1.median;
-                for (sink, latency_ms) in rows {
+                let floor = |lat: &[f64]| lat.iter().copied().fold(f64::INFINITY, f64::min);
+                let base_by_run: Vec<f64> = all[0].iter().map(|lat| floor(lat)).collect();
+                for (si, &sink) in sinks.iter().enumerate() {
+                    let pooled: Vec<f64> = all[si].iter().flatten().copied().collect();
+                    let ratios: Vec<f64> = all[si]
+                        .iter()
+                        .zip(&base_by_run)
+                        .map(|(lat, &base)| floor(lat) / base)
+                        .collect();
                     out.push(ObsOverheadPoint {
                         model,
                         method,
                         sink,
-                        latency_ms,
-                        overhead_pct: (latency_ms.median / base - 1.0) * 100.0,
+                        latency_ms: Summary::of(&pooled),
+                        overhead_pct: (stats::median(&ratios) - 1.0) * 100.0,
                     });
                 }
             }

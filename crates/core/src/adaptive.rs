@@ -3,7 +3,9 @@
 //! A reactive model serves a live stream at a fixed tick rate; the paper's
 //! engines instead fix the particle count and let each tick take as long as
 //! it takes. [`AdaptiveController`] closes that gap: given a per-tick budget
-//! in milliseconds it watches a sliding window of recent step latencies and
+//! in milliseconds it accumulates recent step latencies into a tumbling
+//! [`LogHistogram`](crate::histo::LogHistogram) window (the workspace's one
+//! quantile implementation — bounded memory, no raw-sample buffering) and
 //! walks a *degradation ladder* to keep the observed p99 under budget:
 //!
 //! 1. **Shrink** the particle cloud geometrically toward a configured floor.
@@ -38,9 +40,11 @@ pub struct DeadlineConfig {
     /// controller is attached to an engine the floor is additionally
     /// clamped to the engine's initial particle count.
     pub floor: usize,
-    /// Sliding-window length (in ticks) over which the p99 is computed.
-    /// A decision requires a full window; after every decision the window
-    /// is cleared so the next decision sees only post-decision latencies.
+    /// Minimum window length (in ticks) over which the p99 is computed.
+    /// The window *tumbles*: samples accumulate in a histogram until at
+    /// least `window` of them are present, the p99 is evaluated once, and
+    /// the histogram is cleared — so every evaluation (decision or not)
+    /// sees only fresh latencies.
     pub window: usize,
     /// Multiplier applied to the cloud on each shrink rung (0 < f < 1).
     pub shrink_factor: f64,
@@ -268,7 +272,9 @@ pub struct AdaptiveController {
     cfg: DeadlineConfig,
     initial: usize,
     current: usize,
-    window: Vec<f64>,
+    // Boxed: the 64-bucket histogram is half a KiB, and the controller
+    // lives inside an `Infer` enum variant that should stay small.
+    window: Box<crate::histo::LogHistogram>,
     cooldown_left: u32,
     relaxed: bool,
     degraded: bool,
@@ -289,7 +295,7 @@ impl AdaptiveController {
             cfg,
             initial,
             current: initial,
-            window: Vec::with_capacity(cfg.window),
+            window: Box::new(crate::histo::LogHistogram::new()),
             cooldown_left: 0,
             relaxed: false,
             degraded: false,
@@ -365,23 +371,27 @@ impl AdaptiveController {
     /// if any; the caller must apply it (resize the cloud / switch the
     /// resample policy) and may export it as an `obs` event. The returned
     /// record has already been appended to the trace.
+    ///
+    /// Samples land in a tumbling histogram window: once at least
+    /// `cfg.window` samples are present (cooldown ticks keep
+    /// accumulating), the p99 is evaluated and the histogram cleared —
+    /// whether or not a rung fires — so each evaluation sees only fresh
+    /// latencies and a past overload can never pin the controller.
     pub fn observe(&mut self, tick: u64, latency_ms: f64) -> Option<DecisionRecord> {
         self.last_missed = latency_ms > self.cfg.budget_ms;
         if self.last_missed {
             self.misses += 1;
         }
-        if self.window.len() == self.cfg.window {
-            self.window.remove(0);
-        }
-        self.window.push(latency_ms);
+        self.window.record(latency_ms);
         if self.cooldown_left > 0 {
             self.cooldown_left -= 1;
             return None;
         }
-        if self.window.len() < self.cfg.window {
+        if self.window.count() < self.cfg.window as u64 {
             return None;
         }
-        let p99 = window_p99(&self.window);
+        let p99 = self.window.quantile(0.99).unwrap_or(0.0); // non-empty by the count check above
+        self.window.clear();
         self.last_p99 = Some(p99);
         let action = if p99 > self.cfg.budget_ms {
             self.degrade_rung()
@@ -392,7 +402,6 @@ impl AdaptiveController {
         };
         let (action, from, to) = action?;
         self.current = to;
-        self.window.clear();
         self.cooldown_left = self.cfg.cooldown;
         let rec = DecisionRecord {
             tick,
@@ -443,15 +452,6 @@ impl AdaptiveController {
         }
         None
     }
-}
-
-/// p99 by the nearest-rank (ceil) method over an unsorted window.
-fn window_p99(window: &[f64]) -> f64 {
-    debug_assert!(!window.is_empty());
-    let mut sorted: Vec<f64> = window.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
-    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 #[cfg(test)]

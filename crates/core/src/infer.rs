@@ -48,11 +48,15 @@ use crate::supervisor::{
     self, FaultKind, Health, ParticleFault, RecoveryAction, RecoveryPolicy, StepOutcome,
 };
 use crate::symbolic::RvId;
+#[cfg(feature = "obs")]
+use crate::trace::{self, FlightRecorder, SpanRecord};
 use crate::value::Value;
 use probzelus_distributions::stats;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+#[cfg(feature = "obs")]
+use std::sync::Arc;
 
 /// Inference method selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -681,6 +685,14 @@ pub struct Infer<M: Model> {
     /// Telemetry handle; off (a no-op branch per emission) by default.
     #[cfg(feature = "obs")]
     obs: Obs,
+    /// Always-on span ring (see [`crate::trace::FlightRecorder`]);
+    /// created by [`Infer::with_black_box`] and shared with the pool.
+    #[cfg(feature = "obs")]
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Where incident dumps land (one JSONL black box, latest incident
+    /// wins).
+    #[cfg(feature = "obs")]
+    black_box_path: Option<std::path::PathBuf>,
 }
 
 type ParStepFn<M> = fn(
@@ -737,6 +749,12 @@ impl<M: Model> Clone for Infer<M> {
             last_health: self.last_health.clone(),
             #[cfg(feature = "obs")]
             obs: self.obs.clone(),
+            // Clones share the ring (like the sink): spans from both
+            // engines land in one black box, tagged by tick.
+            #[cfg(feature = "obs")]
+            recorder: self.recorder.clone(),
+            #[cfg(feature = "obs")]
+            black_box_path: self.black_box_path.clone(),
         }
     }
 }
@@ -793,6 +811,10 @@ impl<M: Model> Infer<M> {
             last_health: None,
             #[cfg(feature = "obs")]
             obs: Obs::off(),
+            #[cfg(feature = "obs")]
+            recorder: None,
+            #[cfg(feature = "obs")]
+            black_box_path: None,
         };
         engine.reset();
         engine
@@ -929,6 +951,32 @@ impl<M: Model> Infer<M> {
     #[cfg(feature = "obs")]
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Arms the flight recorder: every span from every tick lands in a
+    /// fixed-capacity ring ([`FlightRecorder::DEFAULT_CAPACITY`] spans),
+    /// and whenever an incident fires — a particle fault, an exhausted
+    /// collapse-retry budget, or a deadline floor degradation — the ring
+    /// is dumped to `path` as a self-contained JSONL black box (latest
+    /// incident wins; validate with `obsreport --check`). Works with or
+    /// without an attached [`Obs`] sink; span timing turns on when either
+    /// is present.
+    #[cfg(feature = "obs")]
+    pub fn with_black_box(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.black_box_path = Some(path.into());
+        if self.recorder.is_none() {
+            self.recorder = Some(Arc::new(FlightRecorder::new(
+                FlightRecorder::DEFAULT_CAPACITY,
+            )));
+        }
+        self
+    }
+
+    /// The armed flight recorder, if any (tests inspect the ring
+    /// directly).
+    #[cfg(feature = "obs")]
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Sets how many *consecutive* weight collapses the supervisor
@@ -1238,8 +1286,12 @@ impl<M: Model> Infer<M> {
                 ..
             })
         );
+        // Span timing (phase anatomy) is live when either consumer — the
+        // sink or the flight recorder — is attached.
         #[cfg(feature = "obs")]
-        let need_clock = deadline_measuring || self.obs.enabled();
+        let tracing_on = self.obs.enabled() || self.recorder.is_some();
+        #[cfg(feature = "obs")]
+        let need_clock = deadline_measuring || tracing_on;
         #[cfg(not(feature = "obs"))]
         let need_clock = deadline_measuring;
         let t0 = need_clock.then(std::time::Instant::now);
@@ -1248,13 +1300,31 @@ impl<M: Model> Infer<M> {
         let snapshot =
             (self.recovery == RecoveryPolicy::SkipObservation).then(|| self.store.snapshot());
 
+        // Phase timing is checkpoint-based: one clock read per phase
+        // *boundary*, taken as an offset from `t0`, instead of a
+        // start/stop `Instant` pair per phase — clock reads are the
+        // dominant cost of the span layer and its overhead budget is
+        // nanoseconds (the figures `obs` witness holds the traced noop
+        // configuration within 2% of fully-off).
         let mut slots: Vec<Result<ValueDist, FaultKind>> =
             match (self.parallelism, self.par_step, self.par_step_soa) {
                 (Parallelism::Threads(workers), Some(par_step), Some(par_step_soa)) if n > 1 => {
                     let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
                     #[cfg(feature = "obs")]
-                    if self.obs.enabled() {
-                        pool.set_obs(self.obs.clone());
+                    {
+                        if self.obs.enabled() {
+                            pool.set_obs(self.obs.clone());
+                        }
+                        // Hand the pool this tick's span identity so each
+                        // job can emit a deterministic `pool.job` span
+                        // parented under this tick's propose span.
+                        let seed = self.seed;
+                        pool.set_span_ctx(tracing_on.then(|| crate::pool::SpanCtx {
+                            seed,
+                            tick: generation,
+                            parent: trace::span_id(seed, generation, trace::phases::PROPOSE, 0),
+                        }));
+                        pool.set_recorder(self.recorder.clone());
                     }
                     pool.ensure_alive();
                     match &mut self.store {
@@ -1340,6 +1410,12 @@ impl<M: Model> Infer<M> {
                     }
                 }
             };
+        #[cfg(feature = "obs")]
+        let propose_ms = if tracing_on {
+            t0.map(|t| t.elapsed().as_secs_f64() * 1e3)
+        } else {
+            None
+        };
 
         // A NaN or +inf accumulated log-weight is a per-particle fault;
         // a plain -inf is a legitimately impossible observation.
@@ -1365,6 +1441,10 @@ impl<M: Model> Infer<M> {
             }
         }
         let mut faults: Vec<ParticleFault> = Vec::new();
+        #[cfg(feature = "obs")]
+        let mut recover_ms: Option<f64> = None;
+        #[cfg(feature = "obs")]
+        let mut recover_end_ms: Option<f64> = None;
 
         if self.recovery == RecoveryPolicy::FailFast {
             // Faults were collected in particle order, so the error of
@@ -1375,6 +1455,12 @@ impl<M: Model> Infer<M> {
                 return Err(kind.into_error(i));
             }
         } else if !faulted.is_empty() {
+            #[cfg(feature = "obs")]
+            let recover_start_ms = if tracing_on {
+                t0.map(|t| t.elapsed().as_secs_f64() * 1e3)
+            } else {
+                None
+            };
             let survivors: Vec<usize> = outs
                 .iter()
                 .enumerate()
@@ -1442,13 +1528,26 @@ impl<M: Model> Infer<M> {
                     recovery,
                 });
             }
+            #[cfg(feature = "obs")]
+            {
+                let end = t0.map(|t| t.elapsed().as_secs_f64() * 1e3);
+                recover_ms = recover_start_ms.zip(end).map(|(s, e)| e - s);
+                recover_end_ms = end;
+            }
         }
 
+        // The score phase runs from the end of propose/recover (its
+        // checkpoint doubles as this phase's start — the non-finite scan
+        // and slot split in between are part of weight materialization).
         self.scratch.log_ws.clear();
         self.store.extend_log_ws(&mut self.scratch.log_ws);
-        let collapse =
+        // The log-normalizer doubles as this tick's log-evidence
+        // increment (z - ln n) in the telemetry block below; degenerate
+        // weights surface as `collapse` with no normalizer.
+        let log_normalizer =
             stats::try_normalize_log_weights_into(&self.scratch.log_ws, &mut self.scratch.weights)
-                .is_err();
+                .ok();
+        let collapse = log_normalizer.is_none();
 
         if collapse {
             if self.recovery == RecoveryPolicy::FailFast {
@@ -1476,6 +1575,20 @@ impl<M: Model> Infer<M> {
                         ),
                     ],
                 );
+                // Close the tick's span tree before failing, then dump
+                // the black box: the exhaustion is one of the three
+                // incident triggers.
+                #[cfg(feature = "obs")]
+                {
+                    if tracing_on {
+                        let tick_ms = t0.map(|t| t.elapsed().as_secs_f64() * 1e3).unwrap_or(0.0);
+                        let score_ms = recover_end_ms.or(propose_ms).map(|base| tick_ms - base);
+                        self.emit_tick_spans(
+                            generation, tick_ms, propose_ms, score_ms, recover_ms, None, None,
+                        );
+                    }
+                    self.dump_black_box(trace::incidents::COLLAPSE_EXHAUSTED, generation);
+                }
                 return Err(RuntimeError::CollapseBudgetExhausted {
                     tick: generation,
                     consecutive: self.consecutive_collapses,
@@ -1499,7 +1612,6 @@ impl<M: Model> Infer<M> {
         } else {
             stats::effective_sample_size(&self.scratch.weights)
         };
-
         let step_unusable = collapse || outs.iter().all(|o| o.is_none());
         let mut used_last_good = false;
         let posterior = match (&self.last_good, step_unusable) {
@@ -1526,6 +1638,19 @@ impl<M: Model> Infer<M> {
         if !collapse {
             self.last_good = Some(posterior.clone());
         }
+        // Score-phase end: weight materialization runs from the end of
+        // propose/recover through normalization, ESS, and posterior
+        // assembly. This checkpoint doubles as the resample phase's
+        // start, and the tick-level latency read below doubles as the
+        // resample phase's end — two clock reads cover three phases.
+        #[cfg(feature = "obs")]
+        let score_end_ms = if tracing_on {
+            t0.map(|t| t.elapsed().as_secs_f64() * 1e3)
+        } else {
+            None
+        };
+        #[cfg(feature = "obs")]
+        let score_ms = score_end_ms.map(|end| end - recover_end_ms.or(propose_ms).unwrap_or(0.0));
 
         let should_resample = match self.resample {
             ResamplePolicy::EveryStep => self.method.resamples(),
@@ -1569,7 +1694,6 @@ impl<M: Model> Infer<M> {
                 }
             }
         }
-
         let mut health = Health {
             ess: self.last_ess,
             weight_collapse: collapse,
@@ -1580,8 +1704,15 @@ impl<M: Model> Infer<M> {
         };
 
         // The single latency measurement for this tick, shared by the
-        // telemetry histogram and the deadline controller.
+        // telemetry histogram, the deadline controller, the tick span,
+        // and (as its end checkpoint) the resample span.
         let elapsed_ms = t0.map(|t| t.elapsed().as_secs_f64() * 1e3);
+        #[cfg(feature = "obs")]
+        let resample_ms = if should_resample {
+            score_end_ms.zip(elapsed_ms).map(|(start, end)| end - start)
+        } else {
+            None
+        };
 
         // Per-tick telemetry export. The whole block is skipped (and,
         // without the `obs` feature, compiled out) when no sink is
@@ -1593,24 +1724,13 @@ impl<M: Model> Infer<M> {
             self.obs.gauge(tick, names::STEP_PARTICLES, n as f64);
             self.obs.gauge(tick, names::STEP_ESS, health.ess);
             // Log-evidence increment: the log mean particle weight
-            // (log-normalizer) of this tick's cloud. Under every-step
-            // resampling the accumulated weights are exactly one tick's
-            // increments; under lazier policies this is the evidence
-            // accumulated since the last resample. Recovered from the
-            // already-normalized weights — normalized[i] = exp(log_ws[i] -
-            // logsumexp) — so no per-particle exp() is spent here.
-            let log_evidence = if collapse {
-                f64::NEG_INFINITY
-            } else {
-                let (argmax, &w_max) = self
-                    .scratch
-                    .weights
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .expect("particle cloud is non-empty");
-                self.scratch.log_ws[argmax] - w_max.ln() - (n as f64).ln()
-            };
+            // (log-normalizer minus ln n) of this tick's cloud. Under
+            // every-step resampling the accumulated weights are exactly
+            // one tick's increments; under lazier policies this is the
+            // evidence accumulated since the last resample. The
+            // normalizer is a byproduct of weight normalization, so no
+            // per-particle work is spent here.
+            let log_evidence = log_normalizer.map_or(f64::NEG_INFINITY, |z| z - (n as f64).ln());
             self.obs.gauge(tick, names::STEP_LOG_EVIDENCE, log_evidence);
             if should_resample {
                 self.obs.counter(tick, names::STEP_RESAMPLES, 1);
@@ -1698,7 +1818,51 @@ impl<M: Model> Infer<M> {
         // measured latency and applies to the cloud *after* this tick's
         // posterior, so a recorded trace replays clock-free (tick t's
         // posterior never depends on tick t's own latency).
-        self.deadline_control(generation, elapsed_ms, &mut health);
+        #[cfg(feature = "obs")]
+        let adaptive_start_ms = if tracing_on && self.deadline.is_some() {
+            t0.map(|t| t.elapsed().as_secs_f64() * 1e3)
+        } else {
+            None
+        };
+        let deadline_report = self.deadline_control(generation, elapsed_ms, &mut health);
+        #[cfg(not(feature = "obs"))]
+        let _ = deadline_report;
+        #[cfg(feature = "obs")]
+        {
+            let (decisions_applied, floor_degraded) = deadline_report;
+            if tracing_on {
+                // The adaptive span exists only on ticks where a decision
+                // actually applied, so span trees match between measured
+                // and replayed runs of the same trace.
+                let adaptive_ms = if decisions_applied {
+                    adaptive_start_ms
+                        .zip(t0)
+                        .map(|(start, t)| t.elapsed().as_secs_f64() * 1e3 - start)
+                } else {
+                    None
+                };
+                // The tick span reuses the latency measurement the
+                // `step.latency_ms` metric already paid for — the span
+                // and the metric report the same number by construction.
+                let tick_ms = elapsed_ms.unwrap_or(0.0);
+                self.emit_tick_spans(
+                    generation,
+                    tick_ms,
+                    propose_ms,
+                    score_ms,
+                    recover_ms,
+                    resample_ms,
+                    adaptive_ms,
+                );
+            }
+            // Incident check, after this tick's spans are in the ring so
+            // a dump always contains the faulting tick's complete tree.
+            if !health.faults.is_empty() {
+                self.dump_black_box(trace::incidents::PARTICLE_FAULT, generation);
+            } else if floor_degraded {
+                self.dump_black_box(trace::incidents::FLOOR_DEGRADED, generation);
+            }
+        }
 
         self.last_health = Some(health.clone());
         self.steps += 1;
@@ -1708,10 +1872,17 @@ impl<M: Model> Infer<M> {
     /// One tick of deadline control: feed the measured latency to the
     /// controller (measure mode) or advance the trace cursor (replay
     /// mode), then apply any decision to the engine. Populates
-    /// `health.deadline` in measure mode.
-    fn deadline_control(&mut self, generation: u64, elapsed_ms: Option<f64>, health: &mut Health) {
+    /// `health.deadline` in measure mode. Returns `(applied_any,
+    /// floor_degraded)` so the caller can emit the adaptive-decision span
+    /// and trigger the black-box dump.
+    fn deadline_control(
+        &mut self,
+        generation: u64,
+        elapsed_ms: Option<f64>,
+        health: &mut Health,
+    ) -> (bool, bool) {
         let Some(state) = &mut self.deadline else {
-            return;
+            return (false, false);
         };
         let base_policy = state.base_policy;
         // Decision ticks are rare; this vector stays unallocated on the
@@ -1781,6 +1952,10 @@ impl<M: Model> Infer<M> {
                 health.deadline = Some(ctrl.status());
             }
         }
+        let floor_degraded = to_apply
+            .iter()
+            .any(|r| r.action == DeadlineAction::FloorDegraded);
+        (!to_apply.is_empty(), floor_degraded)
     }
 
     /// Applies one controller decision to the engine.
@@ -1801,6 +1976,70 @@ impl<M: Model> Infer<M> {
             }
             // Pure health signals; the engine state is untouched.
             DeadlineAction::FloorDegraded | DeadlineAction::FloorRecovered => {}
+        }
+    }
+
+    /// Emits this tick's span tree to the sink and the flight recorder:
+    /// the root `tick` span first, then each phase that ran as its child.
+    /// Every identity field (IDs, parents, names, presence) is a pure
+    /// function of `(seed, tick)` plus which phases executed; only the
+    /// durations carry wall clock.
+    #[cfg(feature = "obs")]
+    #[allow(clippy::too_many_arguments)]
+    fn emit_tick_spans(
+        &self,
+        tick: u64,
+        tick_ms: f64,
+        propose_ms: Option<f64>,
+        score_ms: Option<f64>,
+        recover_ms: Option<f64>,
+        resample_ms: Option<f64>,
+        adaptive_ms: Option<f64>,
+    ) {
+        let tick_id = trace::span_id(self.seed, tick, trace::phases::TICK, 0);
+        let emit = |name: &'static str, phase: u64, dur_ms: f64| {
+            let rec = SpanRecord {
+                tick,
+                name,
+                id: trace::span_id(self.seed, tick, phase, 0),
+                parent: (phase != trace::phases::TICK).then_some(tick_id),
+                index: None,
+                dur_ms,
+            };
+            self.obs.span(&rec);
+            if let Some(recorder) = &self.recorder {
+                recorder.record(&rec);
+            }
+        };
+        emit(trace::spans::TICK, trace::phases::TICK, tick_ms);
+        if let Some(d) = propose_ms {
+            emit(trace::spans::PROPOSE, trace::phases::PROPOSE, d);
+        }
+        if let Some(d) = score_ms {
+            emit(trace::spans::SCORE, trace::phases::SCORE, d);
+        }
+        if let Some(d) = recover_ms {
+            emit(trace::spans::RECOVER, trace::phases::RECOVER, d);
+        }
+        if let Some(d) = resample_ms {
+            emit(trace::spans::RESAMPLE, trace::phases::RESAMPLE, d);
+        }
+        if let Some(d) = adaptive_ms {
+            emit(
+                trace::spans::ADAPTIVE_DECISION,
+                trace::phases::ADAPTIVE_DECISION,
+                d,
+            );
+        }
+    }
+
+    /// Dumps the flight-recorder ring to the configured black-box file.
+    /// Without a recorder or a path this is a no-op, and write errors are
+    /// swallowed: the black box must never fail the inference step.
+    #[cfg(feature = "obs")]
+    fn dump_black_box(&self, reason: &str, tick: u64) {
+        if let (Some(recorder), Some(path)) = (&self.recorder, &self.black_box_path) {
+            let _ = recorder.dump(path, Some(self.method.label()), reason, tick);
         }
     }
 

@@ -62,6 +62,7 @@ pub mod adaptive;
 pub mod chaos;
 pub mod ds;
 pub mod error;
+pub mod histo;
 pub mod infer;
 pub mod marginal;
 pub mod model;
@@ -75,6 +76,8 @@ pub mod rngstream;
 pub mod stream;
 pub mod supervisor;
 pub mod symbolic;
+#[cfg(feature = "obs")]
+pub mod trace;
 pub mod value;
 
 pub use adaptive::{
@@ -82,6 +85,7 @@ pub use adaptive::{
     DecisionTrace,
 };
 pub use error::RuntimeError;
+pub use histo::LogHistogram;
 pub use infer::{Infer, MemoryStats, Method, Parallelism, ResamplePolicy};
 pub use marginal::{Family, Marginal};
 pub use model::{FnModel, Model};
@@ -91,4 +95,6 @@ pub use supervisor::{
     FaultKind, Health, ParticleFault, RecoveryAction, RecoveryPolicy, StepOutcome,
 };
 pub use symbolic::{AffExpr, RvId};
+#[cfg(feature = "obs")]
+pub use trace::{FlightRecorder, SpanRecord};
 pub use value::{DistExpr, Value};

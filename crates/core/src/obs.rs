@@ -31,6 +31,7 @@
 //! Everything is `std`-only, in keeping with the workspace's
 //! vendored-shim constraint.
 
+use crate::trace::SpanRecord;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -104,6 +105,11 @@ pub trait Sink: Send + Sync {
 
     /// Receives one structured event.
     fn event(&self, scope: Option<&str>, tick: u64, name: &str, fields: &[(&str, FieldValue)]);
+
+    /// Receives one completed phase span (see [`crate::trace`]). The
+    /// default discards it, so sinks that only care about metrics keep
+    /// working unchanged.
+    fn span(&self, _scope: Option<&str>, _span: &SpanRecord) {}
 
     /// Flushes buffered output, if any.
     ///
@@ -214,6 +220,14 @@ impl Obs {
         }
     }
 
+    /// Emits a completed span.
+    #[inline]
+    pub fn span(&self, span: &SpanRecord) {
+        if let Some(sink) = &self.sink {
+            sink.span(self.scope.as_deref(), span);
+        }
+    }
+
     /// Flushes the attached sink, if any.
     ///
     /// # Errors
@@ -270,6 +284,13 @@ pub enum Record {
         name: String,
         /// Field names and rendered values.
         fields: Vec<(String, String)>,
+    },
+    /// A completed phase span.
+    Span {
+        /// Scope label of the emitting handle.
+        scope: Option<String>,
+        /// The span.
+        span: SpanRecord,
     },
 }
 
@@ -364,6 +385,29 @@ impl MemorySink {
             .filter(|r| matches!(r, Record::Event { name: n, .. } if n == name))
             .count()
     }
+
+    /// Every span received so far, in arrival order (any scope).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.records
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span { span, .. } => Some(span.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of spans with the given name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.records
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .filter(|r| matches!(r, Record::Span { span, .. } if span.name == name))
+            .count()
+    }
 }
 
 impl Sink for MemorySink {
@@ -402,6 +446,16 @@ impl Sink for MemorySink {
                     .collect(),
             });
     }
+
+    fn span(&self, scope: Option<&str>, span: &SpanRecord) {
+        self.records
+            .lock()
+            .expect("sink poisoned")
+            .push(Record::Span {
+                scope: scope.map(str::to_owned),
+                span: span.clone(),
+            });
+    }
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
@@ -437,6 +491,74 @@ fn json_f64(x: f64) -> String {
     } else {
         format!("\"{x}\"")
     }
+}
+
+/// Renders one structured event as a JSONL line (without the trailing
+/// newline) in the [`WriterSink`] wire format. Public so the flight
+/// recorder's black-box dump produces byte-identical lines.
+pub fn event_json_line(
+    scope: Option<&str>,
+    tick: u64,
+    name: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"type\":\"event\"");
+    if let Some(scope) = scope {
+        line.push_str(",\"engine\":\"");
+        line.push_str(&json_escape(scope));
+        line.push('"');
+    }
+    line.push_str(&format!(",\"tick\":{tick}"));
+    line.push_str(",\"name\":\"");
+    line.push_str(&json_escape(name));
+    line.push_str("\",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        line.push_str(&json_escape(k));
+        line.push_str("\":");
+        match v {
+            FieldValue::Int(n) => line.push_str(&n.to_string()),
+            FieldValue::Float(x) => line.push_str(&json_f64(*x)),
+            FieldValue::Text(s) => {
+                line.push('"');
+                line.push_str(&json_escape(s));
+                line.push('"');
+            }
+        }
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Renders one span as a JSONL line (without the trailing newline) in the
+/// [`WriterSink`] wire format. Span IDs are 16-hex-digit strings rather
+/// than JSON numbers: u64 identifiers would not survive the f64
+/// round-trip of generic JSON parsers.
+pub fn span_json_line(scope: Option<&str>, span: &SpanRecord) -> String {
+    let mut line = String::with_capacity(160);
+    line.push_str("{\"type\":\"span\"");
+    if let Some(scope) = scope {
+        line.push_str(",\"engine\":\"");
+        line.push_str(&json_escape(scope));
+        line.push('"');
+    }
+    line.push_str(&format!(",\"tick\":{}", span.tick));
+    line.push_str(",\"name\":\"");
+    line.push_str(&json_escape(span.name));
+    line.push('"');
+    line.push_str(&format!(",\"id\":\"{:016x}\"", span.id));
+    if let Some(parent) = span.parent {
+        line.push_str(&format!(",\"parent\":\"{parent:016x}\""));
+    }
+    if let Some(i) = span.index {
+        line.push_str(&format!(",\"index\":{i}"));
+    }
+    line.push_str(&format!(",\"dur_ms\":{}}}", json_f64(span.dur_ms)));
+    line
 }
 
 /// A JSON-lines exporting sink.
@@ -511,36 +633,11 @@ impl<W: Write + Send> Sink for WriterSink<W> {
     }
 
     fn event(&self, scope: Option<&str>, tick: u64, name: &str, fields: &[(&str, FieldValue)]) {
-        let mut line = String::with_capacity(128);
-        line.push_str("{\"type\":\"event\"");
-        if let Some(scope) = scope {
-            line.push_str(",\"engine\":\"");
-            line.push_str(&json_escape(scope));
-            line.push('"');
-        }
-        line.push_str(&format!(",\"tick\":{tick}"));
-        line.push_str(",\"name\":\"");
-        line.push_str(&json_escape(name));
-        line.push_str("\",\"fields\":{");
-        for (i, (k, v)) in fields.iter().enumerate() {
-            if i > 0 {
-                line.push(',');
-            }
-            line.push('"');
-            line.push_str(&json_escape(k));
-            line.push_str("\":");
-            match v {
-                FieldValue::Int(n) => line.push_str(&n.to_string()),
-                FieldValue::Float(x) => line.push_str(&json_f64(*x)),
-                FieldValue::Text(s) => {
-                    line.push('"');
-                    line.push_str(&json_escape(s));
-                    line.push('"');
-                }
-            }
-        }
-        line.push_str("}}");
-        self.write_line(&line);
+        self.write_line(&event_json_line(scope, tick, name, fields));
+    }
+
+    fn span(&self, scope: Option<&str>, span: &SpanRecord) {
+        self.write_line(&span_json_line(scope, span));
     }
 
     fn flush(&self) -> io::Result<()> {
@@ -617,7 +714,8 @@ pub mod names {
     pub const DEADLINE_MISSES: &str = "deadline.misses";
     /// The controller's current per-tick latency budget (ms). Gauge.
     pub const DEADLINE_BUDGET_MS: &str = "deadline.budget_ms";
-    /// p99 step latency over the controller's sliding window (ms). Gauge.
+    /// p99 step latency over the controller's tumbling histogram window
+    /// (ms). Gauge.
     pub const DEADLINE_WINDOW_P99_MS: &str = "deadline.window_p99_ms";
 }
 
@@ -645,6 +743,9 @@ pub mod events {
     /// with `RuntimeError::CollapseBudgetExhausted`. Fields: `consecutive`,
     /// `budget`.
     pub const COLLAPSE_EXHAUSTED: &str = "collapse.exhausted";
+    /// The flight recorder dumped its span ring to the black-box file in
+    /// response to an incident. Fields: `reason`, `spans`.
+    pub const BLACKBOX_DUMP: &str = "blackbox.dump";
 }
 
 /// Description of one registered metric.
@@ -839,7 +940,7 @@ pub const METRICS: &[MetricDesc] = &[
         name: names::DEADLINE_WINDOW_P99_MS,
         kind: MetricKind::Gauge,
         unit: "ms",
-        help: "p99 step latency over the controller's sliding window",
+        help: "p99 step latency over the controller's tumbling window",
     },
 ];
 
@@ -879,6 +980,11 @@ pub const EVENTS: &[EventDesc] = &[
         name: events::COLLAPSE_EXHAUSTED,
         fields: &["consecutive", "budget"],
         help: "the collapse retry budget was exhausted; the step fails typed",
+    },
+    EventDesc {
+        name: events::BLACKBOX_DUMP,
+        fields: &["reason", "spans"],
+        help: "the flight recorder dumped its span ring after an incident",
     },
 ];
 
@@ -984,6 +1090,59 @@ mod tests {
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn sinks_carry_spans() {
+        let span = SpanRecord {
+            tick: 4,
+            name: crate::trace::spans::TICK,
+            id: 0xdead_beef,
+            parent: None,
+            index: None,
+            dur_ms: 1.5,
+        };
+        let child = SpanRecord {
+            tick: 4,
+            name: crate::trace::spans::POOL_JOB,
+            id: 0x0102_0304_0506_0708,
+            parent: Some(0xdead_beef),
+            index: Some(2),
+            dur_ms: 0.25,
+        };
+
+        let mem = Arc::new(MemorySink::new());
+        let obs = Obs::to(mem.clone()).scoped("PF");
+        obs.span(&span);
+        obs.span(&child);
+        assert_eq!(mem.spans(), vec![span.clone(), child.clone()]);
+        assert_eq!(mem.span_count(crate::trace::spans::TICK), 1);
+        match &mem.records()[0] {
+            Record::Span { scope, .. } => assert_eq!(scope.as_deref(), Some("PF")),
+            other => panic!("expected span, got {other:?}"),
+        }
+
+        let writer = WriterSink::new(Vec::new());
+        let s: &dyn Sink = &writer;
+        s.span(Some("PF"), &span);
+        s.span(None, &child);
+        let text = String::from_utf8(writer.into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"span\",\"engine\":\"PF\",\"tick\":4,\"name\":\"tick\",\
+             \"id\":\"00000000deadbeef\",\"dur_ms\":1.5}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"span\",\"tick\":4,\"name\":\"pool.job\",\
+             \"id\":\"0102030405060708\",\"parent\":\"00000000deadbeef\",\
+             \"index\":2,\"dur_ms\":0.25}"
+        );
+
+        // Sinks without a span override silently ignore spans.
+        let noop: &dyn Sink = &NoopSink;
+        noop.span(Some("PF"), &span);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 #[cfg(feature = "obs")]
 use crate::obs::{self, FieldValue, Obs};
+#[cfg(feature = "obs")]
+use crate::trace::{self, FlightRecorder, SpanRecord};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 #[cfg(feature = "obs")]
 use std::sync::atomic::AtomicU64;
@@ -92,6 +94,37 @@ impl Drop for CountDownOnDrop {
     }
 }
 
+/// Identity of the engine tick driving the next batch, set by the engine
+/// before a parallel step so each job can emit a deterministic
+/// `pool.job` span (see [`crate::trace`]).
+///
+/// `pool.job` spans are *schedule* spans: their IDs are derived from the
+/// job index, and the job count varies with the worker count, so they are
+/// excluded from cross-worker span-tree comparisons.
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// Engine seed (span-ID derivation input).
+    pub seed: u64,
+    /// Engine tick the batch belongs to.
+    pub tick: u64,
+    /// Parent span ID (the engine's `tick.propose` span).
+    pub parent: u64,
+}
+
+/// Per-job telemetry captured into the job closure so every emission
+/// happens on the worker thread without touching the pool's borrow.
+#[cfg(feature = "obs")]
+struct JobTelemetry {
+    obs: Obs,
+    recorder: Option<Arc<FlightRecorder>>,
+    metrics: bool,
+    span: Option<SpanCtx>,
+    batch: u64,
+    job: u64,
+    worker: u64,
+}
+
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
     workers: Vec<Worker>,
@@ -102,6 +135,12 @@ pub struct WorkerPool {
     obs: Obs,
     #[cfg(feature = "obs")]
     batches: AtomicU64,
+    /// Span identity for the next batch, if the engine is tracing.
+    #[cfg(feature = "obs")]
+    span_ctx: Option<SpanCtx>,
+    /// Flight-recorder ring shared by the owning engine, if any.
+    #[cfg(feature = "obs")]
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl WorkerPool {
@@ -118,6 +157,10 @@ impl WorkerPool {
             obs: Obs::off(),
             #[cfg(feature = "obs")]
             batches: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            span_ctx: None,
+            #[cfg(feature = "obs")]
+            recorder: None,
         }
     }
 
@@ -126,6 +169,21 @@ impl WorkerPool {
     #[cfg(feature = "obs")]
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Sets (or clears) the span identity for subsequent batches. The
+    /// engine refreshes this before every parallel step so `pool.job`
+    /// spans carry the right tick and parent ID.
+    #[cfg(feature = "obs")]
+    pub fn set_span_ctx(&mut self, ctx: Option<SpanCtx>) {
+        self.span_ctx = ctx;
+    }
+
+    /// Shares (or detaches) the engine's flight-recorder ring; job spans
+    /// are recorded into it when a span context is set.
+    #[cfg(feature = "obs")]
+    pub fn set_recorder(&mut self, recorder: Option<Arc<FlightRecorder>>) {
+        self.recorder = recorder;
     }
 
     /// Number of worker threads (dead or alive; see
@@ -216,29 +274,50 @@ impl WorkerPool {
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
             let guard = CountDownOnDrop(Arc::clone(&latch));
             let panicked = Arc::clone(&panicked);
-            // (obs, batch, worker index) captured per job so the timing
-            // emission happens on the worker thread without touching the
-            // pool's borrow.
             #[cfg(feature = "obs")]
-            let timing = self
-                .obs
-                .enabled()
-                .then(|| (self.obs.clone(), batch, (i % self.workers.len()) as u64));
+            let telemetry = {
+                let metrics = self.obs.enabled();
+                // A span is emitted when there is somewhere for it to go:
+                // the sink, the flight recorder, or both.
+                let span = self.span_ctx.filter(|_| metrics || self.recorder.is_some());
+                (metrics || span.is_some()).then(|| JobTelemetry {
+                    obs: self.obs.clone(),
+                    recorder: self.recorder.clone(),
+                    metrics,
+                    span,
+                    batch,
+                    job: i as u64,
+                    worker: (i % self.workers.len()) as u64,
+                })
+            };
             let wrapped: Job = Box::new(move || {
                 let _guard = guard;
                 #[cfg(feature = "obs")]
-                let t0 = timing.as_ref().map(|_| std::time::Instant::now());
+                let t0 = telemetry.as_ref().map(|_| std::time::Instant::now());
                 if catch_unwind(AssertUnwindSafe(job)).is_err() {
                     panicked.store(true, Ordering::SeqCst);
                 }
                 #[cfg(feature = "obs")]
-                if let (Some((obs, batch, worker)), Some(t0)) = (timing, t0) {
-                    obs.histogram_at(
-                        batch,
-                        obs::names::POOL_JOB_MS,
-                        worker,
-                        t0.elapsed().as_secs_f64() * 1e3,
-                    );
+                if let (Some(t), Some(t0)) = (telemetry, t0) {
+                    let dur_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    if t.metrics {
+                        t.obs
+                            .histogram_at(t.batch, obs::names::POOL_JOB_MS, t.worker, dur_ms);
+                    }
+                    if let Some(ctx) = t.span {
+                        let rec = SpanRecord {
+                            tick: ctx.tick,
+                            name: trace::spans::POOL_JOB,
+                            id: trace::span_id(ctx.seed, ctx.tick, trace::phases::POOL_JOB, t.job),
+                            parent: Some(ctx.parent),
+                            index: Some(t.job),
+                            dur_ms,
+                        };
+                        t.obs.span(&rec);
+                        if let Some(recorder) = &t.recorder {
+                            recorder.record(&rec);
+                        }
+                    }
                 }
             });
             let target = &self.workers[i % self.workers.len()].sender;

@@ -55,6 +55,10 @@ pub fn try_normalize_log_weights(log_weights: &[f64]) -> Result<Vec<f64>, Weight
 /// this every tick with a persistent scratch buffer so normalization is
 /// allocation-free once the buffer has warmed up.
 ///
+/// Returns the log-normalizer `logsumexp(log_weights)` — callers that
+/// need the log-evidence increment (`z - ln n`) get it for free instead
+/// of re-scanning the weights.
+///
 /// On error `out` is left empty. Produces bit-identical values to the
 /// allocating variant.
 ///
@@ -65,7 +69,7 @@ pub fn try_normalize_log_weights(log_weights: &[f64]) -> Result<Vec<f64>, Weight
 pub fn try_normalize_log_weights_into(
     log_weights: &[f64],
     out: &mut Vec<f64>,
-) -> Result<(), WeightDegeneracy> {
+) -> Result<f64, WeightDegeneracy> {
     out.clear();
     if log_weights.is_empty() {
         return Err(WeightDegeneracy::Empty);
@@ -81,7 +85,7 @@ pub fn try_normalize_log_weights_into(
         return Err(WeightDegeneracy::AllZero);
     }
     out.extend(log_weights.iter().map(|&lw| (lw - z).exp()));
-    Ok(())
+    Ok(z)
 }
 
 /// Normalizes a slice of log-weights into linear-space probabilities.

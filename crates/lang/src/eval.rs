@@ -64,6 +64,10 @@ pub struct Interp {
     /// allocates; off unless built via [`Interp::new_with_obs`].
     #[cfg(feature = "obs")]
     obs: probzelus_core::obs::Obs,
+    /// The options seed, kept so driver-tick span IDs (`eval.tick`) are a
+    /// pure function of `(seed, tick)` like the engine-side spans.
+    #[cfg(feature = "obs")]
+    seed: u64,
 }
 
 impl std::fmt::Debug for Interp {
@@ -91,6 +95,8 @@ impl Interp {
                 rng: RefCell::new(SmallRng::seed_from_u64(options.seed)),
                 #[cfg(feature = "obs")]
                 obs: probzelus_core::obs::Obs::off(),
+                #[cfg(feature = "obs")]
+                seed: options.seed,
             }),
             program,
         )
@@ -115,6 +121,7 @@ impl Interp {
                 method: options.method,
                 rng: RefCell::new(SmallRng::seed_from_u64(options.seed)),
                 obs,
+                seed: options.seed,
             }),
             program,
         )
@@ -786,12 +793,21 @@ impl MufEngine {
 }
 
 /// An instantiated deterministic node: the driver-facing stream function.
+///
+/// When the interpreter carries a live telemetry handle (built via
+/// [`Interp::new_with_obs`]), each [`Instance::step`] emits an `eval.tick`
+/// root span covering the whole driver tick — engine-side `tick` trees from
+/// embedded `infer` sites appear alongside it in the sink stream.
 #[derive(Debug)]
 pub struct Instance {
     interp: Rc<Interp>,
     step: MufValue,
     state: MufValue,
     init_state: MufValue,
+    /// Monotonic driver-tick counter (not rewound by [`Instance::reset`],
+    /// so every emitted span ID is unique within a run).
+    #[cfg(feature = "obs")]
+    tick: u64,
 }
 
 impl Instance {
@@ -813,6 +829,8 @@ impl Instance {
             step,
             init_state: state.clone(),
             state,
+            #[cfg(feature = "obs")]
+            tick: 0,
         })
     }
 
@@ -822,12 +840,14 @@ impl Instance {
     ///
     /// Evaluation errors (including errors from embedded `infer` engines).
     pub fn step(&mut self, input: Value) -> Result<MufValue, LangError> {
+        #[cfg(feature = "obs")]
+        let t0 = self.interp.obs.enabled().then(std::time::Instant::now);
         let state = std::mem::replace(&mut self.state, MufValue::Nil);
         let arg = MufValue::Tuple(vec![state, MufValue::V(input)]);
         let result = self
             .interp
             .apply(&self.step.clone(), arg, &mut ProbSlot::Det)?;
-        match result {
+        let out = match result {
             MufValue::Tuple(mut vs) if vs.len() == 2 => {
                 let next = vs.pop().expect("length checked");
                 let out = vs.pop().expect("length checked");
@@ -838,7 +858,23 @@ impl Instance {
                 Stage::Eval,
                 format!("node step must return (value, state), got {}", other.kind()),
             )),
+        };
+        #[cfg(feature = "obs")]
+        if let Some(t0) = t0 {
+            use probzelus_core::trace::{self, SpanRecord};
+            let tick = self.tick;
+            self.tick += 1;
+            let rec = SpanRecord {
+                tick,
+                name: trace::spans::EVAL,
+                id: trace::span_id(self.interp.seed, tick, trace::phases::EVAL, 0),
+                parent: None,
+                index: None,
+                dur_ms: t0.elapsed().as_secs_f64() * 1e3,
+            };
+            self.interp.obs.span(&rec);
         }
+        out
     }
 
     /// Restores the initial state.

@@ -6,11 +6,44 @@
 //! ```text
 //! cargo run --release --example mv_tracker
 //! ```
+//!
+//! With `--metrics <path>` (requires `--features obs`) the engine exports
+//! per-tick JSONL telemetry to `<path>`, readable by `obsreport`:
+//!
+//! ```text
+//! cargo run --release --features obs --example mv_tracker -- --metrics mv.jsonl
+//! ```
 
 use probzelus::core::infer::{Infer, Method};
 use probzelus::mv_tracker::{generate_mv_trace, MvKalmanOracle, MvTracker, MvTrackerParams};
 
+/// Parses `--metrics <path>` from the command line, if present.
+fn metrics_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            match args.next() {
+                Some(path) => return Some(path),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn main() -> Result<(), probzelus::core::RuntimeError> {
+    let metrics = metrics_path();
+    #[cfg(not(feature = "obs"))]
+    if let Some(path) = &metrics {
+        eprintln!("--metrics {path} needs the telemetry subsystem; rebuild with:");
+        eprintln!(
+            "    cargo run --release --features obs --example mv_tracker -- --metrics {path}"
+        );
+        std::process::exit(2);
+    }
     let params = MvTrackerParams::default();
     // Accelerate, cruise, brake.
     let controls: Vec<f64> = (0..300)
@@ -23,6 +56,25 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
     let (truth, inputs) = generate_mv_trace(&params, &controls, 10, 42);
 
     let mut engine = Infer::with_seed(Method::StreamingDs, 1, MvTracker::new(params.clone()), 0);
+    #[cfg(feature = "obs")]
+    let obs_export = metrics.as_deref().map(|path| {
+        use probzelus::core::obs::{Obs, WriterSink};
+        use std::sync::Arc;
+        match WriterSink::create(path) {
+            Ok(sink) => {
+                let obs = Obs::to(Arc::new(sink));
+                engine.set_obs(obs.clone());
+                println!("exporting telemetry to {path}");
+                obs
+            }
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    #[cfg(not(feature = "obs"))]
+    let _ = metrics;
     let mut oracle = MvKalmanOracle::new(params);
 
     println!(
@@ -53,5 +105,11 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
         "\none particle, exact matrix Kalman posterior; live graph nodes: {}",
         engine.memory().live_nodes
     );
+    #[cfg(feature = "obs")]
+    if let Some(obs) = &obs_export {
+        if let Err(e) = obs.flush() {
+            eprintln!("telemetry flush failed: {e}");
+        }
+    }
     Ok(())
 }

@@ -8,11 +8,60 @@
 //! ```text
 //! cargo run --release --example outlier
 //! ```
+//!
+//! With `--metrics <path>` (requires `--features obs`) all three engines
+//! export per-tick JSONL telemetry to `<path>` — each scoped to its
+//! method label — readable by `obsreport`:
+//!
+//! ```text
+//! cargo run --release --features obs --example outlier -- --metrics outlier.jsonl
+//! ```
 
 use probzelus::core::infer::{Infer, Method};
 use probzelus::models::{generate_outlier, MseTracker, Outlier};
 
+/// Parses `--metrics <path>` from the command line, if present.
+fn metrics_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            match args.next() {
+                Some(path) => return Some(path),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn main() -> Result<(), probzelus::core::RuntimeError> {
+    let metrics = metrics_path();
+    #[cfg(not(feature = "obs"))]
+    if let Some(path) = &metrics {
+        eprintln!("--metrics {path} needs the telemetry subsystem; rebuild with:");
+        eprintln!("    cargo run --release --features obs --example outlier -- --metrics {path}");
+        std::process::exit(2);
+    }
+    #[cfg(feature = "obs")]
+    let obs_export = metrics.as_deref().map(|path| {
+        use probzelus::core::obs::{Obs, WriterSink};
+        use std::sync::Arc;
+        match WriterSink::create(path) {
+            Ok(sink) => {
+                println!("exporting telemetry to {path}");
+                Obs::to(Arc::new(sink))
+            }
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    #[cfg(not(feature = "obs"))]
+    let _ = metrics;
     let steps = 300;
     let data = generate_outlier(11, steps);
 
@@ -23,6 +72,10 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
         (Method::StreamingDs, 100),
     ] {
         let mut engine = Infer::with_seed(method, particles, Outlier::default(), 1);
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &obs_export {
+            engine.set_obs(obs.clone());
+        }
         let mut mse = MseTracker::new();
         for (y, x) in data.obs.iter().zip(&data.truth) {
             let post = engine.step(y)?;
@@ -49,5 +102,11 @@ fn main() -> Result<(), probzelus::core::RuntimeError> {
         "\n(the observation noise floor is ~{:.1}; a non-robust filter is pulled far off by outliers)",
         probzelus::models::OBS_VAR
     );
+    #[cfg(feature = "obs")]
+    if let Some(obs) = &obs_export {
+        if let Err(e) = obs.flush() {
+            eprintln!("telemetry flush failed: {e}");
+        }
+    }
     Ok(())
 }

@@ -211,6 +211,125 @@ fn layouts_agree_bitwise_across_worker_counts_on_native_models() {
     }
 }
 
+/// The tracing layer rides the same differential harness: spans are pure
+/// observation, so posteriors must be bit-identical with tracing on or
+/// off, and the *semantic* span tree (everything except the `pool.job`
+/// schedule spans) must be bit-identical across worker counts.
+#[cfg(feature = "obs")]
+mod tracing_equiv {
+    use super::*;
+    use probzelus::core::obs::{MemorySink, Obs};
+    use std::sync::Arc;
+
+    /// The identity of a span, shorn of its wall-clock duration.
+    type SpanKey = (u64, &'static str, u64, Option<u64>, Option<u64>);
+
+    fn traced_native_trace(
+        method: Method,
+        seed: u64,
+        layout: ParticleLayout,
+        workers: Parallelism,
+        inputs: &[f64],
+    ) -> (Vec<u64>, Vec<SpanKey>) {
+        let sink = Arc::new(MemorySink::new());
+        let black_box = std::env::temp_dir().join(format!(
+            "pz_layout_equiv_bb_{method}_{seed:x}_{layout}_{workers:?}.jsonl"
+        ));
+        let mut engine = Infer::with_seed(method, PARTICLES, Kalman::default(), seed)
+            .with_particle_layout(layout)
+            .with_parallelism(workers)
+            .with_obs(Obs::to(sink.clone()))
+            .with_black_box(&black_box);
+        let trace = inputs
+            .iter()
+            .map(|y| engine.step(y).expect("step").mean_float().to_bits())
+            .collect();
+        std::fs::remove_file(&black_box).ok();
+        let spans = sink
+            .spans()
+            .into_iter()
+            .map(|s| (s.tick, s.name, s.id, s.parent, s.index))
+            .collect();
+        (trace, spans)
+    }
+
+    /// Tracing on (sink + flight recorder attached) is a pure observer:
+    /// posterior bits match the untraced reference for every method,
+    /// layout, and golden seed.
+    #[test]
+    fn tracing_does_not_perturb_the_posterior() {
+        let kalman = generate_kalman(13, STEPS);
+        for method in Method::ALL {
+            for seed in SEEDS {
+                for layout in [ParticleLayout::PerParticle, ParticleLayout::StructOfArrays] {
+                    let (reference, _) = native_trace(
+                        method,
+                        seed,
+                        layout,
+                        Parallelism::Sequential,
+                        Kalman::default(),
+                        &kalman.obs,
+                    );
+                    let (traced, spans) = traced_native_trace(
+                        method,
+                        seed,
+                        layout,
+                        Parallelism::Sequential,
+                        &kalman.obs,
+                    );
+                    assert_eq!(
+                        reference, traced,
+                        "kalman {method} seed={seed:#x} {layout}: tracing changed the posterior"
+                    );
+                    assert!(
+                        spans.iter().filter(|s| s.1 == "tick").count() == STEPS,
+                        "{method} seed={seed:#x}: expected one tick span per step"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Semantic span IDs are a pure function of `(seed, tick)`: the span
+    /// tree — names, IDs, parents, order — is bit-identical between
+    /// sequential and multi-worker runs once the nondeterministically
+    /// interleaved `pool.job` schedule spans are set aside.
+    #[test]
+    fn semantic_span_ids_are_identical_across_worker_counts() {
+        let kalman = generate_kalman(13, STEPS);
+        for method in [Method::ParticleFilter, Method::StreamingDs] {
+            for seed in SEEDS {
+                let semantic = |spans: Vec<SpanKey>| -> Vec<SpanKey> {
+                    spans.into_iter().filter(|s| s.1 != "pool.job").collect()
+                };
+                let (seq_posterior, seq_spans) = traced_native_trace(
+                    method,
+                    seed,
+                    ParticleLayout::PerParticle,
+                    Parallelism::Sequential,
+                    &kalman.obs,
+                );
+                let (par_posterior, par_spans) = traced_native_trace(
+                    method,
+                    seed,
+                    ParticleLayout::PerParticle,
+                    Parallelism::Threads(3),
+                    &kalman.obs,
+                );
+                assert_eq!(
+                    seq_posterior, par_posterior,
+                    "{method} seed={seed:#x}: posterior diverged across worker counts"
+                );
+                assert_eq!(
+                    semantic(seq_spans),
+                    semantic(par_spans),
+                    "{method} seed={seed:#x}: semantic span tree diverged across worker counts"
+                );
+            }
+        }
+    }
+}
+
 /// `counter.zl` has no probabilistic node; its deterministic instance must
 /// be oblivious to everything this PR touches. Driving it at all keeps
 /// "every good example" honest in this suite.

@@ -553,6 +553,112 @@ mod stats_props {
 /// subnormals, negative zero. This is the contract that makes the
 /// structure-of-arrays layout's deferred scoring safe: the batch path may
 /// replace the scalar path anywhere without perturbing a single bit.
+mod histogram_props {
+    use super::*;
+    use probzelus::core::LogHistogram;
+
+    /// Arbitrary latency-like samples, spanning subnormals to huge values
+    /// plus the non-finite edge cases the bucketing must absorb.
+    fn samples() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(
+            prop_oneof![
+                1e-12f64..1e9,
+                1e-12f64..1e9,
+                1e-12f64..1e9,
+                1e-12f64..1e9,
+                Just(0.0),
+                Just(-1.0),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+            ],
+            0..200,
+        )
+    }
+
+    fn of(samples: &[f64]) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for &x in samples {
+            h.record(x);
+        }
+        h
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Merging is bucket-exact: merge(A, B) has precisely the
+        /// elementwise-summed counts of recording the two sample sets
+        /// separately, and equals recording their concatenation.
+        #[test]
+        fn merge_is_bucket_exact(a in samples(), b in samples()) {
+            let (ha, hb) = (of(&a), of(&b));
+            let mut merged = ha.clone();
+            merged.merge(&hb);
+            for i in 0..probzelus::core::histo::BUCKETS {
+                prop_assert_eq!(
+                    merged.counts()[i],
+                    ha.counts()[i] + hb.counts()[i],
+                    "bucket {} not the elementwise sum", i
+                );
+            }
+            let both: Vec<f64> = a.iter().chain(&b).copied().collect();
+            prop_assert_eq!(merged.counts(), of(&both).counts());
+            prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        }
+
+        /// Merge is associative (and commutative): any grouping of three
+        /// shards yields identical buckets, so distributed aggregation
+        /// can combine partial histograms in any order.
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in samples(),
+            b in samples(),
+            c in samples(),
+        ) {
+            let (ha, hb, hc) = (of(&a), of(&b), of(&c));
+            // (a ⊕ b) ⊕ c
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            // a ⊕ (b ⊕ c)
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left.counts(), right.counts());
+            // b ⊕ a
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(ab.counts(), ba.counts());
+        }
+
+        /// Quantiles are monotone in q, always land on a bucket lower
+        /// bound at or below the true value's bucket upper bound, and
+        /// match across a merge-equivalent construction.
+        #[test]
+        fn quantiles_are_monotone_and_merge_stable(a in samples(), b in samples()) {
+            let both: Vec<f64> = a.iter().chain(&b).copied().collect();
+            let mut merged = of(&a);
+            merged.merge(&of(&b));
+            let direct = of(&both);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+            }
+            if !both.is_empty() {
+                let qs: Vec<f64> = [0.1, 0.5, 0.9, 0.99]
+                    .iter()
+                    .map(|&q| merged.quantile(q).expect("non-empty"))
+                    .collect();
+                for w in qs.windows(2) {
+                    prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+                }
+            }
+        }
+    }
+}
+
 mod batch_kernels {
     use probzelus::distributions::{batch, Beta, Distribution, Gamma, Gaussian};
     use proptest::prelude::*;
