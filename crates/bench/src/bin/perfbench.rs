@@ -9,8 +9,17 @@
 //! ```text
 //! perfbench [--quick] [--label NAME] [--out PATH] [--fresh]
 //!           [--strategy clone-minimal|clone-all] [--layout aos|soa]
+//! perfbench --dsl            # DSL hmm.zl, optimized vs unoptimized µF
 //! perfbench --check PATH     # validate an existing trajectory file
 //! ```
+//!
+//! `--dsl` compiles `examples/zelus/hmm.zl` twice — through the plain
+//! pipeline and through the optimizing pass pipeline (`pzc opt`) — and
+//! drives both µF interpreters over the same observations. It asserts the
+//! posteriors are **bit-identical at every tick** before recording the
+//! rows, so a throughput win in the trajectory is guaranteed to come from
+//! the optimizer (prelude hoisting, folding, DSE, CSE) and not from a
+//! semantic drift.
 //!
 //! Timing numbers are machine-dependent; everything else in an entry —
 //! seeds, counts, the final posterior mean, clones avoided — is
@@ -238,6 +247,128 @@ fn run_suite(
             particles,
             label,
         ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// DSL mode: optimized vs unoptimized µF, with a built-in bit-identity
+// oracle. Slower than the native-model suite (it runs the interpreter),
+// so it uses smaller clouds, but the comparison is opt vs unopt at the
+// same size, which is the quantity of interest.
+// ---------------------------------------------------------------------
+
+/// Times one compiled DSL engine over `inputs`, recording posterior bits
+/// for the cross-engine oracle.
+fn drive_dsl(
+    compiled: &probzelus::lang::Compiled,
+    inputs: &[probzelus_core::Value],
+    method: Method,
+    layout: ParticleLayout,
+    particles: usize,
+    label: String,
+) -> (Entry, Vec<u64>) {
+    use probzelus::lang::Options;
+    let mut engine = compiled
+        .infer_node(
+            "hmm",
+            particles,
+            Options {
+                method,
+                seed: ENGINE_SEED,
+            },
+        )
+        .expect("hmm.zl infers")
+        .with_particle_layout(layout);
+    let mut latencies = LogHistogram::new();
+    let mut bits = Vec::with_capacity(inputs.len());
+    let mut peak_live_bytes = 0usize;
+    let mut mean = f64::NAN;
+    let t_all = Instant::now();
+    for y in inputs {
+        let t0 = Instant::now();
+        let posterior = engine.step(y).expect("benchmark models do not fail");
+        latencies.record(t0.elapsed().as_secs_f64() * 1e3);
+        peak_live_bytes = peak_live_bytes.max(engine.memory().live_bytes);
+        mean = posterior.mean_float();
+        bits.push(mean.to_bits());
+    }
+    let wall = t_all.elapsed().as_secs_f64();
+    let q = |p: f64| latencies.quantile(p).unwrap_or(0.0);
+    let entry = Entry {
+        label,
+        bench: "hmm-dsl",
+        method,
+        strategy: ResampleStrategy::CloneMinimal,
+        layout,
+        particles,
+        ticks: inputs.len(),
+        ticks_per_sec: inputs.len() as f64 / wall,
+        p50_ms: q(0.50),
+        p99_ms: q(0.99),
+        peak_live_bytes,
+        clones_avoided: engine.resample_stats().clones_avoided,
+        posterior_mean_final: mean,
+        deadline_ms: None,
+        deadline_misses: None,
+    };
+    (entry, bits)
+}
+
+fn run_dsl_suite(quick: bool, layout: ParticleLayout, label: &str) -> Vec<Entry> {
+    use probzelus::lang::{compile_source, compile_source_opt};
+    let (ticks, particles) = if quick { (150, 32) } else { (500, 64) };
+    let src_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/zelus/hmm.zl");
+    let src = std::fs::read_to_string(src_path).expect("examples/zelus/hmm.zl is readable");
+    let base = compile_source(&src).expect("hmm.zl compiles");
+    let opt = compile_source_opt(&src).expect("hmm.zl compiles optimized");
+    assert!(
+        opt.plans.contains_key("hmm"),
+        "the optimizer should hoist hmm's particle-invariant equations"
+    );
+    let inputs: Vec<probzelus_core::Value> = generate_kalman(DATA_SEED, ticks)
+        .obs
+        .into_iter()
+        .map(probzelus_core::Value::Float)
+        .collect();
+    let methods = [
+        Method::ParticleFilter,
+        Method::BoundedDs,
+        Method::StreamingDs,
+    ];
+    let mut out = Vec::new();
+    for method in methods {
+        let (row_base, bits_base) = drive_dsl(
+            &base,
+            &inputs,
+            method,
+            layout,
+            particles,
+            format!("{label}-unopt"),
+        );
+        let (row_opt, bits_opt) = drive_dsl(
+            &opt,
+            &inputs,
+            method,
+            layout,
+            particles,
+            format!("{label}-opt"),
+        );
+        // The whole point of the row pair: the optimizer must be
+        // semantically invisible before its speedup counts for anything.
+        assert_eq!(
+            bits_base, bits_opt,
+            "hmm-dsl {method:?}/{layout}: optimized posterior drifted"
+        );
+        println!(
+            "hmm-dsl {method:>3} {layout}: {opt_tps:.0} ticks/s optimized vs \
+             {base_tps:.0} unoptimized ({gain:+.1}%), posteriors bit-identical",
+            opt_tps = row_opt.ticks_per_sec,
+            base_tps = row_base.ticks_per_sec,
+            gain = 100.0 * (row_opt.ticks_per_sec / row_base.ticks_per_sec - 1.0),
+        );
+        out.push(row_base);
+        out.push(row_opt);
     }
     out
 }
@@ -832,6 +963,8 @@ mod deadline {
 
 const USAGE: &str = "usage: perfbench [--quick] [--label NAME] [--out PATH] [--fresh]
                  [--strategy clone-minimal|clone-all] [--layout aos|soa]
+       perfbench --dsl            # hmm.zl via the DSL pipeline, optimized
+                                  # vs unoptimized, bit-identity asserted
        perfbench --deadline MS|auto [--floor N] [--assert-improves]
                  [--trace-out PATH] [--obs-out PATH] [other flags as above]
                  (requires the `chaos` feature; --obs-out also `obs`)
@@ -852,6 +985,7 @@ enum DeadlineSpec {
 struct Cli {
     quick: bool,
     fresh: bool,
+    dsl: bool,
     label: String,
     out: String,
     strategy: ResampleStrategy,
@@ -868,6 +1002,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         quick: false,
         fresh: false,
+        dsl: false,
         label: String::from("run"),
         out: String::from("BENCH_step_latency.json"),
         strategy: ResampleStrategy::CloneMinimal,
@@ -889,6 +1024,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         match arg.as_str() {
             "--quick" => cli.quick = true,
             "--fresh" => cli.fresh = true,
+            "--dsl" => cli.dsl = true,
             "--assert-improves" => cli.assert_improves = true,
             "--label" => cli.label = take()?,
             "--out" => cli.out = take()?,
@@ -1006,7 +1142,12 @@ fn main() {
         return;
     }
 
-    for entry in run_suite(cli.quick, cli.strategy, cli.layout, &cli.label) {
+    let rows = if cli.dsl {
+        run_dsl_suite(cli.quick, cli.layout, &cli.label)
+    } else {
+        run_suite(cli.quick, cli.strategy, cli.layout, &cli.label)
+    };
+    for entry in rows {
         println!(
             "{label:>12} {bench:>5} {method:>3} {tps:>9.0} ticks/s  p50 {p50:.4}ms  p99 {p99:.4}ms  \
              peak {peak}B  avoided {avoided}",
@@ -1038,6 +1179,15 @@ mod tests {
             for entry in run_suite(true, ResampleStrategy::CloneMinimal, layout, "test") {
                 check_entry(&entry.to_json()).expect("schema-valid");
             }
+        }
+    }
+
+    #[test]
+    fn dsl_rows_satisfy_the_schema() {
+        // `run_dsl_suite` asserts opt-vs-unopt bit-identity internally;
+        // this also guards the rows against schema drift.
+        for entry in run_dsl_suite(true, ParticleLayout::PerParticle, "test") {
+            check_entry(&entry.to_json()).expect("schema-valid");
         }
     }
 

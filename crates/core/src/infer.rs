@@ -1273,6 +1273,28 @@ impl<M: Model> Infer<M> {
     ///
     /// See [`Infer::step`].
     pub fn step_outcome(&mut self, input: &M::Input) -> Result<StepOutcome, RuntimeError> {
+        self.step_outcome_with(input, None)
+    }
+
+    /// Like [`Infer::step_outcome`], but runs `prelude` once on the
+    /// coordinator before any particle steps. Compiled reactive programs
+    /// use this to evaluate particle-invariant equations a single time
+    /// per tick and broadcast the result to every particle (the hoisted
+    /// prelude of the optimizing µF pipeline); the hook typically rebinds
+    /// the model's shared transition closure. The hook runs inside the
+    /// step's timing window, so deadline measurement and span tracing
+    /// account for it. A hook error fails the step before any particle
+    /// advances.
+    ///
+    /// # Errors
+    ///
+    /// The hook's error verbatim, or any error [`Infer::step_outcome`]
+    /// can produce.
+    pub fn step_outcome_with(
+        &mut self,
+        input: &M::Input,
+        prelude: Option<&mut dyn FnMut() -> Result<(), RuntimeError>>,
+    ) -> Result<StepOutcome, RuntimeError> {
         let generation = self.steps;
         let n = self.num_particles;
         // One clock read serves both consumers of step latency — the
@@ -1295,6 +1317,12 @@ impl<M: Model> Infer<M> {
         #[cfg(not(feature = "obs"))]
         let need_clock = deadline_measuring;
         let t0 = need_clock.then(std::time::Instant::now);
+        // The particle-invariant prelude runs once on the coordinator,
+        // inside the timing window but before any particle state is
+        // touched, so a failing prelude leaves the step un-taken.
+        if let Some(hook) = prelude {
+            hook()?;
+        }
         // Only SkipObservation needs the rollback snapshot; the other
         // policies do not pay for the clone.
         let snapshot =

@@ -6,6 +6,7 @@
 //! and per-node verdicts that drivers can use to pick an inference method.
 
 pub mod bounded;
+pub mod effects;
 pub mod lints;
 
 use crate::ast::{Eq, Expr};

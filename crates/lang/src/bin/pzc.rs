@@ -3,8 +3,10 @@
 //! ```text
 //! pzc check FILE [--lint] [--json]        # full pipeline + static analyses
 //! pzc explain PZ0xxx                      # long-form help for a diagnostic
-//! pzc emit  FILE                          # print the compiled µF code
+//! pzc emit  FILE [--opt]                  # print the compiled µF code
+//! pzc opt   FILE [--json]                 # optimize; show before/after kernel
 //! pzc run   FILE NODE [options]           # run a node over an input stream
+//! pzc schema                              # the --json output contract (Markdown)
 //!
 //! check options:
 //!   --lint               also run style lints (unused-stream, ...)
@@ -17,6 +19,7 @@
 //!   --method M           sds | bds | pf | ds | is      (default sds)
 //!   --particles N        for probabilistic nodes       (default 1000)
 //!   --seed S             RNG seed                      (default 0)
+//!   --opt                run through the optimizing pass pipeline
 //! ```
 //!
 //! `check` exits nonzero only on error-severity diagnostics; warnings and
@@ -24,6 +27,13 @@
 //! stepped directly by `run` (their embedded `infer` sites use the
 //! selected method); probabilistic nodes are wrapped in an engine and
 //! their per-step posterior mean/variance is printed.
+//!
+//! `opt` runs the optimizing µF pass pipeline (constant folding, dead
+//! stream elimination, common-subexpression factoring, particle-invariant
+//! hoisting), reports what each pass did as `PZ05xx`/`PZ06xx` lint
+//! diagnostics, and prints the scheduled kernel before and after. The
+//! passes are posterior-preserving: `run --opt` produces bit-identical
+//! output.
 
 use probzelus_core::infer::Method;
 use probzelus_core::Value;
@@ -31,7 +41,11 @@ use probzelus_lang::diag;
 use probzelus_lang::eval::Options;
 use probzelus_lang::muf::MufValue;
 use probzelus_lang::muf_pretty::print_muf_program;
-use probzelus_lang::pipeline::{check_source, compile_source};
+use probzelus_lang::pipeline::{
+    check_source, compile_source, compile_source_opt, optimize_source, Compiled,
+};
+use probzelus_lang::pretty::print_program;
+use probzelus_lang::transform::opt::OptConfig;
 use probzelus_lang::{Code, Kind, Severity};
 use std::process::ExitCode;
 
@@ -46,9 +60,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: pzc <check|explain|emit|run> FILE|CODE [NODE] [--lint] [--json] \
+    "usage: pzc <check|explain|emit|opt|run|schema> FILE|CODE [NODE] [--lint] [--json] \
      [--explain PZ0xxx] [--inputs v1,v2,..] [--steps N] \
-     [--method sds|bds|pf|ds|is] [--particles N] [--seed S]"
+     [--method sds|bds|pf|ds|is] [--particles N] [--seed S] [--opt]"
         .to_string()
 }
 
@@ -62,6 +76,7 @@ fn run() -> Result<ExitCode, String> {
     let mut seed = 0u64;
     let mut lint = false;
     let mut json = false;
+    let mut optimize = false;
     let mut explain: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -70,6 +85,7 @@ fn run() -> Result<ExitCode, String> {
         match a.as_str() {
             "--lint" => lint = true,
             "--json" => json = true,
+            "--opt" => optimize = true,
             "--explain" => explain = Some(flag_value("--explain")?),
             "--inputs" => inputs = Some(flag_value("--inputs")?),
             "--steps" => {
@@ -110,6 +126,11 @@ fn run() -> Result<ExitCode, String> {
         return explain_code(&code);
     }
 
+    if pos.first().map(String::as_str) == Some("schema") {
+        print!("{}", schema_md());
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let (cmd, arg) = match (pos.first(), pos.get(1)) {
         (Some(c), Some(f)) => (c.clone(), f.clone()),
         _ => return Err(usage()),
@@ -122,15 +143,24 @@ fn run() -> Result<ExitCode, String> {
     let file = arg;
     let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
 
+    let compile = |src: &str| -> Result<Compiled, String> {
+        if optimize {
+            compile_source_opt(src).map_err(|e| format!("{file}: {e}"))
+        } else {
+            compile_source(src).map_err(|e| format!("{file}: {e}"))
+        }
+    };
+
     match cmd.as_str() {
         "check" => Ok(check(&file, &src, lint, json)),
+        "opt" => Ok(opt_cmd(&file, &src, json)),
         "emit" => {
-            let compiled = compile_source(&src).map_err(|e| format!("{file}: {e}"))?;
+            let compiled = compile(&src)?;
             print!("{}", print_muf_program(&compiled.muf));
             Ok(ExitCode::SUCCESS)
         }
         "run" => {
-            let compiled = compile_source(&src).map_err(|e| format!("{file}: {e}"))?;
+            let compiled = compile(&src)?;
             let node = pos
                 .get(2)
                 .cloned()
@@ -177,6 +207,84 @@ fn run() -> Result<ExitCode, String> {
     }
 }
 
+/// `pzc schema`: the machine-readable output contract, as Markdown.
+/// `docs/CHECK_JSON.md` is the checked-in copy; CI regenerates this and
+/// diffs, so the document cannot drift from the binary that emits the
+/// lines (the same pattern as `obsreport --schema-md` / docs/METRICS.md).
+/// The diagnostic-code list is read from the live catalog.
+fn schema_md() -> String {
+    let mut codes = String::new();
+    for (i, code) in diag::ALL_CODES.iter().enumerate() {
+        if i > 0 {
+            codes.push_str(", ");
+        }
+        codes.push_str(&format!("`{code}`"));
+    }
+    format!(
+        r#"# `pzc` machine-readable output
+
+<!-- Generated by `pzc schema`. Do not edit by hand: CI diffs this file
+     against the binary's output. Regenerate with
+       cargo run --release -p probzelus-lang --bin pzc -- schema > docs/CHECK_JSON.md -->
+
+`pzc check FILE [--lint] --json` prints one JSON object per line to
+stdout: first one **node** object per compiled node (sorted by name) —
+omitted entirely when the pipeline fails before compilation — then one
+**diagnostic** object per diagnostic. `pzc opt FILE --json` prints the
+optimizer's diagnostic objects followed by exactly one **opt-summary**
+object. No other line shapes exist; a consumer can dispatch on the
+`kind` field for node/opt-summary lines and on the presence of `code`
+for diagnostics.
+
+## `node` objects (`pzc check --json`)
+
+| field | type | meaning |
+|---|---|---|
+| `kind` | string | always `"node"` |
+| `name` | string | node name as written in the source |
+| `node_kind` | string | `"D"` (deterministic) or `"P"` (probabilistic), Fig. 7 kinds |
+| `input` | string | rendered input type |
+| `output` | string | rendered output type |
+| `verdict` | string | boundedness verdict: `Bounded(k)` or `Unbounded(witness)` |
+| `effect` | string | effect-lattice analysis result: `"pure"`, `"det"`, or `"prob"` |
+| `invariant` | number | count of particle-invariant equations (hoist candidates) |
+
+## diagnostic objects (`pzc check --json`, `pzc opt --json`)
+
+| field | type | meaning |
+|---|---|---|
+| `code` | string | one of the catalog codes listed below |
+| `severity` | string | `"error"`, `"warning"`, or `"lint"` |
+| `stage` | string? | pipeline stage: `lex`, `parse`, `kind`, `type`, `init`, `schedule`, `compile`, `eval`; absent on stageless lints |
+| `message` | string | human-readable one-liner |
+| `pos` | object? | primary position `{{"line":N,"col":N}}` (1-based); absent when unknown |
+| `labels` | array? | secondary positions `[{{"line":N,"col":N,"message":"..."}}]`; absent when empty |
+| `notes` | array? | free-form follow-up strings; absent when empty |
+
+Catalog codes ({n} today; `pzc explain CODE` gives the long form):
+{codes}.
+
+## `opt-summary` objects (`pzc opt --json`)
+
+| field | type | meaning |
+|---|---|---|
+| `kind` | string | always `"opt-summary"` |
+| `folded` | number | equations folded to compile-time constants |
+| `removed` | number | dead streams eliminated |
+| `cse` | number | common subexpressions factored into fresh streams |
+| `hoisted` | array | names of nodes whose particle-invariant equations moved into a shared per-tick prelude (sorted) |
+
+## Exit status
+
+`pzc check` exits nonzero only when at least one diagnostic has
+severity `error`; warnings and lints report but pass. `pzc opt` never
+fails on lints — its diagnostics describe transformations performed,
+not defects.
+"#,
+        n = diag::ALL_CODES.len(),
+    )
+}
+
 /// `pzc check`: pipeline + boundedness analysis (+ lints), diagnostics to
 /// stderr, node summary to stdout. Exits nonzero only on hard errors.
 fn check(file: &str, src: &str, lint: bool, json: bool) -> ExitCode {
@@ -191,9 +299,16 @@ fn check(file: &str, src: &str, lint: bool, json: bool) -> ExitCode {
                     .bounded
                     .get(name)
                     .map_or_else(|| "unknown".to_string(), |v| v.to_string());
+                let effect = compiled.effects.node_effect(name);
+                let invariant = compiled
+                    .effects
+                    .invariant
+                    .get(name.as_str())
+                    .map_or(0, std::collections::BTreeSet::len);
                 println!(
                     "{{\"kind\":\"node\",\"name\":\"{name}\",\"node_kind\":\"{}\",\
-                     \"input\":\"{}\",\"output\":\"{}\",\"verdict\":\"{verdict}\"}}",
+                     \"input\":\"{}\",\"output\":\"{}\",\"verdict\":\"{verdict}\",\
+                     \"effect\":\"{effect}\",\"invariant\":{invariant}}}",
                     compiled.kinds[name], sig.input, sig.output
                 );
             }
@@ -215,8 +330,14 @@ fn check(file: &str, src: &str, lint: bool, json: bool) -> ExitCode {
                     .bounded
                     .get(name)
                     .map_or_else(|| "unknown".to_string(), |v| v.to_string());
+                let effect = compiled.effects.node_effect(name);
+                let invariant = compiled
+                    .effects
+                    .invariant
+                    .get(name.as_str())
+                    .map_or(0, std::collections::BTreeSet::len);
                 println!(
-                    "  {:<4} node {name} : {} -> {}  [{verdict}]",
+                    "  {:<4} node {name} : {} -> {}  [{verdict}] [{effect}, {invariant} invariant]",
                     compiled.kinds[name].to_string(),
                     sig.input,
                     sig.output
@@ -241,6 +362,69 @@ fn check(file: &str, src: &str, lint: bool, json: bool) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `pzc opt`: run the optimizing pass pipeline and show its work — the
+/// scheduled kernel before and after, every pass's diagnostic, and a
+/// summary line. Never fails the build (the passes are advisory surface;
+/// a program that optimizes to nothing is still a valid program).
+fn opt_cmd(file: &str, src: &str, json: bool) -> ExitCode {
+    let optimized = match optimize_source(src, &OptConfig::default()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let report = &optimized.report;
+    let mut hoists: Vec<String> = report
+        .plans
+        .values()
+        .map(|p| format!("{} ({} eqs)", p.node, p.hoisted.len()))
+        .collect();
+    hoists.sort();
+    if json {
+        for d in &report.diagnostics {
+            println!("{}", d.to_json());
+        }
+        println!(
+            "{{\"kind\":\"opt-summary\",\"folded\":{},\"removed\":{},\"cse\":{},\
+             \"hoisted\":[{}]}}",
+            report.folded,
+            report.removed,
+            report.cse,
+            {
+                let mut nodes: Vec<String> = report
+                    .plans
+                    .values()
+                    .map(|p| format!("\"{}\"", p.node))
+                    .collect();
+                nodes.sort();
+                nodes.join(",")
+            }
+        );
+    } else {
+        println!("--- scheduled kernel (before) ---");
+        print!("{}", print_program(&optimized.baseline.kernel));
+        println!("--- optimized kernel (after) ---");
+        print!("{}", print_program(&optimized.compiled.kernel));
+        for d in &report.diagnostics {
+            eprintln!("{}", d.render(file, src));
+        }
+        println!(
+            "{file}: {} folded, {} dead stream(s) removed, {} subexpression(s) factored, \
+             hoisted: {}",
+            report.folded,
+            report.removed,
+            report.cse,
+            if hoists.is_empty() {
+                "none".to_string()
+            } else {
+                hoists.join(", ")
+            }
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn explain_code(spec: &str) -> Result<ExitCode, String> {

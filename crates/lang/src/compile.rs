@@ -16,7 +16,8 @@ use crate::ast::{Const, Eq, Expr, NodeDecl, Pattern, Program};
 use crate::error::{LangError, Stage};
 use crate::muf::{MufDef, MufExpr, MufPat, MufProgram};
 use crate::transform::is_kernel;
-use std::collections::HashSet;
+use crate::transform::opt::HoistPlan;
+use std::collections::{HashMap, HashSet};
 
 /// Compiles a kernel, scheduled program to µF.
 ///
@@ -25,7 +26,25 @@ use std::collections::HashSet;
 /// Rejects programs containing derived forms (compile after
 /// [`crate::transform::desugar_program`]) or duplicate definitions.
 pub fn compile_program(p: &Program) -> Result<MufProgram, LangError> {
-    let mut c = Compiler { fresh: 0 };
+    compile_program_with(p, &HashMap::new())
+}
+
+/// Like [`compile_program`], but compiles each `infer` site whose target
+/// node has a [`HoistPlan`] into the split prelude/main form: the
+/// particle-invariant prelude (including the site argument) runs once per
+/// tick on the coordinator, and every particle steps the residual
+/// `{node}#main` with the broadcast prelude output. The program must
+/// already contain the plan's generated `{node}#prelude` / `{node}#main`
+/// nodes (the optimizer inserts them).
+///
+/// # Errors
+///
+/// As for [`compile_program`].
+pub fn compile_program_with(
+    p: &Program,
+    plans: &HashMap<String, HoistPlan>,
+) -> Result<MufProgram, LangError> {
+    let mut c = Compiler { fresh: 0, plans };
     let mut defs = Vec::new();
     for node in &p.nodes {
         if !is_kernel(&node.body) {
@@ -44,6 +63,27 @@ pub fn compile_program(p: &Program) -> Result<MufProgram, LangError> {
             expr: init,
         });
     }
+    // One wrap global per planned node, for driver-facing engines
+    // (`infer_node`): maps this tick's prelude output to the per-particle
+    // transition closure, `fun hv -> fun (s, x) -> main_step (s, (x, hv))`.
+    for node in &p.nodes {
+        if let Some(plan) = plans.get(&node.name) {
+            let (hv, s, x) = (c.fresh("v"), c.fresh("s"), c.fresh("x"));
+            defs.push(MufDef {
+                name: wrap_name(&node.name),
+                expr: fun(
+                    MufPat::var(&hv),
+                    fun(
+                        MufPat::pair(MufPat::var(&s), MufPat::var(&x)),
+                        app(
+                            var(step_name(&plan.main_node)),
+                            tuple(vec![var(&s), tuple(vec![var(&x), var(&hv)])]),
+                        ),
+                    ),
+                ),
+            });
+        }
+    }
     Ok(MufProgram { defs })
 }
 
@@ -57,14 +97,21 @@ pub fn init_name(node: &str) -> String {
     format!("{node}_init")
 }
 
+/// The global name of a planned node's driver-side wrap function (takes
+/// the original node's name, not `{node}#main`).
+pub fn wrap_name(node: &str) -> String {
+    format!("{node}#wrap")
+}
+
 /// The variable carrying `last x` values in compiled code. The `#` cannot
 /// appear in source identifiers, so there is no capture risk.
 fn last_var(x: &str) -> String {
     format!("{x}#last")
 }
 
-struct Compiler {
+struct Compiler<'p> {
     fresh: u32,
+    plans: &'p HashMap<String, HoistPlan>,
 }
 
 fn var(name: impl Into<String>) -> MufExpr {
@@ -135,7 +182,7 @@ fn normalize_where(eqs: &[Eq]) -> Result<NormalizedEqs, LangError> {
     Ok((inits, defs))
 }
 
-impl Compiler {
+impl Compiler<'_> {
     fn fresh(&mut self, hint: &str) -> String {
         self.fresh += 1;
         format!("{hint}%{}", self.fresh)
@@ -400,21 +447,85 @@ impl Compiler {
                 arg,
             } => {
                 let sigma = self.fresh("sigma");
-                let inner = self.c(&Expr::App(node.clone(), arg.clone()))?;
-                Ok(fun(
-                    MufPat::var(&sigma),
-                    MufExpr::Infer {
-                        particles: *particles,
-                        body: Box::new(inner),
-                        state: Box::new(var(&sigma)),
-                    },
-                ))
+                let plans = self.plans;
+                if let Some(plan) = plans.get(node) {
+                    let wrap = self.wrap_embedded(plan);
+                    let pre = self.prelude_transition(plan, arg)?;
+                    Ok(fun(
+                        MufPat::var(&sigma),
+                        MufExpr::Infer {
+                            particles: *particles,
+                            body: Box::new(wrap),
+                            state: Box::new(var(&sigma)),
+                            prelude: Some(Box::new(pre)),
+                        },
+                    ))
+                } else {
+                    let inner = self.c(&Expr::App(node.clone(), arg.clone()))?;
+                    Ok(fun(
+                        MufPat::var(&sigma),
+                        MufExpr::Infer {
+                            particles: *particles,
+                            body: Box::new(inner),
+                            state: Box::new(var(&sigma)),
+                            prelude: None,
+                        },
+                    ))
+                }
             }
             Expr::Arrow(_, _) | Expr::Pre(_) | Expr::Fby(_, _) => Err(LangError::new(
                 Stage::Compile,
                 "derived form reached the compiler; desugar first",
             )),
         }
+    }
+
+    /// The per-tick prelude transition of an optimized `infer` site:
+    /// `fun (sa, sp) -> let (va, na) = C(arg)(sa) in
+    ///                  let (vp, np) = prelude_step (sp, va) in
+    ///                  ((va, vp), (na, np))` —
+    /// advances the site argument and the hoisted equations once on the
+    /// coordinator, yielding the broadcast value `(va, vp)`.
+    fn prelude_transition(&mut self, plan: &HoistPlan, arg: &Expr) -> Result<MufExpr, LangError> {
+        let (sa, sp) = (self.fresh("s"), self.fresh("s"));
+        let (va, na) = (self.fresh("v"), self.fresh("s"));
+        let (vp, np) = (self.fresh("v"), self.fresh("s"));
+        let carg = self.c(arg)?;
+        Ok(fun(
+            MufPat::pair(MufPat::var(&sa), MufPat::var(&sp)),
+            let_(
+                MufPat::pair(MufPat::var(&va), MufPat::var(&na)),
+                app(carg, var(&sa)),
+                let_(
+                    MufPat::pair(MufPat::var(&vp), MufPat::var(&np)),
+                    app(
+                        var(step_name(&plan.prelude_node)),
+                        tuple(vec![var(&sp), var(&va)]),
+                    ),
+                    tuple(vec![
+                        tuple(vec![var(&va), var(&vp)]),
+                        tuple(vec![var(&na), var(&np)]),
+                    ]),
+                ),
+            ),
+        ))
+    }
+
+    /// The wrap function of an embedded optimized site: maps this tick's
+    /// broadcast prelude output to the per-particle transition closure,
+    /// `fun hv -> fun s -> main_step (s, hv)`.
+    fn wrap_embedded(&mut self, plan: &HoistPlan) -> MufExpr {
+        let (hv, s) = (self.fresh("v"), self.fresh("s"));
+        fun(
+            MufPat::var(&hv),
+            fun(
+                MufPat::var(&s),
+                app(
+                    var(step_name(&plan.main_node)),
+                    tuple(vec![var(&s), var(&hv)]),
+                ),
+            ),
+        )
     }
 
     fn c_where(&mut self, body: &Expr, eqs: &[Eq]) -> Result<MufExpr, LangError> {
@@ -512,12 +623,37 @@ impl Compiler {
                 node,
                 arg,
             } => {
-                let inner_app = Expr::App(node.clone(), arg.clone());
-                Ok(MufExpr::EngineInit {
-                    particles: *particles,
-                    init: Box::new(self.a(&inner_app)?),
-                    body: Box::new(self.c(&inner_app)?),
-                })
+                let plans = self.plans;
+                if let Some(plan) = plans.get(node) {
+                    // Prelude state first so nested engine allocations in
+                    // `A(arg)` draw seeds in the same order as the
+                    // unoptimized `(A(arg), f_init ())` form.
+                    let pre_state = tuple(vec![
+                        self.a(arg)?,
+                        app(
+                            var(init_name(&plan.prelude_node)),
+                            MufExpr::Const(Const::Unit),
+                        ),
+                    ]);
+                    let pre = self.prelude_transition(plan, arg)?;
+                    Ok(MufExpr::EngineInit {
+                        particles: *particles,
+                        init: Box::new(app(
+                            var(init_name(&plan.main_node)),
+                            MufExpr::Const(Const::Unit),
+                        )),
+                        body: Box::new(self.wrap_embedded(plan)),
+                        prelude: Some(Box::new(tuple(vec![pre_state, pre]))),
+                    })
+                } else {
+                    let inner_app = Expr::App(node.clone(), arg.clone());
+                    Ok(MufExpr::EngineInit {
+                        particles: *particles,
+                        init: Box::new(self.a(&inner_app)?),
+                        body: Box::new(self.c(&inner_app)?),
+                        prelude: None,
+                    })
+                }
             }
             Expr::Arrow(_, _) | Expr::Pre(_) | Expr::Fby(_, _) => Err(LangError::new(
                 Stage::Compile,

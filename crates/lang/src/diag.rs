@@ -47,12 +47,20 @@ impl Code {
     pub const UNBOUNDED_CHAIN: Code = Code(501);
     /// Inference method does not match the boundedness verdict.
     pub const METHOD_MISMATCH: Code = Code(502);
+    /// Particle-invariant equations hoisted to a shared prelude.
+    pub const OPT_HOISTED_PRELUDE: Code = Code(503);
     /// Lint: stream defined but never read.
     pub const LINT_UNUSED_STREAM: Code = Code(601);
     /// Lint: observing a constant distribution.
     pub const LINT_OBSERVE_CONST: Code = Code(602);
     /// Lint: probabilistic node with no `observe`/`factor`.
     pub const LINT_RESAMPLE_FREE: Code = Code(603);
+    /// Optimizer: dead stream removed.
+    pub const OPT_DEAD_STREAM: Code = Code(604);
+    /// Optimizer: common subexpression factored out.
+    pub const OPT_CSE: Code = Code(605);
+    /// Optimizer: equation folded to a constant.
+    pub const OPT_CONST_FOLD: Code = Code(606);
     /// Internal compilation error.
     pub const COMPILE: Code = Code(701);
     /// Runtime (µF evaluation) error.
@@ -341,9 +349,13 @@ pub const ALL_CODES: &[Code] = &[
     Code::SCHED_CYCLE,
     Code::UNBOUNDED_CHAIN,
     Code::METHOD_MISMATCH,
+    Code::OPT_HOISTED_PRELUDE,
     Code::LINT_UNUSED_STREAM,
     Code::LINT_OBSERVE_CONST,
     Code::LINT_RESAMPLE_FREE,
+    Code::OPT_DEAD_STREAM,
+    Code::OPT_CSE,
+    Code::OPT_CONST_FOLD,
     Code::COMPILE,
     Code::EVAL,
 ];
@@ -431,6 +443,15 @@ pub fn explain(code: Code) -> Option<&'static str> {
              will still grow). Reported at run time, and on the `obs` event stream as \
              `check.advisory` when telemetry is enabled."
         }
+        Code::OPT_HOISTED_PRELUDE => {
+            "PZ0503: particle-invariant equations hoisted to a shared prelude.\n\nThe effect \
+             analysis proved these equations deterministic (no `sample`/`observe`/`factor` \
+             reachable) and particle-invariant (their value depends only on the node input, \
+             the clock, and other invariant state), so the optimizer moved them into a \
+             prelude node evaluated once per tick and broadcast to every particle, instead \
+             of being re-evaluated N times. Reported by `pzc opt`; purely informational — \
+             posteriors are bit-identical with and without the transform."
+        }
         Code::LINT_UNUSED_STREAM => {
             "PZ0601: stream defined but never read.\n\nThe equation's variable is read by no \
              other equation and not returned by the node body, so the stream (and any \
@@ -449,6 +470,29 @@ pub fn explain(code: Code) -> Option<&'static str> {
              updates particle weights, so inference degenerates to forward sampling and \
              `infer` pays for particles that are never reweighted.\n\nSuppress per node with \
              `(*@ allow resample-free-infer *)`."
+        }
+        Code::OPT_DEAD_STREAM => {
+            "PZ0604: dead stream removed.\n\nThe optimizer's dead-stream elimination (the \
+             transform counterpart of lint PZ0601) removed an equation whose variable is \
+             read by no live equation and not returned by the node body. Only effect-free \
+             equations are removed: anything that can `sample`, `observe`, `factor`, or \
+             allocate an inference engine is kept even when unread, so posteriors and the \
+             engine seed order are unchanged. Reported by `pzc opt`."
+        }
+        Code::OPT_CSE => {
+            "PZ0605: common subexpression factored out.\n\nThe optimizer found a pure, \
+             stateless expression computed more than once in the same equation set and \
+             introduced a fresh equation for it, replacing every occurrence with the new \
+             stream. Only strict deterministic operator trees over variables, `last` reads \
+             and constants are factored, so evaluation order and results are unchanged. \
+             Reported by `pzc opt`."
+        }
+        Code::OPT_CONST_FOLD => {
+            "PZ0606: equation folded to a constant.\n\nConstant propagation and folding \
+             reduced this equation's right-hand side to a literal using the runtime's own \
+             value operators (so folded floats are bit-identical to what evaluation would \
+             produce). Operations that would fail at run time (e.g. division by zero) are \
+             left unfolded to preserve the error. Reported by `pzc opt`."
         }
         Code::COMPILE => {
             "PZ0701: internal compilation error.\n\nThe kernel-to-µF compiler rejected the \

@@ -28,11 +28,15 @@ pub mod transform;
 pub mod types;
 
 pub use analysis::bounded::Verdict;
+pub use analysis::effects::{Effect, EffectReport};
 pub use ast::{Const, Eq, Expr, NodeDecl, OpName, Pattern, Program};
 pub use diag::{Code, Diagnostic, Severity};
 pub use error::{LangError, Pos, Stage};
-pub use eval::{Instance, MufEngine, Options};
+pub use eval::{Instance, MufEngine, MufPrelude, Options};
 pub use kinds::Kind;
 pub use muf::{MufProgram, MufValue};
-pub use pipeline::{check_source, compile_source, Checked, Compiled};
+pub use pipeline::{
+    check_source, compile_source, compile_source_opt, optimize_source, Checked, Compiled, Optimized,
+};
+pub use transform::opt::{HoistPlan, OptConfig, OptReport};
 pub use types::{NodeSig, Ty};

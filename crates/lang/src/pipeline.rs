@@ -7,19 +7,21 @@
 //! ```
 
 use crate::analysis::bounded::{self, BoundedReport, Verdict};
+use crate::analysis::effects::{self, EffectReport};
 use crate::analysis::lints;
 use crate::ast::Program;
 use crate::automata::expand_program;
-use crate::compile::{compile_program, init_name, step_name};
+use crate::compile::{compile_program, compile_program_with, init_name, step_name, wrap_name};
 use crate::diag::{Code, Diagnostic};
 use crate::error::{LangError, Stage};
-use crate::eval::{Instance, Interp, MufEngine, Options, ProbSlot};
+use crate::eval::{Instance, Interp, MufEngine, MufPrelude, Options, ProbSlot};
 use crate::initcheck;
 use crate::kinds::{self, Kind};
 use crate::muf::{MufProgram, MufValue};
 use crate::parser::parse_program;
 use crate::schedule::schedule_program;
 use crate::transform::desugar_program;
+use crate::transform::opt::{optimize_program, HoistPlan, OptConfig, OptReport};
 use crate::types::{self, NodeSig};
 use probzelus_core::infer::Method;
 use std::collections::HashMap;
@@ -37,6 +39,12 @@ pub struct Compiled {
     pub sigs: HashMap<String, NodeSig>,
     /// Each node's delayed-sampling boundedness verdict.
     pub bounded: HashMap<String, Verdict>,
+    /// The effect & particle-invariance analysis over the kernel.
+    pub effects: EffectReport,
+    /// Hoist plans applied by the optimizer (empty when compiled without
+    /// [`compile_source_opt`]). [`Compiled::infer_node`] consults these to
+    /// attach the per-tick prelude to driver-facing engines.
+    pub plans: HashMap<String, HoistPlan>,
 }
 
 /// Runs the whole pipeline on source text.
@@ -76,6 +84,7 @@ fn build(src: &str) -> Result<(Compiled, BoundedReport, Program), LangError> {
     let kernel = schedule_program(&kernel)?;
     let muf = compile_program(&kernel)?;
     let report = bounded::analyze_program(&kernel, &kinds);
+    let effects = effects::analyze_program(&kernel);
     Ok((
         Compiled {
             kernel,
@@ -83,10 +92,68 @@ fn build(src: &str) -> Result<(Compiled, BoundedReport, Program), LangError> {
             kinds,
             sigs,
             bounded: report.verdicts.clone(),
+            effects,
+            plans: HashMap::new(),
         },
         report,
         program,
     ))
+}
+
+/// The result of [`optimize_source`]: the optimized compilation next to
+/// its unoptimized baseline, plus the optimizer's diagnostics.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The optimized program (hoist plans applied, µF compiled against
+    /// them). Run nodes through this one.
+    pub compiled: Compiled,
+    /// The unoptimized baseline (for before/after display and
+    /// differential checks).
+    pub baseline: Compiled,
+    /// What each pass did — counters and hoist plans.
+    pub report: OptReport,
+}
+
+/// Runs the whole pipeline and then the optimizing µF pass pipeline
+/// (constant propagation/folding, dead-stream elimination, common
+/// subexpression factoring, and particle-invariant hoisting per `cfg`).
+///
+/// The boundedness verdicts are computed on the *unoptimized* kernel —
+/// the hoist transform splits nodes, which must not change what the
+/// analysis reports to users.
+///
+/// # Errors
+///
+/// As for [`compile_source`].
+pub fn optimize_source(src: &str, cfg: &OptConfig) -> Result<Optimized, LangError> {
+    let baseline = compile_source(src)?;
+    let (kernel, report) = optimize_program(&baseline.kernel, cfg)?;
+    let muf = compile_program_with(&kernel, &report.plans)?;
+    let effects = effects::analyze_program(&kernel);
+    let compiled = Compiled {
+        kernel,
+        muf,
+        kinds: baseline.kinds.clone(),
+        sigs: baseline.sigs.clone(),
+        bounded: baseline.bounded.clone(),
+        effects,
+        plans: report.plans.clone(),
+    };
+    Ok(Optimized {
+        compiled,
+        baseline,
+        report,
+    })
+}
+
+/// [`optimize_source`] with every pass enabled, returning just the
+/// optimized compilation.
+///
+/// # Errors
+///
+/// As for [`compile_source`].
+pub fn compile_source_opt(src: &str) -> Result<Compiled, LangError> {
+    optimize_source(src, &OptConfig::default()).map(|o| o.compiled)
 }
 
 /// The result of [`check_source`]: diagnostics plus, when every pipeline
@@ -294,12 +361,36 @@ impl Compiled {
             eprintln!("warning[{}]: {msg}", Code::METHOD_MISMATCH);
         }
         let interp = Interp::new(&self.muf, options)?;
-        let step = interp.global(&step_name(node)).ok_or_else(|| {
-            LangError::new(Stage::Eval, format!("missing compiled step for `{node}`"))
-        })?;
-        let init_thunk = interp.global(&init_name(node)).ok_or_else(|| {
-            LangError::new(Stage::Eval, format!("missing compiled init for `{node}`"))
-        })?;
+        let global = |name: &str| {
+            interp
+                .global(name)
+                .ok_or_else(|| LangError::new(Stage::Eval, format!("missing compiled `{name}`")))
+        };
+        // A planned node runs in split form: particles step the residual
+        // `{node}#main`, and the hoisted `{node}#prelude` advances once
+        // per tick on the coordinator, fed the driver input directly.
+        if let Some(plan) = self.plans.get(node) {
+            let main_step = global(&step_name(&plan.main_node))?;
+            let main_init = global(&init_name(&plan.main_node))?;
+            let pre_step = global(&step_name(&plan.prelude_node))?;
+            let pre_init = global(&init_name(&plan.prelude_node))?;
+            let wrap = global(&wrap_name(node))?;
+            let pre_state = interp.apply(&pre_init, MufValue::unit(), &mut ProbSlot::Det)?;
+            let init_state = interp.apply(&main_init, MufValue::unit(), &mut ProbSlot::Det)?;
+            let prelude = MufPrelude::new(pre_step, wrap, pre_state, true);
+            return Ok(MufEngine::new(
+                interp,
+                options.method,
+                particles,
+                init_state,
+                main_step,
+                true,
+                options.seed,
+            )
+            .with_prelude(prelude));
+        }
+        let step = global(&step_name(node))?;
+        let init_thunk = global(&init_name(node))?;
         let init_state = interp.apply(&init_thunk, MufValue::unit(), &mut ProbSlot::Det)?;
         Ok(MufEngine::new(
             interp,

@@ -23,6 +23,8 @@
 use crate::ast::{Const, Eq, Expr, NodeDecl, Program};
 use std::collections::HashSet;
 
+pub mod opt;
+
 /// Desugars every derived construct in a program.
 pub fn desugar_program(p: &Program) -> Program {
     let mut ctx = Ctx::default();
