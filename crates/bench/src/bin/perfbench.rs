@@ -9,17 +9,27 @@
 //! ```text
 //! perfbench [--quick] [--label NAME] [--out PATH] [--fresh]
 //!           [--strategy clone-minimal|clone-all] [--layout aos|soa]
-//! perfbench --dsl            # DSL hmm.zl, optimized vs unoptimized µF
+//! perfbench --dsl [--backend interp|tape|both]
+//!                            # DSL hmm.zl + robot.zl: unopt vs opt µF
+//!                            # interpreter vs compiled instruction tape
 //! perfbench --check PATH     # validate an existing trajectory file
+//! perfbench --compare A B    # diff two labels; fail on drift/regression
 //! ```
 //!
-//! `--dsl` compiles `examples/zelus/hmm.zl` twice — through the plain
-//! pipeline and through the optimizing pass pipeline (`pzc opt`) — and
-//! drives both µF interpreters over the same observations. It asserts the
-//! posteriors are **bit-identical at every tick** before recording the
-//! rows, so a throughput win in the trajectory is guaranteed to come from
-//! the optimizer (prelude hoisting, folding, DSE, CSE) and not from a
-//! semantic drift.
+//! `--dsl` compiles `examples/zelus/hmm.zl` and `examples/zelus/robot.zl`
+//! twice — through the plain pipeline and through the optimizing pass
+//! pipeline (`pzc opt`) — and drives the µF engines over the same
+//! observations: the unoptimized interpreter, the optimized interpreter,
+//! and (per `--backend`) the optimized program on the flat instruction
+//! tape. It asserts the posteriors are **bit-identical at every tick**
+//! across every engine pair before recording the rows, so a throughput
+//! win in the trajectory is guaranteed to come from the optimizer or the
+//! tape backend and not from a semantic drift.
+//!
+//! `--compare A B` reads the trajectory file back, matches label-A rows
+//! against label-B rows by (bench, method, layout), prints the per-row
+//! speedup, and exits nonzero when a posterior differs by a single bit or
+//! B regresses by more than 5% — the CI gate for backend claims.
 //!
 //! Timing numbers are machine-dependent; everything else in an entry —
 //! seeds, counts, the final posterior mean, clones avoided — is
@@ -252,33 +262,53 @@ fn run_suite(
 }
 
 // ---------------------------------------------------------------------
-// DSL mode: optimized vs unoptimized µF, with a built-in bit-identity
-// oracle. Slower than the native-model suite (it runs the interpreter),
-// so it uses smaller clouds, but the comparison is opt vs unopt at the
-// same size, which is the quantity of interest.
+// DSL mode: optimized vs unoptimized µF, interpreter vs instruction
+// tape, with a built-in bit-identity oracle. Slower than the
+// native-model suite (it runs the µF evaluator), so it uses smaller
+// clouds, but the comparisons are at the same size, which is the
+// quantity of interest.
 // ---------------------------------------------------------------------
 
+/// Which µF execution backends `--dsl` measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendSel {
+    /// Interpreter only: the classic `{label}-unopt` / `{label}-opt` pair.
+    Interp,
+    /// Instruction tape only: one `{label}-tape` row per method.
+    Tape,
+    /// All three rows, with the posterior bits of every pair asserted
+    /// identical.
+    Both,
+}
+
 /// Times one compiled DSL engine over `inputs`, recording posterior bits
-/// for the cross-engine oracle.
+/// for the cross-engine oracle. Under the tape backend the run also
+/// asserts the tape actually engaged — a silent interpreter fallback
+/// would make the row's claim a lie.
+#[allow(clippy::too_many_arguments)]
 fn drive_dsl(
     compiled: &probzelus::lang::Compiled,
+    node: &str,
+    bench: &'static str,
     inputs: &[probzelus_core::Value],
     method: Method,
     layout: ParticleLayout,
     particles: usize,
+    backend: probzelus::lang::ExecBackend,
     label: String,
 ) -> (Entry, Vec<u64>) {
     use probzelus::lang::Options;
     let mut engine = compiled
         .infer_node(
-            "hmm",
+            node,
             particles,
             Options {
                 method,
                 seed: ENGINE_SEED,
+                backend,
             },
         )
-        .expect("hmm.zl infers")
+        .unwrap_or_else(|e| panic!("{bench}: {e}"))
         .with_particle_layout(layout);
     let mut latencies = LogHistogram::new();
     let mut bits = Vec::with_capacity(inputs.len());
@@ -293,11 +323,18 @@ fn drive_dsl(
         mean = posterior.mean_float();
         bits.push(mean.to_bits());
     }
+    if backend == probzelus::lang::ExecBackend::Tape {
+        assert_eq!(
+            engine.tape_status(),
+            Some(Ok(())),
+            "{bench}/{method:?}: the tape backend fell back to the interpreter"
+        );
+    }
     let wall = t_all.elapsed().as_secs_f64();
     let q = |p: f64| latencies.quantile(p).unwrap_or(0.0);
     let entry = Entry {
         label,
-        bench: "hmm-dsl",
+        bench,
         method,
         strategy: ResampleStrategy::CloneMinimal,
         layout,
@@ -315,22 +352,47 @@ fn drive_dsl(
     (entry, bits)
 }
 
-fn run_dsl_suite(quick: bool, layout: ParticleLayout, label: &str) -> Vec<Entry> {
-    use probzelus::lang::{compile_source, compile_source_opt};
-    let (ticks, particles) = if quick { (150, 32) } else { (500, 64) };
-    let src_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/zelus/hmm.zl");
-    let src = std::fs::read_to_string(src_path).expect("examples/zelus/hmm.zl is readable");
-    let base = compile_source(&src).expect("hmm.zl compiles");
-    let opt = compile_source_opt(&src).expect("hmm.zl compiles optimized");
-    assert!(
-        opt.plans.contains_key("hmm"),
-        "the optimizer should hoist hmm's particle-invariant equations"
-    );
-    let inputs: Vec<probzelus_core::Value> = generate_kalman(DATA_SEED, ticks)
-        .obs
-        .into_iter()
-        .map(probzelus_core::Value::Float)
-        .collect();
+/// Synthetic robot sensor stream as nested pairs — the
+/// `(a_obs, (has_gps, (p_obs, cmd)))` input of `gps_acc_tracker`.
+fn robot_dsl_inputs(steps: usize) -> Vec<probzelus_core::Value> {
+    use probzelus_core::Value;
+    (0..steps)
+        .map(|t| {
+            Value::pair(
+                Value::Float((t as f64 * 0.1).sin()),
+                Value::pair(
+                    Value::Bool(t % 4 == 0),
+                    Value::pair(Value::Float(t as f64 * 0.05), Value::Float(0.1)),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Runs one DSL benchmark for every method under the selected backends,
+/// asserting bit-identity across every engine pair it ran.
+#[allow(clippy::too_many_arguments)]
+fn dsl_bench(
+    file: &str,
+    node: &str,
+    bench: &'static str,
+    inputs: &[probzelus_core::Value],
+    layout: ParticleLayout,
+    particles: usize,
+    sel: BackendSel,
+    label: &str,
+) -> Vec<Entry> {
+    use probzelus::lang::{compile_source, compile_source_opt, ExecBackend};
+    let src_path = format!("{}/../../examples/zelus/{file}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&src_path).unwrap_or_else(|e| panic!("{src_path}: {e}"));
+    let base = compile_source(&src).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let opt = compile_source_opt(&src).unwrap_or_else(|e| panic!("{file}: {e}"));
+    if file == "hmm.zl" {
+        assert!(
+            opt.plans.contains_key("hmm"),
+            "the optimizer should hoist hmm's particle-invariant equations"
+        );
+    }
     let methods = [
         Method::ParticleFilter,
         Method::BoundedDs,
@@ -338,39 +400,202 @@ fn run_dsl_suite(quick: bool, layout: ParticleLayout, label: &str) -> Vec<Entry>
     ];
     let mut out = Vec::new();
     for method in methods {
-        let (row_base, bits_base) = drive_dsl(
-            &base,
-            &inputs,
-            method,
-            layout,
-            particles,
-            format!("{label}-unopt"),
-        );
-        let (row_opt, bits_opt) = drive_dsl(
-            &opt,
-            &inputs,
-            method,
-            layout,
-            particles,
-            format!("{label}-opt"),
-        );
-        // The whole point of the row pair: the optimizer must be
-        // semantically invisible before its speedup counts for anything.
-        assert_eq!(
-            bits_base, bits_opt,
-            "hmm-dsl {method:?}/{layout}: optimized posterior drifted"
-        );
+        let mut runs: Vec<(Entry, Vec<u64>, &'static str)> = Vec::new();
+        if sel != BackendSel::Tape {
+            let (row, bits) = drive_dsl(
+                &base,
+                node,
+                bench,
+                inputs,
+                method,
+                layout,
+                particles,
+                ExecBackend::Interp,
+                format!("{label}-unopt"),
+            );
+            runs.push((row, bits, "unopt"));
+            let (row, bits) = drive_dsl(
+                &opt,
+                node,
+                bench,
+                inputs,
+                method,
+                layout,
+                particles,
+                ExecBackend::Interp,
+                format!("{label}-opt"),
+            );
+            runs.push((row, bits, "opt"));
+        }
+        if sel != BackendSel::Interp {
+            let (row, bits) = drive_dsl(
+                &opt,
+                node,
+                bench,
+                inputs,
+                method,
+                layout,
+                particles,
+                ExecBackend::Tape,
+                format!("{label}-tape"),
+            );
+            runs.push((row, bits, "tape"));
+        }
+        // Every engine pair this invocation ran must agree bit-for-bit:
+        // neither the optimizer nor the tape backend may shift a
+        // posterior before its speedup counts for anything.
+        for pair in runs.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "{bench} {method:?}/{layout}: {} vs {} posterior drifted",
+                pair[0].2, pair[1].2
+            );
+        }
+        let report: Vec<String> = runs
+            .iter()
+            .map(|(row, _, kind)| format!("{kind} {tps:.0} ticks/s", tps = row.ticks_per_sec))
+            .collect();
         println!(
-            "hmm-dsl {method:>3} {layout}: {opt_tps:.0} ticks/s optimized vs \
-             {base_tps:.0} unoptimized ({gain:+.1}%), posteriors bit-identical",
-            opt_tps = row_opt.ticks_per_sec,
-            base_tps = row_base.ticks_per_sec,
-            gain = 100.0 * (row_opt.ticks_per_sec / row_base.ticks_per_sec - 1.0),
+            "{bench} {method:>3} {layout}: {}, posteriors bit-identical",
+            report.join(" vs ")
         );
-        out.push(row_base);
-        out.push(row_opt);
+        out.extend(runs.into_iter().map(|(row, _, _)| row));
     }
     out
+}
+
+fn run_dsl_suite(quick: bool, layout: ParticleLayout, label: &str, sel: BackendSel) -> Vec<Entry> {
+    let (ticks, particles) = if quick { (150, 32) } else { (500, 64) };
+    let hmm_inputs: Vec<probzelus_core::Value> = generate_kalman(DATA_SEED, ticks)
+        .obs
+        .into_iter()
+        .map(probzelus_core::Value::Float)
+        .collect();
+    let mut out = dsl_bench(
+        "hmm.zl",
+        "hmm",
+        "hmm-dsl",
+        &hmm_inputs,
+        layout,
+        particles,
+        sel,
+        label,
+    );
+    out.extend(dsl_bench(
+        "robot.zl",
+        "gps_acc_tracker",
+        "robot-dsl",
+        &robot_dsl_inputs(ticks),
+        layout,
+        particles,
+        sel,
+        label,
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// `--compare A B`: the trajectory-diff gate. Matches rows of two labels
+// by (bench, method, layout), reports per-row speedups, and fails on a
+// posterior-bit mismatch or a >5% throughput regression of B against A.
+// ---------------------------------------------------------------------
+
+/// A row projection sufficient for comparison. Floats survive the JSON
+/// round trip bit-exactly (`{:?}` emits the shortest representation that
+/// re-parses to the same bits), so `mean` equality is bit equality.
+struct CmpRow {
+    tps: f64,
+    mean: f64,
+}
+
+fn cmp_rows(entries: &[String], label: &str) -> Result<Vec<(String, CmpRow)>, String> {
+    let mut out: Vec<(String, CmpRow)> = Vec::new();
+    for raw in entries {
+        let Json::Obj(fields) = parse_json(raw)? else {
+            return Err("entry is not a JSON object".into());
+        };
+        let get_str = |k: &str| {
+            fields.iter().find_map(|(key, v)| match v {
+                Json::Str(s) if key == k => Some(s.clone()),
+                _ => None,
+            })
+        };
+        let get_num = |k: &str| {
+            fields.iter().find_map(|(key, v)| match v {
+                Json::Num(n) if key == k => Some(*n),
+                _ => None,
+            })
+        };
+        if get_str("label").as_deref() != Some(label) {
+            continue;
+        }
+        let key = format!(
+            "{}/{}/{}",
+            get_str("bench").ok_or("row without bench")?,
+            get_str("method").ok_or("row without method")?,
+            get_str("layout").unwrap_or_default(),
+        );
+        let row = CmpRow {
+            tps: get_num("ticks_per_sec").ok_or("row without ticks_per_sec")?,
+            mean: get_num("posterior_mean_final").ok_or("row without posterior_mean_final")?,
+        };
+        // Keep the most recent row per key: the file is append-only.
+        if let Some(slot) = out.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = row;
+        } else {
+            out.push((key, row));
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("no rows with label '{label}'"));
+    }
+    Ok(out)
+}
+
+/// Tolerated throughput loss of B against A before `--compare` fails.
+const COMPARE_TOLERANCE: f64 = 0.05;
+
+fn compare_labels(path: &str, label_a: &str, label_b: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let entries = read_entries(&text)?;
+    let rows_a = cmp_rows(&entries, label_a)?;
+    let rows_b = cmp_rows(&entries, label_b)?;
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for (key, a) in &rows_a {
+        let Some((_, b)) = rows_b.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        matched += 1;
+        let speedup = b.tps / a.tps;
+        println!(
+            "{key}: {a_tps:.0} -> {b_tps:.0} ticks/s ({speedup:.2}x)",
+            a_tps = a.tps,
+            b_tps = b.tps,
+        );
+        if a.mean.to_bits() != b.mean.to_bits() {
+            failures.push(format!(
+                "{key}: posterior_mean_final differs ({} vs {})",
+                a.mean, b.mean
+            ));
+        }
+        if speedup < 1.0 - COMPARE_TOLERANCE {
+            failures.push(format!(
+                "{key}: '{label_b}' is {loss:.1}% slower than '{label_a}'",
+                loss = 100.0 * (1.0 - speedup),
+            ));
+        }
+    }
+    if matched == 0 {
+        return Err(format!(
+            "labels '{label_a}' and '{label_b}' share no (bench, method, layout) rows"
+        ));
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("\n"));
+    }
+    println!("compare OK: {matched} row pair(s), posteriors bit-identical, no regression >5%");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -963,12 +1188,16 @@ mod deadline {
 
 const USAGE: &str = "usage: perfbench [--quick] [--label NAME] [--out PATH] [--fresh]
                  [--strategy clone-minimal|clone-all] [--layout aos|soa]
-       perfbench --dsl            # hmm.zl via the DSL pipeline, optimized
-                                  # vs unoptimized, bit-identity asserted
+       perfbench --dsl [--backend interp|tape|both]
+                                  # hmm.zl + robot.zl via the DSL pipeline:
+                                  # unoptimized vs optimized interpreter vs
+                                  # instruction tape, bit-identity asserted
        perfbench --deadline MS|auto [--floor N] [--assert-improves]
                  [--trace-out PATH] [--obs-out PATH] [other flags as above]
                  (requires the `chaos` feature; --obs-out also `obs`)
-       perfbench --check PATH     # validate an existing trajectory file";
+       perfbench --check PATH     # validate an existing trajectory file
+       perfbench --compare A B    # diff label A vs B rows: per-row speedup;
+                                  # fails on posterior drift or >5% regression";
 
 /// How the deadline harness picks its per-tick budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -990,7 +1219,9 @@ struct Cli {
     out: String,
     strategy: ResampleStrategy,
     layout: ParticleLayout,
+    backend: BackendSel,
     check: Option<String>,
+    compare: Option<(String, String)>,
     deadline: Option<DeadlineSpec>,
     floor: Option<usize>,
     assert_improves: bool,
@@ -1007,7 +1238,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         out: String::from("BENCH_step_latency.json"),
         strategy: ResampleStrategy::CloneMinimal,
         layout: ParticleLayout::PerParticle,
+        backend: BackendSel::Both,
         check: None,
+        compare: None,
         deadline: None,
         floor: None,
         assert_improves: false,
@@ -1029,6 +1262,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--label" => cli.label = take()?,
             "--out" => cli.out = take()?,
             "--check" => cli.check = Some(take()?),
+            "--compare" => {
+                let a = take()?;
+                let b = take()?;
+                cli.compare = Some((a, b));
+            }
+            "--backend" => {
+                cli.backend = match take()?.as_str() {
+                    "interp" => BackendSel::Interp,
+                    "tape" => BackendSel::Tape,
+                    "both" => BackendSel::Both,
+                    other => return Err(format!("unknown backend '{other}'")),
+                }
+            }
             "--trace-out" => cli.trace_out = Some(take()?),
             "--obs-out" => cli.obs_out = Some(take()?),
             "--floor" => {
@@ -1098,6 +1344,14 @@ fn main() {
         return;
     }
 
+    if let Some((a, b)) = &cli.compare {
+        if let Err(e) = compare_labels(&cli.out, a, b) {
+            eprintln!("perfbench: compare failed:\n{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     #[cfg(not(feature = "chaos"))]
     if cli.deadline.is_some() {
         eprintln!("perfbench: --deadline needs the `chaos` feature (load spikes are chaos faults)");
@@ -1143,7 +1397,7 @@ fn main() {
     }
 
     let rows = if cli.dsl {
-        run_dsl_suite(cli.quick, cli.layout, &cli.label)
+        run_dsl_suite(cli.quick, cli.layout, &cli.label, cli.backend)
     } else {
         run_suite(cli.quick, cli.strategy, cli.layout, &cli.label)
     };
@@ -1184,11 +1438,49 @@ mod tests {
 
     #[test]
     fn dsl_rows_satisfy_the_schema() {
-        // `run_dsl_suite` asserts opt-vs-unopt bit-identity internally;
-        // this also guards the rows against schema drift.
-        for entry in run_dsl_suite(true, ParticleLayout::PerParticle, "test") {
+        // `run_dsl_suite` asserts unopt-vs-opt-vs-tape bit-identity
+        // internally; this also guards the rows against schema drift.
+        for entry in run_dsl_suite(true, ParticleLayout::PerParticle, "test", BackendSel::Both) {
             check_entry(&entry.to_json()).expect("schema-valid");
         }
+    }
+
+    #[test]
+    fn compare_gate_flags_drift_and_regression() {
+        fn row(label: &str, tps: f64, mean: f64) -> String {
+            format!(
+                "{{\"label\":\"{label}\",\"bench\":\"hmm\",\"method\":\"SDS\",\
+                 \"layout\":\"aos\",\"ticks_per_sec\":{tps:?},\
+                 \"posterior_mean_final\":{mean:?}}}"
+            )
+        }
+        let dir = std::env::temp_dir().join("perfbench_compare_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traj.json");
+        let write = |rows: &[String]| {
+            std::fs::write(&path, render(rows)).unwrap();
+        };
+        let p = path.to_str().unwrap();
+        // Identical posteriors, faster B: passes.
+        write(&[row("a", 100.0, 1.25), row("b", 500.0, 1.25)]);
+        compare_labels(p, "a", "b").expect("clean speedup passes");
+        // Within tolerance: passes.
+        write(&[row("a", 100.0, 1.25), row("b", 97.0, 1.25)]);
+        compare_labels(p, "a", "b").expect("3% loss is within tolerance");
+        // Posterior drift by one ULP: fails.
+        write(&[
+            row("a", 100.0, 1.25),
+            row("b", 500.0, f64::from_bits(1.25f64.to_bits() + 1)),
+        ]);
+        let err = compare_labels(p, "a", "b").unwrap_err();
+        assert!(err.contains("posterior_mean_final differs"), "{err}");
+        // >5% regression: fails.
+        write(&[row("a", 100.0, 1.25), row("b", 90.0, 1.25)]);
+        let err = compare_labels(p, "a", "b").unwrap_err();
+        assert!(err.contains("slower"), "{err}");
+        // Disjoint labels: fails.
+        write(&[row("a", 100.0, 1.25)]);
+        assert!(compare_labels(p, "a", "b").is_err());
     }
 
     #[test]
@@ -1236,6 +1528,8 @@ mod tests {
             "--label",
             "--out",
             "--check",
+            "--compare",
+            "--backend",
             "--strategy",
             "--layout",
             "--deadline",
@@ -1246,8 +1540,13 @@ mod tests {
             let err = parse_args(&args(&[flag])).unwrap_err();
             assert!(err.contains("needs a value"), "{flag}: {err}");
         }
+        // --compare wants two labels, not one.
+        let err = parse_args(&args(&["--compare", "a"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
         let err = parse_args(&args(&["--strategy", "psychic"])).unwrap_err();
         assert!(err.contains("unknown strategy"), "{err}");
+        let err = parse_args(&args(&["--backend", "jit"])).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
         let err = parse_args(&args(&["--deadline", "-3"])).unwrap_err();
         assert!(err.contains("positive budget"), "{err}");
         let err = parse_args(&args(&["--floor", "0"])).unwrap_err();
@@ -1267,6 +1566,11 @@ mod tests {
             "clone-all",
             "--layout",
             "soa",
+            "--backend",
+            "tape",
+            "--compare",
+            "x",
+            "y",
             "--deadline",
             "auto",
             "--floor",
@@ -1285,6 +1589,8 @@ mod tests {
         assert_eq!(cli.label, "l");
         assert_eq!(cli.strategy, ResampleStrategy::CloneAll);
         assert_eq!(cli.layout, ParticleLayout::StructOfArrays);
+        assert_eq!(cli.backend, BackendSel::Tape);
+        assert_eq!(cli.compare, Some(("x".into(), "y".into())));
         assert_eq!(cli.deadline, Some(DeadlineSpec::Auto));
         assert_eq!(cli.floor, Some(4));
         assert_eq!(cli.trace_out.as_deref(), Some("t.jsonl"));

@@ -77,6 +77,10 @@ pub mod spans {
     /// One driver tick of the µF interpreter (its own root; embedded
     /// `infer` engines emit separate `tick` trees).
     pub const EVAL: &str = "eval.tick";
+    /// One driver tick of a µF program whose engines run the compiled
+    /// instruction-tape backend (same shape as `eval.tick`; the distinct
+    /// name lets latency comparisons split by backend).
+    pub const EVAL_TAPE: &str = "eval.tick.tape";
 }
 
 /// The closed span registry. Order is the phase code used in span-ID
@@ -115,6 +119,10 @@ pub const SPANS: &[SpanDesc] = &[
         name: spans::EVAL,
         doc: "one driver tick of the muF interpreter",
     },
+    SpanDesc {
+        name: spans::EVAL_TAPE,
+        doc: "one driver tick of the muF interpreter with tape-backed engines",
+    },
 ];
 
 /// Phase codes — positions in [`SPANS`] — as named constants, so hot
@@ -136,6 +144,8 @@ pub mod phases {
     pub const POOL_JOB: u64 = 6;
     /// [`super::spans::EVAL`].
     pub const EVAL: u64 = 7;
+    /// [`super::spans::EVAL_TAPE`].
+    pub const EVAL_TAPE: u64 = 8;
 }
 
 /// Looks a span up in the registry.
@@ -335,6 +345,7 @@ mod tests {
             (phases::ADAPTIVE_DECISION, spans::ADAPTIVE_DECISION),
             (phases::POOL_JOB, spans::POOL_JOB),
             (phases::EVAL, spans::EVAL),
+            (phases::EVAL_TAPE, spans::EVAL_TAPE),
         ] {
             assert_eq!(phase_code(name), Some(code), "{name}");
         }

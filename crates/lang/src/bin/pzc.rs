@@ -3,7 +3,7 @@
 //! ```text
 //! pzc check FILE [--lint] [--json]        # full pipeline + static analyses
 //! pzc explain PZ0xxx                      # long-form help for a diagnostic
-//! pzc emit  FILE [--opt]                  # print the compiled µF code
+//! pzc emit  FILE [--opt] [--tape]         # print the compiled µF code / tape
 //! pzc opt   FILE [--json]                 # optimize; show before/after kernel
 //! pzc run   FILE NODE [options]           # run a node over an input stream
 //! pzc schema                              # the --json output contract (Markdown)
@@ -20,7 +20,14 @@
 //!   --particles N        for probabilistic nodes       (default 1000)
 //!   --seed S             RNG seed                      (default 0)
 //!   --opt                run through the optimizing pass pipeline
+//!   --backend B          interp | tape                 (default interp)
 //! ```
+//!
+//! `emit --tape` lowers every node's per-particle transition to the flat
+//! instruction tape of the `tape` execution backend and pretty-prints it.
+//! Nodes that refuse to lower (drivers whose step embeds `infer`, or any
+//! construct the tape cannot express) print the refusal reason instead —
+//! those engines keep interpreting at runtime.
 //!
 //! `check` exits nonzero only on error-severity diagnostics; warnings and
 //! lints are reported but do not fail the build. Deterministic nodes are
@@ -38,7 +45,7 @@
 use probzelus_core::infer::Method;
 use probzelus_core::Value;
 use probzelus_lang::diag;
-use probzelus_lang::eval::Options;
+use probzelus_lang::eval::{ExecBackend, Options};
 use probzelus_lang::muf::MufValue;
 use probzelus_lang::muf_pretty::print_muf_program;
 use probzelus_lang::pipeline::{
@@ -62,7 +69,8 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: pzc <check|explain|emit|opt|run|schema> FILE|CODE [NODE] [--lint] [--json] \
      [--explain PZ0xxx] [--inputs v1,v2,..] [--steps N] \
-     [--method sds|bds|pf|ds|is] [--particles N] [--seed S] [--opt]"
+     [--method sds|bds|pf|ds|is] [--particles N] [--seed S] [--opt] [--tape] \
+     [--backend interp|tape]"
         .to_string()
 }
 
@@ -77,6 +85,8 @@ fn run() -> Result<ExitCode, String> {
     let mut lint = false;
     let mut json = false;
     let mut optimize = false;
+    let mut tape = false;
+    let mut backend = ExecBackend::Interp;
     let mut explain: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -86,6 +96,14 @@ fn run() -> Result<ExitCode, String> {
             "--lint" => lint = true,
             "--json" => json = true,
             "--opt" => optimize = true,
+            "--tape" => tape = true,
+            "--backend" => {
+                backend = match flag_value("--backend")?.as_str() {
+                    "interp" => ExecBackend::Interp,
+                    "tape" => ExecBackend::Tape,
+                    other => return Err(format!("unknown backend `{other}`")),
+                }
+            }
             "--explain" => explain = Some(flag_value("--explain")?),
             "--inputs" => inputs = Some(flag_value("--inputs")?),
             "--steps" => {
@@ -156,7 +174,27 @@ fn run() -> Result<ExitCode, String> {
         "opt" => Ok(opt_cmd(&file, &src, json)),
         "emit" => {
             let compiled = compile(&src)?;
-            print!("{}", print_muf_program(&compiled.muf));
+            if tape {
+                let options = Options {
+                    method,
+                    seed,
+                    backend: ExecBackend::Tape,
+                };
+                let mut names: Vec<&String> = compiled.kinds.keys().collect();
+                names.sort();
+                for name in names {
+                    println!("=== {name} ===");
+                    match compiled
+                        .lower_node(name, options)
+                        .map_err(|e| e.to_string())?
+                    {
+                        Ok(prog) => print!("{}", prog.render()),
+                        Err(reason) => println!("not lowered: {reason}"),
+                    }
+                }
+            } else {
+                print!("{}", print_muf_program(&compiled.muf));
+            }
             Ok(ExitCode::SUCCESS)
         }
         "run" => {
@@ -173,7 +211,11 @@ fn run() -> Result<ExitCode, String> {
                     _ => Value::Unit,
                 }
             };
-            let options = Options { method, seed };
+            let options = Options {
+                method,
+                seed,
+                backend,
+            };
             match compiled.kinds.get(node.as_str()) {
                 None => Err(format!("unknown node `{node}`")),
                 Some(Kind::D) => {

@@ -127,7 +127,7 @@ fn let_(pat: MufPat, bound: MufExpr, body: MufExpr) -> MufExpr {
 }
 
 fn fun(pat: MufPat, body: MufExpr) -> MufExpr {
-    MufExpr::Fun(pat, Box::new(body))
+    MufExpr::Fun(pat, std::rc::Rc::new(body))
 }
 
 fn tuple(items: Vec<MufExpr>) -> MufExpr {

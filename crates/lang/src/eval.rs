@@ -29,6 +29,20 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// Execution backend for per-particle transition functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Tree-walking µF interpreter — the semantic oracle.
+    #[default]
+    Interp,
+    /// Flat instruction tape (see [`crate::tape`]): each engine lowers its
+    /// transition closure to register-indexed opcodes at the first step.
+    /// Lowering is total-or-nothing per engine: any unsupported construct
+    /// makes that engine keep interpreting (bit-identical by design), and
+    /// [`MufEngine::tape_status`] reports which happened.
+    Tape,
+}
+
 /// Evaluation options shared by every engine an instance allocates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Options {
@@ -36,6 +50,8 @@ pub struct Options {
     pub method: Method,
     /// RNG seed (engines derive their own seeds from it).
     pub seed: u64,
+    /// How per-particle transition functions execute.
+    pub backend: ExecBackend,
 }
 
 impl Default for Options {
@@ -43,6 +59,7 @@ impl Default for Options {
         Options {
             method: Method::StreamingDs,
             seed: rand::random(),
+            backend: ExecBackend::Interp,
         }
     }
 }
@@ -59,6 +76,7 @@ pub enum ProbSlot<'a> {
 pub struct Interp {
     globals: RefCell<HashMap<String, MufValue>>,
     method: Method,
+    backend: ExecBackend,
     rng: RefCell<SmallRng>,
     /// Telemetry handle inherited by every engine an `infer` site
     /// allocates; off unless built via [`Interp::new_with_obs`].
@@ -92,6 +110,7 @@ impl Interp {
             Rc::new(Interp {
                 globals: RefCell::new(HashMap::new()),
                 method: options.method,
+                backend: options.backend,
                 rng: RefCell::new(SmallRng::seed_from_u64(options.seed)),
                 #[cfg(feature = "obs")]
                 obs: probzelus_core::obs::Obs::off(),
@@ -119,6 +138,7 @@ impl Interp {
             Rc::new(Interp {
                 globals: RefCell::new(HashMap::new()),
                 method: options.method,
+                backend: options.backend,
                 rng: RefCell::new(SmallRng::seed_from_u64(options.seed)),
                 obs,
                 seed: options.seed,
@@ -144,6 +164,11 @@ impl Interp {
     /// The configured inference method.
     pub fn method(&self) -> Method {
         self.method
+    }
+
+    /// The configured execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Looks up a global definition.
@@ -241,7 +266,7 @@ impl Interp {
             }
             MufExpr::Fun(pat, body) => Ok(MufValue::Closure(Rc::new(Closure {
                 pat: pat.clone(),
-                body: (**body).clone(),
+                body: Rc::clone(body),
                 env: env.clone(),
             }))),
             MufExpr::Sample(d) => {
@@ -366,7 +391,7 @@ impl Interp {
     /// Resolves a conditional's scrutinee: concrete booleans pass through,
     /// symbolic booleans are realized ("the condition must be a concrete
     /// value", Fig. 14), `nil` yields `None`.
-    fn condition_value(
+    pub(crate) fn condition_value(
         self: &Rc<Self>,
         v: MufValue,
         prob: &mut ProbSlot<'_>,
@@ -413,7 +438,7 @@ impl Interp {
     fn eval_op(
         self: &Rc<Self>,
         op: OpName,
-        args: Vec<MufValue>,
+        mut args: Vec<MufValue>,
         prob: &mut ProbSlot<'_>,
     ) -> Result<MufValue, LangError> {
         // Nil poison propagates through strict operators.
@@ -439,14 +464,17 @@ impl Interp {
             }
             _ => {}
         }
-        // Projections work on interpreter tuples directly.
+        // Projections work on interpreter tuples directly — and own their
+        // argument, so the projected element moves out instead of cloning.
         if matches!(op, OpName::Fst | OpName::Snd) {
-            if let MufValue::Tuple(xs) = &args[0] {
-                return match (op, xs.as_slice()) {
-                    (OpName::Fst, [a, ..]) => Ok(a.clone()),
-                    (OpName::Snd, [_, b]) => Ok(b.clone()),
-                    (OpName::Snd, [_, rest @ ..]) if rest.len() > 1 => {
-                        Ok(MufValue::Tuple(rest.to_vec()))
+            if let MufValue::Tuple(xs) = &mut args[0] {
+                let mut xs = std::mem::take(xs);
+                return match (op, xs.len()) {
+                    (OpName::Fst, n) if n >= 1 => Ok(xs.swap_remove(0)),
+                    (OpName::Snd, 2) => Ok(xs.swap_remove(1)),
+                    (OpName::Snd, n) if n > 2 => {
+                        xs.remove(0);
+                        Ok(MufValue::Tuple(xs))
                     }
                     _ => Err(LangError::new(Stage::Eval, "projection from empty tuple")),
                 };
@@ -477,20 +505,85 @@ impl Interp {
             Err(e) => Err(host(e)),
         }
     }
+
+    /// [`Interp::eval_op`] over borrowed arguments — the tape executor's
+    /// entry point (registers keep their values; results are computed
+    /// without consuming the operand slots). Semantics, including error
+    /// messages and RNG consumption, mirror `eval_op` exactly.
+    pub(crate) fn op_on_refs(
+        self: &Rc<Self>,
+        op: OpName,
+        args: &[&MufValue],
+        prob: &mut ProbSlot<'_>,
+    ) -> Result<MufValue, LangError> {
+        if args.iter().any(|a| a.is_nil()) {
+            return Ok(MufValue::Nil);
+        }
+        match (op, args.first()) {
+            (OpName::MeanFloat, Some(MufValue::Posterior(p))) => {
+                return Ok(MufValue::V(Value::Float(p.mean_float())));
+            }
+            (OpName::VarianceFloat, Some(MufValue::Posterior(p))) => {
+                return Ok(MufValue::V(Value::Float(p.variance_float())));
+            }
+            (OpName::Prob, Some(MufValue::Posterior(p))) => {
+                let lo = args[1].as_core()?.as_float().map_err(host)?;
+                let hi = args[2].as_core()?.as_float().map_err(host)?;
+                return Ok(MufValue::V(Value::Float(p.prob_interval(lo, hi))));
+            }
+            (OpName::DrawDist, Some(MufValue::Posterior(p))) => {
+                let v = p.sample(&mut *self.rng.borrow_mut());
+                return Ok(MufValue::V(v));
+            }
+            _ => {}
+        }
+        if matches!(op, OpName::Fst | OpName::Snd) {
+            if let MufValue::Tuple(xs) = args[0] {
+                return match (op, xs.as_slice()) {
+                    (OpName::Fst, [a, ..]) => Ok(a.clone()),
+                    (OpName::Snd, [_, b]) => Ok(b.clone()),
+                    (OpName::Snd, [_, rest @ ..]) if rest.len() > 1 => {
+                        Ok(MufValue::Tuple(rest.to_vec()))
+                    }
+                    _ => Err(LangError::new(Stage::Eval, "projection from empty tuple")),
+                };
+            }
+        }
+        let vals: Vec<Value> = args.iter().map(|a| a.as_core()).collect::<Result<_, _>>()?;
+        match core_op(op, &vals, self) {
+            Ok(v) => Ok(MufValue::V(v)),
+            Err(RuntimeError::NeedsValue(_)) => {
+                if let ProbSlot::Prob(ctx) = prob {
+                    let forced: Vec<Value> = vals
+                        .iter()
+                        .map(|v| ctx.force(v))
+                        .collect::<Result<_, _>>()
+                        .map_err(host)?;
+                    core_op(op, &forced, self).map(MufValue::V).map_err(host)
+                } else {
+                    Err(LangError::new(
+                        Stage::Eval,
+                        "symbolic value reached a deterministic operator",
+                    ))
+                }
+            }
+            Err(e) => Err(host(e)),
+        }
+    }
 }
 
-fn outside_infer(what: &str) -> LangError {
+pub(crate) fn outside_infer(what: &str) -> LangError {
     LangError::new(
         Stage::Eval,
         format!("`{what}` used outside of `infer` (probabilistic code needs an inference context)"),
     )
 }
 
-fn host(e: RuntimeError) -> LangError {
+pub(crate) fn host(e: RuntimeError) -> LangError {
     LangError::new(Stage::Eval, e.to_string())
 }
 
-fn const_value(c: &Const) -> MufValue {
+pub(crate) fn const_value(c: &Const) -> MufValue {
     match c {
         Const::Unit => MufValue::V(Value::Unit),
         Const::Bool(b) => MufValue::V(Value::Bool(*b)),
@@ -506,9 +599,16 @@ fn const_value(c: &Const) -> MufValue {
 /// through structure); destructuring core pairs works for two-element
 /// tuples.
 fn bind_pattern(pat: &MufPat, value: MufValue, env: &Env) -> Result<Env, LangError> {
+    bind_pattern_owned(pat, value, env.clone())
+}
+
+/// [`bind_pattern`] over an owned environment: nested tuple patterns
+/// thread one environment through instead of cloning the `Rc` spine at
+/// every binder.
+fn bind_pattern_owned(pat: &MufPat, value: MufValue, env: Env) -> Result<Env, LangError> {
     match (pat, value) {
-        (MufPat::Wildcard, _) | (MufPat::Unit, _) => Ok(env.clone()),
-        (MufPat::Var(x), v) => Ok(env.bind(x.clone(), v)),
+        (MufPat::Wildcard, _) | (MufPat::Unit, _) => Ok(env),
+        (MufPat::Var(x), v) => Ok(env.bind_owned(x.clone(), v)),
         (MufPat::Tuple(ps), MufValue::Tuple(vs)) => {
             if ps.len() != vs.len() {
                 return Err(LangError::new(
@@ -520,20 +620,20 @@ fn bind_pattern(pat: &MufPat, value: MufValue, env: &Env) -> Result<Env, LangErr
                     ),
                 ));
             }
-            let mut env = env.clone();
+            let mut env = env;
             for (p, v) in ps.iter().zip(vs) {
-                env = bind_pattern(p, v, &env)?;
+                env = bind_pattern_owned(p, v, env)?;
             }
             Ok(env)
         }
         (MufPat::Tuple(ps), MufValue::V(Value::Pair(a, b))) if ps.len() == 2 => {
-            let env = bind_pattern(&ps[0], MufValue::V(*a), env)?;
-            bind_pattern(&ps[1], MufValue::V(*b), &env)
+            let env = bind_pattern_owned(&ps[0], MufValue::V(*a), env)?;
+            bind_pattern_owned(&ps[1], MufValue::V(*b), env)
         }
         (MufPat::Tuple(ps), MufValue::Nil) => {
-            let mut env = env.clone();
+            let mut env = env;
             for p in ps {
-                env = bind_pattern(p, MufValue::Nil, &env)?;
+                env = bind_pattern_owned(p, MufValue::Nil, env)?;
             }
             Ok(env)
         }
@@ -544,7 +644,7 @@ fn bind_pattern(pat: &MufPat, value: MufValue, env: &Env) -> Result<Env, LangErr
     }
 }
 
-fn core_op(op: OpName, v: &[Value], interp: &Rc<Interp>) -> Result<Value, RuntimeError> {
+pub(crate) fn core_op(op: OpName, v: &[Value], interp: &Rc<Interp>) -> Result<Value, RuntimeError> {
     use OpName::*;
     match op {
         Add => vops::add(&v[0], &v[1]),
@@ -616,14 +716,35 @@ fn core_op(op: OpName, v: &[Value], interp: &Rc<Interp>) -> Result<Value, Runtim
     }
 }
 
+/// The externalized particle state: held whole while the interpreter runs
+/// the transition, split into the tape's flat state slots (depth-first
+/// leaves of the state pattern) once an engine's tape is ready.
+#[derive(Debug)]
+pub(crate) enum ModelState {
+    Whole(MufValue),
+    Flat(Vec<MufValue>),
+}
+
+impl ModelState {
+    fn deep_clone(&self) -> ModelState {
+        match self {
+            ModelState::Whole(v) => ModelState::Whole(v.deep_clone()),
+            ModelState::Flat(vs) => ModelState::Flat(vs.iter().map(MufValue::deep_clone).collect()),
+        }
+    }
+}
+
 /// A probabilistic µF model driven by an inference engine: a transition
 /// closure plus its externalized state.
 pub struct MufModel {
     interp: Rc<Interp>,
     closure: Rc<RefCell<MufValue>>,
-    state: MufValue,
+    state: ModelState,
     init_state: MufValue,
     takes_input: bool,
+    /// Lazily-lowered instruction tape shared by every particle of the
+    /// engine (`None` under [`ExecBackend::Interp`]).
+    tape: Option<Rc<crate::tape::TapeCell>>,
 }
 
 impl std::fmt::Debug for MufModel {
@@ -640,6 +761,7 @@ impl Clone for MufModel {
             state: self.state.deep_clone(),
             init_state: self.init_state.clone(),
             takes_input: self.takes_input,
+            tape: self.tape.clone(),
         }
     }
 }
@@ -648,8 +770,46 @@ impl Model for MufModel {
     type Input = Value;
 
     fn step(&mut self, ctx: &mut dyn ProbCtx, input: &Value) -> Result<Value, RuntimeError> {
+        if let Some(cell) = &self.tape {
+            if let Some(shared) = cell.ensure(
+                &self.interp,
+                &self.closure,
+                &self.init_state,
+                self.takes_input,
+            ) {
+                match crate::tape::step_model(
+                    &self.interp,
+                    cell,
+                    &shared,
+                    &self.closure,
+                    &mut self.state,
+                    ctx,
+                    input,
+                )
+                .map_err(|e| RuntimeError::Host(e.to_string()))?
+                {
+                    crate::tape::TapeStep::Done(v) => return Ok(v),
+                    // The cell was poisoned mid-run; rejoin the flat state
+                    // and continue on the interpreter path below.
+                    crate::tape::TapeStep::FallBack => {
+                        if let ModelState::Flat(slots) = &mut self.state {
+                            let slots = std::mem::take(slots);
+                            self.state = ModelState::Whole(crate::tape::join_state(
+                                &mut slots.into_iter(),
+                                &shared.prog.shape,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
         let closure = self.closure.borrow().clone();
-        let state = std::mem::replace(&mut self.state, MufValue::Nil);
+        let ModelState::Whole(whole) = &mut self.state else {
+            return Err(RuntimeError::Host(
+                "tape state observed on the interpreter path".into(),
+            ));
+        };
+        let state = std::mem::replace(whole, MufValue::Nil);
         let arg = if self.takes_input {
             MufValue::Tuple(vec![state, MufValue::V(input.clone())])
         } else {
@@ -664,7 +824,7 @@ impl Model for MufModel {
             MufValue::Tuple(mut vs) if vs.len() == 2 => {
                 let next = vs.pop().expect("length checked");
                 let out = vs.pop().expect("length checked");
-                self.state = next;
+                self.state = ModelState::Whole(next);
                 out.as_core().map_err(|e| RuntimeError::Host(e.to_string()))
             }
             other => Err(RuntimeError::Host(format!(
@@ -675,11 +835,28 @@ impl Model for MufModel {
     }
 
     fn reset(&mut self) {
-        self.state = self.init_state.deep_clone();
+        self.state = match self.tape.as_ref().and_then(|c| c.ready()) {
+            Some(shared) => ModelState::Flat(
+                shared
+                    .prog
+                    .init_slots
+                    .iter()
+                    .map(MufValue::deep_clone)
+                    .collect(),
+            ),
+            None => ModelState::Whole(self.init_state.deep_clone()),
+        };
     }
 
     fn for_each_state_value(&mut self, f: &mut dyn FnMut(&mut Value)) {
-        self.state.for_each_value_mut(f);
+        match &mut self.state {
+            ModelState::Whole(s) => s.for_each_value_mut(f),
+            ModelState::Flat(slots) => {
+                for s in slots {
+                    s.for_each_value_mut(f);
+                }
+            }
+        }
     }
 }
 
@@ -770,6 +947,10 @@ pub struct MufEngine {
     closure: Rc<RefCell<MufValue>>,
     interp: Rc<Interp>,
     prelude: Option<MufPrelude>,
+    /// Shared with every particle model under [`ExecBackend::Tape`]; the
+    /// engine bumps its epoch whenever the closure slot is rewritten so
+    /// the tape refreshes its captured-environment registers.
+    tape: Option<Rc<crate::tape::TapeCell>>,
 }
 
 impl std::fmt::Debug for MufEngine {
@@ -796,14 +977,17 @@ impl MufEngine {
         seed: u64,
     ) -> MufEngine {
         let slot = Rc::new(RefCell::new(closure));
+        let tape = (interp.backend == ExecBackend::Tape)
+            .then(|| Rc::new(crate::tape::TapeCell::default()));
         #[cfg(feature = "obs")]
         let obs = interp.obs.clone();
         let model = MufModel {
             interp: interp.clone(),
             closure: slot.clone(),
-            state: init_state.deep_clone(),
+            state: ModelState::Whole(init_state.deep_clone()),
             init_state,
             takes_input,
+            tape: tape.clone(),
         };
         let inner = Infer::with_seed(method, particles, model, seed);
         #[cfg(feature = "obs")]
@@ -813,6 +997,7 @@ impl MufEngine {
             closure: slot,
             interp,
             prelude: None,
+            tape,
         }
     }
 
@@ -854,6 +1039,9 @@ impl MufEngine {
     /// deterministic inputs flow into the model).
     pub fn set_closure(&mut self, closure: MufValue) {
         *self.closure.borrow_mut() = closure;
+        if let Some(cell) = &self.tape {
+            cell.bump();
+        }
     }
 
     /// One inference step.
@@ -867,17 +1055,44 @@ impl MufEngine {
             closure,
             interp,
             prelude,
+            tape,
         } = self;
         match prelude {
             None => inner.step(input).map_err(|e| e.into()),
             Some(pre) => {
-                let mut hook = || pre.advance(interp, input, closure);
+                let mut hook = || {
+                    pre.advance(interp, input, closure)?;
+                    // The slot now holds this tick's broadcast closure;
+                    // have the tape re-read its environment registers.
+                    if let Some(cell) = tape {
+                        cell.bump();
+                    }
+                    Ok(())
+                };
                 inner
                     .step_outcome_with(input, Some(&mut hook))
                     .map(|o| o.posterior)
                     .map_err(|e| e.into())
             }
         }
+    }
+
+    /// Tape-backend status: `None` under [`ExecBackend::Interp`]; under
+    /// [`ExecBackend::Tape`], `Ok(())` once the transition is lowered and
+    /// running on the tape, `Err(reason)` while lowering is pending (no
+    /// step taken yet) or after it fell back to the interpreter.
+    pub fn tape_status(&self) -> Option<Result<(), String>> {
+        self.tape.as_ref().map(|c| c.status())
+    }
+
+    /// Bytes of tape scratch (the register file) currently held, when the
+    /// tape is active — the allocation-plateau witness for Bounded(k)
+    /// programs.
+    pub fn tape_scratch_bytes(&self) -> Option<usize> {
+        self.tape
+            .as_ref()
+            .and_then(|c| c.ready())
+            .map(|s| s.scratch_bytes())
     }
 
     /// Aggregate graph memory statistics (Fig. 4 / Fig. 19).
@@ -1041,10 +1256,17 @@ impl Instance {
             use probzelus_core::trace::{self, SpanRecord};
             let tick = self.tick;
             self.tick += 1;
+            // The span name distinguishes the execution backend so trace
+            // consumers can attribute driver-tick time to the interpreter
+            // or the instruction tape without a separate field.
+            let (name, phase) = match self.interp.backend {
+                ExecBackend::Interp => (trace::spans::EVAL, trace::phases::EVAL),
+                ExecBackend::Tape => (trace::spans::EVAL_TAPE, trace::phases::EVAL_TAPE),
+            };
             let rec = SpanRecord {
                 tick,
-                name: trace::spans::EVAL,
-                id: trace::span_id(self.interp.seed, tick, trace::phases::EVAL, 0),
+                name,
+                id: trace::span_id(self.interp.seed, tick, phase, 0),
                 parent: None,
                 index: None,
                 dur_ms: t0.elapsed().as_secs_f64() * 1e3,
@@ -1085,6 +1307,7 @@ mod tests {
             Options {
                 method: Method::StreamingDs,
                 seed: 0,
+                backend: ExecBackend::Interp,
             },
         );
         Instance::new(interp, node).unwrap()
@@ -1192,6 +1415,7 @@ mod tests {
             Options {
                 method: Method::StreamingDs,
                 seed: 7,
+                backend: ExecBackend::Interp,
             },
         );
         let mut inst = Instance::new(interp, "main").unwrap();
@@ -1226,6 +1450,7 @@ mod tests {
             Options {
                 method: Method::StreamingDs,
                 seed: 0,
+                backend: ExecBackend::Interp,
             },
         );
         let mut inst = Instance::new(interp, "f").unwrap();

@@ -34,8 +34,12 @@ pub enum MufExpr {
     App(Box<MufExpr>, Box<MufExpr>),
     /// `let p = e1 in e2`.
     Let(MufPat, Box<MufExpr>, Box<MufExpr>),
-    /// `fun p -> e`.
-    Fun(MufPat, Box<MufExpr>),
+    /// `fun p -> e`. The body is reference-counted so closure creation in
+    /// the evaluator shares it instead of deep-cloning the expression tree
+    /// (the old per-application clone dominated small-kernel profiles), and
+    /// so the tape backend can use pointer identity to detect a transition
+    /// closure changing shape between ticks.
+    Fun(MufPat, Rc<MufExpr>),
     /// `sample(e)`.
     Sample(Box<MufExpr>),
     /// `observe(e1, e2)`.
@@ -146,8 +150,8 @@ pub enum MufValue {
 pub struct Closure {
     /// Parameter pattern.
     pub pat: MufPat,
-    /// Body.
-    pub body: MufExpr,
+    /// Body, shared with the `MufExpr::Fun` it was created from.
+    pub body: Rc<MufExpr>,
     /// Captured environment.
     pub env: Env,
 }
@@ -257,11 +261,22 @@ impl Env {
 
     /// Extends with one binding.
     pub fn bind(&self, name: impl Into<String>, value: MufValue) -> Env {
+        self.clone().bind_owned(name, value)
+    }
+
+    /// Extends with one binding, consuming the tail — avoids the `Rc`
+    /// clone per binding when the caller already owns the environment.
+    pub fn bind_owned(self, name: impl Into<String>, value: MufValue) -> Env {
         Env(Some(Rc::new(EnvNode {
             name: name.into(),
             value,
-            next: self.clone(),
+            next: self,
         })))
+    }
+
+    /// Whether the environment has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
     }
 
     /// Looks a name up.
@@ -310,7 +325,7 @@ mod tests {
         assert!(MufValue::Nil.as_core().is_err());
         let c = MufValue::Closure(Rc::new(Closure {
             pat: MufPat::Wildcard,
-            body: MufExpr::Const(Const::Unit),
+            body: Rc::new(MufExpr::Const(Const::Unit)),
             env: Env::empty(),
         }));
         assert!(c.as_core().is_err());

@@ -402,6 +402,64 @@ impl Compiled {
             options.seed,
         ))
     }
+
+    /// Lowers a node's per-particle transition to the flat instruction
+    /// tape, without running anything — the static view behind
+    /// `pzc emit --tape`. For a hoist-planned node this is the residual
+    /// `{node}#main` transition as the wrap function closes over it (the
+    /// prelude broadcast slot shows up as an env slot, refreshed each
+    /// tick at runtime).
+    ///
+    /// The inner `Err` is the lowering-refusal reason (the engine would
+    /// keep interpreting); nodes whose step embeds `infer` — drivers —
+    /// refuse by design.
+    ///
+    /// # Errors
+    ///
+    /// Unknown nodes or initialization failures.
+    pub fn lower_node(
+        &self,
+        node: &str,
+        options: Options,
+    ) -> Result<Result<crate::tape::TapeProgram, String>, LangError> {
+        if !self.kinds.contains_key(node) {
+            return Err(LangError::new(
+                Stage::Eval,
+                format!("unknown node `{node}`"),
+            ));
+        }
+        let interp = Interp::new(&self.muf, options)?;
+        let global = |name: &str| {
+            interp
+                .global(name)
+                .ok_or_else(|| LangError::new(Stage::Eval, format!("missing compiled `{name}`")))
+        };
+        let (transition, init_state) = if let Some(plan) = self.plans.get(node) {
+            let main_init = global(&init_name(&plan.main_node))?;
+            let wrap = global(&wrap_name(node))?;
+            let init_state = interp.apply(&main_init, MufValue::unit(), &mut ProbSlot::Det)?;
+            // The broadcast value is a runtime input (an env slot of the
+            // closed transition); `nil` stands in for it here.
+            let transition = interp.apply(&wrap, MufValue::Nil, &mut ProbSlot::Det)?;
+            (transition, init_state)
+        } else {
+            let init_thunk = global(&init_name(node))?;
+            let init_state = interp.apply(&init_thunk, MufValue::unit(), &mut ProbSlot::Det)?;
+            (global(&step_name(node))?, init_state)
+        };
+        let MufValue::Closure(closure) = &transition else {
+            return Ok(Err(format!(
+                "transition is not a closure: {}",
+                transition.kind()
+            )));
+        };
+        Ok(crate::transform::lower::lower_closure(
+            &interp,
+            closure,
+            &init_state,
+            true,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +491,7 @@ mod tests {
                 Options {
                     method: Method::StreamingDs,
                     seed: 0,
+                    ..Default::default()
                 },
             )
             .unwrap_err();
@@ -449,6 +508,7 @@ mod tests {
                 Options {
                     method: Method::StreamingDs,
                     seed: 3,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -23,6 +23,7 @@
 use crate::ast::{Const, Eq, Expr, NodeDecl, Program};
 use std::collections::HashSet;
 
+pub mod lower;
 pub mod opt;
 
 /// Desugars every derived construct in a program.

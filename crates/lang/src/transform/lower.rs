@@ -1,0 +1,601 @@
+//! Lowering µF transition closures to the flat instruction tape of
+//! [`crate::tape`].
+//!
+//! Lowering is a compile-time abstract interpretation of the closure
+//! body: every expression evaluates to a [`Place`] — a register, a
+//! compile-time tuple of places (tuples stay unpacked until something
+//! forces a value), or a statically-known global closure. Beta-redexes
+//! and calls to global closures are inlined, so the per-particle tape for
+//! a compiled node is one straight-line instruction stream with jumps
+//! only for `if`. Names are resolved entirely at lowering time: lexical
+//! binders become places, captured-environment names become registered
+//! env slots (refreshed when the engine rewrites its closure slot), and
+//! globals are resolved once — the steady state does zero name lookups
+//! and zero `Env` operations.
+//!
+//! Lowering is conservative: any construct whose tape semantics could
+//! diverge from the interpreter (escaping closures, nested inference,
+//! arity surprises) aborts with a reason, and the engine simply keeps
+//! interpreting. The evaluation order of emitted ops mirrors the
+//! interpreter's recursion exactly, so effects (sampling, observation,
+//! RNG consumption) happen in the same sequence bit-for-bit.
+
+use crate::ast::OpName;
+use crate::eval::{const_value, Interp};
+use crate::muf::{Closure, Env, MufExpr, MufPat, MufValue};
+use crate::tape::{split_state, Op, OutSpec, Reg, StateShape, TapeProgram};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Inlining recursion limit: deeper call chains go through
+/// [`Op::CallSummary`] instead (compiled programs are non-recursive, so
+/// this is a safety net for hand-written µF).
+const MAX_INLINE_DEPTH: u32 = 64;
+/// Hard cap on tape length; beyond it the whole engine falls back.
+const MAX_OPS: usize = 50_000;
+
+type LowerResult<T> = Result<T, String>;
+
+/// Compile-time value descriptor.
+#[derive(Clone)]
+enum Place {
+    /// Lives in a register at runtime.
+    Reg(Reg),
+    /// A tuple kept unpacked in element places.
+    Tuple(Vec<Place>),
+    /// A statically-known closure (from the immutable globals).
+    Global(MufValue),
+}
+
+enum ScopeEntry {
+    Bind(String, Place),
+    /// Lexical barrier at an inlined global's body: names beyond it
+    /// resolve through globals only (inlining requires the callee's
+    /// captured environment to be empty).
+    Boundary,
+}
+
+struct Lower<'a> {
+    interp: &'a Rc<Interp>,
+    /// The lowered closure's captured environment (names only; values are
+    /// re-read into env-slot registers at runtime).
+    captured: &'a Env,
+    ops: Vec<Op>,
+    consts: Vec<Op>,
+    scope: Vec<ScopeEntry>,
+    env_slots: Vec<(String, Reg)>,
+    /// Globals already interned into the constant pool: `(name, reg)`.
+    global_regs: Vec<(String, Reg)>,
+    reg_names: Vec<String>,
+    next_reg: Reg,
+    depth: u32,
+    unit: Option<Reg>,
+}
+
+impl Lower<'_> {
+    fn fresh(&mut self, name: &str) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.reg_names.push(name.to_string());
+        r
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn const_reg(&mut self, v: MufValue, name: &str) -> Reg {
+        let r = self.fresh(name);
+        self.consts.push(Op::Const { dst: r, v });
+        r
+    }
+
+    fn unit_reg(&mut self) -> Reg {
+        if let Some(r) = self.unit {
+            return r;
+        }
+        let r = self.const_reg(MufValue::unit(), "unit");
+        self.unit = Some(r);
+        r
+    }
+
+    /// Name resolution, mirroring the interpreter's order: lexical scope,
+    /// then the closure's captured environment, then globals.
+    fn resolve(&mut self, name: &str) -> LowerResult<Place> {
+        let mut hit_boundary = false;
+        let mut found: Option<Place> = None;
+        for e in self.scope.iter().rev() {
+            match e {
+                ScopeEntry::Bind(n, p) if n == name => {
+                    found = Some(p.clone());
+                    break;
+                }
+                ScopeEntry::Boundary => {
+                    hit_boundary = true;
+                    break;
+                }
+                ScopeEntry::Bind(..) => {}
+            }
+        }
+        if let Some(p) = found {
+            return Ok(p);
+        }
+        if !hit_boundary && self.captured.lookup(name).is_some() {
+            if let Some((_, r)) = self.env_slots.iter().find(|(n, _)| n == name) {
+                return Ok(Place::Reg(*r));
+            }
+            let r = self.fresh(name);
+            self.env_slots.push((name.to_string(), r));
+            return Ok(Place::Reg(r));
+        }
+        match self.interp.global(name) {
+            Some(v @ MufValue::Closure(_)) => Ok(Place::Global(v)),
+            Some(v) => {
+                if let Some((_, r)) = self.global_regs.iter().find(|(n, _)| n == name) {
+                    return Ok(Place::Reg(*r));
+                }
+                let r = self.const_reg(v, name);
+                self.global_regs.push((name.to_string(), r));
+                Ok(Place::Reg(r))
+            }
+            None => Err(format!("unbound variable `{name}`")),
+        }
+    }
+
+    /// Forces a place into a single register (emitting `MkTuple` for
+    /// unpacked tuples, interning global closures as constants).
+    fn materialize(&mut self, p: &Place, name: &str) -> LowerResult<Reg> {
+        match p {
+            Place::Reg(r) => Ok(*r),
+            Place::Tuple(items) => {
+                let regs: Vec<Reg> = items
+                    .iter()
+                    .map(|i| self.materialize(i, name))
+                    .collect::<Result<_, _>>()?;
+                let dst = self.fresh(name);
+                self.emit(Op::MkTuple { dst, items: regs });
+                Ok(dst)
+            }
+            Place::Global(v) => Ok(self.const_reg(v.clone(), name)),
+        }
+    }
+
+    fn move_into(&mut self, dst: Reg, p: &Place) -> LowerResult<()> {
+        let src = self.materialize(p, "join")?;
+        if src != dst {
+            self.emit(Op::Move { dst, src });
+        }
+        Ok(())
+    }
+
+    /// Compile-time pattern binding. Tuple patterns against tuple places
+    /// bind element-wise with zero ops; against a register they emit
+    /// runtime `Proj`s (whose semantics mirror the interpreter's
+    /// `bind_pattern`, including `nil` spreading and core pairs).
+    fn bind_pat(&mut self, pat: &MufPat, place: Place) -> LowerResult<()> {
+        match (pat, place) {
+            (MufPat::Wildcard, _) | (MufPat::Unit, _) => Ok(()),
+            (MufPat::Var(x), p) => {
+                self.scope.push(ScopeEntry::Bind(x.clone(), p));
+                Ok(())
+            }
+            (MufPat::Tuple(ps), Place::Tuple(items)) => {
+                if ps.len() != items.len() {
+                    return Err(format!(
+                        "tuple arity mismatch: pattern {} vs value {}",
+                        ps.len(),
+                        items.len()
+                    ));
+                }
+                for (p, i) in ps.iter().zip(items) {
+                    self.bind_pat(p, i)?;
+                }
+                Ok(())
+            }
+            (MufPat::Tuple(ps), Place::Reg(src)) => {
+                let arity = ps.len() as u32;
+                for (i, p) in ps.iter().enumerate() {
+                    let dst = self.fresh(&pat_name(p));
+                    self.emit(Op::Proj {
+                        dst,
+                        src,
+                        idx: i as u32,
+                        arity,
+                    });
+                    self.bind_pat(p, Place::Reg(dst))?;
+                }
+                Ok(())
+            }
+            (MufPat::Tuple(_), Place::Global(_)) => Err("cannot destructure a closure".into()),
+        }
+    }
+
+    fn lower(&mut self, e: &MufExpr) -> LowerResult<Place> {
+        if self.ops.len() > MAX_OPS {
+            return Err(format!("op budget exceeded ({MAX_OPS})"));
+        }
+        match e {
+            MufExpr::Const(c) => Ok(Place::Reg(self.const_reg(const_value(c), "const"))),
+            MufExpr::Var(x) => self.resolve(x),
+            MufExpr::Tuple(xs) => Ok(Place::Tuple(
+                xs.iter().map(|x| self.lower(x)).collect::<Result<_, _>>()?,
+            )),
+            MufExpr::Op(op, args) => self.lower_op(*op, args),
+            MufExpr::If(c, t, f) => {
+                let pc = self.lower(c)?;
+                let cond = self.materialize(&pc, "cond")?;
+                let jfalse = self.ops.len();
+                self.emit(Op::JmpIfNot { cond, target: 0 });
+                let dst = self.fresh("if");
+                let save = self.scope.len();
+                let pt = self.lower(t)?;
+                self.move_into(dst, &pt)?;
+                self.scope.truncate(save);
+                let jend = self.ops.len();
+                self.emit(Op::Jmp { target: 0 });
+                let else_at = self.ops.len() as u32;
+                self.patch(jfalse, else_at);
+                let pf = self.lower(f)?;
+                self.move_into(dst, &pf)?;
+                self.scope.truncate(save);
+                let end_at = self.ops.len() as u32;
+                self.patch(jend, end_at);
+                Ok(Place::Reg(dst))
+            }
+            MufExpr::Select(c, t, f) => {
+                let pc = self.lower(c)?;
+                let pt = self.lower(t)?;
+                let pf = self.lower(f)?;
+                let cond = self.materialize(&pc, "cond")?;
+                let t = self.materialize(&pt, "then")?;
+                let f = self.materialize(&pf, "else")?;
+                let dst = self.fresh("select");
+                self.emit(Op::Select { dst, cond, t, f });
+                Ok(Place::Reg(dst))
+            }
+            MufExpr::App(f, a) => self.lower_app(f, a),
+            MufExpr::Let(pat, bound, body) => {
+                let pb = self.lower(bound)?;
+                let save = self.scope.len();
+                self.bind_pat(pat, pb)?;
+                let out = self.lower(body);
+                self.scope.truncate(save);
+                out
+            }
+            MufExpr::Fun(..) => Err("a closure escapes to a value position".into()),
+            MufExpr::Sample(d) => {
+                let pd = self.lower(d)?;
+                let dist = self.materialize(&pd, "dist")?;
+                let dst = self.fresh("sample");
+                self.emit(Op::Sample { dst, dist });
+                Ok(Place::Reg(dst))
+            }
+            MufExpr::Observe(d, o) => {
+                let pd = self.lower(d)?;
+                let dist = self.materialize(&pd, "dist")?;
+                let po = self.lower(o)?;
+                let obs = self.materialize(&po, "obs")?;
+                self.emit(Op::Observe { dist, obs });
+                Ok(Place::Reg(self.unit_reg()))
+            }
+            MufExpr::Factor(w) => {
+                let pw = self.lower(w)?;
+                let w = self.materialize(&pw, "weight")?;
+                self.emit(Op::Factor { w });
+                Ok(Place::Reg(self.unit_reg()))
+            }
+            MufExpr::ValueOp(x) => {
+                let px = self.lower(x)?;
+                let src = self.materialize(&px, "value")?;
+                let dst = self.fresh("value");
+                self.emit(Op::Value { dst, src });
+                Ok(Place::Reg(dst))
+            }
+            MufExpr::Freshen(inner) => {
+                let p = self.lower(inner)?;
+                self.freshen_place(&p)
+            }
+            MufExpr::Infer { .. } | MufExpr::EngineInit { .. } => {
+                Err("nested inference in particle code".into())
+            }
+        }
+    }
+
+    fn lower_op(&mut self, op: OpName, args: &[MufExpr]) -> LowerResult<Place> {
+        let places: Vec<Place> = args
+            .iter()
+            .map(|a| self.lower(a))
+            .collect::<Result<_, _>>()?;
+        // Projections on syntactic tuples — the interpreter's tuple fast
+        // path, resolved at lowering time (a tuple place is never `nil`
+        // itself, so the poison check cannot fire first).
+        if matches!(op, OpName::Fst | OpName::Snd) && places.len() == 1 {
+            if let Place::Tuple(items) = &places[0] {
+                return match (op, items.len()) {
+                    (OpName::Fst, n) if n >= 1 => Ok(items[0].clone()),
+                    (OpName::Snd, 2) => Ok(items[1].clone()),
+                    (OpName::Snd, n) if n > 2 => Ok(Place::Tuple(items[1..].to_vec())),
+                    _ => Err("projection from empty tuple".into()),
+                };
+            }
+        }
+        let regs: Vec<Reg> = places
+            .iter()
+            .map(|p| self.materialize(p, "arg"))
+            .collect::<Result<_, _>>()?;
+        let dst = self.fresh(&format!("{op:?}").to_lowercase());
+        match regs.as_slice() {
+            [a] => self.emit(Op::UnOp { op, dst, a: *a }),
+            [a, b] => self.emit(Op::BinOp {
+                op,
+                dst,
+                a: *a,
+                b: *b,
+            }),
+            [a, b, c] => self.emit(Op::TernOp {
+                op,
+                dst,
+                a: *a,
+                b: *b,
+                c: *c,
+            }),
+            _ => return Err(format!("operator {op:?} with {} arguments", regs.len())),
+        }
+        Ok(Place::Reg(dst))
+    }
+
+    fn lower_app(&mut self, f: &MufExpr, a: &MufExpr) -> LowerResult<Place> {
+        // Beta-redex: bind the argument's places straight into scope (the
+        // closure would capture exactly the current environment, so the
+        // binding is lexically transparent).
+        if let MufExpr::Fun(pat, body) = f {
+            let pa = self.lower(a)?;
+            let save = self.scope.len();
+            self.bind_pat(pat, pa)?;
+            let out = self.lower(body);
+            self.scope.truncate(save);
+            return out;
+        }
+        let pf = self.lower(f)?;
+        let pa = self.lower(a)?;
+        match pf {
+            Place::Global(v) => self.inline_or_call(v, pa),
+            Place::Reg(r) => {
+                let arg = self.materialize(&pa, "arg")?;
+                let dst = self.fresh("eval");
+                self.emit(Op::Eval { dst, f: r, arg });
+                Ok(Place::Reg(dst))
+            }
+            Place::Tuple(_) => Err("cannot apply a tuple".into()),
+        }
+    }
+
+    fn inline_or_call(&mut self, v: MufValue, pa: Place) -> LowerResult<Place> {
+        let MufValue::Closure(c) = &v else {
+            return Err(format!("cannot apply a {}", v.kind()));
+        };
+        if c.env.is_empty() && self.depth < MAX_INLINE_DEPTH {
+            let (pat, body) = (c.pat.clone(), Rc::clone(&c.body));
+            self.depth += 1;
+            let save = self.scope.len();
+            self.scope.push(ScopeEntry::Boundary);
+            let out = self.bind_pat(&pat, pa).and_then(|()| self.lower(&body));
+            self.scope.truncate(save);
+            self.depth -= 1;
+            out
+        } else {
+            // Not inlinable (captured environment, or too deep): call
+            // back into the interpreter for this callee only. The closure
+            // value is stable — it came from the immutable globals.
+            let arg = self.materialize(&pa, "arg")?;
+            let dst = self.fresh("call");
+            self.emit(Op::CallSummary { dst, f: v, arg });
+            Ok(Place::Reg(dst))
+        }
+    }
+
+    fn freshen_place(&mut self, p: &Place) -> LowerResult<Place> {
+        match p {
+            Place::Reg(src) => {
+                let dst = self.fresh("fresh");
+                self.emit(Op::Freshen { dst, src: *src });
+                Ok(Place::Reg(dst))
+            }
+            Place::Tuple(items) => Ok(Place::Tuple(
+                items
+                    .iter()
+                    .map(|i| self.freshen_place(i))
+                    .collect::<Result<_, _>>()?,
+            )),
+            // Closures deep-clone to themselves.
+            Place::Global(v) => Ok(Place::Global(v.clone())),
+        }
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        if let Op::Jmp { target: t } | Op::JmpIfNot { target: t, .. } = &mut self.ops[at] {
+            *t = target;
+        }
+    }
+
+    /// Builds the state's register places, mirroring the pattern shape
+    /// (leaf registers double as the state-in registers).
+    fn place_of_shape(&mut self, shape: &StateShape, pat: Option<&MufPat>) -> (Place, Vec<Reg>) {
+        match shape {
+            StateShape::Leaf => {
+                let name = match pat {
+                    Some(MufPat::Var(x)) => x.clone(),
+                    _ => "s".into(),
+                };
+                let r = self.fresh(&name);
+                (Place::Reg(r), vec![r])
+            }
+            StateShape::Node(children) => {
+                let pats = match pat {
+                    Some(MufPat::Tuple(ps)) => Some(ps),
+                    _ => None,
+                };
+                let mut places = Vec::with_capacity(children.len());
+                let mut regs = Vec::new();
+                for (i, ch) in children.iter().enumerate() {
+                    let (p, rs) = self.place_of_shape(ch, pats.and_then(|ps| ps.get(i)));
+                    places.push(p);
+                    regs.extend(rs);
+                }
+                (Place::Tuple(places), regs)
+            }
+        }
+    }
+
+    fn out_spec(&mut self, p: &Place) -> LowerResult<OutSpec> {
+        match p {
+            Place::Reg(r) => Ok(OutSpec::Reg(*r)),
+            Place::Tuple(items) => Ok(OutSpec::Tuple(
+                items
+                    .iter()
+                    .map(|i| self.out_spec(i))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Place::Global(_) => Err("a closure reaches the output".into()),
+        }
+    }
+
+    /// Assigns the successor-state place to flat out-registers following
+    /// the state shape (runtime `Proj`s when a subtree is register-held).
+    fn bind_state_out(&mut self, p: &Place, shape: &StateShape) -> LowerResult<Vec<Reg>> {
+        match (p, shape) {
+            (_, StateShape::Leaf) => Ok(vec![self.materialize(p, "state")?]),
+            (Place::Tuple(items), StateShape::Node(children)) => {
+                if items.len() != children.len() {
+                    return Err(format!(
+                        "successor state arity {} vs shape {}",
+                        items.len(),
+                        children.len()
+                    ));
+                }
+                let mut out = Vec::new();
+                for (i, ch) in items.iter().zip(children) {
+                    out.extend(self.bind_state_out(i, ch)?);
+                }
+                Ok(out)
+            }
+            (Place::Reg(src), StateShape::Node(children)) => {
+                let arity = children.len() as u32;
+                let mut out = Vec::new();
+                for (i, ch) in children.iter().enumerate() {
+                    let dst = self.fresh("state");
+                    self.emit(Op::Proj {
+                        dst,
+                        src: *src,
+                        idx: i as u32,
+                        arity,
+                    });
+                    out.extend(self.bind_state_out(&Place::Reg(dst), ch)?);
+                }
+                Ok(out)
+            }
+            (Place::Global(_), StateShape::Node(_)) => {
+                Err("a closure reaches a state tuple position".into())
+            }
+        }
+    }
+}
+
+fn pat_name(p: &MufPat) -> String {
+    match p {
+        MufPat::Var(x) => x.clone(),
+        _ => "_".into(),
+    }
+}
+
+/// Lowers a transition closure to a [`TapeProgram`].
+///
+/// `takes_input` mirrors the model's flag: driver-facing transitions take
+/// `(state, input)`, embedded ones take `state` alone. `init_state` is
+/// split into the flat initial state slots.
+///
+/// # Errors
+///
+/// A human-readable reason when the closure cannot be lowered; the caller
+/// is expected to fall back to the interpreter.
+pub fn lower_closure(
+    interp: &Rc<Interp>,
+    closure: &Rc<Closure>,
+    init_state: &MufValue,
+    takes_input: bool,
+) -> Result<TapeProgram, String> {
+    let mut lw = Lower {
+        interp,
+        captured: &closure.env,
+        ops: Vec::new(),
+        consts: Vec::new(),
+        scope: Vec::new(),
+        env_slots: Vec::new(),
+        global_regs: Vec::new(),
+        reg_names: Vec::new(),
+        next_reg: 0,
+        depth: 0,
+        unit: None,
+    };
+    let state_pat: Option<&MufPat> = if takes_input {
+        match &closure.pat {
+            MufPat::Tuple(ps) if ps.len() == 2 => Some(&ps[0]),
+            _ => None,
+        }
+    } else {
+        Some(&closure.pat)
+    };
+    let shape = state_pat.map_or(StateShape::Leaf, StateShape::of_pat);
+    let (state_place, state_in) = lw.place_of_shape(&shape, state_pat);
+    let input = takes_input.then(|| lw.fresh("input"));
+    let arg_place = match input {
+        Some(r) => Place::Tuple(vec![state_place, Place::Reg(r)]),
+        None => state_place,
+    };
+    lw.bind_pat(&closure.pat, arg_place)?;
+    let body_place = lw.lower(&closure.body)?;
+    let (out, state_out) = match body_place {
+        Place::Tuple(items) if items.len() == 2 => {
+            let out = lw.out_spec(&items[0])?;
+            let souts = lw.bind_state_out(&items[1], &shape)?;
+            (out, souts)
+        }
+        Place::Reg(r) => {
+            let o = lw.fresh("out");
+            lw.emit(Op::Proj {
+                dst: o,
+                src: r,
+                idx: 0,
+                arity: 2,
+            });
+            let s = lw.fresh("state");
+            lw.emit(Op::Proj {
+                dst: s,
+                src: r,
+                idx: 1,
+                arity: 2,
+            });
+            (OutSpec::Reg(o), lw.bind_state_out(&Place::Reg(s), &shape)?)
+        }
+        _ => return Err("transition must return (value, state)".into()),
+    };
+    lw.emit(Op::Halt);
+    let init_slots = split_state(init_state, &shape)?;
+    let mut seen = HashSet::new();
+    let state_out_unique = state_out.iter().all(|r| seen.insert(*r));
+    Ok(TapeProgram {
+        consts: lw.consts,
+        ops: lw.ops,
+        num_regs: lw.next_reg,
+        input,
+        state_in,
+        state_out,
+        state_out_unique,
+        out,
+        env_slots: lw.env_slots,
+        init_slots,
+        shape,
+        body_ptr: Rc::as_ptr(&closure.body) as usize,
+        reg_names: lw.reg_names,
+    })
+}

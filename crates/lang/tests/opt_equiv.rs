@@ -7,7 +7,7 @@
 use probzelus_core::infer::{Method, ParticleLayout};
 use probzelus_core::Value;
 use probzelus_lang::pipeline::{compile_source, compile_source_opt, Compiled};
-use probzelus_lang::Options;
+use probzelus_lang::{ExecBackend, Options};
 
 const METHODS: [Method; 4] = [
     Method::ParticleFilter,
@@ -49,7 +49,11 @@ fn assert_infer_node_identical(file: &str, node: &str, particles: usize, inputs:
     let (base, opt) = both(file);
     for method in METHODS {
         for layout in LAYOUTS {
-            let options = Options { method, seed: 42 };
+            let options = Options {
+                method,
+                seed: 42,
+                backend: ExecBackend::Interp,
+            };
             let mut eng_base = base
                 .infer_node(node, particles, options)
                 .unwrap_or_else(|e| panic!("{file}/{node} base: {e}"))
@@ -95,7 +99,11 @@ fn assert_infer_node_identical(file: &str, node: &str, particles: usize, inputs:
 fn assert_instance_identical(file: &str, node: &str, inputs: &[Value]) {
     let (base, opt) = both(file);
     for method in METHODS {
-        let options = Options { method, seed: 7 };
+        let options = Options {
+            method,
+            seed: 7,
+            backend: ExecBackend::Interp,
+        };
         let mut inst_base = base
             .instantiate(node, options)
             .unwrap_or_else(|e| panic!("{file}/{node} base: {e}"));

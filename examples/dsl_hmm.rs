@@ -106,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = Options {
         method: Method::StreamingDs,
         seed: 4,
+        ..Default::default()
     };
     let (mut instance, flush_metrics) = match metrics_path() {
         Some(path) => {

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Options {
             method: Method::StreamingDs,
             seed: 11,
+            ..Default::default()
         },
     )?;
 

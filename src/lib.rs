@@ -56,6 +56,7 @@
 //! let mut engine = compiled.infer_node("hmm", 1, Options {
 //!     method: Method::StreamingDs,
 //!     seed: 0,
+//!     ..Default::default()
 //! })?;
 //! let posterior = engine.step(&Value::Float(5.0))?;
 //! assert!((posterior.mean_float() - 5.0 * 100.0 / 101.0).abs() < 1e-9);

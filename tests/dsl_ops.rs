@@ -9,6 +9,7 @@ fn opts(seed: u64) -> Options {
     Options {
         method: Method::StreamingDs,
         seed,
+        ..Default::default()
     }
 }
 

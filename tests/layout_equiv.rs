@@ -79,7 +79,15 @@ fn dsl_trace(
 ) -> (Vec<(u64, u64)>, ResampleStats) {
     let compiled = compile_source(&read_example(file)).expect("example compiles");
     let mut engine: MufEngine = compiled
-        .infer_node(node, PARTICLES, Options { method, seed })
+        .infer_node(
+            node,
+            PARTICLES,
+            Options {
+                method,
+                seed,
+                ..Default::default()
+            },
+        )
         .expect("probabilistic node instantiates")
         .with_particle_layout(layout);
     let trace = inputs
@@ -342,6 +350,7 @@ fn counter_is_layout_oblivious() {
             Options {
                 method: Method::StreamingDs,
                 seed: 0,
+                ..Default::default()
             },
         )
         .expect("counter instantiates");
@@ -368,6 +377,7 @@ fn switching_layout_resets_and_replays_identically() {
     let opts = Options {
         method: Method::StreamingDs,
         seed: SEEDS[0],
+        ..Default::default()
     };
     let mut reference = compiled
         .infer_node("hmm", PARTICLES, opts)

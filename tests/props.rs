@@ -242,7 +242,7 @@ proptest! {
         );
         let compiled = compile_source(&src).unwrap();
         let mut eng = compiled
-            .infer_node("hmm", 1, Options { method: Method::StreamingDs, seed: 0 })
+            .infer_node("hmm", 1, Options { method: Method::StreamingDs, seed: 0, ..Default::default() })
             .unwrap();
         let post = eng.step(&Value::Float(y)).unwrap();
         // First step: exact conjugate update from the prior.
@@ -325,7 +325,7 @@ mod opt_props {
                 "the arrow flags alone should always yield a hoist plan"
             );
             for method in [Method::ParticleFilter, Method::StreamingDs] {
-                let options = Options { method, seed: 11 };
+                let options = Options { method, seed: 11, ..Default::default() };
                 let mut eng_base = base.infer_node("m", 20, options).unwrap();
                 let mut eng_opt = opt.infer_node("m", 20, options).unwrap();
                 for y in &ys {

@@ -28,6 +28,7 @@ fn dsl_and_embedded_kalman_agree_exactly_under_sds() {
             Options {
                 method: Method::StreamingDs,
                 seed: 123,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -58,7 +59,15 @@ fn dsl_and_embedded_agree_under_every_engine_with_shared_seed() {
         Method::ClassicDs,
     ] {
         let mut dsl = compiled
-            .infer_node("kalman", 20, Options { method, seed: 99 })
+            .infer_node(
+                "kalman",
+                20,
+                Options {
+                    method,
+                    seed: 99,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let mut embedded = Infer::with_seed(method, 20, Kalman::default(), 99);
         for (t, y) in data.obs.iter().enumerate() {
@@ -89,6 +98,7 @@ fn compiled_integrator_matches_stream_combinator() {
             Options {
                 method: Method::StreamingDs,
                 seed: 0,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -122,6 +132,7 @@ fn driver_level_infer_equals_direct_engine() {
             Options {
                 method: Method::StreamingDs,
                 seed: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -132,6 +143,7 @@ fn driver_level_infer_equals_direct_engine() {
             Options {
                 method: Method::StreamingDs,
                 seed: 2,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -161,6 +173,7 @@ fn reset_in_dsl_restarts_inference_state() {
             Options {
                 method: Method::StreamingDs,
                 seed: 0,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -191,6 +204,7 @@ fn reset_over_infer_restarts_inference_cleanly_each_time() {
             Options {
                 method: Method::StreamingDs,
                 seed: 5,
+                ..Default::default()
             },
         )
         .unwrap();
